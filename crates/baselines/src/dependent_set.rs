@@ -1,0 +1,363 @@
+//! Dependency-respecting reactive caching baselines.
+//!
+//! These are the "classic paging heuristics lifted to trees", the natural
+//! competitors the paper's application section implies (the dependent-set
+//! algorithm of CacheFlow \[19\] restricted to tree dependencies):
+//!
+//! * on a paying positive request to `v`, immediately fetch the *dependent
+//!   set* — the non-cached part of `T(v)` (the minimal valid fetch that
+//!   makes `v` cached);
+//! * when space is needed, evict whole cached-tree roots chosen by an
+//!   eviction strategy (LRU / FIFO / random); evicting a root keeps the
+//!   cache a subforest (its children become new roots);
+//! * negative requests are paid but trigger no reaction (rule churn is the
+//!   regime where these baselines bleed — exactly what E7 measures).
+//!
+//! Unlike TC these fetch *eagerly* (no rent-or-buy counters), so a single
+//! cold request to a large subtree costs `α·|T(v)|` immediately.
+
+use std::sync::Arc;
+
+use otc_core::cache::CacheSet;
+use otc_core::policy::{dependent_fetch_set, request_pays, Action, CachePolicy, StepOutcome};
+use otc_core::request::{Request, Sign};
+use otc_core::tree::{NodeId, Tree};
+use otc_util::SplitMix64;
+
+/// Which cached-tree root to evict when space is needed.
+#[derive(Debug, Clone)]
+pub enum EvictStrategy {
+    /// Evict the root whose subtree was least recently accessed.
+    Lru,
+    /// Evict the root that was fetched earliest.
+    Fifo,
+    /// Evict a uniformly random root.
+    Random(SplitMix64),
+}
+
+impl EvictStrategy {
+    fn name(&self) -> &'static str {
+        match self {
+            EvictStrategy::Lru => "subtree-lru",
+            EvictStrategy::Fifo => "subtree-fifo",
+            EvictStrategy::Random(_) => "subtree-random",
+        }
+    }
+}
+
+/// The dependent-set caching policy with pluggable eviction.
+#[derive(Debug, Clone)]
+pub struct DependentSetPolicy {
+    tree: Arc<Tree>,
+    capacity: usize,
+    cache: CacheSet,
+    strategy: EvictStrategy,
+    /// Logical clock advanced every step.
+    clock: u64,
+    /// For LRU: last access time bubbled to every cached ancestor, so a
+    /// cached root's stamp is the most recent access anywhere in its tree.
+    /// For FIFO: the fetch time (never refreshed).
+    stamp: Vec<u64>,
+}
+
+impl DependentSetPolicy {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new(tree: Arc<Tree>, capacity: usize, strategy: EvictStrategy) -> Self {
+        assert!(capacity >= 1);
+        let n = tree.len();
+        Self { tree, capacity, cache: CacheSet::empty(n), strategy, clock: 0, stamp: vec![0; n] }
+    }
+
+    /// Convenience constructor for LRU.
+    #[must_use]
+    pub fn lru(tree: Arc<Tree>, capacity: usize) -> Self {
+        Self::new(tree, capacity, EvictStrategy::Lru)
+    }
+
+    /// Convenience constructor for FIFO.
+    #[must_use]
+    pub fn fifo(tree: Arc<Tree>, capacity: usize) -> Self {
+        Self::new(tree, capacity, EvictStrategy::Fifo)
+    }
+
+    /// Convenience constructor for random eviction with a fixed seed.
+    #[must_use]
+    pub fn random(tree: Arc<Tree>, capacity: usize, seed: u64) -> Self {
+        Self::new(tree, capacity, EvictStrategy::Random(SplitMix64::new(seed)))
+    }
+
+    /// Evicts an externally chosen valid negative changeset. Used by
+    /// wrapper policies (e.g. invalidate-on-update) that add their own
+    /// eviction triggers on top of the dependent-set machinery.
+    pub fn evict_raw(&mut self, set: &[NodeId]) {
+        self.cache.evict(set);
+    }
+
+    /// Bubble an access stamp from `v` through its cached ancestors.
+    fn touch(&mut self, v: NodeId) {
+        let now = self.clock;
+        let mut x = v;
+        loop {
+            self.stamp[x.index()] = now;
+            match self.tree.parent(x) {
+                Some(p) if self.cache.contains(p) => x = p,
+                _ => break,
+            }
+        }
+    }
+
+    /// Picks the eviction victim among cached roots outside `T(protect)`.
+    fn pick_victim(&mut self, protect: NodeId) -> Option<NodeId> {
+        let roots: Vec<NodeId> = self
+            .cache
+            .cached_roots(&self.tree)
+            .into_iter()
+            .filter(|&r| !self.tree.is_ancestor_or_self(protect, r))
+            .collect();
+        if roots.is_empty() {
+            return None;
+        }
+        Some(match &mut self.strategy {
+            EvictStrategy::Lru | EvictStrategy::Fifo => roots
+                .iter()
+                .copied()
+                .min_by_key(|r| (self.stamp[r.index()], r.index()))
+                .expect("non-empty roots"),
+            EvictStrategy::Random(rng) => roots[rng.index(roots.len())],
+        })
+    }
+}
+
+impl CachePolicy for DependentSetPolicy {
+    fn name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn cache(&self) -> &CacheSet {
+        &self.cache
+    }
+
+    fn reset(&mut self) {
+        self.cache = CacheSet::empty(self.tree.len());
+        self.clock = 0;
+        self.stamp.fill(0);
+        if let EvictStrategy::Random(rng) = &mut self.strategy {
+            *rng = SplitMix64::new(0xD5);
+        }
+    }
+
+    fn step(&mut self, req: Request) -> StepOutcome {
+        self.clock += 1;
+        let pays = request_pays(&self.cache, req);
+        let v = req.node;
+
+        if req.sign == Sign::Negative {
+            // Pay if cached; no reaction either way.
+            return StepOutcome { paid_service: pays, actions: vec![] };
+        }
+        if !pays {
+            // Hit: refresh recency (LRU only; FIFO stamps are fetch times).
+            if matches!(self.strategy, EvictStrategy::Lru) {
+                self.touch(v);
+            }
+            return StepOutcome::idle();
+        }
+
+        // Miss: try to make room for the dependent set, then fetch it.
+        let mut actions: Vec<Action> = Vec::new();
+        let mut need = dependent_fetch_set(&self.tree, &self.cache, v);
+        if need.len() > self.capacity {
+            // Can never fit — bypass.
+            return StepOutcome { paid_service: true, actions };
+        }
+        let mut evicted_any = Vec::new();
+        while self.cache.len() + need.len() > self.capacity {
+            let Some(victim) = self.pick_victim(v) else {
+                // Only roots inside T(v) remain; evicting them would just
+                // re-enter the fetch set. Bypass instead.
+                if !evicted_any.is_empty() {
+                    actions.push(Action::Evict(evicted_any));
+                }
+                return StepOutcome { paid_service: true, actions };
+            };
+            self.cache.remove(victim);
+            evicted_any.push(victim);
+            // The victim might have been an ancestor context for `need`?
+            // No: victims are outside T(v); `need` only grows if a cached
+            // subtree inside T(v) were evicted, which pick_victim forbids.
+            debug_assert_eq!(need, dependent_fetch_set(&self.tree, &self.cache, v));
+        }
+        if !evicted_any.is_empty() {
+            actions.push(Action::Evict(evicted_any));
+        }
+        self.cache.fetch(&need);
+        let now = self.clock;
+        for &x in &need {
+            self.stamp[x.index()] = now;
+        }
+        if matches!(self.strategy, EvictStrategy::Lru) {
+            self.touch(v);
+        }
+        actions.push(Action::Fetch(std::mem::take(&mut need)));
+        StepOutcome { paid_service: true, actions }
+    }
+}
+
+/// A policy that never caches anything: every positive request is bounced
+/// to the controller. The "no TCAM cache at all" floor for E7.
+#[derive(Debug, Clone)]
+pub struct BypassAll {
+    cache: CacheSet,
+    capacity: usize,
+}
+
+impl BypassAll {
+    /// Creates the policy (capacity is nominal — nothing is ever cached).
+    #[must_use]
+    pub fn new(tree: &Tree, capacity: usize) -> Self {
+        Self { cache: CacheSet::empty(tree.len()), capacity }
+    }
+}
+
+impl CachePolicy for BypassAll {
+    fn name(&self) -> &'static str {
+        "bypass-all"
+    }
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+    fn cache(&self) -> &CacheSet {
+        &self.cache
+    }
+    fn reset(&mut self) {}
+    fn step(&mut self, req: Request) -> StepOutcome {
+        StepOutcome { paid_service: req.sign == Sign::Positive, actions: vec![] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Arc<Tree> {
+        //      0
+        //     / \
+        //    1   4
+        //   / \   \
+        //  2   3   5
+        Arc::new(Tree::from_parents(&[None, Some(0), Some(1), Some(1), Some(0), Some(4)]))
+    }
+
+    #[test]
+    fn miss_fetches_dependent_set() {
+        let mut p = DependentSetPolicy::lru(tree(), 6);
+        let out = p.step(Request::pos(NodeId(1)));
+        assert!(out.paid_service);
+        assert_eq!(out.actions, vec![Action::Fetch(vec![NodeId(1), NodeId(2), NodeId(3)])]);
+        assert_eq!(p.cache().len(), 3);
+    }
+
+    #[test]
+    fn hit_is_free() {
+        let mut p = DependentSetPolicy::lru(tree(), 6);
+        p.step(Request::pos(NodeId(2)));
+        let out = p.step(Request::pos(NodeId(2)));
+        assert_eq!(out, StepOutcome::idle());
+    }
+
+    #[test]
+    fn lru_evicts_coldest_root() {
+        let mut p = DependentSetPolicy::lru(tree(), 2);
+        p.step(Request::pos(NodeId(2))); // cache {2}
+        p.step(Request::pos(NodeId(3))); // cache {2,3}
+        p.step(Request::pos(NodeId(2))); // touch 2
+        let out = p.step(Request::pos(NodeId(5))); // must evict 3 (coldest)
+        assert!(out.actions.contains(&Action::Evict(vec![NodeId(3)])));
+        assert!(p.cache().contains(NodeId(2)));
+        assert!(p.cache().contains(NodeId(5)));
+        assert!(!p.cache().contains(NodeId(3)));
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut p = DependentSetPolicy::fifo(tree(), 2);
+        p.step(Request::pos(NodeId(2))); // fetch order: 2 first
+        p.step(Request::pos(NodeId(3)));
+        p.step(Request::pos(NodeId(2))); // hit; FIFO doesn't care
+        let out = p.step(Request::pos(NodeId(5)));
+        assert!(out.actions.contains(&Action::Evict(vec![NodeId(2)])));
+    }
+
+    #[test]
+    fn oversized_dependent_set_bypasses() {
+        let mut p = DependentSetPolicy::lru(tree(), 2);
+        // T(0) has 6 nodes > capacity 2 → bypass, nothing fetched.
+        let out = p.step(Request::pos(NodeId(0)));
+        assert!(out.paid_service);
+        assert!(out.actions.is_empty());
+        assert!(p.cache().is_empty());
+    }
+
+    #[test]
+    fn cache_stays_valid_subforest() {
+        let t = tree();
+        let mut p = DependentSetPolicy::lru(Arc::clone(&t), 3);
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..2000 {
+            let node = NodeId(rng.index(t.len()) as u32);
+            let req = if rng.chance(0.3) { Request::neg(node) } else { Request::pos(node) };
+            p.step(req);
+            p.cache().validate(&t).expect("subforest invariant");
+            assert!(p.cache().len() <= 3);
+        }
+    }
+
+    #[test]
+    fn random_eviction_stays_valid() {
+        let t = tree();
+        let mut p = DependentSetPolicy::random(Arc::clone(&t), 2, 7);
+        let mut rng = SplitMix64::new(13);
+        for _ in 0..1000 {
+            let node = NodeId(rng.index(t.len()) as u32);
+            p.step(Request::pos(node));
+            p.cache().validate(&t).expect("subforest invariant");
+        }
+    }
+
+    #[test]
+    fn negative_requests_cost_but_do_not_react() {
+        let mut p = DependentSetPolicy::lru(tree(), 6);
+        p.step(Request::pos(NodeId(2)));
+        let out = p.step(Request::neg(NodeId(2)));
+        assert!(out.paid_service);
+        assert!(out.actions.is_empty());
+        assert!(p.cache().contains(NodeId(2)), "LRU ignores churn — that's its weakness");
+        let out = p.step(Request::neg(NodeId(5)));
+        assert!(!out.paid_service);
+    }
+
+    #[test]
+    fn bypass_all_costs_every_positive() {
+        let t = tree();
+        let mut p = BypassAll::new(&t, 4);
+        assert!(p.step(Request::pos(NodeId(0))).paid_service);
+        assert!(!p.step(Request::neg(NodeId(0))).paid_service);
+        assert!(p.cache().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let t = tree();
+        let mut p = DependentSetPolicy::lru(Arc::clone(&t), 4);
+        p.step(Request::pos(NodeId(2)));
+        p.reset();
+        assert!(p.cache().is_empty());
+        let out = p.step(Request::pos(NodeId(2)));
+        assert!(out.paid_service);
+    }
+}

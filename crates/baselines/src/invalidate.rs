@@ -1,0 +1,156 @@
+//! Invalidate-on-update caching: a realistic router heuristic that evicts
+//! a rule the moment an update touches it.
+//!
+//! On a paying negative request to `v` the policy immediately evicts the
+//! minimal valid negative changeset containing `v` — the path from `v` up
+//! to its cached-tree root (a tree cap; the siblings' subtrees stay
+//! cached). Positives behave like dependent-set LRU.
+//!
+//! Two roles in the experiments:
+//! * a churn-robust reactive baseline for E7 (unlike plain LRU it stops
+//!   paying after the first negative of an update chunk — at the price of
+//!   α per evicted node and re-fetch churn);
+//! * the policy that genuinely reorganises **inside** update chunks, so
+//!   the Appendix-B canonicalization (E8) has something to transform: TC
+//!   itself provably only acts at chunk boundaries when all negative mass
+//!   arrives in α-chunks.
+
+use std::sync::Arc;
+
+use otc_core::cache::CacheSet;
+use otc_core::policy::{request_pays, Action, CachePolicy, StepOutcome};
+use otc_core::request::{Request, Sign};
+use otc_core::tree::{NodeId, Tree};
+
+use crate::dependent_set::{DependentSetPolicy, EvictStrategy};
+
+/// Dependent-set LRU that also evicts on the first paying negative.
+#[derive(Debug, Clone)]
+pub struct InvalidateOnUpdate {
+    inner: DependentSetPolicy,
+    tree: Arc<Tree>,
+}
+
+impl InvalidateOnUpdate {
+    /// Creates the policy with LRU eviction for capacity pressure.
+    #[must_use]
+    pub fn new(tree: Arc<Tree>, capacity: usize) -> Self {
+        Self {
+            inner: DependentSetPolicy::new(Arc::clone(&tree), capacity, EvictStrategy::Lru),
+            tree,
+        }
+    }
+
+    /// The minimal valid negative changeset containing `v`: the cached
+    /// path from `v` up to its cached-tree root, root-first.
+    fn invalidation_path(&self, v: NodeId) -> Vec<NodeId> {
+        let cache = self.inner.cache();
+        debug_assert!(cache.contains(v));
+        let mut path = Vec::new();
+        let mut x = v;
+        loop {
+            path.push(x);
+            match self.tree.parent(x) {
+                Some(p) if cache.contains(p) => x = p,
+                _ => break,
+            }
+        }
+        path.reverse(); // root of the cached tree first
+        path
+    }
+}
+
+impl CachePolicy for InvalidateOnUpdate {
+    fn name(&self) -> &'static str {
+        "invalidate-on-update"
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn cache(&self) -> &CacheSet {
+        self.inner.cache()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn step(&mut self, req: Request) -> StepOutcome {
+        if req.sign == Sign::Negative && request_pays(self.inner.cache(), req) {
+            let path = self.invalidation_path(req.node);
+            self.inner.evict_raw(&path);
+            return StepOutcome { paid_service: true, actions: vec![Action::Evict(path)] };
+        }
+        self.inner.step(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Arc<Tree> {
+        //      0
+        //     / \
+        //    1   4
+        //   / \
+        //  2   3
+        Arc::new(Tree::from_parents(&[None, Some(0), Some(1), Some(1), Some(0)]))
+    }
+
+    #[test]
+    fn update_evicts_path_keeps_siblings() {
+        let t = tree();
+        let mut p = InvalidateOnUpdate::new(Arc::clone(&t), 5);
+        // Fetch the whole tree via a root miss.
+        p.step(Request::pos(NodeId(0)));
+        assert_eq!(p.cache().len(), 5);
+        // Update node 2: evict the path {0, 1, 2}, keep {3, 4}.
+        let out = p.step(Request::neg(NodeId(2)));
+        assert!(out.paid_service);
+        assert_eq!(out.actions, vec![Action::Evict(vec![NodeId(0), NodeId(1), NodeId(2)])]);
+        assert!(!p.cache().contains(NodeId(0)));
+        assert!(p.cache().contains(NodeId(3)));
+        assert!(p.cache().contains(NodeId(4)));
+        p.cache().validate(&t).expect("subforest");
+    }
+
+    #[test]
+    fn second_negative_is_free() {
+        let t = tree();
+        let mut p = InvalidateOnUpdate::new(Arc::clone(&t), 5);
+        p.step(Request::pos(NodeId(2)));
+        assert!(p.cache().contains(NodeId(2)));
+        let out = p.step(Request::neg(NodeId(2)));
+        assert!(out.paid_service);
+        let out = p.step(Request::neg(NodeId(2)));
+        assert!(!out.paid_service, "already evicted — rest of the chunk is free");
+        assert!(out.actions.is_empty());
+    }
+
+    #[test]
+    fn positive_behaviour_is_lru() {
+        let t = tree();
+        let mut p = InvalidateOnUpdate::new(Arc::clone(&t), 2);
+        p.step(Request::pos(NodeId(2)));
+        p.step(Request::pos(NodeId(3)));
+        assert_eq!(p.cache().len(), 2);
+        p.cache().validate(&t).expect("subforest");
+    }
+
+    #[test]
+    fn random_stream_invariants() {
+        let t = tree();
+        let mut p = InvalidateOnUpdate::new(Arc::clone(&t), 3);
+        let mut rng = otc_util::SplitMix64::new(3);
+        for _ in 0..2000 {
+            let node = NodeId(rng.index(t.len()) as u32);
+            let req = if rng.chance(0.4) { Request::neg(node) } else { Request::pos(node) };
+            p.step(req);
+            p.cache().validate(&t).expect("subforest invariant");
+            assert!(p.cache().len() <= 3);
+        }
+    }
+}

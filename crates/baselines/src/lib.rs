@@ -1,0 +1,32 @@
+//! # otc-baselines — comparison algorithms for the experiments
+//!
+//! * [`dependent_set`] — reactive dependency-respecting caching
+//!   (LRU / FIFO / random eviction), the CacheFlow-style dependent-set
+//!   heuristic restricted to tree dependencies, plus the bypass-all floor;
+//! * [`static_opt`] — the optimal **static** cache via an `O(n·k)` tree
+//!   knapsack (the tree-sparsity connection from the paper's conclusion);
+//! * [`opt_dp`] — the exact offline optimum over subforest states (small
+//!   instances; the denominator of every measured competitive ratio);
+//! * [`lfd`] — offline star paging (Belady/LFD replay), the OPT
+//!   upper-bound proxy of the lower-bound experiment E2;
+//! * [`tc_variants`] — ablations of TC's design choices (maximality,
+//!   phase restarts).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dependent_set;
+pub mod invalidate;
+pub mod lfd;
+pub mod opt_dp;
+pub mod opt_path;
+pub mod static_opt;
+pub mod tc_variants;
+
+pub use dependent_set::{BypassAll, DependentSetPolicy, EvictStrategy};
+pub use invalidate::InvalidateOnUpdate;
+pub use lfd::{chunks_of, lfd_replay_cost, offline_star_upper_bound, Chunk};
+pub use opt_dp::{opt_cost, opt_cost_free_start};
+pub use opt_path::{opt_cost_path, opt_cost_path_free_start};
+pub use static_opt::{best_static_cache, static_cost, StaticPlan};
+pub use tc_variants::{FetchScan, OverflowRule, TcVariant};

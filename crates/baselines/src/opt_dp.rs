@@ -1,0 +1,315 @@
+//! Exact offline optimum by dynamic programming over subforest states.
+//!
+//! For small trees the full state space — every downward-closed set of at
+//! most `k` nodes — is enumerable, and OPT is a shortest path through the
+//! layered graph (states × rounds). Reorganisation decomposes into
+//! single-node moves: evicting cap-first and fetching children-first keeps
+//! every intermediate set a subforest without exceeding
+//! `max(|S|, |S'|) ≤ k`, so charging `α` per single-node move is exact.
+//!
+//! Movement is allowed before every round (including round 1), matching
+//! the paper's "reorganise at any time t" with an optional head start —
+//! this can only *lower* OPT, so competitive ratios measured against it
+//! are conservative (never inflated).
+
+use std::collections::VecDeque;
+
+use otc_core::request::{Request, Sign};
+use otc_core::tree::Tree;
+
+/// Exact offline optimal cost for the request sequence with cache size `k`,
+/// starting from the empty cache (the problem's initial condition).
+///
+/// ```
+/// use otc_baselines::opt_cost;
+/// use otc_core::{Request, Tree, NodeId};
+///
+/// let tree = Tree::star(2);
+/// let reqs: Vec<Request> = (0..10).map(|_| Request::pos(NodeId(1))).collect();
+/// // Bypass all (10) vs fetch the leaf up front (α = 4): OPT fetches.
+/// assert_eq!(opt_cost(&tree, &reqs, 4, 1), 4);
+/// ```
+///
+/// # Panics
+/// Panics if the tree has more than 20 nodes (the state space is
+/// enumerated as bitmasks) or if the state count explodes past 2^20.
+#[must_use]
+pub fn opt_cost(tree: &Tree, requests: &[Request], alpha: u64, k: usize) -> u64 {
+    opt_cost_impl(tree, requests, alpha, k, false)
+}
+
+/// Exact offline optimal cost when OPT may start in **any** cache state at
+/// no charge — the per-phase setting of Lemma 5.11/5.12 ("Opt may start
+/// the phase with an arbitrary state of the cache"). Always ≤ [`opt_cost`].
+#[must_use]
+pub fn opt_cost_free_start(tree: &Tree, requests: &[Request], alpha: u64, k: usize) -> u64 {
+    opt_cost_impl(tree, requests, alpha, k, true)
+}
+
+fn opt_cost_impl(tree: &Tree, requests: &[Request], alpha: u64, k: usize, free_start: bool) -> u64 {
+    let n = tree.len();
+    assert!(n <= 20, "exact OPT enumerates subforests of tiny trees only");
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+
+    // child_mask[v] = bitmask of v's children.
+    let mut child_mask = vec![0u32; n];
+    for v in tree.nodes() {
+        for &c in tree.children(v) {
+            child_mask[v.index()] |= 1 << c.index();
+        }
+    }
+    let is_subforest = |mask: u32| -> bool {
+        let mut m = mask;
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            if child_mask[v] & !mask != 0 {
+                return false;
+            }
+            m &= m - 1;
+        }
+        true
+    };
+
+    // Enumerate states.
+    let mut states: Vec<u32> = Vec::new();
+    let mut index_of: Vec<u32> = vec![u32::MAX; (full as usize) + 1];
+    for mask in 0..=full {
+        if (mask.count_ones() as usize) <= k && is_subforest(mask) {
+            index_of[mask as usize] = states.len() as u32;
+            states.push(mask);
+        }
+    }
+    let s = states.len();
+    assert!(s <= 1 << 20, "state space too large");
+
+    // Single-node moves (each costs α).
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); s];
+    for (i, &mask) in states.iter().enumerate() {
+        for (v, &cmask) in child_mask.iter().enumerate() {
+            let bit = 1u32 << v;
+            if mask & bit == 0 {
+                // Fetch v: children must be present, capacity respected.
+                if cmask & !mask == 0 && (mask.count_ones() as usize) < k {
+                    let idx = index_of[(mask | bit) as usize];
+                    debug_assert_ne!(idx, u32::MAX);
+                    neighbors[i].push(idx);
+                }
+            } else {
+                // Evict v: its parent must not stay cached.
+                let parent_cached = tree
+                    .parent(otc_core::tree::NodeId(v as u32))
+                    .is_some_and(|p| mask & (1 << p.index()) != 0);
+                if !parent_cached {
+                    let idx = index_of[(mask & !bit) as usize];
+                    debug_assert_ne!(idx, u32::MAX);
+                    neighbors[i].push(idx);
+                }
+            }
+        }
+    }
+
+    const INF: u64 = u64::MAX / 4;
+    let mut dp = vec![INF; s];
+    if free_start {
+        dp.fill(0); // any subforest of size ≤ k, free of charge
+    } else {
+        dp[index_of[0] as usize] = 0; // empty cache
+    }
+
+    let mut in_queue = vec![false; s];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &req in requests {
+        // Relax movement: label-correcting shortest paths with uniform
+        // edge weight α over the move graph.
+        queue.clear();
+        in_queue.fill(false);
+        for i in 0..s {
+            if dp[i] < INF {
+                queue.push_back(i);
+                in_queue[i] = true;
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            in_queue[i] = false;
+            let base = dp[i] + alpha;
+            for &j in &neighbors[i] {
+                let j = j as usize;
+                if base < dp[j] {
+                    dp[j] = base;
+                    if !in_queue[j] {
+                        queue.push_back(j);
+                        in_queue[j] = true;
+                    }
+                }
+            }
+        }
+        // Serve the request on each state.
+        let bit = 1u32 << req.node.index();
+        for (i, &mask) in states.iter().enumerate() {
+            if dp[i] >= INF {
+                continue;
+            }
+            let cached = mask & bit != 0;
+            let pays = match req.sign {
+                Sign::Positive => !cached,
+                Sign::Negative => cached,
+            };
+            if pays {
+                dp[i] += 1;
+            }
+        }
+    }
+    dp.iter().copied().min().expect("at least the empty state exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otc_core::tree::NodeId;
+
+    #[test]
+    fn empty_sequence_is_free() {
+        let tree = Tree::star(3);
+        assert_eq!(opt_cost(&tree, &[], 2, 2), 0);
+    }
+
+    #[test]
+    fn repeated_leaf_is_min_of_bypass_and_fetch() {
+        let tree = Tree::star(3);
+        let leaf = NodeId(1);
+        for m in [1usize, 2, 3, 5, 10] {
+            let reqs: Vec<Request> = (0..m).map(|_| Request::pos(leaf)).collect();
+            // Either bypass all (m) or fetch the leaf up front (α = 3).
+            assert_eq!(opt_cost(&tree, &reqs, 3, 2), (m as u64).min(3), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn negatives_to_uncached_are_free() {
+        let tree = Tree::star(3);
+        let reqs: Vec<Request> = (0..20).map(|_| Request::neg(NodeId(2))).collect();
+        assert_eq!(opt_cost(&tree, &reqs, 2, 2), 0);
+    }
+
+    #[test]
+    fn fetching_subtree_requires_descendants() {
+        // Path 0-1-2: caching the root means caching everything (3 nodes),
+        // impossible with k = 2 → requests to the root can never be free.
+        let tree = Tree::path(3);
+        let reqs: Vec<Request> = (0..50).map(|_| Request::pos(NodeId(0))).collect();
+        assert_eq!(opt_cost(&tree, &reqs, 1, 2), 50);
+        // With k = 3 OPT fetches all three for 3α = 3 and serves free.
+        assert_eq!(opt_cost(&tree, &reqs, 1, 3), 3);
+    }
+
+    #[test]
+    fn opt_switches_working_sets() {
+        // Star with leaves 1, 2; capacity 1; α = 2. Phase A hammers leaf 1,
+        // phase B hammers leaf 2. OPT fetches 1 (2), evicts 1 and fetches 2
+        // (4) — total 6 — or bypasses one of the phases (10).
+        let tree = Tree::star(2);
+        let mut reqs = Vec::new();
+        for _ in 0..10 {
+            reqs.push(Request::pos(NodeId(1)));
+        }
+        for _ in 0..10 {
+            reqs.push(Request::pos(NodeId(2)));
+        }
+        assert_eq!(opt_cost(&tree, &reqs, 2, 1), 2 + 2 + 2);
+    }
+
+    #[test]
+    fn update_churn_forces_choice() {
+        // One leaf, alternating bursts: m positives then m negatives.
+        // Keeping it cached: pay negatives; not caching: pay positives.
+        // OPT with enough capacity: fetch before positives (α), evict
+        // before negatives (α) — or just eat one side.
+        let tree = Tree::star(1);
+        let leaf = NodeId(1);
+        let mut reqs = Vec::new();
+        for _ in 0..6 {
+            reqs.push(Request::pos(leaf));
+        }
+        for _ in 0..6 {
+            reqs.push(Request::neg(leaf));
+        }
+        // α = 2: fetch (2) + evict (2) = 4 beats 6 either way.
+        assert_eq!(opt_cost(&tree, &reqs, 2, 2), 4);
+        // α = 4: fetch + evict = 8 > serving the cheaper side (6).
+        assert_eq!(opt_cost(&tree, &reqs, 4, 2), 6);
+    }
+
+    #[test]
+    fn monotone_in_capacity() {
+        let tree = Tree::kary(2, 3);
+        let mut rng = otc_util::SplitMix64::new(3);
+        let reqs: Vec<Request> = (0..120)
+            .map(|_| {
+                let v = NodeId(rng.index(tree.len()) as u32);
+                if rng.chance(0.3) {
+                    Request::neg(v)
+                } else {
+                    Request::pos(v)
+                }
+            })
+            .collect();
+        let mut prev = u64::MAX;
+        for k in 0..=tree.len() {
+            let c = opt_cost(&tree, &reqs, 2, k);
+            assert!(c <= prev, "OPT must not increase with capacity");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn free_start_never_exceeds_empty_start() {
+        let tree = Tree::kary(2, 3);
+        let mut rng = otc_util::SplitMix64::new(17);
+        let reqs: Vec<Request> = (0..100)
+            .map(|_| {
+                let v = NodeId(rng.index(tree.len()) as u32);
+                if rng.chance(0.4) {
+                    Request::neg(v)
+                } else {
+                    Request::pos(v)
+                }
+            })
+            .collect();
+        for k in [1usize, 3, 5] {
+            assert!(
+                opt_cost_free_start(&tree, &reqs, 2, k) <= opt_cost(&tree, &reqs, 2, k),
+                "free start can only help"
+            );
+        }
+    }
+
+    #[test]
+    fn free_start_serves_first_burst_free() {
+        // A burst of positives to one leaf: free start pre-caches it.
+        let tree = Tree::star(2);
+        let reqs: Vec<Request> = (0..10).map(|_| Request::pos(NodeId(1))).collect();
+        assert_eq!(opt_cost_free_start(&tree, &reqs, 5, 1), 0);
+        // But negatives to a pre-cached node are not free: the best start
+        // here is an empty cache.
+        let reqs: Vec<Request> = (0..10).map(|_| Request::neg(NodeId(1))).collect();
+        assert_eq!(opt_cost_free_start(&tree, &reqs, 5, 1), 0);
+    }
+
+    #[test]
+    fn opt_never_exceeds_bypass_everything() {
+        let tree = Tree::kary(2, 3);
+        let mut rng = otc_util::SplitMix64::new(5);
+        let reqs: Vec<Request> = (0..150)
+            .map(|_| {
+                let v = NodeId(rng.index(tree.len()) as u32);
+                if rng.chance(0.5) {
+                    Request::neg(v)
+                } else {
+                    Request::pos(v)
+                }
+            })
+            .collect();
+        let positives = reqs.iter().filter(|r| r.is_positive()).count() as u64;
+        assert!(opt_cost(&tree, &reqs, 3, 4) <= positives);
+    }
+}

@@ -1,0 +1,160 @@
+//! Exact offline OPT specialised to **path** trees.
+//!
+//! On a path rooted at node 0 (node `i`'s parent is `i − 1`), the
+//! downward-closed sets are exactly the suffixes `{j, …, n−1}` (plus the
+//! empty set), so the state space collapses from "all subforests" to the
+//! `k + 1` feasible suffix starts. That turns the exact-OPT DP from
+//! exponential-in-`n` to `O(rounds · k)` — which is what lets the
+//! height-conjecture experiment (C1) probe deep paths with exact OPT in
+//! the search loop.
+
+use otc_core::request::{Request, Sign};
+use otc_core::tree::Tree;
+
+/// Exact offline optimal cost on a path tree, empty initial cache.
+///
+/// # Panics
+/// Panics if `tree` is not a path rooted at node 0 (every node's parent
+/// must be its predecessor).
+#[must_use]
+pub fn opt_cost_path(tree: &Tree, requests: &[Request], alpha: u64, k: usize) -> u64 {
+    opt_cost_path_impl(tree, requests, alpha, k, false)
+}
+
+/// Exact offline optimal cost on a path tree when OPT may pick any start
+/// state for free (the per-phase convention of Lemma 5.11).
+#[must_use]
+pub fn opt_cost_path_free_start(
+    tree: &Tree,
+    requests: &[Request],
+    alpha: u64,
+    k: usize,
+) -> u64 {
+    opt_cost_path_impl(tree, requests, alpha, k, true)
+}
+
+fn opt_cost_path_impl(
+    tree: &Tree,
+    requests: &[Request],
+    alpha: u64,
+    k: usize,
+    free_start: bool,
+) -> u64 {
+    let n = tree.len();
+    for v in tree.nodes() {
+        let expect = if v.index() == 0 { None } else { Some(otc_core::tree::NodeId(v.0 - 1)) };
+        assert_eq!(tree.parent(v), expect, "opt_cost_path requires a path rooted at node 0");
+    }
+    // State: suffix start j — the cache is {j, …, n−1}; j = n is empty.
+    // Feasible: n − j ≤ k  ⟺  j ≥ n − k.
+    let j_min = n.saturating_sub(k);
+    let states = n - j_min + 1; // j ∈ [j_min, n]
+    const INF: u64 = u64::MAX / 4;
+    let mut dp = vec![INF; states];
+    if free_start {
+        dp.fill(0);
+    } else {
+        dp[states - 1] = 0; // j = n: empty cache
+    }
+
+    let mut next = vec![INF; states];
+    for &req in requests {
+        // Movement relaxation: j → j ± 1 at α each. On a line, one left
+        // sweep and one right sweep reach the fixpoint.
+        next.copy_from_slice(&dp);
+        for i in (0..states - 1).rev() {
+            let cand = next[i + 1].saturating_add(alpha);
+            if cand < next[i] {
+                next[i] = cand; // fetch node j−1 (extend the suffix upward)
+            }
+        }
+        for i in 1..states {
+            let cand = next[i - 1].saturating_add(alpha);
+            if cand < next[i] {
+                next[i] = cand; // evict the suffix head
+            }
+        }
+        // Service.
+        let v = req.node.index();
+        for (i, slot) in next.iter_mut().enumerate() {
+            if *slot >= INF {
+                continue;
+            }
+            let j = j_min + i;
+            let cached = v >= j;
+            let pays = match req.sign {
+                Sign::Positive => !cached,
+                Sign::Negative => cached,
+            };
+            if pays {
+                *slot += 1;
+            }
+        }
+        std::mem::swap(&mut dp, &mut next);
+    }
+    dp.iter().copied().min().expect("state space non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt_dp::{opt_cost, opt_cost_free_start};
+    use otc_core::tree::NodeId;
+    use otc_util::SplitMix64;
+
+    fn random_reqs(n: usize, len: usize, rng: &mut SplitMix64) -> Vec<Request> {
+        (0..len)
+            .map(|_| {
+                let node = NodeId(rng.index(n) as u32);
+                if rng.chance(0.4) {
+                    Request::neg(node)
+                } else {
+                    Request::pos(node)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_generic_dp_on_small_paths() {
+        let mut rng = SplitMix64::new(0x7A);
+        for n in [1usize, 2, 3, 5, 8, 12] {
+            let tree = Tree::path(n);
+            for k in 0..=n {
+                for alpha in [1u64, 2, 3] {
+                    let reqs = random_reqs(n, 150, &mut rng);
+                    assert_eq!(
+                        opt_cost_path(&tree, &reqs, alpha, k),
+                        opt_cost(&tree, &reqs, alpha, k),
+                        "n={n} k={k} α={alpha}"
+                    );
+                    assert_eq!(
+                        opt_cost_path_free_start(&tree, &reqs, alpha, k),
+                        opt_cost_free_start(&tree, &reqs, alpha, k),
+                        "free start n={n} k={k} α={alpha}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_is_fast() {
+        let n = 2_000;
+        let tree = Tree::path(n);
+        let mut rng = SplitMix64::new(0x7B);
+        let reqs = random_reqs(n, 5_000, &mut rng);
+        // Just exercise it — the generic DP could never enumerate 2^2000
+        // subsets; the specialised one runs in milliseconds.
+        let cost = opt_cost_path(&tree, &reqs, 2, 16);
+        assert!(cost > 0);
+        assert!(cost <= reqs.len() as u64, "never worse than paying every request");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a path")]
+    fn rejects_non_paths() {
+        let tree = Tree::star(3);
+        let _ = opt_cost_path(&tree, &[], 2, 2);
+    }
+}

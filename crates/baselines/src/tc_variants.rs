@@ -1,0 +1,315 @@
+//! Ablation variants of TC (DESIGN.md experiments A1/A2).
+//!
+//! The paper's algorithm makes two design choices whose necessity the
+//! ablation experiments probe:
+//!
+//! * **Maximality** (A1): TC fetches the *maximal* saturated tree cap.
+//!   [`TcVariant`] with [`FetchScan::BottomUp`] fetches the *minimal* one
+//!   instead (first saturated cap scanning from the requested node up).
+//!   Without maximality, Lemma 5.12's bound on the open field breaks: the
+//!   cache absorbs less of the request mass per α spent.
+//! * **Phase restarts** (A2): on a fetch that would overflow the cache TC
+//!   flushes everything and restarts the phase. [`OverflowRule::Ignore`]
+//!   instead cancels the fetch and resets the candidate's counters,
+//!   keeping the cache as-is. This can strand a stale cache forever.
+//!
+//! The variant is implemented from-scratch-per-round (like
+//! `otc_core::tc::TcReference`), which keeps it transparently faithful to
+//! its description; the experiments run it on moderate instances.
+
+use std::sync::Arc;
+
+use otc_core::cache::CacheSet;
+use otc_core::policy::{request_pays, Action, CachePolicy, StepOutcome};
+use otc_core::request::{Request, Sign};
+use otc_core::tree::{NodeId, Tree};
+
+/// Direction of the saturated-cap scan for fetches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchScan {
+    /// Root → node: first saturated cap is maximal (the paper's TC).
+    TopDown,
+    /// Node → root: first saturated cap is minimal (ablation A1).
+    BottomUp,
+}
+
+/// What to do when a fetch would exceed the capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowRule {
+    /// Evict everything and restart the phase (the paper's TC).
+    Flush,
+    /// Cancel the fetch and zero the candidate's counters (ablation A2).
+    Ignore,
+}
+
+/// A configurable TC-like policy for ablations.
+#[derive(Debug, Clone)]
+pub struct TcVariant {
+    tree: Arc<Tree>,
+    alpha: u64,
+    capacity: usize,
+    scan: FetchScan,
+    overflow: OverflowRule,
+    cache: CacheSet,
+    cnt: Vec<u64>,
+    name: &'static str,
+}
+
+impl TcVariant {
+    /// Creates a variant policy.
+    #[must_use]
+    pub fn new(
+        tree: Arc<Tree>,
+        alpha: u64,
+        capacity: usize,
+        scan: FetchScan,
+        overflow: OverflowRule,
+    ) -> Self {
+        assert!(alpha >= 1 && capacity >= 1);
+        let n = tree.len();
+        let name = match (scan, overflow) {
+            (FetchScan::TopDown, OverflowRule::Flush) => "tc-variant-paper",
+            (FetchScan::BottomUp, OverflowRule::Flush) => "tc-minfetch",
+            (FetchScan::TopDown, OverflowRule::Ignore) => "tc-noflush",
+            (FetchScan::BottomUp, OverflowRule::Ignore) => "tc-minfetch-noflush",
+        };
+        Self {
+            tree,
+            alpha,
+            capacity,
+            scan,
+            overflow,
+            cache: CacheSet::empty(n),
+            cnt: vec![0; n],
+            name,
+        }
+    }
+
+    /// `P_t(u)` with its counter sum (recomputed from scratch).
+    fn positive_candidate(&self, u: NodeId) -> (Vec<NodeId>, u64) {
+        let mut set = Vec::new();
+        let mut sum = 0;
+        let slice = self.tree.subtree(u);
+        let mut i = 0;
+        while i < slice.len() {
+            let x = slice[i];
+            if self.cache.contains(x) {
+                i += self.tree.subtree_size(x) as usize;
+            } else {
+                set.push(x);
+                sum += self.cnt[x.index()];
+                i += 1;
+            }
+        }
+        (set, sum)
+    }
+
+    fn hvals_under(&self, u: NodeId) -> Vec<(i64, i64)> {
+        let mut val: Vec<(i64, i64)> = vec![(0, 0); self.tree.len()];
+        for &x in self.tree.subtree(u).iter().rev() {
+            if self.cache.contains(x) {
+                let mut v = (self.cnt[x.index()] as i64 - self.alpha as i64, 1i64);
+                for &c in self.tree.children(x) {
+                    let cv = val[c.index()];
+                    if cv.0 >= 0 && cv.1 > 0 {
+                        v.0 += cv.0;
+                        v.1 += cv.1;
+                    }
+                }
+                val[x.index()] = v;
+            }
+        }
+        val
+    }
+}
+
+impl CachePolicy for TcVariant {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn cache(&self) -> &CacheSet {
+        &self.cache
+    }
+
+    fn reset(&mut self) {
+        self.cache = CacheSet::empty(self.tree.len());
+        self.cnt.fill(0);
+    }
+
+    fn step(&mut self, req: Request) -> StepOutcome {
+        let v = req.node;
+        if !request_pays(&self.cache, req) {
+            return StepOutcome::idle();
+        }
+        self.cnt[v.index()] += 1;
+        match req.sign {
+            Sign::Positive => {
+                let mut path = self.tree.root_path(v);
+                if self.scan == FetchScan::BottomUp {
+                    path.reverse();
+                }
+                for u in path {
+                    let (set, sum) = self.positive_candidate(u);
+                    if sum >= set.len() as u64 * self.alpha {
+                        if self.cache.len() + set.len() > self.capacity {
+                            return match self.overflow {
+                                OverflowRule::Flush => {
+                                    let evicted = self.cache.flush();
+                                    self.cnt.fill(0);
+                                    StepOutcome {
+                                        paid_service: true,
+                                        actions: vec![Action::Flush(evicted)],
+                                    }
+                                }
+                                OverflowRule::Ignore => {
+                                    for &x in &set {
+                                        self.cnt[x.index()] = 0;
+                                    }
+                                    StepOutcome { paid_service: true, actions: vec![] }
+                                }
+                            };
+                        }
+                        self.cache.fetch(&set);
+                        for &x in &set {
+                            self.cnt[x.index()] = 0;
+                        }
+                        return StepOutcome { paid_service: true, actions: vec![Action::Fetch(set)] };
+                    }
+                }
+                StepOutcome { paid_service: true, actions: vec![] }
+            }
+            Sign::Negative => {
+                let u = self
+                    .cache
+                    .cached_tree_root(&self.tree, v)
+                    .expect("paying negative request targets a cached node");
+                let vals = self.hvals_under(u);
+                if vals[u.index()].0 >= 0 {
+                    // Materialise H(u).
+                    let mut set = Vec::new();
+                    let mut stack = vec![u];
+                    while let Some(x) = stack.pop() {
+                        set.push(x);
+                        for &c in self.tree.children(x) {
+                            if self.cache.contains(c) && vals[c.index()].0 >= 0 && vals[c.index()].1 > 0
+                            {
+                                stack.push(c);
+                            }
+                        }
+                    }
+                    self.cache.evict(&set);
+                    for &x in &set {
+                        self.cnt[x.index()] = 0;
+                    }
+                    return StepOutcome { paid_service: true, actions: vec![Action::Evict(set)] };
+                }
+                StepOutcome { paid_service: true, actions: vec![] }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otc_core::tc::{TcConfig, TcReference};
+
+    /// The TopDown+Flush variant must coincide with the real TC.
+    #[test]
+    fn paper_config_matches_reference() {
+        let tree = Arc::new(Tree::kary(2, 4));
+        let mut variant = TcVariant::new(
+            Arc::clone(&tree),
+            3,
+            6,
+            FetchScan::TopDown,
+            OverflowRule::Flush,
+        );
+        let mut reference = TcReference::new(Arc::clone(&tree), TcConfig::new(3, 6));
+        let mut rng = otc_util::SplitMix64::new(17);
+        for i in 0..3000 {
+            let node = NodeId(rng.index(tree.len()) as u32);
+            let req = if rng.chance(0.4) { Request::neg(node) } else { Request::pos(node) };
+            let a = variant.step(req);
+            let b = reference.step(req);
+            assert_eq!(a, b, "divergence at step {i}");
+        }
+    }
+
+    #[test]
+    fn minfetch_diverges_from_maximal_fetch() {
+        // Nested caps CAN saturate simultaneously, so the scan direction is
+        // a real ablation. Star(2), α = 2: park one count on leaf 2, three
+        // on the root, one on leaf 1, then request leaf 1 again. At that
+        // round cnt = {r: 3, l1: 2, l2: 1}: P(l1) = {l1} needs 2 ✓ and
+        // P(r) = {r, l1, l2} needs 6 ✓ — both saturated at once. The
+        // maximal (paper) scan fetches the whole tree; the minimal scan
+        // fetches just {l1}.
+        let tree = Arc::new(Tree::star(2));
+        let script = [
+            Request::pos(NodeId(2)),
+            Request::pos(NodeId(0)),
+            Request::pos(NodeId(0)),
+            Request::pos(NodeId(0)),
+            Request::pos(NodeId(1)),
+            Request::pos(NodeId(1)),
+        ];
+        let mut top =
+            TcVariant::new(Arc::clone(&tree), 2, 3, FetchScan::TopDown, OverflowRule::Flush);
+        let mut bottom =
+            TcVariant::new(Arc::clone(&tree), 2, 3, FetchScan::BottomUp, OverflowRule::Flush);
+        for &req in &script[..5] {
+            assert!(top.step(req).actions.is_empty());
+            assert!(bottom.step(req).actions.is_empty());
+        }
+        let out_top = top.step(script[5]);
+        let out_bottom = bottom.step(script[5]);
+        match &out_top.actions[..] {
+            [Action::Fetch(set)] => assert_eq!(set.len(), 3, "maximal scan fetches everything"),
+            other => panic!("expected full fetch, got {other:?}"),
+        }
+        match &out_bottom.actions[..] {
+            [Action::Fetch(set)] => assert_eq!(set, &vec![NodeId(1)], "minimal scan fetches the leaf"),
+            other => panic!("expected leaf fetch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn noflush_keeps_cache_on_overflow() {
+        let tree = Arc::new(Tree::star(2));
+        let mut p =
+            TcVariant::new(Arc::clone(&tree), 1, 1, FetchScan::TopDown, OverflowRule::Ignore);
+        p.step(Request::pos(NodeId(1)));
+        assert!(p.cache().contains(NodeId(1)));
+        // Leaf 2 saturates; fetch would overflow; Ignore keeps the cache.
+        let out = p.step(Request::pos(NodeId(2)));
+        assert!(out.actions.is_empty());
+        assert!(p.cache().contains(NodeId(1)), "no flush under Ignore");
+        // And the candidate's counters were reset: the next request starts
+        // the count over.
+        let out = p.step(Request::pos(NodeId(2)));
+        assert!(out.actions.is_empty());
+    }
+
+    #[test]
+    fn variants_maintain_subforest() {
+        let tree = Arc::new(Tree::kary(3, 3));
+        let mut rng = otc_util::SplitMix64::new(31);
+        for overflow in [OverflowRule::Flush, OverflowRule::Ignore] {
+            let mut p =
+                TcVariant::new(Arc::clone(&tree), 2, 4, FetchScan::BottomUp, overflow);
+            for _ in 0..2000 {
+                let node = NodeId(rng.index(tree.len()) as u32);
+                let req = if rng.chance(0.35) { Request::neg(node) } else { Request::pos(node) };
+                p.step(req);
+                p.cache().validate(&tree).expect("subforest invariant");
+                assert!(p.cache().len() <= 4);
+            }
+        }
+    }
+}

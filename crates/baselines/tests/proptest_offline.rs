@@ -1,0 +1,106 @@
+//! Property tests for the offline machinery.
+//!
+//! * The static-cache DP equals brute force and returns valid subforests.
+//! * Exact OPT lower-bounds every online policy and the static plan.
+//! * OPT is monotone in capacity; free-start OPT never exceeds empty-start.
+
+use std::sync::Arc;
+
+use otc_baselines::{
+    best_static_cache, opt_cost, opt_cost_free_start, static_cost,
+    static_opt::best_static_cache_bruteforce, DependentSetPolicy,
+};
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_core::tree::{NodeId, Tree};
+use otc_core::{Request, Sign};
+use proptest::prelude::*;
+
+fn tree_from_seeds(seeds: &[u64]) -> Tree {
+    let mut parents: Vec<Option<usize>> = vec![None];
+    for (i, &s) in seeds.iter().enumerate() {
+        parents.push(Some((s % (i as u64 + 1)) as usize));
+    }
+    Tree::from_parents(&parents)
+}
+
+fn reqs_from(tree: &Tree, seeds: &[(u64, bool)]) -> Vec<Request> {
+    seeds
+        .iter()
+        .map(|&(s, pos)| Request {
+            node: NodeId((s % tree.len() as u64) as u32),
+            sign: if pos { Sign::Positive } else { Sign::Negative },
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn static_dp_equals_bruteforce(
+        tree_seeds in prop::collection::vec(any::<u64>(), 0..10),
+        weight_seeds in prop::collection::vec((0u64..40, 0u64..15), 1..11),
+        alpha in 1u64..5,
+        k in 0usize..11,
+    ) {
+        let tree = tree_from_seeds(&tree_seeds);
+        let n = tree.len();
+        let wpos: Vec<u64> = (0..n).map(|i| weight_seeds[i % weight_seeds.len()].0).collect();
+        let wneg: Vec<u64> = (0..n).map(|i| weight_seeds[i % weight_seeds.len()].1).collect();
+        let plan = best_static_cache(&tree, &wpos, &wneg, alpha, k);
+        prop_assert!(plan.set.len() <= k.min(n));
+        // Downward closure.
+        let mut cached = vec![false; n];
+        for &v in &plan.set {
+            cached[v.index()] = true;
+        }
+        for &v in &plan.set {
+            for &c in tree.children(v) {
+                prop_assert!(cached[c.index()], "static plan must be a subforest");
+            }
+        }
+        prop_assert_eq!(plan.cost, static_cost(&tree, &wpos, &wneg, alpha, &plan.set));
+        prop_assert_eq!(plan.cost, best_static_cache_bruteforce(&tree, &wpos, &wneg, alpha, k));
+    }
+
+    #[test]
+    fn opt_is_a_true_lower_bound(
+        tree_seeds in prop::collection::vec(any::<u64>(), 0..9),
+        req_seeds in prop::collection::vec((any::<u64>(), any::<bool>()), 1..250),
+        alpha in 1u64..4,
+        k in 1usize..6,
+    ) {
+        let tree = Arc::new(tree_from_seeds(&tree_seeds));
+        let reqs = reqs_from(&tree, &req_seeds);
+        let opt = opt_cost(&tree, &reqs, alpha, k);
+
+        // Never above any online policy.
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
+        let mut lru = DependentSetPolicy::lru(Arc::clone(&tree), k);
+        for policy in [&mut tc as &mut dyn CachePolicy, &mut lru] {
+            let mut cost = 0u64;
+            for &r in &reqs {
+                let out = policy.step(r);
+                cost += u64::from(out.paid_service) + alpha * out.nodes_touched() as u64;
+            }
+            prop_assert!(opt <= cost, "{}: OPT {} > cost {}", policy.name(), opt, cost);
+        }
+
+        // Never above the optimal *static* solution for the same workload.
+        let mut wpos = vec![0u64; tree.len()];
+        let mut wneg = vec![0u64; tree.len()];
+        for r in &reqs {
+            match r.sign {
+                Sign::Positive => wpos[r.node.index()] += 1,
+                Sign::Negative => wneg[r.node.index()] += 1,
+            }
+        }
+        let plan = best_static_cache(&tree, &wpos, &wneg, alpha, k);
+        prop_assert!(opt <= plan.cost, "OPT {} > static plan {}", opt, plan.cost);
+
+        // Monotonicity and the free-start relaxation.
+        prop_assert!(opt_cost(&tree, &reqs, alpha, k + 1) <= opt);
+        prop_assert!(opt_cost_free_start(&tree, &reqs, alpha, k) <= opt);
+    }
+}

@@ -1,0 +1,64 @@
+//! End-to-end throughput: the FIB application (E7's engine) and the
+//! verified simulator's overhead.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use otc_baselines::DependentSetPolicy;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_sdn::{generate_events, run_fib, FibWorkloadConfig};
+use otc_sim::{run_policy, SimConfig};
+use otc_trie::{hierarchical_table, HierarchicalConfig, RuleTree};
+use otc_util::SplitMix64;
+use otc_workloads::uniform_mixed;
+
+fn bench_fib(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(0xEE);
+    let rules = Arc::new(RuleTree::build(&hierarchical_table(
+        HierarchicalConfig { n: 4096, subdivide_p: 0.7, max_len: 28 },
+        &mut rng,
+    )));
+    let tree = Arc::new(rules.tree().clone());
+    let events = generate_events(
+        &rules,
+        FibWorkloadConfig { events: 50_000, theta: 1.0, update_p: 0.02, addr_attempts: 16 },
+        &mut rng,
+    );
+    let mut group = c.benchmark_group("fib_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("tc", |b| {
+        b.iter(|| {
+            let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, 256));
+            run_fib(&rules, &mut tc, &events, 4).total_cost()
+        });
+    });
+    group.bench_function("subtree_lru", |b| {
+        b.iter(|| {
+            let mut lru = DependentSetPolicy::lru(Arc::clone(&tree), 256);
+            run_fib(&rules, &mut lru, &events, 4).total_cost()
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulator_overhead(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(0xEF);
+    let tree = Arc::new(otc_workloads::random_attachment(4096, &mut rng));
+    let reqs = uniform_mixed(&tree, 40_000, 0.4, &mut rng);
+    let mut group = c.benchmark_group("simulator_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+    for (label, cfg) in [("validated", SimConfig::new(4)), ("bare", SimConfig::bare(4))] {
+        group.bench_function(BenchmarkId::new("run_policy", label), |b| {
+            b.iter(|| {
+                let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, 512));
+                run_policy(&tree, &mut tc, &reqs, cfg).expect("valid").total()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fib, bench_simulator_overhead);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Offline algorithms: the static tree-sparsity knapsack (E10) and the
+//! exact subforest-state OPT DP (E1's denominator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otc_baselines::{best_static_cache, opt_cost};
+use otc_core::tree::Tree;
+use otc_util::SplitMix64;
+use otc_workloads::{random_attachment, uniform_mixed};
+
+fn bench_static_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_knapsack");
+    group.sample_size(10);
+    let mut rng = SplitMix64::new(0xD0);
+    for (n, k) in [(10_000usize, 128usize), (40_000, 128), (40_000, 1024)] {
+        let tree = random_attachment(n, &mut rng);
+        let wpos: Vec<u64> = (0..n).map(|_| rng.next_below(50)).collect();
+        let wneg: Vec<u64> = (0..n).map(|_| rng.next_below(12)).collect();
+        group.bench_function(BenchmarkId::new("best_static", format!("n{n}_k{k}")), |b| {
+            b.iter(|| best_static_cache(&tree, &wpos, &wneg, 4, k).cost);
+        });
+    }
+    group.finish();
+}
+
+fn bench_opt_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_opt_dp");
+    group.sample_size(10);
+    let mut rng = SplitMix64::new(0xD1);
+    for (n, k, rounds) in [(8usize, 3usize, 300usize), (12, 4, 300), (14, 5, 200)] {
+        let tree = random_attachment(n, &mut rng);
+        let reqs = uniform_mixed(&tree, rounds, 0.35, &mut rng);
+        group.bench_function(
+            BenchmarkId::new("opt_cost", format!("n{n}_k{k}_r{rounds}")),
+            |b| b.iter(|| opt_cost(&tree, &reqs, 2, k)),
+        );
+    }
+    let _ = Tree::path(2);
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_dp, bench_opt_dp);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Substrate benchmarks: tree construction, prefix-trie build, LMP lookup
+//! and workload sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use otc_trie::{hierarchical_table, HierarchicalConfig, RuleTree};
+use otc_util::{SplitMix64, Zipf};
+use otc_workloads::random_attachment;
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("random_attachment", n), |b| {
+            b.iter(|| {
+                let mut rng = SplitMix64::new(7);
+                random_attachment(n, &mut rng).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rule_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_tree");
+    group.sample_size(15);
+    let mut rng = SplitMix64::new(9);
+    for n in [4_096usize, 32_768] {
+        let prefixes = hierarchical_table(
+            HierarchicalConfig { n, subdivide_p: 0.7, max_len: 28 },
+            &mut rng,
+        );
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("build", n), |b| {
+            b.iter(|| RuleTree::build(&prefixes).len());
+        });
+        let rt = RuleTree::build(&prefixes);
+        let addrs: Vec<u32> = (0..10_000).map(|_| rng.next_u64() as u32).collect();
+        group.throughput(Throughput::Elements(addrs.len() as u64));
+        group.bench_function(BenchmarkId::new("lmp_lookup", n), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &a in &addrs {
+                    acc = acc.wrapping_add(rt.lmp(a).0);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_sampling");
+    group.sample_size(20);
+    for n in [1_000usize, 100_000] {
+        let zipf = Zipf::new(n, 1.0);
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_function(BenchmarkId::new("sample", n), |b| {
+            b.iter(|| {
+                let mut rng = SplitMix64::new(5);
+                let mut acc = 0usize;
+                for _ in 0..10_000 {
+                    acc = acc.wrapping_add(zipf.sample(&mut rng));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_build, bench_rule_tree, bench_zipf);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Parallel sweep runner scaling: speedup of `parallel_map_threads` on an
+//! embarrassingly parallel competitive-ratio workload.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_core::tree::Tree;
+use otc_util::{parallel_map_threads, SplitMix64};
+use otc_workloads::uniform_mixed;
+
+fn bench_sweep(c: &mut Criterion) {
+    let tree = Arc::new(Tree::kary(2, 7));
+    let mut group = c.benchmark_group("sweep_scaling");
+    group.sample_size(10);
+    let cells: Vec<u64> = (0..64).collect();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let out = parallel_map_threads(cells.clone(), threads, |&seed| {
+                    let mut rng = SplitMix64::new(seed);
+                    let reqs = uniform_mixed(&tree, 20_000, 0.4, &mut rng);
+                    let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, 24));
+                    let mut acc = 0u64;
+                    for &r in &reqs {
+                        acc += u64::from(tc.step(r).paid_service);
+                    }
+                    acc
+                });
+                out.iter().sum::<u64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

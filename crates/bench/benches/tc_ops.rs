@@ -1,0 +1,94 @@
+//! Per-decision cost of TC (Theorem 6.1), with statistical rigour.
+//!
+//! Series mirror experiment E6: request throughput of the fast
+//! implementation across height/degree-extremal shapes and sizes, plus the
+//! fast-vs-reference comparison that shows the O(n)-per-round oracle
+//! falling behind.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast, TcReference};
+use otc_core::tree::Tree;
+use otc_util::SplitMix64;
+use otc_workloads::{random_attachment, uniform_mixed};
+
+fn bench_shapes(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(0xBE);
+    let mut group = c.benchmark_group("tc_fast_shapes");
+    group.sample_size(20);
+    let shapes: Vec<(&str, Tree)> = vec![
+        ("path_4k", Tree::path(4096)),
+        ("star_4k", Tree::star(4096)),
+        ("kary2_12", Tree::kary(2, 12)),
+        ("random_16k", random_attachment(16_384, &mut rng)),
+    ];
+    for (name, tree) in shapes {
+        let tree = Arc::new(tree);
+        let reqs = uniform_mixed(&tree, 50_000, 0.4, &mut rng);
+        group.throughput(Throughput::Elements(reqs.len() as u64));
+        group.bench_function(BenchmarkId::new("requests", name), |b| {
+            b.iter(|| {
+                let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, tree.len() / 4));
+                let mut acc = 0u64;
+                for &r in &reqs {
+                    acc += tc.step(r).nodes_touched() as u64;
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(0xBF);
+    let mut group = c.benchmark_group("tc_fast_scaling");
+    group.sample_size(15);
+    for n in [1_000usize, 10_000, 100_000] {
+        let tree = Arc::new(random_attachment(n, &mut rng));
+        let reqs = uniform_mixed(&tree, 30_000, 0.4, &mut rng);
+        group.throughput(Throughput::Elements(reqs.len() as u64));
+        group.bench_function(BenchmarkId::new("random_tree", n), |b| {
+            b.iter(|| {
+                let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, n / 4));
+                let mut acc = 0u64;
+                for &r in &reqs {
+                    acc += u64::from(tc.step(r).paid_service);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_vs_reference(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(0xC0);
+    let mut group = c.benchmark_group("tc_fast_vs_reference");
+    group.sample_size(10);
+    let tree = Arc::new(random_attachment(1_500, &mut rng));
+    let reqs = uniform_mixed(&tree, 8_000, 0.4, &mut rng);
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+    group.bench_function("fast", |b| {
+        b.iter(|| {
+            let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, 400));
+            for &r in &reqs {
+                let _ = tc.step(r);
+            }
+        });
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut tc = TcReference::new(Arc::clone(&tree), TcConfig::new(4, 400));
+            for &r in &reqs {
+                let _ = tc.step(r);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shapes, bench_scaling, bench_fast_vs_reference);
+criterion_main!(benches);

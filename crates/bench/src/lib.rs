@@ -1,0 +1,2 @@
+//! Bench crate: all targets live in benches/.
+#![forbid(unsafe_code)]

@@ -1,0 +1,150 @@
+//! Incremental tree construction.
+//!
+//! [`crate::tree::Tree`] is immutable; [`TreeBuilder`] is the ergonomic way
+//! to grow one node by node when the shape is computed on the fly (parsers,
+//! generators, converters from other representations).
+
+use crate::tree::{NodeId, Tree};
+
+/// Builds a [`Tree`] incrementally: create the root, attach children,
+/// then [`TreeBuilder::build`].
+///
+/// ```
+/// use otc_core::builder::TreeBuilder;
+///
+/// let mut b = TreeBuilder::new();       // root is node 0
+/// let a = b.add_child(b.root());
+/// let _b2 = b.add_child(b.root());
+/// let c = b.add_child(a);
+/// let tree = b.build();
+/// assert_eq!(tree.len(), 4);
+/// assert_eq!(tree.parent(c), Some(a));
+/// assert_eq!(tree.height(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeBuilder {
+    parents: Vec<Option<usize>>,
+}
+
+impl TreeBuilder {
+    /// Starts a tree with a single root node (id 0).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { parents: vec![None] }
+    }
+
+    /// The root's id.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Never true — the root always exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Adds a child under `parent`, returning the new node's id.
+    ///
+    /// # Panics
+    /// Panics if `parent` is not a node added earlier.
+    pub fn add_child(&mut self, parent: NodeId) -> NodeId {
+        assert!(
+            parent.index() < self.parents.len(),
+            "parent {parent:?} does not exist yet"
+        );
+        let id = NodeId(self.parents.len() as u32);
+        self.parents.push(Some(parent.index()));
+        id
+    }
+
+    /// Adds `count` children under `parent`, returning their ids in order.
+    pub fn add_children(&mut self, parent: NodeId, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_child(parent)).collect()
+    }
+
+    /// Adds a downward chain of `len` nodes starting under `parent`,
+    /// returning the deepest node.
+    pub fn add_chain(&mut self, parent: NodeId, len: usize) -> NodeId {
+        let mut cur = parent;
+        for _ in 0..len {
+            cur = self.add_child(cur);
+        }
+        cur
+    }
+
+    /// Finalises the tree.
+    #[must_use]
+    pub fn build(self) -> Tree {
+        Tree::from_parents(&self.parents)
+    }
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_root() {
+        let tree = TreeBuilder::new().build();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn star_via_builder() {
+        let mut b = TreeBuilder::new();
+        let leaves = b.add_children(b.root(), 5);
+        let tree = b.build();
+        assert_eq!(tree.len(), 6);
+        assert_eq!(tree.max_degree(), 5);
+        for leaf in leaves {
+            assert_eq!(tree.parent(leaf), Some(NodeId(0)));
+        }
+    }
+
+    #[test]
+    fn chain_via_builder() {
+        let mut b = TreeBuilder::new();
+        let deep = b.add_chain(b.root(), 7);
+        let tree = b.build();
+        assert_eq!(tree.height(), 8);
+        assert_eq!(tree.depth(deep), 7);
+        assert!(tree.is_leaf(deep));
+    }
+
+    #[test]
+    fn mixed_shape_matches_from_parents() {
+        let mut b = TreeBuilder::new();
+        let a = b.add_child(b.root());
+        let _ = b.add_child(a);
+        let _ = b.add_child(a);
+        let _ = b.add_child(b.root());
+        let built = b.build();
+        let direct = Tree::from_parents(&[None, Some(0), Some(1), Some(1), Some(0)]);
+        for v in built.nodes() {
+            assert_eq!(built.parent(v), direct.parent(v));
+            assert_eq!(built.subtree_size(v), direct.subtree_size(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn unknown_parent_rejected() {
+        let mut b = TreeBuilder::new();
+        b.add_child(NodeId(5));
+    }
+}

@@ -1,0 +1,293 @@
+//! Cache state: a subforest of the tree.
+//!
+//! The defining constraint of the problem (paper, Section 1): if a node `v`
+//! is cached then the whole subtree `T(v)` is cached. Equivalently the
+//! cached set is *downward-closed* (closed under taking children), i.e. a
+//! union of disjoint full subtrees of `T`.
+
+use crate::tree::{NodeId, Tree};
+
+/// The set of cached nodes, maintained as a flat boolean array plus size.
+///
+/// ```
+/// use otc_core::cache::CacheSet;
+/// use otc_core::tree::{NodeId, Tree};
+///
+/// let tree = Tree::path(3); // 0 → 1 → 2
+/// let mut cache = CacheSet::empty(tree.len());
+/// cache.fetch(&[NodeId(2)]);
+/// assert!(cache.validate(&tree).is_ok());
+/// // Caching the middle node without its child breaks the invariant.
+/// cache.insert(NodeId(0));
+/// assert!(cache.validate(&tree).is_err());
+/// ```
+///
+/// `CacheSet` itself does not enforce the subforest property on every
+/// mutation (algorithms apply whole changesets whose validity is checked by
+/// [`crate::changeset`] / the simulator); [`CacheSet::validate`] performs the
+/// full invariant check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSet {
+    cached: Vec<bool>,
+    len: usize,
+}
+
+impl CacheSet {
+    /// An empty cache for a tree with `n` nodes.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Self { cached: vec![false; n], len: 0 }
+    }
+
+    /// Number of cached nodes.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is cached.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if `v` is cached.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.cached[v.index()]
+    }
+
+    /// Marks a single node cached. Prefer [`CacheSet::fetch`] for sets.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) {
+        if !self.cached[v.index()] {
+            self.cached[v.index()] = true;
+            self.len += 1;
+        }
+    }
+
+    /// Marks a single node non-cached.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) {
+        if self.cached[v.index()] {
+            self.cached[v.index()] = false;
+            self.len -= 1;
+        }
+    }
+
+    /// Fetches every node in `set` (must currently be non-cached).
+    ///
+    /// # Panics
+    /// Panics in debug builds if a node was already cached.
+    pub fn fetch(&mut self, set: &[NodeId]) {
+        for &v in set {
+            debug_assert!(!self.cached[v.index()], "fetching already-cached node {v:?}");
+            self.cached[v.index()] = true;
+        }
+        self.len += set.len();
+    }
+
+    /// Evicts every node in `set` (must currently be cached).
+    ///
+    /// # Panics
+    /// Panics in debug builds if a node was not cached.
+    pub fn evict(&mut self, set: &[NodeId]) {
+        for &v in set {
+            debug_assert!(self.cached[v.index()], "evicting non-cached node {v:?}");
+            self.cached[v.index()] = false;
+        }
+        self.len -= set.len();
+    }
+
+    /// Evicts everything and returns the evicted nodes (in index order).
+    pub fn flush(&mut self) -> Vec<NodeId> {
+        let out: Vec<NodeId> = self.iter().collect();
+        for flag in &mut self.cached {
+            *flag = false;
+        }
+        self.len = 0;
+        out
+    }
+
+    /// Iterator over cached nodes in index order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.cached
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| if c { Some(NodeId(i as u32)) } else { None })
+    }
+
+    /// Full subforest invariant check: every cached node's children are
+    /// cached, and the stored size matches.
+    ///
+    /// Returns `Err` with a human-readable reason on violation. Used by the
+    /// simulator after every step and by property tests.
+    pub fn validate(&self, tree: &Tree) -> Result<(), String> {
+        if self.cached.len() != tree.len() {
+            return Err(format!(
+                "cache tracks {} nodes but the tree has {}",
+                self.cached.len(),
+                tree.len()
+            ));
+        }
+        let real_len = self.cached.iter().filter(|&&c| c).count();
+        if real_len != self.len {
+            return Err(format!("stored len {} != actual {}", self.len, real_len));
+        }
+        for v in tree.nodes() {
+            if self.contains(v) {
+                for &c in tree.children(v) {
+                    if !self.contains(c) {
+                        return Err(format!(
+                            "subforest violation: {v:?} cached but child {c:?} is not"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The root of the cached tree containing `v`: the topmost cached
+    /// ancestor of `v`. Returns `None` if `v` itself is not cached.
+    ///
+    /// O(depth of `v`).
+    #[must_use]
+    pub fn cached_tree_root(&self, tree: &Tree, v: NodeId) -> Option<NodeId> {
+        if !self.contains(v) {
+            return None;
+        }
+        let mut top = v;
+        while let Some(p) = tree.parent(top) {
+            if self.contains(p) {
+                top = p;
+            } else {
+                break;
+            }
+        }
+        Some(top)
+    }
+
+    /// Roots of all cached trees (cached nodes whose parent is absent or
+    /// non-cached), in index order.
+    #[must_use]
+    pub fn cached_roots(&self, tree: &Tree) -> Vec<NodeId> {
+        self.iter()
+            .filter(|&v| tree.parent(v).is_none_or(|p| !self.contains(p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wide_tree() -> Tree {
+        //      0
+        //    / | \
+        //   1  4  5
+        //  / \     \
+        // 2   3     6
+        Tree::from_parents(&[None, Some(0), Some(1), Some(1), Some(0), Some(0), Some(5)])
+    }
+
+    #[test]
+    fn empty_cache_is_valid() {
+        let t = wide_tree();
+        let c = CacheSet::empty(t.len());
+        assert!(c.validate(&t).is_ok());
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn full_cache_is_valid() {
+        let t = wide_tree();
+        let mut c = CacheSet::empty(t.len());
+        let all: Vec<NodeId> = t.nodes().collect();
+        c.fetch(&all);
+        assert!(c.validate(&t).is_ok());
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn leaf_only_cache_is_valid() {
+        let t = wide_tree();
+        let mut c = CacheSet::empty(t.len());
+        c.fetch(&[NodeId(2), NodeId(6)]);
+        assert!(c.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn internal_without_child_is_invalid() {
+        let t = wide_tree();
+        let mut c = CacheSet::empty(t.len());
+        c.insert(NodeId(1)); // children 2, 3 missing
+        let err = c.validate(&t).expect_err("must be invalid");
+        assert!(err.contains("subforest violation"));
+    }
+
+    #[test]
+    fn subtree_cache_is_valid() {
+        let t = wide_tree();
+        let mut c = CacheSet::empty(t.len());
+        c.fetch(&[NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(c.validate(&t).is_ok());
+        assert_eq!(c.cached_roots(&t), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn cached_tree_root_walks_up() {
+        let t = wide_tree();
+        let mut c = CacheSet::empty(t.len());
+        c.fetch(&[NodeId(1), NodeId(2), NodeId(3), NodeId(5), NodeId(6)]);
+        assert_eq!(c.cached_tree_root(&t, NodeId(3)), Some(NodeId(1)));
+        assert_eq!(c.cached_tree_root(&t, NodeId(6)), Some(NodeId(5)));
+        assert_eq!(c.cached_tree_root(&t, NodeId(4)), None);
+        assert_eq!(c.cached_roots(&t), vec![NodeId(1), NodeId(5)]);
+    }
+
+    #[test]
+    fn whole_tree_single_root() {
+        let t = wide_tree();
+        let mut c = CacheSet::empty(t.len());
+        let all: Vec<NodeId> = t.nodes().collect();
+        c.fetch(&all);
+        assert_eq!(c.cached_roots(&t), vec![NodeId(0)]);
+        assert_eq!(c.cached_tree_root(&t, NodeId(6)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn flush_empties_and_reports() {
+        let t = wide_tree();
+        let mut c = CacheSet::empty(t.len());
+        c.fetch(&[NodeId(2), NodeId(3)]);
+        let evicted = c.flush();
+        assert_eq!(evicted, vec![NodeId(2), NodeId(3)]);
+        assert!(c.is_empty());
+        assert!(c.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn insert_remove_idempotent() {
+        let t = wide_tree();
+        let mut c = CacheSet::empty(t.len());
+        c.insert(NodeId(2));
+        c.insert(NodeId(2));
+        assert_eq!(c.len(), 1);
+        c.remove(NodeId(2));
+        c.remove(NodeId(2));
+        assert_eq!(c.len(), 0);
+        assert!(c.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let t = wide_tree();
+        let c = CacheSet::empty(t.len() - 1);
+        assert!(c.validate(&t).is_err());
+    }
+}

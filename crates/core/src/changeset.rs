@@ -1,0 +1,277 @@
+//! Changeset validity (paper, Section 3).
+//!
+//! A non-empty set `X` is a *valid positive changeset* for cache `C` if
+//! `X ∩ C = ∅` and `C ∪ X` is a subforest; a *valid negative changeset* if
+//! `X ⊆ C` and `C \ X` is a subforest. In downward-closed-set language:
+//!
+//! * positive: every child of an `X`-node is in `C ∪ X`;
+//! * negative: no node outside `X` keeps a child inside `X`, i.e. every
+//!   `X`-node with a cached parent has that parent in `X` too (`X` is a
+//!   union of tree caps of cached trees).
+
+use crate::cache::CacheSet;
+use crate::tree::{NodeId, Tree};
+
+/// The sign of a changeset (fetch vs evict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChangeKind {
+    /// Nodes are fetched into the cache.
+    Fetch,
+    /// Nodes are evicted from the cache.
+    Evict,
+}
+
+/// Checks whether `set` is a valid positive changeset for `cache`.
+///
+/// The slice may be in any order; duplicates make the set invalid.
+#[must_use]
+pub fn is_valid_positive(tree: &Tree, cache: &CacheSet, set: &[NodeId]) -> bool {
+    if set.is_empty() || has_duplicates(set) {
+        return false;
+    }
+    let mut in_set = vec![false; tree.len()];
+    for &v in set {
+        if cache.contains(v) {
+            return false; // must be disjoint from the cache
+        }
+        in_set[v.index()] = true;
+    }
+    // C ∪ X downward-closed: children of X-nodes lie in C ∪ X. (Children of
+    // C-nodes are already in C because C itself is a subforest.)
+    for &v in set {
+        for &c in tree.children(v) {
+            if !cache.contains(c) && !in_set[c.index()] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks whether `set` is a valid negative changeset for `cache`.
+#[must_use]
+pub fn is_valid_negative(tree: &Tree, cache: &CacheSet, set: &[NodeId]) -> bool {
+    if set.is_empty() || has_duplicates(set) {
+        return false;
+    }
+    let mut in_set = vec![false; tree.len()];
+    for &v in set {
+        if !cache.contains(v) {
+            return false; // must be a subset of the cache
+        }
+        in_set[v.index()] = true;
+    }
+    // C \ X downward-closed: an X-node whose parent stays cached would leave
+    // that parent with a missing child.
+    for &v in set {
+        if let Some(p) = tree.parent(v) {
+            if cache.contains(p) && !in_set[p.index()] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks whether `set` is a *tree cap* rooted at `root`: it contains
+/// `root`, lies inside `T(root)`, and is closed towards `root` (if it
+/// contains `u ≠ root` it contains `u`'s parent).
+///
+/// Lemma 5.1(4) guarantees every changeset TC applies has this shape; the
+/// simulator asserts it.
+#[must_use]
+pub fn is_tree_cap(tree: &Tree, root: NodeId, set: &[NodeId]) -> bool {
+    if set.is_empty() || has_duplicates(set) {
+        return false;
+    }
+    let mut in_set = vec![false; tree.len()];
+    let mut saw_root = false;
+    for &v in set {
+        if !tree.is_ancestor_or_self(root, v) {
+            return false;
+        }
+        in_set[v.index()] = true;
+        saw_root |= v == root;
+    }
+    if !saw_root {
+        return false;
+    }
+    for &v in set {
+        if v != root {
+            let p = tree.parent(v).expect("non-root inside T(root) has a parent");
+            if !in_set[p.index()] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn has_duplicates(set: &[NodeId]) -> bool {
+    let mut sorted: Vec<NodeId> = set.to_vec();
+    sorted.sort_unstable();
+    sorted.windows(2).any(|w| w[0] == w[1])
+}
+
+/// Enumerates **all** valid positive changesets for small trees, by
+/// filtering subsets. Exponential — test/verification helper only.
+#[must_use]
+pub fn enumerate_valid_positive(tree: &Tree, cache: &CacheSet) -> Vec<Vec<NodeId>> {
+    enumerate_filtered(tree, |set| is_valid_positive(tree, cache, set))
+}
+
+/// Enumerates **all** valid negative changesets for small trees.
+/// Exponential — test/verification helper only.
+#[must_use]
+pub fn enumerate_valid_negative(tree: &Tree, cache: &CacheSet) -> Vec<Vec<NodeId>> {
+    enumerate_filtered(tree, |set| is_valid_negative(tree, cache, set))
+}
+
+fn enumerate_filtered(tree: &Tree, keep: impl Fn(&[NodeId]) -> bool) -> Vec<Vec<NodeId>> {
+    let n = tree.len();
+    assert!(n <= 20, "subset enumeration is for tiny trees only");
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let set: Vec<NodeId> =
+            (0..n as u32).filter(|i| mask & (1 << i) != 0).map(NodeId).collect();
+        if keep(&set) {
+            out.push(set);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Tree {
+        //      0
+        //     / \
+        //    1   4
+        //   / \
+        //  2   3
+        Tree::from_parents(&[None, Some(0), Some(1), Some(1), Some(0)])
+    }
+
+    #[test]
+    fn positive_must_close_downward() {
+        let t = tree();
+        let c = CacheSet::empty(t.len());
+        // Fetching node 1 alone leaves children 2, 3 outside the cache.
+        assert!(!is_valid_positive(&t, &c, &[NodeId(1)]));
+        assert!(is_valid_positive(&t, &c, &[NodeId(1), NodeId(2), NodeId(3)]));
+        assert!(is_valid_positive(&t, &c, &[NodeId(2)]));
+        assert!(is_valid_positive(&t, &c, &[NodeId(2), NodeId(4)]));
+    }
+
+    #[test]
+    fn positive_can_lean_on_cache() {
+        let t = tree();
+        let mut c = CacheSet::empty(t.len());
+        c.fetch(&[NodeId(2), NodeId(3)]);
+        // Now fetching node 1 alone is fine: children already cached.
+        assert!(is_valid_positive(&t, &c, &[NodeId(1)]));
+        // But not if it overlaps the cache.
+        assert!(!is_valid_positive(&t, &c, &[NodeId(1), NodeId(2)]));
+    }
+
+    #[test]
+    fn negative_must_be_caps() {
+        let t = tree();
+        let mut c = CacheSet::empty(t.len());
+        c.fetch(&[NodeId(1), NodeId(2), NodeId(3)]);
+        // Evicting the cap {1} keeps {2, 3} as valid cached subtrees.
+        assert!(is_valid_negative(&t, &c, &[NodeId(1)]));
+        // Evicting a leaf from under a cached parent is invalid.
+        assert!(!is_valid_negative(&t, &c, &[NodeId(2)]));
+        assert!(is_valid_negative(&t, &c, &[NodeId(1), NodeId(2)]));
+        assert!(is_valid_negative(&t, &c, &[NodeId(1), NodeId(2), NodeId(3)]));
+        // Non-cached nodes can't be evicted.
+        assert!(!is_valid_negative(&t, &c, &[NodeId(4)]));
+    }
+
+    #[test]
+    fn empty_and_duplicates_invalid() {
+        let t = tree();
+        let c = CacheSet::empty(t.len());
+        assert!(!is_valid_positive(&t, &c, &[]));
+        assert!(!is_valid_positive(&t, &c, &[NodeId(2), NodeId(2)]));
+        let mut full = CacheSet::empty(t.len());
+        let all: Vec<NodeId> = t.nodes().collect();
+        full.fetch(&all);
+        assert!(!is_valid_negative(&t, &full, &[]));
+        assert!(!is_valid_negative(&t, &full, &[NodeId(0), NodeId(0)]));
+    }
+
+    #[test]
+    fn union_of_valid_positive_is_valid() {
+        // Observation from Section 3: unions of valid positive changesets
+        // are valid (when disjoint).
+        let t = tree();
+        let c = CacheSet::empty(t.len());
+        let a = vec![NodeId(2)];
+        let b = vec![NodeId(4)];
+        assert!(is_valid_positive(&t, &c, &a));
+        assert!(is_valid_positive(&t, &c, &b));
+        let mut u = a;
+        u.extend(b);
+        assert!(is_valid_positive(&t, &c, &u));
+    }
+
+    #[test]
+    fn tree_cap_checks() {
+        let t = tree();
+        assert!(is_tree_cap(&t, NodeId(1), &[NodeId(1)]));
+        assert!(is_tree_cap(&t, NodeId(1), &[NodeId(1), NodeId(2)]));
+        assert!(is_tree_cap(&t, NodeId(0), &[NodeId(0), NodeId(1), NodeId(4)]));
+        // Missing the root.
+        assert!(!is_tree_cap(&t, NodeId(1), &[NodeId(2)]));
+        // Hole in the middle: 0 -> 2 without 1.
+        assert!(!is_tree_cap(&t, NodeId(0), &[NodeId(0), NodeId(2)]));
+        // Outside the subtree.
+        assert!(!is_tree_cap(&t, NodeId(1), &[NodeId(1), NodeId(4)]));
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        let t = tree();
+        let c = CacheSet::empty(t.len());
+        let pos = enumerate_valid_positive(&t, &c);
+        // Valid positive changesets from an empty cache are exactly the
+        // non-empty downward-closed sets. For this tree:
+        // downward-closed sets correspond to picking, for each node,
+        // whether its full subtree is in, unions of full subtrees:
+        // antichains of roots: {}, {2}, {3}, {4}, {2,3}, {2,4}, {3,4},
+        // {2,3,4}, {1(=1,2,3)}, {1,4}, {0(=all)} -> 10 non-empty.
+        assert_eq!(pos.len(), 10);
+        let mut full = CacheSet::empty(t.len());
+        let all: Vec<NodeId> = t.nodes().collect();
+        full.fetch(&all);
+        let neg = enumerate_valid_negative(&t, &full);
+        // Valid negative changesets from the full cache are the non-empty
+        // upward-closed sets (complements of downward-closed sets): also 10.
+        assert_eq!(neg.len(), 10);
+    }
+
+    #[test]
+    fn complement_duality() {
+        // X valid negative for full cache  <=>  complement is downward-closed.
+        let t = tree();
+        let mut full = CacheSet::empty(t.len());
+        let all: Vec<NodeId> = t.nodes().collect();
+        full.fetch(&all);
+        let empty = CacheSet::empty(t.len());
+        for neg in enumerate_valid_negative(&t, &full) {
+            let comp: Vec<NodeId> =
+                t.nodes().filter(|v| !neg.contains(v)).collect();
+            if comp.is_empty() {
+                continue;
+            }
+            assert!(
+                is_valid_positive(&t, &empty, &comp),
+                "complement of negative changeset {neg:?} must be a subforest"
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # otc-core — Online Tree Caching
+//!
+//! A faithful implementation of the online tree caching problem and the
+//! **TC** algorithm from:
+//!
+//! > M. Bienkowski, J. Marcinkowski, M. Pacut, S. Schmid, A. Spyra.
+//! > *Online Tree Caching.* SPAA 2017.
+//!
+//! The universe is a rooted tree; the cache must always be a **subforest**
+//! (caching a node forces its whole subtree into the cache). Requests are
+//! positive (pay 1 when the node is missing from the cache) or negative
+//! (pay 1 when the node is present); reorganising the cache costs `α` per
+//! node fetched or evicted. TC is `O(h(T) · kONL/(kONL − kOPT + 1))`-
+//! competitive (Theorem 5.15), which is optimal up to the `O(h(T))` factor
+//! (Theorem C.1).
+//!
+//! ## Layout
+//!
+//! * [`tree`] — arena rooted trees with O(1) ancestor queries;
+//!   [`builder::TreeBuilder`] grows them incrementally.
+//! * [`cache`] — subforest cache state.
+//! * [`changeset`] — validity of fetch/evict sets, tree caps.
+//! * [`request`] — requests, signs, the `α` cost model.
+//! * [`policy`] — the [`policy::CachePolicy`] trait every algorithm
+//!   (TC and all baselines in `otc-baselines`) implements.
+//! * [`tc`] — the TC algorithm: [`tc::TcFast`] (Theorem 6.1 data
+//!   structures) and [`tc::TcReference`] (from-scratch oracle).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use otc_core::prelude::*;
+//!
+//! // A root with three leaves; α = 2, cache capacity 2.
+//! let tree = Arc::new(Tree::star(3));
+//! let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(2, 2));
+//!
+//! // Two paying requests to a leaf saturate it and TC fetches it.
+//! let leaf = tree.leaves()[0];
+//! tc.step(Request::pos(leaf));
+//! let out = tc.step(Request::pos(leaf));
+//! assert!(matches!(out.actions[..], [Action::Fetch(_)]));
+//! assert!(tc.cache().contains(leaf));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod cache;
+pub mod changeset;
+pub mod policy;
+pub mod request;
+pub mod tc;
+pub mod tree;
+
+/// One-stop imports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::builder::TreeBuilder;
+    pub use crate::cache::CacheSet;
+    pub use crate::changeset::{is_valid_negative, is_valid_positive, ChangeKind};
+    pub use crate::policy::{Action, CachePolicy, StepOutcome};
+    pub use crate::request::{Cost, CostModel, Request, Sign};
+    pub use crate::tc::{TcConfig, TcFast, TcReference, TcStats};
+    pub use crate::tree::{NodeId, Tree};
+}
+
+pub use prelude::*;

@@ -1,0 +1,194 @@
+//! The online-algorithm interface shared by TC and all baselines.
+//!
+//! The simulator (`otc-sim`) drives any [`CachePolicy`] through a request
+//! sequence: each round it presents one request, the policy reports whether
+//! it paid the service cost and which cache actions it took at the end of
+//! the round. The simulator mirrors the cache, verifies validity of every
+//! action against the problem's rules, and does all cost accounting — so a
+//! buggy policy cannot misreport its own cost.
+
+use crate::cache::CacheSet;
+use crate::request::Request;
+use crate::tree::{NodeId, Tree};
+
+/// One cache modification taken at the end of a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Fetch these nodes (must form a valid positive changeset).
+    Fetch(Vec<NodeId>),
+    /// Evict these nodes (must form a valid negative changeset).
+    Evict(Vec<NodeId>),
+    /// Evict the entire cache (TC's phase restart). The payload is the set
+    /// evicted, possibly empty.
+    Flush(Vec<NodeId>),
+}
+
+impl Action {
+    /// Number of nodes touched (each costs α).
+    #[must_use]
+    pub fn nodes_touched(&self) -> usize {
+        match self {
+            Action::Fetch(v) | Action::Evict(v) | Action::Flush(v) => v.len(),
+        }
+    }
+}
+
+/// What a policy did in one round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Whether the request cost 1 to serve (positive+non-cached or
+    /// negative+cached at the time the request arrived).
+    pub paid_service: bool,
+    /// Cache modifications applied after serving, in order. Most policies
+    /// emit zero or one action; eviction-then-fetch emits two.
+    pub actions: Vec<Action>,
+}
+
+impl StepOutcome {
+    /// A round with no payment and no cache change.
+    #[must_use]
+    pub fn idle() -> Self {
+        Self::default()
+    }
+
+    /// Total nodes touched across all actions.
+    #[must_use]
+    pub fn nodes_touched(&self) -> usize {
+        self.actions.iter().map(Action::nodes_touched).sum()
+    }
+}
+
+/// An online tree-caching algorithm.
+///
+/// Implementations own their cache state; `cache()` exposes it read-only so
+/// the simulator can cross-check its mirror.
+pub trait CachePolicy {
+    /// Short stable identifier used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// The cache capacity `k` this policy was configured with.
+    fn capacity(&self) -> usize;
+
+    /// Serves one request and returns what happened.
+    fn step(&mut self, req: Request) -> StepOutcome;
+
+    /// Read-only view of the current cache contents.
+    fn cache(&self) -> &CacheSet;
+
+    /// Resets to the initial (empty-cache) state, keeping configuration.
+    fn reset(&mut self);
+}
+
+/// Convenience: run a policy over a sequence without simulation services
+/// (no validity checking, no instrumentation). Returns
+/// `(service_cost, reorg_nodes)` where the monetary reorganisation cost is
+/// `alpha * reorg_nodes`.
+pub fn run_raw(policy: &mut dyn CachePolicy, requests: &[Request]) -> (u64, u64) {
+    let mut service = 0u64;
+    let mut touched = 0u64;
+    for &r in requests {
+        let out = policy.step(r);
+        service += u64::from(out.paid_service);
+        touched += out.nodes_touched() as u64;
+    }
+    (service, touched)
+}
+
+/// Helper shared by policies: whether a request pays, given a cache.
+#[must_use]
+pub fn request_pays(cache: &CacheSet, req: Request) -> bool {
+    match req.sign {
+        crate::request::Sign::Positive => !cache.contains(req.node),
+        crate::request::Sign::Negative => cache.contains(req.node),
+    }
+}
+
+/// Helper shared by policies: the minimal fetch making `v` cached — the
+/// non-cached part of `T(v)`, in preorder (parents before children).
+///
+/// Returns an empty vector when `v` is already cached.
+#[must_use]
+pub fn dependent_fetch_set(tree: &Tree, cache: &CacheSet, v: NodeId) -> Vec<NodeId> {
+    if cache.contains(v) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // Walk the preorder slice of T(v); skip cached subtrees wholesale.
+    let slice = tree.subtree(v);
+    let mut i = 0;
+    while i < slice.len() {
+        let u = slice[i];
+        if cache.contains(u) {
+            i += tree.subtree_size(u) as usize;
+        } else {
+            out.push(u);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Sign;
+
+    fn tree() -> Tree {
+        Tree::from_parents(&[None, Some(0), Some(1), Some(1), Some(0)])
+    }
+
+    #[test]
+    fn pays_logic() {
+        let t = tree();
+        let mut c = CacheSet::empty(t.len());
+        c.fetch(&[NodeId(2)]);
+        assert!(request_pays(&c, Request { node: NodeId(3), sign: Sign::Positive }));
+        assert!(!request_pays(&c, Request { node: NodeId(2), sign: Sign::Positive }));
+        assert!(request_pays(&c, Request { node: NodeId(2), sign: Sign::Negative }));
+        assert!(!request_pays(&c, Request { node: NodeId(3), sign: Sign::Negative }));
+    }
+
+    #[test]
+    fn dependent_set_from_empty_cache() {
+        let t = tree();
+        let c = CacheSet::empty(t.len());
+        assert_eq!(
+            dependent_fetch_set(&t, &c, NodeId(1)),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(dependent_fetch_set(&t, &c, NodeId(4)), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn dependent_set_skips_cached() {
+        let t = tree();
+        let mut c = CacheSet::empty(t.len());
+        c.fetch(&[NodeId(2)]);
+        assert_eq!(dependent_fetch_set(&t, &c, NodeId(1)), vec![NodeId(1), NodeId(3)]);
+        c.fetch(&[NodeId(1), NodeId(3)]);
+        assert!(dependent_fetch_set(&t, &c, NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn dependent_set_is_valid_positive() {
+        let t = tree();
+        let mut c = CacheSet::empty(t.len());
+        c.fetch(&[NodeId(3)]);
+        let set = dependent_fetch_set(&t, &c, NodeId(0));
+        assert!(crate::changeset::is_valid_positive(&t, &c, &set));
+        assert_eq!(set.len(), 4); // 0, 1, 2, 4 (3 already cached)
+    }
+
+    #[test]
+    fn outcome_accounting() {
+        let out = StepOutcome {
+            paid_service: true,
+            actions: vec![
+                Action::Evict(vec![NodeId(1)]),
+                Action::Fetch(vec![NodeId(2), NodeId(3)]),
+            ],
+        };
+        assert_eq!(out.nodes_touched(), 3);
+        assert_eq!(StepOutcome::idle().nodes_touched(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Requests and cost model (paper, Sections 1 and 3).
+
+use crate::tree::NodeId;
+
+/// The sign of a request.
+///
+/// * [`Sign::Positive`]: a "normal" caching request — costs 1 if the node is
+///   **not** cached (the packet had to be bounced to the controller).
+/// * [`Sign::Negative`]: a rule-update request — costs 1 if the node **is**
+///   cached (the router's TCAM entry had to be rewritten).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Pay 1 when the requested node is outside the cache.
+    Positive,
+    /// Pay 1 when the requested node is inside the cache.
+    Negative,
+}
+
+impl Sign {
+    /// The other sign.
+    #[must_use]
+    pub fn flip(self) -> Self {
+        match self {
+            Sign::Positive => Sign::Negative,
+            Sign::Negative => Sign::Positive,
+        }
+    }
+}
+
+/// One request: a node and a sign. Exactly one arrives per round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// The requested tree node.
+    pub node: NodeId,
+    /// Positive (access) or negative (update).
+    pub sign: Sign,
+}
+
+impl Request {
+    /// A positive request to `node`.
+    #[must_use]
+    pub fn pos(node: NodeId) -> Self {
+        Self { node, sign: Sign::Positive }
+    }
+
+    /// A negative request to `node`.
+    #[must_use]
+    pub fn neg(node: NodeId) -> Self {
+        Self { node, sign: Sign::Negative }
+    }
+
+    /// True for positive requests.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+}
+
+/// Problem parameters: the per-node reorganisation cost `α ≥ 1`.
+///
+/// The paper assumes `α` is an even integer for the analysis; the
+/// implementation accepts any integer `α ≥ 1` (the algorithm itself never
+/// needs evenness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of fetching or evicting one node.
+    pub alpha: u64,
+}
+
+impl CostModel {
+    /// Creates a cost model.
+    ///
+    /// # Panics
+    /// Panics if `alpha == 0` (the problem requires `α ≥ 1`).
+    #[must_use]
+    pub fn new(alpha: u64) -> Self {
+        assert!(alpha >= 1, "the problem requires alpha >= 1");
+        Self { alpha }
+    }
+}
+
+/// Accumulated cost, split the way the analysis splits it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Cost of serving requests (1 per paying request).
+    pub service: u64,
+    /// Cost of cache reorganisation (α per fetched or evicted node).
+    pub reorg: u64,
+}
+
+impl Cost {
+    /// Zero cost.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Total cost.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.service + self.reorg
+    }
+
+    /// Component-wise addition.
+    pub fn add(&mut self, other: Cost) {
+        self.service += other.service;
+        self.reorg += other.reorg;
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost { service: self.service + rhs.service, reorg: self.reorg + rhs.reorg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_constructors() {
+        let r = Request::pos(NodeId(3));
+        assert!(r.is_positive());
+        assert_eq!(r.node, NodeId(3));
+        let r = Request::neg(NodeId(4));
+        assert!(!r.is_positive());
+        assert_eq!(r.sign.flip(), Sign::Positive);
+    }
+
+    #[test]
+    fn cost_arithmetic() {
+        let mut c = Cost::zero();
+        c.add(Cost { service: 3, reorg: 10 });
+        let d = c + Cost { service: 1, reorg: 0 };
+        assert_eq!(d.service, 4);
+        assert_eq!(d.reorg, 10);
+        assert_eq!(d.total(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha >= 1")]
+    fn zero_alpha_rejected() {
+        let _ = CostModel::new(0);
+    }
+}

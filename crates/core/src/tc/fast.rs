@@ -1,0 +1,589 @@
+//! Efficient implementation of TC (paper, Section 6 / Theorem 6.1).
+//!
+//! Per decision at time `t` this implementation performs
+//! `O(h(T) + max{h(T), deg(T)} · |Xt|)` elementary operations with `O(|T|)`
+//! auxiliary memory, where `Xt` is the changeset applied (if any):
+//!
+//! * **Positive requests / fetches** (Section 6.1): every non-cached node
+//!   `u` carries `(cnt_t(P_t(u)), |P_t(u)|)` where `P_t(u)` is the tree cap
+//!   of non-cached nodes of `T(u)`. A paying positive request to `v`
+//!   increments `cnt(P_t(u))` for every ancestor `u` of `v` (all of which
+//!   are non-cached, because the cache is downward-closed), then scans the
+//!   ancestors root→`v`: the first saturated `P_t(u)` is the maximal valid
+//!   positive changeset.
+//! * **Negative requests / evictions** (Section 6.2): every cached node `u`
+//!   carries `val_t(H_t(u))`, the maximum of the exact potential
+//!   `val_t(A) = cnt_t(A) − |A|·α + |A|/(|T|+1)` over tree caps `A` of the
+//!   cached tree rooted at `u` ([`ValPair`] keeps it exact). The recursion
+//!   `H_t(u) = {u} ⊔ ⊔_{w child} H'_t(w)` lets one propagate counter
+//!   increments upward with O(1) work per level (delta propagation), and
+//!   `val_t(H_t(u)) > 0` at the cached-tree root `u` holds iff `H_t(u)` is
+//!   the saturated, maximal negative changeset.
+
+use std::sync::Arc;
+
+use crate::cache::CacheSet;
+use crate::policy::{Action, CachePolicy, StepOutcome};
+use crate::request::{Request, Sign};
+use crate::tree::{NodeId, Tree};
+
+use super::val::ValPair;
+use super::{TcConfig, TcStats};
+
+/// The efficient TC implementation (Theorem 6.1).
+#[derive(Debug, Clone)]
+pub struct TcFast {
+    tree: Arc<Tree>,
+    cfg: TcConfig,
+    cache: CacheSet,
+    /// Per-node counter (resets on state change and at phase start).
+    cnt: Vec<u64>,
+    /// For non-cached `u`: `cnt_t(P_t(u))`. Stale for cached nodes.
+    pcnt: Vec<u64>,
+    /// For non-cached `u`: `|P_t(u)|`. Stale for cached nodes.
+    psize: Vec<u64>,
+    /// For cached `u`: integer part of `val_t(H_t(u))`. Stale otherwise.
+    hv: Vec<i64>,
+    /// For cached `u`: `|H_t(u)|`. Stale otherwise.
+    hsz: Vec<i64>,
+    stats: TcStats,
+    /// Elementary operations in the most recent `step` (experiment E6).
+    last_ops: u64,
+    /// Total elementary operations across all steps.
+    total_ops: u64,
+    /// Scratch buffer for the root path, reused to avoid allocation.
+    path_buf: Vec<NodeId>,
+}
+
+impl TcFast {
+    /// Creates the policy with an empty cache.
+    #[must_use]
+    pub fn new(tree: Arc<Tree>, cfg: TcConfig) -> Self {
+        let n = tree.len();
+        let psize = tree.nodes().map(|v| u64::from(tree.subtree_size(v))).collect();
+        Self {
+            tree,
+            cfg,
+            cache: CacheSet::empty(n),
+            cnt: vec![0; n],
+            pcnt: vec![0; n],
+            psize,
+            hv: vec![0; n],
+            hsz: vec![0; n],
+            stats: TcStats::default(),
+            last_ops: 0,
+            total_ops: 0,
+            path_buf: Vec::new(),
+        }
+    }
+
+    /// Phase/step statistics.
+    #[must_use]
+    pub fn stats(&self) -> TcStats {
+        self.stats
+    }
+
+    /// Elementary operations spent in the most recent step (E6 metric:
+    /// ancestors visited + changeset nodes touched + children scanned).
+    #[must_use]
+    pub fn last_step_ops(&self) -> u64 {
+        self.last_ops
+    }
+
+    /// Total elementary operations across the run.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Current counter of a node (test/instrumentation hook).
+    #[must_use]
+    pub fn counter(&self, v: NodeId) -> u64 {
+        self.cnt[v.index()]
+    }
+
+    #[inline]
+    fn contrib(&self, x: NodeId) -> ValPair {
+        ValPair { int: self.hv[x.index()], size: self.hsz[x.index()] }.contribution()
+    }
+
+    /// Collects `P_t(u)` — the non-cached part of `T(u)` — in preorder.
+    fn collect_positive(&mut self, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.psize[u.index()] as usize);
+        let slice = self.tree.subtree(u);
+        let mut i = 0;
+        while i < slice.len() {
+            let x = slice[i];
+            if self.cache.contains(x) {
+                i += self.tree.subtree_size(x) as usize;
+            } else {
+                out.push(x);
+                i += 1;
+            }
+        }
+        self.last_ops += out.len() as u64;
+        out
+    }
+
+    /// Collects `H_t(u)` using the stored `val` pairs, parents first.
+    fn collect_hset(&mut self, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![u];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            for &c in self.tree.children(x) {
+                self.last_ops += 1;
+                if self.cache.contains(c) && self.contrib(c) != ValPair::zero() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies the fetch of `set == P_t(u)`; maintains every aggregate.
+    fn apply_fetch(&mut self, u: NodeId, set: &[NodeId]) {
+        debug_assert_eq!(set.len() as u64, self.psize[u.index()]);
+        let mut sum_cnt = 0u64;
+        for &x in set {
+            sum_cnt += self.cnt[x.index()];
+            self.cnt[x.index()] = 0;
+        }
+        debug_assert_eq!(
+            sum_cnt,
+            set.len() as u64 * self.cfg.alpha,
+            "Lemma 5.1(2): an applied changeset is exactly saturated"
+        );
+        self.cache.fetch(set);
+
+        // Ancestors of u (strictly above; all non-cached) lose the fetched
+        // nodes from their P-caps.
+        let mut a = self.tree.parent(u);
+        while let Some(p) = a {
+            self.last_ops += 1;
+            debug_assert!(!self.cache.contains(p));
+            self.pcnt[p.index()] -= sum_cnt;
+            self.psize[p.index()] -= set.len() as u64;
+            a = self.tree.parent(p);
+        }
+
+        // Initialise val(H) bottom-up over the fetched cap: reverse preorder
+        // puts every node after its descendants. Children of a fetched node
+        // are now all cached: either fetched (already initialised) or
+        // previously cached (their H-values are unchanged by the fetch —
+        // Section 6.2 processes only the changeset).
+        for &x in set.iter().rev() {
+            // cnt was just reset, so the base value is (−α, 1).
+            let mut v = ValPair::single(0, self.cfg.alpha);
+            for &c in self.tree.children(x) {
+                self.last_ops += 1;
+                v = v.plus(self.contrib(c));
+            }
+            self.hv[x.index()] = v.int;
+            self.hsz[x.index()] = v.size;
+        }
+
+        self.stats.fetches += 1;
+        self.stats.nodes_fetched += set.len() as u64;
+    }
+
+    /// Applies the eviction of `set == H_t(u)` (parents-first order);
+    /// maintains every aggregate.
+    fn apply_evict(&mut self, u: NodeId, set: &[NodeId]) {
+        let mut sum_cnt = 0u64;
+        for &x in set {
+            sum_cnt += self.cnt[x.index()];
+            self.cnt[x.index()] = 0;
+        }
+        debug_assert_eq!(
+            sum_cnt,
+            set.len() as u64 * self.cfg.alpha,
+            "evicted H_t(u) is exactly saturated"
+        );
+        self.cache.evict(set);
+
+        // Rebuild P-aggregates bottom-up over the evicted cap (reverse of
+        // the parents-first collection order): after the eviction a child of
+        // an evicted node is non-cached iff it was evicted too, and all
+        // evicted counters are zero, so every pcnt here is 0.
+        for &x in set.iter().rev() {
+            let mut size = 1u64;
+            for &c in self.tree.children(x) {
+                self.last_ops += 1;
+                if !self.cache.contains(c) {
+                    size += self.psize[c.index()];
+                    debug_assert_eq!(self.pcnt[c.index()], 0);
+                }
+            }
+            self.psize[x.index()] = size;
+            self.pcnt[x.index()] = 0;
+        }
+
+        // Ancestors of u (strictly above; u was a cached-tree root so they
+        // are all non-cached) gain the evicted nodes in their P-caps, with
+        // zero counters.
+        let mut a = self.tree.parent(u);
+        while let Some(p) = a {
+            self.last_ops += 1;
+            debug_assert!(!self.cache.contains(p));
+            self.psize[p.index()] += set.len() as u64;
+            a = self.tree.parent(p);
+        }
+
+        self.stats.evictions += 1;
+        self.stats.nodes_evicted += set.len() as u64;
+    }
+
+    /// Phase restart: evict everything, reset all counters and aggregates.
+    fn flush_phase(&mut self) -> Vec<NodeId> {
+        let evicted = self.cache.flush();
+        self.cnt.fill(0);
+        self.pcnt.fill(0);
+        for v in 0..self.tree.len() {
+            self.psize[v] = u64::from(self.tree.subtree_size(NodeId(v as u32)));
+        }
+        self.last_ops += self.tree.len() as u64;
+        self.stats.phases_restarted += 1;
+        self.stats.nodes_evicted += evicted.len() as u64;
+        evicted
+    }
+
+    /// Recomputes every aggregate from scratch and compares with the
+    /// maintained values. Test/diagnostic hook (O(|T|)).
+    pub fn audit(&self) -> Result<(), String> {
+        self.cache.validate(&self.tree)?;
+        let n = self.tree.len();
+        let mut psize_ref = vec![0u64; n];
+        let mut pcnt_ref = vec![0u64; n];
+        let mut hval_ref = vec![ValPair::zero(); n];
+        for &v in self.tree.preorder().iter().rev() {
+            if self.cache.contains(v) {
+                let mut val = ValPair::single(self.cnt[v.index()], self.cfg.alpha);
+                for &c in self.tree.children(v) {
+                    debug_assert!(self.cache.contains(c));
+                    val = val.plus(hval_ref[c.index()].contribution());
+                }
+                hval_ref[v.index()] = val;
+                let stored = ValPair { int: self.hv[v.index()], size: self.hsz[v.index()] };
+                if stored != val {
+                    return Err(format!("hval mismatch at {v:?}: stored {stored:?}, actual {val:?}"));
+                }
+            } else {
+                let mut size = 1u64;
+                let mut cnt = self.cnt[v.index()];
+                for &c in self.tree.children(v) {
+                    if !self.cache.contains(c) {
+                        size += psize_ref[c.index()];
+                        cnt += pcnt_ref[c.index()];
+                    }
+                }
+                psize_ref[v.index()] = size;
+                pcnt_ref[v.index()] = cnt;
+                if self.psize[v.index()] != size || self.pcnt[v.index()] != cnt {
+                    return Err(format!(
+                        "P aggregate mismatch at {v:?}: stored ({}, {}), actual ({cnt}, {size})",
+                        self.pcnt[v.index()],
+                        self.psize[v.index()],
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl CachePolicy for TcFast {
+    fn name(&self) -> &'static str {
+        "tc"
+    }
+
+    fn capacity(&self) -> usize {
+        self.cfg.capacity
+    }
+
+    fn cache(&self) -> &CacheSet {
+        &self.cache
+    }
+
+    fn reset(&mut self) {
+        let n = self.tree.len();
+        self.cache = CacheSet::empty(n);
+        self.cnt.fill(0);
+        self.pcnt.fill(0);
+        for v in 0..n {
+            self.psize[v] = u64::from(self.tree.subtree_size(NodeId(v as u32)));
+        }
+        self.stats = TcStats::default();
+        self.last_ops = 0;
+        self.total_ops = 0;
+    }
+
+    fn step(&mut self, req: Request) -> StepOutcome {
+        self.last_ops = 0;
+        let v = req.node;
+        let pays = crate::policy::request_pays(&self.cache, req);
+        if !pays {
+            // No counter change ⇒ no changeset can newly saturate
+            // (Section 6), so TC provably idles.
+            return StepOutcome::idle();
+        }
+        self.stats.paid_requests += 1;
+        self.cnt[v.index()] += 1;
+
+        let outcome = match req.sign {
+            Sign::Positive => self.step_positive(v),
+            Sign::Negative => self.step_negative(v),
+        };
+        self.total_ops += self.last_ops;
+        outcome
+    }
+}
+
+impl TcFast {
+    fn step_positive(&mut self, v: NodeId) -> StepOutcome {
+        // All ancestors of a non-cached node are non-cached; bump their
+        // P-cap counters while recording the path.
+        let mut path = std::mem::take(&mut self.path_buf);
+        path.clear();
+        let mut x = Some(v);
+        while let Some(u) = x {
+            debug_assert!(!self.cache.contains(u));
+            self.pcnt[u.index()] += 1;
+            path.push(u);
+            self.last_ops += 1;
+            x = self.tree.parent(u);
+        }
+        // Scan root→v: the first saturated P-cap is maximal (Section 6.1).
+        let mut chosen = None;
+        for &u in path.iter().rev() {
+            self.last_ops += 1;
+            if self.pcnt[u.index()] >= self.psize[u.index()] * self.cfg.alpha {
+                chosen = Some(u);
+                break;
+            }
+        }
+        self.path_buf = path;
+        let Some(u) = chosen else {
+            return StepOutcome { paid_service: true, actions: vec![] };
+        };
+        if self.cache.len() as u64 + self.psize[u.index()] > self.cfg.capacity as u64 {
+            let evicted = self.flush_phase();
+            return StepOutcome { paid_service: true, actions: vec![Action::Flush(evicted)] };
+        }
+        let set = self.collect_positive(u);
+        self.apply_fetch(u, &set);
+        StepOutcome { paid_service: true, actions: vec![Action::Fetch(set)] }
+    }
+
+    fn step_negative(&mut self, v: NodeId) -> StepOutcome {
+        // Propagate the counter increment up the cached chain with O(1)
+        // work per level, locating the cached-tree root on the way.
+        let old = self.contrib(v);
+        self.hv[v.index()] += 1;
+        let mut delta = self.contrib(v).minus(old);
+        let mut x = v;
+        loop {
+            self.last_ops += 1;
+            match self.tree.parent(x) {
+                Some(p) if self.cache.contains(p) => {
+                    if delta != ValPair::zero() {
+                        let old_p = self.contrib(p);
+                        self.hv[p.index()] += delta.int;
+                        self.hsz[p.index()] += delta.size;
+                        delta = self.contrib(p).minus(old_p);
+                    }
+                    x = p;
+                }
+                _ => break,
+            }
+        }
+        let u = x; // root of the cached tree containing v
+        let root_val = ValPair { int: self.hv[u.index()], size: self.hsz[u.index()] };
+        if !root_val.is_positive() {
+            return StepOutcome { paid_service: true, actions: vec![] };
+        }
+        let set = self.collect_hset(u);
+        debug_assert_eq!(set.len() as i64, root_val.size, "H materialisation matches stored size");
+        self.apply_evict(u, &set);
+        StepOutcome { paid_service: true, actions: vec![Action::Evict(set)] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(tree: Tree, alpha: u64, capacity: usize) -> TcFast {
+        TcFast::new(Arc::new(tree), TcConfig::new(alpha, capacity))
+    }
+
+    #[test]
+    fn audit_passes_fresh() {
+        let tc = policy(Tree::kary(3, 3), 2, 5);
+        tc.audit().expect("fresh state is consistent");
+    }
+
+    #[test]
+    fn fetch_and_audit() {
+        let mut tc = policy(Tree::star(4), 2, 5);
+        let leaf = NodeId(2);
+        tc.step(Request::pos(leaf));
+        tc.audit().expect("consistent after non-applying step");
+        let out = tc.step(Request::pos(leaf));
+        assert_eq!(out.actions, vec![Action::Fetch(vec![leaf])]);
+        tc.audit().expect("consistent after fetch");
+    }
+
+    #[test]
+    fn eviction_and_audit() {
+        let mut tc = policy(Tree::path(3), 2, 3);
+        for _ in 0..6 {
+            tc.step(Request::pos(NodeId(0)));
+        }
+        tc.audit().expect("after full fetch");
+        assert_eq!(tc.cache().len(), 3);
+        for _ in 0..4 {
+            tc.step(Request::neg(NodeId(1)));
+        }
+        tc.audit().expect("after eviction");
+        assert!(!tc.cache().contains(NodeId(0)));
+        assert!(!tc.cache().contains(NodeId(1)));
+        assert!(tc.cache().contains(NodeId(2)));
+    }
+
+    #[test]
+    fn flush_resets_aggregates() {
+        let mut tc = policy(Tree::star(2), 1, 1);
+        tc.step(Request::pos(NodeId(1)));
+        let out = tc.step(Request::pos(NodeId(2)));
+        assert!(matches!(out.actions[..], [Action::Flush(_)]));
+        tc.audit().expect("after flush");
+        assert_eq!(tc.stats().phases_restarted, 1);
+    }
+
+    #[test]
+    fn ops_bounded_by_theorem() {
+        // Theorem 6.1: O(h + max{h, deg}·|Xt|) per decision. Check the
+        // concrete constant stays small on a deep path.
+        let n = 200;
+        let mut tc = policy(Tree::path(n), 2, n);
+        let deepest = NodeId(n as u32 - 1);
+        for _ in 0..2 * n as u64 {
+            tc.step(Request::pos(deepest));
+        }
+        // Root fetch eventually happens; the per-step op count must stay
+        // within a small multiple of h + h·|X|.
+        assert!(!tc.cache().is_empty());
+        let h = n as u64;
+        assert!(
+            tc.last_step_ops() <= 6 * h + 6 * h, // crude but binding envelope
+            "ops {} too large",
+            tc.last_step_ops()
+        );
+        tc.audit().expect("consistent");
+    }
+
+    #[test]
+    fn non_paying_steps_cost_nothing() {
+        let mut tc = policy(Tree::star(2), 1, 3);
+        tc.step(Request::pos(NodeId(1)));
+        assert!(tc.cache().contains(NodeId(1)));
+        let before = tc.total_ops();
+        let out = tc.step(Request::pos(NodeId(1)));
+        assert_eq!(out, StepOutcome::idle());
+        assert_eq!(tc.total_ops(), before);
+        let out = tc.step(Request::neg(NodeId(2)));
+        assert_eq!(out, StepOutcome::idle());
+    }
+
+    #[test]
+    fn deep_negative_delta_propagation() {
+        // Fully cache a path, then alternate negative requests between two
+        // deep nodes; delta propagation must keep hval exact throughout.
+        let n = 12;
+        let mut tc = policy(Tree::path(n), 3, n);
+        // Hammering the root saturates P(root) = the whole path after
+        // 3·n paying requests (nothing below gets cached on the way because
+        // only the root's counter grows).
+        for _ in 0..3 * n as u64 {
+            tc.step(Request::pos(NodeId(0)));
+        }
+        assert_eq!(tc.cache().len(), n);
+        for i in 0..20 {
+            let node = if i % 2 == 0 { NodeId(4) } else { NodeId(9) };
+            tc.step(Request::neg(node));
+            tc.audit().unwrap_or_else(|e| panic!("audit failed at negative step {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn merge_of_cached_subtrees_on_fetch() {
+        // Cache two sibling leaves, then saturate the root cap: the fetch
+        // merges previously cached subtrees into one cached tree and hval
+        // initialisation must account for their existing counters.
+        let mut tc = policy(Tree::star(2), 2, 4);
+        for leaf in [NodeId(1), NodeId(2)] {
+            tc.step(Request::pos(leaf));
+            tc.step(Request::pos(leaf));
+            assert!(tc.cache().contains(leaf));
+        }
+        // Give leaf 1 a negative counter before the merge.
+        tc.step(Request::neg(NodeId(1)));
+        tc.audit().expect("pre-merge");
+        // Saturate P(root) = {root}: needs α = 2 paying requests.
+        tc.step(Request::pos(NodeId(0)));
+        let out = tc.step(Request::pos(NodeId(0)));
+        assert_eq!(out.actions, vec![Action::Fetch(vec![NodeId(0)])]);
+        tc.audit().expect("post-merge: hval must include leaf counters");
+        // One more negative request to leaf 1 saturates the cap {0, 1}? No:
+        // cnt(1) = 2 after it, cnt(0) = 0; val(H(0)) = (0+2-2-2, 2) < 0.
+        // The saturated set is {1} alone — but {1} is not a valid negative
+        // changeset (its parent 0 stays cached), so nothing happens.
+        let out = tc.step(Request::neg(NodeId(1)));
+        assert!(out.actions.is_empty());
+        tc.audit().expect("still consistent");
+        // Hammering the root itself: val(H(0)) turns positive once the
+        // total reaches |H|·α for the best cap.
+        let out = tc.step(Request::neg(NodeId(0)));
+        match &out.actions[..] {
+            [Action::Evict(set)] => {
+                let mut s = set.clone();
+                s.sort_unstable();
+                // cnt(0)=1, cnt(1)=2, cnt(2)=0, α=2: val{0,1} = 3−4+2ε < 0,
+                // val{0,1,2} = 3−6+3ε < 0, val{0} = 1−2+ε < 0 → actually no
+                // eviction should happen. See assertion below instead.
+                panic!("unexpected eviction of {s:?}");
+            }
+            [] => {}
+            other => panic!("unexpected actions {other:?}"),
+        }
+        let out = tc.step(Request::neg(NodeId(0)));
+        // Now cnt(0)=2, cnt(1)=2: val{0,1} = 4−4+2ε > 0 → evict {0,1}.
+        match &out.actions[..] {
+            [Action::Evict(set)] => {
+                let mut s = set.clone();
+                s.sort_unstable();
+                assert_eq!(s, vec![NodeId(0), NodeId(1)]);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        tc.audit().expect("post-eviction");
+        assert!(tc.cache().contains(NodeId(2)));
+    }
+
+    #[test]
+    fn reset_is_complete() {
+        let mut tc = policy(Tree::kary(2, 3), 2, 7);
+        let mut rng = otc_util::SplitMix64::new(99);
+        for _ in 0..500 {
+            let node = NodeId(rng.index(7) as u32);
+            let req =
+                if rng.chance(0.5) { Request::pos(node) } else { Request::neg(node) };
+            tc.step(req);
+        }
+        tc.reset();
+        tc.audit().expect("reset state consistent");
+        assert!(tc.cache().is_empty());
+        assert_eq!(tc.stats(), TcStats::default());
+    }
+}

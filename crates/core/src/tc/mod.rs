@@ -1,0 +1,164 @@
+//! The TC (Tree Caching) algorithm of the paper, in two interchangeable
+//! implementations.
+//!
+//! * [`TcReference`] — a direct transcription of the
+//!   algorithm's definition (Section 4): at every paying round it recomputes
+//!   counter sums of candidate changesets from scratch. O(|T|) per round,
+//!   obviously correct; used as the differential-testing oracle.
+//! * [`TcFast`] — the efficient implementation of Section 6:
+//!   `O(h(T) + max{h(T), deg(T)}·|Xt|)` operations per decision with
+//!   `O(|T|)` auxiliary memory (Theorem 6.1), maintaining
+//!   `(cnt(P_t(u)), |P_t(u)|)` at non-cached nodes and `val_t(H_t(u))` at
+//!   cached nodes.
+//!
+//! Both implement [`crate::policy::CachePolicy`] and are step-for-step
+//! equivalent (a property test in this module drives them in lockstep).
+//!
+//! # Algorithm recap (Section 4)
+//!
+//! TC runs in phases, each starting with an empty cache and all counters
+//! zero. A node's counter increments whenever TC pays 1 for a request to it,
+//! and resets whenever the node is fetched or evicted. At the end of round
+//! `t`, TC looks for a valid changeset `X` with
+//!
+//! * saturation: `cnt_t(X) ≥ |X| · α`, and
+//! * maximality: no valid superset `Y ⊋ X` is saturated,
+//!
+//! and applies it (fetching if positive, evicting if negative). If a fetch
+//! would overflow the capacity `kONL`, TC instead evicts everything and
+//! starts a new phase.
+
+pub mod fast;
+pub mod reference;
+pub mod val;
+
+pub use fast::TcFast;
+pub use reference::TcReference;
+
+use crate::request::CostModel;
+
+/// Configuration shared by both TC implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcConfig {
+    /// Per-node fetch/evict cost `α ≥ 1`.
+    pub alpha: u64,
+    /// Cache capacity `kONL ≥ 1`.
+    pub capacity: usize,
+}
+
+impl TcConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics if `alpha == 0` or `capacity == 0`.
+    #[must_use]
+    pub fn new(alpha: u64, capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        let _ = CostModel::new(alpha); // validates alpha >= 1
+        Self { alpha, capacity }
+    }
+}
+
+/// Counters the implementations expose for experiments (phase anatomy,
+/// E9) and sanity checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcStats {
+    /// Completed phases (phase restarts triggered by capacity overflow).
+    pub phases_restarted: u64,
+    /// Changesets fetched.
+    pub fetches: u64,
+    /// Changesets evicted (not counting flushes).
+    pub evictions: u64,
+    /// Total nodes fetched.
+    pub nodes_fetched: u64,
+    /// Total nodes evicted (including flush evictions).
+    pub nodes_evicted: u64,
+    /// Paying requests served.
+    pub paid_requests: u64,
+}
+
+#[cfg(test)]
+mod equivalence_tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::policy::CachePolicy;
+    use crate::request::{Request, Sign};
+    use crate::tree::{NodeId, Tree};
+
+    /// Drives both implementations in lockstep and asserts identical
+    /// outcomes and cache states after every round.
+    fn check_lockstep(tree: Tree, cfg: TcConfig, requests: &[Request]) {
+        let tree = Arc::new(tree);
+        let mut fast = super::fast::TcFast::new(Arc::clone(&tree), cfg);
+        let mut refr = super::reference::TcReference::new(Arc::clone(&tree), cfg);
+        for (i, &req) in requests.iter().enumerate() {
+            let a = fast.step(req);
+            let b = refr.step(req);
+            assert_eq!(a, b, "step {i} diverged on {req:?}");
+            assert_eq!(fast.cache(), refr.cache(), "cache diverged after step {i}");
+            fast.audit().unwrap_or_else(|e| panic!("fast audit failed at step {i}: {e}"));
+        }
+    }
+
+    /// Deterministic pseudo-random request stream without external deps.
+    fn stream(tree: &Tree, len: usize, seed: u64) -> Vec<Request> {
+        let mut rng = otc_util::SplitMix64::new(seed);
+        (0..len)
+            .map(|_| {
+                let node = NodeId(rng.index(tree.len()) as u32);
+                let sign = if rng.chance(0.4) { Sign::Negative } else { Sign::Positive };
+                Request { node, sign }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_on_path() {
+        let tree = Tree::path(9);
+        let reqs = stream(&tree, 3000, 1);
+        check_lockstep(tree, TcConfig::new(4, 5), &reqs);
+    }
+
+    #[test]
+    fn lockstep_on_star() {
+        let tree = Tree::star(12);
+        let reqs = stream(&tree, 3000, 2);
+        check_lockstep(tree, TcConfig::new(3, 6), &reqs);
+    }
+
+    #[test]
+    fn lockstep_on_binary() {
+        let tree = Tree::kary(2, 4);
+        let reqs = stream(&tree, 4000, 3);
+        check_lockstep(tree, TcConfig::new(2, 7), &reqs);
+    }
+
+    #[test]
+    fn lockstep_on_caterpillar_odd_alpha() {
+        let tree = Tree::caterpillar(6, 2);
+        let reqs = stream(&tree, 4000, 4);
+        check_lockstep(tree, TcConfig::new(5, 4), &reqs);
+    }
+
+    #[test]
+    fn lockstep_tiny_capacity() {
+        let tree = Tree::kary(3, 3);
+        let reqs = stream(&tree, 2500, 5);
+        check_lockstep(tree, TcConfig::new(2, 1), &reqs);
+    }
+
+    #[test]
+    fn lockstep_alpha_one() {
+        let tree = Tree::kary(2, 3);
+        let reqs = stream(&tree, 2500, 6);
+        check_lockstep(tree, TcConfig::new(1, 4), &reqs);
+    }
+
+    #[test]
+    fn lockstep_capacity_larger_than_tree() {
+        let tree = Tree::kary(2, 3);
+        let reqs = stream(&tree, 2500, 7);
+        check_lockstep(tree, TcConfig::new(4, 64), &reqs);
+    }
+}

@@ -1,0 +1,509 @@
+//! Arena-based rooted trees.
+//!
+//! The universe of the tree caching problem is an arbitrary rooted tree `T`
+//! (paper, Section 1). This module provides an immutable, cache-friendly
+//! arena representation with the derived data every algorithm needs:
+//! depths, subtree sizes, preorder intervals (for O(1) ancestor tests and
+//! O(|subtree|) subtree iteration), height and maximum degree.
+//!
+//! Node identifiers are dense `u32` indices, so per-node algorithm state
+//! lives in flat `Vec`s — the pattern the Rust Performance Book recommends
+//! for hot tree workloads (no pointer chasing, no per-node allocation).
+
+use std::fmt;
+
+/// Identifier of a tree node; a dense index into the tree arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize`, for direct vector indexing.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An immutable rooted tree with precomputed navigation data.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    parent: Vec<Option<NodeId>>,
+    /// Children lists; order is the insertion order of the builder.
+    children_flat: Vec<NodeId>,
+    children_start: Vec<u32>,
+    depth: Vec<u32>,
+    /// Preorder rank of each node.
+    tin: Vec<u32>,
+    /// `order[tin[v]] == v`; subtree of `v` is the contiguous slice
+    /// `order[tin[v] .. tin[v] + subtree_size[v]]`.
+    order: Vec<NodeId>,
+    subtree_size: Vec<u32>,
+    height: u32,
+    max_degree: u32,
+}
+
+impl Tree {
+    /// Builds a tree from a parent array: `parents[i]` is the parent of node
+    /// `i`, and exactly one entry (the root) is `None`.
+    ///
+    /// ```
+    /// use otc_core::tree::{NodeId, Tree};
+    /// //    0
+    /// //   / \
+    /// //  1   2
+    /// //  |
+    /// //  3
+    /// let t = Tree::from_parents(&[None, Some(0), Some(0), Some(1)]);
+    /// assert_eq!(t.len(), 4);
+    /// assert_eq!(t.height(), 3);
+    /// assert_eq!(t.subtree(NodeId(1)), &[NodeId(1), NodeId(3)]);
+    /// assert!(t.is_ancestor_or_self(NodeId(0), NodeId(3)));
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if the array is empty, has zero or multiple roots, contains an
+    /// out-of-range parent, or contains a cycle.
+    #[must_use]
+    pub fn from_parents(parents: &[Option<usize>]) -> Self {
+        assert!(!parents.is_empty(), "a tree has at least one node");
+        let n = parents.len();
+        let mut root = None;
+        for (i, p) in parents.iter().enumerate() {
+            match p {
+                None => {
+                    assert!(root.is_none(), "multiple roots: {root:?} and {i}");
+                    root = Some(i);
+                }
+                Some(p) => {
+                    assert!(*p < n, "parent {p} of node {i} out of range");
+                    assert!(*p != i, "node {i} is its own parent");
+                }
+            }
+        }
+        let root = root.expect("a tree needs exactly one root");
+        assert_eq!(root, 0, "the root must be node 0 (canonical arena layout)");
+
+        let mut child_count = vec![0u32; n];
+        for p in parents.iter().flatten() {
+            child_count[*p] += 1;
+        }
+        let mut children_start = vec![0u32; n + 1];
+        for i in 0..n {
+            children_start[i + 1] = children_start[i] + child_count[i];
+        }
+        let mut cursor = children_start[..n].to_vec();
+        let mut children_flat = vec![NodeId(0); n - 1];
+        for (i, p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                children_flat[cursor[*p] as usize] = NodeId(i as u32);
+                cursor[*p] += 1;
+            }
+        }
+
+        let mut tree = Self {
+            parent: parents.iter().map(|p| p.map(|p| NodeId(p as u32))).collect(),
+            children_flat,
+            children_start,
+            depth: vec![0; n],
+            tin: vec![0; n],
+            order: Vec::with_capacity(n),
+            subtree_size: vec![1; n],
+            height: 0,
+            max_degree: 0,
+        };
+        tree.compute_derived(NodeId(root as u32), n);
+        tree
+    }
+
+    fn compute_derived(&mut self, root: NodeId, n: usize) {
+        // Iterative preorder DFS that also detects cycles/disconnected nodes
+        // (any node not reached means the parent array was not a tree).
+        let mut stack = vec![root];
+        let mut seen = 0usize;
+        while let Some(v) = stack.pop() {
+            self.tin[v.index()] = seen as u32;
+            self.order.push(v);
+            seen += 1;
+            let d = self.depth[v.index()];
+            self.height = self.height.max(d + 1);
+            let lo = self.children_start[v.index()] as usize;
+            let hi = self.children_start[v.index() + 1] as usize;
+            self.max_degree = self.max_degree.max((hi - lo) as u32);
+            // Push in reverse so preorder visits children in builder order.
+            for idx in (lo..hi).rev() {
+                let c = self.children_flat[idx];
+                self.depth[c.index()] = d + 1;
+                stack.push(c);
+            }
+        }
+        assert_eq!(seen, n, "parent array is not a connected tree (cycle or orphan)");
+        // Subtree sizes in reverse preorder (children complete before parents).
+        for i in (0..n).rev() {
+            let v = self.order[i];
+            if let Some(p) = self.parent[v.index()] {
+                self.subtree_size[p.index()] += self.subtree_size[v.index()];
+            }
+        }
+    }
+
+    fn children_slice(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.children_start[v.index()] as usize;
+        let hi = self.children_start[v.index() + 1] as usize;
+        &self.children_flat[lo..hi]
+    }
+
+    /// Number of nodes, `|T|`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Always false: trees have at least one node.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root node (always `NodeId(0)` in the canonical layout).
+    #[inline]
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    #[inline]
+    #[must_use]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Children of `v`.
+    #[inline]
+    #[must_use]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        self.children_slice(v)
+    }
+
+    /// True if `v` is a leaf.
+    #[must_use]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children(v).is_empty()
+    }
+
+    /// Depth of `v` (root has depth 0).
+    #[inline]
+    #[must_use]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Height `h(T)`: the number of levels, i.e. `1 + max depth`. A
+    /// single-node tree has height 1. This is the `h(T)` of the paper's
+    /// layer-partition argument (Lemma 5.10 partitions nodes into `h(T)`
+    /// layers by distance to the root).
+    #[inline]
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Maximum number of children of any node, `deg(T)`.
+    #[inline]
+    #[must_use]
+    pub fn max_degree(&self) -> u32 {
+        self.max_degree
+    }
+
+    /// Size of the subtree `T(v)` rooted at `v` (including `v`).
+    #[inline]
+    #[must_use]
+    pub fn subtree_size(&self, v: NodeId) -> u32 {
+        self.subtree_size[v.index()]
+    }
+
+    /// True if `a` is an ancestor of `d` **or equal to it** (O(1)).
+    #[inline]
+    #[must_use]
+    pub fn is_ancestor_or_self(&self, a: NodeId, d: NodeId) -> bool {
+        let ta = self.tin[a.index()];
+        let td = self.tin[d.index()];
+        td >= ta && td < ta + self.subtree_size[a.index()]
+    }
+
+    /// Preorder rank of `v`.
+    #[inline]
+    #[must_use]
+    pub fn preorder_rank(&self, v: NodeId) -> u32 {
+        self.tin[v.index()]
+    }
+
+    /// All nodes in preorder (root first).
+    #[must_use]
+    pub fn preorder(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The subtree `T(v)` as a contiguous preorder slice (includes `v`).
+    #[must_use]
+    pub fn subtree(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.tin[v.index()] as usize;
+        let hi = lo + self.subtree_size[v.index()] as usize;
+        &self.order[lo..hi]
+    }
+
+    /// Iterator over all node ids, `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over `v` and its ancestors up to the root.
+    pub fn ancestors_inclusive(&self, v: NodeId) -> Ancestors<'_> {
+        Ancestors { tree: self, next: Some(v) }
+    }
+
+    /// The path from the root down to `v` (inclusive both ends).
+    #[must_use]
+    pub fn root_path(&self, v: NodeId) -> Vec<NodeId> {
+        let mut path: Vec<NodeId> = self.ancestors_inclusive(v).collect();
+        path.reverse();
+        path
+    }
+
+    /// Leaves of the tree, in preorder.
+    #[must_use]
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.preorder().iter().copied().filter(|&v| self.is_leaf(v)).collect()
+    }
+
+    // --- Canonical shape constructors (richer generators live in
+    // `otc-workloads`; these are the shapes the paper's bounds are extremal
+    // for and the shapes core tests exercise). ---
+
+    /// A path (line) with `n ≥ 1` nodes; node 0 is the root, node `i`'s
+    /// parent is `i − 1`. Height = n. This is the "tree with no branches" of
+    /// the paper's Figure 2.
+    #[must_use]
+    pub fn path(n: usize) -> Self {
+        assert!(n >= 1);
+        let parents: Vec<Option<usize>> = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        Self::from_parents(&parents)
+    }
+
+    /// A star: a root with `leaves` children. Height = 2 (or 1 when
+    /// `leaves == 0`). This is the shape of the lower-bound reduction
+    /// (Appendix C: leaves play the role of pages).
+    #[must_use]
+    pub fn star(leaves: usize) -> Self {
+        let parents: Vec<Option<usize>> =
+            std::iter::once(None).chain((0..leaves).map(|_| Some(0))).collect();
+        Self::from_parents(&parents)
+    }
+
+    /// A complete `k`-ary tree with the given number of levels (`levels ≥ 1`,
+    /// `k ≥ 1`). A `k = 1` tree degenerates to a path.
+    #[must_use]
+    pub fn kary(k: usize, levels: usize) -> Self {
+        assert!(levels >= 1 && k >= 1);
+        let mut parents: Vec<Option<usize>> = vec![None];
+        let mut level_start = 0usize;
+        let mut level_len = 1usize;
+        for _ in 1..levels {
+            let next_start = parents.len();
+            for p in level_start..level_start + level_len {
+                for _ in 0..k {
+                    parents.push(Some(p));
+                }
+            }
+            level_start = next_start;
+            level_len *= k;
+        }
+        Self::from_parents(&parents)
+    }
+
+    /// A caterpillar: a spine path of `spine` nodes, each spine node with
+    /// `legs` leaf children. Mixes large height with branching.
+    #[must_use]
+    pub fn caterpillar(spine: usize, legs: usize) -> Self {
+        assert!(spine >= 1);
+        let mut parents: Vec<Option<usize>> = Vec::with_capacity(spine * (legs + 1));
+        let mut prev_spine = None;
+        for _ in 0..spine {
+            let id = parents.len();
+            parents.push(prev_spine);
+            prev_spine = Some(id);
+            for _ in 0..legs {
+                parents.push(Some(id));
+            }
+        }
+        Self::from_parents(&parents)
+    }
+}
+
+/// Iterator from a node up to the root (inclusive).
+pub struct Ancestors<'a> {
+    tree: &'a Tree,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let v = self.next?;
+        self.next = self.tree.parent(v);
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node() {
+        let t = Tree::from_parents(&[None]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.max_degree(), 0);
+        assert!(t.is_leaf(t.root()));
+        assert_eq!(t.subtree(t.root()), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn path_shape() {
+        let t = Tree::path(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.height(), 5);
+        assert_eq!(t.max_degree(), 1);
+        assert_eq!(t.depth(NodeId(4)), 4);
+        assert_eq!(t.subtree_size(NodeId(2)), 3);
+        assert!(t.is_ancestor_or_self(NodeId(1), NodeId(4)));
+        assert!(!t.is_ancestor_or_self(NodeId(4), NodeId(1)));
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Tree::star(6);
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.max_degree(), 6);
+        assert_eq!(t.leaves().len(), 6);
+        for leaf in t.leaves() {
+            assert_eq!(t.parent(leaf), Some(t.root()));
+            assert_eq!(t.subtree_size(leaf), 1);
+        }
+    }
+
+    #[test]
+    fn kary_shape() {
+        let t = Tree::kary(2, 4);
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.max_degree(), 2);
+        assert_eq!(t.subtree_size(t.root()), 15);
+        assert_eq!(t.leaves().len(), 8);
+    }
+
+    #[test]
+    fn kary_unary_is_path() {
+        let t = Tree::kary(1, 6);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.height(), 6);
+        assert_eq!(t.max_degree(), 1);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = Tree::caterpillar(4, 3);
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.height(), 5); // spine depth 4 plus legs on the last spine node
+        assert_eq!(t.max_degree(), 4); // spine child + 3 legs
+    }
+
+    #[test]
+    fn preorder_subtree_slices() {
+        //      0
+        //     / \
+        //    1   4
+        //   / \
+        //  2   3
+        let t = Tree::from_parents(&[None, Some(0), Some(1), Some(1), Some(0)]);
+        assert_eq!(t.preorder(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(t.subtree(NodeId(1)), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(t.subtree(NodeId(4)), &[NodeId(4)]);
+        assert_eq!(t.subtree_size(NodeId(0)), 5);
+    }
+
+    #[test]
+    fn ancestor_queries_match_walk() {
+        let t = Tree::from_parents(&[None, Some(0), Some(1), Some(1), Some(0), Some(4), Some(4)]);
+        for a in t.nodes() {
+            for d in t.nodes() {
+                let by_walk = t.ancestors_inclusive(d).any(|x| x == a);
+                assert_eq!(t.is_ancestor_or_self(a, d), by_walk, "a={a:?} d={d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn root_path_order() {
+        let t = Tree::path(4);
+        assert_eq!(t.root_path(NodeId(3)), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(t.root_path(NodeId(0)), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn subtree_sizes_sum() {
+        let t = Tree::kary(3, 4);
+        // Sum of subtree sizes equals sum over nodes of (depth-ish) — here we
+        // just check root and leaf invariants plus monotonicity along edges.
+        for v in t.nodes() {
+            if let Some(p) = t.parent(v) {
+                assert!(t.subtree_size(p) > t.subtree_size(v));
+            }
+        }
+        let leaf_total: u32 = t.leaves().iter().map(|&l| t.subtree_size(l)).sum();
+        assert_eq!(leaf_total, t.leaves().len() as u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one root")]
+    fn no_root_panics() {
+        // 0 <-> 1 cycle, no None entry.
+        let _ = Tree::from_parents(&[Some(1), Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple roots")]
+    fn two_roots_panic() {
+        let _ = Tree::from_parents(&[None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a connected tree")]
+    fn cycle_panics() {
+        // Root plus a 2-cycle among {1, 2}.
+        let _ = Tree::from_parents(&[None, Some(2), Some(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "own parent")]
+    fn self_loop_panics() {
+        let _ = Tree::from_parents(&[None, Some(1)]);
+    }
+}

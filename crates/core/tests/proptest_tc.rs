@@ -1,0 +1,225 @@
+//! Property-based tests for the TC algorithm and the problem invariants.
+//!
+//! These tests make the paper's Lemma 5.1 / Claim A.1 executable:
+//!
+//! 1. `TcFast` and `TcReference` agree step-for-step on random trees and
+//!    random request streams, and `TcFast`'s maintained aggregates always
+//!    match a from-scratch recomputation (`audit`).
+//! 2. The cache is a subforest at all times and never exceeds capacity.
+//! 3. Every applied changeset is valid and is a single tree cap
+//!    (Lemma 5.1(4)).
+//! 4. After every round, **no** valid changeset is strictly saturated
+//!    (Claim A.1 invariants 1–2, checked exhaustively on small trees).
+
+use std::sync::Arc;
+
+use otc_core::changeset::{
+    enumerate_valid_negative, enumerate_valid_positive, is_tree_cap, is_valid_negative,
+    is_valid_positive,
+};
+use otc_core::policy::{Action, CachePolicy};
+use otc_core::tc::{TcConfig, TcFast, TcReference};
+use otc_core::tree::{NodeId, Tree};
+use otc_core::{Request, Sign};
+use proptest::prelude::*;
+
+/// Random tree on `n` nodes via a random-attachment parent array
+/// (`parent[i] < i`), which generates every rooted tree shape.
+fn tree_from_seeds(seeds: &[u64]) -> Tree {
+    let n = seeds.len() + 1;
+    let mut parents: Vec<Option<usize>> = Vec::with_capacity(n);
+    parents.push(None);
+    for (i, &s) in seeds.iter().enumerate() {
+        parents.push(Some((s % (i as u64 + 1)) as usize));
+    }
+    Tree::from_parents(&parents)
+}
+
+fn requests_from_seeds(n: usize, seeds: &[(u64, bool)]) -> Vec<Request> {
+    seeds
+        .iter()
+        .map(|&(s, positive)| {
+            let node = NodeId((s % n as u64) as u32);
+            if positive {
+                Request::pos(node)
+            } else {
+                Request::neg(node)
+            }
+        })
+        .collect()
+}
+
+fn arb_instance(
+    max_nodes: usize,
+    max_len: usize,
+) -> impl Strategy<Value = (Tree, Vec<Request>, u64, usize)> {
+    (
+        prop::collection::vec(any::<u64>(), 0..max_nodes),
+        prop::collection::vec((any::<u64>(), any::<bool>()), 1..max_len),
+        1u64..6,
+        1usize..10,
+    )
+        .prop_map(|(tree_seeds, req_seeds, alpha, capacity)| {
+            let tree = tree_from_seeds(&tree_seeds);
+            let reqs = requests_from_seeds(tree.len(), &req_seeds);
+            (tree, reqs, alpha, capacity)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fast ≡ reference, audits pass, cache valid & within capacity.
+    #[test]
+    fn lockstep_equivalence((tree, reqs, alpha, capacity) in arb_instance(24, 300)) {
+        let tree = Arc::new(tree);
+        let cfg = TcConfig::new(alpha, capacity);
+        let mut fast = TcFast::new(Arc::clone(&tree), cfg);
+        let mut refr = TcReference::new(Arc::clone(&tree), cfg);
+        for (i, &req) in reqs.iter().enumerate() {
+            let a = fast.step(req);
+            let b = refr.step(req);
+            prop_assert_eq!(&a, &b, "divergence at step {}", i);
+            prop_assert_eq!(fast.cache(), refr.cache());
+            prop_assert!(fast.cache().len() <= capacity, "capacity exceeded");
+            if let Err(e) = fast.audit() {
+                return Err(TestCaseError::fail(format!("audit failed at step {i}: {e}")));
+            }
+        }
+    }
+
+    /// Every applied changeset is a valid changeset for the pre-step cache
+    /// and a single tree cap rooted at its first element (Lemma 5.1(4)).
+    #[test]
+    fn applied_changesets_are_valid_tree_caps(
+        (tree, reqs, alpha, capacity) in arb_instance(16, 250)
+    ) {
+        let tree = Arc::new(tree);
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, capacity));
+        for &req in &reqs {
+            let pre_cache = tc.cache().clone();
+            let out = tc.step(req);
+            for action in &out.actions {
+                match action {
+                    Action::Fetch(set) => {
+                        prop_assert!(is_valid_positive(&tree, &pre_cache, set));
+                        prop_assert!(is_tree_cap(&tree, set[0], set));
+                        prop_assert!(set.contains(&req.node), "Lemma 5.1(1)");
+                    }
+                    Action::Evict(set) => {
+                        prop_assert!(is_valid_negative(&tree, &pre_cache, set));
+                        prop_assert!(is_tree_cap(&tree, set[0], set));
+                        prop_assert!(set.contains(&req.node), "Lemma 5.1(1)");
+                    }
+                    Action::Flush(set) => {
+                        // A flush evicts exactly the pre-step cache contents.
+                        let mut expect: Vec<NodeId> = pre_cache.iter().collect();
+                        expect.sort_unstable();
+                        let mut got = set.clone();
+                        got.sort_unstable();
+                        prop_assert_eq!(expect, got);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Claim A.1 invariant: right after every round, no valid changeset is
+    /// over-saturated; right after an application, none is saturated at all.
+    /// Exhaustive over all valid changesets — tiny trees only.
+    #[test]
+    fn no_valid_changeset_oversaturated(
+        (tree, reqs, alpha, capacity) in arb_instance(8, 120)
+    ) {
+        let tree = Arc::new(tree);
+        let mut tc = TcReference::new(Arc::clone(&tree), TcConfig::new(alpha, capacity));
+        for &req in &reqs {
+            let out = tc.step(req);
+            let applied = out.actions.iter().any(|a| matches!(a, Action::Fetch(_) | Action::Evict(_)));
+            let cache = tc.cache().clone();
+            let cnt_of = |set: &[NodeId]| -> u64 { set.iter().map(|&v| tc.counter(v)).sum() };
+            for set in enumerate_valid_positive(&tree, &cache)
+                .into_iter()
+                .chain(enumerate_valid_negative(&tree, &cache))
+            {
+                let bound = set.len() as u64 * alpha;
+                let cnt = cnt_of(&set);
+                prop_assert!(cnt <= bound, "over-saturated set {:?}", set);
+                if applied {
+                    // Lemma 5.1(3): after an application nothing is saturated.
+                    prop_assert!(cnt < bound, "saturated set {:?} right after application", set);
+                }
+            }
+        }
+    }
+
+    /// After a flush the cache is empty and every counter is zero
+    /// (new phase starts from scratch).
+    #[test]
+    fn flush_starts_clean_phase((tree, reqs, alpha, _) in arb_instance(12, 200)) {
+        let tree = Arc::new(tree);
+        // Tiny capacity provokes flushes.
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, 1));
+        let mut flushes = 0;
+        for &req in &reqs {
+            let out = tc.step(req);
+            if out.actions.iter().any(|a| matches!(a, Action::Flush(_))) {
+                flushes += 1;
+                prop_assert!(tc.cache().is_empty());
+                for v in tree.nodes() {
+                    prop_assert_eq!(tc.counter(v), 0);
+                }
+            }
+        }
+        prop_assert_eq!(tc.stats().phases_restarted, flushes);
+    }
+
+    /// Non-paying requests change nothing at all (Section 6 remark).
+    #[test]
+    fn non_paying_requests_are_noops((tree, reqs, alpha, capacity) in arb_instance(16, 200)) {
+        let tree = Arc::new(tree);
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, capacity));
+        for &req in &reqs {
+            let pays = match req.sign {
+                Sign::Positive => !tc.cache().contains(req.node),
+                Sign::Negative => tc.cache().contains(req.node),
+            };
+            let before = tc.cache().clone();
+            let out = tc.step(req);
+            if !pays {
+                prop_assert!(!out.paid_service);
+                prop_assert!(out.actions.is_empty());
+                prop_assert_eq!(&before, tc.cache());
+            } else {
+                prop_assert!(out.paid_service);
+            }
+        }
+    }
+}
+
+#[test]
+fn regression_two_node_path_alpha_one() {
+    // Smallest interesting instance: path 0→1, α = 1, capacity 1.
+    let tree = Arc::new(Tree::path(2));
+    let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(1, 1));
+
+    // Leaf request: P(1) = {1} saturates immediately → fetch {1}.
+    let out = tc.step(Request::pos(NodeId(1)));
+    assert_eq!(out.actions, vec![Action::Fetch(vec![NodeId(1)])]);
+
+    // Root request: with 1 cached, P(0) = {0} saturates at cnt(0) = 1, but
+    // fetching it would exceed capacity (1 + 1 > 1) → flush, new phase.
+    let out = tc.step(Request::pos(NodeId(0)));
+    assert_eq!(out.actions, vec![Action::Flush(vec![NodeId(1)])]);
+    assert!(tc.cache().is_empty());
+
+    // Fresh phase: P(0) = {0, 1} needs cnt = 2. First root request: no-op.
+    let out = tc.step(Request::pos(NodeId(0)));
+    assert!(out.actions.is_empty());
+    // Second: saturated, but |P(0)| = 2 > capacity → flush of an empty
+    // cache (cost 0) and yet another phase. The root is simply uncacheable
+    // at this capacity, exactly as the model prescribes.
+    let out = tc.step(Request::pos(NodeId(0)));
+    assert_eq!(out.actions, vec![Action::Flush(vec![])]);
+    tc.audit().expect("consistent");
+}

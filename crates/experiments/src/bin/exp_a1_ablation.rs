@@ -1,0 +1,131 @@
+//! A1 — ablation: maximality of the fetched changeset.
+//!
+//! TC fetches the *maximal* saturated tree cap; the ablated variant
+//! fetches the *minimal* one. Divergence requires nested caps saturating
+//! simultaneously (possible — see the constructed script in
+//! `otc-baselines::tc_variants`), so the experiment measures both on
+//! (a) streams seeded with that construction and (b) plain random streams,
+//! against exact OPT on small trees.
+
+use std::sync::Arc;
+
+use otc_baselines::{opt_cost, FetchScan, OverflowRule, TcVariant};
+use otc_core::policy::CachePolicy;
+use otc_core::request::Request;
+use otc_core::tree::{NodeId, Tree};
+use otc_experiments::{banner, fmt_f64, ratio, Table};
+use otc_util::SplitMix64;
+use otc_workloads::uniform_mixed;
+
+/// The divergence gadget stream: park counts so that P(leaf) and P(root)
+/// saturate at the same request, repeated with churn in between.
+fn gadget_stream(repeats: usize, alpha: u64) -> (Arc<Tree>, Vec<Request>) {
+    let tree = Arc::new(Tree::star(2));
+    let mut reqs = Vec::new();
+    for _ in 0..repeats {
+        reqs.push(Request::pos(NodeId(2)));
+        for _ in 0..(2 * alpha - 1) {
+            reqs.push(Request::pos(NodeId(0)));
+        }
+        reqs.push(Request::pos(NodeId(1)));
+        for _ in 0..alpha - 1 {
+            reqs.push(Request::pos(NodeId(1)));
+        }
+        // Churn everything out so the pattern can repeat.
+        for node in [0u32, 1, 2] {
+            for _ in 0..2 * alpha {
+                reqs.push(Request::neg(NodeId(node)));
+            }
+        }
+    }
+    (tree, reqs)
+}
+
+fn cost_of(policy: &mut dyn CachePolicy, reqs: &[Request], alpha: u64) -> u64 {
+    let (service, touched) = otc_core::policy::run_raw(policy, reqs);
+    service + alpha * touched
+}
+
+fn main() {
+    banner(
+        "A1",
+        "ablation: maximality of the fetched cap (design choice of Section 4)",
+        "the maximal fetch absorbs more request mass per α spent",
+    );
+
+    let mut table =
+        Table::new(["workload", "alpha", "k", "tc (maximal)", "minimal fetch", "min/max ratio"]);
+
+    // (a) the divergence gadget.
+    for alpha in [2u64, 4, 8] {
+        let (tree, reqs) = gadget_stream(60, alpha);
+        let k = 3;
+        let mut maximal =
+            TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::TopDown, OverflowRule::Flush);
+        let mut minimal =
+            TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::BottomUp, OverflowRule::Flush);
+        let c_max = cost_of(&mut maximal, &reqs, alpha);
+        let c_min = cost_of(&mut minimal, &reqs, alpha);
+        table.row([
+            "divergence gadget".to_string(),
+            alpha.to_string(),
+            k.to_string(),
+            c_max.to_string(),
+            c_min.to_string(),
+            fmt_f64(ratio(c_min, c_max)),
+        ]);
+    }
+
+    // (b) random streams on small trees, with exact OPT as reference.
+    let mut rng = SplitMix64::new(0xA1);
+    let tree = Arc::new(Tree::kary(2, 3));
+    let mut table_rand = Table::new([
+        "seeds", "alpha", "k", "mean tc/OPT (maximal)", "mean min-fetch/OPT", "worse by",
+    ]);
+    for (alpha, k) in [(2u64, 4usize), (4, 5)] {
+        let mut acc_max = 0.0;
+        let mut acc_min = 0.0;
+        let seeds = 20;
+        for _ in 0..seeds {
+            let reqs = uniform_mixed(&tree, 500, 0.35, &mut rng);
+            let opt = opt_cost(&tree, &reqs, alpha, k);
+            let mut maximal = TcVariant::new(
+                Arc::clone(&tree),
+                alpha,
+                k,
+                FetchScan::TopDown,
+                OverflowRule::Flush,
+            );
+            let mut minimal = TcVariant::new(
+                Arc::clone(&tree),
+                alpha,
+                k,
+                FetchScan::BottomUp,
+                OverflowRule::Flush,
+            );
+            acc_max += ratio(cost_of(&mut maximal, &reqs, alpha), opt);
+            acc_min += ratio(cost_of(&mut minimal, &reqs, alpha), opt);
+        }
+        table_rand.row([
+            seeds.to_string(),
+            alpha.to_string(),
+            k.to_string(),
+            fmt_f64(acc_max / f64::from(seeds)),
+            fmt_f64(acc_min / f64::from(seeds)),
+            fmt_f64(acc_min / acc_max),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!("{}", table_rand.to_markdown());
+    println!(
+        "Reading: the gadget proves the two scans genuinely diverge (simultaneous\n\
+         saturation of nested caps is constructible). On it the *minimal* fetch is\n\
+         even cheaper — the maximal fetch buys the whole tree just before churn\n\
+         destroys it. On random streams the variants almost never diverge. The\n\
+         lesson matches the theory: maximality is not a pointwise cost optimisation\n\
+         but what makes Lemma 5.12's bound on the open field work — after a maximal\n\
+         fetch *nothing* saturated survives (Lemma 5.1(3)), which is what caps\n\
+         req(F∞) against OPT. The competitive guarantee needs it; the average case\n\
+         does not reward it."
+    );
+}

@@ -1,0 +1,118 @@
+//! A2 — ablation: phase restarts (the flush-on-overflow rule).
+//!
+//! TC's competitive proof leans on phases: when a saturated fetch would
+//! overflow the cache, TC flushes *everything* and starts over. The
+//! ablated variant cancels the fetch and keeps the (stale) cache. Under a
+//! shifting working set with a tight cache, the no-flush variant strands
+//! old content: it keeps paying misses on the new hot set because the new
+//! set's fetches keep overflowing. The experiment measures both across
+//! drift epochs.
+
+use std::sync::Arc;
+
+use otc_baselines::{FetchScan, OverflowRule, TcVariant};
+use otc_core::policy::CachePolicy;
+use otc_core::request::Request;
+use otc_core::tree::Tree;
+use otc_experiments::{banner, fmt_f64, ratio, Table};
+use otc_util::SplitMix64;
+use otc_workloads::{random_attachment, shifting_zipf};
+
+fn cost_of(policy: &mut dyn CachePolicy, reqs: &[Request], alpha: u64) -> u64 {
+    let (service, touched) = otc_core::policy::run_raw(policy, reqs);
+    service + alpha * touched
+}
+
+fn main() {
+    banner(
+        "A2",
+        "ablation: phase restart on overflow (Section 4's flush rule)",
+        "without flushes a stale cache can be stranded across working-set shifts",
+    );
+
+    let mut rng = SplitMix64::new(0xA2);
+
+    // Regime 1: tight cache, mixed drift — both variants thrash; flushes
+    // are not expected to win here (recorded honestly).
+    println!("### Tight cache, moderate skew (hot set larger than the cache)\n");
+    let tree = Arc::new(random_attachment(200, &mut rng));
+    let mut table = Table::new([
+        "alpha", "k", "epoch", "tc (flush)", "no-flush", "no-flush/tc",
+    ]);
+    for (alpha, k, epoch) in [
+        (2u64, 6usize, 4_000usize),
+        (2, 10, 4_000),
+        (4, 6, 8_000),
+        (4, 10, 8_000),
+        (8, 16, 8_000),
+    ] {
+        let reqs = shifting_zipf(&tree, 80_000, 1.3, epoch, &mut rng);
+        let mut flush =
+            TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::TopDown, OverflowRule::Flush);
+        let mut noflush =
+            TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::TopDown, OverflowRule::Ignore);
+        let c_flush = cost_of(&mut flush, &reqs, alpha);
+        let c_noflush = cost_of(&mut noflush, &reqs, alpha);
+        table.row([
+            alpha.to_string(),
+            k.to_string(),
+            epoch.to_string(),
+            c_flush.to_string(),
+            c_noflush.to_string(),
+            fmt_f64(ratio(c_noflush, c_flush)),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    // Regime 2: the stranding pathology, deterministic. A star with 2k
+    // leaves; epochs alternate between round-robin hammering of leaf set
+    // A = {1..k} and set B = {k+1..2k}. The input is positive-only, so the
+    // no-flush variant can never evict: once set A fills the cache, every
+    // set-B fetch overflows, its counters are reset, and *every* set-B
+    // request pays — for the entire epoch. TC flushes once per epoch
+    // switch and re-converges at O(k·α) cost.
+    println!("### Stranding: alternating working sets, positive-only (deterministic)\n");
+    let mut table = Table::new([
+        "alpha", "k", "epoch len", "tc (flush)", "no-flush", "no-flush/tc", "stranded",
+    ]);
+    for (alpha, k, epoch_len, epochs) in [
+        (2u64, 8usize, 2_000usize, 8usize),
+        (4, 8, 4_000, 8),
+        (4, 16, 8_000, 6),
+        (8, 16, 16_000, 6),
+    ] {
+        let tree = Arc::new(Tree::star(2 * k));
+        let mut reqs = Vec::with_capacity(epoch_len * epochs);
+        for e in 0..epochs {
+            let base = if e % 2 == 0 { 1 } else { k + 1 };
+            for round in 0..epoch_len {
+                reqs.push(Request::pos(otc_core::tree::NodeId((base + round % k) as u32)));
+            }
+        }
+        let mut flush =
+            TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::TopDown, OverflowRule::Flush);
+        let mut noflush =
+            TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::TopDown, OverflowRule::Ignore);
+        let c_flush = cost_of(&mut flush, &reqs, alpha);
+        let c_noflush = cost_of(&mut noflush, &reqs, alpha);
+        let r = ratio(c_noflush, c_flush);
+        table.row([
+            alpha.to_string(),
+            k.to_string(),
+            epoch_len.to_string(),
+            c_flush.to_string(),
+            c_noflush.to_string(),
+            fmt_f64(r),
+            (r > 2.0).to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "Reading: under thrashing drift (regime 1) flushes cost a few percent —\n\
+         phases are an analysis device, not an average-case win. But without them\n\
+         (regime 2) a full cache of stale content can be stranded *forever* on\n\
+         positive-only inputs: the no-flush variant's cost blows up by the drift\n\
+         period. The flush rule is what bounds every phase independently in the\n\
+         competitive proof — and what prevents unbounded stranding."
+    );
+}

@@ -1,0 +1,106 @@
+//! E1 — Theorem 5.15: TC is `O(h(T) · R)`-competitive,
+//! `R = kONL/(kONL − kOPT + 1)`.
+//!
+//! Part A sweeps tree *height* at (nearly) fixed size and measures the
+//! worst observed `TC/OPT` against exact OPT (subforest-state DP) on
+//! random mixed request streams. Part B sweeps the *augmentation* `R` by
+//! varying `kOPT` at fixed `kONL`. The paper proves an upper bound, so the
+//! check is: every measured ratio stays below a small multiple of
+//! `h(T)·R`, and the measured worst ratios grow no faster than the bound.
+
+use std::sync::Arc;
+
+use otc_baselines::opt_cost;
+use otc_core::tree::Tree;
+use otc_experiments::{banner, fmt_f64, ratio, tc_total, Table};
+use otc_util::{parallel_map, SplitMix64};
+use otc_workloads::uniform_mixed;
+
+fn measured_ratios(
+    tree: &Arc<Tree>,
+    alpha: u64,
+    k_onl: usize,
+    k_opt: usize,
+    seeds: u64,
+    len: usize,
+) -> (f64, f64) {
+    let cells: Vec<u64> = (0..seeds).collect();
+    let ratios = parallel_map(cells, |&seed| {
+        let mut rng = SplitMix64::new(0xE1_0000 + seed);
+        let reqs = uniform_mixed(tree, len, 0.35, &mut rng);
+        let tc = tc_total(tree, &reqs, alpha, k_onl);
+        let opt = opt_cost(tree, &reqs, alpha, k_opt);
+        ratio(tc, opt)
+    });
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let max = ratios.iter().copied().fold(0.0f64, f64::max);
+    (mean, max)
+}
+
+fn main() {
+    banner(
+        "E1",
+        "Theorem 5.15 (competitive upper bound)",
+        "TC(I) <= O(h(T) * kONL/(kONL-kOPT+1)) * OPT(I) + const",
+    );
+
+    // Part A: height sweep at comparable size (n in 7..=10), kONL = kOPT.
+    println!("### Part A — ratio vs tree height (kONL = kOPT = 4, exact OPT)\n");
+    let shapes: Vec<(&str, Tree)> = vec![
+        ("star(8)", Tree::star(8)),
+        ("kary(2,3)", Tree::kary(2, 3)),
+        ("caterpillar(4,1)", Tree::caterpillar(4, 1)),
+        ("broom(6,3)", otc_workloads::broom(6, 3)),
+        ("path(9)", Tree::path(9)),
+    ];
+    let mut table = Table::new(["tree", "n", "h", "alpha", "mean TC/OPT", "max TC/OPT", "bound h*R", "ok"]);
+    let (k_onl, k_opt) = (4usize, 4usize);
+    let r_aug = k_onl as f64 / (k_onl - k_opt + 1) as f64;
+    for (name, tree) in shapes {
+        let tree = Arc::new(tree);
+        for alpha in [2u64, 4] {
+            let (mean, max) = measured_ratios(&tree, alpha, k_onl, k_opt, 24, 600);
+            let h = tree.height() as f64;
+            let bound = h * r_aug;
+            // "ok" means the measured worst case respects the bound with a
+            // generous universal constant (the theorem's O(·) hides one).
+            let ok = max <= 4.0 * bound + 4.0;
+            table.row([
+                name.to_string(),
+                tree.len().to_string(),
+                tree.height().to_string(),
+                alpha.to_string(),
+                fmt_f64(mean),
+                fmt_f64(max),
+                fmt_f64(bound),
+                ok.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.to_markdown());
+
+    // Part B: augmentation sweep on a fixed tree.
+    println!("### Part B — ratio vs augmentation R (kary(2,3), kONL = 5)\n");
+    let tree = Arc::new(Tree::kary(2, 3));
+    let mut table = Table::new(["kOPT", "R", "alpha", "mean TC/OPT", "max TC/OPT", "bound h*R"]);
+    for k_opt in 1..=5usize {
+        let k_onl = 5usize;
+        let r_aug = k_onl as f64 / (k_onl - k_opt + 1) as f64;
+        for alpha in [2u64, 4] {
+            let (mean, max) = measured_ratios(&tree, alpha, k_onl, k_opt, 24, 600);
+            table.row([
+                k_opt.to_string(),
+                fmt_f64(r_aug),
+                alpha.to_string(),
+                fmt_f64(mean),
+                fmt_f64(max),
+                fmt_f64(tree.height() as f64 * r_aug),
+            ]);
+        }
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "Reading: ratios must stay under a small multiple of h*R and grow with R; \
+         OPT is exact (subforest DP), so any bound violation would falsify the theorem."
+    );
+}

@@ -1,0 +1,112 @@
+//! E6 — Theorem 6.1: TC decides in
+//! `O(h(T) + max{h(T), deg(T)}·|Xt|)` operations with `O(|T|)` memory.
+//!
+//! Two measurements:
+//! 1. **Operation counts** — `TcFast` counts its elementary steps
+//!    (ancestors visited, changeset nodes touched, children scanned); the
+//!    table reports the worst observed `ops / (h + max(h, deg)·|Xt|)`
+//!    normalisation, which must stay below a small constant across shapes
+//!    that stress each term (deep paths → `h`, wide stars → `deg`).
+//! 2. **Wall-clock** — ns/request of the fast implementation vs the
+//!    from-scratch reference (O(n) per paying round) on a mid-size tree.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast, TcReference};
+use otc_core::tree::Tree;
+use otc_experiments::{banner, fmt_f64, Table};
+use otc_util::SplitMix64;
+use otc_workloads::{random_attachment, uniform_mixed, zipf_positive};
+
+fn main() {
+    banner(
+        "E6",
+        "Theorem 6.1 (efficient implementation)",
+        "per decision: O(h(T) + max{h(T), deg(T)}·|Xt|) operations, O(|T|) memory",
+    );
+
+    println!("### Operation counts, normalised by the theorem's envelope\n");
+    let mut rng = SplitMix64::new(0xE6);
+    let mut table = Table::new([
+        "tree", "n", "h", "deg", "alpha", "mean ops/req", "worst normalised", "ok(<8)",
+    ]);
+    let shapes: Vec<(String, Arc<Tree>)> = vec![
+        ("path(2000)".into(), Arc::new(Tree::path(2000))),
+        ("star(20000)".into(), Arc::new(Tree::star(20_000))),
+        ("kary(2,12)".into(), Arc::new(Tree::kary(2, 12))),
+        ("kary(8,5)".into(), Arc::new(Tree::kary(8, 5))),
+        ("random(50000)".into(), Arc::new(random_attachment(50_000, &mut rng))),
+    ];
+    for (name, tree) in &shapes {
+        let alpha = 4u64;
+        let k = (tree.len() / 4).max(4);
+        let reqs = uniform_mixed(tree, 150_000, 0.4, &mut rng);
+        let mut tc = TcFast::new(Arc::clone(tree), TcConfig::new(alpha, k));
+        let h = u64::from(tree.height());
+        let deg = u64::from(tree.max_degree());
+        let mut worst_norm = 0.0f64;
+        let mut paying = 0u64;
+        for &r in &reqs {
+            let out = tc.step(r);
+            if !out.paid_service {
+                continue;
+            }
+            paying += 1;
+            let xt: u64 = out.nodes_touched() as u64;
+            let envelope = h + h.max(deg) * xt + 1;
+            let norm = tc.last_step_ops() as f64 / envelope as f64;
+            worst_norm = worst_norm.max(norm);
+        }
+        let mean_ops = tc.total_ops() as f64 / paying.max(1) as f64;
+        table.row([
+            name.clone(),
+            tree.len().to_string(),
+            tree.height().to_string(),
+            tree.max_degree().to_string(),
+            alpha.to_string(),
+            fmt_f64(mean_ops),
+            fmt_f64(worst_norm),
+            (worst_norm < 8.0).to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    println!("### Wall-clock: fast implementation vs from-scratch reference\n");
+    let mut table =
+        Table::new(["tree", "n", "requests", "fast ns/req", "reference ns/req", "speedup"]);
+    for n in [300usize, 1000, 3000] {
+        let tree = Arc::new(random_attachment(n, &mut rng));
+        let reqs = zipf_positive(&tree, 60_000, 0.9, &mut rng);
+        let alpha = 4u64;
+        let k = n / 3;
+        let time_of = |policy: &mut dyn CachePolicy| -> f64 {
+            let start = Instant::now();
+            for &r in &reqs {
+                let _ = policy.step(r);
+            }
+            start.elapsed().as_nanos() as f64 / reqs.len() as f64
+        };
+        let mut fast = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
+        let fast_ns = time_of(&mut fast);
+        let mut reference = TcReference::new(Arc::clone(&tree), TcConfig::new(alpha, k));
+        let ref_ns = time_of(&mut reference);
+        table.row([
+            format!("random({n})"),
+            n.to_string(),
+            reqs.len().to_string(),
+            fmt_f64(fast_ns),
+            fmt_f64(ref_ns),
+            fmt_f64(ref_ns / fast_ns),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "Reading: the normalised worst case stays O(1) across height- and degree-\n\
+         extremal shapes — the Theorem 6.1 envelope. The reference implementation's\n\
+         per-request time grows with n while the fast one's does not; the speedup\n\
+         column should widen with n. (Criterion benches in otc-bench repeat this\n\
+         with statistical rigour.)"
+    );
+}

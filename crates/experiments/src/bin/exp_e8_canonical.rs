@@ -1,0 +1,94 @@
+//! E8 — Appendix B: canonicalization costs at most a factor 2.
+//!
+//! Rule updates arrive as α-chunks of negative requests; a *canonical*
+//! solution never reorganises strictly inside a chunk. The experiment
+//! records TC's actual solution on churny workloads, applies the
+//! postponement transform, re-evaluates both with the independent solution
+//! evaluator, and reports the measured inflation — the paper proves it is
+//! ≤ 2 (that factor is what the forwarding-table reduction pays).
+
+use std::sync::Arc;
+
+use otc_baselines::InvalidateOnUpdate;
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_experiments::{banner, fmt_f64, Table};
+use otc_sdn::{canonicalize, evaluate_solution, is_canonical, record_run};
+use otc_trie::{hierarchical_table, HierarchicalConfig, RuleTree};
+use otc_util::SplitMix64;
+
+fn main() {
+    banner(
+        "E8",
+        "Appendix B (canonical solutions / forwarding-table reduction)",
+        "postponing in-chunk reorganisations costs at most a factor 2",
+    );
+
+    let mut rng = SplitMix64::new(0xE8);
+    let rules = RuleTree::build(&hierarchical_table(
+        HierarchicalConfig { n: 512, subdivide_p: 0.75, max_len: 28 },
+        &mut rng,
+    ));
+    let tree = Arc::new(rules.tree().clone());
+
+    let mut table = Table::new([
+        "policy", "alpha", "update_p", "chunks", "in-chunk actions", "original cost",
+        "canonical cost", "inflation", "<= 2",
+    ]);
+    for (alpha, update_p) in [(2u64, 0.1), (4, 0.1), (4, 0.3), (8, 0.3), (8, 0.5)] {
+        let cfg = otc_sdn::FibWorkloadConfig {
+            events: 40_000,
+            theta: 0.9,
+            update_p,
+            addr_attempts: 16,
+        };
+        let events = otc_sdn::generate_events(&rules, cfg, &mut rng);
+        let (reqs, chunks) = otc_sdn::to_request_stream(&rules, &events, alpha);
+        let capacity = 96usize;
+        // TC never acts strictly inside an α-aligned chunk (all its
+        // counters advance in multiples of α here), so its inflation is
+        // exactly 1 — a structural fact worth recording. The
+        // invalidate-on-update policy evicts at the *first* negative of a
+        // chunk, so canonicalization genuinely moves its actions.
+        let policies: Vec<(&str, Box<dyn CachePolicy>)> = vec![
+            ("tc", Box::new(TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, capacity)))),
+            (
+                "invalidate-on-update",
+                Box::new(InvalidateOnUpdate::new(Arc::clone(&tree), capacity)),
+            ),
+        ];
+        for (name, mut policy) in policies {
+            let original = record_run(policy.as_mut(), &reqs);
+            let in_chunk_actions: usize = chunks
+                .iter()
+                .map(|c| (c.start..c.end - 1).map(|t| original.actions[t].len()).sum::<usize>())
+                .sum();
+            let canonical = canonicalize(&original, &chunks);
+            assert!(is_canonical(&canonical, &chunks));
+            let c0 = evaluate_solution(&tree, &reqs, &original, alpha, capacity)
+                .expect("recorded solution is valid");
+            let c1 = evaluate_solution(&tree, &reqs, &canonical, alpha, capacity)
+                .expect("canonical solution stays valid");
+            let inflation = c1.total() as f64 / c0.total().max(1) as f64;
+            table.row([
+                name.to_string(),
+                alpha.to_string(),
+                fmt_f64(update_p),
+                chunks.len().to_string(),
+                in_chunk_actions.to_string(),
+                c0.total().to_string(),
+                c1.total().to_string(),
+                fmt_f64(inflation),
+                (inflation <= 2.0).to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "Reading: inflation must never exceed 2 (Appendix B). TC sits at exactly 1\n\
+         (its counters only cross saturation at chunk boundaries when all negative\n\
+         mass arrives α-chunked); invalidate-on-update acts at the first negative of\n\
+         every chunk, so its canonicalised solution pays the full chunk service —\n\
+         the factor-2 envelope in action."
+    );
+}

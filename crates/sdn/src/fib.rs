@@ -1,0 +1,364 @@
+//! The router/controller FIB-caching system (paper, Section 2, Figure 1).
+//!
+//! A router holds a capacity-bounded cache of forwarding rules (its TCAM);
+//! an SDN controller holds the full table and runs the caching algorithm.
+//! Packets whose longest-matching-prefix rule is cached are forwarded at
+//! cost 0; others fall through the artificial default rule to the
+//! controller at cost 1 — a positive request. A rule update is free at the
+//! controller but costs α when the rule sits in the router; the paper
+//! encodes that as a chunk of α negative requests (Section 2 / Appendix B).
+//!
+//! The subforest invariant **is** forwarding correctness here: if the true
+//! LMP rule of a packet is absent from the router, no ancestor rule can be
+//! present either (downward closure), so the packet can only hit the
+//! default rule — never a wrong less-specific rule.
+
+use otc_core::policy::CachePolicy;
+use otc_core::request::Request;
+use otc_core::tree::NodeId;
+use otc_trie::RuleTree;
+use otc_util::{SplitMix64, Zipf};
+
+/// One event at the router/controller boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FibEvent {
+    /// A data packet to this destination address.
+    Packet(u32),
+    /// A routing update (e.g. BGP) rewriting this rule's action.
+    Update(NodeId),
+}
+
+/// Application-level outcome of a FIB-caching run.
+#[derive(Debug, Clone, Default)]
+pub struct FibReport {
+    /// Policy under test.
+    pub name: String,
+    /// Packets processed.
+    pub packets: u64,
+    /// Packets forwarded by the router (rule cached).
+    pub hits: u64,
+    /// Packets bounced to the controller.
+    pub misses: u64,
+    /// Rule updates processed.
+    pub updates: u64,
+    /// Updates that found their rule inside the router.
+    pub updates_while_cached: u64,
+    /// Total service cost (misses + paid negative rounds).
+    pub service_cost: u64,
+    /// Total reorganisation cost (α × nodes fetched/evicted).
+    pub reorg_cost: u64,
+}
+
+impl FibReport {
+    /// Fraction of packets bounced to the controller.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.packets as f64
+        }
+    }
+
+    /// Total monetary cost in the tree-caching model.
+    #[must_use]
+    pub fn total_cost(&self) -> u64 {
+        self.service_cost + self.reorg_cost
+    }
+}
+
+/// Runs a caching policy over an event stream.
+///
+/// Each packet becomes one positive request to its LMP rule; each update
+/// becomes a chunk of `alpha` negative requests to the rule (the paper's
+/// encoding of the α router-update cost).
+pub fn run_fib(
+    rules: &RuleTree,
+    policy: &mut dyn CachePolicy,
+    events: &[FibEvent],
+    alpha: u64,
+) -> FibReport {
+    let mut report = FibReport { name: policy.name().to_string(), ..FibReport::default() };
+    for &event in events {
+        match event {
+            FibEvent::Packet(addr) => {
+                let rule = rules.lmp(addr);
+                report.packets += 1;
+                let out = policy.step(Request::pos(rule));
+                if out.paid_service {
+                    report.misses += 1;
+                    report.service_cost += 1;
+                } else {
+                    report.hits += 1;
+                }
+                report.reorg_cost += alpha * out.nodes_touched() as u64;
+            }
+            FibEvent::Update(rule) => {
+                report.updates += 1;
+                if policy.cache().contains(rule) {
+                    report.updates_while_cached += 1;
+                }
+                for _ in 0..alpha {
+                    let out = policy.step(Request::neg(rule));
+                    report.service_cost += u64::from(out.paid_service);
+                    report.reorg_cost += alpha * out.nodes_touched() as u64;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Translates events into the flat request stream of the abstract problem,
+/// also reporting the index range of every update chunk (used by the
+/// Appendix-B canonicalization experiment).
+#[must_use]
+pub fn to_request_stream(
+    rules: &RuleTree,
+    events: &[FibEvent],
+    alpha: u64,
+) -> (Vec<Request>, Vec<std::ops::Range<usize>>) {
+    let mut reqs = Vec::new();
+    let mut chunks = Vec::new();
+    for &event in events {
+        match event {
+            FibEvent::Packet(addr) => reqs.push(Request::pos(rules.lmp(addr))),
+            FibEvent::Update(rule) => {
+                let start = reqs.len();
+                for _ in 0..alpha {
+                    reqs.push(Request::neg(rule));
+                }
+                chunks.push(start..reqs.len());
+            }
+        }
+    }
+    (reqs, chunks)
+}
+
+/// Workload generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FibWorkloadConfig {
+    /// Number of events to generate.
+    pub events: usize,
+    /// Zipf exponent of rule popularity (packets).
+    pub theta: f64,
+    /// Probability that an event is a rule update.
+    pub update_p: f64,
+    /// Rejection-sampling attempts per packet address.
+    pub addr_attempts: u32,
+}
+
+impl Default for FibWorkloadConfig {
+    fn default() -> Self {
+        Self { events: 100_000, theta: 1.0, update_p: 0.01, addr_attempts: 32 }
+    }
+}
+
+/// Generates a packet/update stream over the rule table: packet
+/// destinations follow Zipf-over-rules popularity (the Sarrar et al.
+/// traffic model the paper cites); updates hit uniformly random
+/// non-default rules (BGP churn is not popularity-correlated).
+#[must_use]
+pub fn generate_events(
+    rules: &RuleTree,
+    cfg: FibWorkloadConfig,
+    rng: &mut SplitMix64,
+) -> Vec<FibEvent> {
+    let n = rules.len();
+    // Popularity ranking: random permutation of rules (rank 0 hottest).
+    let mut ranking: Vec<NodeId> = rules.tree().nodes().collect();
+    rng.shuffle(&mut ranking);
+    let zipf = Zipf::new(n, cfg.theta);
+    let mut out = Vec::with_capacity(cfg.events);
+    while out.len() < cfg.events {
+        if n > 1 && rng.chance(cfg.update_p) {
+            // Uniform over non-default rules (node 0 is the default route).
+            let rule = NodeId(1 + rng.index(n - 1) as u32);
+            out.push(FibEvent::Update(rule));
+        } else {
+            // Sample a rule by popularity, then an address whose LMP is
+            // that rule; fall back to another rule when its address space
+            // is fully covered by more-specific rules.
+            let mut placed = false;
+            for _ in 0..4 {
+                let rule = ranking[zipf.sample(rng)];
+                if let Some(addr) = rules.sample_addr_for(rule, rng, cfg.addr_attempts) {
+                    out.push(FibEvent::Packet(addr));
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                // Extremely covered table: fall back to a uniform address.
+                out.push(FibEvent::Packet(rng.next_u64() as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Checks forwarding correctness for a cache state: for every probe
+/// address, the router's own LMP over (cached rules + default) must agree
+/// with the controller's ground truth — either the true rule (hit) or the
+/// default route (miss). Violations would mean mis-forwarded packets.
+#[must_use]
+pub fn forwarding_violations(
+    rules: &RuleTree,
+    cache: &otc_core::cache::CacheSet,
+    probes: &[u32],
+) -> usize {
+    let mut violations = 0;
+    for &addr in probes {
+        let truth = rules.lmp(addr);
+        // Router-side LMP: the most specific *cached* rule matching addr.
+        let mut router_match = NodeId(0); // default rule always present
+        let mut best_len = 0;
+        for v in cache.iter() {
+            let p = rules.prefix(v);
+            if p.contains_addr(addr) && p.len() >= best_len {
+                router_match = v;
+                best_len = p.len();
+            }
+        }
+        let ok = if cache.contains(truth) {
+            router_match == truth
+        } else {
+            router_match == NodeId(0)
+        };
+        if !ok {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use otc_baselines::DependentSetPolicy;
+    use otc_core::tc::{TcConfig, TcFast};
+    use otc_trie::parse_prefix;
+
+    fn small_rules() -> RuleTree {
+        RuleTree::build(&[
+            parse_prefix("10.0.0.0/8").unwrap(),
+            parse_prefix("10.1.0.0/16").unwrap(),
+            parse_prefix("10.1.2.0/24").unwrap(),
+            parse_prefix("192.168.0.0/16").unwrap(),
+        ])
+    }
+
+    #[test]
+    fn packets_and_updates_accounted() {
+        let rules = small_rules();
+        let tree = Arc::new(rules.tree().clone());
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(2, 3));
+        let hot = rules.node_of(parse_prefix("192.168.0.0/16").unwrap()).unwrap();
+        let addr = 0xC0A8_0001; // 192.168.0.1 → the /16 rule
+        let events = vec![
+            FibEvent::Packet(addr),
+            FibEvent::Packet(addr), // second miss saturates → fetch
+            FibEvent::Packet(addr), // hit
+            FibEvent::Update(hot),  // α = 2 negatives, rule cached
+        ];
+        let report = run_fib(&rules, &mut tc, &events, 2);
+        assert_eq!(report.packets, 3);
+        assert_eq!(report.misses, 2);
+        assert_eq!(report.hits, 1);
+        assert_eq!(report.updates, 1);
+        assert_eq!(report.updates_while_cached, 1);
+        // Costs: 2 misses + fetch(α=2) + 2 paid negatives + eviction(α=2).
+        assert_eq!(report.service_cost, 4);
+        assert_eq!(report.reorg_cost, 4);
+    }
+
+    #[test]
+    fn forwarding_always_correct_under_tc() {
+        let rules = small_rules();
+        let tree = Arc::new(rules.tree().clone());
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(2, 4));
+        let mut rng = SplitMix64::new(1);
+        let cfg = FibWorkloadConfig { events: 2000, theta: 1.0, update_p: 0.05, addr_attempts: 16 };
+        let events = generate_events(&rules, cfg, &mut rng);
+        let probes: Vec<u32> = (0..64).map(|_| rng.next_u64() as u32).collect();
+        for chunk in events.chunks(100) {
+            run_fib(&rules, &mut tc, chunk, 2);
+            assert_eq!(
+                forwarding_violations(&rules, tc.cache(), &probes),
+                0,
+                "subforest invariant must imply forwarding correctness"
+            );
+        }
+    }
+
+    #[test]
+    fn request_stream_translation() {
+        let rules = small_rules();
+        let hot = rules.node_of(parse_prefix("10.1.2.0/24").unwrap()).unwrap();
+        let events =
+            vec![FibEvent::Packet(0x0A01_0203), FibEvent::Update(hot), FibEvent::Packet(0)];
+        let (reqs, chunks) = to_request_stream(&rules, &events, 3);
+        assert_eq!(reqs.len(), 1 + 3 + 1);
+        assert_eq!(chunks, vec![1..4]);
+        assert!(reqs[0].is_positive());
+        assert_eq!(reqs[0].node, hot, "10.1.2.3 matches the /24");
+        assert!(!reqs[1].is_positive());
+        assert_eq!(reqs[4].node, NodeId(0), "address 0.0.0.0 → default route");
+    }
+
+    #[test]
+    fn generator_respects_update_fraction() {
+        let rules = small_rules();
+        let mut rng = SplitMix64::new(2);
+        let cfg = FibWorkloadConfig { events: 20_000, theta: 0.8, update_p: 0.2, addr_attempts: 16 };
+        let events = generate_events(&rules, cfg, &mut rng);
+        let updates = events.iter().filter(|e| matches!(e, FibEvent::Update(_))).count();
+        let frac = updates as f64 / events.len() as f64;
+        assert!((0.17..0.23).contains(&frac), "update fraction {frac}");
+    }
+
+    #[test]
+    fn lru_bleeds_on_churn_tc_adapts() {
+        // A hot rule that also churns: TC eventually stops caching it,
+        // LRU keeps paying α per update forever.
+        let rules = small_rules();
+        let tree = Arc::new(rules.tree().clone());
+        let hot = rules.node_of(parse_prefix("192.168.0.0/16").unwrap()).unwrap();
+        let addr = 0xC0A8_0001;
+        let alpha = 4u64;
+        // Pattern: a burst of packets, then a heavier burst of updates.
+        // TC stops paying after α negative rounds (it evicts); LRU pays
+        // every single negative round of every update chunk.
+        let mut events = Vec::new();
+        for _ in 0..50 {
+            for _ in 0..4 {
+                events.push(FibEvent::Packet(addr));
+            }
+            for _ in 0..8 {
+                events.push(FibEvent::Update(hot));
+            }
+        }
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, 4));
+        let tc_report = run_fib(&rules, &mut tc, &events, alpha);
+        let mut lru = DependentSetPolicy::lru(Arc::clone(&tree), 4);
+        let lru_report = run_fib(&rules, &mut lru, &events, alpha);
+        assert!(
+            tc_report.total_cost() < lru_report.total_cost(),
+            "TC {} must beat LRU {} under churn",
+            tc_report.total_cost(),
+            lru_report.total_cost()
+        );
+    }
+
+    #[test]
+    fn empty_events() {
+        let rules = small_rules();
+        let tree = Arc::new(rules.tree().clone());
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(2, 2));
+        let report = run_fib(&rules, &mut tc, &[], 2);
+        assert_eq!(report.total_cost(), 0);
+        assert_eq!(report.miss_rate(), 0.0);
+    }
+}

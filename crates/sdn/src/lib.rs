@@ -1,0 +1,24 @@
+//! # otc-sdn — the FIB-caching application (paper, Section 2)
+//!
+//! End-to-end model of the router/controller architecture the paper
+//! motivates: a capacity-bounded router TCAM, a controller holding the
+//! full rule table and running a caching policy, packet streams with
+//! Zipf-popular destinations, and BGP-style rule-update churn encoded as
+//! α-chunks of negative requests.
+//!
+//! * [`fib`] — the system model, workload generator, and forwarding-
+//!   correctness checker;
+//! * [`canonical`] — Appendix B: recorded solutions, the independent
+//!   solution evaluator, and the factor-2 canonicalization transform.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod canonical;
+pub mod fib;
+
+pub use canonical::{canonicalize, evaluate_solution, is_canonical, record_run, Solution};
+pub use fib::{
+    forwarding_violations, generate_events, run_fib, to_request_stream, FibEvent, FibReport,
+    FibWorkloadConfig,
+};

@@ -1,0 +1,99 @@
+//! Property test: Appendix B's factor-2 canonicalization bound holds on
+//! arbitrary chunked inputs, for both TC (which never acts mid-chunk) and
+//! the invalidate-on-update policy (which always does).
+
+use std::sync::Arc;
+
+use otc_baselines::InvalidateOnUpdate;
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_core::tree::{NodeId, Tree};
+use otc_core::{Request, Sign};
+use otc_sdn::{canonicalize, evaluate_solution, is_canonical, record_run};
+use proptest::prelude::*;
+
+fn tree_from_seeds(seeds: &[u64]) -> Tree {
+    let mut parents: Vec<Option<usize>> = vec![None];
+    for (i, &s) in seeds.iter().enumerate() {
+        parents.push(Some((s % (i as u64 + 1)) as usize));
+    }
+    Tree::from_parents(&parents)
+}
+
+/// Builds a chunked stream: events are either one positive request or a
+/// full α-chunk of negatives to one node.
+fn chunked(
+    tree: &Tree,
+    events: &[(u64, bool)],
+    alpha: u64,
+) -> (Vec<Request>, Vec<std::ops::Range<usize>>) {
+    let mut reqs = Vec::new();
+    let mut chunks = Vec::new();
+    for &(s, is_update) in events {
+        let node = NodeId((s % tree.len() as u64) as u32);
+        if is_update {
+            let start = reqs.len();
+            for _ in 0..alpha {
+                reqs.push(Request { node, sign: Sign::Negative });
+            }
+            chunks.push(start..reqs.len());
+        } else {
+            reqs.push(Request { node, sign: Sign::Positive });
+        }
+    }
+    (reqs, chunks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn canonicalization_factor_two(
+        tree_seeds in prop::collection::vec(any::<u64>(), 0..16),
+        events in prop::collection::vec((any::<u64>(), any::<bool>()), 1..400),
+        alpha in 1u64..6,
+        capacity in 1usize..10,
+    ) {
+        let tree = Arc::new(tree_from_seeds(&tree_seeds));
+        let (reqs, chunks) = chunked(&tree, &events, alpha);
+
+        let policies: Vec<Box<dyn CachePolicy>> = vec![
+            Box::new(TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, capacity))),
+            Box::new(InvalidateOnUpdate::new(Arc::clone(&tree), capacity)),
+        ];
+        for mut policy in policies {
+            let name = policy.name();
+            let original = record_run(policy.as_mut(), &reqs);
+            let canonical = canonicalize(&original, &chunks);
+            prop_assert!(is_canonical(&canonical, &chunks), "{} not canonical", name);
+            let c0 = evaluate_solution(&tree, &reqs, &original, alpha, capacity)
+                .map_err(|e| TestCaseError::fail(format!("{name} original invalid: {e}")))?;
+            let c1 = evaluate_solution(&tree, &reqs, &canonical, alpha, capacity)
+                .map_err(|e| TestCaseError::fail(format!("{name} canonical invalid: {e}")))?;
+            prop_assert!(
+                c1.total() <= 2 * c0.total(),
+                "{}: canonical {} > 2 × original {}",
+                name, c1.total(), c0.total()
+            );
+        }
+    }
+
+    /// TC structural fact: on α-aligned chunk inputs it never reorganises
+    /// strictly inside a chunk, so canonicalization is the identity on it.
+    #[test]
+    fn tc_is_already_canonical(
+        tree_seeds in prop::collection::vec(any::<u64>(), 0..16),
+        events in prop::collection::vec((any::<u64>(), any::<bool>()), 1..300),
+        alpha in 1u64..6,
+        capacity in 1usize..10,
+    ) {
+        let tree = Arc::new(tree_from_seeds(&tree_seeds));
+        let (reqs, chunks) = chunked(&tree, &events, alpha);
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, capacity));
+        let original = record_run(&mut tc, &reqs);
+        prop_assert!(
+            is_canonical(&original, &chunks),
+            "TC acted strictly inside an update chunk"
+        );
+    }
+}

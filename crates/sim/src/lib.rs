@@ -1,0 +1,25 @@
+//! # otc-sim — the verified discrete-round simulator
+//!
+//! Drives any [`otc_core::policy::CachePolicy`] through a request sequence
+//! while *independently* checking every move: the simulator mirrors the
+//! cache, validates changesets against the problem definition, enforces
+//! the capacity, and does all cost accounting itself.
+//!
+//! It also materialises the analysis-side objects of the paper's Section 5
+//! as runtime instrumentation:
+//!
+//! * **fields** (Section 5.1): per applied changeset, the requests that
+//!   triggered it — with Observation 5.2 (`req(F) = size(F)·α`) checked
+//!   per field;
+//! * **in/out periods** (Section 5.2.5, Figure 3): closed per node by
+//!   fetches/evictions, with the `pout = pin + kP` balance per phase;
+//! * **phases** (Section 4): anatomy of each flush-delimited phase (E9).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod runner;
+
+pub use report::{FieldStats, PeriodStats, PhaseStats, Report};
+pub use runner::{run_policy, SimConfig};

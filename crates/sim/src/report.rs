@@ -1,0 +1,104 @@
+//! Simulation reports: costs plus the analysis-level statistics
+//! (fields, periods, phases) that experiments E3/E4/E9 consume.
+
+use otc_core::request::Cost;
+
+/// Statistics over the field partition of the event space (Section 5.1).
+///
+/// A *field* is the set of slots `(v, r)` with `v` in an applied changeset
+/// `X_t` and `r` in `(last_v(t), t]` — the requests that eventually trigger
+/// the application of `X_t`. Observation 5.2 states every field carries
+/// exactly `size(F)·α` paying requests; the simulator verifies this per
+/// field for TC.
+#[derive(Debug, Clone, Default)]
+pub struct FieldStats {
+    /// Number of positive (fetch) fields closed.
+    pub positive_fields: u64,
+    /// Number of negative (evict) fields closed.
+    pub negative_fields: u64,
+    /// `Σ size(F)` over all closed fields.
+    pub total_size: u64,
+    /// `Σ req(F)` (paying requests inside closed fields).
+    pub total_requests: u64,
+    /// Fields violating `req(F) = size(F)·α` (must stay 0 for TC).
+    pub saturation_violations: u64,
+    /// Sizes of individual fields, in closing order.
+    pub field_sizes: Vec<u64>,
+    /// Paying requests left in the open field `F∞` at the end of input.
+    pub open_field_requests: u64,
+}
+
+/// Statistics over per-node in/out periods (Section 5.2.5, Figure 3).
+#[derive(Debug, Clone, Default)]
+pub struct PeriodStats {
+    /// Closed out-periods (ended by a fetch) across all phases.
+    pub pout: u64,
+    /// Closed in-periods (ended by an eviction) across all phases.
+    pub pin: u64,
+    /// Closed out-periods with at least α/2 paying requests ("full").
+    pub full_out: u64,
+    /// Closed in-periods with at least α/2 paying requests.
+    pub full_in: u64,
+    /// Per finished phase: `pout − pin` (should equal `kP`, the cache size
+    /// at the phase end — Lemma 5.11's bookkeeping).
+    pub per_phase_balance: Vec<(u64, u64, usize)>,
+}
+
+/// Per-phase anatomy (experiment E9).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStats {
+    /// Rounds spanned by the phase.
+    pub rounds: u64,
+    /// Cache size at the phase's end (just before the flush, or at input
+    /// end for the unfinished phase). A lower bound on the paper's `kP`
+    /// (which also counts the aborted artificial fetch).
+    pub k_p: usize,
+    /// `Σ size(F)` over fields closed inside this phase.
+    pub fields_size: u64,
+    /// Paying requests left in the phase's open field `F∞` when the phase
+    /// closed (pending request mass never absorbed by a changeset).
+    pub open_requests: u64,
+    /// Cost incurred during the phase.
+    pub cost: Cost,
+    /// Whether the phase ended with a flush (finished) or at input end.
+    pub finished: bool,
+}
+
+/// Full simulation outcome for one policy on one request sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Policy name.
+    pub name: String,
+    /// Total cost (service + α·nodes-touched).
+    pub cost: Cost,
+    /// Number of rounds simulated.
+    pub rounds: u64,
+    /// Rounds on which the policy paid the service cost.
+    pub paid_rounds: u64,
+    /// Fetch actions applied.
+    pub fetch_events: u64,
+    /// Evict actions applied (flushes not included).
+    pub evict_events: u64,
+    /// Flush (phase restart) events.
+    pub flush_events: u64,
+    /// Total nodes fetched.
+    pub nodes_fetched: u64,
+    /// Total nodes evicted (including flushes).
+    pub nodes_evicted: u64,
+    /// Largest cache population observed after any round.
+    pub peak_cache: usize,
+    /// Field statistics (when tracking was enabled).
+    pub fields: Option<FieldStats>,
+    /// Period statistics (when tracking was enabled).
+    pub periods: Option<PeriodStats>,
+    /// Phase anatomy (when tracking was enabled).
+    pub phases: Vec<PhaseStats>,
+}
+
+impl Report {
+    /// Total monetary cost.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.cost.total()
+    }
+}

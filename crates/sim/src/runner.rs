@@ -1,0 +1,438 @@
+//! The simulation driver: feeds requests to a policy, verifies every claim
+//! the policy makes, accounts all costs, and maintains the event-space
+//! instrumentation.
+//!
+//! The simulator is adversarial towards the policy: it mirrors the cache
+//! itself, recomputes whether each round pays, and validates every action
+//! against the problem definition (Section 3) — a buggy policy cannot
+//! misreport its own cost or smuggle an invalid changeset through.
+
+use otc_core::cache::CacheSet;
+use otc_core::changeset::{is_valid_negative, is_valid_positive};
+use otc_core::policy::{request_pays, Action, CachePolicy};
+use otc_core::request::Request;
+use otc_core::tree::{NodeId, Tree};
+
+use crate::report::{FieldStats, PeriodStats, PhaseStats, Report};
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// The per-node reorganisation cost α.
+    pub alpha: u64,
+    /// Verify subforest/validity/capacity invariants after every action.
+    pub validate: bool,
+    /// Track fields, periods and phases (small constant overhead).
+    pub instrument: bool,
+}
+
+impl SimConfig {
+    /// Standard configuration: full validation and instrumentation.
+    #[must_use]
+    pub fn new(alpha: u64) -> Self {
+        Self { alpha, validate: true, instrument: true }
+    }
+
+    /// Fast configuration for throughput benchmarks: no checking, no
+    /// instrumentation.
+    #[must_use]
+    pub fn bare(alpha: u64) -> Self {
+        Self { alpha, validate: false, instrument: false }
+    }
+}
+
+/// Closes the field belonging to an applied changeset and reports
+/// `(paying requests inside, nodes with a "full" period)`.
+fn close_field(pending: &mut [u64], set: &[NodeId], half_alpha: u64) -> (u64, u64) {
+    let mut req = 0u64;
+    let mut full = 0u64;
+    for &v in set {
+        let p = pending[v.index()];
+        req += p;
+        if p >= half_alpha {
+            full += 1;
+        }
+        pending[v.index()] = 0;
+    }
+    (req, full)
+}
+
+/// Runs `policy` over `requests` and returns the verified report.
+///
+/// ```
+/// use std::sync::Arc;
+/// use otc_core::{Request, Tree, TcConfig, TcFast};
+/// use otc_sim::{run_policy, SimConfig};
+///
+/// let tree = Arc::new(Tree::star(3));
+/// let leaf = tree.leaves()[0];
+/// let reqs = vec![Request::pos(leaf); 5];
+/// let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(2, 2));
+/// let report = run_policy(&tree, &mut tc, &reqs, SimConfig::new(2)).unwrap();
+/// // Two misses, then the fetch (α = 2), then free hits.
+/// assert_eq!(report.cost.service, 2);
+/// assert_eq!(report.cost.reorg, 2);
+/// ```
+///
+/// # Errors
+/// Returns a description of the first protocol violation: wrong
+/// `paid_service` flag, invalid changeset, flush payload mismatch,
+/// capacity overflow, subforest violation, or mirror divergence.
+pub fn run_policy(
+    tree: &Tree,
+    policy: &mut dyn CachePolicy,
+    requests: &[Request],
+    cfg: SimConfig,
+) -> Result<Report, String> {
+    let n = tree.len();
+    let mut mirror = CacheSet::empty(n);
+    let mut report = Report { name: policy.name().to_string(), ..Report::default() };
+    // Paying requests per node since its last state change (its slice of
+    // the current field).
+    let mut pending = vec![0u64; n];
+    let mut fields = FieldStats::default();
+    let mut periods = PeriodStats::default();
+    let half_alpha = cfg.alpha.div_ceil(2);
+
+    // Phase bookkeeping.
+    let mut phase = PhaseStats::default();
+    let mut phase_pout = 0u64;
+    let mut phase_pin = 0u64;
+
+    for (round, &req) in requests.iter().enumerate() {
+        let expected_pays = request_pays(&mirror, req);
+        let out = policy.step(req);
+        if out.paid_service != expected_pays {
+            return Err(format!(
+                "round {round}: policy reported paid={} but the mirror says {}",
+                out.paid_service, expected_pays
+            ));
+        }
+        report.rounds += 1;
+        phase.rounds += 1;
+        if expected_pays {
+            report.paid_rounds += 1;
+            report.cost.service += 1;
+            phase.cost.service += 1;
+            pending[req.node.index()] += 1;
+        }
+
+        for action in &out.actions {
+            // Reorganisation cost is charged to the phase the action ends
+            // in — for a flush that is the *dying* phase (the paper's
+            // `kP·α` final-eviction term), so account it before any phase
+            // hand-over below.
+            let touched = action.nodes_touched() as u64;
+            report.cost.reorg += cfg.alpha * touched;
+            phase.cost.reorg += cfg.alpha * touched;
+            match action {
+                Action::Fetch(set) => {
+                    if cfg.validate && !is_valid_positive(tree, &mirror, set) {
+                        return Err(format!("round {round}: invalid positive changeset {set:?}"));
+                    }
+                    mirror.fetch(set);
+                    report.fetch_events += 1;
+                    report.nodes_fetched += set.len() as u64;
+                    if cfg.instrument {
+                        let (req_in_field, full) = close_field(&mut pending, set, half_alpha);
+                        fields.positive_fields += 1;
+                        fields.total_size += set.len() as u64;
+                        fields.total_requests += req_in_field;
+                        fields.field_sizes.push(set.len() as u64);
+                        if req_in_field != set.len() as u64 * cfg.alpha {
+                            fields.saturation_violations += 1;
+                        }
+                        // A fetch closes one out-period per fetched node.
+                        phase_pout += set.len() as u64;
+                        periods.pout += set.len() as u64;
+                        periods.full_out += full;
+                        phase.fields_size += set.len() as u64;
+                    }
+                }
+                Action::Evict(set) => {
+                    if cfg.validate && !is_valid_negative(tree, &mirror, set) {
+                        return Err(format!("round {round}: invalid negative changeset {set:?}"));
+                    }
+                    mirror.evict(set);
+                    report.evict_events += 1;
+                    report.nodes_evicted += set.len() as u64;
+                    if cfg.instrument {
+                        let (req_in_field, full) = close_field(&mut pending, set, half_alpha);
+                        fields.negative_fields += 1;
+                        fields.total_size += set.len() as u64;
+                        fields.total_requests += req_in_field;
+                        fields.field_sizes.push(set.len() as u64);
+                        if req_in_field != set.len() as u64 * cfg.alpha {
+                            fields.saturation_violations += 1;
+                        }
+                        // An eviction closes one in-period per node.
+                        phase_pin += set.len() as u64;
+                        periods.pin += set.len() as u64;
+                        periods.full_in += full;
+                        phase.fields_size += set.len() as u64;
+                    }
+                }
+                Action::Flush(set) => {
+                    let mut expect: Vec<_> = mirror.iter().collect();
+                    expect.sort_unstable();
+                    let mut got = set.clone();
+                    got.sort_unstable();
+                    if got != expect {
+                        return Err(format!(
+                            "round {round}: flush payload {got:?} differs from cache {expect:?}"
+                        ));
+                    }
+                    report.flush_events += 1;
+                    report.nodes_evicted += set.len() as u64;
+                    if cfg.instrument {
+                        // The flush ends the phase: kP is the cache size
+                        // just before the flush; all pending request mass
+                        // belongs to the dying phase's open field.
+                        phase.k_p = mirror.len();
+                        phase.finished = true;
+                        phase.open_requests = pending.iter().sum();
+                        periods.per_phase_balance.push((phase_pout, phase_pin, phase.k_p));
+                        report.phases.push(std::mem::take(&mut phase));
+                        phase_pout = 0;
+                        phase_pin = 0;
+                        pending.fill(0);
+                    }
+                    let _ = mirror.flush();
+                }
+            }
+        }
+
+        if cfg.validate {
+            mirror
+                .validate(tree)
+                .map_err(|e| format!("round {round}: mirror invalid after actions: {e}"))?;
+            if mirror.len() > policy.capacity() {
+                return Err(format!(
+                    "round {round}: capacity exceeded: {} > {}",
+                    mirror.len(),
+                    policy.capacity()
+                ));
+            }
+            if mirror != *policy.cache() {
+                return Err(format!("round {round}: policy cache diverged from mirror"));
+            }
+        }
+        report.peak_cache = report.peak_cache.max(mirror.len());
+    }
+
+    if cfg.instrument {
+        // Close the unfinished phase and account the open field F∞.
+        phase.k_p = mirror.len();
+        phase.finished = false;
+        phase.open_requests = pending.iter().sum();
+        periods.per_phase_balance.push((phase_pout, phase_pin, phase.k_p));
+        report.phases.push(phase);
+        fields.open_field_requests = pending.iter().sum();
+        report.fields = Some(fields);
+        report.periods = Some(periods);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use otc_core::policy::StepOutcome;
+    use otc_core::tc::{TcConfig, TcFast};
+    use otc_core::tree::Tree;
+    use otc_core::Request;
+
+    #[test]
+    fn accounting_matches_manual_trace() {
+        // Star(3), α = 2, capacity 2: two requests to a leaf fetch it.
+        let tree = Arc::new(Tree::star(3));
+        let leaf = tree.leaves()[0];
+        let reqs = vec![Request::pos(leaf), Request::pos(leaf), Request::pos(leaf)];
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(2, 2));
+        let report = run_policy(&tree, &mut tc, &reqs, SimConfig::new(2)).expect("valid run");
+        assert_eq!(report.cost.service, 2, "two paying requests");
+        assert_eq!(report.cost.reorg, 2, "one node fetched at α = 2");
+        assert_eq!(report.fetch_events, 1);
+        assert_eq!(report.paid_rounds, 2);
+        assert_eq!(report.peak_cache, 1);
+        let fields = report.fields.expect("instrumented");
+        assert_eq!(fields.positive_fields, 1);
+        assert_eq!(fields.saturation_violations, 0);
+        assert_eq!(fields.total_requests, 2);
+        assert_eq!(fields.open_field_requests, 0, "third request was free");
+    }
+
+    #[test]
+    fn tc_fields_always_saturated() {
+        let tree = Arc::new(Tree::kary(2, 4));
+        let mut rng = otc_util::SplitMix64::new(5);
+        let reqs: Vec<Request> = (0..4000)
+            .map(|_| {
+                let v = otc_core::tree::NodeId(rng.index(tree.len()) as u32);
+                if rng.chance(0.4) {
+                    Request::neg(v)
+                } else {
+                    Request::pos(v)
+                }
+            })
+            .collect();
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(3, 6));
+        let report = run_policy(&tree, &mut tc, &reqs, SimConfig::new(3)).expect("valid");
+        let fields = report.fields.expect("instrumented");
+        assert!(fields.positive_fields + fields.negative_fields > 0, "something happened");
+        assert_eq!(fields.saturation_violations, 0, "Observation 5.2 holds for every field");
+        assert_eq!(
+            fields.total_requests,
+            fields.total_size * 3,
+            "aggregate saturation: req = size·α"
+        );
+    }
+
+    #[test]
+    fn period_balance_matches_lemma() {
+        // pout = pin + kP per phase (Lemma 5.11's bookkeeping).
+        let tree = Arc::new(Tree::kary(2, 3));
+        let mut rng = otc_util::SplitMix64::new(9);
+        let reqs: Vec<Request> = (0..6000)
+            .map(|_| {
+                let v = otc_core::tree::NodeId(rng.index(tree.len()) as u32);
+                if rng.chance(0.45) {
+                    Request::neg(v)
+                } else {
+                    Request::pos(v)
+                }
+            })
+            .collect();
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(2, 3));
+        let report = run_policy(&tree, &mut tc, &reqs, SimConfig::new(2)).expect("valid");
+        let periods = report.periods.expect("instrumented");
+        for &(pout, pin, kp) in &periods.per_phase_balance {
+            assert_eq!(pout, pin + kp as u64, "pout = pin + kP per phase");
+        }
+        // All in-periods are full for TC: an eviction of X needs |X|·α
+        // negative requests distributed over X... (exactly α per node only
+        // after shifting; raw counts are at least 0). The raw guarantee is
+        // aggregate: total in-field requests = α·size. So just sanity-check
+        // counters exist.
+        assert!(periods.pout > 0);
+    }
+
+    /// A policy that lies about paying — the simulator must catch it.
+    struct Liar {
+        cache: CacheSet,
+    }
+    impl CachePolicy for Liar {
+        fn name(&self) -> &'static str {
+            "liar"
+        }
+        fn capacity(&self) -> usize {
+            4
+        }
+        fn cache(&self) -> &CacheSet {
+            &self.cache
+        }
+        fn reset(&mut self) {}
+        fn step(&mut self, _req: Request) -> StepOutcome {
+            StepOutcome { paid_service: false, actions: vec![] }
+        }
+    }
+
+    #[test]
+    fn liar_is_caught() {
+        let tree = Tree::star(2);
+        let mut liar = Liar { cache: CacheSet::empty(tree.len()) };
+        let reqs = vec![Request::pos(tree.leaves()[0])];
+        let err = run_policy(&tree, &mut liar, &reqs, SimConfig::new(2)).unwrap_err();
+        assert!(err.contains("paid"), "unexpected error: {err}");
+    }
+
+    /// A policy that emits an invalid fetch (internal node without its
+    /// children).
+    struct InvalidFetcher {
+        cache: CacheSet,
+        fired: bool,
+    }
+    impl CachePolicy for InvalidFetcher {
+        fn name(&self) -> &'static str {
+            "invalid-fetcher"
+        }
+        fn capacity(&self) -> usize {
+            8
+        }
+        fn cache(&self) -> &CacheSet {
+            &self.cache
+        }
+        fn reset(&mut self) {}
+        fn step(&mut self, req: Request) -> StepOutcome {
+            if self.fired {
+                return StepOutcome { paid_service: true, actions: vec![] };
+            }
+            self.fired = true;
+            // Fetch the root alone — invalid on any tree with children.
+            self.cache.insert(otc_core::tree::NodeId(0));
+            StepOutcome {
+                paid_service: req.is_positive(),
+                actions: vec![Action::Fetch(vec![otc_core::tree::NodeId(0)])],
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_changeset_is_caught() {
+        let tree = Tree::star(3);
+        let mut p = InvalidFetcher { cache: CacheSet::empty(tree.len()), fired: false };
+        let reqs = vec![Request::pos(tree.leaves()[0])];
+        let err = run_policy(&tree, &mut p, &reqs, SimConfig::new(2)).unwrap_err();
+        assert!(err.contains("invalid positive changeset"), "unexpected error: {err}");
+    }
+
+    /// A policy whose internal cache silently diverges from its actions.
+    struct Divergent {
+        cache: CacheSet,
+        fired: bool,
+    }
+    impl CachePolicy for Divergent {
+        fn name(&self) -> &'static str {
+            "divergent"
+        }
+        fn capacity(&self) -> usize {
+            8
+        }
+        fn cache(&self) -> &CacheSet {
+            &self.cache
+        }
+        fn reset(&mut self) {}
+        fn step(&mut self, req: Request) -> StepOutcome {
+            if !self.fired {
+                self.fired = true;
+                // Claims to fetch a leaf but doesn't record it internally.
+                return StepOutcome {
+                    paid_service: req.is_positive(),
+                    actions: vec![Action::Fetch(vec![otc_core::tree::NodeId(1)])],
+                };
+            }
+            StepOutcome { paid_service: req.is_positive(), actions: vec![] }
+        }
+    }
+
+    #[test]
+    fn divergent_cache_is_caught() {
+        let tree = Tree::star(3);
+        let mut p = Divergent { cache: CacheSet::empty(tree.len()), fired: false };
+        let reqs = vec![Request::pos(otc_core::tree::NodeId(1))];
+        let err = run_policy(&tree, &mut p, &reqs, SimConfig::new(2)).unwrap_err();
+        assert!(err.contains("diverged"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn bare_mode_skips_checks() {
+        // The divergent policy passes in bare mode (documented risk).
+        let tree = Tree::star(3);
+        let mut p = Divergent { cache: CacheSet::empty(tree.len()), fired: false };
+        let reqs = vec![Request::pos(otc_core::tree::NodeId(1))];
+        let report = run_policy(&tree, &mut p, &reqs, SimConfig::bare(2)).expect("no checks");
+        assert_eq!(report.cost.reorg, 2);
+    }
+}

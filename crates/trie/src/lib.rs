@@ -1,0 +1,26 @@
+//! # otc-trie — IP prefix substrate for the FIB-caching application
+//!
+//! The paper's motivating application (Section 2) caches IP forwarding
+//! rules on a router while an SDN controller keeps the full table. Rules
+//! are address prefixes; the longest-matching-prefix (LMP) scheme induces
+//! the dependency tree that makes this a *tree* caching problem.
+//!
+//! This crate provides:
+//! * [`prefix::Prefix`] — IPv4 prefixes with containment algebra;
+//! * [`rule_tree::RuleTree`] — the rule-dependency tree (an
+//!   [`otc_core::Tree`]) plus fast LMP lookup and targeted address
+//!   sampling;
+//! * [`synth`] — synthetic routing tables with realistic prefix-length
+//!   histograms and controllable dependency depth (our substitute for
+//!   proprietary BGP snapshots; see DESIGN.md).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod prefix;
+pub mod rule_tree;
+pub mod synth;
+
+pub use prefix::{parse_prefix, Prefix};
+pub use rule_tree::RuleTree;
+pub use synth::{flat_table, hierarchical_table, HierarchicalConfig};

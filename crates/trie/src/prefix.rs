@@ -1,0 +1,269 @@
+//! IPv4 prefixes (the forwarding rules of the paper's Section 2).
+//!
+//! A rule is a bit-string prefix of an IP address. Rule `p` *depends on*
+//! rule `q` when `q` is a proper prefix of `p` — exactly the tree
+//! dependency the paper models: evicting the more-specific `p` while
+//! keeping `q` would misroute `p`'s packets through `q`'s port.
+
+use std::fmt;
+
+/// An IPv4 prefix: `addr/len` with the host bits zeroed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    /// Prefix length in bits (0 ..= 32). Ordering field first so that the
+    /// derived `Ord` sorts by length, then address — parents before
+    /// children, which is what tree construction needs.
+    len: u8,
+    /// The network address with bits beyond `len` cleared.
+    addr: u32,
+}
+
+impl Prefix {
+    /// The default route `0.0.0.0/0` — the root of every dependency tree.
+    pub const ROOT: Prefix = Prefix { addr: 0, len: 0 };
+
+    /// Creates a prefix, masking the host bits of `addr`.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    #[must_use]
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "IPv4 prefix length is at most 32");
+        Self { addr: addr & mask(len), len }
+    }
+
+    /// The (masked) network address.
+    #[inline]
+    #[must_use]
+    pub fn addr(self) -> u32 {
+        self.addr
+    }
+
+    /// The prefix length.
+    #[inline]
+    #[must_use]
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True only for the default route.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Does this prefix match (contain) the address?
+    #[inline]
+    #[must_use]
+    pub fn contains_addr(self, a: u32) -> bool {
+        (a & mask(self.len)) == self.addr
+    }
+
+    /// Is `self` a prefix of `other` (including equality)?
+    #[inline]
+    #[must_use]
+    pub fn contains(self, other: Prefix) -> bool {
+        self.len <= other.len && (other.addr & mask(self.len)) == self.addr
+    }
+
+    /// Is `self` a **proper** prefix of `other`?
+    #[inline]
+    #[must_use]
+    pub fn properly_contains(self, other: Prefix) -> bool {
+        self.len < other.len && self.contains(other)
+    }
+
+    /// The prefix one bit shorter, or `None` for the default route.
+    #[must_use]
+    pub fn shorten(self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Prefix::new(self.addr, self.len - 1))
+        }
+    }
+
+    /// Truncates to exactly `len` bits (`len ≤ self.len()`).
+    #[must_use]
+    pub fn truncate(self, len: u8) -> Prefix {
+        assert!(len <= self.len, "can only truncate to a shorter length");
+        Prefix::new(self.addr, len)
+    }
+
+    /// The two one-bit-longer children, or `None` at `/32`.
+    #[must_use]
+    pub fn split(self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let bit = 1u32 << (31 - self.len);
+        Some((Prefix::new(self.addr, self.len + 1), Prefix::new(self.addr | bit, self.len + 1)))
+    }
+
+    /// Number of addresses covered: `2^(32 − len)`.
+    #[must_use]
+    pub fn address_count(self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// The lowest address in the covered range.
+    #[must_use]
+    pub fn range_start(self) -> u32 {
+        self.addr
+    }
+}
+
+#[inline]
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.addr;
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            (a >> 24) & 0xFF,
+            (a >> 16) & 0xFF,
+            (a >> 8) & 0xFF,
+            a & 0xFF,
+            self.len
+        )
+    }
+}
+
+/// Parses dotted-quad `a.b.c.d/len` notation (test/tooling convenience).
+///
+/// # Errors
+/// Returns a description of the first malformed component.
+pub fn parse_prefix(s: &str) -> Result<Prefix, String> {
+    let (quad, len) = s.split_once('/').ok_or_else(|| format!("missing '/' in {s:?}"))?;
+    let len: u8 = len.parse().map_err(|e| format!("bad length in {s:?}: {e}"))?;
+    if len > 32 {
+        return Err(format!("length {len} > 32 in {s:?}"));
+    }
+    let mut addr: u32 = 0;
+    let mut parts = 0;
+    for part in quad.split('.') {
+        let octet: u8 = part.parse().map_err(|e| format!("bad octet in {s:?}: {e}"))?;
+        addr = (addr << 8) | u32::from(octet);
+        parts += 1;
+    }
+    if parts != 4 {
+        return Err(format!("expected 4 octets in {s:?}, found {parts}"));
+    }
+    Ok(Prefix::new(addr, len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking() {
+        let p = Prefix::new(0x0A0B_0C0D, 8);
+        assert_eq!(p.addr(), 0x0A00_0000);
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn containment() {
+        let p8 = parse_prefix("10.0.0.0/8").unwrap();
+        let p16 = parse_prefix("10.1.0.0/16").unwrap();
+        let q16 = parse_prefix("11.1.0.0/16").unwrap();
+        assert!(p8.contains(p16));
+        assert!(p8.properly_contains(p16));
+        assert!(!p8.contains(q16));
+        assert!(p8.contains(p8));
+        assert!(!p8.properly_contains(p8));
+        assert!(!p16.contains(p8));
+        assert!(Prefix::ROOT.contains(p8));
+    }
+
+    #[test]
+    fn contains_addr() {
+        let p = parse_prefix("192.168.0.0/16").unwrap();
+        assert!(p.contains_addr(0xC0A8_1234));
+        assert!(!p.contains_addr(0xC0A9_0000));
+        assert!(Prefix::ROOT.contains_addr(0));
+        assert!(Prefix::ROOT.contains_addr(u32::MAX));
+    }
+
+    #[test]
+    fn shorten_chain_reaches_root() {
+        let mut p = parse_prefix("10.1.2.3/32").unwrap();
+        let mut steps = 0;
+        while let Some(q) = p.shorten() {
+            assert!(q.contains(p));
+            p = q;
+            steps += 1;
+        }
+        assert_eq!(steps, 32);
+        assert_eq!(p, Prefix::ROOT);
+    }
+
+    #[test]
+    fn split_children() {
+        let p = parse_prefix("10.0.0.0/8").unwrap();
+        let (lo, hi) = p.split().unwrap();
+        assert_eq!(lo.to_string(), "10.0.0.0/9");
+        assert_eq!(hi.to_string(), "10.128.0.0/9");
+        assert!(p.properly_contains(lo));
+        assert!(p.properly_contains(hi));
+        assert!(parse_prefix("1.2.3.4/32").unwrap().split().is_none());
+    }
+
+    #[test]
+    fn address_counts() {
+        assert_eq!(Prefix::ROOT.address_count(), 1u64 << 32);
+        assert_eq!(parse_prefix("10.0.0.0/24").unwrap().address_count(), 256);
+        assert_eq!(parse_prefix("10.0.0.1/32").unwrap().address_count(), 1);
+    }
+
+    #[test]
+    fn ordering_sorts_parents_first() {
+        let mut v = [
+            parse_prefix("10.0.0.0/24").unwrap(),
+            Prefix::ROOT,
+            parse_prefix("10.0.0.0/8").unwrap(),
+            parse_prefix("9.0.0.0/8").unwrap(),
+        ];
+        v.sort();
+        assert_eq!(v[0], Prefix::ROOT);
+        assert_eq!(v[1].to_string(), "9.0.0.0/8");
+        assert_eq!(v[2].to_string(), "10.0.0.0/8");
+        assert_eq!(v[3].to_string(), "10.0.0.0/24");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_prefix("10.0.0.0").is_err());
+        assert!(parse_prefix("10.0.0/8").is_err());
+        assert!(parse_prefix("10.0.0.0/33").is_err());
+        assert!(parse_prefix("10.0.0.256/8").is_err());
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24", "1.2.3.4/32"] {
+            assert_eq!(parse_prefix(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32")]
+    fn overlong_panics() {
+        let _ = Prefix::new(0, 33);
+    }
+}

@@ -1,0 +1,320 @@
+//! The rule-dependency tree and longest-matching-prefix lookup.
+//!
+//! Given a set of forwarding rules (prefixes), the dependency tree has an
+//! edge from rule `q` to rule `p` when `q` is the *longest proper prefix*
+//! of `p` among the rules. This is exactly the implicit tree of the paper's
+//! Section 2 ("we do not have to assume that they are actually stored in a
+//! real tree; this tree is implicit in the LMP scheme"). The default route
+//! `0.0.0.0/0` is added as the root if absent, mirroring the artificial
+//! root rule the paper installs to bounce unmatched packets to the
+//! controller.
+//!
+//! Node `i` of the produced [`otc_core::Tree`] corresponds to
+//! `RuleTree::prefixes()[i]`; the root is node 0 (the default route).
+
+use std::collections::HashMap;
+
+use otc_core::tree::{NodeId, Tree};
+
+use crate::prefix::Prefix;
+
+/// A routing table materialised as a dependency tree with LMP lookup.
+///
+/// ```
+/// use otc_trie::{parse_prefix, RuleTree};
+///
+/// let rules = RuleTree::build(&[
+///     parse_prefix("10.0.0.0/8").unwrap(),
+///     parse_prefix("10.1.0.0/16").unwrap(),
+/// ]);
+/// // 10.1.2.3 matches the /16; 10.9.9.9 falls back to the /8.
+/// let hit16 = rules.lmp(0x0A01_0203);
+/// let hit8 = rules.lmp(0x0A09_0909);
+/// assert_eq!(rules.prefix(hit16).to_string(), "10.1.0.0/16");
+/// assert_eq!(rules.prefix(hit8).to_string(), "10.0.0.0/8");
+/// // The dependency tree nests the /16 under the /8.
+/// assert_eq!(rules.tree().parent(hit16), Some(hit8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuleTree {
+    tree: Tree,
+    prefixes: Vec<Prefix>,
+    /// Prefix → node id, for LMP lookups (walk lengths downward).
+    by_prefix: HashMap<Prefix, NodeId>,
+    /// Sorted distinct prefix lengths present, longest first — LMP probes
+    /// only these.
+    lens_desc: Vec<u8>,
+}
+
+impl RuleTree {
+    /// Builds the dependency tree from a rule set. Duplicates are removed;
+    /// the default route is added if missing.
+    #[must_use]
+    pub fn build(rules: &[Prefix]) -> Self {
+        let mut prefixes: Vec<Prefix> = rules.to_vec();
+        prefixes.push(Prefix::ROOT);
+        prefixes.sort();
+        prefixes.dedup();
+        // Sorted by (len, addr): parents (strictly shorter) precede children,
+        // and the default route is node 0.
+        debug_assert_eq!(prefixes[0], Prefix::ROOT);
+
+        let by_prefix: HashMap<Prefix, NodeId> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, NodeId(i as u32)))
+            .collect();
+
+        let parents: Vec<Option<usize>> = prefixes
+            .iter()
+            .map(|&p| {
+                if p == Prefix::ROOT {
+                    return None;
+                }
+                // Longest proper prefix present in the table: walk shorter
+                // lengths until a hit; the default route guarantees
+                // termination.
+                let mut q = p.shorten().expect("non-root has a shorter form");
+                loop {
+                    if let Some(id) = by_prefix.get(&q) {
+                        return Some(id.index());
+                    }
+                    q = q.shorten().expect("default route terminates the walk");
+                }
+            })
+            .collect();
+
+        let tree = Tree::from_parents(&parents);
+        let mut lens_desc: Vec<u8> = prefixes.iter().map(|p| p.len()).collect();
+        lens_desc.sort_unstable_by(|a, b| b.cmp(a));
+        lens_desc.dedup();
+        Self { tree, prefixes, by_prefix, lens_desc }
+    }
+
+    /// The dependency tree (node 0 = default route).
+    #[must_use]
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Consumes self, returning the tree.
+    #[must_use]
+    pub fn into_tree(self) -> Tree {
+        self.tree
+    }
+
+    /// Rules by node id.
+    #[must_use]
+    pub fn prefixes(&self) -> &[Prefix] {
+        &self.prefixes
+    }
+
+    /// The prefix of a node.
+    #[must_use]
+    pub fn prefix(&self, v: NodeId) -> Prefix {
+        self.prefixes[v.index()]
+    }
+
+    /// Node id of an exact prefix, if present.
+    #[must_use]
+    pub fn node_of(&self, p: Prefix) -> Option<NodeId> {
+        self.by_prefix.get(&p).copied()
+    }
+
+    /// Number of rules (including the default route).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Never true — the default route is always present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Longest-matching-prefix lookup: the most specific rule containing
+    /// `addr`. Probes only the prefix lengths present in the table
+    /// (longest first), so it costs `O(#distinct lengths)` hash lookups.
+    #[must_use]
+    pub fn lmp(&self, addr: u32) -> NodeId {
+        for &len in &self.lens_desc {
+            let candidate = Prefix::new(addr, len);
+            if let Some(&id) = self.by_prefix.get(&candidate) {
+                return id;
+            }
+        }
+        unreachable!("the default route matches every address")
+    }
+
+    /// Reference LMP by linear scan — O(n), used to validate [`Self::lmp`].
+    #[must_use]
+    pub fn lmp_linear(&self, addr: u32) -> NodeId {
+        let mut best = NodeId(0);
+        let mut best_len = 0u8;
+        for (i, p) in self.prefixes.iter().enumerate() {
+            if p.contains_addr(addr) && (p.len() >= best_len) {
+                best = NodeId(i as u32);
+                best_len = p.len();
+            }
+        }
+        best
+    }
+
+    /// Draws an address whose LMP is exactly `rule`, by rejection sampling
+    /// inside the rule's range. Returns `None` when the children cover the
+    /// rule's whole range (or nearly so) and `attempts` draws all failed.
+    #[must_use]
+    pub fn sample_addr_for(
+        &self,
+        rule: NodeId,
+        rng: &mut otc_util::SplitMix64,
+        attempts: u32,
+    ) -> Option<u32> {
+        let p = self.prefix(rule);
+        for _ in 0..attempts {
+            let offset = rng.next_below(p.address_count());
+            let addr = p.range_start().wrapping_add(offset as u32);
+            if self.lmp(addr) == rule {
+                return Some(addr);
+            }
+        }
+        None
+    }
+
+    /// Depth histogram of the dependency tree (index = depth, value =
+    /// number of rules at that depth). Useful to report how "tree-like" a
+    /// synthetic table is.
+    #[must_use]
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.tree.height() as usize];
+        for v in self.tree.nodes() {
+            hist[self.tree.depth(v) as usize] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::parse_prefix;
+
+    fn p(s: &str) -> Prefix {
+        parse_prefix(s).unwrap()
+    }
+
+    fn sample_table() -> Vec<Prefix> {
+        vec![
+            p("10.0.0.0/8"),
+            p("10.1.0.0/16"),
+            p("10.1.2.0/24"),
+            p("10.2.0.0/16"),
+            p("192.168.0.0/16"),
+            p("192.168.1.0/24"),
+        ]
+    }
+
+    #[test]
+    fn build_adds_root_and_links_longest_prefix() {
+        let rt = RuleTree::build(&sample_table());
+        assert_eq!(rt.len(), 7);
+        assert_eq!(rt.prefix(NodeId(0)), Prefix::ROOT);
+        let t = rt.tree();
+        // 10.1.2.0/24 hangs under 10.1.0.0/16 which hangs under 10.0.0.0/8.
+        let n24 = rt.node_of(p("10.1.2.0/24")).unwrap();
+        let n16 = rt.node_of(p("10.1.0.0/16")).unwrap();
+        let n8 = rt.node_of(p("10.0.0.0/8")).unwrap();
+        assert_eq!(t.parent(n24), Some(n16));
+        assert_eq!(t.parent(n16), Some(n8));
+        assert_eq!(t.parent(n8), Some(NodeId(0)));
+        // 192.168.0.0/16 attaches directly to the default route.
+        let m16 = rt.node_of(p("192.168.0.0/16")).unwrap();
+        assert_eq!(t.parent(m16), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn gaps_are_skipped() {
+        // 10.1.2.0/24 with only /8 present: parent skips the absent /16.
+        let rt = RuleTree::build(&[p("10.0.0.0/8"), p("10.1.2.0/24")]);
+        let n24 = rt.node_of(p("10.1.2.0/24")).unwrap();
+        let n8 = rt.node_of(p("10.0.0.0/8")).unwrap();
+        assert_eq!(rt.tree().parent(n24), Some(n8));
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let rt = RuleTree::build(&[p("10.0.0.0/8"), p("10.0.0.0/8"), Prefix::ROOT]);
+        assert_eq!(rt.len(), 2);
+    }
+
+    #[test]
+    fn lmp_matches_linear_scan() {
+        let rt = RuleTree::build(&sample_table());
+        let addrs = [
+            0x0A01_0203u32, // 10.1.2.3   -> 10.1.2.0/24
+            0x0A01_0503,    // 10.1.5.3   -> 10.1.0.0/16
+            0x0A05_0000,    // 10.5.0.0   -> 10.0.0.0/8
+            0xC0A8_0105,    // 192.168.1.5 -> 192.168.1.0/24
+            0xC0A8_0505,    // 192.168.5.5 -> 192.168.0.0/16
+            0x0800_0000,    // 8.0.0.0    -> default
+        ];
+        for a in addrs {
+            assert_eq!(rt.lmp(a), rt.lmp_linear(a), "addr {a:#x}");
+        }
+        assert_eq!(rt.prefix(rt.lmp(0x0A01_0203)), p("10.1.2.0/24"));
+        assert_eq!(rt.lmp(0x0800_0000), NodeId(0));
+    }
+
+    #[test]
+    fn lmp_exhaustive_small_universe() {
+        // Dense rules inside 10.0.0.0/28: check every address in the block.
+        let rules = vec![
+            p("10.0.0.0/28"),
+            p("10.0.0.0/30"),
+            p("10.0.0.4/30"),
+            p("10.0.0.0/31"),
+            p("10.0.0.8/29"),
+        ];
+        let rt = RuleTree::build(&rules);
+        for a in 0x0A00_0000u32..0x0A00_0010 {
+            assert_eq!(rt.lmp(a), rt.lmp_linear(a), "addr {a:#x}");
+        }
+    }
+
+    #[test]
+    fn sample_addr_targets_rule() {
+        let rt = RuleTree::build(&sample_table());
+        let mut rng = otc_util::SplitMix64::new(7);
+        for v in rt.tree().nodes() {
+            if let Some(addr) = rt.sample_addr_for(v, &mut rng, 64) {
+                assert_eq!(rt.lmp(addr), v, "sampled address must LMP to the rule");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_addr_none_when_children_cover() {
+        // Parent /30 fully covered by two /31 children → no address maps to
+        // the parent.
+        let rt = RuleTree::build(&[p("10.0.0.0/30"), p("10.0.0.0/31"), p("10.0.0.2/31")]);
+        let parent = rt.node_of(p("10.0.0.0/30")).unwrap();
+        let mut rng = otc_util::SplitMix64::new(3);
+        assert_eq!(rt.sample_addr_for(parent, &mut rng, 256), None);
+    }
+
+    #[test]
+    fn depth_histogram_sums_to_len() {
+        let rt = RuleTree::build(&sample_table());
+        let hist = rt.depth_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), rt.len());
+        assert_eq!(hist[0], 1, "only the default route at depth 0");
+    }
+
+    #[test]
+    fn empty_input_gives_root_only() {
+        let rt = RuleTree::build(&[]);
+        assert_eq!(rt.len(), 1);
+        assert_eq!(rt.lmp(12345), NodeId(0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Synthetic routing tables.
+//!
+//! The paper's application is motivated by real FIBs (BGP route tables,
+//! \[1\]/\[11\] in the paper), which we cannot redistribute. These generators
+//! produce tables with the two structural properties that matter for tree
+//! caching (see DESIGN.md, substitutions):
+//!
+//! * a realistic **prefix-length histogram** (mass concentrated at /24 and
+//!   /16, as in public BGP snapshots), and
+//! * controllable **dependency depth** — chains of more/less specific
+//!   rules, which is what makes the problem a *tree* caching problem
+//!   rather than plain paging.
+//!
+//! [`flat_table`] draws independent prefixes (shallow dependency trees,
+//! like the non-overlapping assumption of prior work [20–22]);
+//! [`hierarchical_table`] explicitly grows subdivision chains (deep trees,
+//! the regime where TC's dependency handling pays off).
+
+use std::collections::HashSet;
+
+use otc_util::SplitMix64;
+
+use crate::prefix::Prefix;
+
+/// Approximate BGP prefix-length histogram: `(length, weight)`.
+/// Shape follows public route-collector statistics: a /24 spike, a /16
+/// bump, and a tail of short prefixes.
+const LENGTH_WEIGHTS: &[(u8, u32)] = &[
+    (8, 2),
+    (10, 1),
+    (12, 2),
+    (14, 3),
+    (16, 12),
+    (18, 5),
+    (19, 6),
+    (20, 8),
+    (21, 7),
+    (22, 12),
+    (23, 10),
+    (24, 55),
+    (26, 2),
+    (28, 1),
+];
+
+fn sample_length(rng: &mut SplitMix64) -> u8 {
+    let total: u32 = LENGTH_WEIGHTS.iter().map(|&(_, w)| w).sum();
+    let mut x = rng.next_below(u64::from(total)) as u32;
+    for &(len, w) in LENGTH_WEIGHTS {
+        if x < w {
+            return len;
+        }
+        x -= w;
+    }
+    unreachable!("weights exhausted")
+}
+
+/// Draws `n` distinct prefixes independently from the length histogram.
+/// Containment (and hence tree depth) arises only by chance, giving
+/// shallow dependency trees — the "rules do not overlap much" regime.
+#[must_use]
+pub fn flat_table(n: usize, rng: &mut SplitMix64) -> Vec<Prefix> {
+    let mut set: HashSet<Prefix> = HashSet::with_capacity(n);
+    while set.len() < n {
+        let len = sample_length(rng);
+        // Confine to 1.0.0.0 – 223.255.255.255-ish unicast space for
+        // cosmetic realism; correctness doesn't depend on it.
+        let addr = rng.next_u64() as u32;
+        set.insert(Prefix::new(addr, len));
+    }
+    set.into_iter().collect()
+}
+
+/// Configuration for [`hierarchical_table`].
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchicalConfig {
+    /// Total number of rules to generate.
+    pub n: usize,
+    /// Probability that a new rule subdivides an existing rule (vs being
+    /// drawn fresh at the top level). Higher → deeper dependency trees.
+    pub subdivide_p: f64,
+    /// Maximum prefix length for subdivisions.
+    pub max_len: u8,
+}
+
+impl Default for HierarchicalConfig {
+    fn default() -> Self {
+        Self { n: 1024, subdivide_p: 0.7, max_len: 28 }
+    }
+}
+
+/// Grows a table by repeatedly either subdividing an existing rule (adding
+/// a strictly more specific rule 1–4 bits longer) or inserting a fresh
+/// top-level rule. Produces dependency trees whose height grows with
+/// `subdivide_p` — the regime the paper's `h(T)` factor is about.
+#[must_use]
+pub fn hierarchical_table(cfg: HierarchicalConfig, rng: &mut SplitMix64) -> Vec<Prefix> {
+    assert!(cfg.n >= 1);
+    assert!((0.0..=1.0).contains(&cfg.subdivide_p));
+    assert!(cfg.max_len <= 32);
+    let mut set: HashSet<Prefix> = HashSet::with_capacity(cfg.n);
+    let mut list: Vec<Prefix> = Vec::with_capacity(cfg.n);
+    let mut guard = 0u64;
+    while list.len() < cfg.n {
+        guard += 1;
+        assert!(guard < 200 * cfg.n as u64 + 10_000, "generator failed to converge");
+        let candidate = if !list.is_empty() && rng.chance(cfg.subdivide_p) {
+            // Subdivide a random existing rule.
+            let base = list[rng.index(list.len())];
+            if base.len() >= cfg.max_len {
+                continue;
+            }
+            let extra = 1 + rng.next_below(4) as u8;
+            let new_len = (base.len() + extra).min(cfg.max_len);
+            let offset = rng.next_below(base.address_count()) as u32;
+            Prefix::new(base.range_start().wrapping_add(offset), new_len)
+        } else {
+            let len = sample_length(rng).min(cfg.max_len);
+            Prefix::new(rng.next_u64() as u32, len)
+        };
+        if set.insert(candidate) {
+            list.push(candidate);
+        }
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule_tree::RuleTree;
+
+    #[test]
+    fn flat_table_size_and_uniqueness() {
+        let mut rng = SplitMix64::new(1);
+        let t = flat_table(500, &mut rng);
+        assert_eq!(t.len(), 500);
+        let set: HashSet<_> = t.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn flat_table_is_mostly_slash24() {
+        let mut rng = SplitMix64::new(2);
+        let t = flat_table(2000, &mut rng);
+        let s24 = t.iter().filter(|p| p.len() == 24).count();
+        let frac = s24 as f64 / t.len() as f64;
+        assert!((0.3..0.8).contains(&frac), "expected /24 spike, got {frac}");
+    }
+
+    #[test]
+    fn flat_table_is_shallow() {
+        let mut rng = SplitMix64::new(3);
+        let rt = RuleTree::build(&flat_table(2000, &mut rng));
+        // Random independent prefixes rarely nest deeper than a few levels.
+        assert!(rt.tree().height() <= 6, "height {}", rt.tree().height());
+    }
+
+    #[test]
+    fn hierarchical_table_is_deeper() {
+        let mut rng = SplitMix64::new(4);
+        let cfg = HierarchicalConfig { n: 2000, subdivide_p: 0.8, max_len: 28 };
+        let rt = RuleTree::build(&hierarchical_table(cfg, &mut rng));
+        let mut rng2 = SplitMix64::new(4);
+        let flat = RuleTree::build(&flat_table(2000, &mut rng2));
+        assert!(
+            rt.tree().height() > flat.tree().height(),
+            "hierarchical {} vs flat {}",
+            rt.tree().height(),
+            flat.tree().height()
+        );
+        assert!(rt.tree().height() >= 4);
+    }
+
+    #[test]
+    fn hierarchical_respects_max_len() {
+        let mut rng = SplitMix64::new(5);
+        let cfg = HierarchicalConfig { n: 500, subdivide_p: 0.9, max_len: 20 };
+        for p in hierarchical_table(cfg, &mut rng) {
+            assert!(p.len() <= 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = hierarchical_table(HierarchicalConfig::default(), &mut SplitMix64::new(9));
+        let b = hierarchical_table(HierarchicalConfig::default(), &mut SplitMix64::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_rule_table() {
+        let mut rng = SplitMix64::new(6);
+        let t = hierarchical_table(
+            HierarchicalConfig { n: 1, subdivide_p: 0.5, max_len: 24 },
+            &mut rng,
+        );
+        assert_eq!(t.len(), 1);
+    }
+}

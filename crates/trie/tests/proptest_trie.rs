@@ -1,0 +1,92 @@
+//! Property tests for the prefix/trie substrate.
+
+use otc_trie::{Prefix, RuleTree};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(addr, len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fast LMP (length-indexed hash probes) equals the linear-scan oracle.
+    #[test]
+    fn lmp_equals_linear(
+        rules in prop::collection::vec(arb_prefix(), 0..60),
+        addrs in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let rt = RuleTree::build(&rules);
+        for a in addrs {
+            prop_assert_eq!(rt.lmp(a), rt.lmp_linear(a), "addr {:#x}", a);
+        }
+    }
+
+    /// Dependency-tree parents are the longest proper prefix in the table.
+    #[test]
+    fn parent_is_longest_proper_prefix(rules in prop::collection::vec(arb_prefix(), 1..60)) {
+        let rt = RuleTree::build(&rules);
+        let tree = rt.tree();
+        for v in tree.nodes() {
+            let p = rt.prefix(v);
+            match tree.parent(v) {
+                None => prop_assert_eq!(p, Prefix::ROOT),
+                Some(parent) => {
+                    let q = rt.prefix(parent);
+                    prop_assert!(q.properly_contains(p));
+                    // No rule strictly between q and p.
+                    for w in tree.nodes() {
+                        let r = rt.prefix(w);
+                        if r.properly_contains(p) && q.properly_contains(r) {
+                            return Err(TestCaseError::fail(format!(
+                                "{r} lies strictly between parent {q} and child {p}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tree ancestry coincides with prefix containment.
+    #[test]
+    fn ancestry_is_containment(rules in prop::collection::vec(arb_prefix(), 1..40)) {
+        let rt = RuleTree::build(&rules);
+        let tree = rt.tree();
+        for a in tree.nodes() {
+            for b in tree.nodes() {
+                let by_tree = tree.is_ancestor_or_self(a, b);
+                let by_prefix = rt.prefix(a).contains(rt.prefix(b));
+                prop_assert_eq!(by_tree, by_prefix, "nodes {:?} {:?}", a, b);
+            }
+        }
+    }
+
+    /// Containment algebra: transitivity and antisymmetry.
+    #[test]
+    fn containment_partial_order(a in arb_prefix(), b in arb_prefix(), c in arb_prefix()) {
+        if a.contains(b) && b.contains(c) {
+            prop_assert!(a.contains(c));
+        }
+        if a.contains(b) && b.contains(a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// An address is contained in a prefix iff truncating the address to
+    /// the prefix length yields the prefix.
+    #[test]
+    fn contains_addr_consistent(p in arb_prefix(), addr in any::<u32>()) {
+        let truncated = Prefix::new(addr, p.len());
+        prop_assert_eq!(p.contains_addr(addr), truncated == p);
+    }
+
+    /// Split children partition the parent's address space.
+    #[test]
+    fn split_partitions(p in (any::<u32>(), 0u8..=31).prop_map(|(a, l)| Prefix::new(a, l))) {
+        let (lo, hi) = p.split().expect("len < 32 splits");
+        prop_assert_eq!(lo.address_count() + hi.address_count(), p.address_count());
+        prop_assert!(p.contains(lo) && p.contains(hi));
+        prop_assert!(!lo.contains(hi) && !hi.contains(lo));
+    }
+}

@@ -1,0 +1,162 @@
+//! Zipf-distributed sampling over ranked items.
+//!
+//! The FIB-caching application (paper Section 2) is motivated by the heavy
+//! skew of real packet traffic: a small number of forwarding rules carries
+//! most packets (Sarrar et al., "Leveraging Zipf's law for traffic
+//! offloading"). We model rule popularity as Zipf with exponent `theta`:
+//! rank-`i` item has probability proportional to `1 / i^theta`.
+//!
+//! The sampler precomputes the CDF once (`O(n)`) and draws by binary search
+//! (`O(log n)`), which is plenty fast for the sequence lengths the
+//! experiments use and keeps the implementation obviously correct.
+
+use crate::rng::SplitMix64;
+
+/// Zipf(θ) sampler over ranks `0..n` (rank 0 is the most popular).
+///
+/// ```
+/// use otc_util::{SplitMix64, Zipf};
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = SplitMix64::new(7);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 100);
+/// // Rank 0 carries the most probability mass.
+/// assert!(zipf.pmf(0) > zipf.pmf(99));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with exponent `theta ≥ 0`.
+    ///
+    /// `theta == 0` degenerates to the uniform distribution; `theta ≈ 1` is
+    /// the classic web/traffic skew.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf requires at least one item");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        // Guard against floating point drift: the last entry must be exactly
+        // 1.0 so binary search can never fall off the end.
+        *cdf.last_mut().expect("non-empty cdf") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has zero items (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `[0, n)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        // First index whose cdf value exceeds u.
+        self.cdf.partition_point(|&p| p <= u)
+    }
+
+    /// Probability mass of a given rank.
+    #[must_use]
+    pub fn pmf(&self, rank: usize) -> f64 {
+        assert!(rank < self.cdf.len(), "rank out of range");
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_mass() {
+        let z = Zipf::new(100, 1.0);
+        for r in 1..100 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-15, "pmf must be non-increasing in rank");
+        }
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = SplitMix64::new(21);
+        let mut head = 0usize;
+        let draws = 50_000;
+        for _ in 0..draws {
+            let r = z.sample(&mut rng);
+            assert!(r < 1000);
+            if r < 10 {
+                head += 1;
+            }
+        }
+        // With theta = 1.1 and n = 1000 the top-10 ranks carry ~40% of mass.
+        let frac = head as f64 / draws as f64;
+        assert!(frac > 0.30, "expected heavy head, got {frac}");
+    }
+
+    #[test]
+    fn empirical_matches_pmf() {
+        let z = Zipf::new(8, 0.9);
+        let mut rng = SplitMix64::new(33);
+        let mut counts = [0u32; 8];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate() {
+            let emp = f64::from(count) / draws as f64;
+            assert!(
+                (emp - z.pmf(r)).abs() < 0.01,
+                "rank {r}: empirical {emp} vs pmf {}",
+                z.pmf(r)
+            );
+        }
+    }
+
+    #[test]
+    fn single_item() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The Figure 4 / Appendix D gadget: a positive field whose requests cannot
+//! be shifted down to give every node `α` requests.
+//!
+//! The tree is a root `r` with two identical subtrees `T1`, `T2`, each a
+//! "broom" of size `s` with `ℓ` leaves. The scripted schedule walks TC
+//! through the chronology of Figure 4:
+//!
+//! 1. *(setup)* fetch the entire tree ((2s+1)·α positive requests at `r`);
+//! 2. evict `T1 ∪ {r}` (α negative requests per node, bottom-up);
+//! 3. (s+1)·α − ℓ positive requests at `r` — too few to trigger anything;
+//! 4. evict `T2` (α negative requests per node, bottom-up);
+//! 5. s·α − 1 positive requests at the root of `T1` — still no fetch;
+//! 6. ℓ + 1 positive requests at `r`; the last one saturates `P(r)` = the
+//!    whole tree, which TC fetches.
+//!
+//! **Fidelity note.** The paper's step 4 issues exactly `s·α` requests and
+//! calls it "too small to trigger a fetch"; with TC's saturation condition
+//! `cnt(X) ≥ |X|·α` the `s·α`-th request would saturate `P(T1-root)`
+//! exactly. We stop one request short (and lengthen the final stage by
+//! one), which preserves the construction's point: when the final fetch
+//! happens, nearly all of the field's requests sit at `r` and the root of
+//! `T1`, and only the last `ℓ + 1` arrive while `T2` is part of the field —
+//! so shifting can deliver `Ω(α)` requests to at most half of the nodes
+//! (Appendix D's impossibility).
+
+use otc_core::request::Request;
+use otc_core::tree::{NodeId, Tree};
+
+/// What TC is expected to do at a milestone request index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpectedAction {
+    /// Fetch exactly these nodes (sorted).
+    Fetch(Vec<NodeId>),
+    /// Evict exactly these nodes (sorted).
+    Evict(Vec<NodeId>),
+}
+
+/// A scripted milestone: after serving `schedule[index]`, TC applies the
+/// expected changeset.
+#[derive(Debug, Clone)]
+pub struct Milestone {
+    /// Index into the schedule (0-based).
+    pub index: usize,
+    /// The changeset TC must apply at that round.
+    pub expected: ExpectedAction,
+}
+
+/// The constructed gadget.
+#[derive(Debug, Clone)]
+pub struct Fig4Gadget {
+    /// The tree: node 0 = `r`, nodes `1..=s` = `T1`, nodes `s+1..=2s` = `T2`.
+    pub tree: Tree,
+    /// The problem's α.
+    pub alpha: u64,
+    /// Subtree size `s`.
+    pub s: usize,
+    /// Leaves per subtree `ℓ`.
+    pub ell: usize,
+    /// The full scripted request sequence.
+    pub schedule: Vec<Request>,
+    /// Expected TC actions, in order.
+    pub milestones: Vec<Milestone>,
+    /// Root `r`.
+    pub r: NodeId,
+    /// Root of `T1`.
+    pub r1: NodeId,
+    /// Root of `T2`.
+    pub r2: NodeId,
+    /// Start index of each stage in the schedule (6 entries: setup, evict1,
+    /// fill-r, evict2, fill-r1, final).
+    pub stage_starts: [usize; 6],
+    /// Minimum cache capacity for the script to work (the whole tree).
+    pub min_capacity: usize,
+}
+
+impl Fig4Gadget {
+    /// Builds the gadget. Requirements: `s ≥ ℓ + 1`, `ℓ ≥ 1`, `α ≥ 2`
+    /// (with `α = 1` stage 5's "one short" would be empty-adjacent but
+    /// still fine; we keep the paper's "large α" spirit).
+    #[must_use]
+    pub fn new(s: usize, ell: usize, alpha: u64) -> Self {
+        assert!(ell >= 1, "each subtree needs at least one leaf");
+        assert!(s > ell, "broom needs a spine: s >= ell + 1");
+        assert!(alpha >= 1);
+        let spine = s - ell;
+
+        // Node layout: 0 = r; T1 occupies 1..=s (spine then bristles);
+        // T2 occupies s+1..=2s.
+        let mut parents: Vec<Option<usize>> = Vec::with_capacity(2 * s + 1);
+        parents.push(None);
+        let push_broom = |parents: &mut Vec<Option<usize>>, base: usize| {
+            for i in 0..spine {
+                parents.push(Some(if i == 0 { 0 } else { base + i - 1 }));
+            }
+            for _ in 0..ell {
+                parents.push(Some(base + spine - 1));
+            }
+        };
+        push_broom(&mut parents, 1);
+        push_broom(&mut parents, s + 1);
+        let tree = Tree::from_parents(&parents);
+
+        let r = NodeId(0);
+        let r1 = NodeId(1);
+        let r2 = NodeId(s as u32 + 1);
+        let t1_nodes: Vec<NodeId> = tree.subtree(r1).to_vec();
+        let t2_nodes: Vec<NodeId> = tree.subtree(r2).to_vec();
+        debug_assert_eq!(t1_nodes.len(), s);
+        debug_assert_eq!(t2_nodes.len(), s);
+
+        let n_total = 2 * s + 1;
+        let mut schedule = Vec::new();
+        let mut milestones = Vec::new();
+        let mut stage_starts = [0usize; 6];
+
+        // Stage 0 (setup): fetch the whole tree.
+        stage_starts[0] = schedule.len();
+        for _ in 0..n_total as u64 * alpha {
+            schedule.push(Request::pos(r));
+        }
+        let mut all: Vec<NodeId> = tree.nodes().collect();
+        all.sort_unstable();
+        milestones
+            .push(Milestone { index: schedule.len() - 1, expected: ExpectedAction::Fetch(all.clone()) });
+
+        // Stage 1: evict T1 ∪ {r} — α negatives per node, bottom-up
+        // (reverse preorder of T1 ends at r1), then α at r.
+        stage_starts[1] = schedule.len();
+        for &v in t1_nodes.iter().rev() {
+            for _ in 0..alpha {
+                schedule.push(Request::neg(v));
+            }
+        }
+        for _ in 0..alpha {
+            schedule.push(Request::neg(r));
+        }
+        let mut evict1: Vec<NodeId> = t1_nodes.iter().copied().chain([r]).collect();
+        evict1.sort_unstable();
+        milestones
+            .push(Milestone { index: schedule.len() - 1, expected: ExpectedAction::Evict(evict1) });
+
+        // Stage 2: (s+1)·α − ℓ positives at r; P(r) = T1 ∪ {r} stays short
+        // of saturation by ℓ.
+        stage_starts[2] = schedule.len();
+        for _ in 0..(s as u64 + 1) * alpha - ell as u64 {
+            schedule.push(Request::pos(r));
+        }
+
+        // Stage 3: evict T2 — α negatives per node, bottom-up.
+        stage_starts[3] = schedule.len();
+        for &v in t2_nodes.iter().rev() {
+            for _ in 0..alpha {
+                schedule.push(Request::neg(v));
+            }
+        }
+        let mut evict2 = t2_nodes.clone();
+        evict2.sort_unstable();
+        milestones
+            .push(Milestone { index: schedule.len() - 1, expected: ExpectedAction::Evict(evict2) });
+
+        // Stage 4: s·α − 1 positives at r1 (one short of saturating P(r1)).
+        stage_starts[4] = schedule.len();
+        for _ in 0..s as u64 * alpha - 1 {
+            schedule.push(Request::pos(r1));
+        }
+
+        // Stage 5: ℓ + 1 positives at r; the last saturates P(r) = T and
+        // TC fetches everything.
+        stage_starts[5] = schedule.len();
+        for _ in 0..ell as u64 + 1 {
+            schedule.push(Request::pos(r));
+        }
+        milestones.push(Milestone { index: schedule.len() - 1, expected: ExpectedAction::Fetch(all) });
+
+        Self {
+            tree,
+            alpha,
+            s,
+            ell,
+            schedule,
+            milestones,
+            r,
+            r1,
+            r2,
+            stage_starts,
+            min_capacity: n_total,
+        }
+    }
+
+    /// Nodes of `T1` (preorder).
+    #[must_use]
+    pub fn t1_nodes(&self) -> &[NodeId] {
+        self.tree.subtree(self.r1)
+    }
+
+    /// Nodes of `T2` (preorder).
+    #[must_use]
+    pub fn t2_nodes(&self) -> &[NodeId] {
+        self.tree.subtree(self.r2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use otc_core::policy::{Action, CachePolicy};
+    use otc_core::tc::{TcConfig, TcFast};
+
+    fn run_and_collect(g: &Fig4Gadget) -> Vec<(usize, ExpectedAction)> {
+        let tree = Arc::new(g.tree.clone());
+        let mut tc = TcFast::new(tree, TcConfig::new(g.alpha, g.min_capacity));
+        let mut observed = Vec::new();
+        for (i, &req) in g.schedule.iter().enumerate() {
+            let out = tc.step(req);
+            for action in out.actions {
+                let obs = match action {
+                    Action::Fetch(mut set) => {
+                        set.sort_unstable();
+                        ExpectedAction::Fetch(set)
+                    }
+                    Action::Evict(mut set) => {
+                        set.sort_unstable();
+                        ExpectedAction::Evict(set)
+                    }
+                    Action::Flush(_) => panic!("gadget must not overflow the cache"),
+                };
+                observed.push((i, obs));
+            }
+        }
+        observed
+    }
+
+    #[test]
+    fn tc_follows_the_script_small() {
+        let g = Fig4Gadget::new(3, 2, 4);
+        let observed = run_and_collect(&g);
+        let expected: Vec<(usize, ExpectedAction)> =
+            g.milestones.iter().map(|m| (m.index, m.expected.clone())).collect();
+        assert_eq!(observed, expected);
+    }
+
+    #[test]
+    fn tc_follows_the_script_larger() {
+        let g = Fig4Gadget::new(8, 3, 6);
+        let observed = run_and_collect(&g);
+        let expected: Vec<(usize, ExpectedAction)> =
+            g.milestones.iter().map(|m| (m.index, m.expected.clone())).collect();
+        assert_eq!(observed, expected);
+    }
+
+    #[test]
+    fn tc_follows_the_script_alpha_two() {
+        let g = Fig4Gadget::new(4, 1, 2);
+        let observed = run_and_collect(&g);
+        assert_eq!(observed.len(), g.milestones.len());
+        for (obs, exp) in observed.iter().zip(&g.milestones) {
+            assert_eq!(obs.0, exp.index);
+            assert_eq!(obs.1, exp.expected);
+        }
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = Fig4Gadget::new(5, 2, 4);
+        assert_eq!(g.tree.len(), 11);
+        assert_eq!(g.t1_nodes().len(), 5);
+        assert_eq!(g.t2_nodes().len(), 5);
+        assert_eq!(g.tree.leaves().len(), 4);
+        assert_eq!(g.tree.parent(g.r1), Some(g.r));
+        assert_eq!(g.tree.parent(g.r2), Some(g.r));
+    }
+
+    #[test]
+    fn stage_boundaries_ordered() {
+        let g = Fig4Gadget::new(6, 2, 4);
+        for w in g.stage_starts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(g.stage_starts[5] < g.schedule.len());
+    }
+}

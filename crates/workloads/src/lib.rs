@@ -1,0 +1,31 @@
+//! # otc-workloads — trees, request streams, adversaries and paper gadgets
+//!
+//! Everything the experiments feed to the algorithms:
+//!
+//! * [`trees`] — random tree generators with height/degree control;
+//! * [`requests`] — Zipf traffic, update churn (α-chunked negatives, the
+//!   paper's Appendix-B encoding), working-set drift;
+//! * [`adversary`] — the adaptive paging adversary of the Ω(R) lower bound
+//!   (Appendix C);
+//! * [`gadget`] — the Figure 4 / Appendix D positive-field impossibility
+//!   construction, scripted end to end.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversary;
+pub mod gadget;
+pub mod requests;
+pub mod search;
+pub mod trace;
+pub mod trees;
+
+pub use adversary::{drive_paging_adversary, AdversaryRun};
+pub use gadget::Fig4Gadget;
+pub use requests::{
+    amplify, shifting_zipf, uniform_mixed, zipf_positive, zipf_with_bursty_updates,
+    zipf_with_updates, MixedConfig,
+};
+pub use search::{adversarial_search, SearchOutcome};
+pub use trace::{from_text, to_text};
+pub use trees::{broom, random_attachment, random_bounded_degree, random_window};

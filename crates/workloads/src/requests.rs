@@ -1,0 +1,295 @@
+//! Request-sequence generators.
+//!
+//! Positive requests model rule accesses (cache misses cost 1); negative
+//! requests model rule updates (rewriting a cached TCAM entry costs 1).
+//! Rule updates arrive as **chunks of α consecutive negative requests** —
+//! that is exactly how the paper maps update costs into the request model
+//! (Section 2 / Appendix B).
+
+use otc_core::request::{Request, Sign};
+use otc_core::tree::{NodeId, Tree};
+use otc_util::{SplitMix64, Zipf};
+
+/// Zipf-popular positive requests: node popularity ranks are a random
+/// permutation of all tree nodes; requests draw ranks from Zipf(θ).
+#[must_use]
+pub fn zipf_positive(tree: &Tree, len: usize, theta: f64, rng: &mut SplitMix64) -> Vec<Request> {
+    let ranked = ranked_nodes(tree, rng);
+    let zipf = Zipf::new(ranked.len(), theta);
+    (0..len).map(|_| Request::pos(ranked[zipf.sample(rng)])).collect()
+}
+
+/// Uniformly random requests with a given probability of being negative.
+#[must_use]
+pub fn uniform_mixed(tree: &Tree, len: usize, neg_p: f64, rng: &mut SplitMix64) -> Vec<Request> {
+    (0..len)
+        .map(|_| {
+            let node = NodeId(rng.index(tree.len()) as u32);
+            let sign = if rng.chance(neg_p) { Sign::Negative } else { Sign::Positive };
+            Request { node, sign }
+        })
+        .collect()
+}
+
+/// Configuration for the FIB-like mixed workload.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedConfig {
+    /// Total number of requests to emit (update chunks count α each).
+    pub len: usize,
+    /// Zipf exponent for access popularity.
+    pub theta: f64,
+    /// Probability that the next event is a rule update rather than an
+    /// access.
+    pub update_p: f64,
+    /// Chunk size for updates (the problem's α).
+    pub alpha: u64,
+}
+
+/// Zipf-popular accesses interleaved with rule-update chunks: each update
+/// event emits `α` consecutive negative requests to one node (Appendix B's
+/// encoding of a router-entry rewrite of cost α).
+#[must_use]
+pub fn zipf_with_updates(tree: &Tree, cfg: MixedConfig, rng: &mut SplitMix64) -> Vec<Request> {
+    let ranked = ranked_nodes(tree, rng);
+    let zipf = Zipf::new(ranked.len(), cfg.theta);
+    let mut out = Vec::with_capacity(cfg.len);
+    while out.len() < cfg.len {
+        if rng.chance(cfg.update_p) {
+            // Updates hit rules by the same popularity law: hot rules
+            // change more often (route flaps affect busy prefixes too).
+            let node = ranked[zipf.sample(rng)];
+            for _ in 0..cfg.alpha {
+                out.push(Request::neg(node));
+                if out.len() == cfg.len {
+                    break;
+                }
+            }
+        } else {
+            out.push(Request::pos(ranked[zipf.sample(rng)]));
+        }
+    }
+    out
+}
+
+/// Working-set drift: Zipf-popular positives whose popularity permutation
+/// is re-drawn every `epoch` requests. Stresses adaptivity (an algorithm
+/// must evict the old working set).
+#[must_use]
+pub fn shifting_zipf(
+    tree: &Tree,
+    len: usize,
+    theta: f64,
+    epoch: usize,
+    rng: &mut SplitMix64,
+) -> Vec<Request> {
+    assert!(epoch >= 1);
+    let zipf = Zipf::new(tree.len(), theta);
+    let mut out = Vec::with_capacity(len);
+    let mut ranked = ranked_nodes(tree, rng);
+    for i in 0..len {
+        if i > 0 && i % epoch == 0 {
+            ranked = ranked_nodes(tree, rng);
+        }
+        out.push(Request::pos(ranked[zipf.sample(rng)]));
+    }
+    out
+}
+
+/// Bursty update churn layered over Zipf traffic: BGP-style updates arrive
+/// in *bursts* (route flaps touch many related prefixes within a short
+/// window), not as independent events. Each burst picks a subtree root and
+/// issues one α-chunk of negatives per node of a random cap of that
+/// subtree, interleaved with ordinary Zipf-popular accesses.
+#[must_use]
+pub fn zipf_with_bursty_updates(
+    tree: &Tree,
+    cfg: MixedConfig,
+    burst_span: usize,
+    rng: &mut SplitMix64,
+) -> Vec<Request> {
+    assert!(burst_span >= 1);
+    let ranked = ranked_nodes(tree, rng);
+    let zipf = Zipf::new(ranked.len(), cfg.theta);
+    let mut out = Vec::with_capacity(cfg.len);
+    while out.len() < cfg.len {
+        if rng.chance(cfg.update_p) {
+            // A flap event: update a random node and up to burst_span − 1
+            // of its closest descendants (a path-ish cap of its subtree —
+            // related prefixes change together).
+            let center = ranked[zipf.sample(rng)];
+            let subtree = tree.subtree(center);
+            let span = subtree.len().min(1 + rng.index(burst_span));
+            for &v in &subtree[..span] {
+                for _ in 0..cfg.alpha {
+                    out.push(Request::neg(v));
+                    if out.len() == cfg.len {
+                        return out;
+                    }
+                }
+            }
+        } else {
+            out.push(Request::pos(ranked[zipf.sample(rng)]));
+        }
+    }
+    out
+}
+
+/// All nodes in a random order (popularity ranking).
+fn ranked_nodes(tree: &Tree, rng: &mut SplitMix64) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = tree.nodes().collect();
+    rng.shuffle(&mut nodes);
+    nodes
+}
+
+/// Repeats each request of `reqs` `alpha` times (the Appendix C reduction
+/// replaces one paging request by α tree-caching requests).
+#[must_use]
+pub fn amplify(reqs: &[Request], alpha: u64) -> Vec<Request> {
+    let mut out = Vec::with_capacity(reqs.len() * alpha as usize);
+    for &r in reqs {
+        for _ in 0..alpha {
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otc_core::tree::Tree;
+
+    #[test]
+    fn zipf_positive_shape() {
+        let tree = Tree::kary(2, 5);
+        let mut rng = SplitMix64::new(1);
+        let reqs = zipf_positive(&tree, 5000, 1.0, &mut rng);
+        assert_eq!(reqs.len(), 5000);
+        assert!(reqs.iter().all(|r| r.is_positive()));
+        assert!(reqs.iter().all(|r| r.node.index() < tree.len()));
+        // Skew: the most frequent node should dominate the least frequent.
+        let mut counts = vec![0usize; tree.len()];
+        for r in &reqs {
+            counts[r.node.index()] += 1;
+        }
+        counts.sort_unstable();
+        assert!(counts[tree.len() - 1] > 10 * counts[0].max(1) / 2);
+    }
+
+    #[test]
+    fn uniform_mixed_sign_fraction() {
+        let tree = Tree::star(20);
+        let mut rng = SplitMix64::new(2);
+        let reqs = uniform_mixed(&tree, 10_000, 0.3, &mut rng);
+        let neg = reqs.iter().filter(|r| !r.is_positive()).count();
+        let frac = neg as f64 / reqs.len() as f64;
+        assert!((0.25..0.35).contains(&frac), "negative fraction {frac}");
+    }
+
+    #[test]
+    fn update_chunks_are_contiguous() {
+        let tree = Tree::kary(3, 3);
+        let mut rng = SplitMix64::new(3);
+        let cfg = MixedConfig { len: 4000, theta: 0.9, update_p: 0.2, alpha: 4 };
+        let reqs = zipf_with_updates(&tree, cfg, &mut rng);
+        assert_eq!(reqs.len(), 4000);
+        // Negative requests appear in runs of exactly α to the same node
+        // (except possibly a truncated final run).
+        let mut i = 0;
+        while i < reqs.len() {
+            if !reqs[i].is_positive() {
+                let node = reqs[i].node;
+                let mut run = 0;
+                while i < reqs.len() && !reqs[i].is_positive() && reqs[i].node == node && run < 4 {
+                    run += 1;
+                    i += 1;
+                }
+                assert!(run == 4 || i == reqs.len(), "negative run of {run} at {i}");
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn shifting_zipf_changes_hot_set() {
+        let tree = Tree::star(200);
+        let mut rng = SplitMix64::new(4);
+        let epoch = 2000;
+        let reqs = shifting_zipf(&tree, 2 * epoch, 1.2, epoch, &mut rng);
+        let top = |slice: &[Request]| -> NodeId {
+            let mut counts = vec![0usize; tree.len()];
+            for r in slice {
+                counts[r.node.index()] += 1;
+            }
+            NodeId(
+                counts.iter().enumerate().max_by_key(|&(_, c)| *c).map(|(i, _)| i).unwrap() as u32,
+            )
+        };
+        let first = top(&reqs[..epoch]);
+        let second = top(&reqs[epoch..]);
+        assert_ne!(first, second, "hot node should move across epochs (w.h.p.)");
+    }
+
+    #[test]
+    fn amplify_repeats() {
+        let reqs = vec![Request::pos(NodeId(1)), Request::neg(NodeId(2))];
+        let amp = amplify(&reqs, 3);
+        assert_eq!(amp.len(), 6);
+        assert_eq!(amp[0], amp[2]);
+        assert_eq!(amp[3], Request::neg(NodeId(2)));
+    }
+
+    #[test]
+    fn bursty_updates_touch_related_nodes() {
+        let tree = Tree::kary(2, 5);
+        let mut rng = SplitMix64::new(6);
+        let cfg = MixedConfig { len: 6000, theta: 0.8, update_p: 0.1, alpha: 3 };
+        let reqs = zipf_with_bursty_updates(&tree, cfg, 4, &mut rng);
+        assert_eq!(reqs.len(), 6000);
+        // Group consecutive negatives into α-runs and look at adjacent run
+        // pairs. Runs inside one burst target ancestor-related nodes; only
+        // pairs straddling two colliding bursts can be unrelated, so the
+        // related fraction must dominate (on a random tree of 31 nodes two
+        // independent draws are almost never related).
+        let mut runs: Vec<(usize, otc_core::tree::NodeId)> = Vec::new();
+        let mut i = 0;
+        while i < reqs.len() {
+            if !reqs[i].is_positive() {
+                let node = reqs[i].node;
+                let start = i;
+                while i < reqs.len() && !reqs[i].is_positive() && reqs[i].node == node {
+                    i += 1;
+                }
+                runs.push((start, node));
+            } else {
+                i += 1;
+            }
+        }
+        let mut adjacent = 0u32;
+        let mut related = 0u32;
+        for w in runs.windows(2) {
+            let (s0, n0) = w[0];
+            let (s1, n1) = w[1];
+            // Adjacent runs (no positive request in between) belong to the
+            // same negative block.
+            if s1 == s0 + 3 && n0 != n1 {
+                adjacent += 1;
+                if tree.is_ancestor_or_self(n0, n1) || tree.is_ancestor_or_self(n1, n0) {
+                    related += 1;
+                }
+            }
+        }
+        assert!(adjacent > 20, "expected to observe multi-run negative blocks");
+        let frac = f64::from(related) / f64::from(adjacent);
+        assert!(frac > 0.6, "bursts should mostly hit related nodes, got {frac}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let tree = Tree::kary(2, 4);
+        let a = zipf_positive(&tree, 100, 1.0, &mut SplitMix64::new(5));
+        let b = zipf_positive(&tree, 100, 1.0, &mut SplitMix64::new(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,164 @@
+//! Randomised adversarial-input search.
+//!
+//! The paper's conclusion conjectures that TC's true competitive ratio does
+//! not depend on the tree height. Probing that conjecture empirically needs
+//! *bad* inputs, not random ones — this module provides a simple randomised
+//! local search (mutate-and-keep-if-worse) over request sequences that
+//! maximises the measured `TC/OPT` ratio against a caller-supplied exact
+//! OPT evaluator. It is a heuristic: it certifies lower bounds on the
+//! worst-case ratio, never upper bounds.
+
+use otc_core::request::{Request, Sign};
+use otc_core::tree::{NodeId, Tree};
+use otc_util::SplitMix64;
+
+/// Outcome of the adversarial search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The worst sequence found.
+    pub requests: Vec<Request>,
+    /// Its measured ratio (`cost_fn` numerator / denominator).
+    pub ratio: f64,
+    /// Accepted mutations.
+    pub improvements: u32,
+}
+
+/// Maximises `ratio_fn(seq)` by randomised point/block mutations.
+///
+/// `ratio_fn` evaluates a candidate sequence (typically TC-cost divided by
+/// exact-OPT-cost); the search keeps mutations that do not decrease it.
+/// Runtime is `iters` evaluations of `ratio_fn`.
+pub fn adversarial_search(
+    tree: &Tree,
+    len: usize,
+    iters: u32,
+    rng: &mut SplitMix64,
+    mut ratio_fn: impl FnMut(&[Request]) -> f64,
+) -> SearchOutcome {
+    let n = tree.len();
+    let random_req = |rng: &mut SplitMix64| {
+        let node = NodeId(rng.index(n) as u32);
+        let sign = if rng.chance(0.35) { Sign::Negative } else { Sign::Positive };
+        Request { node, sign }
+    };
+    let mut current: Vec<Request> = (0..len).map(|_| random_req(rng)).collect();
+    let mut best_ratio = ratio_fn(&current);
+    let mut improvements = 0;
+
+    for _ in 0..iters {
+        let mut candidate = current.clone();
+        match rng.index(3) {
+            0 => {
+                // Point mutation.
+                let i = rng.index(len);
+                candidate[i] = random_req(rng);
+            }
+            1 => {
+                // Block rewrite: hammer one node over a random window.
+                let i = rng.index(len);
+                let w = 1 + rng.index(16.min(len - i));
+                let req = random_req(rng);
+                for slot in &mut candidate[i..i + w] {
+                    *slot = req;
+                }
+            }
+            _ => {
+                // Block duplication: repeat an earlier window later on
+                // (builds periodic adversarial patterns).
+                let w = 1 + rng.index(16.min(len / 2));
+                let src = rng.index(len - w + 1);
+                let dst = rng.index(len - w + 1);
+                let window: Vec<Request> = candidate[src..src + w].to_vec();
+                candidate[dst..dst + w].copy_from_slice(&window);
+            }
+        }
+        let r = ratio_fn(&candidate);
+        if r >= best_ratio {
+            if r > best_ratio {
+                improvements += 1;
+            }
+            best_ratio = r;
+            current = candidate;
+        }
+    }
+    SearchOutcome { requests: current, ratio: best_ratio, improvements }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use otc_core::policy::CachePolicy;
+    use otc_core::tc::{TcConfig, TcFast};
+    use otc_core::tree::Tree;
+
+    /// Objective used in the mechanics tests: raw TC cost.
+    fn tc_cost_objective(tree: &Arc<Tree>, alpha: u64, k: usize) -> impl FnMut(&[Request]) -> f64 {
+        let tree = Arc::clone(tree);
+        move |reqs: &[Request]| {
+            let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
+            let mut service = 0u64;
+            let mut touched = 0u64;
+            for &r in reqs {
+                let out = tc.step(r);
+                service += u64::from(out.paid_service);
+                touched += out.nodes_touched() as u64;
+            }
+            (service + alpha * touched) as f64
+        }
+    }
+
+    #[test]
+    fn search_never_regresses_below_start() {
+        let tree = Arc::new(Tree::star(3));
+        let mut rng = SplitMix64::new(5);
+        // The very first evaluation is the starting ratio; the accept rule
+        // is monotone, so the outcome cannot be below it.
+        let mut first = None;
+        let out = {
+            let mut obj = tc_cost_objective(&tree, 2, 2);
+            adversarial_search(&tree, 100, 150, &mut rng, |reqs| {
+                let r = obj(reqs);
+                if first.is_none() {
+                    first = Some(r);
+                }
+                r
+            })
+        };
+        assert_eq!(out.requests.len(), 100);
+        assert!(out.ratio >= first.expect("evaluated at least once"));
+    }
+
+    #[test]
+    fn found_sequence_realises_reported_ratio() {
+        let tree = Arc::new(Tree::kary(2, 2));
+        let mut rng = SplitMix64::new(7);
+        let out = adversarial_search(&tree, 80, 120, &mut rng, tc_cost_objective(&tree, 2, 2));
+        let mut objective = tc_cost_objective(&tree, 2, 2);
+        let check = objective(&out.requests);
+        assert_eq!(check, out.ratio, "reported ratio must be reproducible from the sequence");
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let tree = Arc::new(Tree::path(4));
+        let run = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            let tree2 = Arc::clone(&tree);
+            adversarial_search(&tree, 60, 80, &mut rng, move |reqs| {
+                let mut tc = TcFast::new(Arc::clone(&tree2), TcConfig::new(2, 2));
+                let mut cost = 0u64;
+                for &r in reqs {
+                    let out = tc.step(r);
+                    cost += u64::from(out.paid_service) + 2 * out.nodes_touched() as u64;
+                }
+                cost as f64
+            })
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.ratio, b.ratio);
+    }
+}

@@ -1,0 +1,119 @@
+//! Request-trace serialization.
+//!
+//! A dead-simple line format so experiments can persist and replay
+//! workloads (and so adversarial sequences found by [`crate::search`] can
+//! be archived as regression inputs):
+//!
+//! ```text
+//! # comment lines and blanks are ignored
+//! +17        positive request to node 17
+//! -4         negative request to node 4
+//! ```
+
+use otc_core::request::{Request, Sign};
+use otc_core::tree::NodeId;
+
+/// Renders a request sequence in the line format.
+#[must_use]
+pub fn to_text(requests: &[Request]) -> String {
+    let mut out = String::with_capacity(requests.len() * 5);
+    for r in requests {
+        out.push(if r.sign == Sign::Positive { '+' } else { '-' });
+        out.push_str(&r.node.0.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the line format back into a request sequence.
+///
+/// # Errors
+/// Reports the first malformed line (1-based line number included).
+pub fn from_text(text: &str) -> Result<Vec<Request>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (sign, rest) = match line.split_at(1) {
+            ("+", rest) => (Sign::Positive, rest),
+            ("-", rest) => (Sign::Negative, rest),
+            _ => return Err(format!("line {}: expected '+' or '-', got {line:?}", lineno + 1)),
+        };
+        let id: u32 = rest
+            .parse()
+            .map_err(|e| format!("line {}: bad node id {rest:?}: {e}", lineno + 1))?;
+        out.push(Request { node: NodeId(id), sign });
+    }
+    Ok(out)
+}
+
+/// Validates that every request in a trace targets a node of the tree.
+///
+/// # Errors
+/// Reports the first out-of-range request.
+pub fn validate_for_tree(
+    requests: &[Request],
+    tree: &otc_core::tree::Tree,
+) -> Result<(), String> {
+    for (i, r) in requests.iter().enumerate() {
+        if r.node.index() >= tree.len() {
+            return Err(format!(
+                "request {i} targets node {} but the tree has {} nodes",
+                r.node,
+                tree.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let reqs = vec![
+            Request::pos(NodeId(0)),
+            Request::neg(NodeId(42)),
+            Request::pos(NodeId(7)),
+        ];
+        let text = to_text(&reqs);
+        assert_eq!(text, "+0\n-42\n+7\n");
+        assert_eq!(from_text(&text).unwrap(), reqs);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n+1\n  \n# mid\n-2\n";
+        let reqs = from_text(text).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0], Request::pos(NodeId(1)));
+        assert_eq!(reqs[1], Request::neg(NodeId(2)));
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_position() {
+        let err = from_text("+1\nx9\n").unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+        let err = from_text("+abc\n").unwrap_err();
+        assert!(err.contains("bad node id"), "got: {err}");
+    }
+
+    #[test]
+    fn tree_validation() {
+        let tree = otc_core::tree::Tree::star(2);
+        let ok = vec![Request::pos(NodeId(2))];
+        assert!(validate_for_tree(&ok, &tree).is_ok());
+        let bad = vec![Request::pos(NodeId(3))];
+        assert!(validate_for_tree(&bad, &tree).is_err());
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(from_text("").unwrap().is_empty());
+        assert_eq!(to_text(&[]), "");
+    }
+}

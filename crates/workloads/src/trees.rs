@@ -1,0 +1,160 @@
+//! Random tree generators.
+//!
+//! The competitive bound depends on the tree height `h(T)` and the
+//! implementation bound on `deg(T)`, so the experiments need shape control:
+//!
+//! * [`random_attachment`] — uniform recursive trees, height `Θ(log n)`;
+//! * [`random_window`] — attachment restricted to the last `w` nodes,
+//!   interpolating between a path (`w = 1`) and a recursive tree;
+//! * [`random_bounded_degree`] — uniform attachment subject to a degree
+//!   cap, for `deg(T)`-scaling experiments;
+//! * the canonical shapes (`path`, `star`, `kary`, `caterpillar`) come from
+//!   [`otc_core::Tree`] directly.
+
+use otc_core::tree::Tree;
+use otc_util::SplitMix64;
+
+/// Uniform random recursive tree: node `i ≥ 1` attaches to a uniformly
+/// random earlier node. Expected height `Θ(log n)`.
+#[must_use]
+pub fn random_attachment(n: usize, rng: &mut SplitMix64) -> Tree {
+    assert!(n >= 1);
+    let mut parents: Vec<Option<usize>> = Vec::with_capacity(n);
+    parents.push(None);
+    for i in 1..n {
+        parents.push(Some(rng.index(i)));
+    }
+    Tree::from_parents(&parents)
+}
+
+/// Random tree where node `i` attaches to one of the `window` most recent
+/// nodes. `window = 1` yields a path; larger windows yield bushier, shorter
+/// trees. Height roughly `n / window`-ish for small windows.
+#[must_use]
+pub fn random_window(n: usize, window: usize, rng: &mut SplitMix64) -> Tree {
+    assert!(n >= 1 && window >= 1);
+    let mut parents: Vec<Option<usize>> = Vec::with_capacity(n);
+    parents.push(None);
+    for i in 1..n {
+        let lo = i.saturating_sub(window);
+        parents.push(Some(lo + rng.index(i - lo)));
+    }
+    Tree::from_parents(&parents)
+}
+
+/// Uniform random attachment with a maximum-degree cap. Nodes at the cap
+/// stop accepting children; the generator picks uniformly among nodes with
+/// spare capacity.
+#[must_use]
+pub fn random_bounded_degree(n: usize, max_degree: usize, rng: &mut SplitMix64) -> Tree {
+    assert!(n >= 1 && max_degree >= 1);
+    let mut parents: Vec<Option<usize>> = Vec::with_capacity(n);
+    parents.push(None);
+    let mut open: Vec<usize> = vec![0]; // nodes with spare child slots
+    let mut degree = vec![0usize; n];
+    for i in 1..n {
+        let slot = rng.index(open.len());
+        let p = open[slot];
+        parents.push(Some(p));
+        degree[p] += 1;
+        if degree[p] >= max_degree {
+            open.swap_remove(slot);
+        }
+        open.push(i);
+    }
+    Tree::from_parents(&parents)
+}
+
+/// A "broom": a spine path of `spine` nodes with `bristles` leaves attached
+/// to the deepest spine node. Total size `spine + bristles`. This is the
+/// `T1`/`T2` building block of the paper's Figure 4 gadget ("size s with
+/// ℓ leaves").
+#[must_use]
+pub fn broom(spine: usize, bristles: usize) -> Tree {
+    assert!(spine >= 1);
+    let n = spine + bristles;
+    let mut parents: Vec<Option<usize>> = Vec::with_capacity(n);
+    parents.push(None);
+    for i in 1..spine {
+        parents.push(Some(i - 1));
+    }
+    for _ in 0..bristles {
+        parents.push(Some(spine - 1));
+    }
+    Tree::from_parents(&parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attachment_tree_is_valid_and_shallow() {
+        let mut rng = SplitMix64::new(1);
+        let t = random_attachment(4096, &mut rng);
+        assert_eq!(t.len(), 4096);
+        // Uniform recursive trees have height ~ e·ln n ≈ 23; allow slack.
+        assert!(t.height() < 64, "height {}", t.height());
+    }
+
+    #[test]
+    fn window_one_is_path() {
+        let mut rng = SplitMix64::new(2);
+        let t = random_window(64, 1, &mut rng);
+        assert_eq!(t.height(), 64);
+        assert_eq!(t.max_degree(), 1);
+    }
+
+    #[test]
+    fn window_interpolates_height() {
+        let mut rng = SplitMix64::new(3);
+        let deep = random_window(512, 2, &mut rng);
+        let shallow = random_window(512, 256, &mut rng);
+        assert!(deep.height() > shallow.height());
+    }
+
+    #[test]
+    fn degree_cap_respected() {
+        let mut rng = SplitMix64::new(4);
+        for cap in [1usize, 2, 3, 8] {
+            let t = random_bounded_degree(300, cap, &mut rng);
+            assert!(t.max_degree() as usize <= cap, "cap {cap} violated: {}", t.max_degree());
+            assert_eq!(t.len(), 300);
+        }
+    }
+
+    #[test]
+    fn degree_cap_one_is_path() {
+        let mut rng = SplitMix64::new(5);
+        let t = random_bounded_degree(50, 1, &mut rng);
+        assert_eq!(t.height(), 50);
+    }
+
+    #[test]
+    fn broom_shape() {
+        let t = broom(4, 3);
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.height(), 5);
+        assert_eq!(t.leaves().len(), 3);
+        // Deepest spine node has all the bristles.
+        assert_eq!(t.max_degree(), 3);
+    }
+
+    #[test]
+    fn broom_degenerate() {
+        let t = broom(1, 0);
+        assert_eq!(t.len(), 1);
+        let t = broom(3, 0);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.leaves().len(), 1);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = random_attachment(100, &mut SplitMix64::new(7));
+        let b = random_attachment(100, &mut SplitMix64::new(7));
+        for v in a.nodes() {
+            assert_eq!(a.parent(v), b.parent(v));
+        }
+    }
+}

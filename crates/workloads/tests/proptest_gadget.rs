@@ -1,0 +1,59 @@
+//! Property test: the Figure 4 gadget drives TC through its scripted
+//! chronology for *arbitrary* admissible parameters, not just the
+//! hand-picked ones.
+
+use std::sync::Arc;
+
+use otc_core::policy::{Action, CachePolicy};
+use otc_core::tc::{TcConfig, TcFast};
+use otc_workloads::gadget::ExpectedAction;
+use otc_workloads::Fig4Gadget;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gadget_milestones_hold_for_all_parameters(
+        ell in 1usize..6,
+        extra_spine in 1usize..8,
+        alpha in 1u64..9,
+    ) {
+        let s = ell + extra_spine;
+        let g = Fig4Gadget::new(s, ell, alpha);
+        let tree = Arc::new(g.tree.clone());
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, g.min_capacity));
+        let mut milestones = g.milestones.iter();
+        let mut next = milestones.next();
+        for (i, &req) in g.schedule.iter().enumerate() {
+            let out = tc.step(req);
+            for action in out.actions {
+                let m = next.ok_or_else(|| {
+                    TestCaseError::fail(format!("unexpected TC action at round {i}"))
+                })?;
+                prop_assert_eq!(m.index, i, "milestone fired at the wrong round");
+                match (&m.expected, action) {
+                    (ExpectedAction::Fetch(want), Action::Fetch(mut got)) => {
+                        got.sort_unstable();
+                        prop_assert_eq!(want.clone(), got);
+                    }
+                    (ExpectedAction::Evict(want), Action::Evict(mut got)) => {
+                        got.sort_unstable();
+                        prop_assert_eq!(want.clone(), got);
+                    }
+                    (want, got) => {
+                        return Err(TestCaseError::fail(format!(
+                            "round {i}: expected {want:?}, got {got:?}"
+                        )));
+                    }
+                }
+                next = milestones.next();
+            }
+            if let Err(e) = tc.audit() {
+                return Err(TestCaseError::fail(format!("audit failed at round {i}: {e}")));
+            }
+        }
+        prop_assert!(next.is_none(), "milestones left over");
+        prop_assert_eq!(tc.cache().len(), tree.len(), "whole tree cached at the end");
+    }
+}

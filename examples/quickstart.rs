@@ -1,0 +1,71 @@
+//! Quickstart: the online tree caching problem and the TC algorithm in
+//! sixty lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use online_tree_caching::prelude::*;
+
+fn main() {
+    // The universe: a rooted tree. Caching a node requires caching its
+    // whole subtree (think: an IP rule and all of its more-specific rules).
+    //
+    //        0          (default route)
+    //       / \
+    //      1   4        (two /8 blocks)
+    //     / \   \
+    //    2   3   5      (more-specific rules)
+    let tree = Arc::new(Tree::from_parents(&[
+        None,
+        Some(0),
+        Some(1),
+        Some(1),
+        Some(0),
+        Some(4),
+    ]));
+
+    // TC with per-node reorganisation cost α = 2 and capacity 3.
+    let alpha = 2;
+    let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, 3));
+
+    println!("α = {alpha}, capacity = 3, tree of {} nodes\n", tree.len());
+
+    // TC is a rent-or-buy scheme: it tolerates misses on a node until their
+    // count pays for a fetch (α per node fetched), then fetches the
+    // *maximal* saturated set.
+    let leaf = NodeId(2);
+    for round in 1..=3 {
+        let out = tc.step(Request::pos(leaf));
+        println!(
+            "round {round}: positive request to {leaf} — paid: {}, actions: {:?}",
+            out.paid_service, out.actions
+        );
+    }
+    assert!(tc.cache().contains(leaf));
+
+    // Negative requests model rule updates: a cached node that keeps
+    // changing is not worth keeping in the expensive router memory.
+    for round in 4..=5 {
+        let out = tc.step(Request::neg(leaf));
+        println!(
+            "round {round}: negative request to {leaf} — paid: {}, actions: {:?}",
+            out.paid_service, out.actions
+        );
+    }
+    assert!(!tc.cache().contains(leaf), "TC evicted the churning node");
+
+    // The cache is always a subforest: fetching node 4 forces node 5 too.
+    for _ in 0..2 * alpha {
+        tc.step(Request::pos(NodeId(4)));
+    }
+    assert!(tc.cache().contains(NodeId(4)));
+    assert!(tc.cache().contains(NodeId(5)), "subtree came along");
+    println!(
+        "\ncache after hammering node 4: {:?} (node 5 came along — subforest invariant)",
+        tc.cache().iter().collect::<Vec<_>>()
+    );
+    println!("stats: {:?}", tc.stats());
+}

@@ -1,0 +1,19 @@
+//! # online-tree-caching
+//!
+//! Umbrella crate for the *Online Tree Caching* (SPAA 2017) reproduction.
+//! Re-exports the public API of every workspace crate under stable module
+//! names, so examples and downstream users need a single dependency.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use otc_baselines as baselines;
+pub use otc_core as core;
+pub use otc_sdn as sdn;
+pub use otc_sim as sim;
+pub use otc_trie as trie;
+pub use otc_util as util;
+pub use otc_workloads as workloads;
+
+pub use otc_core::prelude;

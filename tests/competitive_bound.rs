@@ -1,0 +1,134 @@
+//! Integration test: the headline theorem as an executable check.
+//!
+//! On exhaustive sweeps of small instances (where exact OPT is
+//! computable), TC's cost must stay within a universal constant times
+//! `h(T) · R · OPT + h(T) · kONL · α` — the Theorem 5.15 guarantee with an
+//! explicit constant. A violation on any instance falsifies either the
+//! implementation or the theorem; neither is acceptable.
+
+use std::sync::Arc;
+
+use online_tree_caching::baselines::opt_cost;
+use online_tree_caching::core::policy::CachePolicy;
+use online_tree_caching::core::tc::{TcConfig, TcFast};
+use online_tree_caching::core::{Request, Sign, Tree};
+use online_tree_caching::util::SplitMix64;
+
+fn tc_cost(tree: &Arc<Tree>, reqs: &[Request], alpha: u64, k: usize) -> u64 {
+    let mut tc = TcFast::new(Arc::clone(tree), TcConfig::new(alpha, k));
+    let mut service = 0u64;
+    let mut touched = 0u64;
+    for &r in reqs {
+        let out = tc.step(r);
+        service += u64::from(out.paid_service);
+        touched += out.nodes_touched() as u64;
+    }
+    service + alpha * touched
+}
+
+fn random_tree(n: usize, rng: &mut SplitMix64) -> Tree {
+    let mut parents: Vec<Option<usize>> = vec![None];
+    for i in 1..n {
+        parents.push(Some(rng.index(i)));
+    }
+    Tree::from_parents(&parents)
+}
+
+fn random_requests(tree: &Tree, len: usize, neg_p: f64, rng: &mut SplitMix64) -> Vec<Request> {
+    (0..len)
+        .map(|_| {
+            let node = online_tree_caching::core::NodeId(rng.index(tree.len()) as u32);
+            let sign = if rng.chance(neg_p) { Sign::Negative } else { Sign::Positive };
+            Request { node, sign }
+        })
+        .collect()
+}
+
+/// The universal constant used by the check. The analysis-side constants
+/// (Lemma 5.3 + 5.11 + 5.12 + 5.14 composed) are comfortably below this;
+/// measured worst cases on random instances sit near 3.
+const C: f64 = 16.0;
+
+#[test]
+fn theorem_5_15_bound_holds_on_random_instances() {
+    let mut rng = SplitMix64::new(0x515);
+    let mut worst: f64 = 0.0;
+    for trial in 0..150 {
+        let n = 2 + rng.index(9);
+        let tree = Arc::new(random_tree(n, &mut rng));
+        let alpha = 1 + rng.next_below(4);
+        let k_onl = 1 + rng.index(8);
+        let k_opt = 1 + rng.index(k_onl);
+        let reqs = random_requests(&tree, 400, 0.35, &mut rng);
+        let tc = tc_cost(&tree, &reqs, alpha, k_onl);
+        let opt = opt_cost(&tree, &reqs, alpha, k_opt);
+        let h = f64::from(tree.height());
+        let r_aug = k_onl as f64 / (k_onl - k_opt + 1) as f64;
+        let bound = C * h * r_aug * opt as f64 + C * h * k_onl as f64 * alpha as f64;
+        assert!(
+            (tc as f64) <= bound,
+            "trial {trial}: TC {tc} exceeds bound {bound} (n={n}, α={alpha}, \
+             kONL={k_onl}, kOPT={k_opt}, OPT={opt})"
+        );
+        if opt > 0 {
+            worst = worst.max(tc as f64 / opt as f64 / (h * r_aug));
+        }
+    }
+    // The normalised worst case should stay far below the check constant —
+    // if this starts creeping towards C the theorem-constant story changes.
+    assert!(worst < C / 2.0, "normalised worst ratio {worst} uncomfortably high");
+}
+
+#[test]
+fn tc_never_beaten_by_more_than_constant_on_extremal_shapes() {
+    let mut rng = SplitMix64::new(0x516);
+    for tree in [Tree::path(8), Tree::star(7), Tree::kary(2, 3)] {
+        let tree = Arc::new(tree);
+        for alpha in [1u64, 3] {
+            for k in [1usize, 3, tree.len()] {
+                let reqs = random_requests(&tree, 500, 0.4, &mut rng);
+                let tc = tc_cost(&tree, &reqs, alpha, k);
+                let opt = opt_cost(&tree, &reqs, alpha, k);
+                let h = f64::from(tree.height());
+                assert!(
+                    tc as f64 <= C * h * k as f64 * opt as f64 + C * h * k as f64 * alpha as f64,
+                    "shape {tree:?} α={alpha} k={k}: TC {tc} vs OPT {opt}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn opt_lower_bounds_every_policy() {
+    // Exact OPT must not exceed the cost of any online policy we ship.
+    use online_tree_caching::baselines::{DependentSetPolicy, InvalidateOnUpdate};
+    let mut rng = SplitMix64::new(0x517);
+    for _ in 0..40 {
+        let n = 2 + rng.index(8);
+        let tree = Arc::new(random_tree(n, &mut rng));
+        let alpha = 1 + rng.next_below(3);
+        let k = 1 + rng.index(6);
+        let reqs = random_requests(&tree, 300, 0.3, &mut rng);
+        let opt = opt_cost(&tree, &reqs, alpha, k);
+
+        let run = |policy: &mut dyn CachePolicy| -> u64 {
+            let mut service = 0u64;
+            let mut touched = 0u64;
+            for &r in &reqs {
+                let out = policy.step(r);
+                service += u64::from(out.paid_service);
+                touched += out.nodes_touched() as u64;
+            }
+            service + alpha * touched
+        };
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
+        let mut lru = DependentSetPolicy::lru(Arc::clone(&tree), k);
+        let mut inv = InvalidateOnUpdate::new(Arc::clone(&tree), k);
+        for (name, cost) in
+            [("tc", run(&mut tc)), ("lru", run(&mut lru)), ("invalidate", run(&mut inv))]
+        {
+            assert!(opt <= cost, "{name}: OPT {opt} exceeds online cost {cost}");
+        }
+    }
+}

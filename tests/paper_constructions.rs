@@ -1,0 +1,106 @@
+//! Integration test: the paper's constructions run end to end.
+//!
+//! * the Figure 4 gadget script drives TC through its exact chronology;
+//! * the Appendix C adversary forces a ratio that grows with `kONL`;
+//! * the Appendix B canonicalization stays within its factor-2 envelope.
+
+use std::sync::Arc;
+
+use online_tree_caching::baselines::{offline_star_upper_bound, InvalidateOnUpdate};
+use online_tree_caching::core::policy::{Action, CachePolicy};
+use online_tree_caching::core::tc::{TcConfig, TcFast};
+use online_tree_caching::core::{Request, Tree};
+use online_tree_caching::sdn::{canonicalize, evaluate_solution, is_canonical, record_run};
+use online_tree_caching::util::SplitMix64;
+use online_tree_caching::workloads::gadget::ExpectedAction;
+use online_tree_caching::workloads::{drive_paging_adversary, Fig4Gadget};
+
+#[test]
+fn figure4_chronology_is_reproduced() {
+    for (s, ell, alpha) in [(5usize, 2usize, 4u64), (12, 4, 6)] {
+        let g = Fig4Gadget::new(s, ell, alpha);
+        let tree = Arc::new(g.tree.clone());
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, g.min_capacity));
+        let mut milestones = g.milestones.iter();
+        let mut next = milestones.next();
+        for (i, &req) in g.schedule.iter().enumerate() {
+            let out = tc.step(req);
+            for action in out.actions {
+                let m = next.unwrap_or_else(|| panic!("unexpected action at round {i}"));
+                assert_eq!(m.index, i, "action fired at the wrong round");
+                match (&m.expected, action) {
+                    (ExpectedAction::Fetch(want), Action::Fetch(mut got)) => {
+                        got.sort_unstable();
+                        assert_eq!(want, &got);
+                    }
+                    (ExpectedAction::Evict(want), Action::Evict(mut got)) => {
+                        got.sort_unstable();
+                        assert_eq!(want, &got);
+                    }
+                    (want, got) => panic!("expected {want:?}, got {got:?}"),
+                }
+                next = milestones.next();
+            }
+        }
+        assert!(next.is_none(), "script ended with milestones pending");
+        assert_eq!(tc.cache().len(), tree.len(), "final fetch cached the whole tree");
+    }
+}
+
+#[test]
+fn adversary_ratio_grows_with_k() {
+    let alpha = 4u64;
+    let mut last = 0.0f64;
+    for k in [4usize, 8, 16] {
+        let tree = Arc::new(Tree::star(k + 1));
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
+        let run = drive_paging_adversary(&mut tc, &tree, alpha, 60 * k);
+        let tc_cost = run.online_service + alpha * run.online_touched;
+        let opt_ub = offline_star_upper_bound(&run.trace, alpha, k);
+        let ratio = tc_cost as f64 / opt_ub as f64;
+        assert!(ratio > last, "ratio must grow with k: {ratio} after {last}");
+        assert!(ratio >= 0.5 * k as f64, "ratio {ratio} too small for k = {k}");
+        last = ratio;
+    }
+}
+
+#[test]
+fn canonicalization_within_factor_two_for_eager_evictor() {
+    let tree = Arc::new(Tree::kary(3, 4));
+    let alpha = 6u64;
+    let mut rng = SplitMix64::new(0xB0);
+    // Build a chunked stream directly.
+    let mut reqs = Vec::new();
+    let mut chunks = Vec::new();
+    for _ in 0..6_000 {
+        let node = online_tree_caching::core::NodeId(rng.index(tree.len()) as u32);
+        if rng.chance(0.25) {
+            let start = reqs.len();
+            for _ in 0..alpha {
+                reqs.push(Request::neg(node));
+            }
+            chunks.push(start..reqs.len());
+        } else {
+            reqs.push(Request::pos(node));
+        }
+    }
+    let capacity = 30usize;
+    let mut policy = InvalidateOnUpdate::new(Arc::clone(&tree), capacity);
+    let original = record_run(&mut policy, &reqs);
+    let canonical = canonicalize(&original, &chunks);
+    assert!(is_canonical(&canonical, &chunks));
+    let c0 = evaluate_solution(&tree, &reqs, &original, alpha, capacity).expect("valid");
+    let c1 = evaluate_solution(&tree, &reqs, &canonical, alpha, capacity).expect("valid");
+    assert!(
+        c1.total() <= 2 * c0.total(),
+        "canonical {} vs original {} breaks Appendix B",
+        c1.total(),
+        c0.total()
+    );
+    // And the transform must have actually moved something for this policy.
+    let moved: usize = chunks
+        .iter()
+        .map(|c| (c.start..c.end - 1).map(|t| original.actions[t].len()).sum::<usize>())
+        .sum();
+    assert!(moved > 0, "the eager evictor should act inside chunks");
+}
