@@ -139,8 +139,12 @@ mod tests {
         // a a b b a a b b ... with k = 1, α = 2: every chunk has len = α;
         // keeping either page and bypassing the other costs α per foreign
         // chunk; LFD or bypass-all both land at 2 per chunk-miss.
-        let trace: Vec<Request> =
-            (0..8).flat_map(|i| { let p = 1 + (i % 2); [pos(p), pos(p)] }).collect();
+        let trace: Vec<Request> = (0..8)
+            .flat_map(|i| {
+                let p = 1 + (i % 2);
+                [pos(p), pos(p)]
+            })
+            .collect();
         let ub = offline_star_upper_bound(&trace, 2, 1);
         // 8 chunks; at least half miss; each miss costs 2 one way or the
         // other → ub in [8, 16].
@@ -168,8 +172,7 @@ mod tests {
         // always a feasible solution: bounded by bypass-all, and with a
         // slot per page it degenerates to one fetch per page.
         let mut rng = otc_util::SplitMix64::new(8);
-        let trace: Vec<Request> =
-            (0..400).map(|_| pos(1 + rng.index(6) as u32)).collect();
+        let trace: Vec<Request> = (0..400).map(|_| pos(1 + rng.index(6) as u32)).collect();
         let bypass = trace.len() as u64;
         for k in 0..=6 {
             let ub = offline_star_upper_bound(&trace, 3, k);

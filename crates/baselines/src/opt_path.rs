@@ -24,12 +24,7 @@ pub fn opt_cost_path(tree: &Tree, requests: &[Request], alpha: u64, k: usize) ->
 /// Exact offline optimal cost on a path tree when OPT may pick any start
 /// state for free (the per-phase convention of Lemma 5.11).
 #[must_use]
-pub fn opt_cost_path_free_start(
-    tree: &Tree,
-    requests: &[Request],
-    alpha: u64,
-    k: usize,
-) -> u64 {
+pub fn opt_cost_path_free_start(tree: &Tree, requests: &[Request], alpha: u64, k: usize) -> u64 {
     opt_cost_path_impl(tree, requests, alpha, k, true)
 }
 

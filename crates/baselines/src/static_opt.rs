@@ -53,8 +53,7 @@ pub fn best_static_cache(
     let n = tree.len();
     let k = k.min(n);
     // gain of caching v (may be negative).
-    let gain =
-        |v: NodeId| wpos[v.index()] as i64 - wneg[v.index()] as i64 - alpha as i64;
+    let gain = |v: NodeId| wpos[v.index()] as i64 - wneg[v.index()] as i64 - alpha as i64;
 
     // f[v] = table over sizes 0..=min(k, |T(v)|): the best total gain of a
     // downward-closed subset of T(v) of exactly that size. Children tables
@@ -160,8 +159,7 @@ fn recover_set(
     let n = tree.len();
     let k = k.min(n);
     const NEG: i64 = i64::MIN / 4;
-    let gain =
-        |v: NodeId| wpos[v.index()] as i64 - wneg[v.index()] as i64 - alpha as i64;
+    let gain = |v: NodeId| wpos[v.index()] as i64 - wneg[v.index()] as i64 - alpha as i64;
 
     let mut subtree_gain: Vec<i64> = vec![0; n];
     // For each node: the sequence of per-child merge prefixes, so the
@@ -276,13 +274,7 @@ fn recover_set(
 
 /// Cost of serving weights with a **given** static cache (sanity helper).
 #[must_use]
-pub fn static_cost(
-    tree: &Tree,
-    wpos: &[u64],
-    wneg: &[u64],
-    alpha: u64,
-    set: &[NodeId],
-) -> u64 {
+pub fn static_cost(tree: &Tree, wpos: &[u64], wneg: &[u64], alpha: u64, set: &[NodeId]) -> u64 {
     let mut cached = vec![false; tree.len()];
     for &v in set {
         cached[v.index()] = true;

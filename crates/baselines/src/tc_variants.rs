@@ -178,7 +178,10 @@ impl CachePolicy for TcVariant {
                         for &x in &set {
                             self.cnt[x.index()] = 0;
                         }
-                        return StepOutcome { paid_service: true, actions: vec![Action::Fetch(set)] };
+                        return StepOutcome {
+                            paid_service: true,
+                            actions: vec![Action::Fetch(set)],
+                        };
                     }
                 }
                 StepOutcome { paid_service: true, actions: vec![] }
@@ -196,7 +199,9 @@ impl CachePolicy for TcVariant {
                     while let Some(x) = stack.pop() {
                         set.push(x);
                         for &c in self.tree.children(x) {
-                            if self.cache.contains(c) && vals[c.index()].0 >= 0 && vals[c.index()].1 > 0
+                            if self.cache.contains(c)
+                                && vals[c.index()].0 >= 0
+                                && vals[c.index()].1 > 0
                             {
                                 stack.push(c);
                             }
@@ -223,13 +228,8 @@ mod tests {
     #[test]
     fn paper_config_matches_reference() {
         let tree = Arc::new(Tree::kary(2, 4));
-        let mut variant = TcVariant::new(
-            Arc::clone(&tree),
-            3,
-            6,
-            FetchScan::TopDown,
-            OverflowRule::Flush,
-        );
+        let mut variant =
+            TcVariant::new(Arc::clone(&tree), 3, 6, FetchScan::TopDown, OverflowRule::Flush);
         let mut reference = TcReference::new(Arc::clone(&tree), TcConfig::new(3, 6));
         let mut rng = otc_util::SplitMix64::new(17);
         for i in 0..3000 {
@@ -274,7 +274,9 @@ mod tests {
             other => panic!("expected full fetch, got {other:?}"),
         }
         match &out_bottom.actions[..] {
-            [Action::Fetch(set)] => assert_eq!(set, &vec![NodeId(1)], "minimal scan fetches the leaf"),
+            [Action::Fetch(set)] => {
+                assert_eq!(set, &vec![NodeId(1)], "minimal scan fetches the leaf")
+            }
             other => panic!("expected leaf fetch, got {other:?}"),
         }
     }
@@ -301,8 +303,7 @@ mod tests {
         let tree = Arc::new(Tree::kary(3, 3));
         let mut rng = otc_util::SplitMix64::new(31);
         for overflow in [OverflowRule::Flush, OverflowRule::Ignore] {
-            let mut p =
-                TcVariant::new(Arc::clone(&tree), 2, 4, FetchScan::BottomUp, overflow);
+            let mut p = TcVariant::new(Arc::clone(&tree), 2, 4, FetchScan::BottomUp, overflow);
             for _ in 0..2000 {
                 let node = NodeId(rng.index(tree.len()) as u32);
                 let req = if rng.chance(0.35) { Request::neg(node) } else { Request::pos(node) };

@@ -29,10 +29,9 @@ fn bench_opt_dp(c: &mut Criterion) {
     for (n, k, rounds) in [(8usize, 3usize, 300usize), (12, 4, 300), (14, 5, 200)] {
         let tree = random_attachment(n, &mut rng);
         let reqs = uniform_mixed(&tree, rounds, 0.35, &mut rng);
-        group.bench_function(
-            BenchmarkId::new("opt_cost", format!("n{n}_k{k}_r{rounds}")),
-            |b| b.iter(|| opt_cost(&tree, &reqs, 2, k)),
-        );
+        group.bench_function(BenchmarkId::new("opt_cost", format!("n{n}_k{k}_r{rounds}")), |b| {
+            b.iter(|| opt_cost(&tree, &reqs, 2, k))
+        });
     }
     let _ = Tree::path(2);
     group.finish();

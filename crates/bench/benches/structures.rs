@@ -26,10 +26,8 @@ fn bench_rule_tree(c: &mut Criterion) {
     group.sample_size(15);
     let mut rng = SplitMix64::new(9);
     for n in [4_096usize, 32_768] {
-        let prefixes = hierarchical_table(
-            HierarchicalConfig { n, subdivide_p: 0.7, max_len: 28 },
-            &mut rng,
-        );
+        let prefixes =
+            hierarchical_table(HierarchicalConfig { n, subdivide_p: 0.7, max_len: 28 }, &mut rng);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_function(BenchmarkId::new("build", n), |b| {
             b.iter(|| RuleTree::build(&prefixes).len());

@@ -56,10 +56,7 @@ impl TreeBuilder {
     /// # Panics
     /// Panics if `parent` is not a node added earlier.
     pub fn add_child(&mut self, parent: NodeId) -> NodeId {
-        assert!(
-            parent.index() < self.parents.len(),
-            "parent {parent:?} does not exist yet"
-        );
+        assert!(parent.index() < self.parents.len(), "parent {parent:?} does not exist yet");
         let id = NodeId(self.parents.len() as u32);
         self.parents.push(Some(parent.index()));
         id

@@ -175,9 +175,7 @@ impl CacheSet {
     /// non-cached), in index order.
     #[must_use]
     pub fn cached_roots(&self, tree: &Tree) -> Vec<NodeId> {
-        self.iter()
-            .filter(|&v| tree.parent(v).is_none_or(|p| !self.contains(p)))
-            .collect()
+        self.iter().filter(|&v| tree.parent(v).is_none_or(|p| !self.contains(p))).collect()
     }
 }
 

@@ -132,8 +132,7 @@ fn enumerate_filtered(tree: &Tree, keep: impl Fn(&[NodeId]) -> bool) -> Vec<Vec<
     assert!(n <= 20, "subset enumeration is for tiny trees only");
     let mut out = Vec::new();
     for mask in 1u32..(1 << n) {
-        let set: Vec<NodeId> =
-            (0..n as u32).filter(|i| mask & (1 << i) != 0).map(NodeId).collect();
+        let set: Vec<NodeId> = (0..n as u32).filter(|i| mask & (1 << i) != 0).map(NodeId).collect();
         if keep(&set) {
             out.push(set);
         }
@@ -263,8 +262,7 @@ mod tests {
         full.fetch(&all);
         let empty = CacheSet::empty(t.len());
         for neg in enumerate_valid_negative(&t, &full) {
-            let comp: Vec<NodeId> =
-                t.nodes().filter(|v| !neg.contains(v)).collect();
+            let comp: Vec<NodeId> = t.nodes().filter(|v| !neg.contains(v)).collect();
             if comp.is_empty() {
                 continue;
             }

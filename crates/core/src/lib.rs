@@ -44,7 +44,7 @@
 //! assert!(tc.cache().contains(leaf));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod builder;

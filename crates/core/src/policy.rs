@@ -152,10 +152,7 @@ mod tests {
     fn dependent_set_from_empty_cache() {
         let t = tree();
         let c = CacheSet::empty(t.len());
-        assert_eq!(
-            dependent_fetch_set(&t, &c, NodeId(1)),
-            vec![NodeId(1), NodeId(2), NodeId(3)]
-        );
+        assert_eq!(dependent_fetch_set(&t, &c, NodeId(1)), vec![NodeId(1), NodeId(2), NodeId(3)]);
         assert_eq!(dependent_fetch_set(&t, &c, NodeId(4)), vec![NodeId(4)]);
     }
 

@@ -266,7 +266,9 @@ impl TcFast {
                 hval_ref[v.index()] = val;
                 let stored = ValPair { int: self.hv[v.index()], size: self.hsz[v.index()] };
                 if stored != val {
-                    return Err(format!("hval mismatch at {v:?}: stored {stored:?}, actual {val:?}"));
+                    return Err(format!(
+                        "hval mismatch at {v:?}: stored {stored:?}, actual {val:?}"
+                    ));
                 }
             } else {
                 let mut size = 1u64;
@@ -577,8 +579,7 @@ mod tests {
         let mut rng = otc_util::SplitMix64::new(99);
         for _ in 0..500 {
             let node = NodeId(rng.index(7) as u32);
-            let req =
-                if rng.chance(0.5) { Request::pos(node) } else { Request::neg(node) };
+            let req = if rng.chance(0.5) { Request::pos(node) } else { Request::neg(node) };
             tc.step(req);
         }
         tc.reset();

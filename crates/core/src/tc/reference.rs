@@ -180,7 +180,10 @@ impl CachePolicy for TcReference {
                             };
                         }
                         self.apply_fetch(&set);
-                        return StepOutcome { paid_service: true, actions: vec![Action::Fetch(set)] };
+                        return StepOutcome {
+                            paid_service: true,
+                            actions: vec![Action::Fetch(set)],
+                        };
                     }
                 }
                 StepOutcome { paid_service: true, actions: vec![] }

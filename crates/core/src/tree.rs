@@ -300,7 +300,8 @@ impl Tree {
     #[must_use]
     pub fn path(n: usize) -> Self {
         assert!(n >= 1);
-        let parents: Vec<Option<usize>> = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents: Vec<Option<usize>> =
+            (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
         Self::from_parents(&parents)
     }
 

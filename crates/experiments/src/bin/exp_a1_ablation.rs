@@ -80,7 +80,12 @@ fn main() {
     let mut rng = SplitMix64::new(0xA1);
     let tree = Arc::new(Tree::kary(2, 3));
     let mut table_rand = Table::new([
-        "seeds", "alpha", "k", "mean tc/OPT (maximal)", "mean min-fetch/OPT", "worse by",
+        "seeds",
+        "alpha",
+        "k",
+        "mean tc/OPT (maximal)",
+        "mean min-fetch/OPT",
+        "worse by",
     ]);
     for (alpha, k) in [(2u64, 4usize), (4, 5)] {
         let mut acc_max = 0.0;

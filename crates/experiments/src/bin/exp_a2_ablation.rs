@@ -36,16 +36,10 @@ fn main() {
     // are not expected to win here (recorded honestly).
     println!("### Tight cache, moderate skew (hot set larger than the cache)\n");
     let tree = Arc::new(random_attachment(200, &mut rng));
-    let mut table = Table::new([
-        "alpha", "k", "epoch", "tc (flush)", "no-flush", "no-flush/tc",
-    ]);
-    for (alpha, k, epoch) in [
-        (2u64, 6usize, 4_000usize),
-        (2, 10, 4_000),
-        (4, 6, 8_000),
-        (4, 10, 8_000),
-        (8, 16, 8_000),
-    ] {
+    let mut table = Table::new(["alpha", "k", "epoch", "tc (flush)", "no-flush", "no-flush/tc"]);
+    for (alpha, k, epoch) in
+        [(2u64, 6usize, 4_000usize), (2, 10, 4_000), (4, 6, 8_000), (4, 10, 8_000), (8, 16, 8_000)]
+    {
         let reqs = shifting_zipf(&tree, 80_000, 1.3, epoch, &mut rng);
         let mut flush =
             TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::TopDown, OverflowRule::Flush);
@@ -73,7 +67,13 @@ fn main() {
     // switch and re-converges at O(k·α) cost.
     println!("### Stranding: alternating working sets, positive-only (deterministic)\n");
     let mut table = Table::new([
-        "alpha", "k", "epoch len", "tc (flush)", "no-flush", "no-flush/tc", "stranded",
+        "alpha",
+        "k",
+        "epoch len",
+        "tc (flush)",
+        "no-flush",
+        "no-flush/tc",
+        "stranded",
     ]);
     for (alpha, k, epoch_len, epochs) in [
         (2u64, 8usize, 2_000usize, 8usize),

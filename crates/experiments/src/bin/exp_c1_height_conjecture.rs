@@ -21,11 +21,7 @@ use otc_experiments::{banner, fmt_f64, Table};
 use otc_util::{parallel_map, SplitMix64};
 use otc_workloads::adversarial_search;
 
-fn ratio_objective(
-    tree: &Arc<Tree>,
-    alpha: u64,
-    k: usize,
-) -> impl FnMut(&[Request]) -> f64 {
+fn ratio_objective(tree: &Arc<Tree>, alpha: u64, k: usize) -> impl FnMut(&[Request]) -> f64 {
     let tree = Arc::clone(tree);
     move |reqs: &[Request]| {
         let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
@@ -58,9 +54,8 @@ fn main() {
     let iters = 1200u32;
     let restarts: Vec<u64> = (0..8).collect();
 
-    let mut table = Table::new([
-        "tree", "n", "h", "best searched TC/OPT", "h*R reference", "ratio/h",
-    ]);
+    let mut table =
+        Table::new(["tree", "n", "h", "best searched TC/OPT", "h*R reference", "ratio/h"]);
     for h in [3usize, 5, 7, 9, 13, 17, 25, 33] {
         let tree = Arc::new(Tree::path(h));
         // Independent restarts in parallel; keep the best.

@@ -53,7 +53,8 @@ fn main() {
         ("broom(6,3)", otc_workloads::broom(6, 3)),
         ("path(9)", Tree::path(9)),
     ];
-    let mut table = Table::new(["tree", "n", "h", "alpha", "mean TC/OPT", "max TC/OPT", "bound h*R", "ok"]);
+    let mut table =
+        Table::new(["tree", "n", "h", "alpha", "mean TC/OPT", "max TC/OPT", "bound h*R", "ok"]);
     let (k_onl, k_opt) = (4usize, 4usize);
     let r_aug = k_onl as f64 / (k_onl - k_opt + 1) as f64;
     for (name, tree) in shapes {

@@ -21,8 +21,15 @@ fn main() {
     );
 
     let mut table = Table::new([
-        "tree", "alpha", "kONL", "+fields", "-fields", "mean size", "p99 size",
-        "req==size*a violations", "open-field req",
+        "tree",
+        "alpha",
+        "kONL",
+        "+fields",
+        "-fields",
+        "mean size",
+        "p99 size",
+        "req==size*a violations",
+        "open-field req",
     ]);
     let mut rng = SplitMix64::new(0xE3);
     let configs: Vec<(String, Arc<Tree>)> = vec![

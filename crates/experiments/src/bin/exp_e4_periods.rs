@@ -24,8 +24,16 @@ fn main() {
 
     let mut rng = SplitMix64::new(0xE4);
     let mut table = Table::new([
-        "tree", "alpha", "kONL", "phases", "pout", "pin", "sum kP", "balance ok",
-        "full-in %", "full-out %",
+        "tree",
+        "alpha",
+        "kONL",
+        "phases",
+        "pout",
+        "pin",
+        "sum kP",
+        "balance ok",
+        "full-in %",
+        "full-out %",
     ]);
     let configs: Vec<(String, Arc<Tree>)> = vec![
         ("path(16)".into(), Arc::new(Tree::path(16))),

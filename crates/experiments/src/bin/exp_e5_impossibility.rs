@@ -25,8 +25,17 @@ fn main() {
     );
 
     let mut table = Table::new([
-        "s", "ell", "alpha", "milestones ok", "field size", "req at r", "req at r1",
-        "req in T2", "shiftable into T2", "nodes reachable w/ alpha/2", "fraction",
+        "s",
+        "ell",
+        "alpha",
+        "milestones ok",
+        "field size",
+        "req at r",
+        "req at r1",
+        "req in T2",
+        "shiftable into T2",
+        "nodes reachable w/ alpha/2",
+        "fraction",
     ]);
     for (s, ell, alpha) in [(4usize, 1usize, 8u64), (8, 3, 8), (16, 4, 16), (32, 8, 16)] {
         let g = Fig4Gadget::new(s, ell, alpha);
@@ -102,8 +111,7 @@ fn main() {
         let half = alpha / 2;
         // Nodes of T1 ∪ {r} can absorb α/2 each from the mass at r and r1;
         // T2 can absorb only `shiftable` requests in total.
-        let reachable_t1_side =
-            ((req_r + req_r1) / half).min(g.s as u64 + 1);
+        let reachable_t1_side = ((req_r + req_r1) / half).min(g.s as u64 + 1);
         let reachable_t2_side = (shiftable / half).min(g.s as u64);
         let reachable = reachable_t1_side + reachable_t2_side;
         table.row([

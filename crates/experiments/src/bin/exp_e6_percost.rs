@@ -30,7 +30,14 @@ fn main() {
     println!("### Operation counts, normalised by the theorem's envelope\n");
     let mut rng = SplitMix64::new(0xE6);
     let mut table = Table::new([
-        "tree", "n", "h", "deg", "alpha", "mean ops/req", "worst normalised", "ok(<8)",
+        "tree",
+        "n",
+        "h",
+        "deg",
+        "alpha",
+        "mean ops/req",
+        "worst normalised",
+        "ok(<8)",
     ]);
     let shapes: Vec<(String, Arc<Tree>)> = vec![
         ("path(2000)".into(), Arc::new(Tree::path(2000))),

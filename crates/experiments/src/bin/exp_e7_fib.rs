@@ -61,8 +61,7 @@ fn main() {
     let results = parallel_map(cells, |cell| {
         // Same workload seed per (capacity, regime) cell so policies are
         // compared on identical event streams.
-        let mut rng =
-            SplitMix64::new(0x5D5EED ^ ((cell.update_p * 1000.0) as u64).rotate_left(13));
+        let mut rng = SplitMix64::new(0x5D5EED ^ ((cell.update_p * 1000.0) as u64).rotate_left(13));
         let cfg = FibWorkloadConfig {
             events: events_n,
             theta: 1.0,
@@ -83,26 +82,39 @@ fn main() {
                     }
                 }
                 let plan = best_static_cache(&tree, &wpos, &wneg, alpha, cell.capacity);
-                let packets = events
-                    .iter()
-                    .filter(|e| matches!(e, otc_sdn::FibEvent::Packet(_)))
-                    .count() as u64;
+                let packets =
+                    events.iter().filter(|e| matches!(e, otc_sdn::FibEvent::Packet(_))).count()
+                        as u64;
                 let mut in_set = vec![false; tree.len()];
                 for &v in &plan.set {
                     in_set[v.index()] = true;
                 }
-                let misses: u64 = reqs
-                    .iter()
-                    .filter(|r| r.is_positive() && !in_set[r.node.index()])
-                    .count() as u64;
-                (cell.policy, cell.capacity, cell.update_p, misses as f64 / packets as f64, plan.cost)
+                let misses: u64 =
+                    reqs.iter().filter(|r| r.is_positive() && !in_set[r.node.index()]).count()
+                        as u64;
+                (
+                    cell.policy,
+                    cell.capacity,
+                    cell.update_p,
+                    misses as f64 / packets as f64,
+                    plan.cost,
+                )
             }
             name => {
                 let mut policy: Box<dyn CachePolicy> = match name {
-                    "tc" => Box::new(TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, cell.capacity))),
-                    "subtree-lru" => Box::new(DependentSetPolicy::lru(Arc::clone(&tree), cell.capacity)),
-                    "subtree-fifo" => Box::new(DependentSetPolicy::fifo(Arc::clone(&tree), cell.capacity)),
-                    "invalidate" => Box::new(InvalidateOnUpdate::new(Arc::clone(&tree), cell.capacity)),
+                    "tc" => Box::new(TcFast::new(
+                        Arc::clone(&tree),
+                        TcConfig::new(alpha, cell.capacity),
+                    )),
+                    "subtree-lru" => {
+                        Box::new(DependentSetPolicy::lru(Arc::clone(&tree), cell.capacity))
+                    }
+                    "subtree-fifo" => {
+                        Box::new(DependentSetPolicy::fifo(Arc::clone(&tree), cell.capacity))
+                    }
+                    "invalidate" => {
+                        Box::new(InvalidateOnUpdate::new(Arc::clone(&tree), cell.capacity))
+                    }
                     "bypass-all" => Box::new(BypassAll::new(&tree, cell.capacity)),
                     other => unreachable!("unknown policy {other}"),
                 };

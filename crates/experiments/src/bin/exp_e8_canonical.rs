@@ -32,16 +32,19 @@ fn main() {
     let tree = Arc::new(rules.tree().clone());
 
     let mut table = Table::new([
-        "policy", "alpha", "update_p", "chunks", "in-chunk actions", "original cost",
-        "canonical cost", "inflation", "<= 2",
+        "policy",
+        "alpha",
+        "update_p",
+        "chunks",
+        "in-chunk actions",
+        "original cost",
+        "canonical cost",
+        "inflation",
+        "<= 2",
     ]);
     for (alpha, update_p) in [(2u64, 0.1), (4, 0.1), (4, 0.3), (8, 0.3), (8, 0.5)] {
-        let cfg = otc_sdn::FibWorkloadConfig {
-            events: 40_000,
-            theta: 0.9,
-            update_p,
-            addr_attempts: 16,
-        };
+        let cfg =
+            otc_sdn::FibWorkloadConfig { events: 40_000, theta: 0.9, update_p, addr_attempts: 16 };
         let events = otc_sdn::generate_events(&rules, cfg, &mut rng);
         let (reqs, chunks) = otc_sdn::to_request_stream(&rules, &events, alpha);
         let capacity = 96usize;

@@ -26,8 +26,15 @@ fn main() {
 
     let mut rng = SplitMix64::new(0xE9);
     let mut table = Table::new([
-        "workload", "alpha", "kONL", "phases", "identity ok", "mean kP", "max kP",
-        "mean req(F_inf)", "2*kONL*alpha",
+        "workload",
+        "alpha",
+        "kONL",
+        "phases",
+        "identity ok",
+        "mean kP",
+        "max kP",
+        "mean req(F_inf)",
+        "2*kONL*alpha",
     ]);
     let tree: Arc<Tree> = Arc::new(random_attachment(96, &mut rng));
     for (workload, alpha, k) in [

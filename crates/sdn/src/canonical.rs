@@ -116,9 +116,7 @@ pub fn canonicalize(solution: &Solution, chunks: &[Range<usize>]) -> Solution {
 /// strictly inside a chunk).
 #[must_use]
 pub fn is_canonical(solution: &Solution, chunks: &[Range<usize>]) -> bool {
-    chunks.iter().all(|chunk| {
-        (chunk.start..chunk.end - 1).all(|t| solution.actions[t].is_empty())
-    })
+    chunks.iter().all(|chunk| (chunk.start..chunk.end - 1).all(|t| solution.actions[t].is_empty()))
 }
 
 #[cfg(test)]
@@ -167,9 +165,8 @@ mod tests {
         let cost = evaluate_solution(&tree, &reqs, &solution, alpha, 6).expect("valid");
         // Cross-check against the live simulator.
         let mut tc2 = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, 6));
-        let report =
-            otc_sim::run_policy(&tree, &mut tc2, &reqs, otc_sim::SimConfig::new(alpha))
-                .expect("valid");
+        let report = otc_sim::run_policy(&tree, &mut tc2, &reqs, otc_sim::SimConfig::new(alpha))
+            .expect("valid");
         assert_eq!(cost.total(), report.cost.total());
         assert_eq!(cost.service, report.cost.service);
     }

@@ -220,11 +220,8 @@ pub fn forwarding_violations(
                 best_len = p.len();
             }
         }
-        let ok = if cache.contains(truth) {
-            router_match == truth
-        } else {
-            router_match == NodeId(0)
-        };
+        let ok =
+            if cache.contains(truth) { router_match == truth } else { router_match == NodeId(0) };
         if !ok {
             violations += 1;
         }
@@ -312,7 +309,8 @@ mod tests {
     fn generator_respects_update_fraction() {
         let rules = small_rules();
         let mut rng = SplitMix64::new(2);
-        let cfg = FibWorkloadConfig { events: 20_000, theta: 0.8, update_p: 0.2, addr_attempts: 16 };
+        let cfg =
+            FibWorkloadConfig { events: 20_000, theta: 0.8, update_p: 0.2, addr_attempts: 16 };
         let events = generate_events(&rules, cfg, &mut rng);
         let updates = events.iter().filter(|e| matches!(e, FibEvent::Update(_))).count();
         let frac = updates as f64 / events.len() as f64;

@@ -59,11 +59,8 @@ impl RuleTree {
         // and the default route is node 0.
         debug_assert_eq!(prefixes[0], Prefix::ROOT);
 
-        let by_prefix: HashMap<Prefix, NodeId> = prefixes
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, NodeId(i as u32)))
-            .collect();
+        let by_prefix: HashMap<Prefix, NodeId> =
+            prefixes.iter().enumerate().map(|(i, &p)| (p, NodeId(i as u32))).collect();
 
         let parents: Vec<Option<usize>> = prefixes
             .iter()

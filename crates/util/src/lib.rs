@@ -10,9 +10,10 @@
 //!   paper's application section motivates, cf. Sarrar et al. \[29\]).
 //! * [`stats`] — Welford online moments, percentile summaries and ratio
 //!   helpers used by the experiment harness.
-//! * [`par`] — a scoped-thread parallel sweep runner built on `crossbeam`
-//!   with an atomic work index (self-balancing, no work stealing needed for
-//!   our embarrassingly parallel parameter sweeps).
+//! * [`par`] — a scoped-thread parallel sweep runner built on
+//!   `std::thread::scope` with an atomic work index (self-balancing, no
+//!   work stealing needed for our embarrassingly parallel parameter
+//!   sweeps).
 //! * [`table`] — minimal markdown/CSV table rendering for experiment output.
 
 #![warn(missing_docs)]

@@ -3,18 +3,18 @@
 //! The experiment harness evaluates hundreds of independent (tree, workload,
 //! algorithm, parameter) cells. Each cell is pure CPU work with no shared
 //! mutable state, so the classic pattern from *Rust Atomics and Locks*
-//! applies: spawn scoped threads, hand out work items through a single
-//! `AtomicUsize` ticket counter (self-balancing — fast cells simply grab
-//! more tickets), and collect results into pre-sized slots guarded by a
-//! `parking_lot::Mutex` only at the cheap hand-back moment.
+//! applies: spawn scoped threads (`std::thread::scope`), hand out work
+//! items through a single `AtomicUsize` ticket counter (self-balancing —
+//! fast cells simply grab more tickets), and collect results into
+//! pre-sized slots guarded by a `Mutex` only at the cheap hand-back
+//! moment.
 //!
 //! We deliberately do not pull in a full work-stealing runtime: the sweep
 //! granularity is coarse (milliseconds to seconds per cell), so a ticket
 //! counter achieves the same utilisation with a fraction of the machinery.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Applies `f` to every item on `threads` worker threads and returns the
 /// results in input order.
@@ -42,21 +42,21 @@ where
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     let items_ref = &items;
     let f_ref = &f;
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f_ref(&items_ref[i]);
-                results.lock()[i] = Some(r);
+                results.lock().expect("sweep worker panicked")[i] = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_inner()
+        .expect("sweep worker panicked")
         .into_iter()
         .map(|slot| slot.expect("every ticket produces a result"))
         .collect()

@@ -126,7 +126,16 @@ impl Summary {
     #[must_use]
     pub fn of(samples: &[f64]) -> Self {
         if samples.is_empty() {
-            return Self { count: 0, mean: 0.0, stddev: 0.0, min: 0.0, median: 0.0, p90: 0.0, p99: 0.0, max: 0.0 };
+            return Self {
+                count: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                median: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
         }
         let mut sorted: Vec<f64> = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in summaries"));

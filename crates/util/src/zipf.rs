@@ -138,11 +138,7 @@ mod tests {
         }
         for (r, &count) in counts.iter().enumerate() {
             let emp = f64::from(count) / draws as f64;
-            assert!(
-                (emp - z.pmf(r)).abs() < 0.01,
-                "rank {r}: empirical {emp} vs pmf {}",
-                z.pmf(r)
-            );
+            assert!((emp - z.pmf(r)).abs() < 0.01, "rank {r}: empirical {emp} vs pmf {}", z.pmf(r));
         }
     }
 

@@ -120,8 +120,10 @@ impl Fig4Gadget {
         }
         let mut all: Vec<NodeId> = tree.nodes().collect();
         all.sort_unstable();
-        milestones
-            .push(Milestone { index: schedule.len() - 1, expected: ExpectedAction::Fetch(all.clone()) });
+        milestones.push(Milestone {
+            index: schedule.len() - 1,
+            expected: ExpectedAction::Fetch(all.clone()),
+        });
 
         // Stage 1: evict T1 ∪ {r} — α negatives per node, bottom-up
         // (reverse preorder of T1 ends at r1), then α at r.
@@ -170,7 +172,8 @@ impl Fig4Gadget {
         for _ in 0..ell as u64 + 1 {
             schedule.push(Request::pos(r));
         }
-        milestones.push(Milestone { index: schedule.len() - 1, expected: ExpectedAction::Fetch(all) });
+        milestones
+            .push(Milestone { index: schedule.len() - 1, expected: ExpectedAction::Fetch(all) });
 
         Self {
             tree,

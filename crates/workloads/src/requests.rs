@@ -223,7 +223,7 @@ mod tests {
                 counts[r.node.index()] += 1;
             }
             NodeId(
-                counts.iter().enumerate().max_by_key(|&(_, c)| *c).map(|(i, _)| i).unwrap() as u32,
+                counts.iter().enumerate().max_by_key(|&(_, c)| *c).map(|(i, _)| i).unwrap() as u32
             )
         };
         let first = top(&reqs[..epoch]);

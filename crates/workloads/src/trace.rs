@@ -41,9 +41,8 @@ pub fn from_text(text: &str) -> Result<Vec<Request>, String> {
             ("-", rest) => (Sign::Negative, rest),
             _ => return Err(format!("line {}: expected '+' or '-', got {line:?}", lineno + 1)),
         };
-        let id: u32 = rest
-            .parse()
-            .map_err(|e| format!("line {}: bad node id {rest:?}: {e}", lineno + 1))?;
+        let id: u32 =
+            rest.parse().map_err(|e| format!("line {}: bad node id {rest:?}: {e}", lineno + 1))?;
         out.push(Request { node: NodeId(id), sign });
     }
     Ok(out)
@@ -53,10 +52,7 @@ pub fn from_text(text: &str) -> Result<Vec<Request>, String> {
 ///
 /// # Errors
 /// Reports the first out-of-range request.
-pub fn validate_for_tree(
-    requests: &[Request],
-    tree: &otc_core::tree::Tree,
-) -> Result<(), String> {
+pub fn validate_for_tree(requests: &[Request], tree: &otc_core::tree::Tree) -> Result<(), String> {
     for (i, r) in requests.iter().enumerate() {
         if r.node.index() >= tree.len() {
             return Err(format!(
@@ -75,11 +71,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let reqs = vec![
-            Request::pos(NodeId(0)),
-            Request::neg(NodeId(42)),
-            Request::pos(NodeId(7)),
-        ];
+        let reqs = vec![Request::pos(NodeId(0)), Request::neg(NodeId(42)), Request::pos(NodeId(7))];
         let text = to_text(&reqs);
         assert_eq!(text, "+0\n-42\n+7\n");
         assert_eq!(from_text(&text).unwrap(), reqs);

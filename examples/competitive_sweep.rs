@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use online_tree_caching::baselines::opt_cost;
-use online_tree_caching::core::tc::{TcConfig, TcFast};
 use online_tree_caching::core::policy::CachePolicy;
+use online_tree_caching::core::tc::{TcConfig, TcFast};
 use online_tree_caching::core::Tree;
 use online_tree_caching::util::{parallel_map, SplitMix64};
 use online_tree_caching::workloads::uniform_mixed;
@@ -23,7 +23,10 @@ fn main() {
     let alpha = 2u64;
     let k = 4usize;
     println!("α = {alpha}, kONL = kOPT = {k}, exact OPT via subforest DP\n");
-    println!("{:<12} {:>4} {:>4} {:>12} {:>12} {:>12}", "tree", "n", "h", "mean TC/OPT", "max TC/OPT", "bound h·R");
+    println!(
+        "{:<12} {:>4} {:>4} {:>12} {:>12} {:>12}",
+        "tree", "n", "h", "mean TC/OPT", "max TC/OPT", "bound h·R"
+    );
 
     for (name, tree) in shapes {
         // 32 independent workloads, evaluated on all cores.

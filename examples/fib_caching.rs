@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use online_tree_caching::baselines::{DependentSetPolicy, InvalidateOnUpdate};
-use online_tree_caching::core::tc::{TcConfig, TcFast};
 use online_tree_caching::core::policy::CachePolicy;
+use online_tree_caching::core::tc::{TcConfig, TcFast};
 use online_tree_caching::sdn::{generate_events, run_fib, FibWorkloadConfig};
 use online_tree_caching::trie::{hierarchical_table, HierarchicalConfig, RuleTree};
 use online_tree_caching::util::SplitMix64;

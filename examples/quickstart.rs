@@ -18,14 +18,7 @@ fn main() {
     //      1   4        (two /8 blocks)
     //     / \   \
     //    2   3   5      (more-specific rules)
-    let tree = Arc::new(Tree::from_parents(&[
-        None,
-        Some(0),
-        Some(1),
-        Some(1),
-        Some(0),
-        Some(4),
-    ]));
+    let tree = Arc::new(Tree::from_parents(&[None, Some(0), Some(1), Some(1), Some(0), Some(4)]));
 
     // TC with per-node reorganisation cost α = 2 and capacity 3.
     let alpha = 2;

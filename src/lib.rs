@@ -5,8 +5,55 @@
 //! names, so examples and downstream users need a single dependency.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! ## Quick example
+//!
+//! The core of `examples/quickstart.rs` (run the full version with
+//! `cargo run --release --example quickstart`): TC is a rent-or-buy
+//! scheme over a rooted tree whose cache must always be a subforest.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use online_tree_caching::prelude::*;
+//!
+//! // A six-node dependency tree; caching a node drags its subtree along.
+//! let tree = Arc::new(Tree::from_parents(&[
+//!     None,      // 0: root (default route)
+//!     Some(0),   // 1
+//!     Some(1),   // 2
+//!     Some(1),   // 3
+//!     Some(0),   // 4
+//!     Some(4),   // 5
+//! ]));
+//!
+//! // TC with per-node reorganisation cost α = 2 and capacity 3.
+//! let alpha = 2;
+//! let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, 3));
+//!
+//! // Positive requests to an uncached leaf pay 1 each until their count
+//! // covers the fetch cost α — then TC fetches the saturated set.
+//! let leaf = NodeId(2);
+//! tc.step(Request::pos(leaf));
+//! let out = tc.step(Request::pos(leaf));
+//! assert!(matches!(out.actions[..], [Action::Fetch(_)]));
+//! assert!(tc.cache().contains(leaf));
+//!
+//! // Negative requests model updates: a churning cached node gets evicted
+//! // once its counter pays for the eviction.
+//! tc.step(Request::neg(leaf));
+//! let out = tc.step(Request::neg(leaf));
+//! assert!(matches!(out.actions[..], [Action::Evict(_)]));
+//! assert!(!tc.cache().contains(leaf));
+//!
+//! // The subforest invariant: fetching node 4 forces its child 5 too.
+//! for _ in 0..2 * alpha {
+//!     tc.step(Request::pos(NodeId(4)));
+//! }
+//! assert!(tc.cache().contains(NodeId(4)) && tc.cache().contains(NodeId(5)));
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use otc_baselines as baselines;
 pub use otc_core as core;

@@ -8,8 +8,7 @@ use online_tree_caching::baselines::{BypassAll, DependentSetPolicy, InvalidateOn
 use online_tree_caching::core::policy::CachePolicy;
 use online_tree_caching::core::tc::{TcConfig, TcFast};
 use online_tree_caching::sdn::{
-    forwarding_violations, generate_events, run_fib, to_request_stream, FibEvent,
-    FibWorkloadConfig,
+    forwarding_violations, generate_events, run_fib, to_request_stream, FibEvent, FibWorkloadConfig,
 };
 use online_tree_caching::sim::{run_policy, SimConfig};
 use online_tree_caching::trie::{hierarchical_table, HierarchicalConfig, RuleTree};

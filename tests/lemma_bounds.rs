@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use online_tree_caching::baselines::opt_cost_free_start;
-use online_tree_caching::core::{Request, Sign, Tree};
 use online_tree_caching::core::tc::{TcConfig, TcFast};
+use online_tree_caching::core::{Request, Sign, Tree};
 use online_tree_caching::sim::{run_policy, SimConfig};
 use online_tree_caching::util::SplitMix64;
 

@@ -1,0 +1,267 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Provides the surface the workspace benches use (`benchmark_group`,
+//! `bench_function`, `BenchmarkId`, `Throughput`, `black_box`, the
+//! `criterion_group!` / `criterion_main!` macros) with a simple
+//! calibrate-then-measure loop instead of criterion's statistics engine:
+//! each benchmark is warmed up, its iteration count is scaled so one
+//! sample takes ≳10 ms, and the mean ns/iter over the samples is printed
+//! together with derived throughput.
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs every
+//! registered benchmark exactly once, as a smoke test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group, reported as
+/// elements/sec or bytes/sec next to the timing line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark inside a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("lookup", 1024)` renders as `lookup/1024`.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is only a parameter (no function name).
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to the closure of `bench_function`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Iterations to run when measuring (1 in calibration/test mode).
+    iters: u64,
+    /// Total time spent inside `iter`'s routine.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine `self.iters` times, accumulating elapsed time.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Global measurement settings (shared by every group).
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    /// Target wall time per sample when calibrating.
+    sample_target: Duration,
+    /// When set, run each routine once and skip timing.
+    test_mode: bool,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings { sample_size: 10, sample_target: Duration::from_millis(10), test_mode: false }
+    }
+}
+
+/// The benchmark manager: entry point handed to `criterion_group!`
+/// functions.
+#[derive(Debug)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes a harness=false bench target with `--bench` only
+        // under `cargo bench`; `cargo test --benches` passes no such flag
+        // (and libtest-style runners pass `--test`). Anything but a real
+        // bench run gets smoke-test mode: each routine once, no timing.
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = !args.iter().any(|a| a == "--bench") || args.iter().any(|a| a == "--test");
+        Criterion { settings: Settings { test_mode, ..Settings::default() } }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let settings = self.settings.clone();
+        run_benchmark(&id.into().id, &settings, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sample settings and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    // Tie the group's lifetime to the Criterion that opened it, matching
+    // the real API so `group.finish()` ordering stays enforced.
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&label, &self.settings, self.throughput, f);
+        self
+    }
+
+    /// Measures one benchmark, handing `input` to the closure (API
+    /// parity with criterion; the input is simply passed through).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    label: &str,
+    settings: &Settings,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+    if settings.test_mode {
+        f(&mut b);
+        println!("test {label} ... ok");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one sample is ≥ target.
+    f(&mut b); // warm-up
+    loop {
+        f(&mut b);
+        if b.elapsed >= settings.sample_target || b.iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            64
+        } else {
+            // Aim straight at the target with 20% headroom.
+            let ratio = settings.sample_target.as_secs_f64() / b.elapsed.as_secs_f64();
+            (ratio * 1.2).ceil() as u64
+        };
+        b.iters = b.iters.saturating_mul(grow.max(2)).min(1 << 30);
+    }
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..settings.sample_size {
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iters;
+    }
+
+    let ns_per_iter = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!(" {:.3e} elem/s", n as f64 / (ns_per_iter / 1e9))
+        }
+        Throughput::Bytes(n) => {
+            format!(" {:.3e} B/s", n as f64 / (ns_per_iter / 1e9))
+        }
+    });
+    println!("{label:<50} {ns_per_iter:>14.1} ns/iter{}", rate.unwrap_or_default());
+}
+
+/// Declares a group function running each listed benchmark with a fresh
+/// default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

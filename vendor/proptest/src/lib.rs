@@ -1,0 +1,197 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The workspace's property tests were written against the real
+//! [proptest](https://crates.io/crates/proptest); this stand-in provides
+//! exactly the surface they use so the suite runs in an environment with
+//! no registry access (see `vendor/README.md`).
+//!
+//! Design points:
+//!
+//! * **Deterministic.** Each `proptest!` test derives its RNG seed from
+//!   the test's own name via FNV-1a, so a failure reproduces on every
+//!   run and on every machine — there is no time- or thread-dependent
+//!   state anywhere.
+//! * **No shrinking.** A failing case reports its case index and the
+//!   generated seed instead of a minimised counterexample.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a over the bytes), so
+    /// every test gets a distinct but fully reproducible stream.
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    /// Next raw 64-bit output (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty range handed to TestRng::below");
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+
+    /// Current internal state, reported on failure for reproduction.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Runs `cases` instances of a single `proptest!`-generated test body.
+///
+/// This is the engine behind the [`proptest!`] macro expansion; it is
+/// public only so the macro can reach it via `$crate`.
+pub fn run_cases<S, F>(name: &str, cases: u32, strategy: &S, mut body: F)
+where
+    S: strategy::Strategy,
+    F: FnMut(S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    for case in 0..cases {
+        let seed = rng.state();
+        let value = strategy.generate(&mut rng);
+        if let Err(e) = body(value) {
+            panic!(
+                "proptest `{name}` failed at case {case}/{cases} \
+                 (rng state {seed:#018x}): {e}"
+            );
+        }
+    }
+}
+
+/// The `proptest!` block macro: wraps each contained `#[test]` function
+/// whose arguments use `pattern in strategy` syntax into a driver that
+/// generates inputs and treats `prop_assert*` failures as test failures.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let strategy = ($($strat,)+);
+                $crate::run_cases(
+                    stringify!($name),
+                    config.cases,
+                    &strategy,
+                    |value| {
+                        let ($($pat,)+) = value;
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, fmt, args…)`: like
+/// `assert!` but returns a [`test_runner::TestCaseError`] so the runner
+/// can attach case/seed context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    format!("assertion failed: {}", stringify!($cond)),
+                ),
+            );
+        }
+    };
+    ($cond:expr, $fmt:literal $(, $arg:expr)* $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    format!(concat!("assertion failed: ", $fmt) $(, $arg)*),
+                ),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / `prop_assert_eq!(a, b, fmt, args…)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: `{:?}` == `{:?}`",
+                    lhs, rhs
+                )),
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $fmt:literal $(, $arg:expr)* $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    concat!("assertion failed: `{:?}` == `{:?}`: ", $fmt),
+                    lhs, rhs $(, $arg)*
+                )),
+            );
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` — provided for completeness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                lhs, rhs
+            )));
+        }
+    }};
+}

@@ -1,0 +1,6 @@
+//! One-stop imports mirroring `proptest::prelude`.
+
+pub use crate as prop;
+pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

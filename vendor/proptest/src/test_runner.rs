@@ -1,0 +1,53 @@
+//! Test-runner types: [`Config`] (aka `ProptestConfig`) and
+//! [`TestCaseError`].
+
+use std::fmt;
+
+/// Per-`proptest!` block configuration. Only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases each test in the block runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// A single failing test case. Produced by the `prop_assert*` macros or
+/// constructed directly via [`TestCaseError::fail`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails the current case with `reason`.
+    #[must_use]
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+
+    /// Rejects the current case (treated identically to failure here,
+    /// since the stub has no rejection budget).
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

@@ -1,0 +1,69 @@
+//! Self-checks for the vendored stub: generation varies, failures fail.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranges_stay_in_bounds(x in 3u64..17, y in 0u8..=32, n in 1usize..9) {
+        prop_assert!((3..17).contains(&x));
+        prop_assert!(y <= 32);
+        prop_assert!((1..9).contains(&n));
+    }
+
+    #[test]
+    fn vec_lengths_respect_range(v in prop::collection::vec(any::<u32>(), 2..50)) {
+        prop_assert!(v.len() >= 2 && v.len() < 50);
+    }
+
+    #[test]
+    fn prop_map_applies(p in (any::<u32>(), 1u8..4).prop_map(|(a, b)| (a, b * 2))) {
+        prop_assert!(p.1 >= 2 && p.1 < 8);
+    }
+}
+
+#[test]
+fn generation_varies_across_cases() {
+    use proptest::strategy::Strategy;
+    let mut rng = proptest::TestRng::from_name("generation_varies");
+    let strat = proptest::collection::vec(proptest::strategy::any::<u64>(), 0..20);
+    let a = strat.generate(&mut rng);
+    let b = strat.generate(&mut rng);
+    let c = strat.generate(&mut rng);
+    assert!(!(a == b && b == c), "three consecutive draws identical");
+}
+
+#[test]
+fn generation_is_deterministic() {
+    use proptest::strategy::Strategy;
+    let draw = || {
+        let mut rng = proptest::TestRng::from_name("fixed");
+        (0u64..1000).generate(&mut rng)
+    };
+    assert_eq!(draw(), draw());
+}
+
+#[test]
+#[should_panic(expected = "failed at case")]
+fn failing_property_panics() {
+    use proptest::test_runner::TestCaseError;
+    proptest::run_cases("always_fails", 8, &(0u64..10), |x| {
+        if x < 10 {
+            return Err(TestCaseError::fail("deliberate"));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn full_width_inclusive_ranges_do_not_panic() {
+    use proptest::strategy::Strategy;
+    let mut rng = proptest::TestRng::from_name("full_width");
+    for _ in 0..32 {
+        let _: u64 = (0u64..=u64::MAX).generate(&mut rng);
+        let _: i64 = (i64::MIN..=i64::MAX).generate(&mut rng);
+        let b: u8 = (0u8..=u8::MAX).generate(&mut rng);
+        let _ = b;
+    }
+}
