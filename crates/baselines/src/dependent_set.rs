@@ -19,7 +19,9 @@
 use std::sync::Arc;
 
 use otc_core::cache::CacheSet;
-use otc_core::policy::{dependent_fetch_set, request_pays, Action, CachePolicy, StepOutcome};
+use otc_core::policy::{
+    dependent_fetch_set_into, request_pays, ActionBuffer, ActionKind, CachePolicy,
+};
 use otc_core::request::{Request, Sign};
 use otc_core::tree::{NodeId, Tree};
 use otc_util::SplitMix64;
@@ -58,6 +60,13 @@ pub struct DependentSetPolicy {
     /// cached root's stamp is the most recent access anywhere in its tree.
     /// For FIFO: the fetch time (never refreshed).
     stamp: Vec<u64>,
+    /// Scratch for the dependent fetch set of the current miss.
+    need: Vec<NodeId>,
+    /// Scratch for the cached-root victim candidates.
+    roots: Vec<NodeId>,
+    /// Debug-build scratch for re-verifying `need` across evictions.
+    #[cfg(debug_assertions)]
+    need_check: Vec<NodeId>,
 }
 
 impl DependentSetPolicy {
@@ -66,7 +75,30 @@ impl DependentSetPolicy {
     pub fn new(tree: Arc<Tree>, capacity: usize, strategy: EvictStrategy) -> Self {
         assert!(capacity >= 1);
         let n = tree.len();
-        Self { tree, capacity, cache: CacheSet::empty(n), strategy, clock: 0, stamp: vec![0; n] }
+        Self {
+            tree,
+            capacity,
+            cache: CacheSet::empty(n),
+            strategy,
+            clock: 0,
+            stamp: vec![0; n],
+            need: Vec::new(),
+            roots: Vec::new(),
+            #[cfg(debug_assertions)]
+            need_check: Vec::new(),
+        }
+    }
+
+    /// Debug tripwire: the pre-computed fetch set must be unaffected by an
+    /// eviction (victims are outside `T(v)`). Allocation-free in steady
+    /// state so the counting-allocator harness stays green in debug builds.
+    #[cfg(debug_assertions)]
+    fn assert_need_stable(&mut self, v: NodeId, need: &[NodeId]) {
+        let mut check = std::mem::take(&mut self.need_check);
+        check.clear();
+        dependent_fetch_set_into(&self.tree, &self.cache, v, &mut check);
+        debug_assert_eq!(need, &check[..], "eviction changed the dependent fetch set");
+        self.need_check = check;
     }
 
     /// Convenience constructor for LRU.
@@ -108,24 +140,29 @@ impl DependentSetPolicy {
     }
 
     /// Picks the eviction victim among cached roots outside `T(protect)`.
+    /// Reuses the `roots` scratch — allocation-free in steady state.
     fn pick_victim(&mut self, protect: NodeId) -> Option<NodeId> {
-        let roots: Vec<NodeId> = self
-            .cache
-            .cached_roots(&self.tree)
-            .into_iter()
-            .filter(|&r| !self.tree.is_ancestor_or_self(protect, r))
-            .collect();
-        if roots.is_empty() {
-            return None;
-        }
-        Some(match &mut self.strategy {
-            EvictStrategy::Lru | EvictStrategy::Fifo => roots
-                .iter()
-                .copied()
-                .min_by_key(|r| (self.stamp[r.index()], r.index()))
-                .expect("non-empty roots"),
-            EvictStrategy::Random(rng) => roots[rng.index(roots.len())],
-        })
+        let mut roots = std::mem::take(&mut self.roots);
+        roots.clear();
+        roots.extend(
+            self.cache
+                .cached_roots_iter(&self.tree)
+                .filter(|&r| !self.tree.is_ancestor_or_self(protect, r)),
+        );
+        let victim = if roots.is_empty() {
+            None
+        } else {
+            Some(match &mut self.strategy {
+                EvictStrategy::Lru | EvictStrategy::Fifo => roots
+                    .iter()
+                    .copied()
+                    .min_by_key(|r| (self.stamp[r.index()], r.index()))
+                    .expect("non-empty roots"),
+                EvictStrategy::Random(rng) => roots[rng.index(roots.len())],
+            })
+        };
+        self.roots = roots;
+        victim
     }
 }
 
@@ -151,49 +188,54 @@ impl CachePolicy for DependentSetPolicy {
         }
     }
 
-    fn step(&mut self, req: Request) -> StepOutcome {
+    fn step(&mut self, req: Request, out: &mut ActionBuffer) {
+        out.clear();
         self.clock += 1;
         let pays = request_pays(&self.cache, req);
         let v = req.node;
+        out.set_paid(pays);
 
         if req.sign == Sign::Negative {
             // Pay if cached; no reaction either way.
-            return StepOutcome { paid_service: pays, actions: vec![] };
+            return;
         }
         if !pays {
             // Hit: refresh recency (LRU only; FIFO stamps are fetch times).
             if matches!(self.strategy, EvictStrategy::Lru) {
                 self.touch(v);
             }
-            return StepOutcome::idle();
+            return;
         }
 
         // Miss: try to make room for the dependent set, then fetch it.
-        let mut actions: Vec<Action> = Vec::new();
-        let mut need = dependent_fetch_set(&self.tree, &self.cache, v);
+        let mut need = std::mem::take(&mut self.need);
+        need.clear();
+        dependent_fetch_set_into(&self.tree, &self.cache, v, &mut need);
         if need.len() > self.capacity {
             // Can never fit — bypass.
-            return StepOutcome { paid_service: true, actions };
+            self.need = need;
+            return;
         }
-        let mut evicted_any = Vec::new();
+        let mut evict_open = false;
         while self.cache.len() + need.len() > self.capacity {
             let Some(victim) = self.pick_victim(v) else {
                 // Only roots inside T(v) remain; evicting them would just
-                // re-enter the fetch set. Bypass instead.
-                if !evicted_any.is_empty() {
-                    actions.push(Action::Evict(evicted_any));
-                }
-                return StepOutcome { paid_service: true, actions };
+                // re-enter the fetch set. Bypass instead (keeping any
+                // evictions already performed).
+                self.need = need;
+                return;
             };
             self.cache.remove(victim);
-            evicted_any.push(victim);
+            if !evict_open {
+                out.begin(ActionKind::Evict);
+                evict_open = true;
+            }
+            out.push_node(victim);
             // The victim might have been an ancestor context for `need`?
             // No: victims are outside T(v); `need` only grows if a cached
             // subtree inside T(v) were evicted, which pick_victim forbids.
-            debug_assert_eq!(need, dependent_fetch_set(&self.tree, &self.cache, v));
-        }
-        if !evicted_any.is_empty() {
-            actions.push(Action::Evict(evicted_any));
+            #[cfg(debug_assertions)]
+            self.assert_need_stable(v, &need);
         }
         self.cache.fetch(&need);
         let now = self.clock;
@@ -203,8 +245,8 @@ impl CachePolicy for DependentSetPolicy {
         if matches!(self.strategy, EvictStrategy::Lru) {
             self.touch(v);
         }
-        actions.push(Action::Fetch(std::mem::take(&mut need)));
-        StepOutcome { paid_service: true, actions }
+        out.begin(ActionKind::Fetch).extend_from_slice(&need);
+        self.need = need;
     }
 }
 
@@ -235,14 +277,16 @@ impl CachePolicy for BypassAll {
         &self.cache
     }
     fn reset(&mut self) {}
-    fn step(&mut self, req: Request) -> StepOutcome {
-        StepOutcome { paid_service: req.sign == Sign::Positive, actions: vec![] }
+    fn step(&mut self, req: Request, out: &mut ActionBuffer) {
+        out.clear();
+        out.set_paid(req.sign == Sign::Positive);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use otc_core::policy::{Action, StepOutcome};
 
     fn tree() -> Arc<Tree> {
         //      0
@@ -256,7 +300,7 @@ mod tests {
     #[test]
     fn miss_fetches_dependent_set() {
         let mut p = DependentSetPolicy::lru(tree(), 6);
-        let out = p.step(Request::pos(NodeId(1)));
+        let out = p.step_owned(Request::pos(NodeId(1)));
         assert!(out.paid_service);
         assert_eq!(out.actions, vec![Action::Fetch(vec![NodeId(1), NodeId(2), NodeId(3)])]);
         assert_eq!(p.cache().len(), 3);
@@ -265,18 +309,18 @@ mod tests {
     #[test]
     fn hit_is_free() {
         let mut p = DependentSetPolicy::lru(tree(), 6);
-        p.step(Request::pos(NodeId(2)));
-        let out = p.step(Request::pos(NodeId(2)));
+        p.step_owned(Request::pos(NodeId(2)));
+        let out = p.step_owned(Request::pos(NodeId(2)));
         assert_eq!(out, StepOutcome::idle());
     }
 
     #[test]
     fn lru_evicts_coldest_root() {
         let mut p = DependentSetPolicy::lru(tree(), 2);
-        p.step(Request::pos(NodeId(2))); // cache {2}
-        p.step(Request::pos(NodeId(3))); // cache {2,3}
-        p.step(Request::pos(NodeId(2))); // touch 2
-        let out = p.step(Request::pos(NodeId(5))); // must evict 3 (coldest)
+        p.step_owned(Request::pos(NodeId(2))); // cache {2}
+        p.step_owned(Request::pos(NodeId(3))); // cache {2,3}
+        p.step_owned(Request::pos(NodeId(2))); // touch 2
+        let out = p.step_owned(Request::pos(NodeId(5))); // must evict 3 (coldest)
         assert!(out.actions.contains(&Action::Evict(vec![NodeId(3)])));
         assert!(p.cache().contains(NodeId(2)));
         assert!(p.cache().contains(NodeId(5)));
@@ -286,10 +330,10 @@ mod tests {
     #[test]
     fn fifo_ignores_touches() {
         let mut p = DependentSetPolicy::fifo(tree(), 2);
-        p.step(Request::pos(NodeId(2))); // fetch order: 2 first
-        p.step(Request::pos(NodeId(3)));
-        p.step(Request::pos(NodeId(2))); // hit; FIFO doesn't care
-        let out = p.step(Request::pos(NodeId(5)));
+        p.step_owned(Request::pos(NodeId(2))); // fetch order: 2 first
+        p.step_owned(Request::pos(NodeId(3)));
+        p.step_owned(Request::pos(NodeId(2))); // hit; FIFO doesn't care
+        let out = p.step_owned(Request::pos(NodeId(5)));
         assert!(out.actions.contains(&Action::Evict(vec![NodeId(2)])));
     }
 
@@ -297,7 +341,7 @@ mod tests {
     fn oversized_dependent_set_bypasses() {
         let mut p = DependentSetPolicy::lru(tree(), 2);
         // T(0) has 6 nodes > capacity 2 → bypass, nothing fetched.
-        let out = p.step(Request::pos(NodeId(0)));
+        let out = p.step_owned(Request::pos(NodeId(0)));
         assert!(out.paid_service);
         assert!(out.actions.is_empty());
         assert!(p.cache().is_empty());
@@ -311,7 +355,7 @@ mod tests {
         for _ in 0..2000 {
             let node = NodeId(rng.index(t.len()) as u32);
             let req = if rng.chance(0.3) { Request::neg(node) } else { Request::pos(node) };
-            p.step(req);
+            p.step_owned(req);
             p.cache().validate(&t).expect("subforest invariant");
             assert!(p.cache().len() <= 3);
         }
@@ -324,7 +368,7 @@ mod tests {
         let mut rng = SplitMix64::new(13);
         for _ in 0..1000 {
             let node = NodeId(rng.index(t.len()) as u32);
-            p.step(Request::pos(node));
+            p.step_owned(Request::pos(node));
             p.cache().validate(&t).expect("subforest invariant");
         }
     }
@@ -332,12 +376,12 @@ mod tests {
     #[test]
     fn negative_requests_cost_but_do_not_react() {
         let mut p = DependentSetPolicy::lru(tree(), 6);
-        p.step(Request::pos(NodeId(2)));
-        let out = p.step(Request::neg(NodeId(2)));
+        p.step_owned(Request::pos(NodeId(2)));
+        let out = p.step_owned(Request::neg(NodeId(2)));
         assert!(out.paid_service);
         assert!(out.actions.is_empty());
         assert!(p.cache().contains(NodeId(2)), "LRU ignores churn — that's its weakness");
-        let out = p.step(Request::neg(NodeId(5)));
+        let out = p.step_owned(Request::neg(NodeId(5)));
         assert!(!out.paid_service);
     }
 
@@ -345,8 +389,8 @@ mod tests {
     fn bypass_all_costs_every_positive() {
         let t = tree();
         let mut p = BypassAll::new(&t, 4);
-        assert!(p.step(Request::pos(NodeId(0))).paid_service);
-        assert!(!p.step(Request::neg(NodeId(0))).paid_service);
+        assert!(p.step_owned(Request::pos(NodeId(0))).paid_service);
+        assert!(!p.step_owned(Request::neg(NodeId(0))).paid_service);
         assert!(p.cache().is_empty());
     }
 
@@ -354,10 +398,10 @@ mod tests {
     fn reset_clears_state() {
         let t = tree();
         let mut p = DependentSetPolicy::lru(Arc::clone(&t), 4);
-        p.step(Request::pos(NodeId(2)));
+        p.step_owned(Request::pos(NodeId(2)));
         p.reset();
         assert!(p.cache().is_empty());
-        let out = p.step(Request::pos(NodeId(2)));
+        let out = p.step_owned(Request::pos(NodeId(2)));
         assert!(out.paid_service);
     }
 }

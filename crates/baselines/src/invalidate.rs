@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use otc_core::cache::CacheSet;
-use otc_core::policy::{request_pays, Action, CachePolicy, StepOutcome};
+use otc_core::policy::{request_pays, ActionBuffer, ActionKind, CachePolicy};
 use otc_core::request::{Request, Sign};
 use otc_core::tree::{NodeId, Tree};
 
@@ -41,22 +41,22 @@ impl InvalidateOnUpdate {
         }
     }
 
-    /// The minimal valid negative changeset containing `v`: the cached
-    /// path from `v` up to its cached-tree root, root-first.
-    fn invalidation_path(&self, v: NodeId) -> Vec<NodeId> {
+    /// Appends the minimal valid negative changeset containing `v` — the
+    /// cached path from `v` up to its cached-tree root, root-first — to
+    /// `out`. Allocation-free once `out` has capacity.
+    fn invalidation_path_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
         let cache = self.inner.cache();
         debug_assert!(cache.contains(v));
-        let mut path = Vec::new();
+        let start = out.len();
         let mut x = v;
         loop {
-            path.push(x);
+            out.push(x);
             match self.tree.parent(x) {
                 Some(p) if cache.contains(p) => x = p,
                 _ => break,
             }
         }
-        path.reverse(); // root of the cached tree first
-        path
+        out[start..].reverse(); // root of the cached tree first
     }
 }
 
@@ -77,19 +77,22 @@ impl CachePolicy for InvalidateOnUpdate {
         self.inner.reset();
     }
 
-    fn step(&mut self, req: Request) -> StepOutcome {
+    fn step(&mut self, req: Request, out: &mut ActionBuffer) {
         if req.sign == Sign::Negative && request_pays(self.inner.cache(), req) {
-            let path = self.invalidation_path(req.node);
-            self.inner.evict_raw(&path);
-            return StepOutcome { paid_service: true, actions: vec![Action::Evict(path)] };
+            out.clear();
+            out.set_paid(true);
+            self.invalidation_path_into(req.node, out.begin(ActionKind::Evict));
+            self.inner.evict_raw(out.last_nodes());
+            return;
         }
-        self.inner.step(req)
+        self.inner.step(req, out);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use otc_core::policy::Action;
 
     fn tree() -> Arc<Tree> {
         //      0
@@ -105,10 +108,10 @@ mod tests {
         let t = tree();
         let mut p = InvalidateOnUpdate::new(Arc::clone(&t), 5);
         // Fetch the whole tree via a root miss.
-        p.step(Request::pos(NodeId(0)));
+        p.step_owned(Request::pos(NodeId(0)));
         assert_eq!(p.cache().len(), 5);
         // Update node 2: evict the path {0, 1, 2}, keep {3, 4}.
-        let out = p.step(Request::neg(NodeId(2)));
+        let out = p.step_owned(Request::neg(NodeId(2)));
         assert!(out.paid_service);
         assert_eq!(out.actions, vec![Action::Evict(vec![NodeId(0), NodeId(1), NodeId(2)])]);
         assert!(!p.cache().contains(NodeId(0)));
@@ -121,11 +124,11 @@ mod tests {
     fn second_negative_is_free() {
         let t = tree();
         let mut p = InvalidateOnUpdate::new(Arc::clone(&t), 5);
-        p.step(Request::pos(NodeId(2)));
+        p.step_owned(Request::pos(NodeId(2)));
         assert!(p.cache().contains(NodeId(2)));
-        let out = p.step(Request::neg(NodeId(2)));
+        let out = p.step_owned(Request::neg(NodeId(2)));
         assert!(out.paid_service);
-        let out = p.step(Request::neg(NodeId(2)));
+        let out = p.step_owned(Request::neg(NodeId(2)));
         assert!(!out.paid_service, "already evicted — rest of the chunk is free");
         assert!(out.actions.is_empty());
     }
@@ -134,8 +137,8 @@ mod tests {
     fn positive_behaviour_is_lru() {
         let t = tree();
         let mut p = InvalidateOnUpdate::new(Arc::clone(&t), 2);
-        p.step(Request::pos(NodeId(2)));
-        p.step(Request::pos(NodeId(3)));
+        p.step_owned(Request::pos(NodeId(2)));
+        p.step_owned(Request::pos(NodeId(3)));
         assert_eq!(p.cache().len(), 2);
         p.cache().validate(&t).expect("subforest");
     }
@@ -148,7 +151,7 @@ mod tests {
         for _ in 0..2000 {
             let node = NodeId(rng.index(t.len()) as u32);
             let req = if rng.chance(0.4) { Request::neg(node) } else { Request::pos(node) };
-            p.step(req);
+            p.step_owned(req);
             p.cache().validate(&t).expect("subforest invariant");
             assert!(p.cache().len() <= 3);
         }

@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use otc_core::cache::CacheSet;
-use otc_core::policy::{request_pays, Action, CachePolicy, StepOutcome};
+use otc_core::policy::{request_pays, ActionBuffer, ActionKind, CachePolicy};
 use otc_core::request::{Request, Sign};
 use otc_core::tree::{NodeId, Tree};
 
@@ -141,11 +141,13 @@ impl CachePolicy for TcVariant {
         self.cnt.fill(0);
     }
 
-    fn step(&mut self, req: Request) -> StepOutcome {
+    fn step(&mut self, req: Request, out: &mut ActionBuffer) {
+        out.clear();
         let v = req.node;
         if !request_pays(&self.cache, req) {
-            return StepOutcome::idle();
+            return;
         }
+        out.set_paid(true);
         self.cnt[v.index()] += 1;
         match req.sign {
             Sign::Positive => {
@@ -157,34 +159,27 @@ impl CachePolicy for TcVariant {
                     let (set, sum) = self.positive_candidate(u);
                     if sum >= set.len() as u64 * self.alpha {
                         if self.cache.len() + set.len() > self.capacity {
-                            return match self.overflow {
+                            match self.overflow {
                                 OverflowRule::Flush => {
-                                    let evicted = self.cache.flush();
+                                    self.cache.flush_into(out.begin(ActionKind::Flush));
                                     self.cnt.fill(0);
-                                    StepOutcome {
-                                        paid_service: true,
-                                        actions: vec![Action::Flush(evicted)],
-                                    }
                                 }
                                 OverflowRule::Ignore => {
                                     for &x in &set {
                                         self.cnt[x.index()] = 0;
                                     }
-                                    StepOutcome { paid_service: true, actions: vec![] }
                                 }
-                            };
+                            }
+                            return;
                         }
                         self.cache.fetch(&set);
                         for &x in &set {
                             self.cnt[x.index()] = 0;
                         }
-                        return StepOutcome {
-                            paid_service: true,
-                            actions: vec![Action::Fetch(set)],
-                        };
+                        out.begin(ActionKind::Fetch).extend_from_slice(&set);
+                        return;
                     }
                 }
-                StepOutcome { paid_service: true, actions: vec![] }
             }
             Sign::Negative => {
                 let u = self
@@ -211,9 +206,8 @@ impl CachePolicy for TcVariant {
                     for &x in &set {
                         self.cnt[x.index()] = 0;
                     }
-                    return StepOutcome { paid_service: true, actions: vec![Action::Evict(set)] };
+                    out.begin(ActionKind::Evict).extend_from_slice(&set);
                 }
-                StepOutcome { paid_service: true, actions: vec![] }
             }
         }
     }
@@ -222,6 +216,7 @@ impl CachePolicy for TcVariant {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use otc_core::policy::Action;
     use otc_core::tc::{TcConfig, TcReference};
 
     /// The TopDown+Flush variant must coincide with the real TC.
@@ -235,8 +230,8 @@ mod tests {
         for i in 0..3000 {
             let node = NodeId(rng.index(tree.len()) as u32);
             let req = if rng.chance(0.4) { Request::neg(node) } else { Request::pos(node) };
-            let a = variant.step(req);
-            let b = reference.step(req);
+            let a = variant.step_owned(req);
+            let b = reference.step_owned(req);
             assert_eq!(a, b, "divergence at step {i}");
         }
     }
@@ -264,11 +259,11 @@ mod tests {
         let mut bottom =
             TcVariant::new(Arc::clone(&tree), 2, 3, FetchScan::BottomUp, OverflowRule::Flush);
         for &req in &script[..5] {
-            assert!(top.step(req).actions.is_empty());
-            assert!(bottom.step(req).actions.is_empty());
+            assert!(top.step_owned(req).actions.is_empty());
+            assert!(bottom.step_owned(req).actions.is_empty());
         }
-        let out_top = top.step(script[5]);
-        let out_bottom = bottom.step(script[5]);
+        let out_top = top.step_owned(script[5]);
+        let out_bottom = bottom.step_owned(script[5]);
         match &out_top.actions[..] {
             [Action::Fetch(set)] => assert_eq!(set.len(), 3, "maximal scan fetches everything"),
             other => panic!("expected full fetch, got {other:?}"),
@@ -286,15 +281,15 @@ mod tests {
         let tree = Arc::new(Tree::star(2));
         let mut p =
             TcVariant::new(Arc::clone(&tree), 1, 1, FetchScan::TopDown, OverflowRule::Ignore);
-        p.step(Request::pos(NodeId(1)));
+        p.step_owned(Request::pos(NodeId(1)));
         assert!(p.cache().contains(NodeId(1)));
         // Leaf 2 saturates; fetch would overflow; Ignore keeps the cache.
-        let out = p.step(Request::pos(NodeId(2)));
+        let out = p.step_owned(Request::pos(NodeId(2)));
         assert!(out.actions.is_empty());
         assert!(p.cache().contains(NodeId(1)), "no flush under Ignore");
         // And the candidate's counters were reset: the next request starts
         // the count over.
-        let out = p.step(Request::pos(NodeId(2)));
+        let out = p.step_owned(Request::pos(NodeId(2)));
         assert!(out.actions.is_empty());
     }
 
@@ -307,7 +302,7 @@ mod tests {
             for _ in 0..2000 {
                 let node = NodeId(rng.index(tree.len()) as u32);
                 let req = if rng.chance(0.35) { Request::neg(node) } else { Request::pos(node) };
-                p.step(req);
+                p.step_owned(req);
                 p.cache().validate(&tree).expect("subforest invariant");
                 assert!(p.cache().len() <= 4);
             }

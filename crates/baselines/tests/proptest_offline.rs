@@ -79,11 +79,8 @@ proptest! {
         let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
         let mut lru = DependentSetPolicy::lru(Arc::clone(&tree), k);
         for policy in [&mut tc as &mut dyn CachePolicy, &mut lru] {
-            let mut cost = 0u64;
-            for &r in &reqs {
-                let out = policy.step(r);
-                cost += u64::from(out.paid_service) + alpha * out.nodes_touched() as u64;
-            }
+            let (service, touched) = otc_core::policy::run_raw(policy, &reqs);
+            let cost = service + alpha * touched;
             prop_assert!(opt <= cost, "{}: OPT {} > cost {}", policy.name(), opt, cost);
         }
 

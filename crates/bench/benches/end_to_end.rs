@@ -1,5 +1,6 @@
-//! End-to-end throughput: the FIB application (E7's engine) and the
-//! verified simulator's overhead.
+//! End-to-end throughput: the FIB application (E7's engine), the verified
+//! simulator's overhead, and the batched `run_stream` driver against the
+//! per-round `run_policy` driver.
 
 use std::sync::Arc;
 
@@ -7,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use otc_baselines::DependentSetPolicy;
 use otc_core::tc::{TcConfig, TcFast};
 use otc_sdn::{generate_events, run_fib, FibWorkloadConfig};
-use otc_sim::{run_policy, SimConfig};
+use otc_sim::{run_policy, run_stream, SimConfig};
 use otc_trie::{hierarchical_table, HierarchicalConfig, RuleTree};
 use otc_util::SplitMix64;
 use otc_workloads::uniform_mixed;
@@ -60,5 +61,32 @@ fn bench_simulator_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fib, bench_simulator_overhead);
+/// The batched driver on a long stream, in both configurations. Chunked
+/// accounting plus buffer reuse is what every future scaling experiment
+/// (sharding, async, multi-tenant) sits on top of.
+fn bench_run_stream(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(0xF0);
+    let tree = Arc::new(otc_workloads::random_attachment(4096, &mut rng));
+    let reqs = uniform_mixed(&tree, 200_000, 0.4, &mut rng);
+    let mut group = c.benchmark_group("run_stream");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+    for (label, cfg) in [("validated", SimConfig::new(4)), ("bare", SimConfig::bare(4))] {
+        group.bench_function(BenchmarkId::new("chunk_4096", label), |b| {
+            b.iter(|| {
+                let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, 512));
+                run_stream(&tree, &mut tc, &reqs, cfg, 4096).expect("valid").total()
+            });
+        });
+    }
+    group.bench_function(BenchmarkId::new("run_policy", "bare"), |b| {
+        b.iter(|| {
+            let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, 512));
+            run_policy(&tree, &mut tc, &reqs, SimConfig::bare(4)).expect("valid").total()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fib, bench_simulator_overhead, bench_run_stream);
 criterion_main!(benches);

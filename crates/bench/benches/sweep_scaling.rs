@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use otc_core::policy::CachePolicy;
+use otc_core::policy::{ActionBuffer, CachePolicy};
 use otc_core::tc::{TcConfig, TcFast};
 use otc_core::tree::Tree;
 use otc_util::{parallel_map_threads, SplitMix64};
@@ -22,9 +22,11 @@ fn bench_sweep(c: &mut Criterion) {
                     let mut rng = SplitMix64::new(seed);
                     let reqs = uniform_mixed(&tree, 20_000, 0.4, &mut rng);
                     let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, 24));
+                    let mut buf = ActionBuffer::new();
                     let mut acc = 0u64;
                     for &r in &reqs {
-                        acc += u64::from(tc.step(r).paid_service);
+                        tc.step(r, &mut buf);
+                        acc += u64::from(buf.paid_service());
                     }
                     acc
                 });

@@ -3,12 +3,17 @@
 //! Series mirror experiment E6: request throughput of the fast
 //! implementation across height/degree-extremal shapes and sizes, plus the
 //! fast-vs-reference comparison that shows the O(n)-per-round oracle
-//! falling behind.
+//! falling behind. All hot loops drive the zero-allocation buffered step
+//! pipeline (`CachePolicy::step` into a reused `ActionBuffer`); the
+//! `buffered_pipeline` group pins the before/after comparison between the
+//! owned-outcome convenience path (`step_owned`, one allocation per round)
+//! and the buffered path (zero allocations per non-flush round — asserted
+//! by the counting-allocator test in `crates/bench/tests/alloc_counter.rs`).
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use otc_core::policy::CachePolicy;
+use otc_core::policy::{ActionBuffer, CachePolicy};
 use otc_core::tc::{TcConfig, TcFast, TcReference};
 use otc_core::tree::Tree;
 use otc_util::SplitMix64;
@@ -31,9 +36,11 @@ fn bench_shapes(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("requests", name), |b| {
             b.iter(|| {
                 let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, tree.len() / 4));
+                let mut buf = ActionBuffer::new();
                 let mut acc = 0u64;
                 for &r in &reqs {
-                    acc += tc.step(r).nodes_touched() as u64;
+                    tc.step(r, &mut buf);
+                    acc += buf.nodes_touched() as u64;
                 }
                 acc
             });
@@ -53,14 +60,52 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("random_tree", n), |b| {
             b.iter(|| {
                 let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, n / 4));
+                let mut buf = ActionBuffer::new();
                 let mut acc = 0u64;
                 for &r in &reqs {
-                    acc += u64::from(tc.step(r).paid_service);
+                    tc.step(r, &mut buf);
+                    acc += u64::from(buf.paid_service());
                 }
                 acc
             });
         });
     }
+    group.finish();
+}
+
+/// Before/after proxy for the refactor: the owned-outcome convenience
+/// path (`step_owned` — a fresh buffer plus a `StepOutcome` snapshot per
+/// round, somewhat heavier than the old `step() -> StepOutcome` API it
+/// stands in for) against the buffered path on the same workload.
+fn bench_buffered_pipeline(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(0xC1);
+    let tree = Arc::new(random_attachment(16_384, &mut rng));
+    let reqs = uniform_mixed(&tree, 50_000, 0.4, &mut rng);
+    let mut group = c.benchmark_group("buffered_pipeline");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+    group.bench_function("step_owned", |b| {
+        b.iter(|| {
+            let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, tree.len() / 4));
+            let mut acc = 0u64;
+            for &r in &reqs {
+                acc += tc.step_owned(r).nodes_touched() as u64;
+            }
+            acc
+        });
+    });
+    group.bench_function("step_buffered", |b| {
+        b.iter(|| {
+            let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, tree.len() / 4));
+            let mut buf = ActionBuffer::new();
+            let mut acc = 0u64;
+            for &r in &reqs {
+                tc.step(r, &mut buf);
+                acc += buf.nodes_touched() as u64;
+            }
+            acc
+        });
+    });
     group.finish();
 }
 
@@ -74,21 +119,29 @@ fn bench_fast_vs_reference(c: &mut Criterion) {
     group.bench_function("fast", |b| {
         b.iter(|| {
             let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, 400));
+            let mut buf = ActionBuffer::new();
             for &r in &reqs {
-                let _ = tc.step(r);
+                tc.step(r, &mut buf);
             }
         });
     });
     group.bench_function("reference", |b| {
         b.iter(|| {
             let mut tc = TcReference::new(Arc::clone(&tree), TcConfig::new(4, 400));
+            let mut buf = ActionBuffer::new();
             for &r in &reqs {
-                let _ = tc.step(r);
+                tc.step(r, &mut buf);
             }
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_shapes, bench_scaling, bench_fast_vs_reference);
+criterion_group!(
+    benches,
+    bench_shapes,
+    bench_scaling,
+    bench_buffered_pipeline,
+    bench_fast_vs_reference
+);
 criterion_main!(benches);

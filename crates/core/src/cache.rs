@@ -102,13 +102,29 @@ impl CacheSet {
         self.len -= set.len();
     }
 
-    /// Evicts everything and returns the evicted nodes (in index order).
-    pub fn flush(&mut self) -> Vec<NodeId> {
-        let out: Vec<NodeId> = self.iter().collect();
-        for flag in &mut self.cached {
-            *flag = false;
+    /// Evicts everything without reporting the evicted set. O(n),
+    /// allocation-free — the simulator's mirror uses this on flushes.
+    pub fn clear(&mut self) {
+        self.cached.fill(false);
+        self.len = 0;
+    }
+
+    /// Evicts everything, appending the evicted nodes (in index order) to
+    /// `out`. Allocation-free once `out` has capacity.
+    pub fn flush_into(&mut self, out: &mut Vec<NodeId>) {
+        for (i, flag) in self.cached.iter_mut().enumerate() {
+            if *flag {
+                out.push(NodeId(i as u32));
+                *flag = false;
+            }
         }
         self.len = 0;
+    }
+
+    /// Evicts everything and returns the evicted nodes (in index order).
+    pub fn flush(&mut self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len);
+        self.flush_into(&mut out);
         out
     }
 
@@ -171,11 +187,17 @@ impl CacheSet {
         Some(top)
     }
 
+    /// Iterator over roots of all cached trees (cached nodes whose parent
+    /// is absent or non-cached), in index order. Allocation-free.
+    pub fn cached_roots_iter<'a>(&'a self, tree: &'a Tree) -> impl Iterator<Item = NodeId> + 'a {
+        self.iter().filter(move |&v| tree.parent(v).is_none_or(|p| !self.contains(p)))
+    }
+
     /// Roots of all cached trees (cached nodes whose parent is absent or
     /// non-cached), in index order.
     #[must_use]
     pub fn cached_roots(&self, tree: &Tree) -> Vec<NodeId> {
-        self.iter().filter(|&v| tree.parent(v).is_none_or(|p| !self.contains(p))).collect()
+        self.cached_roots_iter(tree).collect()
     }
 }
 

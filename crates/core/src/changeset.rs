@@ -21,26 +21,79 @@ pub enum ChangeKind {
     Evict,
 }
 
+/// Reusable membership marks for the allocation-free validity checks.
+///
+/// Marking uses a generation counter so consecutive checks need no O(n)
+/// clearing: a node is "in the set" iff its mark equals the current epoch.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationScratch {
+    mark: Vec<u64>,
+    epoch: u64,
+}
+
+impl ValidationScratch {
+    /// A scratch usable for trees with up to `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { mark: vec![0; n], epoch: 0 }
+    }
+
+    /// Starts a fresh membership set, resizing to `n` nodes if needed.
+    /// O(1) amortised — no clearing; previous epochs' marks go stale.
+    pub fn reset(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks `v`; returns false if it was already marked (a duplicate).
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        if self.mark[v.index()] == self.epoch {
+            return false;
+        }
+        self.mark[v.index()] = self.epoch;
+        true
+    }
+
+    /// Whether `v` was marked since the last [`ValidationScratch::reset`].
+    #[must_use]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.mark[v.index()] == self.epoch
+    }
+}
+
 /// Checks whether `set` is a valid positive changeset for `cache`.
 ///
 /// The slice may be in any order; duplicates make the set invalid.
 #[must_use]
 pub fn is_valid_positive(tree: &Tree, cache: &CacheSet, set: &[NodeId]) -> bool {
-    if set.is_empty() || has_duplicates(set) {
+    is_valid_positive_with(tree, cache, set, &mut ValidationScratch::new(tree.len()))
+}
+
+/// [`is_valid_positive`] against a caller-provided scratch: allocation-free
+/// in steady state. The simulator's per-round validation uses this.
+#[must_use]
+pub fn is_valid_positive_with(
+    tree: &Tree,
+    cache: &CacheSet,
+    set: &[NodeId],
+    scratch: &mut ValidationScratch,
+) -> bool {
+    if set.is_empty() {
         return false;
     }
-    let mut in_set = vec![false; tree.len()];
+    scratch.reset(tree.len());
     for &v in set {
-        if cache.contains(v) {
-            return false; // must be disjoint from the cache
+        if cache.contains(v) || !scratch.insert(v) {
+            return false; // must be disjoint from the cache, duplicate-free
         }
-        in_set[v.index()] = true;
     }
     // C ∪ X downward-closed: children of X-nodes lie in C ∪ X. (Children of
     // C-nodes are already in C because C itself is a subforest.)
     for &v in set {
         for &c in tree.children(v) {
-            if !cache.contains(c) && !in_set[c.index()] {
+            if !cache.contains(c) && !scratch.contains(c) {
                 return false;
             }
         }
@@ -51,21 +104,32 @@ pub fn is_valid_positive(tree: &Tree, cache: &CacheSet, set: &[NodeId]) -> bool 
 /// Checks whether `set` is a valid negative changeset for `cache`.
 #[must_use]
 pub fn is_valid_negative(tree: &Tree, cache: &CacheSet, set: &[NodeId]) -> bool {
-    if set.is_empty() || has_duplicates(set) {
+    is_valid_negative_with(tree, cache, set, &mut ValidationScratch::new(tree.len()))
+}
+
+/// [`is_valid_negative`] against a caller-provided scratch: allocation-free
+/// in steady state. The simulator's per-round validation uses this.
+#[must_use]
+pub fn is_valid_negative_with(
+    tree: &Tree,
+    cache: &CacheSet,
+    set: &[NodeId],
+    scratch: &mut ValidationScratch,
+) -> bool {
+    if set.is_empty() {
         return false;
     }
-    let mut in_set = vec![false; tree.len()];
+    scratch.reset(tree.len());
     for &v in set {
-        if !cache.contains(v) {
-            return false; // must be a subset of the cache
+        if !cache.contains(v) || !scratch.insert(v) {
+            return false; // must be a subset of the cache, duplicate-free
         }
-        in_set[v.index()] = true;
     }
     // C \ X downward-closed: an X-node whose parent stays cached would leave
     // that parent with a missing child.
     for &v in set {
         if let Some(p) = tree.parent(v) {
-            if cache.contains(p) && !in_set[p.index()] {
+            if cache.contains(p) && !scratch.contains(p) {
                 return false;
             }
         }

@@ -36,11 +36,15 @@
 //! let tree = Arc::new(Tree::star(3));
 //! let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(2, 2));
 //!
+//! // One reusable buffer for the whole request loop: steady-state rounds
+//! // allocate nothing.
+//! let mut out = ActionBuffer::new();
+//!
 //! // Two paying requests to a leaf saturate it and TC fetches it.
 //! let leaf = tree.leaves()[0];
-//! tc.step(Request::pos(leaf));
-//! let out = tc.step(Request::pos(leaf));
-//! assert!(matches!(out.actions[..], [Action::Fetch(_)]));
+//! tc.step(Request::pos(leaf), &mut out);
+//! tc.step(Request::pos(leaf), &mut out);
+//! assert!(matches!(out.action(0), (ActionKind::Fetch, _)));
 //! assert!(tc.cache().contains(leaf));
 //! ```
 
@@ -59,8 +63,10 @@ pub mod tree;
 pub mod prelude {
     pub use crate::builder::TreeBuilder;
     pub use crate::cache::CacheSet;
-    pub use crate::changeset::{is_valid_negative, is_valid_positive, ChangeKind};
-    pub use crate::policy::{Action, CachePolicy, StepOutcome};
+    pub use crate::changeset::{
+        is_valid_negative, is_valid_positive, ChangeKind, ValidationScratch,
+    };
+    pub use crate::policy::{Action, ActionBuffer, ActionKind, CachePolicy, StepOutcome};
     pub use crate::request::{Cost, CostModel, Request, Sign};
     pub use crate::tc::{TcConfig, TcFast, TcReference, TcStats};
     pub use crate::tree::{NodeId, Tree};

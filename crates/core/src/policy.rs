@@ -6,12 +6,24 @@
 //! the round. The simulator mirrors the cache, verifies validity of every
 //! action against the problem's rules, and does all cost accounting — so a
 //! buggy policy cannot misreport its own cost.
+//!
+//! # The zero-allocation step pipeline
+//!
+//! [`CachePolicy::step`] writes into a caller-provided [`ActionBuffer`] — a
+//! reusable arena of [`NodeId`] spans plus an action-kind tag list — instead
+//! of returning an owned value. In steady state (buffer capacity reached) a
+//! round performs **no heap allocation** anywhere on the request path, which
+//! is what makes 10⁶–10⁸-request streams affordable. The owned
+//! [`StepOutcome`]/[`Action`] types remain as a convenience snapshot
+//! ([`CachePolicy::step_owned`], [`ActionBuffer::to_outcome`]) for tests and
+//! diagnostics, where clarity beats throughput.
 
 use crate::cache::CacheSet;
 use crate::request::Request;
 use crate::tree::{NodeId, Tree};
 
-/// One cache modification taken at the end of a round.
+/// One cache modification taken at the end of a round (owned snapshot form;
+/// the hot path uses [`ActionBuffer`] spans instead).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action {
     /// Fetch these nodes (must form a valid positive changeset).
@@ -33,7 +45,160 @@ impl Action {
     }
 }
 
-/// What a policy did in one round.
+/// Tag of one action recorded in an [`ActionBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionKind {
+    /// The span is fetched (must form a valid positive changeset).
+    Fetch,
+    /// The span is evicted (must form a valid negative changeset).
+    Evict,
+    /// The entire cache is evicted (TC's phase restart); the span is the
+    /// set evicted, possibly empty.
+    Flush,
+}
+
+/// A reusable record of what a policy did in one round.
+///
+/// Node lists of all actions live contiguously in one arena; each action is
+/// a `(kind, start)` tag whose span ends where the next action starts. Once
+/// the vectors have grown to the workload's high-water mark, recording a
+/// round allocates nothing.
+///
+/// ```
+/// use otc_core::policy::{ActionBuffer, ActionKind};
+/// use otc_core::tree::NodeId;
+///
+/// let mut buf = ActionBuffer::new();
+/// buf.clear();
+/// buf.set_paid(true);
+/// buf.begin(ActionKind::Fetch).extend([NodeId(1), NodeId(2)]);
+/// assert_eq!(buf.nodes_touched(), 2);
+/// let (kind, nodes) = buf.actions().next().unwrap();
+/// assert_eq!(kind, ActionKind::Fetch);
+/// assert_eq!(nodes, &[NodeId(1), NodeId(2)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActionBuffer {
+    paid_service: bool,
+    /// `(kind, offset of the action's first node in `nodes`)`.
+    kinds: Vec<(ActionKind, usize)>,
+    /// Arena holding every action's nodes back to back.
+    nodes: Vec<NodeId>,
+}
+
+impl ActionBuffer {
+    /// An empty buffer. Reuse one per driver loop, not one per round.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets all recorded actions and the paid flag, keeping capacity.
+    /// Every [`CachePolicy::step`] implementation calls this first.
+    pub fn clear(&mut self) {
+        self.paid_service = false;
+        self.kinds.clear();
+        self.nodes.clear();
+    }
+
+    /// Records whether the round paid the service cost.
+    pub fn set_paid(&mut self, paid: bool) {
+        self.paid_service = paid;
+    }
+
+    /// Whether the round paid the service cost.
+    #[must_use]
+    pub fn paid_service(&self) -> bool {
+        self.paid_service
+    }
+
+    /// Starts a new action of `kind` and returns the arena to push its
+    /// nodes into. The action's span is everything appended before the next
+    /// `begin` (do not truncate below the returned start).
+    pub fn begin(&mut self, kind: ActionKind) -> &mut Vec<NodeId> {
+        self.kinds.push((kind, self.nodes.len()));
+        &mut self.nodes
+    }
+
+    /// Appends one node to the most recently begun action.
+    ///
+    /// # Panics
+    /// Panics in debug builds if no action was begun.
+    pub fn push_node(&mut self, v: NodeId) {
+        debug_assert!(!self.kinds.is_empty(), "push_node before begin");
+        self.nodes.push(v);
+    }
+
+    /// Number of recorded actions.
+    #[must_use]
+    pub fn num_actions(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True if no action was recorded.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.kinds.is_empty() && !self.paid_service
+    }
+
+    /// Total nodes touched across all actions (each costs α).
+    #[must_use]
+    pub fn nodes_touched(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The `i`-th action as `(kind, nodes)`.
+    ///
+    /// # Panics
+    /// Panics if `i >= num_actions()`.
+    #[must_use]
+    pub fn action(&self, i: usize) -> (ActionKind, &[NodeId]) {
+        let (kind, start) = self.kinds[i];
+        let end = self.kinds.get(i + 1).map_or(self.nodes.len(), |&(_, s)| s);
+        (kind, &self.nodes[start..end])
+    }
+
+    /// Iterator over recorded actions in application order.
+    pub fn actions(&self) -> impl Iterator<Item = (ActionKind, &[NodeId])> + '_ {
+        (0..self.kinds.len()).map(move |i| self.action(i))
+    }
+
+    /// Nodes of the most recently begun action (empty slice if none).
+    #[must_use]
+    pub fn last_nodes(&self) -> &[NodeId] {
+        match self.kinds.last() {
+            Some(&(_, start)) => &self.nodes[start..],
+            None => &[],
+        }
+    }
+
+    /// Mutable view of the most recently begun action's nodes (empty slice
+    /// if none). For in-place reordering, e.g. root-first normalisation.
+    pub fn last_nodes_mut(&mut self) -> &mut [NodeId] {
+        match self.kinds.last() {
+            Some(&(_, start)) => &mut self.nodes[start..],
+            None => &mut [],
+        }
+    }
+
+    /// Owned snapshot for tests and diagnostics (allocates).
+    #[must_use]
+    pub fn to_outcome(&self) -> StepOutcome {
+        StepOutcome {
+            paid_service: self.paid_service,
+            actions: self
+                .actions()
+                .map(|(kind, nodes)| match kind {
+                    ActionKind::Fetch => Action::Fetch(nodes.to_vec()),
+                    ActionKind::Evict => Action::Evict(nodes.to_vec()),
+                    ActionKind::Flush => Action::Flush(nodes.to_vec()),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// What a policy did in one round (owned snapshot; see [`ActionBuffer`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StepOutcome {
     /// Whether the request cost 1 to serve (positive+non-cached or
@@ -69,27 +234,48 @@ pub trait CachePolicy {
     /// The cache capacity `k` this policy was configured with.
     fn capacity(&self) -> usize;
 
-    /// Serves one request and returns what happened.
-    fn step(&mut self, req: Request) -> StepOutcome;
+    /// Serves one request, recording the outcome in `out`.
+    ///
+    /// The implementation clears `out` first; after the call `out` holds
+    /// exactly this round's outcome. In steady state (buffer capacity
+    /// reached) the call must not allocate.
+    fn step(&mut self, req: Request, out: &mut ActionBuffer);
 
     /// Read-only view of the current cache contents.
     fn cache(&self) -> &CacheSet;
 
     /// Resets to the initial (empty-cache) state, keeping configuration.
     fn reset(&mut self);
+
+    /// Expensive internal-consistency check (O(|T|) or worse). Policies
+    /// with redundant incremental state override this; the simulator's
+    /// batched driver calls it between chunks in debug builds so unchecked
+    /// benchmark configurations cannot silently drift.
+    fn audit(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Convenience wrapper allocating a fresh buffer and an owned
+    /// [`StepOutcome`]. For tests and diagnostics — not the hot path.
+    fn step_owned(&mut self, req: Request) -> StepOutcome {
+        let mut buf = ActionBuffer::new();
+        self.step(req, &mut buf);
+        buf.to_outcome()
+    }
 }
 
 /// Convenience: run a policy over a sequence without simulation services
 /// (no validity checking, no instrumentation). Returns
 /// `(service_cost, reorg_nodes)` where the monetary reorganisation cost is
-/// `alpha * reorg_nodes`.
+/// `alpha * reorg_nodes`. Reuses one [`ActionBuffer`] across all rounds.
 pub fn run_raw(policy: &mut dyn CachePolicy, requests: &[Request]) -> (u64, u64) {
+    let mut buf = ActionBuffer::new();
     let mut service = 0u64;
     let mut touched = 0u64;
     for &r in requests {
-        let out = policy.step(r);
-        service += u64::from(out.paid_service);
-        touched += out.nodes_touched() as u64;
+        policy.step(r, &mut buf);
+        service += u64::from(buf.paid_service());
+        touched += buf.nodes_touched() as u64;
     }
     (service, touched)
 }
@@ -103,16 +289,13 @@ pub fn request_pays(cache: &CacheSet, req: Request) -> bool {
     }
 }
 
-/// Helper shared by policies: the minimal fetch making `v` cached — the
-/// non-cached part of `T(v)`, in preorder (parents before children).
-///
-/// Returns an empty vector when `v` is already cached.
-#[must_use]
-pub fn dependent_fetch_set(tree: &Tree, cache: &CacheSet, v: NodeId) -> Vec<NodeId> {
+/// Helper shared by policies: appends the minimal fetch making `v` cached —
+/// the non-cached part of `T(v)`, in preorder (parents before children) —
+/// to `out`. Appends nothing when `v` is already cached.
+pub fn dependent_fetch_set_into(tree: &Tree, cache: &CacheSet, v: NodeId, out: &mut Vec<NodeId>) {
     if cache.contains(v) {
-        return Vec::new();
+        return;
     }
-    let mut out = Vec::new();
     // Walk the preorder slice of T(v); skip cached subtrees wholesale.
     let slice = tree.subtree(v);
     let mut i = 0;
@@ -125,6 +308,17 @@ pub fn dependent_fetch_set(tree: &Tree, cache: &CacheSet, v: NodeId) -> Vec<Node
             i += 1;
         }
     }
+}
+
+/// Helper shared by policies: the minimal fetch making `v` cached — the
+/// non-cached part of `T(v)`, in preorder (parents before children).
+///
+/// Returns an empty vector when `v` is already cached. Allocating
+/// convenience over [`dependent_fetch_set_into`].
+#[must_use]
+pub fn dependent_fetch_set(tree: &Tree, cache: &CacheSet, v: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    dependent_fetch_set_into(tree, cache, v, &mut out);
     out
 }
 
@@ -187,5 +381,41 @@ mod tests {
         };
         assert_eq!(out.nodes_touched(), 3);
         assert_eq!(StepOutcome::idle().nodes_touched(), 0);
+    }
+
+    #[test]
+    fn buffer_spans_and_snapshot() {
+        let mut buf = ActionBuffer::new();
+        buf.clear();
+        buf.set_paid(true);
+        buf.begin(ActionKind::Evict).push(NodeId(1));
+        buf.begin(ActionKind::Fetch).extend([NodeId(2), NodeId(3)]);
+        assert_eq!(buf.num_actions(), 2);
+        assert_eq!(buf.nodes_touched(), 3);
+        assert_eq!(buf.action(0), (ActionKind::Evict, &[NodeId(1)][..]));
+        assert_eq!(buf.action(1), (ActionKind::Fetch, &[NodeId(2), NodeId(3)][..]));
+        assert_eq!(buf.last_nodes(), &[NodeId(2), NodeId(3)]);
+        let out = buf.to_outcome();
+        assert_eq!(
+            out.actions,
+            vec![Action::Evict(vec![NodeId(1)]), Action::Fetch(vec![NodeId(2), NodeId(3)])]
+        );
+        // Clearing keeps capacity but forgets content.
+        buf.clear();
+        assert!(buf.is_idle());
+        assert_eq!(buf.nodes_touched(), 0);
+        assert_eq!(buf.last_nodes(), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn empty_flush_is_recorded() {
+        let mut buf = ActionBuffer::new();
+        buf.clear();
+        buf.set_paid(true);
+        buf.begin(ActionKind::Flush);
+        assert_eq!(buf.num_actions(), 1);
+        assert_eq!(buf.nodes_touched(), 0);
+        assert_eq!(buf.action(0), (ActionKind::Flush, &[] as &[NodeId]));
+        assert_eq!(buf.to_outcome().actions, vec![Action::Flush(vec![])]);
     }
 }

@@ -23,7 +23,7 @@
 use std::sync::Arc;
 
 use crate::cache::CacheSet;
-use crate::policy::{Action, CachePolicy, StepOutcome};
+use crate::policy::{ActionBuffer, ActionKind, CachePolicy};
 use crate::request::{Request, Sign};
 use crate::tree::{NodeId, Tree};
 
@@ -53,6 +53,8 @@ pub struct TcFast {
     total_ops: u64,
     /// Scratch buffer for the root path, reused to avoid allocation.
     path_buf: Vec<NodeId>,
+    /// Scratch stack for H-set materialisation, reused to avoid allocation.
+    stack_buf: Vec<NodeId>,
 }
 
 impl TcFast {
@@ -74,6 +76,7 @@ impl TcFast {
             last_ops: 0,
             total_ops: 0,
             path_buf: Vec::new(),
+            stack_buf: Vec::new(),
         }
     }
 
@@ -107,9 +110,10 @@ impl TcFast {
         ValPair { int: self.hv[x.index()], size: self.hsz[x.index()] }.contribution()
     }
 
-    /// Collects `P_t(u)` — the non-cached part of `T(u)` — in preorder.
-    fn collect_positive(&mut self, u: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::with_capacity(self.psize[u.index()] as usize);
+    /// Appends `P_t(u)` — the non-cached part of `T(u)` — to `out`, in
+    /// preorder. Allocation-free once `out` has capacity.
+    fn collect_positive_into(&mut self, u: NodeId, out: &mut Vec<NodeId>) {
+        let before = out.len();
         let slice = self.tree.subtree(u);
         let mut i = 0;
         while i < slice.len() {
@@ -121,14 +125,15 @@ impl TcFast {
                 i += 1;
             }
         }
-        self.last_ops += out.len() as u64;
-        out
+        self.last_ops += (out.len() - before) as u64;
     }
 
-    /// Collects `H_t(u)` using the stored `val` pairs, parents first.
-    fn collect_hset(&mut self, u: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let mut stack = vec![u];
+    /// Appends `H_t(u)` to `out` using the stored `val` pairs, parents
+    /// first. Allocation-free once the scratch stack has capacity.
+    fn collect_hset_into(&mut self, u: NodeId, out: &mut Vec<NodeId>) {
+        let mut stack = std::mem::take(&mut self.stack_buf);
+        stack.clear();
+        stack.push(u);
         while let Some(x) = stack.pop() {
             out.push(x);
             for &c in self.tree.children(x) {
@@ -138,7 +143,7 @@ impl TcFast {
                 }
             }
         }
-        out
+        self.stack_buf = stack;
     }
 
     /// Applies the fetch of `set == P_t(u)`; maintains every aggregate.
@@ -234,9 +239,11 @@ impl TcFast {
         self.stats.nodes_evicted += set.len() as u64;
     }
 
-    /// Phase restart: evict everything, reset all counters and aggregates.
-    fn flush_phase(&mut self) -> Vec<NodeId> {
-        let evicted = self.cache.flush();
+    /// Phase restart: evict everything (appending the evicted set to
+    /// `out`), reset all counters and aggregates.
+    fn flush_phase_into(&mut self, out: &mut Vec<NodeId>) {
+        let before = out.len();
+        self.cache.flush_into(out);
         self.cnt.fill(0);
         self.pcnt.fill(0);
         for v in 0..self.tree.len() {
@@ -244,8 +251,7 @@ impl TcFast {
         }
         self.last_ops += self.tree.len() as u64;
         self.stats.phases_restarted += 1;
-        self.stats.nodes_evicted += evicted.len() as u64;
-        evicted
+        self.stats.nodes_evicted += (out.len() - before) as u64;
     }
 
     /// Recomputes every aggregate from scratch and compares with the
@@ -320,29 +326,34 @@ impl CachePolicy for TcFast {
         self.total_ops = 0;
     }
 
-    fn step(&mut self, req: Request) -> StepOutcome {
+    fn audit(&self) -> Result<(), String> {
+        TcFast::audit(self)
+    }
+
+    fn step(&mut self, req: Request, out: &mut ActionBuffer) {
+        out.clear();
         self.last_ops = 0;
         let v = req.node;
         let pays = crate::policy::request_pays(&self.cache, req);
         if !pays {
             // No counter change ⇒ no changeset can newly saturate
             // (Section 6), so TC provably idles.
-            return StepOutcome::idle();
+            return;
         }
+        out.set_paid(true);
         self.stats.paid_requests += 1;
         self.cnt[v.index()] += 1;
 
-        let outcome = match req.sign {
-            Sign::Positive => self.step_positive(v),
-            Sign::Negative => self.step_negative(v),
-        };
+        match req.sign {
+            Sign::Positive => self.step_positive(v, out),
+            Sign::Negative => self.step_negative(v, out),
+        }
         self.total_ops += self.last_ops;
-        outcome
     }
 }
 
 impl TcFast {
-    fn step_positive(&mut self, v: NodeId) -> StepOutcome {
+    fn step_positive(&mut self, v: NodeId, out: &mut ActionBuffer) {
         // All ancestors of a non-cached node are non-cached; bump their
         // P-cap counters while recording the path.
         let mut path = std::mem::take(&mut self.path_buf);
@@ -366,18 +377,21 @@ impl TcFast {
         }
         self.path_buf = path;
         let Some(u) = chosen else {
-            return StepOutcome { paid_service: true, actions: vec![] };
+            return;
         };
         if self.cache.len() as u64 + self.psize[u.index()] > self.cfg.capacity as u64 {
-            let evicted = self.flush_phase();
-            return StepOutcome { paid_service: true, actions: vec![Action::Flush(evicted)] };
+            // The flush's payload is the whole cache — possibly empty, when
+            // the saturated cap alone exceeds the capacity. A zero-payload
+            // flush still restarts the phase at zero reorganisation cost.
+            self.flush_phase_into(out.begin(ActionKind::Flush));
+            return;
         }
-        let set = self.collect_positive(u);
-        self.apply_fetch(u, &set);
-        StepOutcome { paid_service: true, actions: vec![Action::Fetch(set)] }
+        self.collect_positive_into(u, out.begin(ActionKind::Fetch));
+        let set = out.last_nodes();
+        self.apply_fetch(u, set);
     }
 
-    fn step_negative(&mut self, v: NodeId) -> StepOutcome {
+    fn step_negative(&mut self, v: NodeId, out: &mut ActionBuffer) {
         // Propagate the counter increment up the cached chain with O(1)
         // work per level, locating the cached-tree root on the way.
         let old = self.contrib(v);
@@ -402,18 +416,19 @@ impl TcFast {
         let u = x; // root of the cached tree containing v
         let root_val = ValPair { int: self.hv[u.index()], size: self.hsz[u.index()] };
         if !root_val.is_positive() {
-            return StepOutcome { paid_service: true, actions: vec![] };
+            return;
         }
-        let set = self.collect_hset(u);
+        self.collect_hset_into(u, out.begin(ActionKind::Evict));
+        let set = out.last_nodes();
         debug_assert_eq!(set.len() as i64, root_val.size, "H materialisation matches stored size");
-        self.apply_evict(u, &set);
-        StepOutcome { paid_service: true, actions: vec![Action::Evict(set)] }
+        self.apply_evict(u, set);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{Action, StepOutcome};
 
     fn policy(tree: Tree, alpha: u64, capacity: usize) -> TcFast {
         TcFast::new(Arc::new(tree), TcConfig::new(alpha, capacity))
@@ -429,9 +444,9 @@ mod tests {
     fn fetch_and_audit() {
         let mut tc = policy(Tree::star(4), 2, 5);
         let leaf = NodeId(2);
-        tc.step(Request::pos(leaf));
+        tc.step_owned(Request::pos(leaf));
         tc.audit().expect("consistent after non-applying step");
-        let out = tc.step(Request::pos(leaf));
+        let out = tc.step_owned(Request::pos(leaf));
         assert_eq!(out.actions, vec![Action::Fetch(vec![leaf])]);
         tc.audit().expect("consistent after fetch");
     }
@@ -440,12 +455,12 @@ mod tests {
     fn eviction_and_audit() {
         let mut tc = policy(Tree::path(3), 2, 3);
         for _ in 0..6 {
-            tc.step(Request::pos(NodeId(0)));
+            tc.step_owned(Request::pos(NodeId(0)));
         }
         tc.audit().expect("after full fetch");
         assert_eq!(tc.cache().len(), 3);
         for _ in 0..4 {
-            tc.step(Request::neg(NodeId(1)));
+            tc.step_owned(Request::neg(NodeId(1)));
         }
         tc.audit().expect("after eviction");
         assert!(!tc.cache().contains(NodeId(0)));
@@ -456,8 +471,8 @@ mod tests {
     #[test]
     fn flush_resets_aggregates() {
         let mut tc = policy(Tree::star(2), 1, 1);
-        tc.step(Request::pos(NodeId(1)));
-        let out = tc.step(Request::pos(NodeId(2)));
+        tc.step_owned(Request::pos(NodeId(1)));
+        let out = tc.step_owned(Request::pos(NodeId(2)));
         assert!(matches!(out.actions[..], [Action::Flush(_)]));
         tc.audit().expect("after flush");
         assert_eq!(tc.stats().phases_restarted, 1);
@@ -471,7 +486,7 @@ mod tests {
         let mut tc = policy(Tree::path(n), 2, n);
         let deepest = NodeId(n as u32 - 1);
         for _ in 0..2 * n as u64 {
-            tc.step(Request::pos(deepest));
+            tc.step_owned(Request::pos(deepest));
         }
         // Root fetch eventually happens; the per-step op count must stay
         // within a small multiple of h + h·|X|.
@@ -488,13 +503,13 @@ mod tests {
     #[test]
     fn non_paying_steps_cost_nothing() {
         let mut tc = policy(Tree::star(2), 1, 3);
-        tc.step(Request::pos(NodeId(1)));
+        tc.step_owned(Request::pos(NodeId(1)));
         assert!(tc.cache().contains(NodeId(1)));
         let before = tc.total_ops();
-        let out = tc.step(Request::pos(NodeId(1)));
+        let out = tc.step_owned(Request::pos(NodeId(1)));
         assert_eq!(out, StepOutcome::idle());
         assert_eq!(tc.total_ops(), before);
-        let out = tc.step(Request::neg(NodeId(2)));
+        let out = tc.step_owned(Request::neg(NodeId(2)));
         assert_eq!(out, StepOutcome::idle());
     }
 
@@ -508,12 +523,12 @@ mod tests {
         // 3·n paying requests (nothing below gets cached on the way because
         // only the root's counter grows).
         for _ in 0..3 * n as u64 {
-            tc.step(Request::pos(NodeId(0)));
+            tc.step_owned(Request::pos(NodeId(0)));
         }
         assert_eq!(tc.cache().len(), n);
         for i in 0..20 {
             let node = if i % 2 == 0 { NodeId(4) } else { NodeId(9) };
-            tc.step(Request::neg(node));
+            tc.step_owned(Request::neg(node));
             tc.audit().unwrap_or_else(|e| panic!("audit failed at negative step {i}: {e}"));
         }
     }
@@ -525,28 +540,28 @@ mod tests {
         // initialisation must account for their existing counters.
         let mut tc = policy(Tree::star(2), 2, 4);
         for leaf in [NodeId(1), NodeId(2)] {
-            tc.step(Request::pos(leaf));
-            tc.step(Request::pos(leaf));
+            tc.step_owned(Request::pos(leaf));
+            tc.step_owned(Request::pos(leaf));
             assert!(tc.cache().contains(leaf));
         }
         // Give leaf 1 a negative counter before the merge.
-        tc.step(Request::neg(NodeId(1)));
+        tc.step_owned(Request::neg(NodeId(1)));
         tc.audit().expect("pre-merge");
         // Saturate P(root) = {root}: needs α = 2 paying requests.
-        tc.step(Request::pos(NodeId(0)));
-        let out = tc.step(Request::pos(NodeId(0)));
+        tc.step_owned(Request::pos(NodeId(0)));
+        let out = tc.step_owned(Request::pos(NodeId(0)));
         assert_eq!(out.actions, vec![Action::Fetch(vec![NodeId(0)])]);
         tc.audit().expect("post-merge: hval must include leaf counters");
         // One more negative request to leaf 1 saturates the cap {0, 1}? No:
         // cnt(1) = 2 after it, cnt(0) = 0; val(H(0)) = (0+2-2-2, 2) < 0.
         // The saturated set is {1} alone — but {1} is not a valid negative
         // changeset (its parent 0 stays cached), so nothing happens.
-        let out = tc.step(Request::neg(NodeId(1)));
+        let out = tc.step_owned(Request::neg(NodeId(1)));
         assert!(out.actions.is_empty());
         tc.audit().expect("still consistent");
         // Hammering the root itself: val(H(0)) turns positive once the
         // total reaches |H|·α for the best cap.
-        let out = tc.step(Request::neg(NodeId(0)));
+        let out = tc.step_owned(Request::neg(NodeId(0)));
         match &out.actions[..] {
             [Action::Evict(set)] => {
                 let mut s = set.clone();
@@ -559,7 +574,7 @@ mod tests {
             [] => {}
             other => panic!("unexpected actions {other:?}"),
         }
-        let out = tc.step(Request::neg(NodeId(0)));
+        let out = tc.step_owned(Request::neg(NodeId(0)));
         // Now cnt(0)=2, cnt(1)=2: val{0,1} = 4−4+2ε > 0 → evict {0,1}.
         match &out.actions[..] {
             [Action::Evict(set)] => {
@@ -580,7 +595,7 @@ mod tests {
         for _ in 0..500 {
             let node = NodeId(rng.index(7) as u32);
             let req = if rng.chance(0.5) { Request::pos(node) } else { Request::neg(node) };
-            tc.step(req);
+            tc.step_owned(req);
         }
         tc.reset();
         tc.audit().expect("reset state consistent");

@@ -82,19 +82,23 @@ mod equivalence_tests {
     use std::sync::Arc;
 
     use super::*;
-    use crate::policy::CachePolicy;
+    use crate::policy::{ActionBuffer, CachePolicy};
     use crate::request::{Request, Sign};
     use crate::tree::{NodeId, Tree};
 
-    /// Drives both implementations in lockstep and asserts identical
-    /// outcomes and cache states after every round.
+    /// Drives both implementations in lockstep through reused
+    /// [`ActionBuffer`]s and asserts identical outcomes and cache states
+    /// after every round (this also catches buffer-staleness bugs: a
+    /// policy forgetting to clear would leak the previous round's actions).
     fn check_lockstep(tree: Tree, cfg: TcConfig, requests: &[Request]) {
         let tree = Arc::new(tree);
         let mut fast = super::fast::TcFast::new(Arc::clone(&tree), cfg);
         let mut refr = super::reference::TcReference::new(Arc::clone(&tree), cfg);
+        let mut a = ActionBuffer::new();
+        let mut b = ActionBuffer::new();
         for (i, &req) in requests.iter().enumerate() {
-            let a = fast.step(req);
-            let b = refr.step(req);
+            fast.step(req, &mut a);
+            refr.step(req, &mut b);
             assert_eq!(a, b, "step {i} diverged on {req:?}");
             assert_eq!(fast.cache(), refr.cache(), "cache diverged after step {i}");
             fast.audit().unwrap_or_else(|e| panic!("fast audit failed at step {i}: {e}"));

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use crate::cache::CacheSet;
-use crate::policy::{Action, CachePolicy, StepOutcome};
+use crate::policy::{ActionBuffer, ActionKind, CachePolicy};
 use crate::request::{Request, Sign};
 use crate::tree::{NodeId, Tree};
 
@@ -121,12 +121,12 @@ impl TcReference {
         self.stats.nodes_evicted += set.len() as u64;
     }
 
-    fn flush_phase(&mut self) -> Vec<NodeId> {
-        let evicted = self.cache.flush();
+    fn flush_phase_into(&mut self, out: &mut Vec<NodeId>) {
+        let before = out.len();
+        self.cache.flush_into(out);
         self.cnt.fill(0);
         self.stats.phases_restarted += 1;
-        self.stats.nodes_evicted += evicted.len() as u64;
-        evicted
+        self.stats.nodes_evicted += (out.len() - before) as u64;
     }
 }
 
@@ -149,13 +149,15 @@ impl CachePolicy for TcReference {
         self.stats = TcStats::default();
     }
 
-    fn step(&mut self, req: Request) -> StepOutcome {
+    fn step(&mut self, req: Request, out: &mut ActionBuffer) {
+        out.clear();
         let v = req.node;
         let pays = crate::policy::request_pays(&self.cache, req);
         if !pays {
             // Counters unchanged — TC provably takes no action (Section 6).
-            return StepOutcome::idle();
+            return;
         }
+        out.set_paid(true);
         self.stats.paid_requests += 1;
         self.cnt[v.index()] += 1;
 
@@ -173,20 +175,14 @@ impl CachePolicy for TcReference {
                             "Lemma 5.1: counters never exceed |X|·α on valid changesets"
                         );
                         if self.cache.len() + set.len() > self.cfg.capacity {
-                            let evicted = self.flush_phase();
-                            return StepOutcome {
-                                paid_service: true,
-                                actions: vec![Action::Flush(evicted)],
-                            };
+                            self.flush_phase_into(out.begin(ActionKind::Flush));
+                            return;
                         }
                         self.apply_fetch(&set);
-                        return StepOutcome {
-                            paid_service: true,
-                            actions: vec![Action::Fetch(set)],
-                        };
+                        out.begin(ActionKind::Fetch).extend_from_slice(&set);
+                        return;
                     }
                 }
-                StepOutcome { paid_service: true, actions: vec![] }
             }
             Sign::Negative => {
                 let u = self
@@ -202,9 +198,8 @@ impl CachePolicy for TcReference {
                         "evicted H_t(u) must be exactly saturated"
                     );
                     self.apply_evict(&set);
-                    return StepOutcome { paid_service: true, actions: vec![Action::Evict(set)] };
+                    out.begin(ActionKind::Evict).extend_from_slice(&set);
                 }
-                StepOutcome { paid_service: true, actions: vec![] }
             }
         }
     }
@@ -213,6 +208,7 @@ impl CachePolicy for TcReference {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::Action;
 
     fn policy(tree: Tree, alpha: u64, capacity: usize) -> TcReference {
         TcReference::new(Arc::new(tree), TcConfig::new(alpha, capacity))
@@ -224,10 +220,10 @@ mod tests {
         // is fetched alone.
         let mut tc = policy(Tree::star(3), 2, 4);
         let leaf = NodeId(1);
-        let out1 = tc.step(Request::pos(leaf));
+        let out1 = tc.step_owned(Request::pos(leaf));
         assert!(out1.paid_service);
         assert!(out1.actions.is_empty());
-        let out2 = tc.step(Request::pos(leaf));
+        let out2 = tc.step_owned(Request::pos(leaf));
         assert_eq!(out2.actions, vec![Action::Fetch(vec![leaf])]);
         assert!(tc.cache().contains(leaf));
         // Counter was reset on fetch.
@@ -238,9 +234,9 @@ mod tests {
     fn cached_positive_requests_are_free() {
         let mut tc = policy(Tree::star(3), 1, 4);
         let leaf = NodeId(2);
-        tc.step(Request::pos(leaf)); // α = 1: fetch immediately
+        tc.step_owned(Request::pos(leaf)); // α = 1: fetch immediately
         assert!(tc.cache().contains(leaf));
-        let out = tc.step(Request::pos(leaf));
+        let out = tc.step_owned(Request::pos(leaf));
         assert!(!out.paid_service);
         assert!(out.actions.is_empty());
     }
@@ -252,10 +248,10 @@ mod tests {
         let mut tc = policy(Tree::path(3), 2, 8);
         let root = NodeId(0);
         for _ in 0..5 {
-            let out = tc.step(Request::pos(root));
+            let out = tc.step_owned(Request::pos(root));
             assert!(out.actions.is_empty(), "no candidate is saturated yet");
         }
-        let out = tc.step(Request::pos(root));
+        let out = tc.step_owned(Request::pos(root));
         assert_eq!(out.actions, vec![Action::Fetch(vec![NodeId(0), NodeId(1), NodeId(2)])]);
     }
 
@@ -271,15 +267,15 @@ mod tests {
         // {root, leaf2}.
         let mut tc = policy(Tree::star(2), 2, 4);
         let l1 = NodeId(1);
-        tc.step(Request::pos(l1));
-        let out = tc.step(Request::pos(l1));
+        tc.step_owned(Request::pos(l1));
+        let out = tc.step_owned(Request::pos(l1));
         assert_eq!(out.actions, vec![Action::Fetch(vec![l1])]);
         let root = NodeId(0);
         for _ in 0..3 {
-            let out = tc.step(Request::pos(root));
+            let out = tc.step_owned(Request::pos(root));
             assert!(out.actions.is_empty());
         }
-        let out = tc.step(Request::pos(root));
+        let out = tc.step_owned(Request::pos(root));
         match &out.actions[..] {
             [Action::Fetch(set)] => {
                 let mut s = set.clone();
@@ -294,13 +290,13 @@ mod tests {
     fn eviction_after_alpha_negative_requests() {
         let mut tc = policy(Tree::star(2), 2, 4);
         let l1 = NodeId(1);
-        tc.step(Request::pos(l1));
-        tc.step(Request::pos(l1)); // fetched
+        tc.step_owned(Request::pos(l1));
+        tc.step_owned(Request::pos(l1)); // fetched
         assert!(tc.cache().contains(l1));
-        let out = tc.step(Request::neg(l1));
+        let out = tc.step_owned(Request::neg(l1));
         assert!(out.paid_service);
         assert!(out.actions.is_empty());
-        let out = tc.step(Request::neg(l1));
+        let out = tc.step_owned(Request::neg(l1));
         assert_eq!(out.actions, vec![Action::Evict(vec![l1])]);
         assert!(!tc.cache().contains(l1));
     }
@@ -308,7 +304,7 @@ mod tests {
     #[test]
     fn negative_to_uncached_is_free() {
         let mut tc = policy(Tree::star(2), 2, 4);
-        let out = tc.step(Request::neg(NodeId(1)));
+        let out = tc.step_owned(Request::neg(NodeId(1)));
         assert!(!out.paid_service);
         assert!(out.actions.is_empty());
     }
@@ -320,15 +316,15 @@ mod tests {
         let mut tc = policy(Tree::star(2), 1, 1);
         let l1 = NodeId(1);
         let l2 = NodeId(2);
-        tc.step(Request::pos(l1));
+        tc.step_owned(Request::pos(l1));
         assert!(tc.cache().contains(l1));
-        let out = tc.step(Request::pos(l2));
+        let out = tc.step_owned(Request::pos(l2));
         assert_eq!(out.actions, vec![Action::Flush(vec![l1])]);
         assert!(tc.cache().is_empty());
         assert_eq!(tc.stats().phases_restarted, 1);
         // Counters were reset: next request to l2 must start from zero.
         assert_eq!(tc.counter(l2), 0);
-        let out = tc.step(Request::pos(l2));
+        let out = tc.step_owned(Request::pos(l2));
         assert_eq!(out.actions, vec![Action::Fetch(vec![l2])]);
     }
 
@@ -340,11 +336,11 @@ mod tests {
         let mut tc = policy(Tree::path(3), 2, 3);
         let root = NodeId(0);
         for _ in 0..6 {
-            tc.step(Request::pos(root));
+            tc.step_owned(Request::pos(root));
         }
         assert_eq!(tc.cache().len(), 3, "whole path fetched");
-        tc.step(Request::neg(root));
-        let out = tc.step(Request::neg(root));
+        tc.step_owned(Request::neg(root));
+        let out = tc.step_owned(Request::neg(root));
         assert_eq!(out.actions, vec![Action::Evict(vec![root])]);
         assert!(tc.cache().contains(NodeId(1)));
         assert!(tc.cache().contains(NodeId(2)));
@@ -361,14 +357,14 @@ mod tests {
         let mut tc = policy(Tree::path(3), 2, 3);
         let root = NodeId(0);
         for _ in 0..6 {
-            tc.step(Request::pos(root));
+            tc.step_owned(Request::pos(root));
         }
         let mid = NodeId(1);
         for _ in 0..3 {
-            let out = tc.step(Request::neg(mid));
+            let out = tc.step_owned(Request::neg(mid));
             assert!(out.actions.is_empty(), "not yet saturated");
         }
-        let out = tc.step(Request::neg(mid));
+        let out = tc.step_owned(Request::neg(mid));
         match &out.actions[..] {
             [Action::Evict(set)] => {
                 let mut s = set.clone();
@@ -383,8 +379,8 @@ mod tests {
     #[test]
     fn reset_restores_initial_state() {
         let mut tc = policy(Tree::star(4), 1, 4);
-        tc.step(Request::pos(NodeId(1)));
-        tc.step(Request::pos(NodeId(2)));
+        tc.step_owned(Request::pos(NodeId(1)));
+        tc.step_owned(Request::pos(NodeId(2)));
         assert!(!tc.cache().is_empty());
         tc.reset();
         assert!(tc.cache().is_empty());

@@ -17,7 +17,7 @@ use otc_core::changeset::{
     enumerate_valid_negative, enumerate_valid_positive, is_tree_cap, is_valid_negative,
     is_valid_positive,
 };
-use otc_core::policy::{Action, CachePolicy};
+use otc_core::policy::{Action, ActionBuffer, ActionKind, CachePolicy};
 use otc_core::tc::{TcConfig, TcFast, TcReference};
 use otc_core::tree::{NodeId, Tree};
 use otc_core::{Request, Sign};
@@ -76,9 +76,11 @@ proptest! {
         let cfg = TcConfig::new(alpha, capacity);
         let mut fast = TcFast::new(Arc::clone(&tree), cfg);
         let mut refr = TcReference::new(Arc::clone(&tree), cfg);
+        let mut a = ActionBuffer::new();
+        let mut b = ActionBuffer::new();
         for (i, &req) in reqs.iter().enumerate() {
-            let a = fast.step(req);
-            let b = refr.step(req);
+            fast.step(req, &mut a);
+            refr.step(req, &mut b);
             prop_assert_eq!(&a, &b, "divergence at step {}", i);
             prop_assert_eq!(fast.cache(), refr.cache());
             prop_assert!(fast.cache().len() <= capacity, "capacity exceeded");
@@ -98,7 +100,7 @@ proptest! {
         let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, capacity));
         for &req in &reqs {
             let pre_cache = tc.cache().clone();
-            let out = tc.step(req);
+            let out = tc.step_owned(req);
             for action in &out.actions {
                 match action {
                     Action::Fetch(set) => {
@@ -134,7 +136,7 @@ proptest! {
         let tree = Arc::new(tree);
         let mut tc = TcReference::new(Arc::clone(&tree), TcConfig::new(alpha, capacity));
         for &req in &reqs {
-            let out = tc.step(req);
+            let out = tc.step_owned(req);
             let applied = out.actions.iter().any(|a| matches!(a, Action::Fetch(_) | Action::Evict(_)));
             let cache = tc.cache().clone();
             let cnt_of = |set: &[NodeId]| -> u64 { set.iter().map(|&v| tc.counter(v)).sum() };
@@ -162,7 +164,7 @@ proptest! {
         let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, 1));
         let mut flushes = 0;
         for &req in &reqs {
-            let out = tc.step(req);
+            let out = tc.step_owned(req);
             if out.actions.iter().any(|a| matches!(a, Action::Flush(_))) {
                 flushes += 1;
                 prop_assert!(tc.cache().is_empty());
@@ -185,7 +187,7 @@ proptest! {
                 Sign::Negative => tc.cache().contains(req.node),
             };
             let before = tc.cache().clone();
-            let out = tc.step(req);
+            let out = tc.step_owned(req);
             if !pays {
                 prop_assert!(!out.paid_service);
                 prop_assert!(out.actions.is_empty());
@@ -204,22 +206,108 @@ fn regression_two_node_path_alpha_one() {
     let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(1, 1));
 
     // Leaf request: P(1) = {1} saturates immediately → fetch {1}.
-    let out = tc.step(Request::pos(NodeId(1)));
+    let out = tc.step_owned(Request::pos(NodeId(1)));
     assert_eq!(out.actions, vec![Action::Fetch(vec![NodeId(1)])]);
 
     // Root request: with 1 cached, P(0) = {0} saturates at cnt(0) = 1, but
     // fetching it would exceed capacity (1 + 1 > 1) → flush, new phase.
-    let out = tc.step(Request::pos(NodeId(0)));
+    let out = tc.step_owned(Request::pos(NodeId(0)));
     assert_eq!(out.actions, vec![Action::Flush(vec![NodeId(1)])]);
     assert!(tc.cache().is_empty());
 
     // Fresh phase: P(0) = {0, 1} needs cnt = 2. First root request: no-op.
-    let out = tc.step(Request::pos(NodeId(0)));
+    let out = tc.step_owned(Request::pos(NodeId(0)));
     assert!(out.actions.is_empty());
     // Second: saturated, but |P(0)| = 2 > capacity → flush of an empty
     // cache (cost 0) and yet another phase. The root is simply uncacheable
     // at this capacity, exactly as the model prescribes.
-    let out = tc.step(Request::pos(NodeId(0)));
+    let out = tc.step_owned(Request::pos(NodeId(0)));
     assert_eq!(out.actions, vec![Action::Flush(vec![])]);
     tc.audit().expect("consistent");
+}
+
+/// Degenerate universes for the buffer-reuse differential test: shapes
+/// where spans collapse (single node), every action is a long chain (pure
+/// path), every action is a singleton (star) — plus α = 1, where fetches
+/// fire on the first paying request and the buffer turns over every round.
+fn degenerate_tree(which: u8, n: usize) -> Tree {
+    match which % 3 {
+        0 => Tree::path(1),            // single node
+        1 => Tree::path(n),            // pure path
+        _ => Tree::star(n.max(2) - 1), // star with n-1 leaves
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Differential drive of `TcFast` vs `TcReference` through *reused*
+    /// `ActionBuffer`s on degenerate universes. A stale-span bug (an
+    /// implementation forgetting `clear`, truncating a foreign span, or
+    /// leaking a previous round's nodes) shows up as a divergence between
+    /// the two buffers or as an audit failure.
+    #[test]
+    fn buffered_differential_on_degenerate_universes(
+        which in 0u8..3,
+        n in 1usize..16,
+        req_seeds in prop::collection::vec((any::<u64>(), any::<bool>()), 1..400),
+        alpha in 1u64..4,
+        capacity in 1usize..8,
+    ) {
+        let tree = Arc::new(degenerate_tree(which, n));
+        let reqs = requests_from_seeds(tree.len(), &req_seeds);
+        let cfg = TcConfig::new(alpha, capacity);
+        let mut fast = TcFast::new(Arc::clone(&tree), cfg);
+        let mut refr = TcReference::new(Arc::clone(&tree), cfg);
+        let mut fast_buf = ActionBuffer::new();
+        let mut refr_buf = ActionBuffer::new();
+        for (i, &req) in reqs.iter().enumerate() {
+            fast.step(req, &mut fast_buf);
+            refr.step(req, &mut refr_buf);
+            prop_assert_eq!(&fast_buf, &refr_buf, "buffer divergence at step {}", i);
+            prop_assert_eq!(fast.cache(), refr.cache(), "cache divergence at step {}", i);
+            // The buffer snapshot agrees with the span view action by action.
+            let snapshot = fast_buf.to_outcome();
+            prop_assert_eq!(snapshot.actions.len(), fast_buf.num_actions());
+            prop_assert_eq!(snapshot.nodes_touched(), fast_buf.nodes_touched());
+            for (j, action) in snapshot.actions.iter().enumerate() {
+                let (kind, nodes) = fast_buf.action(j);
+                match (action, kind) {
+                    (Action::Fetch(set), ActionKind::Fetch)
+                    | (Action::Evict(set), ActionKind::Evict)
+                    | (Action::Flush(set), ActionKind::Flush) => {
+                        prop_assert_eq!(&set[..], nodes);
+                    }
+                    other => prop_assert!(false, "kind mismatch {:?}", other),
+                }
+            }
+            if let Err(e) = fast.audit() {
+                return Err(TestCaseError::fail(format!("audit failed at step {i}: {e}")));
+            }
+        }
+    }
+
+    /// α = 1 on a pure path: every paying positive request immediately
+    /// saturates its own P-cap, so the buffer is rewritten every round —
+    /// maximal pressure on span bookkeeping.
+    #[test]
+    fn buffered_differential_alpha_one_path(
+        n in 2usize..12,
+        req_seeds in prop::collection::vec((any::<u64>(), any::<bool>()), 1..300),
+        capacity in 1usize..12,
+    ) {
+        let tree = Arc::new(Tree::path(n));
+        let reqs = requests_from_seeds(tree.len(), &req_seeds);
+        let cfg = TcConfig::new(1, capacity);
+        let mut fast = TcFast::new(Arc::clone(&tree), cfg);
+        let mut refr = TcReference::new(Arc::clone(&tree), cfg);
+        let mut fast_buf = ActionBuffer::new();
+        let mut refr_buf = ActionBuffer::new();
+        for (i, &req) in reqs.iter().enumerate() {
+            fast.step(req, &mut fast_buf);
+            refr.step(req, &mut refr_buf);
+            prop_assert_eq!(&fast_buf, &refr_buf, "buffer divergence at step {}", i);
+            prop_assert_eq!(fast.cache(), refr.cache(), "cache divergence at step {}", i);
+        }
+    }
 }

@@ -13,7 +13,6 @@
 use std::sync::Arc;
 
 use otc_baselines::opt_cost_path;
-use otc_core::policy::CachePolicy;
 use otc_core::request::Request;
 use otc_core::tc::{TcConfig, TcFast};
 use otc_core::tree::Tree;
@@ -25,13 +24,7 @@ fn ratio_objective(tree: &Arc<Tree>, alpha: u64, k: usize) -> impl FnMut(&[Reque
     let tree = Arc::clone(tree);
     move |reqs: &[Request]| {
         let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
-        let mut service = 0u64;
-        let mut touched = 0u64;
-        for &r in reqs {
-            let out = tc.step(r);
-            service += u64::from(out.paid_service);
-            touched += out.nodes_touched() as u64;
-        }
+        let (service, touched) = otc_core::policy::run_raw(&mut tc, reqs);
         let tc_cost = service + alpha * touched;
         let opt = opt_cost_path(&tree, reqs, alpha, k);
         if opt == 0 {

@@ -53,7 +53,7 @@ fn main() {
         let mut final_field: Option<Vec<u64>> = None;
 
         for (i, &req) in g.schedule.iter().enumerate() {
-            let out = tc.step(req);
+            let out = tc.step_owned(req);
             if out.paid_service {
                 pending[req.node.index()] += 1;
                 if req.node == g.r && t2_in_field_from.is_some() && req.is_positive() {

@@ -55,13 +55,14 @@ fn main() {
         let deg = u64::from(tree.max_degree());
         let mut worst_norm = 0.0f64;
         let mut paying = 0u64;
+        let mut buf = otc_core::policy::ActionBuffer::new();
         for &r in &reqs {
-            let out = tc.step(r);
-            if !out.paid_service {
+            tc.step(r, &mut buf);
+            if !buf.paid_service() {
                 continue;
             }
             paying += 1;
-            let xt: u64 = out.nodes_touched() as u64;
+            let xt: u64 = buf.nodes_touched() as u64;
             let envelope = h + h.max(deg) * xt + 1;
             let norm = tc.last_step_ops() as f64 / envelope as f64;
             worst_norm = worst_norm.max(norm);
@@ -89,9 +90,10 @@ fn main() {
         let alpha = 4u64;
         let k = n / 3;
         let time_of = |policy: &mut dyn CachePolicy| -> f64 {
+            let mut buf = otc_core::policy::ActionBuffer::new();
             let start = Instant::now();
             for &r in &reqs {
-                let _ = policy.step(r);
+                policy.step(r, &mut buf);
             }
             start.elapsed().as_nanos() as f64 / reqs.len() as f64
         };

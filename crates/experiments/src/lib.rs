@@ -15,7 +15,12 @@ use otc_core::policy::CachePolicy;
 use otc_core::request::Request;
 use otc_core::tc::{TcConfig, TcFast};
 use otc_core::tree::Tree;
-use otc_sim::{run_policy, Report, SimConfig};
+use otc_sim::{run_policy, run_stream, Report, SimConfig};
+
+/// Chunk size used by the batched-driver helpers: large enough to
+/// amortise per-chunk accounting and (in debug builds) the audit hook,
+/// small enough to keep the request chunk in cache.
+pub const STREAM_CHUNK: usize = 4096;
 
 pub use otc_util::table::{fmt_f64, Table};
 
@@ -56,6 +61,25 @@ pub fn run_checked(
         .expect("policy must not violate the protocol")
 }
 
+/// Runs an arbitrary policy through the *batched* verified driver
+/// (`run_stream`) — the entry point for long request streams. Identical
+/// semantics to [`run_checked`]; cost accounting is amortised per chunk
+/// and debug builds re-audit the policy's internal aggregates at every
+/// chunk boundary.
+///
+/// # Panics
+/// Panics on protocol violations or (debug builds) audit failures.
+#[must_use]
+pub fn run_checked_stream(
+    tree: &Arc<Tree>,
+    policy: &mut dyn CachePolicy,
+    requests: &[Request],
+    alpha: u64,
+) -> Report {
+    run_stream(tree, policy, requests, SimConfig::new(alpha), STREAM_CHUNK)
+        .expect("policy must not violate the protocol")
+}
+
 /// Total cost of TC on a sequence (convenience).
 #[must_use]
 pub fn tc_total(tree: &Arc<Tree>, requests: &[Request], alpha: u64, capacity: usize) -> u64 {
@@ -81,6 +105,27 @@ mod tests {
         let report = run_tc(&tree, &reqs, 2, 3);
         assert_eq!(report.cost.service, 2);
         assert_eq!(report.cost.reorg, 2);
+    }
+
+    #[test]
+    fn stream_helper_agrees_with_per_round_driver() {
+        let tree = Arc::new(Tree::kary(2, 4));
+        let mut rng = otc_util::SplitMix64::new(3);
+        let reqs: Vec<Request> = (0..6000)
+            .map(|_| {
+                let v = otc_core::tree::NodeId(rng.index(tree.len()) as u32);
+                if rng.chance(0.4) {
+                    Request::neg(v)
+                } else {
+                    Request::pos(v)
+                }
+            })
+            .collect();
+        let base = run_tc(&tree, &reqs, 3, 6);
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(3, 6));
+        let stream = run_checked_stream(&tree, &mut tc, &reqs, 3);
+        assert_eq!(base.cost.total(), stream.cost.total());
+        assert_eq!(base.flush_events, stream.flush_events);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub struct Solution {
 /// Runs a policy over the requests, recording its actions per round.
 #[must_use]
 pub fn record_run(policy: &mut dyn CachePolicy, requests: &[Request]) -> Solution {
-    let actions = requests.iter().map(|&r| policy.step(r).actions).collect();
+    let actions = requests.iter().map(|&r| policy.step_owned(r).actions).collect();
     Solution { actions }
 }
 
@@ -78,7 +78,7 @@ pub fn evaluate_solution(
                 }
                 Action::Flush(_) => {
                     cost.reorg += alpha * cache.len() as u64;
-                    let _ = cache.flush();
+                    cache.clear();
                 }
             }
         }

@@ -13,7 +13,7 @@
 //! present either (downward closure), so the packet can only hit the
 //! default rule — never a wrong less-specific rule.
 
-use otc_core::policy::CachePolicy;
+use otc_core::policy::{ActionBuffer, CachePolicy};
 use otc_core::request::Request;
 use otc_core::tree::NodeId;
 use otc_trie::RuleTree;
@@ -79,19 +79,22 @@ pub fn run_fib(
     alpha: u64,
 ) -> FibReport {
     let mut report = FibReport { name: policy.name().to_string(), ..FibReport::default() };
+    // One reusable buffer for the whole event stream: steady-state events
+    // allocate nothing.
+    let mut buf = ActionBuffer::new();
     for &event in events {
         match event {
             FibEvent::Packet(addr) => {
                 let rule = rules.lmp(addr);
                 report.packets += 1;
-                let out = policy.step(Request::pos(rule));
-                if out.paid_service {
+                policy.step(Request::pos(rule), &mut buf);
+                if buf.paid_service() {
                     report.misses += 1;
                     report.service_cost += 1;
                 } else {
                     report.hits += 1;
                 }
-                report.reorg_cost += alpha * out.nodes_touched() as u64;
+                report.reorg_cost += alpha * buf.nodes_touched() as u64;
             }
             FibEvent::Update(rule) => {
                 report.updates += 1;
@@ -99,9 +102,9 @@ pub fn run_fib(
                     report.updates_while_cached += 1;
                 }
                 for _ in 0..alpha {
-                    let out = policy.step(Request::neg(rule));
-                    report.service_cost += u64::from(out.paid_service);
-                    report.reorg_cost += alpha * out.nodes_touched() as u64;
+                    policy.step(Request::neg(rule), &mut buf);
+                    report.service_cost += u64::from(buf.paid_service());
+                    report.reorg_cost += alpha * buf.nodes_touched() as u64;
                 }
             }
         }

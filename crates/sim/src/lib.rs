@@ -22,4 +22,4 @@ pub mod report;
 pub mod runner;
 
 pub use report::{FieldStats, PeriodStats, PhaseStats, Report};
-pub use runner::{run_policy, SimConfig};
+pub use runner::{run_policy, run_stream, SimConfig};

@@ -6,10 +6,24 @@
 //! itself, recomputes whether each round pays, and validates every action
 //! against the problem definition (Section 3) — a buggy policy cannot
 //! misreport its own cost or smuggle an invalid changeset through.
+//!
+//! Two drivers share the round logic:
+//!
+//! * [`run_policy`] — the classic per-round entry point;
+//! * [`run_stream`] — the batched entry point for long request streams:
+//!   cost accounting is accumulated in registers and folded into the report
+//!   once per chunk, and in debug builds every chunk boundary re-audits the
+//!   policy's internal aggregates ([`otc_core::policy::CachePolicy::audit`])
+//!   — so even `SimConfig::bare` benchmark configurations cannot silently
+//!   drift from the reference behaviour.
+//!
+//! Both reuse one [`ActionBuffer`] plus validation scratch across all
+//! rounds: a steady-state round performs no heap allocation (instrumented
+//! runs amortise an occasional push to the per-field size log).
 
 use otc_core::cache::CacheSet;
-use otc_core::changeset::{is_valid_negative, is_valid_positive};
-use otc_core::policy::{request_pays, Action, CachePolicy};
+use otc_core::changeset::{is_valid_negative_with, is_valid_positive_with, ValidationScratch};
+use otc_core::policy::{request_pays, ActionBuffer, ActionKind, CachePolicy};
 use otc_core::request::Request;
 use otc_core::tree::{NodeId, Tree};
 
@@ -57,6 +71,248 @@ fn close_field(pending: &mut [u64], set: &[NodeId], half_alpha: u64) -> (u64, u6
     (req, full)
 }
 
+/// All per-run mutable state of the verified driver, owned outside the
+/// round loop so every round reuses the same storage.
+struct Driver {
+    mirror: CacheSet,
+    /// Paying requests per node since its last state change (its slice of
+    /// the current field).
+    pending: Vec<u64>,
+    fields: FieldStats,
+    periods: PeriodStats,
+    half_alpha: u64,
+    // Phase bookkeeping.
+    phase: PhaseStats,
+    phase_pout: u64,
+    phase_pin: u64,
+    /// Scratch marks for changeset validity and the in-place flush payload
+    /// comparison (epoch-based, never cleared).
+    scratch: ValidationScratch,
+    /// The reusable per-round outcome buffer.
+    buf: ActionBuffer,
+}
+
+impl Driver {
+    fn new(n: usize, cfg: SimConfig) -> Self {
+        Self {
+            mirror: CacheSet::empty(n),
+            pending: vec![0u64; n],
+            fields: FieldStats::default(),
+            periods: PeriodStats::default(),
+            half_alpha: cfg.alpha.div_ceil(2),
+            phase: PhaseStats::default(),
+            phase_pout: 0,
+            phase_pin: 0,
+            scratch: ValidationScratch::new(n),
+            buf: ActionBuffer::new(),
+        }
+    }
+
+    /// Verifies that `set` is exactly the mirror's contents, without
+    /// cloning the mirror or sorting the payload: every payload node must
+    /// be cached and distinct, and the distinct count must equal the
+    /// mirror's size. O(|set|) and allocation-free — cheap enough to run
+    /// unconditionally (even in bare mode), preserving the guarantee that
+    /// a policy can never misreport a flush.
+    fn check_flush_payload(&mut self, set: &[NodeId], round: usize) -> Result<(), String> {
+        self.scratch.reset(self.pending.len());
+        for &v in set {
+            if !self.scratch.insert(v) {
+                return Err(format!("round {round}: flush payload repeats {v:?}"));
+            }
+            if !self.mirror.contains(v) {
+                return Err(format!("round {round}: flush payload contains non-cached {v:?}"));
+            }
+        }
+        if set.len() != self.mirror.len() {
+            return Err(format!(
+                "round {round}: flush payload has {} nodes but the cache holds {}",
+                set.len(),
+                self.mirror.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Drives one request through `policy`, verifies and mirrors every
+    /// action, updates event counters and instrumentation, and returns
+    /// `(paid, nodes_touched)` for the caller's cost accounting.
+    fn round(
+        &mut self,
+        tree: &Tree,
+        policy: &mut dyn CachePolicy,
+        req: Request,
+        round: usize,
+        cfg: SimConfig,
+        report: &mut Report,
+    ) -> Result<(bool, u64), String> {
+        let expected_pays = request_pays(&self.mirror, req);
+        policy.step(req, &mut self.buf);
+        if self.buf.paid_service() != expected_pays {
+            return Err(format!(
+                "round {round}: policy reported paid={} but the mirror says {}",
+                self.buf.paid_service(),
+                expected_pays
+            ));
+        }
+        report.rounds += 1;
+        self.phase.rounds += 1;
+        if expected_pays {
+            report.paid_rounds += 1;
+            self.phase.cost.service += 1;
+            self.pending[req.node.index()] += 1;
+        }
+
+        let mut touched_total = 0u64;
+        // Detach the buffer so its spans can be read while `self`'s other
+        // fields are mutated; restored below (the swapped-in default is
+        // only live across error returns, which abort the run anyway).
+        let buf = std::mem::take(&mut self.buf);
+        let result = self.apply_actions(tree, &buf, round, cfg, report, &mut touched_total);
+        self.buf = buf;
+        result?;
+
+        if cfg.validate {
+            self.mirror
+                .validate(tree)
+                .map_err(|e| format!("round {round}: mirror invalid after actions: {e}"))?;
+            if self.mirror.len() > policy.capacity() {
+                return Err(format!(
+                    "round {round}: capacity exceeded: {} > {}",
+                    self.mirror.len(),
+                    policy.capacity()
+                ));
+            }
+            if self.mirror != *policy.cache() {
+                return Err(format!("round {round}: policy cache diverged from mirror"));
+            }
+        }
+        report.peak_cache = report.peak_cache.max(self.mirror.len());
+        Ok((expected_pays, touched_total))
+    }
+
+    /// Applies, verifies and instruments every action recorded in `buf`.
+    fn apply_actions(
+        &mut self,
+        tree: &Tree,
+        buf: &ActionBuffer,
+        round: usize,
+        cfg: SimConfig,
+        report: &mut Report,
+        touched_total: &mut u64,
+    ) -> Result<(), String> {
+        for i in 0..buf.num_actions() {
+            let (kind, set) = buf.action(i);
+            // Reorganisation cost is charged to the phase the action ends
+            // in — for a flush that is the *dying* phase (the paper's
+            // `kP·α` final-eviction term), so account it before any phase
+            // hand-over below.
+            let touched = set.len() as u64;
+            *touched_total += touched;
+            self.phase.cost.reorg += cfg.alpha * touched;
+            match kind {
+                ActionKind::Fetch => {
+                    if cfg.validate
+                        && !is_valid_positive_with(tree, &self.mirror, set, &mut self.scratch)
+                    {
+                        return Err(format!("round {round}: invalid positive changeset {set:?}"));
+                    }
+                    self.mirror.fetch(set);
+                    report.fetch_events += 1;
+                    report.nodes_fetched += touched;
+                    if cfg.instrument {
+                        let (req_in_field, full) =
+                            close_field(&mut self.pending, set, self.half_alpha);
+                        self.fields.positive_fields += 1;
+                        self.fields.total_size += touched;
+                        self.fields.total_requests += req_in_field;
+                        self.fields.field_sizes.push(touched);
+                        if req_in_field != touched * cfg.alpha {
+                            self.fields.saturation_violations += 1;
+                        }
+                        // A fetch closes one out-period per fetched node.
+                        self.phase_pout += touched;
+                        self.periods.pout += touched;
+                        self.periods.full_out += full;
+                        self.phase.fields_size += touched;
+                    }
+                }
+                ActionKind::Evict => {
+                    if cfg.validate
+                        && !is_valid_negative_with(tree, &self.mirror, set, &mut self.scratch)
+                    {
+                        return Err(format!("round {round}: invalid negative changeset {set:?}"));
+                    }
+                    self.mirror.evict(set);
+                    report.evict_events += 1;
+                    report.nodes_evicted += touched;
+                    if cfg.instrument {
+                        let (req_in_field, full) =
+                            close_field(&mut self.pending, set, self.half_alpha);
+                        self.fields.negative_fields += 1;
+                        self.fields.total_size += touched;
+                        self.fields.total_requests += req_in_field;
+                        self.fields.field_sizes.push(touched);
+                        if req_in_field != touched * cfg.alpha {
+                            self.fields.saturation_violations += 1;
+                        }
+                        // An eviction closes one in-period per node.
+                        self.phase_pin += touched;
+                        self.periods.pin += touched;
+                        self.periods.full_in += full;
+                        self.phase.fields_size += touched;
+                    }
+                }
+                ActionKind::Flush => {
+                    // A zero-payload flush (empty-cache phase restart) is
+                    // legal: it costs 0 reorganisation — `touched` is 0 —
+                    // while still closing the phase below. The payload
+                    // check runs in every mode (as it always has): it is
+                    // O(|set|), allocation-free, and flushes are rare.
+                    self.check_flush_payload(set, round)?;
+                    report.flush_events += 1;
+                    report.nodes_evicted += touched;
+                    if cfg.instrument {
+                        // The flush ends the phase: kP is the cache size
+                        // just before the flush; all pending request mass
+                        // belongs to the dying phase's open field.
+                        self.phase.k_p = self.mirror.len();
+                        self.phase.finished = true;
+                        self.phase.open_requests = self.pending.iter().sum();
+                        self.periods.per_phase_balance.push((
+                            self.phase_pout,
+                            self.phase_pin,
+                            self.phase.k_p,
+                        ));
+                        report.phases.push(std::mem::take(&mut self.phase));
+                        self.phase_pout = 0;
+                        self.phase_pin = 0;
+                        self.pending.fill(0);
+                    }
+                    self.mirror.clear();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the unfinished phase and moves instrumentation into the
+    /// report.
+    fn finish(mut self, cfg: SimConfig, report: &mut Report) {
+        if cfg.instrument {
+            // Close the unfinished phase and account the open field F∞.
+            self.phase.k_p = self.mirror.len();
+            self.phase.finished = false;
+            self.phase.open_requests = self.pending.iter().sum();
+            self.periods.per_phase_balance.push((self.phase_pout, self.phase_pin, self.phase.k_p));
+            report.phases.push(self.phase);
+            self.fields.open_field_requests = self.pending.iter().sum();
+            report.fields = Some(self.fields);
+            report.periods = Some(self.periods);
+        }
+    }
+}
+
 /// Runs `policy` over `requests` and returns the verified report.
 ///
 /// ```
@@ -84,153 +340,62 @@ pub fn run_policy(
     requests: &[Request],
     cfg: SimConfig,
 ) -> Result<Report, String> {
-    let n = tree.len();
-    let mut mirror = CacheSet::empty(n);
     let mut report = Report { name: policy.name().to_string(), ..Report::default() };
-    // Paying requests per node since its last state change (its slice of
-    // the current field).
-    let mut pending = vec![0u64; n];
-    let mut fields = FieldStats::default();
-    let mut periods = PeriodStats::default();
-    let half_alpha = cfg.alpha.div_ceil(2);
-
-    // Phase bookkeeping.
-    let mut phase = PhaseStats::default();
-    let mut phase_pout = 0u64;
-    let mut phase_pin = 0u64;
-
+    let mut driver = Driver::new(tree.len(), cfg);
     for (round, &req) in requests.iter().enumerate() {
-        let expected_pays = request_pays(&mirror, req);
-        let out = policy.step(req);
-        if out.paid_service != expected_pays {
-            return Err(format!(
-                "round {round}: policy reported paid={} but the mirror says {}",
-                out.paid_service, expected_pays
-            ));
-        }
-        report.rounds += 1;
-        phase.rounds += 1;
-        if expected_pays {
-            report.paid_rounds += 1;
-            report.cost.service += 1;
-            phase.cost.service += 1;
-            pending[req.node.index()] += 1;
-        }
-
-        for action in &out.actions {
-            // Reorganisation cost is charged to the phase the action ends
-            // in — for a flush that is the *dying* phase (the paper's
-            // `kP·α` final-eviction term), so account it before any phase
-            // hand-over below.
-            let touched = action.nodes_touched() as u64;
-            report.cost.reorg += cfg.alpha * touched;
-            phase.cost.reorg += cfg.alpha * touched;
-            match action {
-                Action::Fetch(set) => {
-                    if cfg.validate && !is_valid_positive(tree, &mirror, set) {
-                        return Err(format!("round {round}: invalid positive changeset {set:?}"));
-                    }
-                    mirror.fetch(set);
-                    report.fetch_events += 1;
-                    report.nodes_fetched += set.len() as u64;
-                    if cfg.instrument {
-                        let (req_in_field, full) = close_field(&mut pending, set, half_alpha);
-                        fields.positive_fields += 1;
-                        fields.total_size += set.len() as u64;
-                        fields.total_requests += req_in_field;
-                        fields.field_sizes.push(set.len() as u64);
-                        if req_in_field != set.len() as u64 * cfg.alpha {
-                            fields.saturation_violations += 1;
-                        }
-                        // A fetch closes one out-period per fetched node.
-                        phase_pout += set.len() as u64;
-                        periods.pout += set.len() as u64;
-                        periods.full_out += full;
-                        phase.fields_size += set.len() as u64;
-                    }
-                }
-                Action::Evict(set) => {
-                    if cfg.validate && !is_valid_negative(tree, &mirror, set) {
-                        return Err(format!("round {round}: invalid negative changeset {set:?}"));
-                    }
-                    mirror.evict(set);
-                    report.evict_events += 1;
-                    report.nodes_evicted += set.len() as u64;
-                    if cfg.instrument {
-                        let (req_in_field, full) = close_field(&mut pending, set, half_alpha);
-                        fields.negative_fields += 1;
-                        fields.total_size += set.len() as u64;
-                        fields.total_requests += req_in_field;
-                        fields.field_sizes.push(set.len() as u64);
-                        if req_in_field != set.len() as u64 * cfg.alpha {
-                            fields.saturation_violations += 1;
-                        }
-                        // An eviction closes one in-period per node.
-                        phase_pin += set.len() as u64;
-                        periods.pin += set.len() as u64;
-                        periods.full_in += full;
-                        phase.fields_size += set.len() as u64;
-                    }
-                }
-                Action::Flush(set) => {
-                    let mut expect: Vec<_> = mirror.iter().collect();
-                    expect.sort_unstable();
-                    let mut got = set.clone();
-                    got.sort_unstable();
-                    if got != expect {
-                        return Err(format!(
-                            "round {round}: flush payload {got:?} differs from cache {expect:?}"
-                        ));
-                    }
-                    report.flush_events += 1;
-                    report.nodes_evicted += set.len() as u64;
-                    if cfg.instrument {
-                        // The flush ends the phase: kP is the cache size
-                        // just before the flush; all pending request mass
-                        // belongs to the dying phase's open field.
-                        phase.k_p = mirror.len();
-                        phase.finished = true;
-                        phase.open_requests = pending.iter().sum();
-                        periods.per_phase_balance.push((phase_pout, phase_pin, phase.k_p));
-                        report.phases.push(std::mem::take(&mut phase));
-                        phase_pout = 0;
-                        phase_pin = 0;
-                        pending.fill(0);
-                    }
-                    let _ = mirror.flush();
-                }
-            }
-        }
-
-        if cfg.validate {
-            mirror
-                .validate(tree)
-                .map_err(|e| format!("round {round}: mirror invalid after actions: {e}"))?;
-            if mirror.len() > policy.capacity() {
-                return Err(format!(
-                    "round {round}: capacity exceeded: {} > {}",
-                    mirror.len(),
-                    policy.capacity()
-                ));
-            }
-            if mirror != *policy.cache() {
-                return Err(format!("round {round}: policy cache diverged from mirror"));
-            }
-        }
-        report.peak_cache = report.peak_cache.max(mirror.len());
+        let (paid, touched) = driver.round(tree, policy, req, round, cfg, &mut report)?;
+        report.cost.service += u64::from(paid);
+        report.cost.reorg += cfg.alpha * touched;
     }
+    driver.finish(cfg, &mut report);
+    Ok(report)
+}
 
-    if cfg.instrument {
-        // Close the unfinished phase and account the open field F∞.
-        phase.k_p = mirror.len();
-        phase.finished = false;
-        phase.open_requests = pending.iter().sum();
-        periods.per_phase_balance.push((phase_pout, phase_pin, phase.k_p));
-        report.phases.push(phase);
-        fields.open_field_requests = pending.iter().sum();
-        report.fields = Some(fields);
-        report.periods = Some(periods);
+/// Batched driver for long request streams: identical verification and
+/// semantics to [`run_policy`], with cost accounting accumulated in
+/// registers and folded into the report once per `chunk_size` requests.
+///
+/// In debug builds the policy's [`CachePolicy::audit`] self-check runs at
+/// every chunk boundary (and once at the end), so benchmark configurations
+/// that disable simulator validation (`SimConfig::bare`) still cannot
+/// drift from the reference behaviour unnoticed while testing.
+///
+/// # Errors
+/// Same protocol violations as [`run_policy`], plus any audit failure
+/// (debug builds only).
+///
+/// # Panics
+/// Panics if `chunk_size == 0`.
+pub fn run_stream(
+    tree: &Tree,
+    policy: &mut dyn CachePolicy,
+    requests: &[Request],
+    cfg: SimConfig,
+    chunk_size: usize,
+) -> Result<Report, String> {
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let mut report = Report { name: policy.name().to_string(), ..Report::default() };
+    let mut driver = Driver::new(tree.len(), cfg);
+    let mut round = 0usize;
+    for chunk in requests.chunks(chunk_size) {
+        // Amortised accounting: accumulate the chunk's costs in locals and
+        // fold into the report once per chunk.
+        let mut chunk_service = 0u64;
+        let mut chunk_touched = 0u64;
+        for &req in chunk {
+            let (paid, touched) = driver.round(tree, policy, req, round, cfg, &mut report)?;
+            chunk_service += u64::from(paid);
+            chunk_touched += touched;
+            round += 1;
+        }
+        report.cost.service += chunk_service;
+        report.cost.reorg += cfg.alpha * chunk_touched;
+        #[cfg(debug_assertions)]
+        policy
+            .audit()
+            .map_err(|e| format!("round {round}: policy audit failed at chunk boundary: {e}"))?;
     }
+    driver.finish(cfg, &mut report);
     Ok(report)
 }
 
@@ -319,6 +484,72 @@ mod tests {
         assert!(periods.pout > 0);
     }
 
+    #[test]
+    fn run_stream_matches_run_policy() {
+        // The batched driver is semantics-preserving for every chunk size,
+        // including ones that straddle flushes and the stream end.
+        let tree = Arc::new(Tree::kary(2, 4));
+        let mut rng = otc_util::SplitMix64::new(17);
+        let reqs: Vec<Request> = (0..5000)
+            .map(|_| {
+                let v = otc_core::tree::NodeId(rng.index(tree.len()) as u32);
+                if rng.chance(0.4) {
+                    Request::neg(v)
+                } else {
+                    Request::pos(v)
+                }
+            })
+            .collect();
+        let cfg = SimConfig::new(3);
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(3, 6));
+        let base = run_policy(&tree, &mut tc, &reqs, cfg).expect("valid");
+        for chunk_size in [1usize, 7, 256, 5000, 100_000] {
+            let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(3, 6));
+            let report = run_stream(&tree, &mut tc, &reqs, cfg, chunk_size).expect("valid");
+            assert_eq!(report.cost.total(), base.cost.total(), "chunk {chunk_size}");
+            assert_eq!(report.paid_rounds, base.paid_rounds);
+            assert_eq!(report.fetch_events, base.fetch_events);
+            assert_eq!(report.evict_events, base.evict_events);
+            assert_eq!(report.flush_events, base.flush_events);
+            assert_eq!(report.peak_cache, base.peak_cache);
+            assert_eq!(report.phases.len(), base.phases.len());
+        }
+    }
+
+    #[test]
+    fn empty_flush_costs_nothing_but_closes_phase() {
+        // Path 0→1, α = 1, capacity 1 (the regression pinned by
+        // proptest_tc::regression_two_node_path_alpha_one, now verified
+        // through the simulator): the fourth request triggers a flush of an
+        // *empty* cache. It must cost 0 reorganisation, close the phase,
+        // and pass flush-payload validation.
+        let tree = Arc::new(Tree::path(2));
+        let reqs = vec![
+            Request::pos(otc_core::tree::NodeId(1)), // fetch {1}
+            Request::pos(otc_core::tree::NodeId(0)), // flush {1}
+            Request::pos(otc_core::tree::NodeId(0)), // counter builds
+            Request::pos(otc_core::tree::NodeId(0)), // flush of empty cache
+        ];
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(1, 1));
+        let report = run_policy(&tree, &mut tc, &reqs, SimConfig::new(1)).expect("valid");
+        assert_eq!(report.flush_events, 2);
+        // Reorg: fetch {1} (1) + flush {1} (1) + empty flush (0) = 2.
+        assert_eq!(report.cost.reorg, 2, "zero-payload flush adds no reorganisation cost");
+        assert_eq!(report.cost.service, 4, "every round paid");
+        // Both flushes closed a phase; the final (unfinished) phase is
+        // still reported, so three phases in total.
+        assert_eq!(report.phases.len(), 3);
+        assert!(report.phases[0].finished && report.phases[1].finished);
+        assert_eq!(report.phases[1].k_p, 0, "the empty flush ends a phase with kP = 0");
+        assert!(!report.phases[2].finished);
+        // Identical through the batched driver.
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(1, 1));
+        let stream = run_stream(&tree, &mut tc, &reqs, SimConfig::new(1), 2).expect("valid");
+        assert_eq!(stream.cost.reorg, 2);
+        assert_eq!(stream.flush_events, 2);
+        assert_eq!(stream.phases.len(), 3);
+    }
+
     /// A policy that lies about paying — the simulator must catch it.
     struct Liar {
         cache: CacheSet,
@@ -334,8 +565,8 @@ mod tests {
             &self.cache
         }
         fn reset(&mut self) {}
-        fn step(&mut self, _req: Request) -> StepOutcome {
-            StepOutcome { paid_service: false, actions: vec![] }
+        fn step(&mut self, _req: Request, out: &mut ActionBuffer) {
+            out.clear();
         }
     }
 
@@ -365,17 +596,17 @@ mod tests {
             &self.cache
         }
         fn reset(&mut self) {}
-        fn step(&mut self, req: Request) -> StepOutcome {
+        fn step(&mut self, req: Request, out: &mut ActionBuffer) {
+            out.clear();
             if self.fired {
-                return StepOutcome { paid_service: true, actions: vec![] };
+                out.set_paid(true);
+                return;
             }
             self.fired = true;
             // Fetch the root alone — invalid on any tree with children.
             self.cache.insert(otc_core::tree::NodeId(0));
-            StepOutcome {
-                paid_service: req.is_positive(),
-                actions: vec![Action::Fetch(vec![otc_core::tree::NodeId(0)])],
-            }
+            out.set_paid(req.is_positive());
+            out.begin(ActionKind::Fetch).push(otc_core::tree::NodeId(0));
         }
     }
 
@@ -404,16 +635,14 @@ mod tests {
             &self.cache
         }
         fn reset(&mut self) {}
-        fn step(&mut self, req: Request) -> StepOutcome {
+        fn step(&mut self, req: Request, out: &mut ActionBuffer) {
+            out.clear();
+            out.set_paid(req.is_positive());
             if !self.fired {
                 self.fired = true;
                 // Claims to fetch a leaf but doesn't record it internally.
-                return StepOutcome {
-                    paid_service: req.is_positive(),
-                    actions: vec![Action::Fetch(vec![otc_core::tree::NodeId(1)])],
-                };
+                out.begin(ActionKind::Fetch).push(otc_core::tree::NodeId(1));
             }
-            StepOutcome { paid_service: req.is_positive(), actions: vec![] }
         }
     }
 
@@ -434,5 +663,94 @@ mod tests {
         let reqs = vec![Request::pos(otc_core::tree::NodeId(1))];
         let report = run_policy(&tree, &mut p, &reqs, SimConfig::bare(2)).expect("no checks");
         assert_eq!(report.cost.reorg, 2);
+    }
+
+    /// A policy that lies about the flush payload (claims the cache held a
+    /// node it never cached) — the in-place payload check must catch it.
+    struct FlushLiar {
+        cache: CacheSet,
+    }
+    impl CachePolicy for FlushLiar {
+        fn name(&self) -> &'static str {
+            "flush-liar"
+        }
+        fn capacity(&self) -> usize {
+            4
+        }
+        fn cache(&self) -> &CacheSet {
+            &self.cache
+        }
+        fn reset(&mut self) {}
+        fn step(&mut self, req: Request, out: &mut ActionBuffer) {
+            out.clear();
+            out.set_paid(req.is_positive());
+            out.begin(ActionKind::Flush).push(otc_core::tree::NodeId(1));
+        }
+    }
+
+    #[test]
+    fn flush_payload_mismatch_is_caught() {
+        // In every configuration — the flush check is never gated, so even
+        // bare benchmark runs cannot under-report a flush's cost.
+        for cfg in [SimConfig::new(2), SimConfig::bare(2)] {
+            let tree = Tree::star(3);
+            let mut p = FlushLiar { cache: CacheSet::empty(tree.len()) };
+            let reqs = vec![Request::pos(otc_core::tree::NodeId(1))];
+            let err = run_policy(&tree, &mut p, &reqs, cfg).unwrap_err();
+            assert!(err.contains("flush payload"), "unexpected error: {err}");
+        }
+    }
+
+    /// A policy with broken internal aggregates that only `audit` can see:
+    /// its actions and cache are protocol-clean, so per-round validation
+    /// passes, but `run_stream`'s debug-build audit hook must reject it.
+    struct AuditFailer {
+        cache: CacheSet,
+    }
+    impl CachePolicy for AuditFailer {
+        fn name(&self) -> &'static str {
+            "audit-failer"
+        }
+        fn capacity(&self) -> usize {
+            4
+        }
+        fn cache(&self) -> &CacheSet {
+            &self.cache
+        }
+        fn reset(&mut self) {}
+        fn audit(&self) -> Result<(), String> {
+            Err("synthetic aggregate drift".to_string())
+        }
+        fn step(&mut self, req: Request, out: &mut ActionBuffer) {
+            out.clear();
+            out.set_paid(req.is_positive());
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn run_stream_audits_even_in_bare_mode() {
+        let tree = Tree::star(2);
+        let mut p = AuditFailer { cache: CacheSet::empty(tree.len()) };
+        let reqs = vec![Request::pos(tree.leaves()[0]); 8];
+        // run_policy never audits — the drift goes unnoticed.
+        assert!(run_policy(&tree, &mut p, &reqs, SimConfig::bare(2)).is_ok());
+        // run_stream audits at chunk boundaries even with validation off.
+        let err = run_stream(&tree, &mut p, &reqs, SimConfig::bare(2), 4).unwrap_err();
+        assert!(err.contains("audit failed"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn step_owned_snapshot_still_works() {
+        // The owned convenience wrapper mirrors the buffered outcome.
+        let tree = Arc::new(Tree::star(3));
+        let leaf = tree.leaves()[0];
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(2, 2));
+        assert_eq!(
+            tc.step_owned(Request::pos(leaf)),
+            StepOutcome { paid_service: true, actions: vec![] }
+        );
+        let out = tc.step_owned(Request::pos(leaf));
+        assert_eq!(out.nodes_touched(), 1);
     }
 }

@@ -11,7 +11,7 @@
 //! every round, emits the next chunk accordingly, and records the produced
 //! sequence so that an offline solution can be computed on it afterwards.
 
-use otc_core::policy::CachePolicy;
+use otc_core::policy::{ActionBuffer, CachePolicy};
 use otc_core::request::Request;
 use otc_core::tree::{NodeId, Tree};
 
@@ -51,6 +51,7 @@ pub fn drive_paging_adversary(
         online_touched: 0,
         page_choices: Vec::with_capacity(page_rounds),
     };
+    let mut buf = ActionBuffer::new();
     for _ in 0..page_rounds {
         let target = leaves
             .iter()
@@ -61,9 +62,9 @@ pub fn drive_paging_adversary(
         for _ in 0..alpha {
             let req = Request::pos(target);
             run.trace.push(req);
-            let out = policy.step(req);
-            run.online_service += u64::from(out.paid_service);
-            run.online_touched += out.nodes_touched() as u64;
+            policy.step(req, &mut buf);
+            run.online_service += u64::from(buf.paid_service());
+            run.online_touched += buf.nodes_touched() as u64;
         }
     }
     run
@@ -113,13 +114,7 @@ mod tests {
         // Replaying the recorded trace against a fresh instance reproduces
         // the same cost (the adversary is deterministic given the policy).
         let mut tc2 = TcFast::new(Arc::clone(&tree), TcConfig::new(2, k));
-        let mut service = 0u64;
-        let mut touched = 0u64;
-        for &r in &run.trace {
-            let out = tc2.step(r);
-            service += u64::from(out.paid_service);
-            touched += out.nodes_touched() as u64;
-        }
+        let (service, touched) = otc_core::policy::run_raw(&mut tc2, &run.trace);
         assert_eq!(service, run.online_service);
         assert_eq!(touched, run.online_touched);
     }

@@ -216,7 +216,7 @@ mod tests {
         let mut tc = TcFast::new(tree, TcConfig::new(g.alpha, g.min_capacity));
         let mut observed = Vec::new();
         for (i, &req) in g.schedule.iter().enumerate() {
-            let out = tc.step(req);
+            let out = tc.step_owned(req);
             for action in out.actions {
                 let obs = match action {
                     Action::Fetch(mut set) => {

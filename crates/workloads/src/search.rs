@@ -89,7 +89,6 @@ mod tests {
     use std::sync::Arc;
 
     use super::*;
-    use otc_core::policy::CachePolicy;
     use otc_core::tc::{TcConfig, TcFast};
     use otc_core::tree::Tree;
 
@@ -98,13 +97,7 @@ mod tests {
         let tree = Arc::clone(tree);
         move |reqs: &[Request]| {
             let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
-            let mut service = 0u64;
-            let mut touched = 0u64;
-            for &r in reqs {
-                let out = tc.step(r);
-                service += u64::from(out.paid_service);
-                touched += out.nodes_touched() as u64;
-            }
+            let (service, touched) = otc_core::policy::run_raw(&mut tc, reqs);
             (service + alpha * touched) as f64
         }
     }
@@ -148,12 +141,8 @@ mod tests {
             let tree2 = Arc::clone(&tree);
             adversarial_search(&tree, 60, 80, &mut rng, move |reqs| {
                 let mut tc = TcFast::new(Arc::clone(&tree2), TcConfig::new(2, 2));
-                let mut cost = 0u64;
-                for &r in reqs {
-                    let out = tc.step(r);
-                    cost += u64::from(out.paid_service) + 2 * out.nodes_touched() as u64;
-                }
-                cost as f64
+                let (service, touched) = otc_core::policy::run_raw(&mut tc, reqs);
+                (service + 2 * touched) as f64
             })
         };
         let a = run(9);

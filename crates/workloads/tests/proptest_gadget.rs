@@ -26,7 +26,7 @@ proptest! {
         let mut milestones = g.milestones.iter();
         let mut next = milestones.next();
         for (i, &req) in g.schedule.iter().enumerate() {
-            let out = tc.step(req);
+            let out = tc.step_owned(req);
             for action in out.actions {
                 let m = next.ok_or_else(|| {
                     TestCaseError::fail(format!("unexpected TC action at round {i}"))

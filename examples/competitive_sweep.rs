@@ -8,7 +8,6 @@
 use std::sync::Arc;
 
 use online_tree_caching::baselines::opt_cost;
-use online_tree_caching::core::policy::CachePolicy;
 use online_tree_caching::core::tc::{TcConfig, TcFast};
 use online_tree_caching::core::Tree;
 use online_tree_caching::util::{parallel_map, SplitMix64};
@@ -35,13 +34,7 @@ fn main() {
             let mut rng = SplitMix64::new(0xC0FFEE + seed);
             let reqs = uniform_mixed(&tree, 500, 0.35, &mut rng);
             let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
-            let mut service = 0u64;
-            let mut touched = 0u64;
-            for &r in &reqs {
-                let out = tc.step(r);
-                service += u64::from(out.paid_service);
-                touched += out.nodes_touched() as u64;
-            }
+            let (service, touched) = online_tree_caching::core::policy::run_raw(&mut tc, &reqs);
             let tc_cost = service + alpha * touched;
             tc_cost as f64 / opt_cost(&tree, &reqs, alpha, k) as f64
         });

@@ -31,7 +31,7 @@ fn main() {
     // *maximal* saturated set.
     let leaf = NodeId(2);
     for round in 1..=3 {
-        let out = tc.step(Request::pos(leaf));
+        let out = tc.step_owned(Request::pos(leaf));
         println!(
             "round {round}: positive request to {leaf} — paid: {}, actions: {:?}",
             out.paid_service, out.actions
@@ -42,7 +42,7 @@ fn main() {
     // Negative requests model rule updates: a cached node that keeps
     // changing is not worth keeping in the expensive router memory.
     for round in 4..=5 {
-        let out = tc.step(Request::neg(leaf));
+        let out = tc.step_owned(Request::neg(leaf));
         println!(
             "round {round}: negative request to {leaf} — paid: {}, actions: {:?}",
             out.paid_service, out.actions
@@ -52,7 +52,7 @@ fn main() {
 
     // The cache is always a subforest: fetching node 4 forces node 5 too.
     for _ in 0..2 * alpha {
-        tc.step(Request::pos(NodeId(4)));
+        tc.step_owned(Request::pos(NodeId(4)));
     }
     assert!(tc.cache().contains(NodeId(4)));
     assert!(tc.cache().contains(NodeId(5)), "subtree came along");

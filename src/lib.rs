@@ -30,24 +30,28 @@
 //! let alpha = 2;
 //! let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, 3));
 //!
+//! // One reusable action buffer serves the whole loop — steady-state
+//! // rounds perform zero heap allocations.
+//! let mut out = ActionBuffer::new();
+//!
 //! // Positive requests to an uncached leaf pay 1 each until their count
 //! // covers the fetch cost α — then TC fetches the saturated set.
 //! let leaf = NodeId(2);
-//! tc.step(Request::pos(leaf));
-//! let out = tc.step(Request::pos(leaf));
-//! assert!(matches!(out.actions[..], [Action::Fetch(_)]));
+//! tc.step(Request::pos(leaf), &mut out);
+//! tc.step(Request::pos(leaf), &mut out);
+//! assert!(matches!(out.action(0), (ActionKind::Fetch, _)));
 //! assert!(tc.cache().contains(leaf));
 //!
 //! // Negative requests model updates: a churning cached node gets evicted
 //! // once its counter pays for the eviction.
-//! tc.step(Request::neg(leaf));
-//! let out = tc.step(Request::neg(leaf));
-//! assert!(matches!(out.actions[..], [Action::Evict(_)]));
+//! tc.step(Request::neg(leaf), &mut out);
+//! tc.step(Request::neg(leaf), &mut out);
+//! assert!(matches!(out.action(0), (ActionKind::Evict, _)));
 //! assert!(!tc.cache().contains(leaf));
 //!
 //! // The subforest invariant: fetching node 4 forces its child 5 too.
 //! for _ in 0..2 * alpha {
-//!     tc.step(Request::pos(NodeId(4)));
+//!     tc.step(Request::pos(NodeId(4)), &mut out);
 //! }
 //! assert!(tc.cache().contains(NodeId(4)) && tc.cache().contains(NodeId(5)));
 //! ```

@@ -16,13 +16,7 @@ use online_tree_caching::util::SplitMix64;
 
 fn tc_cost(tree: &Arc<Tree>, reqs: &[Request], alpha: u64, k: usize) -> u64 {
     let mut tc = TcFast::new(Arc::clone(tree), TcConfig::new(alpha, k));
-    let mut service = 0u64;
-    let mut touched = 0u64;
-    for &r in reqs {
-        let out = tc.step(r);
-        service += u64::from(out.paid_service);
-        touched += out.nodes_touched() as u64;
-    }
+    let (service, touched) = online_tree_caching::core::policy::run_raw(&mut tc, reqs);
     service + alpha * touched
 }
 
@@ -113,13 +107,7 @@ fn opt_lower_bounds_every_policy() {
         let opt = opt_cost(&tree, &reqs, alpha, k);
 
         let run = |policy: &mut dyn CachePolicy| -> u64 {
-            let mut service = 0u64;
-            let mut touched = 0u64;
-            for &r in &reqs {
-                let out = policy.step(r);
-                service += u64::from(out.paid_service);
-                touched += out.nodes_touched() as u64;
-            }
+            let (service, touched) = online_tree_caching::core::policy::run_raw(policy, &reqs);
             service + alpha * touched
         };
         let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));

@@ -24,7 +24,7 @@ fn figure4_chronology_is_reproduced() {
         let mut milestones = g.milestones.iter();
         let mut next = milestones.next();
         for (i, &req) in g.schedule.iter().enumerate() {
-            let out = tc.step(req);
+            let out = tc.step_owned(req);
             for action in out.actions {
                 let m = next.unwrap_or_else(|| panic!("unexpected action at round {i}"));
                 assert_eq!(m.index, i, "action fired at the wrong round");
