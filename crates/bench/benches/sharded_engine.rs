@@ -1,0 +1,66 @@
+//! Sharded-engine throughput: the FIB pipeline across shard counts.
+//!
+//! One routing table, one event stream; the trie is partitioned at the
+//! default route into 1/2/4/8 shards, each with its own TC instance and a
+//! proportional slice of the total TCAM capacity, driven in parallel on
+//! one worker thread per shard. The `shards_1` point doubles as the
+//! engine-overhead baseline against the classic single-threaded
+//! `run_fib`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use otc_core::forest::ShardId;
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_core::tree::Tree;
+use otc_sdn::{generate_events, run_fib, run_fib_sharded, FibEvent, FibWorkloadConfig};
+use otc_trie::{hierarchical_table, HierarchicalConfig, RuleTree};
+use otc_util::SplitMix64;
+
+const ALPHA: u64 = 4;
+const TOTAL_CAPACITY: usize = 256;
+
+fn workload() -> (Arc<RuleTree>, Vec<FibEvent>) {
+    let mut rng = SplitMix64::new(0x5AD);
+    let rules = Arc::new(RuleTree::build(&hierarchical_table(
+        HierarchicalConfig { n: 4096, subdivide_p: 0.7, max_len: 28 },
+        &mut rng,
+    )));
+    let events = generate_events(
+        &rules,
+        FibWorkloadConfig { events: 50_000, theta: 1.0, update_p: 0.02, addr_attempts: 16 },
+        &mut rng,
+    );
+    (rules, events)
+}
+
+fn tc_factory(capacity: usize) -> impl Fn(Arc<Tree>, ShardId) -> Box<dyn CachePolicy> {
+    move |tree, _| Box::new(TcFast::new(tree, TcConfig::new(ALPHA, capacity)))
+}
+
+fn bench_sharded_fib(c: &mut Criterion) {
+    let (rules, events) = workload();
+    let mut group = c.benchmark_group("sharded_fib");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("single_thread_run_fib", |b| {
+        b.iter(|| {
+            let mut tc =
+                TcFast::new(Arc::new(rules.tree().clone()), TcConfig::new(ALPHA, TOTAL_CAPACITY));
+            run_fib(&rules, &mut tc, &events, ALPHA).total_cost()
+        });
+    });
+    for shards in [1usize, 2, 4, 8] {
+        let factory = tc_factory((TOTAL_CAPACITY / shards).max(1));
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                run_fib_sharded(&rules, &factory, &events, ALPHA, shards, shards).total.total_cost()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_fib);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Records the sharded-engine throughput baseline into `BENCH_engine.json`.
+//!
+//! ```text
+//! cargo run --release -p otc-bench --bin bench_engine
+//! ```
+//!
+//! One fixed FIB workload (4096-rule synthetic table, 200k events, 2%
+//! update churn, α = 4); the sharded pipeline is timed at shard counts
+//! 1/2/4/8 (one worker thread per shard, total TCAM capacity split
+//! evenly) next to the classic single-threaded `run_fib`. Costs are
+//! deterministic and recorded alongside the timings so a semantic drift
+//! is as visible as a throughput one.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use otc_core::forest::ShardId;
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_core::tree::Tree;
+use otc_sdn::{generate_events, run_fib, run_fib_sharded, FibWorkloadConfig};
+use otc_trie::{hierarchical_table, HierarchicalConfig, RuleTree};
+use otc_util::SplitMix64;
+
+const ALPHA: u64 = 4;
+const TOTAL_CAPACITY: usize = 256;
+const EVENTS: usize = 200_000;
+const RULES: usize = 4096;
+
+fn time_best<F: FnMut() -> u64>(mut f: F, iters: usize) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut cost = 0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        cost = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, cost)
+}
+
+fn main() {
+    let mut rng = SplitMix64::new(0xBE7C);
+    let rules = Arc::new(RuleTree::build(&hierarchical_table(
+        HierarchicalConfig { n: RULES, subdivide_p: 0.7, max_len: 28 },
+        &mut rng,
+    )));
+    let events = generate_events(
+        &rules,
+        FibWorkloadConfig { events: EVENTS, theta: 1.0, update_p: 0.02, addr_attempts: 16 },
+        &mut rng,
+    );
+    let iters = 3;
+
+    let mut results = String::new();
+    let (secs, cost) = time_best(
+        || {
+            let mut tc =
+                TcFast::new(Arc::new(rules.tree().clone()), TcConfig::new(ALPHA, TOTAL_CAPACITY));
+            run_fib(&rules, &mut tc, &events, ALPHA).total_cost()
+        },
+        iters,
+    );
+    let baseline_eps = events.len() as f64 / secs;
+    println!("single-thread run_fib: {baseline_eps:>12.0} events/s  (cost {cost})");
+    write!(
+        results,
+        "    {{ \"pipeline\": \"run_fib\", \"shards\": 1, \"threads\": 1, \
+         \"events_per_sec\": {baseline_eps:.0}, \"total_cost\": {cost} }}"
+    )
+    .unwrap();
+
+    for shards in [1usize, 2, 4, 8] {
+        let capacity = (TOTAL_CAPACITY / shards).max(1);
+        let factory = move |tree: Arc<Tree>, _s: ShardId| {
+            Box::new(TcFast::new(tree, TcConfig::new(ALPHA, capacity))) as Box<dyn CachePolicy>
+        };
+        let (secs, cost) = time_best(
+            || run_fib_sharded(&rules, &factory, &events, ALPHA, shards, shards).total.total_cost(),
+            iters,
+        );
+        let eps = events.len() as f64 / secs;
+        println!(
+            "sharded engine, {shards} shard(s): {eps:>12.0} events/s  (cost {cost}, {:>5.2}x \
+             single-thread)",
+            eps / baseline_eps
+        );
+        write!(
+            results,
+            ",\n    {{ \"pipeline\": \"run_fib_sharded\", \"shards\": {shards}, \
+             \"threads\": {shards}, \"events_per_sec\": {eps:.0}, \"total_cost\": {cost} }}"
+        )
+        .unwrap();
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let json = format!(
+        "{{\n  \"benchmark\": \"sharded FIB pipeline (otc-sdn over otc-sim::engine)\",\n  \
+         \"command\": \"cargo run --release -p otc-bench --bin bench_engine\",\n  \
+         \"host_cores\": {cores},\n  \
+         \"note\": \"shard-level parallelism needs host_cores > 1 to show; on a single core \
+         the sharded rows measure engine overhead only\",\n  \
+         \"workload\": {{ \"rules\": {RULES}, \"events\": {EVENTS}, \"theta\": 1.0, \
+         \"update_p\": 0.02, \"alpha\": {ALPHA}, \"total_capacity\": {TOTAL_CAPACITY} }},\n  \
+         \"timing\": \"best of {iters} runs per point\",\n  \"results\": [\n{results}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nrecorded BENCH_engine.json");
+}

@@ -13,10 +13,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use otc_baselines::{DependentSetPolicy, InvalidateOnUpdate};
+use otc_core::forest::{Forest, ShardId};
 use otc_core::policy::{ActionBuffer, CachePolicy};
 use otc_core::tc::{TcConfig, TcFast};
 use otc_core::tree::Tree;
 use otc_core::Request;
+use otc_sim::engine::{EngineConfig, ShardedEngine};
 use otc_sim::{run_policy, run_stream, SimConfig};
 use otc_util::SplitMix64;
 use otc_workloads::{random_attachment, uniform_mixed};
@@ -152,6 +154,78 @@ fn bare_drivers_allocate_per_run_not_per_round() {
         used <= budget + audit_budget,
         "run_stream (bare) allocated {used} times for 50k rounds ({chunks} chunks)"
     );
+}
+
+/// A 4-shard forest of flushless universes plus a globally-addressed
+/// mixed stream for it.
+fn sharded_workload(seed: u64, per_shard_n: usize, len: usize) -> (Forest, Vec<Request>) {
+    let mut rng = SplitMix64::new(seed);
+    let trees = (0..4)
+        .map(|_| std::sync::Arc::new(random_attachment(per_shard_n, &mut rng)))
+        .collect::<Vec<_>>();
+    let forest = Forest::from_trees(trees);
+    let reqs: Vec<Request> = (0..len)
+        .map(|_| {
+            let v = otc_core::tree::NodeId(rng.index(forest.global_len()) as u32);
+            if rng.chance(0.4) {
+                Request::neg(v)
+            } else {
+                Request::pos(v)
+            }
+        })
+        .collect();
+    (forest, reqs)
+}
+
+/// Per-shard TC sized to its whole tree (no flushes possible).
+fn flushless_factory(alpha: u64) -> impl Fn(std::sync::Arc<Tree>, ShardId) -> Box<dyn CachePolicy> {
+    move |tree, _| {
+        let capacity = tree.len();
+        Box::new(TcFast::new(tree, TcConfig::new(alpha, capacity)))
+    }
+}
+
+#[test]
+fn sharded_engine_steady_state_rounds_do_not_allocate_per_shard() {
+    // The PR-2 contract, per shard: once every shard's buffers (action
+    // buffer, validation scratch, staging queue) reach their high-water
+    // mark, a steady-state batch performs zero heap allocations — across
+    // routing, queueing, and every round of every shard.
+    let (forest, reqs) = sharded_workload(0x5AA5, 512, 40_000);
+    let factory = flushless_factory(4);
+    let mut engine = ShardedEngine::new(forest, &factory, EngineConfig::bare(4).threads(1));
+    // Two warm-up batches: the first grows the engine's own buffers to the
+    // workload's high-water mark; the second lets the policies' internal
+    // spans (whose sizes depend on the evolving cache state, not the
+    // stream) reach theirs.
+    engine.submit_batch(&reqs).expect("valid");
+    engine.submit_batch(&reqs).expect("valid");
+    let before = allocs();
+    engine.submit_batch(&reqs).expect("valid");
+    assert_eq!(
+        allocs() - before,
+        0,
+        "4-shard engine allocated in steady state over 40k rounds (10k/shard)"
+    );
+}
+
+#[test]
+fn sharded_engine_allocates_o_shards_per_run() {
+    // A full engine lifecycle — construction, one parallel batch, report
+    // aggregation — allocates O(shards), never O(rounds). The budget is a
+    // per-shard constant (policy + driver + queue growth) plus a flat
+    // allowance for the scoped worker threads of the parallel drain.
+    let (forest, reqs) = sharded_workload(0x5AB7, 512, 40_000);
+    let shards = forest.num_shards() as u64;
+    let factory = flushless_factory(4);
+    let before = allocs();
+    let mut engine = ShardedEngine::new(forest, &factory, EngineConfig::bare(4).threads(4));
+    engine.submit_batch(&reqs).expect("valid");
+    let report = engine.into_report().expect("valid");
+    let used = allocs() - before;
+    assert!(report.rounds == 40_000);
+    let budget = 200 * shards + 100;
+    assert!(used <= budget, "sharded run allocated {used} times for 40k rounds (budget {budget})");
 }
 
 #[test]

@@ -1,0 +1,366 @@
+//! Forests of trees and shard routing.
+//!
+//! The paper's motivating application (Section 2, FIB caching) is naturally
+//! a *forest*: an IP rule trie decomposes at the default route into many
+//! independent subtries, each cacheable by its own TC instance. A
+//! [`Forest`] is a partition of one or more [`Tree`]s into **shards**: each
+//! shard is a complete rooted tree of its own, and a routing table maps
+//! every node of a *global* id space to its `(shard, local node)` home.
+//!
+//! Three ways to build one:
+//!
+//! * [`Forest::single`] — one tree, one shard, identity routing (how the
+//!   classic single-tree drivers present themselves to the engine);
+//! * [`Forest::from_trees`] — independent trees side by side (multi-tenant
+//!   universes); global ids are the trees concatenated in order;
+//! * [`Forest::partition`] — split one tree at its root into
+//!   size-balanced shards (longest-processing-time binning of the root's
+//!   child subtrees). Every shard tree replicates the original root as its
+//!   own root, so each shard remains a well-formed rooted tree and the
+//!   global id space is exactly the original tree's; requests to the
+//!   original root route to shard 0.
+//!
+//! The routing table is a flat `Vec` indexed by global node id — O(1) per
+//! request, no hashing on the hot path.
+
+use std::sync::Arc;
+
+use crate::request::Request;
+use crate::tree::{NodeId, Tree};
+
+/// Identifier of a shard in a [`Forest`]; a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The index as `usize`, for direct vector indexing.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A partition of one or more trees into shards, with O(1) global-to-local
+/// request routing.
+///
+/// ```
+/// use std::sync::Arc;
+/// use otc_core::forest::{Forest, ShardId};
+/// use otc_core::tree::{NodeId, Tree};
+///
+/// //        0
+/// //     /  |  \
+/// //    1   3   5       three subtries under the root
+/// //    |   |
+/// //    2   4
+/// let tree = Tree::from_parents(&[None, Some(0), Some(1), Some(0), Some(3), Some(0)]);
+/// let forest = Forest::partition(&tree, 2);
+/// assert_eq!(forest.num_shards(), 2);
+/// // Every non-root node keeps its identity: route there and back.
+/// for v in tree.nodes().skip(1) {
+///     let (shard, local) = forest.route(v);
+///     assert_eq!(forest.to_global(shard, local), v);
+/// }
+/// // The original root routes to shard 0 and is the root of every shard.
+/// assert_eq!(forest.route(NodeId(0)), (ShardId(0), NodeId(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Forest {
+    trees: Vec<Arc<Tree>>,
+    /// Global node id → `(shard, local node)`.
+    route: Vec<(ShardId, NodeId)>,
+    /// Per shard: local node id → global node id.
+    globals: Vec<Vec<NodeId>>,
+}
+
+impl Forest {
+    /// A single-shard forest: one tree, identity routing.
+    #[must_use]
+    pub fn single(tree: Arc<Tree>) -> Self {
+        Self::from_trees(vec![tree])
+    }
+
+    /// Independent trees side by side, one shard each. The global id space
+    /// is the concatenation: tree `s`'s node `i` has global id
+    /// `offset(s) + i`.
+    ///
+    /// # Panics
+    /// Panics if `trees` is empty.
+    #[must_use]
+    pub fn from_trees(trees: Vec<Arc<Tree>>) -> Self {
+        assert!(!trees.is_empty(), "a forest has at least one shard");
+        let total: usize = trees.iter().map(|t| t.len()).sum();
+        let mut route = Vec::with_capacity(total);
+        let mut globals = Vec::with_capacity(trees.len());
+        let mut offset = 0u32;
+        for (s, tree) in trees.iter().enumerate() {
+            let sid = ShardId(s as u32);
+            let mut global_of = Vec::with_capacity(tree.len());
+            for local in 0..tree.len() as u32 {
+                route.push((sid, NodeId(local)));
+                global_of.push(NodeId(offset + local));
+            }
+            globals.push(global_of);
+            offset += tree.len() as u32;
+        }
+        Self { trees, route, globals }
+    }
+
+    /// Splits `tree` at its root into (up to) `shards` size-balanced
+    /// shards. The root's child subtrees are binned by
+    /// longest-processing-time (largest subtree to the currently lightest
+    /// bin), then each bin becomes one shard tree: a replica of the
+    /// original root with the bin's subtrees attached in original preorder.
+    ///
+    /// The global id space is the original tree's node ids. The original
+    /// root routes to shard 0 (its replicas in other shards are structural
+    /// only and have no global id of their own). The effective shard count
+    /// is `min(shards, #children of the root)`, at least 1 — a single-node
+    /// tree yields one single-node shard.
+    ///
+    /// Note that a partitioned forest is a *different* caching universe
+    /// from the unsharded tree: each shard has its own policy, capacity
+    /// and phase structure. Sharded totals are comparable to the sum of
+    /// independent per-shard runs (and the engine's differential tests pin
+    /// exactly that), not to a single run over the whole tree.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn partition(tree: &Tree, shards: usize) -> Self {
+        assert!(shards >= 1, "a forest has at least one shard");
+        let root = tree.root();
+        let kids = tree.children(root);
+        let bins_n = shards.min(kids.len().max(1));
+
+        // LPT binning: biggest subtree first, always into the lightest bin.
+        let mut order: Vec<NodeId> = kids.to_vec();
+        order.sort_by_key(|&c| (std::cmp::Reverse(tree.subtree_size(c)), c.0));
+        let mut bins: Vec<Vec<NodeId>> = vec![Vec::new(); bins_n];
+        let mut load = vec![0u64; bins_n];
+        for c in order {
+            let lightest = (0..bins_n).min_by_key(|&b| (load[b], b)).expect("bins_n >= 1");
+            bins[lightest].push(c);
+            load[lightest] += u64::from(tree.subtree_size(c));
+        }
+        // Original preorder within each bin keeps layouts deterministic and
+        // readable regardless of the binning order.
+        for bin in &mut bins {
+            bin.sort_by_key(|&c| tree.preorder_rank(c));
+        }
+
+        let mut route = vec![(ShardId(0), NodeId(0)); tree.len()];
+        let mut trees = Vec::with_capacity(bins_n);
+        let mut globals = Vec::with_capacity(bins_n);
+        for (s, bin) in bins.iter().enumerate() {
+            let sid = ShardId(s as u32);
+            let mut parents: Vec<Option<usize>> = vec![None]; // local 0: root replica
+            let mut global_of = vec![root];
+            for &c in bin {
+                for &v in tree.subtree(c) {
+                    let local = NodeId(parents.len() as u32);
+                    let p = tree.parent(v).expect("only the root has no parent");
+                    // Parents precede children in preorder, so a non-root
+                    // parent's local id is already recorded in the route.
+                    let p_local = if p == root { NodeId(0) } else { route[p.index()].1 };
+                    parents.push(Some(p_local.index()));
+                    route[v.index()] = (sid, local);
+                    global_of.push(v);
+                }
+            }
+            trees.push(Arc::new(Tree::from_parents(&parents)));
+            globals.push(global_of);
+        }
+        Self { trees, route, globals }
+    }
+
+    /// Number of shards.
+    #[inline]
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The shard trees, indexed by [`ShardId`].
+    #[must_use]
+    pub fn trees(&self) -> &[Arc<Tree>] {
+        &self.trees
+    }
+
+    /// The tree of one shard.
+    #[must_use]
+    pub fn tree(&self, shard: ShardId) -> &Arc<Tree> {
+        &self.trees[shard.index()]
+    }
+
+    /// Size of the global node id space (valid request targets are
+    /// `0..global_len()`).
+    #[inline]
+    #[must_use]
+    pub fn global_len(&self) -> usize {
+        self.route.len()
+    }
+
+    /// Routes a global node id to its `(shard, local node)` home.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the global id space.
+    #[inline]
+    #[must_use]
+    pub fn route(&self, v: NodeId) -> (ShardId, NodeId) {
+        self.route[v.index()]
+    }
+
+    /// Routes a globally-addressed request to `(shard, local request)`.
+    ///
+    /// # Panics
+    /// Panics if the request targets a node outside the global id space.
+    #[inline]
+    #[must_use]
+    pub fn route_request(&self, r: Request) -> (ShardId, Request) {
+        let (shard, local) = self.route(r.node);
+        (shard, Request { node: local, sign: r.sign })
+    }
+
+    /// The global id of a shard-local node. For partitioned forests the
+    /// root replica of every shard maps back to the original root.
+    ///
+    /// # Panics
+    /// Panics if `shard` or `local` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn to_global(&self, shard: ShardId, local: NodeId) -> NodeId {
+        self.globals[shard.index()][local.index()]
+    }
+
+    /// True if routing is the identity: one shard whose local ids equal
+    /// the global ids. [`Forest::single`] always is; a 1-shard
+    /// [`Forest::partition`] need **not** be (it renumbers nodes in
+    /// preorder). Consumers use this to decide whether requests can skip
+    /// the routing table.
+    #[must_use]
+    pub fn is_identity_routing(&self) -> bool {
+        self.trees.len() == 1
+            && self
+                .route
+                .iter()
+                .enumerate()
+                .all(|(i, &(s, local))| s == ShardId(0) && local.index() == i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_identity() {
+        let tree = Arc::new(Tree::kary(2, 3));
+        let forest = Forest::single(Arc::clone(&tree));
+        assert_eq!(forest.num_shards(), 1);
+        assert_eq!(forest.global_len(), tree.len());
+        for v in tree.nodes() {
+            assert_eq!(forest.route(v), (ShardId(0), v));
+            assert_eq!(forest.to_global(ShardId(0), v), v);
+        }
+    }
+
+    #[test]
+    fn from_trees_concatenates() {
+        let a = Arc::new(Tree::star(2)); // 3 nodes
+        let b = Arc::new(Tree::path(4)); // 4 nodes
+        let forest = Forest::from_trees(vec![a, b]);
+        assert_eq!(forest.num_shards(), 2);
+        assert_eq!(forest.global_len(), 7);
+        assert_eq!(forest.route(NodeId(0)), (ShardId(0), NodeId(0)));
+        assert_eq!(forest.route(NodeId(2)), (ShardId(0), NodeId(2)));
+        assert_eq!(forest.route(NodeId(3)), (ShardId(1), NodeId(0)));
+        assert_eq!(forest.route(NodeId(6)), (ShardId(1), NodeId(3)));
+        assert_eq!(forest.to_global(ShardId(1), NodeId(2)), NodeId(5));
+    }
+
+    #[test]
+    fn partition_preserves_structure() {
+        // Random-ish tree: check every non-root node keeps its parent
+        // relation inside its shard tree.
+        let tree = Tree::from_parents(&[
+            None,
+            Some(0),
+            Some(1),
+            Some(1),
+            Some(0),
+            Some(4),
+            Some(4),
+            Some(0),
+            Some(2),
+        ]);
+        for shards in 1..=4 {
+            let forest = Forest::partition(&tree, shards);
+            assert!(forest.num_shards() <= shards);
+            let mut seen = 0usize;
+            for v in tree.nodes().skip(1) {
+                let (s, local) = forest.route(v);
+                assert_eq!(forest.to_global(s, local), v);
+                seen += 1;
+                let shard_tree = forest.tree(s);
+                let p = tree.parent(v).unwrap();
+                let p_local = if p == tree.root() { NodeId(0) } else { forest.route(p).1 };
+                if p != tree.root() {
+                    assert_eq!(forest.route(p).0, s, "parent of {v:?} lives in another shard");
+                }
+                assert_eq!(shard_tree.parent(local), Some(p_local));
+            }
+            assert_eq!(seen, tree.len() - 1);
+            // Shard trees partition the non-root nodes (each adds 1 root).
+            let total: usize = forest.trees().iter().map(|t| t.len() - 1).sum();
+            assert_eq!(total, tree.len() - 1);
+        }
+    }
+
+    #[test]
+    fn partition_balances_sizes() {
+        // A star of 64 leaves splits 16/16/16/16 under LPT.
+        let tree = Tree::star(64);
+        let forest = Forest::partition(&tree, 4);
+        assert_eq!(forest.num_shards(), 4);
+        for t in forest.trees() {
+            assert_eq!(t.len(), 17); // root replica + 16 leaves
+        }
+    }
+
+    #[test]
+    fn partition_clamps_to_child_count() {
+        let tree = Tree::star(2);
+        let forest = Forest::partition(&tree, 8);
+        assert_eq!(forest.num_shards(), 2);
+        let single = Forest::partition(&Tree::from_parents(&[None]), 8);
+        assert_eq!(single.num_shards(), 1);
+        assert_eq!(single.tree(ShardId(0)).len(), 1);
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let tree = Tree::kary(3, 4);
+        let a = Forest::partition(&tree, 3);
+        let b = Forest::partition(&tree, 3);
+        for v in tree.nodes() {
+            assert_eq!(a.route(v), b.route(v));
+        }
+    }
+
+    #[test]
+    fn route_request_keeps_sign() {
+        let tree = Tree::star(4);
+        let forest = Forest::partition(&tree, 2);
+        let (s, r) = forest.route_request(Request::neg(NodeId(3)));
+        assert!(!r.is_positive());
+        assert_eq!(forest.to_global(s, r.node), NodeId(3));
+    }
+}

@@ -22,7 +22,11 @@
 //! * [`changeset`] — validity of fetch/evict sets, tree caps.
 //! * [`request`] — requests, signs, the `α` cost model.
 //! * [`policy`] — the [`policy::CachePolicy`] trait every algorithm
-//!   (TC and all baselines in `otc-baselines`) implements.
+//!   (TC and all baselines in `otc-baselines`) implements, and the
+//!   [`policy::PolicyFactory`] that builds one policy per forest shard.
+//! * [`forest`] — [`forest::Forest`]: partitions of trees into shards
+//!   with O(1) request routing (the data model of `otc-sim`'s sharded
+//!   engine).
 //! * [`tc`] — the TC algorithm: [`tc::TcFast`] (Theorem 6.1 data
 //!   structures) and [`tc::TcReference`] (from-scratch oracle).
 //!
@@ -54,6 +58,7 @@
 pub mod builder;
 pub mod cache;
 pub mod changeset;
+pub mod forest;
 pub mod policy;
 pub mod request;
 pub mod tc;
@@ -66,7 +71,10 @@ pub mod prelude {
     pub use crate::changeset::{
         is_valid_negative, is_valid_positive, ChangeKind, ValidationScratch,
     };
-    pub use crate::policy::{Action, ActionBuffer, ActionKind, CachePolicy, StepOutcome};
+    pub use crate::forest::{Forest, ShardId};
+    pub use crate::policy::{
+        Action, ActionBuffer, ActionKind, CachePolicy, PolicyFactory, StepOutcome,
+    };
     pub use crate::request::{Cost, CostModel, Request, Sign};
     pub use crate::tc::{TcConfig, TcFast, TcReference, TcStats};
     pub use crate::tree::{NodeId, Tree};

@@ -227,7 +227,11 @@ impl StepOutcome {
 ///
 /// Implementations own their cache state; `cache()` exposes it read-only so
 /// the simulator can cross-check its mirror.
-pub trait CachePolicy {
+///
+/// `Send` is a supertrait so the sharded engine (`otc-sim::engine`) can
+/// drive per-shard policies from scoped worker threads; every policy is
+/// plain owned data, so this costs implementors nothing.
+pub trait CachePolicy: Send {
     /// Short stable identifier used in experiment tables.
     fn name(&self) -> &'static str;
 
@@ -261,6 +265,75 @@ pub trait CachePolicy {
         let mut buf = ActionBuffer::new();
         self.step(req, &mut buf);
         buf.to_outcome()
+    }
+}
+
+/// Mutable references forward the whole policy interface, so a borrowed
+/// policy can be handed to engines that normally own their policies (the
+/// single-shard adapter path of `otc-sim::engine`).
+impl<P: CachePolicy + ?Sized> CachePolicy for &mut P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn capacity(&self) -> usize {
+        (**self).capacity()
+    }
+    fn step(&mut self, req: Request, out: &mut ActionBuffer) {
+        (**self).step(req, out);
+    }
+    fn cache(&self) -> &CacheSet {
+        (**self).cache()
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+    fn audit(&self) -> Result<(), String> {
+        (**self).audit()
+    }
+    fn step_owned(&mut self, req: Request) -> StepOutcome {
+        (**self).step_owned(req)
+    }
+}
+
+/// Builds one [`CachePolicy`] instance per shard of a forest.
+///
+/// The sharded engine asks the factory once per shard at construction
+/// time, passing the shard's tree and id; the factory decides the
+/// algorithm and its per-shard parameters (e.g. splitting a total cache
+/// capacity across shards). Implemented for free by any matching closure:
+///
+/// ```
+/// use std::sync::Arc;
+/// use otc_core::forest::ShardId;
+/// use otc_core::policy::{CachePolicy, PolicyFactory};
+/// use otc_core::tc::{TcConfig, TcFast};
+/// use otc_core::tree::Tree;
+///
+/// let factory = |tree: Arc<Tree>, _shard: ShardId| {
+///     Box::new(TcFast::new(tree, TcConfig::new(2, 8))) as Box<dyn CachePolicy>
+/// };
+/// let built = factory.build(Arc::new(Tree::star(3)), ShardId(0));
+/// assert_eq!(built.name(), "tc");
+/// ```
+pub trait PolicyFactory {
+    /// Builds the policy for `shard`, which owns `tree`.
+    fn build(
+        &self,
+        tree: std::sync::Arc<Tree>,
+        shard: crate::forest::ShardId,
+    ) -> Box<dyn CachePolicy>;
+}
+
+impl<F> PolicyFactory for F
+where
+    F: Fn(std::sync::Arc<Tree>, crate::forest::ShardId) -> Box<dyn CachePolicy>,
+{
+    fn build(
+        &self,
+        tree: std::sync::Arc<Tree>,
+        shard: crate::forest::ShardId,
+    ) -> Box<dyn CachePolicy> {
+        self(tree, shard)
     }
 }
 

@@ -41,9 +41,8 @@ fn gadget_stream(repeats: usize, alpha: u64) -> (Arc<Tree>, Vec<Request>) {
     (tree, reqs)
 }
 
-fn cost_of(policy: &mut dyn CachePolicy, reqs: &[Request], alpha: u64) -> u64 {
-    let (service, touched) = otc_core::policy::run_raw(policy, reqs);
-    service + alpha * touched
+fn cost_of(tree: &Tree, policy: &mut dyn CachePolicy, reqs: &[Request], alpha: u64) -> u64 {
+    otc_experiments::bare_cost(tree, policy, reqs, alpha)
 }
 
 fn main() {
@@ -64,8 +63,8 @@ fn main() {
             TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::TopDown, OverflowRule::Flush);
         let mut minimal =
             TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::BottomUp, OverflowRule::Flush);
-        let c_max = cost_of(&mut maximal, &reqs, alpha);
-        let c_min = cost_of(&mut minimal, &reqs, alpha);
+        let c_max = cost_of(&tree, &mut maximal, &reqs, alpha);
+        let c_min = cost_of(&tree, &mut minimal, &reqs, alpha);
         table.row([
             "divergence gadget".to_string(),
             alpha.to_string(),
@@ -108,8 +107,8 @@ fn main() {
                 FetchScan::BottomUp,
                 OverflowRule::Flush,
             );
-            acc_max += ratio(cost_of(&mut maximal, &reqs, alpha), opt);
-            acc_min += ratio(cost_of(&mut minimal, &reqs, alpha), opt);
+            acc_max += ratio(cost_of(&tree, &mut maximal, &reqs, alpha), opt);
+            acc_min += ratio(cost_of(&tree, &mut minimal, &reqs, alpha), opt);
         }
         table_rand.row([
             seeds.to_string(),

@@ -18,9 +18,8 @@ use otc_experiments::{banner, fmt_f64, ratio, Table};
 use otc_util::SplitMix64;
 use otc_workloads::{random_attachment, shifting_zipf};
 
-fn cost_of(policy: &mut dyn CachePolicy, reqs: &[Request], alpha: u64) -> u64 {
-    let (service, touched) = otc_core::policy::run_raw(policy, reqs);
-    service + alpha * touched
+fn cost_of(tree: &Tree, policy: &mut dyn CachePolicy, reqs: &[Request], alpha: u64) -> u64 {
+    otc_experiments::bare_cost(tree, policy, reqs, alpha)
 }
 
 fn main() {
@@ -45,8 +44,8 @@ fn main() {
             TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::TopDown, OverflowRule::Flush);
         let mut noflush =
             TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::TopDown, OverflowRule::Ignore);
-        let c_flush = cost_of(&mut flush, &reqs, alpha);
-        let c_noflush = cost_of(&mut noflush, &reqs, alpha);
+        let c_flush = cost_of(&tree, &mut flush, &reqs, alpha);
+        let c_noflush = cost_of(&tree, &mut noflush, &reqs, alpha);
         table.row([
             alpha.to_string(),
             k.to_string(),
@@ -93,8 +92,8 @@ fn main() {
             TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::TopDown, OverflowRule::Flush);
         let mut noflush =
             TcVariant::new(Arc::clone(&tree), alpha, k, FetchScan::TopDown, OverflowRule::Ignore);
-        let c_flush = cost_of(&mut flush, &reqs, alpha);
-        let c_noflush = cost_of(&mut noflush, &reqs, alpha);
+        let c_flush = cost_of(&tree, &mut flush, &reqs, alpha);
+        let c_noflush = cost_of(&tree, &mut noflush, &reqs, alpha);
         let r = ratio(c_noflush, c_flush);
         table.row([
             alpha.to_string(),

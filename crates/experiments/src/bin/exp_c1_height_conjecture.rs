@@ -24,8 +24,7 @@ fn ratio_objective(tree: &Arc<Tree>, alpha: u64, k: usize) -> impl FnMut(&[Reque
     let tree = Arc::clone(tree);
     move |reqs: &[Request]| {
         let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
-        let (service, touched) = otc_core::policy::run_raw(&mut tc, reqs);
-        let tc_cost = service + alpha * touched;
+        let tc_cost = otc_experiments::bare_cost(&tree, &mut tc, reqs, alpha);
         let opt = opt_cost_path(&tree, reqs, alpha, k);
         if opt == 0 {
             return 1.0; // degenerate sequence, uninteresting

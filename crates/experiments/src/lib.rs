@@ -15,6 +15,7 @@ use otc_core::policy::CachePolicy;
 use otc_core::request::Request;
 use otc_core::tc::{TcConfig, TcFast};
 use otc_core::tree::Tree;
+use otc_sim::engine::{EngineConfig, ShardedEngine};
 use otc_sim::{run_policy, run_stream, Report, SimConfig};
 
 /// Chunk size used by the batched-driver helpers: large enough to
@@ -84,6 +85,26 @@ pub fn run_checked_stream(
 #[must_use]
 pub fn tc_total(tree: &Arc<Tree>, requests: &[Request], alpha: u64, capacity: usize) -> u64 {
     run_tc(tree, requests, alpha, capacity).total()
+}
+
+/// Total cost of a policy through the engine's bare (unvalidated,
+/// uninstrumented) single-shard configuration — the fast path for
+/// ablation sweeps and searches, replacing the old ad-hoc `run_raw`
+/// loops. The paid-service flag and flush payloads are still verified, so
+/// a policy cannot misreport its own cost.
+///
+/// # Panics
+/// Panics if the policy misreports a payment or a flush payload.
+#[must_use]
+pub fn bare_cost(
+    tree: &Tree,
+    policy: &mut dyn CachePolicy,
+    requests: &[Request],
+    alpha: u64,
+) -> u64 {
+    let mut engine = ShardedEngine::single_borrowed(tree, policy, EngineConfig::bare(alpha));
+    engine.submit_batch(requests).expect("policy must not violate the protocol");
+    engine.into_report().expect("policy must not violate the protocol").total()
 }
 
 /// `a / b` with the zero conventions of experiments (0/0 = 1).

@@ -13,9 +13,11 @@
 //! present either (downward closure), so the packet can only hit the
 //! default rule — never a wrong less-specific rule.
 
-use otc_core::policy::{ActionBuffer, CachePolicy};
+use otc_core::forest::Forest;
+use otc_core::policy::{CachePolicy, PolicyFactory};
 use otc_core::request::Request;
-use otc_core::tree::NodeId;
+use otc_core::tree::{NodeId, Tree};
+use otc_sim::engine::{EngineConfig, ShardHandle, ShardedEngine};
 use otc_trie::RuleTree;
 use otc_util::{SplitMix64, Zipf};
 
@@ -29,7 +31,7 @@ pub enum FibEvent {
 }
 
 /// Application-level outcome of a FIB-caching run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FibReport {
     /// Policy under test.
     pub name: String,
@@ -65,51 +67,184 @@ impl FibReport {
     pub fn total_cost(&self) -> u64 {
         self.service_cost + self.reorg_cost
     }
+
+    /// Component-wise accumulation (aggregating per-shard reports).
+    pub fn add(&mut self, other: &FibReport) {
+        self.packets += other.packets;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.updates += other.updates;
+        self.updates_while_cached += other.updates_while_cached;
+        self.service_cost += other.service_cost;
+        self.reorg_cost += other.reorg_cost;
+    }
 }
 
-/// Runs a caching policy over an event stream.
+/// A FIB event whose rule has already been resolved to a tree node
+/// (shard-local when routed through a [`Forest`]): packets carry their
+/// longest-matching-prefix rule instead of a raw address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutedFibEvent {
+    /// A data packet whose LMP rule is this node.
+    Packet(NodeId),
+    /// A routing update rewriting this rule.
+    Update(NodeId),
+}
+
+/// Resolves and routes an event stream across a forest's shards: each
+/// packet's LMP rule and each update's rule is looked up once, mapped to
+/// its `(shard, local node)` home, and appended to that shard's stream
+/// (preserving relative order within a shard).
+#[must_use]
+pub fn route_events(
+    rules: &RuleTree,
+    forest: &Forest,
+    events: &[FibEvent],
+) -> Vec<Vec<RoutedFibEvent>> {
+    let mut per_shard: Vec<Vec<RoutedFibEvent>> = vec![Vec::new(); forest.num_shards()];
+    for &event in events {
+        let (rule, is_packet) = match event {
+            FibEvent::Packet(addr) => (rules.lmp(addr), true),
+            FibEvent::Update(rule) => (rule, false),
+        };
+        let (shard, local) = forest.route(rule);
+        per_shard[shard.index()].push(if is_packet {
+            RoutedFibEvent::Packet(local)
+        } else {
+            RoutedFibEvent::Update(local)
+        });
+    }
+    per_shard
+}
+
+/// The one FIB drive loop, shared by every entry point: drives a resolved
+/// event stream through one engine shard. Each packet becomes one positive
+/// request to its rule; each update probes the cache (for the
+/// `updates_while_cached` counter) and becomes a chunk of `alpha` negative
+/// requests (the paper's encoding of the α router-update cost).
+fn drive_fib(
+    handle: &mut ShardHandle<'_, '_>,
+    events: &[RoutedFibEvent],
+    alpha: u64,
+) -> Result<FibReport, String> {
+    let mut report = FibReport { name: handle.policy_name().to_string(), ..FibReport::default() };
+    for &event in events {
+        match event {
+            RoutedFibEvent::Packet(rule) => {
+                report.packets += 1;
+                let out = handle.step(Request::pos(rule))?;
+                if out.paid {
+                    report.misses += 1;
+                    report.service_cost += 1;
+                } else {
+                    report.hits += 1;
+                }
+                report.reorg_cost += alpha * out.nodes_touched;
+            }
+            RoutedFibEvent::Update(rule) => {
+                report.updates += 1;
+                if handle.cache().contains(rule) {
+                    report.updates_while_cached += 1;
+                }
+                for _ in 0..alpha {
+                    let out = handle.step(Request::neg(rule))?;
+                    report.service_cost += u64::from(out.paid);
+                    report.reorg_cost += alpha * out.nodes_touched;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Runs a caching policy over a resolved event stream on one tree — the
+/// single-shard reference pipeline (and the per-subtrie baseline the
+/// sharded pipeline is differentially tested against).
+///
+/// # Panics
+/// Panics if the policy violates the caching protocol (misreported
+/// service payment or an inconsistent flush payload).
+pub fn run_fib_routed(
+    tree: &Tree,
+    policy: &mut dyn CachePolicy,
+    events: &[RoutedFibEvent],
+    alpha: u64,
+) -> FibReport {
+    let mut engine = ShardedEngine::single_borrowed(tree, policy, EngineConfig::bare(alpha));
+    let mut reports = engine.map_shards(|handle| drive_fib(handle, events, alpha));
+    reports.pop().expect("one shard").expect("policy violated the caching protocol")
+}
+
+/// Runs a caching policy over an event stream (single shard, whole trie).
 ///
 /// Each packet becomes one positive request to its LMP rule; each update
 /// becomes a chunk of `alpha` negative requests to the rule (the paper's
-/// encoding of the α router-update cost).
+/// encoding of the α router-update cost). A thin adapter over the engine:
+/// resolves LMP per packet, then drives the single-shard pipeline.
+///
+/// # Panics
+/// Panics if the policy violates the caching protocol.
 pub fn run_fib(
     rules: &RuleTree,
     policy: &mut dyn CachePolicy,
     events: &[FibEvent],
     alpha: u64,
 ) -> FibReport {
-    let mut report = FibReport { name: policy.name().to_string(), ..FibReport::default() };
-    // One reusable buffer for the whole event stream: steady-state events
-    // allocate nothing.
-    let mut buf = ActionBuffer::new();
-    for &event in events {
-        match event {
-            FibEvent::Packet(addr) => {
-                let rule = rules.lmp(addr);
-                report.packets += 1;
-                policy.step(Request::pos(rule), &mut buf);
-                if buf.paid_service() {
-                    report.misses += 1;
-                    report.service_cost += 1;
-                } else {
-                    report.hits += 1;
-                }
-                report.reorg_cost += alpha * buf.nodes_touched() as u64;
-            }
-            FibEvent::Update(rule) => {
-                report.updates += 1;
-                if policy.cache().contains(rule) {
-                    report.updates_while_cached += 1;
-                }
-                for _ in 0..alpha {
-                    policy.step(Request::neg(rule), &mut buf);
-                    report.service_cost += u64::from(buf.paid_service());
-                    report.reorg_cost += alpha * buf.nodes_touched() as u64;
-                }
-            }
-        }
+    let routed: Vec<RoutedFibEvent> = events
+        .iter()
+        .map(|&event| match event {
+            FibEvent::Packet(addr) => RoutedFibEvent::Packet(rules.lmp(addr)),
+            FibEvent::Update(rule) => RoutedFibEvent::Update(rule),
+        })
+        .collect();
+    run_fib_routed(rules.tree(), policy, &routed, alpha)
+}
+
+/// Outcome of a sharded FIB run: the aggregate plus per-shard breakdowns.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedFibReport {
+    /// Component-wise sum over all shards.
+    pub total: FibReport,
+    /// Per-shard reports, in shard order.
+    pub per_shard: Vec<FibReport>,
+}
+
+/// The sharded FIB pipeline: partitions the rule trie at the default route
+/// into `shards` size-balanced subtrie groups ([`Forest::partition`]),
+/// builds one policy per shard via `factory` (which decides the per-shard
+/// capacity split), routes the event stream once, and drives all shards in
+/// parallel on `threads` workers.
+///
+/// Per-shard results are deterministic and independent of `threads`; the
+/// aggregate equals the component-wise sum of running each shard's event
+/// stream through [`run_fib_routed`] on its own (pinned by the
+/// differential test in `tests/fib_pipeline.rs`).
+///
+/// # Panics
+/// Panics if any shard's policy violates the caching protocol.
+#[must_use]
+pub fn run_fib_sharded(
+    rules: &RuleTree,
+    factory: &dyn PolicyFactory,
+    events: &[FibEvent],
+    alpha: u64,
+    shards: usize,
+    threads: usize,
+) -> ShardedFibReport {
+    let forest = Forest::partition(rules.tree(), shards);
+    let per_shard_events = route_events(rules, &forest, events);
+    let mut engine =
+        ShardedEngine::new(forest, factory, EngineConfig::bare(alpha).threads(threads));
+    let per_shard: Vec<FibReport> = engine
+        .map_shards(|handle| drive_fib(handle, &per_shard_events[handle.shard().index()], alpha))
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("policy violated the caching protocol");
+    let mut total = FibReport { name: per_shard[0].name.clone(), ..FibReport::default() };
+    for report in &per_shard {
+        total.add(report);
     }
-    report
+    ShardedFibReport { total, per_shard }
 }
 
 /// Translates events into the flat request stream of the abstract problem,
@@ -361,5 +496,55 @@ mod tests {
         let report = run_fib(&rules, &mut tc, &[], 2);
         assert_eq!(report.total_cost(), 0);
         assert_eq!(report.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn resumed_run_fib_accumulates() {
+        // Chunked drives with one persistent policy must agree with one
+        // continuous drive (the engine adopts the policy's cache state).
+        let rules = small_rules();
+        let tree = Arc::new(rules.tree().clone());
+        let mut rng = SplitMix64::new(9);
+        let cfg = FibWorkloadConfig { events: 1500, theta: 1.0, update_p: 0.05, addr_attempts: 16 };
+        let events = generate_events(&rules, cfg, &mut rng);
+        let mut tc_once = TcFast::new(Arc::clone(&tree), TcConfig::new(2, 3));
+        let full = run_fib(&rules, &mut tc_once, &events, 2);
+        let mut tc_chunked = TcFast::new(Arc::clone(&tree), TcConfig::new(2, 3));
+        let mut sum = FibReport { name: full.name.clone(), ..FibReport::default() };
+        for chunk in events.chunks(97) {
+            sum.add(&run_fib(&rules, &mut tc_chunked, chunk, 2));
+        }
+        assert_eq!(sum, full);
+    }
+
+    #[test]
+    fn sharded_fib_matches_sum_of_per_shard_runs() {
+        use otc_core::forest::{Forest, ShardId};
+        use otc_core::policy::CachePolicy;
+        use otc_core::tree::Tree;
+
+        let rules = small_rules();
+        let mut rng = SplitMix64::new(3);
+        let cfg = FibWorkloadConfig { events: 4000, theta: 1.0, update_p: 0.05, addr_attempts: 16 };
+        let events = generate_events(&rules, cfg, &mut rng);
+        let alpha = 2u64;
+        let factory = |tree: Arc<Tree>, _shard: ShardId| {
+            Box::new(TcFast::new(tree, TcConfig::new(alpha, 2))) as Box<dyn CachePolicy>
+        };
+        for shards in [1usize, 2] {
+            let sharded = run_fib_sharded(&rules, &factory, &events, alpha, shards, shards);
+            let forest = Forest::partition(rules.tree(), shards);
+            assert_eq!(sharded.per_shard.len(), forest.num_shards());
+            let per_shard_events = route_events(&rules, &forest, &events);
+            let mut sum = FibReport { name: "tc".to_string(), ..FibReport::default() };
+            for (s, shard_events) in per_shard_events.iter().enumerate() {
+                let sid = ShardId(s as u32);
+                let mut policy = factory(Arc::clone(forest.tree(sid)), sid);
+                let solo = run_fib_routed(forest.tree(sid), policy.as_mut(), shard_events, alpha);
+                assert_eq!(sharded.per_shard[s], solo, "shard {s}");
+                sum.add(&solo);
+            }
+            assert_eq!(sharded.total, sum, "{shards} shards");
+        }
     }
 }

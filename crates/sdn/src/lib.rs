@@ -7,7 +7,10 @@
 //! α-chunks of negative requests.
 //!
 //! * [`fib`] — the system model, workload generator, and forwarding-
-//!   correctness checker;
+//!   correctness checker, including the **sharded pipeline**
+//!   ([`run_fib_sharded`]): the rule trie partitioned at the default
+//!   route into independent subtrie shards, each with its own policy,
+//!   driven in parallel through `otc-sim`'s [`otc_sim::ShardedEngine`];
 //! * [`canonical`] — Appendix B: recorded solutions, the independent
 //!   solution evaluator, and the factor-2 canonicalization transform.
 
@@ -19,6 +22,6 @@ pub mod fib;
 
 pub use canonical::{canonicalize, evaluate_solution, is_canonical, record_run, Solution};
 pub use fib::{
-    forwarding_violations, generate_events, run_fib, to_request_stream, FibEvent, FibReport,
-    FibWorkloadConfig,
+    forwarding_violations, generate_events, route_events, run_fib, run_fib_routed, run_fib_sharded,
+    to_request_stream, FibEvent, FibReport, FibWorkloadConfig, RoutedFibEvent, ShardedFibReport,
 };

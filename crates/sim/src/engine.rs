@@ -1,0 +1,971 @@
+//! The sharded execution engine: one API over forests of trees.
+//!
+//! [`ShardedEngine`] owns a [`Forest`] (one or more trees partitioned into
+//! shards), one boxed [`CachePolicy`] per shard (built by a
+//! [`PolicyFactory`]), and one verified `Driver` per shard — the same
+//! mirror/validation/instrumentation state the classic drivers use, so the
+//! zero-allocation round contract holds **per shard**: one `ActionBuffer`
+//! plus validation scratch per shard, reused across all rounds.
+//!
+//! Requests are *globally* addressed; a flat routing table (O(1), no
+//! hashing) maps each to its `(shard, local node)` home:
+//!
+//! * [`ShardedEngine::submit`] — one request, processed inline;
+//! * [`ShardedEngine::submit_batch`] — routes a batch into per-shard
+//!   queues, then drains all shards **in parallel** on scoped worker
+//!   threads ([`otc_util::parallel_map_mut`]); per-shard order is the
+//!   batch's arrival order, so results are deterministic regardless of
+//!   thread count;
+//! * [`ShardedEngine::submit_trace`] — parses a serialized request trace
+//!   (`otc_workloads::trace` line format) and batch-submits it;
+//! * [`ShardedEngine::map_shards`] — runs a caller-supplied per-shard loop
+//!   (with step-level access through [`ShardHandle`]) across all shards in
+//!   parallel; this is how application pipelines with their own event
+//!   semantics (e.g. `otc-sdn`'s FIB pipeline) ride the engine.
+//!
+//! The classic entry points are now thin single-shard adapters over this
+//! engine: [`crate::run_policy`] (per-round), [`crate::run_stream`]
+//! (chunked + audited), and `otc_sdn::run_fib` (FIB events). A 1-shard
+//! engine produces bit-identical [`Report`]s to those drivers —
+//! `crates/sim/tests/proptest_engine.rs` pins that differentially.
+
+use std::sync::Arc;
+
+use otc_core::cache::CacheSet;
+use otc_core::forest::{Forest, ShardId};
+use otc_core::policy::{CachePolicy, PolicyFactory};
+use otc_core::request::Request;
+use otc_core::tree::Tree;
+
+use crate::report::Report;
+use crate::runner::{Driver, SimConfig};
+
+/// Engine options: a builder-style superset of [`SimConfig`] (verification
+/// mode, α, instrumentation) plus the engine-level knobs (audit/fold
+/// cadence for batches, worker threads for parallel shard execution).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// The per-node reorganisation cost α.
+    pub alpha: u64,
+    /// Verify subforest/validity/capacity invariants after every action.
+    pub validate: bool,
+    /// Track fields, periods and phases (small constant overhead).
+    pub instrument: bool,
+    /// Batch chunking cadence: cost accounting folds into the report once
+    /// per this many requests, and in debug builds the policy's
+    /// [`CachePolicy::audit`] self-check runs at every chunk boundary.
+    /// `None` (the default) processes each batch as one chunk with no
+    /// audits — the classic `run_policy` behaviour.
+    pub audit_chunk: Option<usize>,
+    /// Worker threads for [`ShardedEngine::submit_batch`] /
+    /// [`ShardedEngine::map_shards`]. `1` (the default) drains shards
+    /// sequentially on the calling thread. Thread count never affects
+    /// results — shards are independent and internally sequential.
+    pub threads: usize,
+}
+
+impl EngineConfig {
+    /// Standard configuration: full validation and instrumentation,
+    /// single-threaded, no chunking.
+    #[must_use]
+    pub fn new(alpha: u64) -> Self {
+        Self { alpha, validate: true, instrument: true, audit_chunk: None, threads: 1 }
+    }
+
+    /// Fast configuration for throughput runs: no per-action validation,
+    /// no instrumentation (paid-flag and flush-payload checks still run —
+    /// they are O(1)/O(|flush|) and gate cost misreporting).
+    #[must_use]
+    pub fn bare(alpha: u64) -> Self {
+        Self { alpha, validate: false, instrument: false, audit_chunk: None, threads: 1 }
+    }
+
+    /// Sets the per-action validation mode.
+    #[must_use]
+    pub fn validate(mut self, on: bool) -> Self {
+        self.validate = on;
+        self
+    }
+
+    /// Sets fields/periods/phases instrumentation.
+    #[must_use]
+    pub fn instrument(mut self, on: bool) -> Self {
+        self.instrument = on;
+        self
+    }
+
+    /// Enables chunked batch accounting with (debug-build) audits every
+    /// `chunk` requests per shard — the `run_stream` cadence.
+    ///
+    /// # Panics
+    /// Panics if `chunk == 0`.
+    #[must_use]
+    pub fn audit_every(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk_size must be positive");
+        self.audit_chunk = Some(chunk);
+        self
+    }
+
+    /// Sets the worker thread count for batch ingestion.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The per-round simulator options this configuration implies.
+    #[must_use]
+    pub fn sim(&self) -> SimConfig {
+        SimConfig { alpha: self.alpha, validate: self.validate, instrument: self.instrument }
+    }
+}
+
+impl From<SimConfig> for EngineConfig {
+    fn from(cfg: SimConfig) -> Self {
+        Self {
+            alpha: cfg.alpha,
+            validate: cfg.validate,
+            instrument: cfg.instrument,
+            audit_chunk: None,
+            threads: 1,
+        }
+    }
+}
+
+/// A protocol violation (or configuration error) surfaced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// The shard whose policy violated the protocol, if attributable.
+    pub shard: Option<ShardId>,
+    /// The violation, in the simulator's classic message format.
+    pub message: String,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.shard {
+            Some(s) => write!(f, "shard {s}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// What one submitted request did (single-request entry point only; batch
+/// submission accounts in bulk through the per-shard [`Report`]s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The shard the request was routed to.
+    pub shard: ShardId,
+    /// Whether the request paid the service cost.
+    pub paid: bool,
+    /// Nodes fetched/evicted this round (each costs α).
+    pub nodes_touched: u64,
+}
+
+/// The shard tree: owned by the forest, or borrowed from the caller (the
+/// classic single-shard adapters drive a `&Tree` without cloning it).
+enum TreeRef<'p> {
+    Owned(Arc<Tree>),
+    Borrowed(&'p Tree),
+}
+
+impl TreeRef<'_> {
+    #[inline]
+    fn get(&self) -> &Tree {
+        match self {
+            TreeRef::Owned(t) => t,
+            TreeRef::Borrowed(t) => t,
+        }
+    }
+}
+
+/// All per-shard state: the policy, its verified driver (mirror, scratch,
+/// action buffer — all reused across rounds), the accumulating report, and
+/// the batch staging queue (capacity reused across batches).
+struct ShardState<'p> {
+    tree: TreeRef<'p>,
+    policy: Box<dyn CachePolicy + 'p>,
+    driver: Driver,
+    report: Report,
+    queue: Vec<Request>,
+    round: usize,
+    /// First protocol violation observed on this shard (sticky): set by
+    /// [`ShardHandle::step`] so violations inside [`ShardedEngine::map_shards`]
+    /// closures poison the engine even if the closure discards the error.
+    failed: Option<String>,
+}
+
+impl ShardState<'_> {
+    /// Drives `reqs` through this shard in order, folding cost accounting
+    /// into the report once per chunk (`audit_chunk`, or the whole slice).
+    fn drain(&mut self, reqs: &[Request], cfg: &EngineConfig) -> Result<(), String> {
+        let sim = cfg.sim();
+        let n = self.tree.get().len();
+        let chunk_size = cfg.audit_chunk.unwrap_or(usize::MAX);
+        for chunk in reqs.chunks(chunk_size) {
+            let mut service = 0u64;
+            let mut touched = 0u64;
+            for &req in chunk {
+                if req.node.index() >= n {
+                    return Err(format!(
+                        "round {}: request targets node {} but the shard tree has {n} nodes",
+                        self.round, req.node
+                    ));
+                }
+                let (paid, t) = self.driver.round(
+                    self.tree.get(),
+                    &mut *self.policy,
+                    req,
+                    self.round,
+                    sim,
+                    &mut self.report,
+                )?;
+                service += u64::from(paid);
+                touched += t;
+                self.round += 1;
+            }
+            self.report.cost.service += service;
+            self.report.cost.reorg += sim.alpha * touched;
+            if cfg.audit_chunk.is_some() {
+                #[cfg(debug_assertions)]
+                self.policy.audit().map_err(|e| {
+                    format!("round {}: policy audit failed at chunk boundary: {e}", self.round)
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the staged queue, keeping its storage for the next batch.
+    fn drain_queue(&mut self, cfg: &EngineConfig) -> Result<(), String> {
+        let queue = std::mem::take(&mut self.queue);
+        let result = self.drain(&queue, cfg);
+        self.queue = queue;
+        self.queue.clear();
+        result
+    }
+}
+
+/// Step-level access to one shard, handed to [`ShardedEngine::map_shards`]
+/// closures. All node ids seen through a handle are **shard-local**.
+pub struct ShardHandle<'a, 'p> {
+    state: &'a mut ShardState<'p>,
+    shard: ShardId,
+    cfg: EngineConfig,
+}
+
+impl ShardHandle<'_, '_> {
+    /// Drives one shard-local request through the shard's verified driver
+    /// and folds its cost into the shard report.
+    ///
+    /// # Errors
+    /// The simulator's classic protocol violations.
+    pub fn step(&mut self, req: Request) -> Result<SubmitOutcome, String> {
+        let sim = self.cfg.sim();
+        let st = &mut *self.state;
+        if let Some(message) = &st.failed {
+            return Err(message.clone());
+        }
+        if req.node.index() >= st.tree.get().len() {
+            let message = format!(
+                "round {}: request targets node {} but the shard tree has {} nodes",
+                st.round,
+                req.node,
+                st.tree.get().len()
+            );
+            st.failed = Some(message.clone());
+            return Err(message);
+        }
+        let round =
+            st.driver.round(st.tree.get(), &mut *st.policy, req, st.round, sim, &mut st.report);
+        let (paid, touched) = match round {
+            Ok(out) => out,
+            Err(message) => {
+                st.failed = Some(message.clone());
+                return Err(message);
+            }
+        };
+        st.round += 1;
+        st.report.cost.service += u64::from(paid);
+        st.report.cost.reorg += sim.alpha * touched;
+        Ok(SubmitOutcome { shard: self.shard, paid, nodes_touched: touched })
+    }
+
+    /// This shard's id.
+    #[must_use]
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// The shard's tree.
+    #[must_use]
+    pub fn tree(&self) -> &Tree {
+        self.state.tree.get()
+    }
+
+    /// Read-only view of the shard policy's cache (shard-local ids).
+    #[must_use]
+    pub fn cache(&self) -> &CacheSet {
+        self.state.policy.cache()
+    }
+
+    /// The shard policy's name.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.state.policy.name()
+    }
+}
+
+/// One `Engine` API over forests of trees: per-shard verified policies,
+/// batch submission with O(1) routing, parallel per-shard execution.
+///
+/// ```
+/// use std::sync::Arc;
+/// use otc_core::forest::{Forest, ShardId};
+/// use otc_core::policy::CachePolicy;
+/// use otc_core::tc::{TcConfig, TcFast};
+/// use otc_core::tree::Tree;
+/// use otc_core::Request;
+/// use otc_sim::engine::{EngineConfig, ShardedEngine};
+///
+/// // A star of 8 leaves split into 4 shards, each with its own TC.
+/// let tree = Tree::star(8);
+/// let forest = Forest::partition(&tree, 4);
+/// let factory = |shard_tree: Arc<Tree>, _shard: ShardId| {
+///     Box::new(TcFast::new(shard_tree, TcConfig::new(2, 2))) as Box<dyn CachePolicy>
+/// };
+/// let mut engine = ShardedEngine::new(forest, &factory, EngineConfig::new(2).threads(4));
+///
+/// // Globally-addressed batch: the engine routes each request home.
+/// let reqs: Vec<Request> = (1..=8).flat_map(|v| {
+///     std::iter::repeat(Request::pos(otc_core::tree::NodeId(v))).take(2)
+/// }).collect();
+/// engine.submit_batch(&reqs).unwrap();
+/// let report = engine.into_report().unwrap();
+/// assert_eq!(report.cost.service, 16); // every leaf paid α = 2 before its fetch
+/// assert_eq!(report.nodes_fetched, 8);
+/// ```
+pub struct ShardedEngine<'p> {
+    /// `None` for the borrowed single-shard adapter (identity routing).
+    forest: Option<Forest>,
+    shards: Vec<ShardState<'p>>,
+    cfg: EngineConfig,
+    failed: Option<EngineError>,
+    /// Cached [`Forest::is_identity_routing`] (always true without a
+    /// forest): lets single-shard batches drain straight from the
+    /// caller's slice.
+    identity_routing: bool,
+}
+
+impl<'p> ShardedEngine<'p> {
+    /// Builds an engine over `forest`, asking `factory` for one policy per
+    /// shard.
+    #[must_use]
+    pub fn new(forest: Forest, factory: &dyn PolicyFactory, cfg: EngineConfig) -> Self {
+        let shards = (0..forest.num_shards())
+            .map(|s| {
+                let sid = ShardId(s as u32);
+                let tree = Arc::clone(forest.tree(sid));
+                let policy: Box<dyn CachePolicy + 'p> = factory.build(Arc::clone(&tree), sid);
+                Self::shard_state(TreeRef::Owned(tree), policy, &cfg)
+            })
+            .collect();
+        let identity_routing = forest.is_identity_routing();
+        Self { forest: Some(forest), shards, cfg, failed: None, identity_routing }
+    }
+
+    /// A single-shard engine over an owned tree and policy.
+    #[must_use]
+    pub fn single(tree: Arc<Tree>, policy: Box<dyn CachePolicy + 'p>, cfg: EngineConfig) -> Self {
+        let state = Self::shard_state(TreeRef::Owned(Arc::clone(&tree)), policy, &cfg);
+        Self {
+            forest: Some(Forest::single(tree)),
+            shards: vec![state],
+            cfg,
+            failed: None,
+            identity_routing: true,
+        }
+    }
+
+    /// A single-shard engine borrowing the caller's tree and policy — the
+    /// zero-copy adapter path behind [`crate::run_policy`] /
+    /// [`crate::run_stream`].
+    #[must_use]
+    pub fn single_borrowed(
+        tree: &'p Tree,
+        policy: &'p mut dyn CachePolicy,
+        cfg: EngineConfig,
+    ) -> Self {
+        let state = Self::shard_state(TreeRef::Borrowed(tree), Box::new(policy), &cfg);
+        Self { forest: None, shards: vec![state], cfg, failed: None, identity_routing: true }
+    }
+
+    fn shard_state(
+        tree: TreeRef<'p>,
+        policy: Box<dyn CachePolicy + 'p>,
+        cfg: &EngineConfig,
+    ) -> ShardState<'p> {
+        let n = tree.get().len();
+        let report = Report { name: policy.name().to_string(), ..Report::default() };
+        let mut driver = Driver::new(n, cfg.sim());
+        // Resumable drives: a borrowed policy may already hold cache
+        // content from an earlier run; the mirror starts from its real
+        // state (empty for freshly built policies).
+        driver.adopt_cache(policy.cache());
+        ShardState { tree, policy, driver, report, queue: Vec::new(), round: 0, failed: None }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// The forest this engine routes over (`None` for the borrowed
+    /// single-shard adapter, which routes identically).
+    #[must_use]
+    pub fn forest(&self) -> Option<&Forest> {
+        self.forest.as_ref()
+    }
+
+    /// Read-only view of one shard policy's cache (shard-local ids).
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard_cache(&self, shard: ShardId) -> &CacheSet {
+        self.shards[shard.index()].policy.cache()
+    }
+
+    fn check_live(&self) -> Result<(), EngineError> {
+        match &self.failed {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn fail(&mut self, shard: ShardId, message: String) -> EngineError {
+        let e = EngineError { shard: Some(shard), message };
+        self.failed = Some(e.clone());
+        e
+    }
+
+    /// Routes a globally-addressed request. O(1); errors on ids outside
+    /// the global space.
+    fn route(&self, r: Request) -> Result<(usize, Request), EngineError> {
+        match &self.forest {
+            Some(f) => {
+                if r.node.index() >= f.global_len() {
+                    return Err(EngineError {
+                        shard: None,
+                        message: format!(
+                            "request targets node {} but the forest has {} nodes",
+                            r.node,
+                            f.global_len()
+                        ),
+                    });
+                }
+                let (s, local) = f.route_request(r);
+                Ok((s.index(), local))
+            }
+            // Borrowed single shard: identity routing; the drain loop
+            // bounds-checks against the tree.
+            None => Ok((0, r)),
+        }
+    }
+
+    /// Submits one globally-addressed request, processed inline, and
+    /// reports what it did.
+    ///
+    /// # Errors
+    /// Routing errors and the simulator's classic protocol violations; any
+    /// violation poisons the engine (subsequent calls return it again).
+    pub fn submit(&mut self, req: Request) -> Result<SubmitOutcome, EngineError> {
+        self.check_live()?;
+        let (s, local) = self.route(req)?;
+        let sid = ShardId(s as u32);
+        let mut handle = ShardHandle { state: &mut self.shards[s], shard: sid, cfg: self.cfg };
+        match handle.step(local) {
+            Ok(out) => Ok(out),
+            Err(message) => Err(self.fail(sid, message)),
+        }
+    }
+
+    /// Submits a batch of globally-addressed requests: routes each into
+    /// its shard's staging queue, then drains all shards in parallel on
+    /// `cfg.threads` scoped worker threads. Within a shard, requests are
+    /// processed in batch order; thread count never changes any result.
+    ///
+    /// Queue storage is retained across batches, so once queues reach the
+    /// workload's high-water mark a steady-state batch allocates nothing
+    /// beyond the O(threads) cost of the worker scope itself (zero with
+    /// `threads = 1`).
+    ///
+    /// # Errors
+    /// Routing errors (which reject the whole batch atomically — nothing
+    /// is applied) and protocol violations (first failing shard wins); any
+    /// violation poisons the engine.
+    pub fn submit_batch(&mut self, reqs: &[Request]) -> Result<(), EngineError> {
+        self.check_live()?;
+        let cfg = self.cfg;
+        // Fast path: identity routing (the borrowed adapter, or an owned
+        // single shard whose local ids equal the global ids) drains
+        // straight from the caller's slice. A 1-shard *partitioned*
+        // forest can renumber nodes, so it must route like any other.
+        if self.shards.len() == 1 && self.identity_routing {
+            return match self.shards[0].drain(reqs, &cfg) {
+                Ok(()) => Ok(()),
+                Err(message) => Err(self.fail(ShardId(0), message)),
+            };
+        }
+        for &r in reqs {
+            match self.route(r) {
+                Ok((s, local)) => self.shards[s].queue.push(local),
+                Err(e) => {
+                    // Unstage the partially-routed batch: queues are empty
+                    // between calls, so clearing restores the pre-call
+                    // state exactly (capacity is kept).
+                    for st in &mut self.shards {
+                        st.queue.clear();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if cfg.threads <= 1 {
+            for s in 0..self.shards.len() {
+                if let Err(message) = self.shards[s].drain_queue(&cfg) {
+                    return Err(self.fail(ShardId(s as u32), message));
+                }
+            }
+            return Ok(());
+        }
+        let results =
+            otc_util::parallel_map_mut(&mut self.shards, cfg.threads, |_, st| st.drain_queue(&cfg));
+        for (s, result) in results.into_iter().enumerate() {
+            if let Err(message) = result {
+                return Err(self.fail(ShardId(s as u32), message));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a serialized request trace (the `otc_workloads::trace` line
+    /// format: `+id` / `-id`, comments and blanks ignored) and submits it
+    /// as one batch.
+    ///
+    /// # Errors
+    /// Parse errors (with line numbers), routing errors, and protocol
+    /// violations.
+    pub fn submit_trace(&mut self, text: &str) -> Result<(), EngineError> {
+        let reqs = otc_workloads::trace::from_text(text)
+            .map_err(|message| EngineError { shard: None, message })?;
+        self.submit_batch(&reqs)
+    }
+
+    /// Runs `f` once per shard — in parallel on `cfg.threads` workers —
+    /// with step-level access through a [`ShardHandle`]. Returns the
+    /// per-shard results in shard order.
+    ///
+    /// This is the extension point for application pipelines whose event
+    /// semantics need more than a flat request stream (cache probes,
+    /// per-event counters): `otc_sdn::run_fib_sharded` is the canonical
+    /// user.
+    pub fn map_shards<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut ShardHandle<'_, 'p>) -> R + Sync,
+    {
+        let cfg = self.cfg;
+        let results = otc_util::parallel_map_mut(&mut self.shards, cfg.threads, |i, st| {
+            let mut handle = ShardHandle { state: st, shard: ShardId(i as u32), cfg };
+            f(&mut handle)
+        });
+        // A violation inside a shard loop poisons the engine even if the
+        // closure discarded the error: [`ShardHandle::step`] records it on
+        // the shard, and the sweep below promotes the first one (by shard
+        // index) to the engine-level failure.
+        if self.failed.is_none() {
+            for (s, st) in self.shards.iter().enumerate() {
+                if let Some(message) = &st.failed {
+                    self.failed = Some(EngineError {
+                        shard: Some(ShardId(s as u32)),
+                        message: message.clone(),
+                    });
+                    break;
+                }
+            }
+        }
+        results
+    }
+
+    /// Finishes every shard (closing open phases into instrumentation) and
+    /// returns the per-shard reports in shard order.
+    ///
+    /// # Errors
+    /// Returns the stored error if any prior submission failed.
+    pub fn into_reports(self) -> Result<Vec<Report>, EngineError> {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        let sim = self.cfg.sim();
+        Ok(self
+            .shards
+            .into_iter()
+            .map(|st| {
+                let mut report = st.report;
+                st.driver.finish(sim, &mut report);
+                report
+            })
+            .collect())
+    }
+
+    /// Finishes every shard and aggregates the per-shard reports into one
+    /// [`Report`] (see [`aggregate_reports`]). For a 1-shard engine this
+    /// is bit-identical to the classic drivers' report.
+    ///
+    /// # Errors
+    /// Returns the stored error if any prior submission failed.
+    pub fn into_report(self) -> Result<Report, EngineError> {
+        Ok(aggregate_reports(self.into_reports()?))
+    }
+}
+
+/// Merges per-shard reports into one: costs, rounds and event counters
+/// sum; `peak_cache` sums (the forest's aggregate cache footprint); field
+/// and period statistics sum component-wise (present only when every shard
+/// was instrumented); phase records concatenate in shard order. The name
+/// is the first shard's policy name. Merging a single report is the
+/// identity.
+///
+/// # Panics
+/// Panics if `reports` is empty.
+#[must_use]
+pub fn aggregate_reports(reports: Vec<Report>) -> Report {
+    assert!(!reports.is_empty(), "nothing to aggregate");
+    let mut iter = reports.into_iter();
+    let mut total = iter.next().expect("non-empty");
+    for r in iter {
+        total.cost.add(r.cost);
+        total.rounds += r.rounds;
+        total.paid_rounds += r.paid_rounds;
+        total.fetch_events += r.fetch_events;
+        total.evict_events += r.evict_events;
+        total.flush_events += r.flush_events;
+        total.nodes_fetched += r.nodes_fetched;
+        total.nodes_evicted += r.nodes_evicted;
+        total.peak_cache += r.peak_cache;
+        total.fields = match (total.fields.take(), r.fields) {
+            (Some(mut a), Some(b)) => {
+                a.positive_fields += b.positive_fields;
+                a.negative_fields += b.negative_fields;
+                a.total_size += b.total_size;
+                a.total_requests += b.total_requests;
+                a.saturation_violations += b.saturation_violations;
+                a.field_sizes.extend(b.field_sizes);
+                a.open_field_requests += b.open_field_requests;
+                Some(a)
+            }
+            _ => None,
+        };
+        total.periods = match (total.periods.take(), r.periods) {
+            (Some(mut a), Some(b)) => {
+                a.pout += b.pout;
+                a.pin += b.pin;
+                a.full_out += b.full_out;
+                a.full_in += b.full_in;
+                a.per_phase_balance.extend(b.per_phase_balance);
+                Some(a)
+            }
+            _ => None,
+        };
+        total.phases.extend(r.phases);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otc_core::tc::{TcConfig, TcFast};
+    use otc_core::tree::NodeId;
+    use otc_core::Request;
+    use otc_util::SplitMix64;
+
+    fn tc_factory(
+        alpha: u64,
+        capacity: usize,
+    ) -> impl Fn(Arc<Tree>, ShardId) -> Box<dyn CachePolicy> {
+        move |tree, _| Box::new(TcFast::new(tree, TcConfig::new(alpha, capacity)))
+    }
+
+    fn mixed_requests(n: usize, len: usize, seed: u64) -> Vec<Request> {
+        let mut rng = SplitMix64::new(seed);
+        (0..len)
+            .map(|_| {
+                let v = NodeId(rng.index(n) as u32);
+                if rng.chance(0.4) {
+                    Request::neg(v)
+                } else {
+                    Request::pos(v)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_shard_engine_matches_run_policy() {
+        let tree = Arc::new(Tree::kary(2, 4));
+        let reqs = mixed_requests(tree.len(), 4000, 7);
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(3, 6));
+        let base = crate::run_policy(&tree, &mut tc, &reqs, SimConfig::new(3)).expect("valid");
+
+        let factory = tc_factory(3, 6);
+        let mut engine =
+            ShardedEngine::new(Forest::single(Arc::clone(&tree)), &factory, EngineConfig::new(3));
+        engine.submit_batch(&reqs).expect("valid");
+        let report = engine.into_report().expect("valid");
+        assert_eq!(report, base, "1-shard engine must be bit-identical to run_policy");
+    }
+
+    #[test]
+    fn batch_order_is_preserved_per_shard_regardless_of_threads() {
+        let tree = Tree::star(16);
+        let reqs = mixed_requests(tree.len(), 6000, 11);
+        let mut reports = Vec::new();
+        for threads in [1usize, 4] {
+            let factory = tc_factory(2, 3);
+            let mut engine = ShardedEngine::new(
+                Forest::partition(&tree, 4),
+                &factory,
+                EngineConfig::new(2).threads(threads),
+            );
+            for chunk in reqs.chunks(512) {
+                engine.submit_batch(chunk).expect("valid");
+            }
+            reports.push(engine.into_report().expect("valid"));
+        }
+        assert_eq!(reports[0], reports[1], "thread count must never change results");
+    }
+
+    #[test]
+    fn multi_shard_matches_sum_of_independent_runs() {
+        let trees: Vec<Arc<Tree>> =
+            vec![Arc::new(Tree::kary(2, 3)), Arc::new(Tree::path(5)), Arc::new(Tree::star(6))];
+        let forest = Forest::from_trees(trees.clone());
+        let reqs = mixed_requests(forest.global_len(), 5000, 13);
+
+        let factory = tc_factory(2, 4);
+        let mut engine = ShardedEngine::new(forest.clone(), &factory, EngineConfig::new(2));
+        engine.submit_batch(&reqs).expect("valid");
+        let per_shard = engine.into_reports().expect("valid");
+
+        for (s, tree) in trees.iter().enumerate() {
+            let local: Vec<Request> = reqs
+                .iter()
+                .filter_map(|&r| {
+                    let (sid, lr) = forest.route_request(r);
+                    (sid.index() == s).then_some(lr)
+                })
+                .collect();
+            let mut tc = TcFast::new(Arc::clone(tree), TcConfig::new(2, 4));
+            let solo = crate::run_policy(tree, &mut tc, &local, SimConfig::new(2)).expect("valid");
+            assert_eq!(per_shard[s], solo, "shard {s} must equal its independent run");
+        }
+    }
+
+    #[test]
+    fn submit_single_matches_batch() {
+        let tree = Tree::star(8);
+        let reqs = mixed_requests(tree.len(), 1000, 17);
+        let factory = tc_factory(2, 2);
+        let mut a = ShardedEngine::new(Forest::partition(&tree, 3), &factory, EngineConfig::new(2));
+        for &r in &reqs {
+            a.submit(r).expect("valid");
+        }
+        let mut b = ShardedEngine::new(Forest::partition(&tree, 3), &factory, EngineConfig::new(2));
+        b.submit_batch(&reqs).expect("valid");
+        assert_eq!(a.into_report().expect("valid"), b.into_report().expect("valid"));
+    }
+
+    #[test]
+    fn out_of_range_requests_are_rejected() {
+        let tree = Tree::star(3);
+        let factory = tc_factory(2, 2);
+        let mut engine =
+            ShardedEngine::new(Forest::partition(&tree, 2), &factory, EngineConfig::new(2));
+        let err = engine.submit(Request::pos(NodeId(99))).unwrap_err();
+        assert!(err.message.contains("99"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn trace_submission_round_trips() {
+        let tree = Arc::new(Tree::star(4));
+        let reqs = vec![
+            Request::pos(NodeId(1)),
+            Request::pos(NodeId(1)),
+            Request::neg(NodeId(2)),
+            Request::pos(NodeId(3)),
+        ];
+        let text = otc_workloads::trace::to_text(&reqs);
+
+        let factory = tc_factory(2, 2);
+        let mut via_trace =
+            ShardedEngine::new(Forest::single(Arc::clone(&tree)), &factory, EngineConfig::new(2));
+        via_trace.submit_trace(&text).expect("valid");
+        let mut via_batch =
+            ShardedEngine::new(Forest::single(Arc::clone(&tree)), &factory, EngineConfig::new(2));
+        via_batch.submit_batch(&reqs).expect("valid");
+        assert_eq!(
+            via_trace.into_report().expect("valid"),
+            via_batch.into_report().expect("valid")
+        );
+    }
+
+    #[test]
+    fn malformed_trace_is_reported() {
+        let tree = Arc::new(Tree::star(2));
+        let factory = tc_factory(2, 2);
+        let mut engine = ShardedEngine::new(Forest::single(tree), &factory, EngineConfig::new(2));
+        let err = engine.submit_trace("+1\nnot-a-request\n").unwrap_err();
+        assert!(err.message.contains("line 2"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn violation_poisons_the_engine() {
+        struct Liar {
+            cache: CacheSet,
+        }
+        impl CachePolicy for Liar {
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+            fn capacity(&self) -> usize {
+                4
+            }
+            fn cache(&self) -> &CacheSet {
+                &self.cache
+            }
+            fn reset(&mut self) {}
+            fn step(&mut self, _req: Request, out: &mut otc_core::policy::ActionBuffer) {
+                out.clear();
+            }
+        }
+        let tree = Tree::star(2);
+        let factory = |tree: Arc<Tree>, _| {
+            Box::new(Liar { cache: CacheSet::empty(tree.len()) }) as Box<dyn CachePolicy>
+        };
+        let mut engine =
+            ShardedEngine::new(Forest::single(Arc::new(tree)), &factory, EngineConfig::new(2));
+        let err = engine.submit(Request::pos(NodeId(1))).unwrap_err();
+        assert!(err.message.contains("paid"), "unexpected error: {err}");
+        assert_eq!(err.shard, Some(ShardId(0)));
+        // Poisoned: everything keeps returning the stored violation.
+        assert_eq!(engine.submit(Request::pos(NodeId(1))).unwrap_err(), err);
+        assert_eq!(engine.into_report().unwrap_err(), err);
+    }
+
+    #[test]
+    fn one_shard_partition_with_renumbered_nodes_routes_batches() {
+        // Tree whose preorder differs from its id order: parents
+        // [None, 0, 0, 1] has preorder 0,1,3,2, so Forest::partition
+        // renumbers global 2 -> local 3 and global 3 -> local 2 even with
+        // a single shard. Batch submission must route exactly like
+        // per-request submission (regression: the 1-shard fast path used
+        // to skip routing).
+        let tree = Tree::from_parents(&[None, Some(0), Some(0), Some(1)]);
+        let forest = Forest::partition(&tree, 1);
+        assert!(!forest.is_identity_routing());
+        let reqs = mixed_requests(tree.len(), 600, 23);
+        let factory = tc_factory(2, 2);
+        let mut batched = ShardedEngine::new(forest.clone(), &factory, EngineConfig::new(2));
+        batched.submit_batch(&reqs).expect("valid");
+        let mut stepped = ShardedEngine::new(forest.clone(), &factory, EngineConfig::new(2));
+        for &r in &reqs {
+            stepped.submit(r).expect("valid");
+        }
+        let batched = batched.into_report().expect("valid");
+        assert_eq!(batched, stepped.into_report().expect("valid"));
+        // And both equal an independent run on the shard tree with
+        // pre-routed requests.
+        let local: Vec<Request> = reqs.iter().map(|&r| forest.route_request(r).1).collect();
+        let mut tc = TcFast::new(Arc::clone(forest.tree(ShardId(0))), TcConfig::new(2, 2));
+        let solo = crate::run_policy(forest.tree(ShardId(0)), &mut tc, &local, SimConfig::new(2))
+            .expect("valid");
+        assert_eq!(batched, solo);
+    }
+
+    #[test]
+    fn routing_error_rejects_the_batch_atomically() {
+        // A bad request mid-batch must leave nothing staged: the corrected
+        // retry equals a fresh engine's run (regression: the routed prefix
+        // used to survive in the shard queues and replay later).
+        let trees = vec![Arc::new(Tree::star(3)), Arc::new(Tree::star(3))];
+        let forest = Forest::from_trees(trees);
+        let factory = tc_factory(2, 2);
+        let good = [Request::pos(NodeId(1)), Request::pos(NodeId(5)), Request::pos(NodeId(1))];
+
+        let mut engine = ShardedEngine::new(forest.clone(), &factory, EngineConfig::new(2));
+        let err =
+            engine.submit_batch(&[Request::pos(NodeId(1)), Request::pos(NodeId(99))]).unwrap_err();
+        assert!(err.message.contains("99"), "unexpected error: {err}");
+        // Rejected batches poison nothing and leave nothing behind.
+        engine.submit_batch(&good).expect("valid");
+
+        let mut fresh = ShardedEngine::new(forest, &factory, EngineConfig::new(2));
+        fresh.submit_batch(&good).expect("valid");
+        assert_eq!(engine.into_report().expect("valid"), fresh.into_report().expect("valid"));
+    }
+
+    #[test]
+    fn map_shards_violation_poisons_even_if_discarded() {
+        struct Liar {
+            cache: CacheSet,
+        }
+        impl CachePolicy for Liar {
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+            fn capacity(&self) -> usize {
+                4
+            }
+            fn cache(&self) -> &CacheSet {
+                &self.cache
+            }
+            fn reset(&mut self) {}
+            fn step(&mut self, _req: Request, out: &mut otc_core::policy::ActionBuffer) {
+                out.clear();
+            }
+        }
+        let factory = |tree: Arc<Tree>, _| {
+            Box::new(Liar { cache: CacheSet::empty(tree.len()) }) as Box<dyn CachePolicy>
+        };
+        let mut engine = ShardedEngine::new(
+            Forest::single(Arc::new(Tree::star(2))),
+            &factory,
+            EngineConfig::new(2),
+        );
+        // The closure drives the shard into a violation and throws the
+        // error away — the engine must still refuse to report.
+        let _ = engine.map_shards(|handle| handle.step(Request::pos(NodeId(1))).is_ok());
+        let err = engine.into_report().unwrap_err();
+        assert!(err.message.contains("paid"), "unexpected error: {err}");
+        assert_eq!(err.shard, Some(ShardId(0)));
+    }
+
+    #[test]
+    fn aggregate_of_one_is_identity() {
+        let mut r = Report { name: "x".to_string(), ..Report::default() };
+        r.cost.service = 5;
+        r.peak_cache = 3;
+        assert_eq!(aggregate_reports(vec![r.clone()]), r);
+    }
+}

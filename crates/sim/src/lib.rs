@@ -14,12 +14,22 @@
 //! * **in/out periods** (Section 5.2.5, Figure 3): closed per node by
 //!   fetches/evictions, with the `pout = pin + kP` balance per phase;
 //! * **phases** (Section 4): anatomy of each flush-delimited phase (E9).
+//!
+//! Execution is unified behind the [`engine::ShardedEngine`]: one API over
+//! forests of trees (per-shard policies, batch submission with O(1)
+//! routing, parallel per-shard execution). The classic entry points
+//! [`run_policy`] and [`run_stream`] are thin single-shard adapters over
+//! it.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod report;
 pub mod runner;
 
+pub use engine::{
+    aggregate_reports, EngineConfig, EngineError, ShardHandle, ShardedEngine, SubmitOutcome,
+};
 pub use report::{FieldStats, PeriodStats, PhaseStats, Report};
 pub use runner::{run_policy, run_stream, SimConfig};

@@ -10,7 +10,7 @@ use otc_core::request::Cost;
 /// the application of `X_t`. Observation 5.2 states every field carries
 /// exactly `size(F)·α` paying requests; the simulator verifies this per
 /// field for TC.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FieldStats {
     /// Number of positive (fetch) fields closed.
     pub positive_fields: u64,
@@ -29,7 +29,7 @@ pub struct FieldStats {
 }
 
 /// Statistics over per-node in/out periods (Section 5.2.5, Figure 3).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PeriodStats {
     /// Closed out-periods (ended by a fetch) across all phases.
     pub pout: u64,
@@ -45,7 +45,7 @@ pub struct PeriodStats {
 }
 
 /// Per-phase anatomy (experiment E9).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseStats {
     /// Rounds spanned by the phase.
     pub rounds: u64,
@@ -65,7 +65,7 @@ pub struct PhaseStats {
 }
 
 /// Full simulation outcome for one policy on one request sequence.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
     /// Policy name.
     pub name: String,

@@ -7,7 +7,9 @@
 //! against the problem definition (Section 3) — a buggy policy cannot
 //! misreport its own cost or smuggle an invalid changeset through.
 //!
-//! Two drivers share the round logic:
+//! The round logic lives in one place — the per-shard `Driver` — and is
+//! executed through the sharded engine ([`crate::engine`]). The classic
+//! entry points are thin single-shard adapters over it:
 //!
 //! * [`run_policy`] — the classic per-round entry point;
 //! * [`run_stream`] — the batched entry point for long request streams:
@@ -17,9 +19,10 @@
 //!   — so even `SimConfig::bare` benchmark configurations cannot silently
 //!   drift from the reference behaviour.
 //!
-//! Both reuse one [`ActionBuffer`] plus validation scratch across all
-//! rounds: a steady-state round performs no heap allocation (instrumented
-//! runs amortise an occasional push to the per-field size log).
+//! Every shard reuses one [`ActionBuffer`] plus validation scratch across
+//! all rounds: a steady-state round performs no heap allocation
+//! (instrumented runs amortise an occasional push to the per-field size
+//! log).
 
 use otc_core::cache::CacheSet;
 use otc_core::changeset::{is_valid_negative_with, is_valid_positive_with, ValidationScratch};
@@ -72,8 +75,10 @@ fn close_field(pending: &mut [u64], set: &[NodeId], half_alpha: u64) -> (u64, u6
 }
 
 /// All per-run mutable state of the verified driver, owned outside the
-/// round loop so every round reuses the same storage.
-struct Driver {
+/// round loop so every round reuses the same storage. One `Driver` exists
+/// per engine shard (`crate::engine`); the classic drivers below are
+/// single-shard adapters.
+pub(crate) struct Driver {
     mirror: CacheSet,
     /// Paying requests per node since its last state change (its slice of
     /// the current field).
@@ -93,7 +98,7 @@ struct Driver {
 }
 
 impl Driver {
-    fn new(n: usize, cfg: SimConfig) -> Self {
+    pub(crate) fn new(n: usize, cfg: SimConfig) -> Self {
         Self {
             mirror: CacheSet::empty(n),
             pending: vec![0u64; n],
@@ -106,6 +111,15 @@ impl Driver {
             scratch: ValidationScratch::new(n),
             buf: ActionBuffer::new(),
         }
+    }
+
+    /// Adopts `cache` as the mirror's starting state. The engine calls
+    /// this at construction with the policy's current cache, so a policy
+    /// that already holds content (e.g. one resumed across several
+    /// `run_fib` calls) verifies against its real state instead of a
+    /// spurious empty mirror.
+    pub(crate) fn adopt_cache(&mut self, cache: &CacheSet) {
+        self.mirror = cache.clone();
     }
 
     /// Verifies that `set` is exactly the mirror's contents, without
@@ -137,7 +151,7 @@ impl Driver {
     /// Drives one request through `policy`, verifies and mirrors every
     /// action, updates event counters and instrumentation, and returns
     /// `(paid, nodes_touched)` for the caller's cost accounting.
-    fn round(
+    pub(crate) fn round(
         &mut self,
         tree: &Tree,
         policy: &mut dyn CachePolicy,
@@ -298,7 +312,7 @@ impl Driver {
 
     /// Closes the unfinished phase and moves instrumentation into the
     /// report.
-    fn finish(mut self, cfg: SimConfig, report: &mut Report) {
+    pub(crate) fn finish(mut self, cfg: SimConfig, report: &mut Report) {
         if cfg.instrument {
             // Close the unfinished phase and account the open field F∞.
             self.phase.k_p = self.mirror.len();
@@ -340,15 +354,11 @@ pub fn run_policy(
     requests: &[Request],
     cfg: SimConfig,
 ) -> Result<Report, String> {
-    let mut report = Report { name: policy.name().to_string(), ..Report::default() };
-    let mut driver = Driver::new(tree.len(), cfg);
-    for (round, &req) in requests.iter().enumerate() {
-        let (paid, touched) = driver.round(tree, policy, req, round, cfg, &mut report)?;
-        report.cost.service += u64::from(paid);
-        report.cost.reorg += cfg.alpha * touched;
-    }
-    driver.finish(cfg, &mut report);
-    Ok(report)
+    // A thin adapter: the single-shard case of the engine, borrowing the
+    // caller's tree and policy (no copies, no routing table).
+    let mut engine = crate::engine::ShardedEngine::single_borrowed(tree, policy, cfg.into());
+    engine.submit_batch(requests).map_err(|e| e.message)?;
+    engine.into_report().map_err(|e| e.message)
 }
 
 /// Batched driver for long request streams: identical verification and
@@ -373,30 +383,11 @@ pub fn run_stream(
     cfg: SimConfig,
     chunk_size: usize,
 ) -> Result<Report, String> {
-    assert!(chunk_size > 0, "chunk_size must be positive");
-    let mut report = Report { name: policy.name().to_string(), ..Report::default() };
-    let mut driver = Driver::new(tree.len(), cfg);
-    let mut round = 0usize;
-    for chunk in requests.chunks(chunk_size) {
-        // Amortised accounting: accumulate the chunk's costs in locals and
-        // fold into the report once per chunk.
-        let mut chunk_service = 0u64;
-        let mut chunk_touched = 0u64;
-        for &req in chunk {
-            let (paid, touched) = driver.round(tree, policy, req, round, cfg, &mut report)?;
-            chunk_service += u64::from(paid);
-            chunk_touched += touched;
-            round += 1;
-        }
-        report.cost.service += chunk_service;
-        report.cost.reorg += cfg.alpha * chunk_touched;
-        #[cfg(debug_assertions)]
-        policy
-            .audit()
-            .map_err(|e| format!("round {round}: policy audit failed at chunk boundary: {e}"))?;
-    }
-    driver.finish(cfg, &mut report);
-    Ok(report)
+    // The engine's chunked/audited cadence on a single borrowed shard.
+    let engine_cfg = crate::engine::EngineConfig::from(cfg).audit_every(chunk_size);
+    let mut engine = crate::engine::ShardedEngine::single_borrowed(tree, policy, engine_cfg);
+    engine.submit_batch(requests).map_err(|e| e.message)?;
+    engine.into_report().map_err(|e| e.message)
 }
 
 #[cfg(test)]

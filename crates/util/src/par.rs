@@ -62,6 +62,57 @@ where
         .collect()
 }
 
+/// Applies `f` to every item **in place** on `threads` worker threads and
+/// returns the results in input order. The mutable sibling of
+/// [`parallel_map_threads`]: each worker owns a contiguous chunk of the
+/// slice, so `f` gets `(index, &mut T)` with no locking on the items
+/// themselves (results are handed back through a mutex exactly once per
+/// item).
+///
+/// This is the execution primitive of the sharded engine
+/// (`otc-sim::engine`): shards are independent `&mut` states driven in
+/// parallel during batch ingestion. Static chunking (not a ticket counter)
+/// keeps the item count's worth of spawns down — shard counts are small
+/// and per-shard work is balanced by construction.
+///
+/// Falls back to a plain sequential loop when `threads <= 1` or the input
+/// has at most one element.
+///
+/// # Panics
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn parallel_map_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(threads.min(n));
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let f_ref = &f;
+    let results_ref = &results;
+    std::thread::scope(|scope| {
+        for (w, slice) in items.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (off, item) in slice.iter_mut().enumerate() {
+                    let i = w * chunk + off;
+                    let r = f_ref(i, item);
+                    results_ref.lock().expect("parallel worker panicked")[i] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("parallel worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every item produces a result"))
+        .collect()
+}
+
 /// [`parallel_map_threads`] with `threads = available_parallelism()`.
 ///
 /// ```
@@ -136,5 +187,40 @@ mod tests {
     fn default_thread_count_runs() {
         let out = parallel_map((0..32).collect::<Vec<u64>>(), |&x| x % 3);
         assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn map_mut_mutates_and_preserves_order() {
+        let mut items: Vec<u64> = (0..100).collect();
+        let out = parallel_map_mut(&mut items, 4, |i, x| {
+            *x += 1;
+            (i as u64) * 2
+        });
+        for (i, &x) in items.iter().enumerate() {
+            assert_eq!(x, i as u64 + 1);
+        }
+        for (i, &r) in out.iter().enumerate() {
+            assert_eq!(r, (i as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn map_mut_sequential_fallback_matches() {
+        let mut a: Vec<u64> = (0..37).collect();
+        let mut b = a.clone();
+        let ra = parallel_map_mut(&mut a, 1, |i, x| *x + i as u64);
+        let rb = parallel_map_mut(&mut b, 8, |i, x| *x + i as u64);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_mut_empty_and_more_threads_than_items() {
+        let mut empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = parallel_map_mut(&mut empty, 4, |_, &mut x| x);
+        assert!(out.is_empty());
+        let mut small = vec![1u32, 2, 3];
+        let out = parallel_map_mut(&mut small, 64, |_, x| *x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
     }
 }

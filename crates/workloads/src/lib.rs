@@ -4,7 +4,9 @@
 //!
 //! * [`trees`] — random tree generators with height/degree control;
 //! * [`requests`] — Zipf traffic, update churn (α-chunked negatives, the
-//!   paper's Appendix-B encoding), working-set drift;
+//!   paper's Appendix-B encoding), working-set drift, and multi-tenant
+//!   streams over forests (per-shard Zipf skew, globally addressed for
+//!   the sharded engine);
 //! * [`adversary`] — the adaptive paging adversary of the Ω(R) lower bound
 //!   (Appendix C);
 //! * [`gadget`] — the Figure 4 / Appendix D positive-field impossibility
@@ -23,8 +25,8 @@ pub mod trees;
 pub use adversary::{drive_paging_adversary, AdversaryRun};
 pub use gadget::Fig4Gadget;
 pub use requests::{
-    amplify, shifting_zipf, uniform_mixed, zipf_positive, zipf_with_bursty_updates,
-    zipf_with_updates, MixedConfig,
+    amplify, multi_tenant_stream, shifting_zipf, uniform_mixed, zipf_positive,
+    zipf_with_bursty_updates, zipf_with_updates, MixedConfig, TenantProfile,
 };
 pub use search::{adversarial_search, SearchOutcome};
 pub use trace::{from_text, to_text};

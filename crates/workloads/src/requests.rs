@@ -6,6 +6,7 @@
 //! that is exactly how the paper maps update costs into the request model
 //! (Section 2 / Appendix B).
 
+use otc_core::forest::Forest;
 use otc_core::request::{Request, Sign};
 use otc_core::tree::{NodeId, Tree};
 use otc_util::{SplitMix64, Zipf};
@@ -129,6 +130,109 @@ pub fn zipf_with_bursty_updates(
             }
         } else {
             out.push(Request::pos(ranked[zipf.sample(rng)]));
+        }
+    }
+    out
+}
+
+/// One tenant's traffic profile in a multi-shard stream: every shard of a
+/// forest is a tenant with its own arrival weight, Zipf skew and churn.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantProfile {
+    /// Relative arrival rate of this tenant's events (any positive scale).
+    pub weight: f64,
+    /// Zipf exponent of the tenant's access popularity.
+    pub theta: f64,
+    /// Probability that a tenant event is a rule update (an α-chunk of
+    /// negatives) rather than an access.
+    pub update_p: f64,
+}
+
+impl TenantProfile {
+    /// A uniform-weight tenant with the given skew and no churn.
+    #[must_use]
+    pub fn skewed(theta: f64) -> Self {
+        Self { weight: 1.0, theta, update_p: 0.0 }
+    }
+}
+
+/// Multi-tenant stream over a [`Forest`]: each event picks a shard by the
+/// tenants' arrival weights, then a node inside that shard by the tenant's
+/// own Zipf law (per-shard popularity permutations are independent), and
+/// emits either one positive request or an update chunk of `alpha`
+/// negatives. All emitted node ids are **global** — ready for
+/// `ShardedEngine::submit_batch`, which routes them back to their shards.
+///
+/// For partitioned forests, shard-local root replicas are excluded from
+/// the rankings (the shared global root is addressable only through shard
+/// 0's ranking, where it keeps its identity).
+///
+/// # Panics
+/// Panics if `profiles.len() != forest.num_shards()`, or if every weight
+/// is non-positive.
+#[must_use]
+pub fn multi_tenant_stream(
+    forest: &Forest,
+    profiles: &[TenantProfile],
+    len: usize,
+    alpha: u64,
+    rng: &mut SplitMix64,
+) -> Vec<Request> {
+    use otc_core::forest::ShardId;
+    assert_eq!(profiles.len(), forest.num_shards(), "one tenant profile per forest shard");
+    let total_weight: f64 = profiles.iter().map(|p| p.weight.max(0.0)).sum();
+    assert!(total_weight > 0.0, "at least one tenant needs positive weight");
+
+    // Per-shard popularity rankings over *global* ids; root replicas of
+    // partitioned shards (which map to the same global root) are kept only
+    // in shard 0.
+    let rankings: Vec<Vec<NodeId>> = (0..forest.num_shards())
+        .map(|s| {
+            let sid = ShardId(s as u32);
+            let tree = forest.tree(sid);
+            let mut nodes: Vec<NodeId> = tree
+                .nodes()
+                .map(|local| forest.to_global(sid, local))
+                .filter(|&g| forest.route(g).0 == sid)
+                .collect();
+            rng.shuffle(&mut nodes);
+            nodes
+        })
+        .collect();
+    let zipfs: Vec<Zipf> =
+        rankings.iter().zip(profiles).map(|(r, p)| Zipf::new(r.len(), p.theta)).collect();
+
+    let last_positive =
+        profiles.iter().rposition(|p| p.weight > 0.0).expect("positive total weight");
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        // Weighted tenant pick (linear scan: tenant counts are small).
+        // Zero-weight tenants are skipped outright — a draw of exactly 0.0
+        // must never land on them — and floating-point shortfall at the top
+        // end falls back to the last positive-weight tenant.
+        let mut pick = rng.next_f64() * total_weight;
+        let mut s = last_positive;
+        for (i, p) in profiles.iter().enumerate() {
+            let w = p.weight;
+            if w <= 0.0 {
+                continue;
+            }
+            if pick < w {
+                s = i;
+                break;
+            }
+            pick -= w;
+        }
+        let node = rankings[s][zipfs[s].sample(rng)];
+        if rng.chance(profiles[s].update_p) {
+            for _ in 0..alpha {
+                out.push(Request::neg(node));
+                if out.len() == len {
+                    break;
+                }
+            }
+        } else {
+            out.push(Request::pos(node));
         }
     }
     out
@@ -291,5 +395,43 @@ mod tests {
         let a = zipf_positive(&tree, 100, 1.0, &mut SplitMix64::new(5));
         let b = zipf_positive(&tree, 100, 1.0, &mut SplitMix64::new(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_tenant_stream_respects_weights_and_routing() {
+        use otc_core::forest::{Forest, ShardId};
+        let tree = Tree::star(60);
+        let forest = Forest::partition(&tree, 3);
+        let profiles = [
+            TenantProfile { weight: 6.0, theta: 1.2, update_p: 0.0 },
+            TenantProfile { weight: 3.0, theta: 0.6, update_p: 0.1 },
+            TenantProfile { weight: 1.0, theta: 0.0, update_p: 0.0 },
+        ];
+        let mut rng = SplitMix64::new(42);
+        let reqs = multi_tenant_stream(&forest, &profiles, 30_000, 3, &mut rng);
+        assert_eq!(reqs.len(), 30_000);
+        // Every request routes to the shard whose ranking produced it, and
+        // heavier tenants see proportionally more traffic.
+        let mut per_shard = [0usize; 3];
+        for r in &reqs {
+            assert!(r.node.index() < tree.len());
+            per_shard[forest.route(r.node).0.index()] += 1;
+        }
+        assert!(per_shard[0] > per_shard[1] && per_shard[1] > per_shard[2], "{per_shard:?}");
+        let frac0 = per_shard[0] as f64 / reqs.len() as f64;
+        assert!((0.5..0.7).contains(&frac0), "tenant 0 should carry ~60%, got {frac0}");
+        // Only tenant 1 churns: negatives exist and target shard 1 alone.
+        let negs: Vec<_> = reqs.iter().filter(|r| !r.is_positive()).collect();
+        assert!(!negs.is_empty());
+        assert!(negs.iter().all(|r| forest.route(r.node).0 == ShardId(1)));
+        // Deterministic under the same seed.
+        let again = multi_tenant_stream(&forest, &profiles, 30_000, 3, &mut SplitMix64::new(42));
+        assert_eq!(reqs, again);
+        let mut rng_a = SplitMix64::new(7);
+        let mut rng_b = SplitMix64::new(7);
+        assert_eq!(
+            multi_tenant_stream(&forest, &profiles, 500, 3, &mut rng_a),
+            multi_tenant_stream(&forest, &profiles, 500, 3, &mut rng_b)
+        );
     }
 }

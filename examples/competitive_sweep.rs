@@ -10,6 +10,7 @@ use std::sync::Arc;
 use online_tree_caching::baselines::opt_cost;
 use online_tree_caching::core::tc::{TcConfig, TcFast};
 use online_tree_caching::core::Tree;
+use online_tree_caching::sim::engine::{EngineConfig, ShardedEngine};
 use online_tree_caching::util::{parallel_map, SplitMix64};
 use online_tree_caching::workloads::uniform_mixed;
 
@@ -33,9 +34,13 @@ fn main() {
         let ratios = parallel_map(seeds, |&seed| {
             let mut rng = SplitMix64::new(0xC0FFEE + seed);
             let reqs = uniform_mixed(&tree, 500, 0.35, &mut rng);
+            // TC's cost measured through the engine (single borrowed
+            // shard, full verification — a sweep cell is cheap enough).
             let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
-            let (service, touched) = online_tree_caching::core::policy::run_raw(&mut tc, &reqs);
-            let tc_cost = service + alpha * touched;
+            let mut engine =
+                ShardedEngine::single_borrowed(&tree, &mut tc, EngineConfig::new(alpha));
+            engine.submit_batch(&reqs).expect("TC never violates the protocol");
+            let tc_cost = engine.into_report().expect("valid run").total();
             tc_cost as f64 / opt_cost(&tree, &reqs, alpha, k) as f64
         });
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;

@@ -8,9 +8,12 @@
 use std::sync::Arc;
 
 use online_tree_caching::baselines::offline_star_upper_bound;
+use online_tree_caching::core::forest::{Forest, ShardId};
+use online_tree_caching::core::policy::CachePolicy;
 use online_tree_caching::core::tc::{TcConfig, TcFast};
 use online_tree_caching::core::Tree;
-use online_tree_caching::workloads::drive_paging_adversary;
+use online_tree_caching::sim::engine::{EngineConfig, ShardedEngine};
+use online_tree_caching::workloads::{drive_paging_adversary, to_text};
 
 fn main() {
     let alpha = 4u64;
@@ -25,7 +28,24 @@ fn main() {
         let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(alpha, k));
         let rounds = 50 * k;
         let run = drive_paging_adversary(&mut tc, &tree, alpha, rounds);
-        let tc_cost = run.online_service + alpha * run.online_touched;
+        // Certify the adversary's claimed online cost: serialize the trace
+        // it recorded and replay it through the verified engine (the trace
+        // seam doubles as an archive format for adversarial regressions).
+        let factory = |shard_tree: Arc<Tree>, _shard: ShardId| {
+            Box::new(TcFast::new(shard_tree, TcConfig::new(alpha, k))) as Box<dyn CachePolicy>
+        };
+        let mut engine = ShardedEngine::new(
+            Forest::single(Arc::clone(&tree)),
+            &factory,
+            EngineConfig::new(alpha),
+        );
+        engine.submit_trace(&to_text(&run.trace)).expect("TC never violates the protocol");
+        let tc_cost = engine.into_report().expect("valid run").total();
+        assert_eq!(
+            tc_cost,
+            run.online_service + alpha * run.online_touched,
+            "verified replay must reproduce the adversary's live accounting"
+        );
         // Any feasible offline solution upper-bounds OPT, so the printed
         // ratio is a certified lower bound on TC/OPT.
         let opt_ub = offline_star_upper_bound(&run.trace, alpha, k);

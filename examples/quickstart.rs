@@ -61,4 +61,24 @@ fn main() {
         tc.cache().iter().collect::<Vec<_>>()
     );
     println!("stats: {:?}", tc.stats());
+
+    // For real runs, drive policies through the engine: it owns a forest
+    // of one or more shards, routes batches of requests, verifies every
+    // move against its own mirror, and accounts all costs itself. Here:
+    // the same tree as a single shard, one verified batch.
+    use online_tree_caching::sim::engine::{EngineConfig, ShardedEngine};
+    let factory = |shard_tree: std::sync::Arc<Tree>, _shard: ShardId| {
+        Box::new(TcFast::new(shard_tree, TcConfig::new(2, 3))) as Box<dyn CachePolicy>
+    };
+    let mut engine =
+        ShardedEngine::new(Forest::single(Arc::clone(&tree)), &factory, EngineConfig::new(2));
+    let batch: Vec<Request> = (0..3).map(|_| Request::pos(NodeId(2))).collect();
+    engine.submit_batch(&batch).expect("TC never violates the protocol");
+    let report = engine.into_report().expect("valid run");
+    println!(
+        "\nengine replay of the first three requests: service {}, reorg {}, {} fetch event(s)",
+        report.cost.service, report.cost.reorg, report.fetch_events
+    );
+    assert_eq!(report.cost.service, 2, "two misses before the saturated fetch");
+    assert_eq!(report.fetch_events, 1);
 }

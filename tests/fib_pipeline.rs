@@ -105,6 +105,45 @@ fn tc_wins_under_heavy_churn() {
 }
 
 #[test]
+fn sharded_pipeline_matches_sum_of_per_subtrie_runs() {
+    // The multi-shard FIB pipeline must equal the component-wise sum of
+    // independently-run per-subtrie single-shard runs — the acceptance
+    // differential for the sharded engine, at realistic scale.
+    use online_tree_caching::core::forest::{Forest, ShardId};
+    use online_tree_caching::core::Tree;
+    use online_tree_caching::sdn::{route_events, run_fib_routed, run_fib_sharded, FibReport};
+
+    let (rules, events) = build_world(6, 1024, 0.05);
+    let alpha = 4u64;
+    let total_capacity = 128usize;
+    for shards in [2usize, 4, 8] {
+        let capacity = (total_capacity / shards).max(1);
+        let factory = move |shard_tree: Arc<Tree>, _shard: ShardId| {
+            Box::new(TcFast::new(shard_tree, TcConfig::new(alpha, capacity)))
+                as Box<dyn CachePolicy>
+        };
+        let sharded = run_fib_sharded(&rules, &factory, &events, alpha, shards, shards);
+
+        let forest = Forest::partition(rules.tree(), shards);
+        assert_eq!(sharded.per_shard.len(), forest.num_shards());
+        let per_shard_events = route_events(&rules, &forest, &events);
+        let mut sum = FibReport { name: sharded.total.name.clone(), ..FibReport::default() };
+        for (s, shard_events) in per_shard_events.iter().enumerate() {
+            let sid = ShardId(s as u32);
+            let mut policy = factory(Arc::clone(forest.tree(sid)), sid);
+            let solo = run_fib_routed(forest.tree(sid), policy.as_mut(), shard_events, alpha);
+            assert_eq!(sharded.per_shard[s], solo, "shard {s} of {shards}");
+            sum.add(&solo);
+        }
+        assert_eq!(sharded.total, sum, "{shards}-shard total");
+        // And the sharded run processed every event exactly once.
+        let packets = events.iter().filter(|e| matches!(e, FibEvent::Packet(_))).count() as u64;
+        assert_eq!(sharded.total.packets, packets);
+        assert_eq!(sharded.total.hits + sharded.total.misses, packets);
+    }
+}
+
+#[test]
 fn all_policies_respect_capacity_through_simulator() {
     let (rules, events) = build_world(5, 256, 0.08);
     let tree = Arc::new(rules.tree().clone());
