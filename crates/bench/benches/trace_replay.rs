@@ -1,0 +1,71 @@
+//! Binary-trace replay throughput: the persistence seam under load.
+//!
+//! One bursty stream over a 4-shard forest, recorded to the binary format
+//! once; each point replays it through the engine — plain, and with
+//! windowed telemetry on — against the in-memory `submit_batch` baseline.
+//! The deltas are the price of streaming decode and of observation.
+
+use std::io::Cursor;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use otc_bench::trace_replay_workload;
+use otc_core::forest::{Forest, ShardId};
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_core::tree::Tree;
+use otc_sim::engine::{EngineConfig, ShardedEngine};
+use otc_workloads::trace::{Trace, TraceReader};
+
+const ALPHA: u64 = 4;
+const LEN: usize = 50_000;
+
+fn workload() -> (Forest, Trace) {
+    // The same construction the JSON recorder times, at criterion scale.
+    trace_replay_workload(4, 1024, LEN, ALPHA, 0x7ACE)
+}
+
+fn factory(tree: Arc<Tree>, _s: ShardId) -> Box<dyn CachePolicy> {
+    Box::new(TcFast::new(tree, TcConfig::new(ALPHA, 96)))
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let (forest, trace) = workload();
+    let bytes = trace.to_bytes();
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.requests.len() as u64));
+    group.bench_function("in_memory_submit_batch", |b| {
+        b.iter(|| {
+            let mut engine =
+                ShardedEngine::new(forest.clone(), &factory, EngineConfig::bare(ALPHA));
+            engine.submit_batch(&trace.requests).expect("valid");
+            engine.into_report().expect("valid").cost.total()
+        });
+    });
+    group.bench_function("binary_replay", |b| {
+        b.iter(|| {
+            let mut engine =
+                ShardedEngine::new(forest.clone(), &factory, EngineConfig::bare(ALPHA));
+            let mut reader = TraceReader::new(Cursor::new(bytes.as_slice())).expect("valid");
+            let mut chunk = Vec::with_capacity(16 * 1024);
+            engine.replay_trace(&mut reader, &mut chunk).expect("valid");
+            engine.into_report().expect("valid").cost.total()
+        });
+    });
+    group.bench_function("binary_replay_with_telemetry", |b| {
+        b.iter(|| {
+            let cfg = EngineConfig::bare(ALPHA).audit_every(4096).telemetry(true);
+            let mut engine = ShardedEngine::new(forest.clone(), &factory, cfg);
+            let mut reader = TraceReader::new(Cursor::new(bytes.as_slice())).expect("valid");
+            let mut chunk = Vec::with_capacity(16 * 1024);
+            engine.replay_trace(&mut reader, &mut chunk).expect("valid");
+            let windows = engine.timeline().windows.len() as u64;
+            engine.into_report().expect("valid").cost.total() + windows
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_replay);
+criterion_main!(benches);

@@ -93,16 +93,47 @@ fn main() {
         .unwrap();
     }
 
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let host = otc_bench::HostInfo::capture();
+    // When exp_e7_fib has recorded its windowed telemetry in this
+    // directory, fold a summary into the baseline: the timeline's totals
+    // are deterministic, so they double as a semantic cross-check next to
+    // the throughput numbers.
+    let timeline_note = match std::fs::read_to_string("TIMELINE_e7.json")
+        .ok()
+        .map(|text| otc_sim::Timeline::from_json(&text))
+    {
+        Some(Ok(tl)) => {
+            let reorg: u64 = tl.sum(|w| w.reorg_cost(tl.alpha));
+            let paid: u64 = tl.sum(|w| w.paid_rounds);
+            println!(
+                "found TIMELINE_e7.json: {} windows, paid {paid}, reorg {reorg}",
+                tl.windows.len()
+            );
+            format!(
+                "{{ \"windows\": {}, \"window_rounds\": {}, \"shards\": {}, \
+                 \"paid_rounds\": {paid}, \"reorg_cost\": {reorg} }}",
+                tl.windows.len(),
+                tl.window_rounds,
+                tl.shards
+            )
+        }
+        Some(Err(e)) => {
+            eprintln!("warning: TIMELINE_e7.json present but unreadable: {e}");
+            "null".to_string()
+        }
+        None => "null".to_string(),
+    };
     let json = format!(
         "{{\n  \"benchmark\": \"sharded FIB pipeline (otc-sdn over otc-sim::engine)\",\n  \
          \"command\": \"cargo run --release -p otc-bench --bin bench_engine\",\n  \
-         \"host_cores\": {cores},\n  \
-         \"note\": \"shard-level parallelism needs host_cores > 1 to show; on a single core \
+         \"host\": {},\n  \
+         \"note\": \"shard-level parallelism needs host.nproc > 1 to show; on a single core \
          the sharded rows measure engine overhead only\",\n  \
          \"workload\": {{ \"rules\": {RULES}, \"events\": {EVENTS}, \"theta\": 1.0, \
          \"update_p\": 0.02, \"alpha\": {ALPHA}, \"total_capacity\": {TOTAL_CAPACITY} }},\n  \
-         \"timing\": \"best of {iters} runs per point\",\n  \"results\": [\n{results}\n  ]\n}}\n"
+         \"timeline_e7\": {timeline_note},\n  \
+         \"timing\": \"best of {iters} runs per point\",\n  \"results\": [\n{results}\n  ]\n}}\n",
+        host.to_json()
     );
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nrecorded BENCH_engine.json");

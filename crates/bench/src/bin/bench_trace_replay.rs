@@ -1,0 +1,128 @@
+//! Records the trace-replay throughput baseline into
+//! `BENCH_trace_replay.json`.
+//!
+//! ```text
+//! cargo run --release -p otc-bench --bin bench_trace_replay
+//! ```
+//!
+//! One fixed Markov-bursty workload over a 4-shard forest is recorded to
+//! the binary trace format once, then timed three ways — in-memory batch
+//! submission, streaming binary replay (`ShardedEngine::replay_trace`),
+//! and streaming replay with windowed telemetry on — so both the cost of
+//! the persistence seam and the cost of observation are measured, not
+//! guessed. Total costs are asserted identical across all three (replay is
+//! bit-exact by construction; a drift here is a bug, not a regression).
+
+use std::fmt::Write as _;
+use std::io::Cursor;
+use std::sync::Arc;
+use std::time::Instant;
+
+use otc_core::forest::ShardId;
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_core::tree::Tree;
+use otc_sim::engine::{EngineConfig, ShardedEngine};
+use otc_workloads::trace::TraceReader;
+
+const ALPHA: u64 = 4;
+const LEN: usize = 400_000;
+const SHARDS: usize = 4;
+const PER_SHARD_NODES: usize = 2048;
+const CAPACITY: usize = 128;
+const WINDOW: usize = 8192;
+
+fn factory(tree: Arc<Tree>, _s: ShardId) -> Box<dyn CachePolicy> {
+    Box::new(TcFast::new(tree, TcConfig::new(ALPHA, CAPACITY)))
+}
+
+fn time_best<F: FnMut() -> u64>(mut f: F, iters: usize) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut cost = 0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        cost = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, cost)
+}
+
+fn main() {
+    // A 4-tree forest and a bursty global stream over it, recorded once
+    // (shared with the criterion target so both measure one workload).
+    let (forest, trace) =
+        otc_bench::trace_replay_workload(SHARDS, PER_SHARD_NODES, LEN, ALPHA, 0x7ACE);
+    let bytes = trace.to_bytes();
+    println!(
+        "trace: {} requests, {} bytes on disk ({:.2} B/request)",
+        trace.requests.len(),
+        bytes.len(),
+        bytes.len() as f64 / trace.requests.len() as f64
+    );
+    let iters = 3;
+
+    let mut results = String::new();
+    let (secs, base_cost) = time_best(
+        || {
+            let mut engine =
+                ShardedEngine::new(forest.clone(), &factory, EngineConfig::bare(ALPHA));
+            engine.submit_batch(&trace.requests).expect("valid");
+            engine.into_report().expect("valid").cost.total()
+        },
+        iters,
+    );
+    let base_rps = trace.requests.len() as f64 / secs;
+    println!("in-memory submit_batch:   {base_rps:>12.0} requests/s  (cost {base_cost})");
+    write!(
+        results,
+        "    {{ \"pipeline\": \"submit_batch\", \"telemetry\": false, \
+         \"requests_per_sec\": {base_rps:.0}, \"total_cost\": {base_cost} }}"
+    )
+    .unwrap();
+
+    for telemetry in [false, true] {
+        let (secs, cost) = time_best(
+            || {
+                let cfg = if telemetry {
+                    EngineConfig::bare(ALPHA).audit_every(WINDOW).telemetry(true)
+                } else {
+                    EngineConfig::bare(ALPHA)
+                };
+                let mut engine = ShardedEngine::new(forest.clone(), &factory, cfg);
+                let mut reader = TraceReader::new(Cursor::new(bytes.as_slice())).expect("valid");
+                let mut chunk = Vec::with_capacity(64 * 1024);
+                engine.replay_trace(&mut reader, &mut chunk).expect("valid");
+                if telemetry {
+                    assert!(!engine.timeline().windows.is_empty());
+                }
+                engine.into_report().expect("valid").cost.total()
+            },
+            iters,
+        );
+        assert_eq!(cost, base_cost, "replay must be bit-identical to the in-memory run");
+        let rps = trace.requests.len() as f64 / secs;
+        let label = if telemetry { "replay_trace + telemetry" } else { "replay_trace" };
+        println!("{label:<25} {rps:>12.0} requests/s  ({:>5.2}x in-memory)", rps / base_rps);
+        write!(
+            results,
+            ",\n    {{ \"pipeline\": \"replay_trace\", \"telemetry\": {telemetry}, \
+             \"requests_per_sec\": {rps:.0}, \"total_cost\": {cost} }}"
+        )
+        .unwrap();
+    }
+
+    let host = otc_bench::HostInfo::capture();
+    let json = format!(
+        "{{\n  \"benchmark\": \"binary trace replay through the sharded engine\",\n  \
+         \"command\": \"cargo run --release -p otc-bench --bin bench_trace_replay\",\n  \
+         \"host\": {},\n  \
+         \"workload\": {{ \"generator\": \"markov-bursty\", \"requests\": {LEN}, \
+         \"shards\": {SHARDS}, \"alpha\": {ALPHA}, \"capacity_per_shard\": {CAPACITY}, \
+         \"trace_bytes\": {}, \"telemetry_window\": {WINDOW} }},\n  \
+         \"timing\": \"best of {iters} runs per point\",\n  \"results\": [\n{results}\n  ]\n}}\n",
+        host.to_json(),
+        bytes.len()
+    );
+    std::fs::write("BENCH_trace_replay.json", &json).expect("write BENCH_trace_replay.json");
+    println!("\nrecorded BENCH_trace_replay.json");
+}

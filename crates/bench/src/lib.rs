@@ -1,2 +1,140 @@
-//! Bench crate: all targets live in benches/.
+//! Bench crate: criterion targets live in `benches/`; the JSON baseline
+//! recorders (`bench_engine`, `bench_trace_replay`) live in `src/bin/` and
+//! share the structured host provenance emitted by [`HostInfo::capture`].
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
+
+/// Provenance of the machine a baseline was recorded on. Serialized as a
+/// structured `host` object into every `BENCH_*.json` (replacing the old
+/// free-form comment string), so regressions can be attributed to hardware
+/// or toolchain changes instead of being puzzled over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// Logical CPU count (`std::thread::available_parallelism`).
+    pub nproc: usize,
+    /// `rustc --version` of the toolchain on `PATH` (respecting `$RUSTC`),
+    /// or `"unknown"` when it cannot be queried.
+    pub rustc: String,
+    /// Recording date as `YYYY-MM-DD` (UTC).
+    pub date: String,
+}
+
+impl HostInfo {
+    /// Probes the current machine.
+    #[must_use]
+    pub fn capture() -> Self {
+        let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let rustc_bin = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+        let rustc = std::process::Command::new(rustc_bin)
+            .arg("--version")
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string());
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        Self { nproc, rustc, date: civil_date_utc(secs) }
+    }
+
+    /// The structured JSON `host` object (no trailing newline), e.g.
+    /// `{ "nproc": 8, "rustc": "rustc 1.80.0", "date": "2026-07-26" }`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"nproc\": {}, \"rustc\": \"{}\", \"date\": \"{}\" }}",
+            self.nproc,
+            self.rustc.replace('\\', "\\\\").replace('"', "\\\""),
+            self.date
+        )
+    }
+}
+
+/// The shared trace-replay benchmark workload: a forest of `shards`
+/// independent random trees plus a Markov-bursty stream addressed over
+/// the forest's **global** id space, recorded as a
+/// [`Trace`](otc_workloads::trace::Trace) with full provenance. One definition keeps the criterion target
+/// (`benches/trace_replay.rs`) and the JSON recorder
+/// (`bench_trace_replay`) measuring the identical workload — including
+/// the non-obvious global addressing detail: `Tree::star(n)` has `n + 1`
+/// nodes, so a star over `global_len − 1` leaves is exactly the forest's
+/// id space, which `from_trees` forests require (`universe ==
+/// global_len`; a partitioned forest would break that assumption by
+/// replicating roots).
+#[must_use]
+pub fn trace_replay_workload(
+    shards: usize,
+    nodes_per_shard: usize,
+    len: usize,
+    alpha: u64,
+    seed: u64,
+) -> (otc_core::forest::Forest, otc_workloads::trace::Trace) {
+    use otc_core::forest::{Forest, ShardId};
+    use otc_core::tree::Tree;
+    use otc_workloads::trace::{Trace, TraceHeader};
+    use otc_workloads::{markov_bursty, random_attachment, MarkovBurstyConfig};
+
+    let mut rng = otc_util::SplitMix64::new(seed);
+    let trees: Vec<std::sync::Arc<Tree>> = (0..shards)
+        .map(|_| std::sync::Arc::new(random_attachment(nodes_per_shard, &mut rng)))
+        .collect();
+    let forest = Forest::from_trees(trees);
+    let flat = Tree::star(forest.global_len() - 1); // virtual global address space
+    let cfg = MarkovBurstyConfig { len, alpha, ..MarkovBurstyConfig::default() };
+    let requests = markov_bursty(&flat, cfg, &mut rng);
+    let header = TraceHeader {
+        universe: forest.global_len() as u32,
+        shard_map: (0..shards).map(|s| forest.tree(ShardId(s as u32)).len() as u32).collect(),
+        seed,
+        generator: "markov-bursty".to_string(),
+    };
+    (forest, Trace { header, requests })
+}
+
+/// Converts seconds since the Unix epoch to a `YYYY-MM-DD` UTC date
+/// (Howard Hinnant's `civil_from_days` algorithm; no external time crate
+/// in this offline workspace).
+#[must_use]
+pub fn civil_date_utc(epoch_secs: u64) -> String {
+    let days = (epoch_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(civil_date_utc(0), "1970-01-01");
+        assert_eq!(civil_date_utc(86_399), "1970-01-01");
+        assert_eq!(civil_date_utc(86_400), "1970-01-02");
+        // A leap day and its successor.
+        assert_eq!(civil_date_utc(951_782_400), "2000-02-29");
+        assert_eq!(civil_date_utc(951_868_800), "2000-03-01");
+        // 2026-07-26 00:00:00 UTC.
+        assert_eq!(civil_date_utc(1_785_024_000), "2026-07-26");
+    }
+
+    #[test]
+    fn host_info_is_well_formed() {
+        let host = HostInfo::capture();
+        assert!(host.nproc >= 1);
+        let json = host.to_json();
+        assert!(json.starts_with("{ \"nproc\": "));
+        assert!(json.contains("\"rustc\": \""));
+        assert!(json.contains("\"date\": \""));
+        assert_eq!(host.date.len(), 10, "date is YYYY-MM-DD, got {}", host.date);
+    }
+}

@@ -229,6 +229,45 @@ fn sharded_engine_allocates_o_shards_per_run() {
 }
 
 #[test]
+fn trace_replay_steady_state_rounds_do_not_allocate() {
+    // The replay path of the trace subsystem: once the replay chunk
+    // buffer, the shard queues and the policies' internal spans are warm,
+    // streaming a binary trace through the engine allocates only the
+    // per-replay constants (the reader's BufReader + header strings),
+    // never per round — the same contract as the in-memory pipeline.
+    use otc_workloads::trace::{Trace, TraceHeader, TraceReader};
+    use std::io::Cursor;
+
+    let (forest, reqs) = sharded_workload(0x7E9A, 512, 40_000);
+    let trace = Trace {
+        header: TraceHeader {
+            universe: forest.global_len() as u32,
+            shard_map: (0..4).map(|s| forest.tree(ShardId(s)).len() as u32).collect(),
+            seed: 0x7E9A,
+            generator: "uniform-mixed".to_string(),
+        },
+        requests: reqs,
+    };
+    let bytes = trace.to_bytes();
+    let factory = flushless_factory(4);
+    let mut engine = ShardedEngine::new(forest, &factory, EngineConfig::bare(4).threads(1));
+    let mut chunk: Vec<Request> = Vec::with_capacity(8 * 1024);
+    // Two warm-up replays (chunk buffer, queues, then policy spans).
+    for _ in 0..2 {
+        let mut reader = TraceReader::new(Cursor::new(bytes.as_slice())).expect("valid");
+        engine.replay_trace(&mut reader, &mut chunk).expect("valid");
+    }
+    let before = allocs();
+    let mut reader = TraceReader::new(Cursor::new(bytes.as_slice())).expect("valid");
+    engine.replay_trace(&mut reader, &mut chunk).expect("valid");
+    let used = allocs() - before;
+    // Reader construction allocates a run-constant (BufReader buffer,
+    // shard map, generator string) — budget well below one allocation per
+    // thousand rounds, and nothing grows with trace length.
+    assert!(used <= 12, "steady-state replay allocated {used} times for 40k rounds");
+}
+
+#[test]
 fn validated_driver_allocates_per_run_not_per_round() {
     // Even with full validation on (the satellite fix: in-place flush
     // comparison + epoch-marked changeset scratch), the per-round cost is

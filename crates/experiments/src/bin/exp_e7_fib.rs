@@ -185,6 +185,11 @@ fn main() {
         &mut events_rng,
     );
     let mut table = Table::new(["shards", "miss rate", "service", "reorg", "total cost"]);
+    // The 4-shard run is additionally *observed*: windowed per-shard
+    // telemetry, recorded to TIMELINE_e7.json for downstream tooling
+    // (`bench_engine` embeds its summary next to the throughput numbers).
+    let window = if smoke { 1024usize } else { 8192 };
+    let mut recorded_timeline = None;
     for shards in [1usize, 2, 4, 8] {
         let capacity = (total_capacity / shards).max(1);
         let factory = move |shard_tree: Arc<otc_core::tree::Tree>,
@@ -192,7 +197,14 @@ fn main() {
             Box::new(TcFast::new(shard_tree, TcConfig::new(alpha, capacity)))
                 as Box<dyn CachePolicy>
         };
-        let sharded = otc_sdn::run_fib_sharded(&rules, &factory, &events, alpha, shards, shards);
+        let cfg = otc_sim::EngineConfig::bare(alpha)
+            .threads(shards)
+            .audit_every(window)
+            .telemetry(shards == 4);
+        let sharded = otc_sdn::run_fib_sharded_cfg(&rules, &factory, &events, cfg, shards);
+        if shards == 4 {
+            recorded_timeline = Some(sharded.timeline.clone());
+        }
         table.row([
             sharded.per_shard.len().to_string(),
             fmt_f64(sharded.total.miss_rate()),
@@ -202,6 +214,15 @@ fn main() {
         ]);
     }
     println!("{}", table.to_markdown());
+    let timeline = recorded_timeline.expect("the 4-shard run records a timeline");
+    std::fs::write("TIMELINE_e7.json", timeline.to_json()).expect("write TIMELINE_e7.json");
+    println!(
+        "\nRecorded TIMELINE_e7.json: {} windows of {} rounds across {} shards\n\
+         (per-window cost breakdown, occupancy, action-buffer high-water).",
+        timeline.windows.len(),
+        timeline.window_rounds,
+        timeline.shards
+    );
     println!(
         "Reading: each row is a different caching *system* (independent per-shard\n\
          TCs over a partitioned TCAM), so costs shift slightly with the partition —\n\

@@ -18,6 +18,7 @@ use otc_core::policy::{CachePolicy, PolicyFactory};
 use otc_core::request::Request;
 use otc_core::tree::{NodeId, Tree};
 use otc_sim::engine::{EngineConfig, ShardHandle, ShardedEngine};
+use otc_sim::telemetry::Timeline;
 use otc_trie::RuleTree;
 use otc_util::{SplitMix64, Zipf};
 
@@ -200,13 +201,17 @@ pub fn run_fib(
     run_fib_routed(rules.tree(), policy, &routed, alpha)
 }
 
-/// Outcome of a sharded FIB run: the aggregate plus per-shard breakdowns.
+/// Outcome of a sharded FIB run: the aggregate plus per-shard breakdowns,
+/// and — when the engine configuration enabled telemetry — the windowed
+/// per-shard [`Timeline`].
 #[derive(Debug, Clone, Default)]
 pub struct ShardedFibReport {
     /// Component-wise sum over all shards.
     pub total: FibReport,
     /// Per-shard reports, in shard order.
     pub per_shard: Vec<FibReport>,
+    /// Windowed telemetry (empty unless `EngineConfig::telemetry` was on).
+    pub timeline: Timeline,
 }
 
 /// The sharded FIB pipeline: partitions the rule trie at the default route
@@ -231,20 +236,43 @@ pub fn run_fib_sharded(
     shards: usize,
     threads: usize,
 ) -> ShardedFibReport {
+    run_fib_sharded_cfg(rules, factory, events, EngineConfig::bare(alpha).threads(threads), shards)
+}
+
+/// [`run_fib_sharded`] with an explicit engine configuration — the entry
+/// point for observed runs: pass
+/// `EngineConfig::bare(alpha).audit_every(w).telemetry(true)` and the
+/// returned report carries a per-window, per-shard [`Timeline`] of the
+/// whole pipeline (this is how `exp_e7_fib` records `TIMELINE_e7.json`).
+///
+/// `cfg.alpha` is the α used for both the engine and the update-chunk
+/// encoding.
+///
+/// # Panics
+/// Panics if any shard's policy violates the caching protocol.
+#[must_use]
+pub fn run_fib_sharded_cfg(
+    rules: &RuleTree,
+    factory: &dyn PolicyFactory,
+    events: &[FibEvent],
+    cfg: EngineConfig,
+    shards: usize,
+) -> ShardedFibReport {
+    let alpha = cfg.alpha;
     let forest = Forest::partition(rules.tree(), shards);
     let per_shard_events = route_events(rules, &forest, events);
-    let mut engine =
-        ShardedEngine::new(forest, factory, EngineConfig::bare(alpha).threads(threads));
+    let mut engine = ShardedEngine::new(forest, factory, cfg);
     let per_shard: Vec<FibReport> = engine
         .map_shards(|handle| drive_fib(handle, &per_shard_events[handle.shard().index()], alpha))
         .into_iter()
         .collect::<Result<_, _>>()
         .expect("policy violated the caching protocol");
+    let timeline = engine.timeline();
     let mut total = FibReport { name: per_shard[0].name.clone(), ..FibReport::default() };
     for report in &per_shard {
         total.add(report);
     }
-    ShardedFibReport { total, per_shard }
+    ShardedFibReport { total, per_shard, timeline }
 }
 
 /// Translates events into the flat request stream of the abstract problem,
@@ -515,6 +543,49 @@ mod tests {
             sum.add(&run_fib(&rules, &mut tc_chunked, chunk, 2));
         }
         assert_eq!(sum, full);
+    }
+
+    #[test]
+    fn sharded_fib_telemetry_windows_account_the_pipeline() {
+        use otc_core::forest::ShardId;
+        use otc_core::tree::Tree;
+
+        let rules = small_rules();
+        let mut rng = SplitMix64::new(11);
+        let cfg = FibWorkloadConfig { events: 5000, theta: 1.0, update_p: 0.08, addr_attempts: 16 };
+        let events = generate_events(&rules, cfg, &mut rng);
+        let alpha = 2u64;
+        let factory = |tree: Arc<Tree>, _shard: ShardId| {
+            Box::new(TcFast::new(tree, TcConfig::new(alpha, 2)))
+                as Box<dyn otc_core::policy::CachePolicy>
+        };
+        let window = 512usize;
+        let engine_cfg = EngineConfig::bare(alpha).audit_every(window).telemetry(true);
+        let observed = run_fib_sharded_cfg(&rules, &factory, &events, engine_cfg, 2);
+        // Telemetry never changes the run…
+        let plain = run_fib_sharded(&rules, &factory, &events, alpha, 2, 2);
+        assert_eq!(observed.total, plain.total);
+        assert_eq!(observed.per_shard, plain.per_shard);
+        assert!(plain.timeline.windows.is_empty(), "no telemetry without the knob");
+        // …and its windows account the pipeline's reorganisation cost and
+        // paid negatives + misses exactly.
+        let tl = &observed.timeline;
+        assert!(!tl.windows.is_empty());
+        assert_eq!(tl.alpha, alpha);
+        assert_eq!(
+            tl.sum(|w| w.reorg_cost(alpha)),
+            observed.total.reorg_cost,
+            "window reorg breakdown must reassemble the FIB report's reorg cost"
+        );
+        assert_eq!(
+            tl.sum(|w| w.paid_rounds),
+            observed.total.service_cost,
+            "window paid rounds must reassemble the FIB report's service cost"
+        );
+        for w in &tl.windows {
+            assert!(!w.partial || w.rounds <= window as u64);
+            assert!(w.occupancy <= 2, "per-shard TCAM slice is 2 slots");
+        }
     }
 
     #[test]

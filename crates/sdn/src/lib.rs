@@ -23,5 +23,6 @@ pub mod fib;
 pub use canonical::{canonicalize, evaluate_solution, is_canonical, record_run, Solution};
 pub use fib::{
     forwarding_violations, generate_events, route_events, run_fib, run_fib_routed, run_fib_sharded,
-    to_request_stream, FibEvent, FibReport, FibWorkloadConfig, RoutedFibEvent, ShardedFibReport,
+    run_fib_sharded_cfg, to_request_stream, FibEvent, FibReport, FibWorkloadConfig, RoutedFibEvent,
+    ShardedFibReport,
 };

@@ -18,6 +18,10 @@
 //!   thread count;
 //! * [`ShardedEngine::submit_trace`] — parses a serialized request trace
 //!   (`otc_workloads::trace` line format) and batch-submits it;
+//! * [`ShardedEngine::replay_trace`] — streams a **binary** trace
+//!   (`otc_workloads::trace::TraceReader`) through the engine in reused
+//!   chunks, so persisted workloads replay bit-identically without being
+//!   materialised;
 //! * [`ShardedEngine::map_shards`] — runs a caller-supplied per-shard loop
 //!   (with step-level access through [`ShardHandle`]) across all shards in
 //!   parallel; this is how application pipelines with their own event
@@ -39,6 +43,7 @@ use otc_core::tree::Tree;
 
 use crate::report::Report;
 use crate::runner::{Driver, SimConfig};
+use crate::telemetry::{Timeline, WindowRecord};
 
 /// Engine options: a builder-style superset of [`SimConfig`] (verification
 /// mode, α, instrumentation) plus the engine-level knobs (audit/fold
@@ -62,6 +67,13 @@ pub struct EngineConfig {
     /// sequentially on the calling thread. Thread count never affects
     /// results — shards are independent and internally sequential.
     pub threads: usize,
+    /// Collect windowed per-shard telemetry ([`crate::telemetry::Timeline`]):
+    /// a [`crate::telemetry::WindowRecord`] snapshots every `audit_every`
+    /// rounds per shard (cost breakdown, occupancy, action-buffer
+    /// high-water). Off by default; hot-path cost is one counter diff per
+    /// window, no per-round allocation. Without a chunk cadence the whole
+    /// run becomes a single partial window.
+    pub telemetry: bool,
 }
 
 impl EngineConfig {
@@ -69,7 +81,14 @@ impl EngineConfig {
     /// single-threaded, no chunking.
     #[must_use]
     pub fn new(alpha: u64) -> Self {
-        Self { alpha, validate: true, instrument: true, audit_chunk: None, threads: 1 }
+        Self {
+            alpha,
+            validate: true,
+            instrument: true,
+            audit_chunk: None,
+            threads: 1,
+            telemetry: false,
+        }
     }
 
     /// Fast configuration for throughput runs: no per-action validation,
@@ -77,7 +96,14 @@ impl EngineConfig {
     /// they are O(1)/O(|flush|) and gate cost misreporting).
     #[must_use]
     pub fn bare(alpha: u64) -> Self {
-        Self { alpha, validate: false, instrument: false, audit_chunk: None, threads: 1 }
+        Self {
+            alpha,
+            validate: false,
+            instrument: false,
+            audit_chunk: None,
+            threads: 1,
+            telemetry: false,
+        }
     }
 
     /// Sets the per-action validation mode.
@@ -113,6 +139,15 @@ impl EngineConfig {
         self
     }
 
+    /// Enables windowed per-shard telemetry (see
+    /// [`crate::telemetry::Timeline`]); pair with
+    /// [`EngineConfig::audit_every`] to set the window length.
+    #[must_use]
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
     /// The per-round simulator options this configuration implies.
     #[must_use]
     pub fn sim(&self) -> SimConfig {
@@ -128,6 +163,7 @@ impl From<SimConfig> for EngineConfig {
             instrument: cfg.instrument,
             audit_chunk: None,
             threads: 1,
+            telemetry: false,
         }
     }
 }
@@ -181,6 +217,35 @@ impl TreeRef<'_> {
     }
 }
 
+/// Snapshot of the per-round [`Report`] counters at the last telemetry
+/// window boundary; a [`WindowRecord`] is the diff against this.
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowBase {
+    rounds: u64,
+    paid_rounds: u64,
+    fetch_events: u64,
+    evict_events: u64,
+    flush_events: u64,
+    nodes_fetched: u64,
+    nodes_evicted: u64,
+    nodes_flushed: u64,
+}
+
+impl WindowBase {
+    fn of(r: &Report) -> Self {
+        Self {
+            rounds: r.rounds,
+            paid_rounds: r.paid_rounds,
+            fetch_events: r.fetch_events,
+            evict_events: r.evict_events,
+            flush_events: r.flush_events,
+            nodes_fetched: r.nodes_fetched,
+            nodes_evicted: r.nodes_evicted,
+            nodes_flushed: r.nodes_flushed,
+        }
+    }
+}
+
 /// All per-shard state: the policy, its verified driver (mirror, scratch,
 /// action buffer — all reused across rounds), the accumulating report, and
 /// the batch staging queue (capacity reused across batches).
@@ -195,9 +260,58 @@ struct ShardState<'p> {
     /// [`ShardHandle::step`] so violations inside [`ShardedEngine::map_shards`]
     /// closures poison the engine even if the closure discards the error.
     failed: Option<String>,
+    /// Closed telemetry windows (`shard` field filled at collection).
+    windows: Vec<WindowRecord>,
+    /// Report-counter snapshot at the open window's first round.
+    win_base: WindowBase,
 }
 
 impl ShardState<'_> {
+    /// Computes the open window's record against `win_base` (`None` when
+    /// no round has run since the last boundary).
+    fn open_window(&self, partial: bool) -> Option<WindowRecord> {
+        let r = &self.report;
+        let b = self.win_base;
+        let rounds = r.rounds - b.rounds;
+        if rounds == 0 {
+            return None;
+        }
+        Some(WindowRecord {
+            shard: 0, // filled at collection
+            window: self.windows.len() as u64,
+            start_round: b.rounds,
+            rounds,
+            paid_rounds: r.paid_rounds - b.paid_rounds,
+            fetch_events: r.fetch_events - b.fetch_events,
+            evict_events: r.evict_events - b.evict_events,
+            flush_events: r.flush_events - b.flush_events,
+            nodes_fetched: r.nodes_fetched - b.nodes_fetched,
+            nodes_evicted: (r.nodes_evicted - b.nodes_evicted)
+                - (r.nodes_flushed - b.nodes_flushed),
+            nodes_flushed: r.nodes_flushed - b.nodes_flushed,
+            occupancy: self.driver.cache_len(),
+            buf_high_water: self.driver.buf_high_water(),
+            partial,
+        })
+    }
+
+    /// Telemetry boundary check, run once per round: closes the open
+    /// window when it has spanned `audit_chunk` rounds. One `Vec` push per
+    /// window; rounds in between only pay this counter comparison.
+    #[inline]
+    fn window_tick(&mut self, cfg: &EngineConfig) {
+        if !cfg.telemetry {
+            return;
+        }
+        let Some(chunk) = cfg.audit_chunk else { return };
+        if (self.report.rounds - self.win_base.rounds) as usize >= chunk {
+            if let Some(rec) = self.open_window(false) {
+                self.windows.push(rec);
+            }
+            self.driver.take_buf_high_water();
+            self.win_base = WindowBase::of(&self.report);
+        }
+    }
     /// Drives `reqs` through this shard in order, folding cost accounting
     /// into the report once per chunk (`audit_chunk`, or the whole slice).
     fn drain(&mut self, reqs: &[Request], cfg: &EngineConfig) -> Result<(), String> {
@@ -225,6 +339,7 @@ impl ShardState<'_> {
                 service += u64::from(paid);
                 touched += t;
                 self.round += 1;
+                self.window_tick(cfg);
             }
             self.report.cost.service += service;
             self.report.cost.reorg += sim.alpha * touched;
@@ -290,6 +405,7 @@ impl ShardHandle<'_, '_> {
         st.round += 1;
         st.report.cost.service += u64::from(paid);
         st.report.cost.reorg += sim.alpha * touched;
+        st.window_tick(&self.cfg);
         Ok(SubmitOutcome { shard: self.shard, paid, nodes_touched: touched })
     }
 
@@ -414,7 +530,17 @@ impl<'p> ShardedEngine<'p> {
         // content from an earlier run; the mirror starts from its real
         // state (empty for freshly built policies).
         driver.adopt_cache(policy.cache());
-        ShardState { tree, policy, driver, report, queue: Vec::new(), round: 0, failed: None }
+        ShardState {
+            tree,
+            policy,
+            driver,
+            report,
+            queue: Vec::new(),
+            round: 0,
+            failed: None,
+            windows: Vec::new(),
+            win_base: WindowBase::default(),
+        }
     }
 
     /// Number of shards.
@@ -571,6 +697,91 @@ impl<'p> ShardedEngine<'p> {
         self.submit_batch(&reqs)
     }
 
+    /// Streams a **binary** trace (`otc_workloads::trace` format) through
+    /// the engine: validates the trace's declared universe against the
+    /// forest, then repeatedly fills `chunk` (up to its capacity; a fresh
+    /// buffer is given a 64Ki-request default) and batch-submits it — so
+    /// arbitrarily long file-backed traces replay without ever being
+    /// materialised, and steady-state replay rounds stay allocation-free
+    /// once `chunk` and the shard queues are warm.
+    ///
+    /// Replaying a recorded trace is bit-identical to submitting the
+    /// generating sequence in memory (pinned by
+    /// `crates/sim/tests/trace_replay.rs`).
+    ///
+    /// # Errors
+    /// Universe mismatches, trace I/O/corruption errors (with the record
+    /// index), routing errors, and protocol violations.
+    pub fn replay_trace<R: std::io::Read>(
+        &mut self,
+        reader: &mut otc_workloads::trace::TraceReader<R>,
+        chunk: &mut Vec<Request>,
+    ) -> Result<(), EngineError> {
+        self.check_live()?;
+        if let Some(f) = &self.forest {
+            let universe = reader.header().universe;
+            if universe > 0 && universe as usize != f.global_len() {
+                return Err(EngineError {
+                    shard: None,
+                    message: format!(
+                        "trace declares a universe of {universe} nodes but the forest has {}",
+                        f.global_len()
+                    ),
+                });
+            }
+        }
+        const DEFAULT_REPLAY_CHUNK: usize = 64 * 1024;
+        if chunk.capacity() == 0 {
+            chunk.reserve_exact(DEFAULT_REPLAY_CHUNK);
+        }
+        let limit = chunk.capacity();
+        loop {
+            chunk.clear();
+            while chunk.len() < limit {
+                match reader.next() {
+                    Some(Ok(r)) => chunk.push(r),
+                    Some(Err(e)) => {
+                        return Err(EngineError {
+                            shard: None,
+                            message: format!("trace replay failed: {e}"),
+                        });
+                    }
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            self.submit_batch(chunk)?;
+        }
+    }
+
+    /// The windowed telemetry collected so far: every closed window of
+    /// every shard in `(shard, window)` order, plus — per shard with
+    /// rounds past its last boundary — one trailing window flagged
+    /// `partial`. Empty unless the engine ran with
+    /// [`EngineConfig::telemetry`]; window length is the
+    /// [`EngineConfig::audit_every`] cadence. Non-destructive: call it any
+    /// time, including right before [`ShardedEngine::into_report`].
+    #[must_use]
+    pub fn timeline(&self) -> Timeline {
+        let window_rounds =
+            if self.cfg.telemetry { self.cfg.audit_chunk.unwrap_or(0) as u64 } else { 0 };
+        let mut windows = Vec::new();
+        for (s, st) in self.shards.iter().enumerate() {
+            let shard = s as u32;
+            for &w in &st.windows {
+                windows.push(WindowRecord { shard, ..w });
+            }
+            if self.cfg.telemetry {
+                if let Some(rec) = st.open_window(true) {
+                    windows.push(WindowRecord { shard, ..rec });
+                }
+            }
+        }
+        Timeline { alpha: self.cfg.alpha, window_rounds, shards: self.shards.len() as u32, windows }
+    }
+
     /// Runs `f` once per shard — in parallel on `cfg.threads` workers —
     /// with step-level access through a [`ShardHandle`]. Returns the
     /// per-shard results in shard order.
@@ -662,6 +873,7 @@ pub fn aggregate_reports(reports: Vec<Report>) -> Report {
         total.flush_events += r.flush_events;
         total.nodes_fetched += r.nodes_fetched;
         total.nodes_evicted += r.nodes_evicted;
+        total.nodes_flushed += r.nodes_flushed;
         total.peak_cache += r.peak_cache;
         total.fields = match (total.fields.take(), r.fields) {
             (Some(mut a), Some(b)) => {

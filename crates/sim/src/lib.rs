@@ -20,16 +20,24 @@
 //! routing, parallel per-shard execution). The classic entry points
 //! [`run_policy`] and [`run_stream`] are thin single-shard adapters over
 //! it.
+//!
+//! Beyond the one aggregate [`Report`] per run, the engine can collect a
+//! time-resolved [`telemetry::Timeline`]: per-window, per-shard counters
+//! (cost breakdown by fetch/evict/flush, occupancy, action-buffer
+//! high-water marks) snapshotted at `audit_every` boundaries and
+//! exportable as JSON/CSV — see [`telemetry`].
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod engine;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 
 pub use engine::{
     aggregate_reports, EngineConfig, EngineError, ShardHandle, ShardedEngine, SubmitOutcome,
 };
 pub use report::{FieldStats, PeriodStats, PhaseStats, Report};
 pub use runner::{run_policy, run_stream, SimConfig};
+pub use telemetry::{Timeline, WindowRecord};

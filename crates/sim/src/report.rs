@@ -85,6 +85,10 @@ pub struct Report {
     pub nodes_fetched: u64,
     /// Total nodes evicted (including flushes).
     pub nodes_evicted: u64,
+    /// Nodes evicted by flushes alone (a subset of [`Report::nodes_evicted`];
+    /// the windowed telemetry uses it to break reorganisation cost down by
+    /// fetch / evict / flush).
+    pub nodes_flushed: u64,
     /// Largest cache population observed after any round.
     pub peak_cache: usize,
     /// Field statistics (when tracking was enabled).

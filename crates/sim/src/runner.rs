@@ -95,6 +95,10 @@ pub(crate) struct Driver {
     scratch: ValidationScratch,
     /// The reusable per-round outcome buffer.
     buf: ActionBuffer,
+    /// Largest number of nodes one round's actions touched since the last
+    /// [`Driver::take_buf_high_water`] — the telemetry window's
+    /// action-buffer high-water mark.
+    buf_high_water: usize,
 }
 
 impl Driver {
@@ -110,7 +114,26 @@ impl Driver {
             phase_pin: 0,
             scratch: ValidationScratch::new(n),
             buf: ActionBuffer::new(),
+            buf_high_water: 0,
         }
+    }
+
+    /// Current cache population of the verified mirror (the telemetry
+    /// window's occupancy sample).
+    pub(crate) fn cache_len(&self) -> usize {
+        self.mirror.len()
+    }
+
+    /// The action-buffer high-water mark (max nodes touched by one round)
+    /// accumulated since the last [`Driver::take_buf_high_water`].
+    pub(crate) fn buf_high_water(&self) -> usize {
+        self.buf_high_water
+    }
+
+    /// Returns and resets the action-buffer high-water mark (max nodes
+    /// touched by one round) accumulated since the last call.
+    pub(crate) fn take_buf_high_water(&mut self) -> usize {
+        std::mem::take(&mut self.buf_high_water)
     }
 
     /// Adopts `cache` as the mirror's starting state. The engine calls
@@ -183,6 +206,7 @@ impl Driver {
         // only live across error returns, which abort the run anyway).
         let buf = std::mem::take(&mut self.buf);
         let result = self.apply_actions(tree, &buf, round, cfg, report, &mut touched_total);
+        self.buf_high_water = self.buf_high_water.max(buf.nodes_touched());
         self.buf = buf;
         result?;
 
@@ -286,6 +310,7 @@ impl Driver {
                     self.check_flush_payload(set, round)?;
                     report.flush_events += 1;
                     report.nodes_evicted += touched;
+                    report.nodes_flushed += touched;
                     if cfg.instrument {
                         // The flush ends the phase: kP is the cache size
                         // just before the flush; all pending request mass

@@ -1,0 +1,337 @@
+//! Windowed per-shard telemetry.
+//!
+//! A [`crate::Report`] is one aggregate per run; a [`Timeline`] is the
+//! run *over time*: one [`WindowRecord`] per `audit_every` rounds per
+//! shard, carrying the window's cost breakdown (fetch / evict / flush
+//! node counts, paid rounds), the cache occupancy at the window boundary,
+//! and the action-buffer high-water mark inside the window.
+//!
+//! Collection is allocation-free on the hot path: every counter in a
+//! window is a diff of the per-shard `Report` counters the driver already
+//! maintains per round, snapshotted when the engine crosses an
+//! `audit_every` boundary (one amortised `Vec` push per *window*, never
+//! per round). Enable it with `EngineConfig::telemetry(true)` and read it
+//! back with `ShardedEngine::timeline()`.
+//!
+//! Export is hand-rolled JSON (`schema: "otc-timeline-v1"`, one window
+//! object per line) and CSV; [`Timeline::from_json`] parses exactly what
+//! [`Timeline::to_json`] emits, which is what lets the experiment
+//! binaries hand timelines to the bench recorder without a JSON
+//! dependency.
+
+/// Telemetry counters for one window of one shard.
+///
+/// All counters are deltas over the window except [`occupancy`] (sampled
+/// at the window's closing boundary) and [`buf_high_water`] (a maximum
+/// over the window's rounds).
+///
+/// [`occupancy`]: WindowRecord::occupancy
+/// [`buf_high_water`]: WindowRecord::buf_high_water
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowRecord {
+    /// The shard this window belongs to.
+    pub shard: u32,
+    /// Window index within the shard (0-based, consecutive).
+    pub window: u64,
+    /// First round (shard-local) the window covers.
+    pub start_round: u64,
+    /// Rounds in the window (`audit_every`, except a trailing partial).
+    pub rounds: u64,
+    /// Rounds that paid the service cost (service cost = this count).
+    pub paid_rounds: u64,
+    /// Fetch actions applied in the window.
+    pub fetch_events: u64,
+    /// Evict actions applied in the window (flushes not included).
+    pub evict_events: u64,
+    /// Flush (phase restart) events in the window.
+    pub flush_events: u64,
+    /// Nodes fetched (each costs α).
+    pub nodes_fetched: u64,
+    /// Nodes evicted by plain evictions (each costs α; flush payloads are
+    /// counted separately in [`WindowRecord::nodes_flushed`]).
+    pub nodes_evicted: u64,
+    /// Nodes evicted by flushes (each costs α).
+    pub nodes_flushed: u64,
+    /// Cache population at the window's closing boundary.
+    pub occupancy: usize,
+    /// Largest number of nodes any single round's actions touched inside
+    /// the window (the action-buffer high-water mark).
+    pub buf_high_water: usize,
+    /// `true` for a trailing window cut short by the end of observation
+    /// rather than an `audit_every` boundary.
+    pub partial: bool,
+}
+
+impl WindowRecord {
+    /// Reorganisation cost incurred in the window at per-node cost
+    /// `alpha`, broken down as fetch + evict + flush.
+    #[must_use]
+    pub fn reorg_cost(&self, alpha: u64) -> u64 {
+        alpha * (self.nodes_fetched + self.nodes_evicted + self.nodes_flushed)
+    }
+
+    /// Total cost incurred in the window (service + reorganisation).
+    #[must_use]
+    pub fn total_cost(&self, alpha: u64) -> u64 {
+        self.paid_rounds + self.reorg_cost(alpha)
+    }
+}
+
+/// A whole run's windowed telemetry: per-shard [`WindowRecord`]s in
+/// (shard, window) order, plus the parameters needed to interpret them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    /// The per-node reorganisation cost α the run used.
+    pub alpha: u64,
+    /// Window length in rounds (the engine's `audit_every`; `0` when the
+    /// run had no chunk cadence and produced only partial windows).
+    pub window_rounds: u64,
+    /// Number of shards observed.
+    pub shards: u32,
+    /// The windows, sorted by `(shard, window)`.
+    pub windows: Vec<WindowRecord>,
+}
+
+impl Timeline {
+    /// Sum of a per-window counter over every window, for cross-checking
+    /// against the aggregate [`crate::Report`].
+    #[must_use]
+    pub fn sum<F: Fn(&WindowRecord) -> u64>(&self, f: F) -> u64 {
+        self.windows.iter().map(f).sum()
+    }
+
+    /// The windows of one shard, in window order.
+    pub fn shard_windows(&self, shard: u32) -> impl Iterator<Item = &WindowRecord> + '_ {
+        self.windows.iter().filter(move |w| w.shard == shard)
+    }
+
+    /// Renders the timeline as JSON: a `schema`/parameter preamble and one
+    /// window object per line. The format is stable — it is what
+    /// [`Timeline::from_json`] parses — and append-friendly for plotting
+    /// tools (`jq '.windows[]'`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(128 + self.windows.len() * 160);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"otc-timeline-v1\",\n");
+        writeln!(out, "  \"alpha\": {},", self.alpha).expect("String writes cannot fail");
+        writeln!(out, "  \"window_rounds\": {},", self.window_rounds).expect("infallible");
+        writeln!(out, "  \"shards\": {},", self.shards).expect("infallible");
+        out.push_str("  \"windows\": [\n");
+        for (i, w) in self.windows.iter().enumerate() {
+            let sep = if i + 1 == self.windows.len() { "" } else { "," };
+            writeln!(
+                out,
+                "    {{ \"shard\": {}, \"window\": {}, \"start_round\": {}, \"rounds\": {}, \
+                 \"paid_rounds\": {}, \"fetch_events\": {}, \"evict_events\": {}, \
+                 \"flush_events\": {}, \"nodes_fetched\": {}, \"nodes_evicted\": {}, \
+                 \"nodes_flushed\": {}, \"occupancy\": {}, \"buf_high_water\": {}, \
+                 \"reorg_cost\": {}, \"partial\": {} }}{sep}",
+                w.shard,
+                w.window,
+                w.start_round,
+                w.rounds,
+                w.paid_rounds,
+                w.fetch_events,
+                w.evict_events,
+                w.flush_events,
+                w.nodes_fetched,
+                w.nodes_evicted,
+                w.nodes_flushed,
+                w.occupancy,
+                w.buf_high_water,
+                w.reorg_cost(self.alpha),
+                w.partial,
+            )
+            .expect("String writes cannot fail");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the JSON rendering of [`Timeline::to_json`]. Deliberately
+    /// strict: this is a round-trip companion for our own emission (one
+    /// window object per line), not a general JSON parser.
+    ///
+    /// # Errors
+    /// Describes the first malformed line or missing field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        if !text.contains("\"schema\": \"otc-timeline-v1\"") {
+            return Err("missing or unknown schema marker (want otc-timeline-v1)".to_string());
+        }
+        let field_u64 = |line: &str, key: &str| -> Result<u64, String> {
+            let pat = format!("\"{key}\": ");
+            let at = line.find(&pat).ok_or_else(|| format!("missing field {key:?}"))?;
+            let rest = &line[at + pat.len()..];
+            let end = rest.find([',', ' ', '}', '\n']).unwrap_or(rest.len());
+            rest[..end].parse().map_err(|e| format!("bad {key}: {e}"))
+        };
+        let mut alpha = None;
+        let mut window_rounds = None;
+        let mut shards = None;
+        let mut windows = Vec::new();
+        let mut in_windows = false;
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with("\"windows\"") {
+                in_windows = true;
+                continue;
+            }
+            if !in_windows {
+                if t.starts_with("\"alpha\"") {
+                    alpha = Some(field_u64(t, "alpha")?);
+                } else if t.starts_with("\"window_rounds\"") {
+                    window_rounds = Some(field_u64(t, "window_rounds")?);
+                } else if t.starts_with("\"shards\"") {
+                    shards = Some(field_u64(t, "shards")?);
+                }
+                continue;
+            }
+            if !t.starts_with('{') {
+                continue; // closing brackets
+            }
+            windows.push(WindowRecord {
+                shard: u32::try_from(field_u64(t, "shard")?).map_err(|e| e.to_string())?,
+                window: field_u64(t, "window")?,
+                start_round: field_u64(t, "start_round")?,
+                rounds: field_u64(t, "rounds")?,
+                paid_rounds: field_u64(t, "paid_rounds")?,
+                fetch_events: field_u64(t, "fetch_events")?,
+                evict_events: field_u64(t, "evict_events")?,
+                flush_events: field_u64(t, "flush_events")?,
+                nodes_fetched: field_u64(t, "nodes_fetched")?,
+                nodes_evicted: field_u64(t, "nodes_evicted")?,
+                nodes_flushed: field_u64(t, "nodes_flushed")?,
+                occupancy: field_u64(t, "occupancy")? as usize,
+                buf_high_water: field_u64(t, "buf_high_water")? as usize,
+                partial: t.contains("\"partial\": true"),
+            });
+        }
+        Ok(Self {
+            alpha: alpha.ok_or("missing alpha")?,
+            window_rounds: window_rounds.ok_or("missing window_rounds")?,
+            shards: u32::try_from(shards.ok_or("missing shards")?).map_err(|e| e.to_string())?,
+            windows,
+        })
+    }
+
+    /// Renders the timeline as CSV (one header row, one row per window).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(64 + self.windows.len() * 80);
+        out.push_str(
+            "shard,window,start_round,rounds,paid_rounds,fetch_events,evict_events,flush_events,\
+             nodes_fetched,nodes_evicted,nodes_flushed,occupancy,buf_high_water,reorg_cost,\
+             partial\n",
+        );
+        use std::fmt::Write as _;
+        for w in &self.windows {
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                w.shard,
+                w.window,
+                w.start_round,
+                w.rounds,
+                w.paid_rounds,
+                w.fetch_events,
+                w.evict_events,
+                w.flush_events,
+                w.nodes_fetched,
+                w.nodes_evicted,
+                w.nodes_flushed,
+                w.occupancy,
+                w.buf_high_water,
+                w.reorg_cost(self.alpha),
+                w.partial,
+            )
+            .expect("String writes cannot fail");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        Timeline {
+            alpha: 3,
+            window_rounds: 100,
+            shards: 2,
+            windows: vec![
+                WindowRecord {
+                    shard: 0,
+                    window: 0,
+                    start_round: 0,
+                    rounds: 100,
+                    paid_rounds: 40,
+                    fetch_events: 3,
+                    evict_events: 1,
+                    flush_events: 1,
+                    nodes_fetched: 7,
+                    nodes_evicted: 2,
+                    nodes_flushed: 4,
+                    occupancy: 5,
+                    buf_high_water: 4,
+                    partial: false,
+                },
+                WindowRecord {
+                    shard: 1,
+                    window: 0,
+                    start_round: 0,
+                    rounds: 60,
+                    paid_rounds: 9,
+                    occupancy: 2,
+                    buf_high_water: 1,
+                    partial: true,
+                    ..WindowRecord::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn cost_breakdown_adds_up() {
+        let w = sample().windows[0];
+        assert_eq!(w.reorg_cost(3), 3 * (7 + 2 + 4));
+        assert_eq!(w.total_cost(3), 40 + 39);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let tl = sample();
+        let json = tl.to_json();
+        assert!(json.contains("otc-timeline-v1"));
+        let back = Timeline::from_json(&json).expect("own emission must parse");
+        assert_eq!(back, tl);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Timeline::from_json("{}").is_err());
+        assert!(Timeline::from_json("not json at all").is_err());
+        let mut json = sample().to_json();
+        json = json.replace("\"rounds\": 100,", "");
+        assert!(Timeline::from_json(&json).is_err(), "missing field must be reported");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_window() {
+        let tl = sample();
+        let csv = tl.to_csv();
+        assert_eq!(csv.lines().count(), 1 + tl.windows.len());
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,0,0,100,40,"));
+        assert!(csv.ends_with("true\n"));
+    }
+
+    #[test]
+    fn sum_and_shard_views() {
+        let tl = sample();
+        assert_eq!(tl.sum(|w| w.paid_rounds), 49);
+        assert_eq!(tl.shard_windows(1).count(), 1);
+        assert!(tl.shard_windows(1).next().unwrap().partial);
+    }
+}

@@ -29,6 +29,27 @@ pub struct AdversaryRun {
     pub page_choices: Vec<NodeId>,
 }
 
+impl AdversaryRun {
+    /// Packages the adaptively generated sequence as a persistent
+    /// [`crate::trace::Trace`] (generator `"paging-adversary"`), so the
+    /// exact sequence that hurt one algorithm can be archived and replayed
+    /// against any other across processes. The adversary is adaptive — its
+    /// sequence derives from the driven policy, not from a seed — so the
+    /// header's seed field records `0`.
+    #[must_use]
+    pub fn to_trace(&self, tree: &Tree) -> crate::trace::Trace {
+        crate::trace::Trace {
+            header: crate::trace::TraceHeader {
+                universe: tree.len() as u32,
+                shard_map: vec![tree.len() as u32],
+                seed: 0,
+                generator: "paging-adversary".to_string(),
+            },
+            requests: self.trace.clone(),
+        }
+    }
+}
+
 /// Drives `policy` for `page_rounds` adversarial page rounds on a star
 /// tree. Each round targets the lowest-indexed leaf absent from the
 /// policy's cache with `alpha` consecutive positive requests.
@@ -117,6 +138,19 @@ mod tests {
         let (service, touched) = otc_core::policy::run_raw(&mut tc2, &run.trace);
         assert_eq!(service, run.online_service);
         assert_eq!(touched, run.online_touched);
+    }
+
+    #[test]
+    fn adversary_trace_round_trips_through_the_binary_format() {
+        let k = 3;
+        let tree = Arc::new(Tree::star(k + 1));
+        let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(2, k));
+        let run = drive_paging_adversary(&mut tc, &tree, 2, 25);
+        let trace = run.to_trace(&tree);
+        assert_eq!(trace.header.generator, "paging-adversary");
+        assert_eq!(trace.header.universe as usize, tree.len());
+        let back = crate::trace::Trace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(back.requests, run.trace, "archived adversarial sequences replay exactly");
     }
 
     #[test]

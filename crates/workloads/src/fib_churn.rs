@@ -1,0 +1,179 @@
+//! FIB-update traces synthesized from real rule-dependency structure.
+//!
+//! The other generators draw trees at random; this one starts from an
+//! `otc_trie::RuleTree` — a longest-matching-prefix routing table whose
+//! dependency tree *is* the caching universe (paper, Section 2) — and
+//! synthesizes the two event species a FIB cache actually sees:
+//!
+//! * **lookups**: Zipf-popular positive requests to rules (the Sarrar et
+//!   al. traffic model the paper cites);
+//! * **route flaps**: an update at a prefix rarely comes alone — BGP
+//!   withdrawals re-announce along the *covering chain*, so a flap at rule
+//!   `r` emits one α-chunk of negatives for `r` and for up to
+//!   `max_hops − 1` of its ancestors in the containment tree (never the
+//!   default route, which is not a real rule).
+//!
+//! The output is a persistent [`Trace`] with full seed provenance, so a
+//! recorded table's workload replays bit-identically anywhere — this is
+//! the repository's stand-in for proprietary BGP update feeds.
+
+use otc_core::request::Request;
+use otc_core::tree::NodeId;
+use otc_trie::RuleTree;
+use otc_util::{SplitMix64, Zipf};
+
+use crate::trace::{Trace, TraceHeader};
+
+/// Configuration for [`fib_update_trace`].
+#[derive(Debug, Clone, Copy)]
+pub struct FibChurnConfig {
+    /// Total number of requests to emit (each flap hop counts α).
+    pub len: usize,
+    /// Chunk size for updates (the problem's α).
+    pub alpha: u64,
+    /// Zipf exponent of rule popularity for lookups.
+    pub theta: f64,
+    /// Probability that an event is a route flap rather than a lookup.
+    pub flap_p: f64,
+    /// Maximum rules touched per flap: the flapping rule plus up to
+    /// `max_hops − 1` ancestors along its covering chain.
+    pub max_hops: usize,
+}
+
+impl Default for FibChurnConfig {
+    fn default() -> Self {
+        Self { len: 100_000, alpha: 4, theta: 1.0, flap_p: 0.02, max_hops: 3 }
+    }
+}
+
+/// Synthesizes a FIB lookup/flap workload over `rules` and records it as a
+/// persistent [`Trace`] (generator `"fib-churn"`, the given seed, universe
+/// = the rule-dependency tree).
+///
+/// Lookups hit rules by Zipf popularity over a seeded random ranking;
+/// flaps pick a non-default rule by the same law and emit α-chunk
+/// negatives up its covering chain (`max_hops` rules at most, default
+/// route excluded). Everything derives from `seed` alone, so the same
+/// `(rules, cfg, seed)` triple reproduces the identical trace on any
+/// machine.
+///
+/// # Panics
+/// Panics if the table has no non-default rule or `max_hops == 0`.
+#[must_use]
+pub fn fib_update_trace(rules: &RuleTree, cfg: FibChurnConfig, seed: u64) -> Trace {
+    assert!(cfg.max_hops >= 1, "a flap touches at least the flapping rule");
+    let tree = rules.tree();
+    assert!(tree.len() >= 2, "need at least one non-default rule to flap");
+    let mut rng = SplitMix64::new(seed);
+    let mut ranking: Vec<NodeId> = tree.nodes().collect();
+    rng.shuffle(&mut ranking);
+    let zipf = Zipf::new(ranking.len(), cfg.theta);
+    let root = tree.root();
+
+    let mut requests = Vec::with_capacity(cfg.len);
+    'outer: while requests.len() < cfg.len {
+        let node = ranking[zipf.sample(&mut rng)];
+        if rng.chance(cfg.flap_p) {
+            // A flap: the chosen rule (or, if the draw hit the default
+            // route, one of its children) plus ancestors up the chain.
+            let origin =
+                if node == root { NodeId(1 + rng.index(tree.len() - 1) as u32) } else { node };
+            let mut hops = 0usize;
+            let mut at = Some(origin);
+            while let Some(v) = at {
+                if v == root || hops == cfg.max_hops {
+                    break;
+                }
+                for _ in 0..cfg.alpha {
+                    requests.push(Request::neg(v));
+                    if requests.len() == cfg.len {
+                        break 'outer;
+                    }
+                }
+                hops += 1;
+                at = tree.parent(v);
+            }
+        } else {
+            requests.push(Request::pos(node));
+        }
+    }
+
+    Trace {
+        header: TraceHeader {
+            universe: tree.len() as u32,
+            shard_map: vec![tree.len() as u32],
+            seed,
+            generator: "fib-churn".to_string(),
+        },
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otc_trie::{hierarchical_table, HierarchicalConfig};
+
+    fn table(n: usize, seed: u64) -> RuleTree {
+        let mut rng = SplitMix64::new(seed);
+        RuleTree::build(&hierarchical_table(
+            HierarchicalConfig { n, subdivide_p: 0.7, max_len: 28 },
+            &mut rng,
+        ))
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_well_formed() {
+        let rules = table(256, 1);
+        let cfg = FibChurnConfig { len: 20_000, ..FibChurnConfig::default() };
+        let a = fib_update_trace(&rules, cfg, 0xF1B);
+        let b = fib_update_trace(&rules, cfg, 0xF1B);
+        assert_eq!(a, b, "same seed must reproduce the identical trace");
+        assert_eq!(a.requests.len(), 20_000);
+        assert_eq!(a.header.universe as usize, rules.tree().len());
+        assert_eq!(a.header.seed, 0xF1B);
+        assert!(a.requests.iter().all(|r| r.node.index() < rules.tree().len()));
+        // Binary round trip preserves it exactly.
+        let back = Trace::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn flaps_walk_the_covering_chain_and_spare_the_default_route() {
+        let rules = table(512, 2);
+        let tree = rules.tree();
+        let cfg =
+            FibChurnConfig { len: 60_000, alpha: 3, flap_p: 0.15, ..FibChurnConfig::default() };
+        let trace = fib_update_trace(&rules, cfg, 7);
+        let negs: Vec<&Request> = trace.requests.iter().filter(|r| !r.is_positive()).collect();
+        assert!(!negs.is_empty(), "flap_p = 0.15 must produce updates");
+        assert!(negs.iter().all(|r| r.node != tree.root()), "the default route never flaps");
+        // Consecutive α-runs within one flap go child → parent: collect
+        // run heads and check adjacent runs in a chain are related.
+        let mut related = 0u32;
+        let mut adjacent = 0u32;
+        let reqs = &trace.requests;
+        let mut i = 0;
+        while i < reqs.len() {
+            if !reqs[i].is_positive() {
+                let a = reqs[i].node;
+                let mut j = i;
+                while j < reqs.len() && !reqs[j].is_positive() && reqs[j].node == a {
+                    j += 1;
+                }
+                if j < reqs.len() && !reqs[j].is_positive() && j - i == 3 {
+                    adjacent += 1;
+                    if tree.parent(a) == Some(reqs[j].node) {
+                        related += 1;
+                    }
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+        assert!(adjacent > 20, "expected multi-hop flaps, saw {adjacent} adjacent run pairs");
+        let frac = f64::from(related) / f64::from(adjacent);
+        assert!(frac > 0.5, "flap hops should climb the covering chain, got {frac}");
+    }
+}

@@ -4,18 +4,25 @@
 //!
 //! * [`trees`] — random tree generators with height/degree control;
 //! * [`requests`] — Zipf traffic, update churn (α-chunked negatives, the
-//!   paper's Appendix-B encoding), working-set drift, and multi-tenant
-//!   streams over forests (per-shard Zipf skew, globally addressed for
-//!   the sharded engine);
+//!   paper's Appendix-B encoding), working-set drift, Markov-modulated
+//!   bursty arrivals, and multi-tenant streams over forests — uniform or
+//!   diurnal (per-shard Zipf skew, globally addressed for the sharded
+//!   engine);
+//! * [`trace`] — persistent workload traces: the versioned binary format
+//!   with streaming [`trace::TraceWriter`] / [`trace::TraceReader`], the
+//!   human-editable line format, and CSV/JSONL interop;
+//! * [`fib_churn`] — FIB lookup/flap traces synthesized from an
+//!   `otc_trie::RuleTree`'s real prefix-containment structure;
 //! * [`adversary`] — the adaptive paging adversary of the Ω(R) lower bound
-//!   (Appendix C);
+//!   (Appendix C), with its sequences archivable as traces;
 //! * [`gadget`] — the Figure 4 / Appendix D positive-field impossibility
 //!   construction, scripted end to end.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod adversary;
+pub mod fib_churn;
 pub mod gadget;
 pub mod requests;
 pub mod search;
@@ -23,11 +30,13 @@ pub mod trace;
 pub mod trees;
 
 pub use adversary::{drive_paging_adversary, AdversaryRun};
+pub use fib_churn::{fib_update_trace, FibChurnConfig};
 pub use gadget::Fig4Gadget;
 pub use requests::{
-    amplify, multi_tenant_stream, shifting_zipf, uniform_mixed, zipf_positive,
-    zipf_with_bursty_updates, zipf_with_updates, MixedConfig, TenantProfile,
+    amplify, diurnal_tenant_stream, markov_bursty, multi_tenant_stream, shifting_zipf,
+    uniform_mixed, zipf_positive, zipf_with_bursty_updates, zipf_with_updates, DiurnalConfig,
+    MarkovBurstyConfig, MixedConfig, TenantProfile,
 };
 pub use search::{adversarial_search, SearchOutcome};
-pub use trace::{from_text, to_text};
+pub use trace::{from_text, to_text, Trace, TraceHeader, TraceReader, TraceWriter};
 pub use trees::{broom, random_attachment, random_bounded_degree, random_window};

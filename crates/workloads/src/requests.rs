@@ -178,27 +178,11 @@ pub fn multi_tenant_stream(
     alpha: u64,
     rng: &mut SplitMix64,
 ) -> Vec<Request> {
-    use otc_core::forest::ShardId;
     assert_eq!(profiles.len(), forest.num_shards(), "one tenant profile per forest shard");
     let total_weight: f64 = profiles.iter().map(|p| p.weight.max(0.0)).sum();
     assert!(total_weight > 0.0, "at least one tenant needs positive weight");
 
-    // Per-shard popularity rankings over *global* ids; root replicas of
-    // partitioned shards (which map to the same global root) are kept only
-    // in shard 0.
-    let rankings: Vec<Vec<NodeId>> = (0..forest.num_shards())
-        .map(|s| {
-            let sid = ShardId(s as u32);
-            let tree = forest.tree(sid);
-            let mut nodes: Vec<NodeId> = tree
-                .nodes()
-                .map(|local| forest.to_global(sid, local))
-                .filter(|&g| forest.route(g).0 == sid)
-                .collect();
-            rng.shuffle(&mut nodes);
-            nodes
-        })
-        .collect();
+    let rankings = shard_rankings(forest, rng);
     let zipfs: Vec<Zipf> =
         rankings.iter().zip(profiles).map(|(r, p)| Zipf::new(r.len(), p.theta)).collect();
 
@@ -236,6 +220,204 @@ pub fn multi_tenant_stream(
         }
     }
     out
+}
+
+/// Configuration for the Markov-modulated bursty arrival process.
+#[derive(Debug, Clone, Copy)]
+pub struct MarkovBurstyConfig {
+    /// Total number of requests to emit (update chunks count α each).
+    pub len: usize,
+    /// Chunk size for updates (the problem's α).
+    pub alpha: u64,
+    /// Zipf exponent of access popularity (both states).
+    pub theta: f64,
+    /// Update probability per event while **calm**.
+    pub calm_update_p: f64,
+    /// Update probability per event while **bursty**.
+    pub burst_update_p: f64,
+    /// Per-event probability of entering a burst from the calm state.
+    pub enter_p: f64,
+    /// Per-event probability of leaving a burst (expected burst length is
+    /// `1/exit_p` events).
+    pub exit_p: f64,
+    /// While bursty, events target only the hottest `burst_focus` ranks
+    /// (the flapping working set); `0` disables focusing.
+    pub burst_focus: usize,
+}
+
+impl Default for MarkovBurstyConfig {
+    fn default() -> Self {
+        Self {
+            len: 100_000,
+            alpha: 4,
+            theta: 1.0,
+            calm_update_p: 0.005,
+            burst_update_p: 0.25,
+            enter_p: 0.002,
+            exit_p: 0.02,
+            burst_focus: 32,
+        }
+    }
+}
+
+/// Markov-modulated bursty arrivals: a two-state (calm / bursty) Markov
+/// chain modulates both the update intensity and the access locality.
+/// Calm traffic is plain Zipf with rare updates; bursts concentrate on a
+/// small hot set and churn it hard (the BGP "route flap storm" regime that
+/// separates rent-or-buy caching from eager reactive caching).
+///
+/// Deterministic given `rng`'s seed; state dwell times are geometric
+/// (`enter_p` / `exit_p`), giving the on/off Markov-modulated process used
+/// by trace-driven caching evaluations.
+#[must_use]
+pub fn markov_bursty(tree: &Tree, cfg: MarkovBurstyConfig, rng: &mut SplitMix64) -> Vec<Request> {
+    let ranked = ranked_nodes(tree, rng);
+    let zipf_all = Zipf::new(ranked.len(), cfg.theta);
+    let focus = if cfg.burst_focus == 0 { ranked.len() } else { cfg.burst_focus.min(ranked.len()) };
+    let zipf_focus = Zipf::new(focus, cfg.theta);
+    let mut bursty = false;
+    let mut out = Vec::with_capacity(cfg.len);
+    while out.len() < cfg.len {
+        bursty = if bursty { !rng.chance(cfg.exit_p) } else { rng.chance(cfg.enter_p) };
+        let (zipf, update_p) =
+            if bursty { (&zipf_focus, cfg.burst_update_p) } else { (&zipf_all, cfg.calm_update_p) };
+        let node = ranked[zipf.sample(rng)];
+        if rng.chance(update_p) {
+            for _ in 0..cfg.alpha {
+                out.push(Request::neg(node));
+                if out.len() == cfg.len {
+                    break;
+                }
+            }
+        } else {
+            out.push(Request::pos(node));
+        }
+    }
+    out
+}
+
+/// Configuration for the diurnal multi-tenant stream.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalConfig {
+    /// Total number of requests to emit (update chunks count α each).
+    pub len: usize,
+    /// Chunk size for updates (the problem's α).
+    pub alpha: u64,
+    /// Length of one "day" in emitted requests.
+    pub period: usize,
+    /// Amplitude of the sinusoidal weight modulation in `[0, 1]`:
+    /// a tenant's arrival weight swings between `base·(1 − a)` and
+    /// `base·(1 + a)` over a day.
+    pub amplitude: f64,
+}
+
+impl Default for DiurnalConfig {
+    fn default() -> Self {
+        Self { len: 100_000, alpha: 4, period: 20_000, amplitude: 0.9 }
+    }
+}
+
+/// Diurnal tenant churn over a [`Forest`]: like [`multi_tenant_stream`],
+/// but each tenant's arrival weight follows a sinusoidal day/night cycle —
+/// tenants are phase-shifted evenly around the day, so load migrates
+/// around the forest (time zones) — and at the start of each tenant's new
+/// day its popularity permutation is re-drawn (yesterday's hot content is
+/// not today's). This stresses exactly what a shared caching tier sees:
+/// per-shard load that moves and working sets that drift on a slow clock.
+///
+/// # Panics
+/// Panics if `profiles.len() != forest.num_shards()`, if every weight is
+/// non-positive, if `amplitude` is outside `[0, 1]`, or if `period == 0`.
+#[must_use]
+pub fn diurnal_tenant_stream(
+    forest: &Forest,
+    profiles: &[TenantProfile],
+    cfg: DiurnalConfig,
+    rng: &mut SplitMix64,
+) -> Vec<Request> {
+    assert_eq!(profiles.len(), forest.num_shards(), "one tenant profile per forest shard");
+    assert!((0.0..=1.0).contains(&cfg.amplitude), "amplitude must be in [0, 1]");
+    assert!(cfg.period > 0, "a day has at least one request");
+    let base_total: f64 = profiles.iter().map(|p| p.weight.max(0.0)).sum();
+    assert!(base_total > 0.0, "at least one tenant needs positive weight");
+
+    let mut rankings = shard_rankings(forest, rng);
+    let zipfs: Vec<Zipf> =
+        rankings.iter().zip(profiles).map(|(r, p)| Zipf::new(r.len(), p.theta)).collect();
+    let shards = profiles.len();
+    let mut days: Vec<usize> = vec![0; shards];
+    let mut weights: Vec<f64> = vec![0.0; shards];
+    let mut out = Vec::with_capacity(cfg.len);
+    while out.len() < cfg.len {
+        let t = out.len();
+        let mut total = 0.0;
+        for (s, p) in profiles.iter().enumerate() {
+            // Tenant s's local clock is offset by s/shards of a day.
+            let phase = t as f64 / cfg.period as f64 + s as f64 / shards as f64;
+            let day = (t + s * cfg.period / shards) / cfg.period;
+            if day != days[s] {
+                // A new day for this tenant: its working set drifts.
+                days[s] = day;
+                rng.shuffle(&mut rankings[s]);
+            }
+            let w =
+                p.weight.max(0.0) * (1.0 + cfg.amplitude * (phase * std::f64::consts::TAU).sin());
+            weights[s] = w.max(0.0);
+            total += weights[s];
+        }
+        // All tenants asleep at once can only happen with amplitude = 1 and
+        // pathological phase alignment; nudge the first base-positive
+        // tenant awake to keep the stream flowing.
+        let s = if total > 0.0 {
+            let mut pick = rng.next_f64() * total;
+            let mut chosen = weights.iter().rposition(|&w| w > 0.0).expect("positive total");
+            for (i, &w) in weights.iter().enumerate() {
+                if w <= 0.0 {
+                    continue;
+                }
+                if pick < w {
+                    chosen = i;
+                    break;
+                }
+                pick -= w;
+            }
+            chosen
+        } else {
+            profiles.iter().position(|p| p.weight > 0.0).expect("positive base weight")
+        };
+        let node = rankings[s][zipfs[s].sample(rng)];
+        if rng.chance(profiles[s].update_p) {
+            for _ in 0..cfg.alpha {
+                out.push(Request::neg(node));
+                if out.len() == cfg.len {
+                    break;
+                }
+            }
+        } else {
+            out.push(Request::pos(node));
+        }
+    }
+    out
+}
+
+/// Per-shard popularity rankings over **global** ids; root replicas of
+/// partitioned shards (which all map to the same global root) are kept
+/// only in shard 0, where the root keeps its identity.
+fn shard_rankings(forest: &Forest, rng: &mut SplitMix64) -> Vec<Vec<NodeId>> {
+    use otc_core::forest::ShardId;
+    (0..forest.num_shards())
+        .map(|s| {
+            let sid = ShardId(s as u32);
+            let tree = forest.tree(sid);
+            let mut nodes: Vec<NodeId> = tree
+                .nodes()
+                .map(|local| forest.to_global(sid, local))
+                .filter(|&g| forest.route(g).0 == sid)
+                .collect();
+            rng.shuffle(&mut nodes);
+            nodes
+        })
+        .collect()
 }
 
 /// All nodes in a random order (popularity ranking).
@@ -395,6 +577,84 @@ mod tests {
         let a = zipf_positive(&tree, 100, 1.0, &mut SplitMix64::new(5));
         let b = zipf_positive(&tree, 100, 1.0, &mut SplitMix64::new(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn markov_bursty_modulates_update_density() {
+        let tree = Tree::kary(2, 6);
+        let mut rng = SplitMix64::new(0xB00);
+        let cfg = MarkovBurstyConfig { len: 60_000, alpha: 3, ..MarkovBurstyConfig::default() };
+        let reqs = markov_bursty(&tree, cfg, &mut rng);
+        assert_eq!(reqs.len(), 60_000);
+        assert!(reqs.iter().all(|r| r.node.index() < tree.len()));
+        // Overall negative mass sits strictly between the calm and burst
+        // rates (the chain spends time in both states)…
+        let neg = reqs.iter().filter(|r| !r.is_positive()).count() as f64 / reqs.len() as f64;
+        assert!(neg > 0.01 && neg < 0.6, "negative fraction {neg}");
+        // …and it arrives *clumped*: windowed update density must be far
+        // more dispersed than a Bernoulli process of the same mean. Compare
+        // the max windowed rate against the mean rate.
+        let window = 1000;
+        let rates: Vec<f64> = reqs
+            .chunks(window)
+            .map(|c| c.iter().filter(|r| !r.is_positive()).count() as f64 / c.len() as f64)
+            .collect();
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 3.0 * neg, "bursts should concentrate updates: max {max} vs mean {neg}");
+        // Deterministic under the same seed.
+        let again = markov_bursty(&tree, cfg, &mut SplitMix64::new(0xB00));
+        let mut rng2 = SplitMix64::new(0xB00);
+        assert_eq!(markov_bursty(&tree, cfg, &mut rng2), again);
+    }
+
+    #[test]
+    fn diurnal_stream_migrates_load_and_drifts_working_sets() {
+        use otc_core::forest::Forest;
+        let tree = Tree::star(90);
+        let forest = Forest::partition(&tree, 3);
+        let profiles = [TenantProfile::skewed(1.0); 3];
+        let period = 30_000;
+        let cfg = DiurnalConfig { len: period, alpha: 3, period, amplitude: 1.0 };
+        let mut rng = SplitMix64::new(0xD1);
+        let reqs = diurnal_tenant_stream(&forest, &profiles, cfg, &mut rng);
+        assert_eq!(reqs.len(), period);
+        assert!(reqs.iter().all(|r| r.node.index() < tree.len()));
+        // Tenant 0 peaks in the first quarter of the day and bottoms out in
+        // the third quarter (its phase offset is 0): its share of traffic
+        // must visibly migrate.
+        let quarter = period / 4;
+        let share = |slice: &[Request]| {
+            slice.iter().filter(|r| forest.route(r.node).0.index() == 0).count() as f64
+                / slice.len() as f64
+        };
+        let peak = share(&reqs[..quarter]);
+        let trough = share(&reqs[2 * quarter..3 * quarter]);
+        assert!(peak > 2.0 * trough, "diurnal load must migrate: peak {peak} vs trough {trough}");
+        // Deterministic under the same seed.
+        let again = diurnal_tenant_stream(&forest, &profiles, cfg, &mut SplitMix64::new(0xD1));
+        assert_eq!(reqs, again);
+    }
+
+    #[test]
+    fn diurnal_working_set_redraws_across_days() {
+        use otc_core::forest::Forest;
+        // One tenant, two days: the hot node must move across the day
+        // boundary (w.h.p. on a 200-leaf star).
+        let tree = Tree::star(200);
+        let forest = Forest::partition(&tree, 1);
+        let profiles = [TenantProfile::skewed(1.4)];
+        let period = 8_000;
+        let cfg = DiurnalConfig { len: 2 * period, alpha: 1, period, amplitude: 0.0 };
+        let mut rng = SplitMix64::new(0xDA);
+        let reqs = diurnal_tenant_stream(&forest, &profiles, cfg, &mut rng);
+        let top = |slice: &[Request]| {
+            let mut counts = vec![0usize; tree.len()];
+            for r in slice {
+                counts[r.node.index()] += 1;
+            }
+            counts.iter().enumerate().max_by_key(|&(_, c)| *c).map(|(i, _)| i).unwrap()
+        };
+        assert_ne!(top(&reqs[..period]), top(&reqs[period..]), "hot set should drift across days");
     }
 
     #[test]

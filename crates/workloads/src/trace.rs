@@ -1,19 +1,461 @@
-//! Request-trace serialization.
+//! Persistent workload traces.
 //!
-//! A dead-simple line format so experiments can persist and replay
-//! workloads (and so adversarial sequences found by [`crate::search`] can
-//! be archived as regression inputs):
+//! Three interchangeable encodings of one thing — a request sequence with
+//! provenance — so any workload can be recorded once and replayed
+//! bit-identically across processes and machines:
 //!
-//! ```text
-//! # comment lines and blanks are ignored
-//! +17        positive request to node 17
-//! -4         negative request to node 4
-//! ```
+//! * the **binary format** (`.otct`): a versioned header
+//!   ([`TraceHeader`]: universe size, shard map, seed provenance) followed
+//!   by LEB128-packed requests. [`TraceWriter`] streams requests out;
+//!   [`TraceReader`] streams them back in (it is an `Iterator`), which is
+//!   what `ShardedEngine::replay_trace` consumes for file-backed replay
+//!   without materialising the whole sequence;
+//! * the **line format** (`+17` / `-4`, comments and blanks ignored) —
+//!   human-editable, accepted directly by `ShardedEngine::submit_trace`;
+//! * **CSV / JSONL interop** ([`to_csv`]/[`from_csv`],
+//!   [`to_jsonl`]/[`from_jsonl`]) for external tooling (spreadsheets,
+//!   `jq`, pandas).
+//!
+//! The binary layout is specified normatively in `DESIGN.md` ("The trace
+//! format"). All multi-byte integers are **little-endian**; requests are
+//! LEB128 varints of `(node_id << 1) | is_negative`, so hot small node ids
+//! cost one byte.
+
+use std::io::{self, Read, Seek, SeekFrom, Write};
 
 use otc_core::request::{Request, Sign};
 use otc_core::tree::NodeId;
 
-/// Renders a request sequence in the line format.
+/// Magic bytes opening every binary trace file.
+pub const TRACE_MAGIC: [u8; 4] = *b"OTCT";
+
+/// Current binary format version. Readers reject anything newer; older
+/// versions (there are none yet) would be upgraded here.
+pub const TRACE_VERSION: u16 = 1;
+
+/// Record-count sentinel meaning "unknown / stream to EOF" — what a
+/// header holds while a [`TraceWriter`] is still open (a crash leaves a
+/// readable, EOF-terminated trace).
+pub const COUNT_UNKNOWN: u64 = u64::MAX;
+
+/// Hard cap on the shard-map length accepted by the reader: real forests
+/// have at most thousands of shards, so anything larger is corruption.
+const MAX_SHARDS: u32 = 1 << 20;
+
+/// Hard cap on the generator-name length accepted by the reader.
+const MAX_GENERATOR_LEN: u16 = 4096;
+
+/// Provenance header of a binary trace: enough to re-derive the workload
+/// (seed + generator name) and to validate a replay target (universe size,
+/// shard map) before any request is submitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Size of the global node-id space the requests address. Every record
+    /// must satisfy `node < universe`; readers reject violations as
+    /// corruption. `0` disables the bound (free-form traces).
+    pub universe: u32,
+    /// Per-shard tree sizes of the forest the trace was generated for
+    /// (informational: partitioned forests replicate the root, so the sum
+    /// may exceed `universe`). Empty for single-tree traces.
+    pub shard_map: Vec<u32>,
+    /// The RNG seed the generating process used (0 when not seed-driven,
+    /// e.g. adaptively generated adversarial traces).
+    pub seed: u64,
+    /// Free-form generator name (`"multi-tenant"`, `"paging-adversary"`,
+    /// …) for humans and tooling; at most 4096 bytes of UTF-8.
+    pub generator: String,
+}
+
+impl TraceHeader {
+    /// A header for a single-tree universe of `n` nodes.
+    #[must_use]
+    pub fn single_tree(n: usize, seed: u64, generator: &str) -> Self {
+        Self {
+            universe: n as u32,
+            shard_map: vec![n as u32],
+            seed,
+            generator: generator.to_string(),
+        }
+    }
+}
+
+/// An owned trace: header plus the full request sequence. The convenience
+/// carrier for tests, recording helpers and small workloads; streaming
+/// producers/consumers use [`TraceWriter`] / [`TraceReader`] directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Provenance and universe metadata.
+    pub header: TraceHeader,
+    /// The request sequence.
+    pub requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Serializes the trace into the binary format.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from `sink`.
+    pub fn save<W: Write + Seek>(&self, sink: W) -> io::Result<W> {
+        let mut w = TraceWriter::new(sink, self.header.clone())?;
+        for &r in &self.requests {
+            w.push(r)?;
+        }
+        w.finish()
+    }
+
+    /// Deserializes a binary trace, materialising every request.
+    ///
+    /// # Errors
+    /// Rejects corrupt headers, truncated bodies, and out-of-universe
+    /// records (`io::ErrorKind::InvalidData`).
+    pub fn load<R: Read>(src: R) -> io::Result<Self> {
+        let mut reader = TraceReader::new(src)?;
+        let mut requests = Vec::new();
+        for r in &mut reader {
+            requests.push(r?);
+        }
+        Ok(Self { header: reader.into_header(), requests })
+    }
+
+    /// The binary encoding as an in-memory byte vector.
+    ///
+    /// # Panics
+    /// Never panics: writing to a `Vec` cannot fail.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.save(io::Cursor::new(Vec::new())).expect("in-memory write cannot fail").into_inner()
+    }
+
+    /// Decodes a trace from its in-memory binary encoding.
+    ///
+    /// # Errors
+    /// Same as [`Trace::load`].
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        Self::load(io::Cursor::new(bytes))
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Streaming binary-trace writer.
+///
+/// Writes the header immediately (with [`COUNT_UNKNOWN`] as the record
+/// count), appends LEB128-packed requests through an internal buffer, and
+/// on [`TraceWriter::finish`] seeks back to patch the true record count —
+/// so a reader can detect truncation, while a crash mid-write still leaves
+/// an EOF-terminated trace that readers accept.
+///
+/// ```
+/// use std::io::Cursor;
+/// use otc_core::{Request, tree::NodeId};
+/// use otc_workloads::trace::{TraceHeader, TraceReader, TraceWriter};
+///
+/// let header = TraceHeader::single_tree(8, 42, "doc-example");
+/// let mut w = TraceWriter::new(Cursor::new(Vec::new()), header.clone()).unwrap();
+/// w.push(Request::pos(NodeId(3))).unwrap();
+/// w.push(Request::neg(NodeId(7))).unwrap();
+/// let bytes = w.finish().unwrap().into_inner();
+///
+/// let mut r = TraceReader::new(Cursor::new(bytes)).unwrap();
+/// assert_eq!(r.header(), &header);
+/// assert_eq!(r.remaining(), Some(2));
+/// let back: Vec<Request> = r.map(Result::unwrap).collect();
+/// assert_eq!(back, vec![Request::pos(NodeId(3)), Request::neg(NodeId(7))]);
+/// ```
+pub struct TraceWriter<W: Write + Seek> {
+    sink: W,
+    header: TraceHeader,
+    /// Small write-combining buffer so per-request pushes don't hit the
+    /// sink syscall-by-syscall.
+    buf: Vec<u8>,
+    count: u64,
+    /// Byte offset of the record-count field, patched by `finish`.
+    count_pos: u64,
+}
+
+/// Flush threshold for the writer's internal buffer.
+const WRITER_BUF: usize = 16 * 1024;
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Opens a writer over `sink`, writing the header immediately.
+    ///
+    /// # Errors
+    /// Propagates I/O errors; rejects generator names longer than 4096
+    /// bytes and shard maps longer than 2²⁰ entries.
+    pub fn new(mut sink: W, header: TraceHeader) -> io::Result<Self> {
+        if header.generator.len() > MAX_GENERATOR_LEN as usize {
+            return Err(bad_data("generator name too long"));
+        }
+        if header.shard_map.len() > MAX_SHARDS as usize {
+            return Err(bad_data("shard map too long"));
+        }
+        // The sink need not start at position 0 (appending after a
+        // preamble or an earlier trace is legal): all patch offsets are
+        // relative to where this trace begins.
+        let origin = sink.stream_position()?;
+        let mut buf = Vec::with_capacity(WRITER_BUF + 10);
+        buf.extend_from_slice(&TRACE_MAGIC);
+        buf.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes()); // flags (reserved)
+        buf.extend_from_slice(&header.universe.to_le_bytes());
+        buf.extend_from_slice(&header.seed.to_le_bytes());
+        buf.extend_from_slice(&(header.shard_map.len() as u32).to_le_bytes());
+        for &s in &header.shard_map {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        buf.extend_from_slice(&(header.generator.len() as u16).to_le_bytes());
+        buf.extend_from_slice(header.generator.as_bytes());
+        let count_pos = origin + buf.len() as u64;
+        buf.extend_from_slice(&COUNT_UNKNOWN.to_le_bytes());
+        sink.write_all(&buf)?;
+        buf.clear();
+        Ok(Self { sink, header, buf, count: 0, count_pos })
+    }
+
+    /// The header this writer opened with.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Requests written so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Appends one request.
+    ///
+    /// # Errors
+    /// Rejects nodes outside the header's universe (when `universe > 0`);
+    /// propagates I/O errors when the internal buffer flushes.
+    pub fn push(&mut self, req: Request) -> io::Result<()> {
+        if self.header.universe > 0 && req.node.0 >= self.header.universe {
+            return Err(bad_data(format!(
+                "request targets node {} outside the declared universe of {}",
+                req.node, self.header.universe
+            )));
+        }
+        let mut value = (u64::from(req.node.0) << 1) | u64::from(req.sign == Sign::Negative);
+        loop {
+            let byte = (value & 0x7F) as u8;
+            value >>= 7;
+            if value == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+        self.count += 1;
+        if self.buf.len() >= WRITER_BUF {
+            self.sink.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes the body, patches the record count into the header, and
+    /// returns the sink (positioned at the end of the trace).
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.write_all(&self.buf)?;
+        self.sink.seek(SeekFrom::Start(self.count_pos))?;
+        self.sink.write_all(&self.count.to_le_bytes())?;
+        self.sink.seek(SeekFrom::End(0))?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming binary-trace reader: validates the header on construction,
+/// then yields requests as an `Iterator` (so replay never materialises the
+/// whole sequence). See [`TraceWriter`] for a round-trip example.
+pub struct TraceReader<R: Read> {
+    src: io::BufReader<R>,
+    header: TraceHeader,
+    /// Records the header promises (`None` when the writer never
+    /// finished — stream to EOF).
+    declared: Option<u64>,
+    yielded: u64,
+    failed: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a reader, parsing and validating the header.
+    ///
+    /// # Errors
+    /// `io::ErrorKind::InvalidData` on bad magic, unknown version,
+    /// non-zero reserved flags, oversized shard map or generator name, or
+    /// non-UTF-8 generator bytes; `UnexpectedEof` on truncated headers.
+    pub fn new(src: R) -> io::Result<Self> {
+        let mut src = io::BufReader::new(src);
+        let mut magic = [0u8; 4];
+        src.read_exact(&mut magic)?;
+        if magic != TRACE_MAGIC {
+            return Err(bad_data(format!("bad magic {magic:?}, expected {TRACE_MAGIC:?}")));
+        }
+        let version = read_u16(&mut src)?;
+        if version != TRACE_VERSION {
+            return Err(bad_data(format!(
+                "unsupported trace version {version} (this build reads {TRACE_VERSION})"
+            )));
+        }
+        let flags = read_u16(&mut src)?;
+        if flags != 0 {
+            return Err(bad_data(format!("reserved flags set: {flags:#06x}")));
+        }
+        let universe = read_u32(&mut src)?;
+        let seed = read_u64(&mut src)?;
+        let num_shards = read_u32(&mut src)?;
+        if num_shards > MAX_SHARDS {
+            return Err(bad_data(format!("implausible shard count {num_shards}")));
+        }
+        let mut shard_map = Vec::with_capacity(num_shards as usize);
+        for _ in 0..num_shards {
+            shard_map.push(read_u32(&mut src)?);
+        }
+        let gen_len = read_u16(&mut src)?;
+        if gen_len > MAX_GENERATOR_LEN {
+            return Err(bad_data(format!("implausible generator-name length {gen_len}")));
+        }
+        let mut gen_bytes = vec![0u8; gen_len as usize];
+        src.read_exact(&mut gen_bytes)?;
+        let generator =
+            String::from_utf8(gen_bytes).map_err(|_| bad_data("generator name is not UTF-8"))?;
+        let count = read_u64(&mut src)?;
+        let declared = (count != COUNT_UNKNOWN).then_some(count);
+        Ok(Self {
+            src,
+            header: TraceHeader { universe, shard_map, seed, generator },
+            declared,
+            yielded: 0,
+            failed: false,
+        })
+    }
+
+    /// The validated header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Consumes the reader, keeping only the header.
+    #[must_use]
+    pub fn into_header(self) -> TraceHeader {
+        self.header
+    }
+
+    /// Requests still to come, when the header declared a count (`None`
+    /// for unfinished, EOF-terminated traces).
+    #[must_use]
+    pub fn remaining(&self) -> Option<u64> {
+        self.declared.map(|d| d.saturating_sub(self.yielded))
+    }
+
+    fn next_request(&mut self) -> io::Result<Option<Request>> {
+        if let Some(declared) = self.declared {
+            if self.yielded >= declared {
+                return Ok(None);
+            }
+        }
+        // LEB128 decode; a clean EOF before the first byte ends an
+        // undeclared-count stream.
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        let mut first = true;
+        loop {
+            let mut byte = [0u8; 1];
+            let read = loop {
+                match self.src.read(&mut byte) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            if read == 0 {
+                if first && self.declared.is_none() {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("trace truncated after {} records", self.yielded),
+                ));
+            }
+            // Reject any continuation past 64 bits *and* any payload bits
+            // that would be shifted out of the top of the u64 — a corrupt
+            // body must never silently misparse into a plausible value.
+            let bits = u64::from(byte[0] & 0x7F);
+            let shifted = bits.checked_shl(shift).filter(|v| v >> shift == bits);
+            let Some(shifted) = shifted else {
+                return Err(bad_data("varint overflows u64"));
+            };
+            value |= shifted;
+            shift += 7;
+            first = false;
+            if byte[0] & 0x80 == 0 {
+                break;
+            }
+        }
+        let node = value >> 1;
+        if node > u64::from(u32::MAX) {
+            return Err(bad_data(format!("node id {node} overflows u32")));
+        }
+        if self.header.universe > 0 && node >= u64::from(self.header.universe) {
+            return Err(bad_data(format!(
+                "record {} targets node {node} outside the declared universe of {}",
+                self.yielded, self.header.universe
+            )));
+        }
+        let sign = if value & 1 == 1 { Sign::Negative } else { Sign::Positive };
+        self.yielded += 1;
+        Ok(Some(Request { node: NodeId(node as u32), sign }))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<Request>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.next_request() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn read_u16<R: Read>(src: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    src.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(src: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    src.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(src: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    src.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+// ---------------------------------------------------------------------------
+// The line format (the original human-editable encoding).
+
+/// Renders a request sequence in the line format (`+id` / `-id`).
 #[must_use]
 pub fn to_text(requests: &[Request]) -> String {
     let mut out = String::with_capacity(requests.len() * 5);
@@ -48,6 +490,124 @@ pub fn from_text(text: &str) -> Result<Vec<Request>, String> {
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// CSV / JSONL interop.
+
+/// Renders a request sequence as CSV (`round,sign,node` with a header
+/// row) for spreadsheets and dataframe tooling.
+#[must_use]
+pub fn to_csv(requests: &[Request]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(requests.len() * 10 + 16);
+    out.push_str("round,sign,node\n");
+    for (i, r) in requests.iter().enumerate() {
+        let sign = if r.sign == Sign::Positive { '+' } else { '-' };
+        writeln!(out, "{i},{sign},{}", r.node.0).expect("String writes cannot fail");
+    }
+    out
+}
+
+/// Parses the CSV rendering of [`to_csv`] (header row required; the
+/// `round` column is ignored, order is positional).
+///
+/// # Errors
+/// Reports the first malformed row (1-based line number included).
+pub fn from_csv(text: &str) -> Result<Vec<Request>, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == "round,sign,node" => {}
+        Some((_, header)) => return Err(format!("bad CSV header {header:?}")),
+        None => return Ok(Vec::new()),
+    }
+    let mut out = Vec::new();
+    for (lineno, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut cols = line.split(',');
+        let (Some(_round), Some(sign), Some(node), None) =
+            (cols.next(), cols.next(), cols.next(), cols.next())
+        else {
+            return Err(format!("line {}: expected 3 columns, got {line:?}", lineno + 1));
+        };
+        let sign = match sign.trim() {
+            "+" => Sign::Positive,
+            "-" => Sign::Negative,
+            other => return Err(format!("line {}: bad sign {other:?}", lineno + 1)),
+        };
+        let id: u32 = node
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad node id {node:?}: {e}", lineno + 1))?;
+        out.push(Request { node: NodeId(id), sign });
+    }
+    Ok(out)
+}
+
+/// Renders a request sequence as JSON Lines: one
+/// `{"node":17,"sign":"+"}` object per line.
+#[must_use]
+pub fn to_jsonl(requests: &[Request]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(requests.len() * 24);
+    for r in requests {
+        let sign = if r.sign == Sign::Positive { '+' } else { '-' };
+        writeln!(out, "{{\"node\":{},\"sign\":\"{sign}\"}}", r.node.0)
+            .expect("String writes cannot fail");
+    }
+    out
+}
+
+/// Parses the JSONL rendering of [`to_jsonl`] (field order free, blank
+/// lines skipped).
+///
+/// # Errors
+/// Reports the first malformed line (1-based line number included).
+pub fn from_jsonl(text: &str) -> Result<Vec<Request>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let inner = line
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| format!("line {}: not a JSON object: {line:?}", lineno + 1))?;
+        let mut node: Option<u32> = None;
+        let mut sign: Option<Sign> = None;
+        for field in inner.split(',') {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: bad field {field:?}", lineno + 1))?;
+            match key.trim().trim_matches('"') {
+                "node" => {
+                    node =
+                        Some(value.trim().parse().map_err(|e| {
+                            format!("line {}: bad node id {value:?}: {e}", lineno + 1)
+                        })?);
+                }
+                "sign" => {
+                    sign = Some(match value.trim().trim_matches('"') {
+                        "+" => Sign::Positive,
+                        "-" => Sign::Negative,
+                        other => {
+                            return Err(format!("line {}: bad sign {other:?}", lineno + 1));
+                        }
+                    });
+                }
+                other => return Err(format!("line {}: unknown field {other:?}", lineno + 1)),
+            }
+        }
+        let (Some(node), Some(sign)) = (node, sign) else {
+            return Err(format!("line {}: missing node or sign", lineno + 1));
+        };
+        out.push(Request { node: NodeId(node), sign });
+    }
+    Ok(out)
+}
+
 /// Validates that every request in a trace targets a node of the tree.
 ///
 /// # Errors
@@ -69,9 +629,13 @@ pub fn validate_for_tree(requests: &[Request], tree: &otc_core::tree::Tree) -> R
 mod tests {
     use super::*;
 
+    fn sample() -> Vec<Request> {
+        vec![Request::pos(NodeId(0)), Request::neg(NodeId(42)), Request::pos(NodeId(7))]
+    }
+
     #[test]
     fn roundtrip() {
-        let reqs = vec![Request::pos(NodeId(0)), Request::neg(NodeId(42)), Request::pos(NodeId(7))];
+        let reqs = sample();
         let text = to_text(&reqs);
         assert_eq!(text, "+0\n-42\n+7\n");
         assert_eq!(from_text(&text).unwrap(), reqs);
@@ -107,5 +671,178 @@ mod tests {
     fn empty_trace() {
         assert!(from_text("").unwrap().is_empty());
         assert_eq!(to_text(&[]), "");
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let trace =
+            Trace { header: TraceHeader::single_tree(64, 0xFEED, "unit"), requests: sample() };
+        let bytes = trace.to_bytes();
+        let back = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn binary_header_survives_empty_body() {
+        let header = TraceHeader {
+            universe: 0,
+            shard_map: vec![3, 4, 5],
+            seed: 9,
+            generator: String::new(),
+        };
+        let trace = Trace { header: header.clone(), requests: Vec::new() };
+        let back = Trace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(back.header, header);
+        assert!(back.requests.is_empty());
+    }
+
+    #[test]
+    fn small_ids_encode_to_one_byte() {
+        let reqs = vec![Request::pos(NodeId(63)); 1000];
+        let trace = Trace { header: TraceHeader::single_tree(64, 0, "dense"), requests: reqs };
+        let bytes = trace.to_bytes();
+        // Header is well under 100 bytes; each record is exactly 1 byte.
+        assert!(bytes.len() < 1000 + 100, "encoding is not compact: {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes =
+            Trace { header: TraceHeader::single_tree(4, 0, "x"), requests: sample_in(4) }
+                .to_bytes();
+        bytes[0] = b'X';
+        let err = Trace::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("magic"), "got: {err}");
+    }
+
+    fn sample_in(universe: u32) -> Vec<Request> {
+        vec![Request::pos(NodeId(0)), Request::neg(NodeId(universe - 1))]
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes =
+            Trace { header: TraceHeader::single_tree(4, 0, "x"), requests: sample_in(4) }
+                .to_bytes();
+        bytes[4] = 0xFF; // version low byte
+        let err = Trace::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "got: {err}");
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let bytes = Trace { header: TraceHeader::single_tree(4, 0, "x"), requests: sample_in(4) }
+            .to_bytes();
+        let err = Trace::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn out_of_universe_record_rejected_on_read_and_write() {
+        let header = TraceHeader::single_tree(4, 0, "x");
+        let mut w = TraceWriter::new(io::Cursor::new(Vec::new()), header.clone()).unwrap();
+        assert!(w.push(Request::pos(NodeId(4))).is_err(), "writer must enforce the universe");
+        // Forge a trace claiming universe 2 around an id-3 record.
+        let forged = Trace {
+            header: TraceHeader::single_tree(4, 0, "x"),
+            requests: vec![Request::pos(NodeId(3))],
+        }
+        .to_bytes();
+        let mut bytes = forged;
+        // universe field sits at offset 8 (magic 4 + version 2 + flags 2).
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let err = Trace::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("universe"), "got: {err}");
+    }
+
+    #[test]
+    fn varint_overflow_bits_are_rejected_not_dropped() {
+        // A forged 10-byte varint whose final group carries bits beyond
+        // u64: [0x81, 0x80×8, 0x02] would decode to 1 if the overflow
+        // bits were silently shifted out. It must be rejected.
+        let empty = Trace {
+            header: TraceHeader {
+                universe: 0,
+                shard_map: vec![],
+                seed: 0,
+                generator: String::new(),
+            },
+            requests: vec![],
+        };
+        let mut bytes = empty.to_bytes();
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&1u64.to_le_bytes()); // claim 1 record
+        bytes.extend_from_slice(&[0x81, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02]);
+        let err = Trace::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("overflows"), "got: {err}");
+        // An 11-byte varint (too many continuation groups) is rejected too.
+        let mut bytes2 = empty.to_bytes();
+        let n = bytes2.len();
+        bytes2[n - 8..].copy_from_slice(&1u64.to_le_bytes());
+        bytes2.extend_from_slice(&[0x80; 10]);
+        bytes2.push(0x01);
+        let err = Trace::from_bytes(&bytes2).unwrap_err();
+        assert!(err.to_string().contains("overflows"), "got: {err}");
+    }
+
+    #[test]
+    fn unfinished_writer_streams_to_eof() {
+        // Simulate a crash: serialize, then restore the count field to the
+        // sentinel — the reader must fall back to EOF-terminated streaming.
+        let trace = Trace { header: TraceHeader::single_tree(64, 1, "crashy"), requests: sample() };
+        let mut bytes = trace.to_bytes();
+        let count_pos = bytes.len() - 3 /* records: +0, -42, +7 — one byte each */ - 8;
+        bytes[count_pos..count_pos + 8].copy_from_slice(&COUNT_UNKNOWN.to_le_bytes());
+        let mut r = TraceReader::new(io::Cursor::new(bytes)).unwrap();
+        assert_eq!(r.remaining(), None);
+        let back: Vec<Request> = (&mut r).map(Result::unwrap).collect();
+        assert_eq!(back, trace.requests);
+    }
+
+    #[test]
+    fn writer_respects_a_non_zero_sink_origin() {
+        // Appending a trace after a preamble (or a previous trace) must
+        // patch the count inside *this* trace's header, not at an
+        // absolute offset near the file start.
+        let preamble = b"PREAMBLE-BYTES--";
+        let mut sink = io::Cursor::new(Vec::new());
+        sink.write_all(preamble).unwrap();
+        let mut w = TraceWriter::new(sink, TraceHeader::single_tree(64, 5, "appended")).unwrap();
+        for r in sample() {
+            w.push(r).unwrap();
+        }
+        let bytes = w.finish().unwrap().into_inner();
+        assert_eq!(&bytes[..preamble.len()], preamble, "the preamble must be untouched");
+        let back = Trace::load(io::Cursor::new(&bytes[preamble.len()..])).unwrap();
+        assert_eq!(back.requests, sample());
+        // The count was really patched: a declared-count reader reports it.
+        let mut r = TraceReader::new(io::Cursor::new(&bytes[preamble.len()..])).unwrap();
+        assert_eq!(r.remaining(), Some(3));
+        assert!(r.all(|x| x.is_ok()));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let reqs = sample();
+        let csv = to_csv(&reqs);
+        assert!(csv.starts_with("round,sign,node\n"));
+        assert_eq!(from_csv(&csv).unwrap(), reqs);
+        assert!(from_csv("nope\n1,+,2\n").is_err());
+        assert!(from_csv("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let reqs = sample();
+        let jsonl = to_jsonl(&reqs);
+        assert_eq!(from_jsonl(&jsonl).unwrap(), reqs);
+        // Field order is free.
+        assert_eq!(
+            from_jsonl("{\"sign\":\"-\",\"node\":5}\n").unwrap(),
+            vec![Request::neg(NodeId(5))]
+        );
+        assert!(from_jsonl("{\"node\":1}\n").is_err());
+        assert!(from_jsonl("[1,2]\n").is_err());
     }
 }

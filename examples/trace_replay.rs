@@ -1,0 +1,126 @@
+//! Record → persist → replay → observe: the trace & telemetry subsystem
+//! end to end.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+//!
+//! 1. generate a Markov-modulated bursty workload over a 4-shard forest;
+//! 2. record it to the binary trace format (a real file on disk);
+//! 3. stream-replay the file through a fresh `ShardedEngine` with
+//!    windowed telemetry on;
+//! 4. verify the replay is bit-identical to the in-memory run and print
+//!    the per-window cost timeline.
+
+use std::fs::File;
+use std::sync::Arc;
+
+use online_tree_caching::prelude::*;
+use online_tree_caching::sim::engine::{EngineConfig, ShardedEngine};
+use online_tree_caching::util::SplitMix64;
+use online_tree_caching::workloads::trace::{TraceHeader, TraceReader, TraceWriter};
+use online_tree_caching::workloads::{markov_bursty, random_attachment, MarkovBurstyConfig};
+
+const ALPHA: u64 = 4;
+const SHARDS: usize = 4;
+const SEED: u64 = 0x07AC_E5EED;
+
+fn main() {
+    // --- 1. A forest of four tenant trees and a bursty global stream.
+    let mut rng = SplitMix64::new(SEED);
+    let trees: Vec<Arc<Tree>> =
+        (0..SHARDS).map(|_| Arc::new(random_attachment(800, &mut rng))).collect();
+    let forest = Forest::from_trees(trees);
+    let flat = Tree::star(forest.global_len() - 1); // global-id address space
+    let cfg = MarkovBurstyConfig { len: 60_000, alpha: ALPHA, ..MarkovBurstyConfig::default() };
+    let requests = markov_bursty(&flat, cfg, &mut rng);
+    println!("generated {} requests over {} global nodes", requests.len(), forest.global_len());
+
+    // --- 2. Record to disk with full provenance.
+    let path = std::env::temp_dir().join("otc_trace_replay_example.otct");
+    let header = TraceHeader {
+        universe: forest.global_len() as u32,
+        shard_map: (0..SHARDS).map(|s| forest.tree(ShardId(s as u32)).len() as u32).collect(),
+        seed: SEED,
+        generator: "markov-bursty".to_string(),
+    };
+    let mut writer = TraceWriter::new(File::create(&path).expect("create trace file"), header)
+        .expect("write header");
+    for &r in &requests {
+        writer.push(r).expect("write record");
+    }
+    writer.finish().expect("patch record count");
+    let on_disk = std::fs::metadata(&path).expect("stat").len();
+    println!(
+        "recorded {} ({on_disk} bytes, {:.2} B/request)",
+        path.display(),
+        on_disk as f64 / requests.len() as f64
+    );
+
+    // --- 3. Replay the file through a fresh engine, observed.
+    let factory = |tree: Arc<Tree>, _shard: ShardId| {
+        Box::new(TcFast::new(tree, TcConfig::new(ALPHA, 64))) as Box<dyn CachePolicy>
+    };
+    let engine_cfg = EngineConfig::bare(ALPHA).audit_every(8192).telemetry(true);
+    let mut engine = ShardedEngine::new(forest.clone(), &factory, engine_cfg);
+    let mut reader =
+        TraceReader::new(File::open(&path).expect("open trace file")).expect("valid header");
+    println!(
+        "replaying: generator {:?}, seed {:#x}, {} records declared",
+        reader.header().generator,
+        reader.header().seed,
+        reader.remaining().expect("finished trace declares its count")
+    );
+    let mut chunk = Vec::with_capacity(16 * 1024);
+    engine.replay_trace(&mut reader, &mut chunk).expect("replay");
+    let timeline = engine.timeline();
+    let replayed = engine.into_report().expect("valid run");
+
+    // --- 4. The replay is bit-identical to the in-memory run.
+    let mut baseline = ShardedEngine::new(forest, &factory, EngineConfig::bare(ALPHA));
+    baseline.submit_batch(&requests).expect("valid");
+    let in_memory = baseline.into_report().expect("valid run");
+    assert_eq!(replayed, in_memory, "file replay must be bit-identical");
+    println!(
+        "replay == in-memory run: total cost {} (service {}, reorg {})\n",
+        replayed.cost.total(),
+        replayed.cost.service,
+        replayed.cost.reorg
+    );
+
+    // The timeline: cost over time, per shard. Print shard 0's windows.
+    println!("shard 0 timeline ({}-round windows):", timeline.window_rounds);
+    println!("window | paid | fetch | evict | flush | occupancy | buf high-water");
+    for w in timeline.shard_windows(0) {
+        println!(
+            "{:>6} | {:>4} | {:>5} | {:>5} | {:>5} | {:>9} | {:>14}{}",
+            w.window,
+            w.paid_rounds,
+            w.nodes_fetched,
+            w.nodes_evicted,
+            w.nodes_flushed,
+            w.occupancy,
+            w.buf_high_water,
+            if w.partial { "  (partial)" } else { "" }
+        );
+    }
+    let agg = |f: &dyn Fn(&online_tree_caching::sim::WindowRecord) -> u64| timeline.sum(f);
+    println!(
+        "\nacross all {} windows: paid {} + α·(fetched {} + evicted {} + flushed {}) = {}",
+        timeline.windows.len(),
+        agg(&|w| w.paid_rounds),
+        agg(&|w| w.nodes_fetched),
+        agg(&|w| w.nodes_evicted),
+        agg(&|w| w.nodes_flushed),
+        agg(&|w| w.paid_rounds)
+            + ALPHA * agg(&|w| w.nodes_fetched + w.nodes_evicted + w.nodes_flushed),
+    );
+    assert_eq!(
+        agg(&|w| w.paid_rounds)
+            + ALPHA * agg(&|w| w.nodes_fetched + w.nodes_evicted + w.nodes_flushed),
+        replayed.cost.total(),
+        "the windows reassemble the aggregate cost exactly"
+    );
+    std::fs::remove_file(&path).ok();
+    println!("ok: windows reassemble the aggregate report exactly");
+}

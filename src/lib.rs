@@ -59,6 +59,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The task-oriented user guide (`docs/GUIDE.md`), included here verbatim
+/// so every snippet is compiled and executed by `cargo test --doc` and
+/// every cross-reference is checked by rustdoc's intra-doc-link lint.
+#[doc = include_str!("../docs/GUIDE.md")]
+pub mod guide {}
+
 pub use otc_baselines as baselines;
 pub use otc_core as core;
 pub use otc_sdn as sdn;
