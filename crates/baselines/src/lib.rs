@@ -12,7 +12,7 @@
 //! * [`tc_variants`] — ablations of TC's design choices (maximality,
 //!   phase restarts).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod dependent_set;

@@ -1,0 +1,151 @@
+//! Records the live-serving throughput baseline into `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p otc-bench --bin bench_serve
+//! ```
+//!
+//! A fixed Markov-bursty workload over a 4-shard forest is pushed through
+//! a loopback `otc-serve` instance across a **connections × pipelining**
+//! sweep: every cell starts a fresh server (persistent per-shard
+//! workers, trace logging off), splits the workload round-robin across
+//! `connections` concurrent clients, and times first-byte → drain-barrier
+//! wall clock for sustained requests/s. The single-connection cells are
+//! asserted cost-identical to an offline `submit_batch` ground truth (one
+//! client ⇒ the offline order reaches every shard verbatim); concurrent
+//! cells interleave nondeterministically at ingress, so their per-run
+//! cost legitimately differs — their identity pin is live ≡ replay of the
+//! logged trace, covered by `crates/serve/tests/loopback.rs`.
+//!
+//! `OTC_SMOKE=1` shrinks the workload for CI-speed runs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use otc_core::forest::ShardId;
+use otc_core::policy::CachePolicy;
+use otc_core::request::Request;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_core::tree::Tree;
+use otc_serve::{Client, ServeConfig, Server, TraceLog};
+use otc_sim::engine::{EngineConfig, ShardedEngine};
+
+const ALPHA: u64 = 4;
+const SHARDS: usize = 4;
+const PER_SHARD_NODES: usize = 2048;
+const CAPACITY: usize = 128;
+const BATCH: usize = 256;
+
+fn factory(tree: Arc<Tree>, _s: ShardId) -> Box<dyn CachePolicy> {
+    Box::new(TcFast::new(tree, TcConfig::new(ALPHA, CAPACITY)))
+}
+
+/// One sweep cell: serve `slices` over `connections` concurrent clients
+/// with up to `pipeline` unacknowledged frames per client; returns
+/// (elapsed seconds, total cost served).
+fn serve_cell(
+    forest: &otc_core::forest::Forest,
+    slices: &[Vec<Request>],
+    pipeline: usize,
+) -> (f64, u64) {
+    let engine = ShardedEngine::new(forest.clone(), &factory, EngineConfig::bare(ALPHA));
+    let server =
+        Server::start(engine, ServeConfig { log: TraceLog::Off, ..ServeConfig::default() })
+            .expect("bind loopback");
+    let addr = server.addr();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for reqs in slices {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for chunk in reqs.chunks(BATCH) {
+                    client.send(chunk).expect("send");
+                    if client.inflight() >= pipeline {
+                        client.wait_acks().expect("acks");
+                    }
+                }
+                client.drain().expect("drain");
+                client.bye().expect("bye");
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let outcome = server.shutdown().expect("clean shutdown");
+    (secs, outcome.report.cost.total())
+}
+
+fn main() {
+    let smoke = std::env::var("OTC_SMOKE").is_ok();
+    let len: usize = if smoke { 40_000 } else { 400_000 };
+    let iters = if smoke { 1 } else { 3 };
+
+    // The shared trace-replay workload (same generator as bench_engine /
+    // bench_trace_replay, so the numbers stay comparable).
+    let (forest, trace) =
+        otc_bench::trace_replay_workload(SHARDS, PER_SHARD_NODES, len, ALPHA, 0x5E12E);
+    println!(
+        "workload: {} requests over {} global nodes",
+        trace.requests.len(),
+        forest.global_len()
+    );
+
+    // Offline ground truth: every serving cell must reproduce this cost.
+    let mut offline = ShardedEngine::new(forest.clone(), &factory, EngineConfig::bare(ALPHA));
+    offline.submit_batch(&trace.requests).expect("valid");
+    let base_cost = offline.into_report().expect("valid").cost.total();
+    println!("offline ground-truth cost: {base_cost}");
+
+    let mut results = String::new();
+    let mut first = true;
+    for connections in [1usize, 2, 4] {
+        // Round-robin split keeps per-connection volumes balanced.
+        let mut slices: Vec<Vec<Request>> = vec![Vec::new(); connections];
+        for (i, &r) in trace.requests.iter().enumerate() {
+            slices[i % connections].push(r);
+        }
+        for pipeline in [1usize, 8] {
+            let mut best = f64::INFINITY;
+            let mut cost = 0u64;
+            for _ in 0..iters {
+                let (secs, c) = serve_cell(&forest, &slices, pipeline);
+                if connections == 1 {
+                    assert_eq!(
+                        c, base_cost,
+                        "one connection must reproduce the offline ground truth exactly"
+                    );
+                }
+                cost = c;
+                best = best.min(secs);
+            }
+            let rps = trace.requests.len() as f64 / best;
+            println!(
+                "connections {connections} x pipeline {pipeline}: {rps:>12.0} requests/s \
+                 (cost {cost})"
+            );
+            use std::fmt::Write as _;
+            write!(
+                results,
+                "{}    {{ \"connections\": {connections}, \"pipeline\": {pipeline}, \
+                 \"requests_per_sec\": {rps:.0}, \"total_cost\": {cost} }}",
+                if first { "" } else { ",\n" },
+            )
+            .expect("String writes cannot fail");
+            first = false;
+        }
+    }
+
+    let host = otc_bench::HostInfo::capture();
+    let json = format!(
+        "{{\n  \"benchmark\": \"live serving over loopback TCP (otc-serve)\",\n  \
+         \"command\": \"cargo run --release -p otc-bench --bin bench_serve\",\n  \
+         \"host\": {},\n  \
+         \"workload\": {{ \"generator\": \"markov-bursty\", \"requests\": {len}, \
+         \"shards\": {SHARDS}, \"alpha\": {ALPHA}, \"capacity_per_shard\": {CAPACITY}, \
+         \"submit_batch_size\": {BATCH}, \"trace_log\": \"off\" }},\n  \
+         \"timing\": \"best of {iters} runs per cell, first send to drain barrier\",\n  \
+         \"results\": [\n{results}\n  ]\n}}\n",
+        host.to_json(),
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nrecorded BENCH_serve.json");
+}

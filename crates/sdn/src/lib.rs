@@ -14,7 +14,7 @@
 //! * [`canonical`] — Appendix B: recorded solutions, the independent
 //!   solution evaluator, and the factor-2 canonicalization transform.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod canonical;

@@ -1,0 +1,572 @@
+//! The loopback TCP serving front-end over detached engine shards.
+//!
+//! Thread architecture (one arrow = one `otc_util::ring` channel or TCP
+//! stream; see `DESIGN.md` "The serving runtime" for the full diagram):
+//!
+//! ```text
+//! client A ──TCP──▶ conn thread A ─┐            ┌─▶ worker 0 (ShardWorker)
+//! client B ──TCP──▶ conn thread B ─┤─ ingress ──┤─▶ worker 1 (ShardWorker)
+//! client C ──TCP──▶ conn thread C ─┘   lock     └─▶ worker S (ShardWorker)
+//!                                      │
+//!                                      └─▶ OTCT trace log (optional)
+//! ```
+//!
+//! * One **acceptor** thread hands connections to per-connection threads.
+//! * Each **connection** thread speaks the wire protocol and pushes
+//!   accepted batches through the single **ingress** critical section.
+//! * One persistent **worker** thread per shard owns a
+//!   [`otc_sim::worker::ShardWorker`] for the lifetime of the service,
+//!   fed by a bounded [`otc_util::ring::channel`] — a full queue blocks
+//!   ingress (backpressure) instead of buffering unboundedly.
+//!
+//! **The determinism seam.** The ingress lock makes "append to the OTCT
+//! log" and "enqueue to the shard rings" one atomic step, so the
+//! per-shard projection of the logged global order is exactly the FIFO
+//! order each worker consumes. Per-shard cost is a function of per-shard
+//! request order only (shards are independent), therefore the live
+//! service's per-shard [`Report`]s — and their aggregate — are
+//! **bit-identical** to `ShardedEngine::replay_trace` of the logged
+//! trace, at any shard count, client count and interleaving. Workers run
+//! concurrently with ingress (and each other) the whole time; only the
+//! route-and-enqueue step is serialised. `crates/serve/tests/loopback.rs`
+//! pins the identity end to end.
+
+use std::io::{self, BufReader, BufWriter, Cursor, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use otc_core::request::Request;
+use otc_sim::engine::{EngineConfig, EngineError, ShardedEngine};
+use otc_sim::worker::{timeline_from_windows, ShardRouter, ShardWorker};
+use otc_sim::{aggregate_reports, Report, Timeline};
+use otc_util::ring;
+use otc_workloads::trace::{TraceHeader, TraceWriter};
+
+use crate::wire::{self, Message, ServeStats, WIRE_VERSION};
+
+/// Where (and whether) the server logs the accepted request stream as an
+/// OTCT binary trace.
+#[derive(Debug, Clone, Default)]
+pub enum TraceLog {
+    /// No logging (maximum throughput; the replay identity is then
+    /// unobservable for this run).
+    Off,
+    /// Log into memory; [`ServeOutcome::trace_bytes`] returns the bytes.
+    #[default]
+    Memory,
+    /// Log to a file at this path.
+    File(PathBuf),
+}
+
+/// Serving options, separate from the engine semantics ([`EngineConfig`]
+/// travels inside the engine handed to [`Server::start`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port on 127.0.0.1 to bind (0 = ephemeral, read it back with
+    /// [`Server::addr`]).
+    pub port: u16,
+    /// Capacity of each per-shard ring; a full ring blocks ingress
+    /// (backpressure).
+    pub queue_capacity: usize,
+    /// Most requests a worker drains per wakeup (bounds per-wakeup
+    /// latency under burst).
+    pub worker_batch: usize,
+    /// Request-stream logging.
+    pub log: TraceLog,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { port: 0, queue_capacity: 4096, worker_batch: 512, log: TraceLog::Memory }
+    }
+}
+
+/// Everything a finished service hands back.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Per-shard verified reports, in shard order.
+    pub per_shard: Vec<Report>,
+    /// The aggregate report (see [`otc_sim::aggregate_reports`]).
+    pub report: Report,
+    /// Windowed telemetry (non-empty when the engine ran with
+    /// `telemetry(true)`).
+    pub timeline: Timeline,
+    /// Requests accepted over the service's lifetime.
+    pub requests_served: u64,
+    /// The OTCT trace logged with [`TraceLog::Memory`].
+    pub trace_bytes: Option<Vec<u8>>,
+    /// The OTCT trace file written with [`TraceLog::File`].
+    pub trace_path: Option<PathBuf>,
+}
+
+/// The trace sink behind the ingress lock.
+enum TraceSink {
+    Memory(TraceWriter<Cursor<Vec<u8>>>),
+    File(TraceWriter<BufWriter<std::fs::File>>, PathBuf),
+}
+
+impl TraceSink {
+    fn push(&mut self, req: Request) -> io::Result<()> {
+        match self {
+            TraceSink::Memory(w) => w.push(req),
+            TraceSink::File(w, _) => w.push(req),
+        }
+    }
+
+    fn finish(self) -> io::Result<(Option<Vec<u8>>, Option<PathBuf>)> {
+        match self {
+            TraceSink::Memory(w) => Ok((Some(w.finish()?.into_inner()), None)),
+            TraceSink::File(w, path) => {
+                w.finish()?.flush()?;
+                Ok((None, Some(path)))
+            }
+        }
+    }
+}
+
+/// Ingress state: the single serialization point of the service (see the
+/// module docs for why log + enqueue must be one atomic step).
+struct Ingress {
+    senders: Option<Vec<ring::Sender<Request>>>,
+    sink: Option<TraceSink>,
+    /// Requests enqueued per shard over the service lifetime.
+    enqueued: Vec<u64>,
+    /// Requests accepted in total.
+    accepted: u64,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    router: ShardRouter,
+    engine_cfg: EngineConfig,
+    ingress: Mutex<Ingress>,
+    /// Requests *executed* per shard; workers bump it per batch and
+    /// notify, drain barriers wait on it.
+    progress: Mutex<Vec<u64>>,
+    progress_cv: Condvar,
+    /// Cumulative executed-cost counters for cheap Stats replies.
+    stats: Mutex<ServeStats>,
+    /// First protocol violation anywhere in the service (sticky poison).
+    poisoned: Mutex<Option<EngineError>>,
+    shutting_down: AtomicBool,
+    /// Connection threads, joined at shutdown.
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn poison(&self) -> Option<EngineError> {
+        self.poisoned.lock().expect("poison lock").clone()
+    }
+
+    /// Routes, logs and enqueues one batch atomically. The whole batch is
+    /// validated first, so a rejected batch stages nothing at all.
+    fn ingest(&self, requests: &[Request]) -> Result<u64, String> {
+        if let Some(e) = self.poison() {
+            return Err(format!("service poisoned: {e}"));
+        }
+        // Validate + route outside the lock (routing is pure).
+        let mut routed = Vec::with_capacity(requests.len());
+        for &r in requests {
+            routed.push(self.router.route(r)?);
+        }
+        let mut ingress = self.ingress.lock().expect("ingress lock");
+        if ingress.senders.is_none() {
+            return Err("service is shutting down".to_string());
+        }
+        // Log first, then enqueue, request by request, under one lock
+        // hold: the log's per-shard projection must equal queue order.
+        for (&raw, &(sid, local)) in requests.iter().zip(&routed) {
+            if let Some(sink) = ingress.sink.as_mut() {
+                if let Err(e) = sink.push(raw) {
+                    let message = format!("trace log write failed: {e}");
+                    *self.poisoned.lock().expect("poison lock") =
+                        Some(EngineError { shard: None, message: message.clone() });
+                    return Err(message);
+                }
+            }
+            let sender = &ingress.senders.as_ref().expect("checked above")[sid.index()];
+            if sender.send(local).is_err() {
+                // The record may already be in the log (and this batch's
+                // prefix already enqueued): the log no longer matches what
+                // ran, so the determinism invariant is gone — poison the
+                // service rather than let shutdown() report a clean run.
+                let message =
+                    format!("shard {} worker is gone; logged requests were dropped", sid.index());
+                let mut poison = self.poisoned.lock().expect("poison lock");
+                if poison.is_none() {
+                    *poison = Some(EngineError { shard: Some(sid), message: message.clone() });
+                }
+                return Err(message);
+            }
+            ingress.enqueued[sid.index()] += 1;
+        }
+        ingress.accepted += requests.len() as u64;
+        Ok(requests.len() as u64)
+    }
+
+    /// Blocks until every request accepted so far has been executed.
+    fn wait_drained(&self) {
+        let target: Vec<u64> = self.ingress.lock().expect("ingress lock").enqueued.clone();
+        let mut progress = self.progress.lock().expect("progress lock");
+        while progress.iter().zip(&target).any(|(done, want)| done < want) {
+            progress = self.progress_cv.wait(progress).expect("progress lock");
+        }
+    }
+
+    fn stats_snapshot(&self) -> ServeStats {
+        *self.stats.lock().expect("stats lock")
+    }
+}
+
+/// A running serving instance. Start it with [`Server::start`], connect
+/// [`crate::Client`]s to [`Server::addr`], and finish with
+/// [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<ShardWorker>>,
+}
+
+impl Server {
+    /// Takes an owned engine apart into persistent per-shard workers and
+    /// starts serving it on 127.0.0.1.
+    ///
+    /// # Errors
+    /// Binding errors, trace-log creation errors, and a poisoned or
+    /// staged-but-invalid engine (via
+    /// [`ShardedEngine::into_workers`]).
+    pub fn start(engine: ShardedEngine<'static>, cfg: ServeConfig) -> io::Result<Server> {
+        let engine_cfg = engine.config();
+        let (router, shard_workers) =
+            engine.into_workers().map_err(|e| io::Error::other(e.to_string()))?;
+        let shards = shard_workers.len();
+
+        let sink = match &cfg.log {
+            TraceLog::Off => None,
+            TraceLog::Memory | TraceLog::File(_) => {
+                let header = TraceHeader {
+                    universe: router.global_len() as u32,
+                    shard_map: router.shard_map().to_vec(),
+                    seed: 0,
+                    generator: "otc-serve".to_string(),
+                };
+                Some(match &cfg.log {
+                    TraceLog::Memory => {
+                        TraceSink::Memory(TraceWriter::new(Cursor::new(Vec::new()), header)?)
+                    }
+                    TraceLog::File(path) => {
+                        let file = BufWriter::new(std::fs::File::create(path)?);
+                        TraceSink::File(TraceWriter::new(file, header)?, path.clone())
+                    }
+                    TraceLog::Off => unreachable!(),
+                })
+            }
+        };
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = ring::channel(cfg.queue_capacity.max(1));
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let shared = Arc::new(Shared {
+            router,
+            engine_cfg,
+            ingress: Mutex::new(Ingress {
+                senders: Some(senders),
+                sink,
+                enqueued: vec![0; shards],
+                accepted: 0,
+            }),
+            progress: Mutex::new(vec![0; shards]),
+            progress_cv: Condvar::new(),
+            stats: Mutex::new(ServeStats::default()),
+            poisoned: Mutex::new(None),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+
+        let batch = cfg.worker_batch.max(1);
+        let workers: Vec<JoinHandle<ShardWorker>> = shard_workers
+            .into_iter()
+            .zip(receivers)
+            .map(|(worker, rx)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(worker, &rx, &shared, batch))
+            })
+            .collect();
+
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let addr = listener.local_addr()?;
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        Ok(Server { addr, shared, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound loopback address clients connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of shards (= persistent worker threads) behind the service.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A snapshot of the executed-so-far counters (what a client's
+    /// `Stats` request returns).
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats_snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, wait for connected clients to
+    /// hang up, drain every queue, join the workers, finish the trace
+    /// log, and return the per-shard reports, the aggregate, the
+    /// telemetry timeline, and the logged trace.
+    ///
+    /// Call this after your clients disconnected — connections still open
+    /// are waited on, not severed.
+    ///
+    /// # Errors
+    /// The first protocol violation any shard observed (the service
+    /// poison), or trace-log I/O failures.
+    pub fn shutdown(mut self) -> Result<ServeOutcome, EngineError> {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        for h in conns {
+            let _ = h.join();
+        }
+        // Closing ingress drops the senders; each worker drains its ring
+        // and exits on disconnect.
+        let (sink, accepted) = {
+            let mut ingress = self.shared.ingress.lock().expect("ingress lock");
+            ingress.senders = None;
+            (ingress.sink.take(), ingress.accepted)
+        };
+        let mut shard_workers = Vec::with_capacity(self.workers.len());
+        for h in self.workers.drain(..) {
+            shard_workers.push(h.join().expect("worker thread panicked"));
+        }
+        if let Some(e) = self.shared.poison() {
+            return Err(e);
+        }
+        let windows = shard_workers.iter().flat_map(ShardWorker::windows).collect();
+        let timeline =
+            timeline_from_windows(&self.shared.engine_cfg, shard_workers.len() as u32, windows);
+        let per_shard: Vec<Report> = shard_workers
+            .into_iter()
+            .map(|w| w.into_report().map_err(|message| EngineError { shard: None, message }))
+            .collect::<Result<_, _>>()?;
+        let report = aggregate_reports(per_shard.clone());
+        let (trace_bytes, trace_path) = match sink {
+            Some(sink) => sink.finish().map_err(|e| EngineError {
+                shard: None,
+                message: format!("trace log finish failed: {e}"),
+            })?,
+            None => (None, None),
+        };
+        Ok(ServeOutcome {
+            per_shard,
+            report,
+            timeline,
+            requests_served: accepted,
+            trace_bytes,
+            trace_path,
+        })
+    }
+}
+
+/// Per-shard worker thread: drain the ring in FIFO batches, drive the
+/// detached [`ShardWorker`], publish progress and stats; exit (returning
+/// the worker) when ingress closes the channel.
+fn worker_loop(
+    mut worker: ShardWorker,
+    rx: &ring::Receiver<Request>,
+    shared: &Shared,
+    batch: usize,
+) -> ShardWorker {
+    let shard = worker.shard().index();
+    let mut buf: Vec<Request> = Vec::with_capacity(batch);
+    loop {
+        buf.clear();
+        let Ok(n) = rx.recv_batch(&mut buf, batch) else {
+            return worker; // disconnected and fully drained
+        };
+        let before_cost = worker.cost();
+        let before = (worker.rounds(), worker.paid_rounds());
+        if worker.error().is_none() {
+            if let Err(message) = worker.run_batch(&buf) {
+                let mut poison = shared.poisoned.lock().expect("poison lock");
+                if poison.is_none() {
+                    *poison = Some(EngineError { shard: Some(worker.shard()), message });
+                }
+            }
+        }
+        // Progress counts *consumed* requests even past a violation, so
+        // drain barriers and backpressure keep moving while the error
+        // propagates.
+        {
+            let mut progress = shared.progress.lock().expect("progress lock");
+            progress[shard] += n as u64;
+            shared.progress_cv.notify_all();
+        }
+        {
+            let after_cost = worker.cost();
+            let mut stats = shared.stats.lock().expect("stats lock");
+            stats.rounds += worker.rounds() - before.0;
+            stats.paid_rounds += worker.paid_rounds() - before.1;
+            stats.service_cost += after_cost.service - before_cost.service;
+            stats.reorg_cost += after_cost.reorg - before_cost.reorg;
+        }
+    }
+}
+
+/// Acceptor thread: one spawned connection thread per client until
+/// shutdown.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else { break };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or a very late client)
+        }
+        let shared_conn = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            let _ = connection_loop(stream, &shared_conn);
+        });
+        let mut conns = shared.conns.lock().expect("conns lock");
+        // Reap finished connections as new ones arrive, so a long-lived
+        // server handling many short-lived clients doesn't accumulate
+        // join handles without bound.
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].is_finished() {
+                let _ = conns.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        conns.push(handle);
+    }
+}
+
+/// One client connection: handshake, then request frames until Bye/EOF.
+/// Any protocol error is answered with one `Error` frame before closing.
+fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut rbuf = Vec::new();
+    let mut wbuf = Vec::new();
+
+    let fail = |writer: &mut BufWriter<TcpStream>, wbuf: &mut Vec<u8>, message: String| {
+        let _ = wire::write_message(writer, &Message::Error { message }, wbuf);
+        let _ = writer.flush();
+    };
+
+    // Handshake: the first frame must be a version-matching Hello.
+    match wire::read_message(&mut reader, &mut rbuf) {
+        Ok(Some(Message::Hello { version })) if version == WIRE_VERSION => {}
+        Ok(Some(Message::Hello { version })) => {
+            fail(
+                &mut writer,
+                &mut wbuf,
+                format!("unsupported wire version {version} (server speaks {WIRE_VERSION})"),
+            );
+            return Ok(());
+        }
+        Ok(Some(other)) => {
+            fail(
+                &mut writer,
+                &mut wbuf,
+                format!("expected Hello, got opcode {:#04x}", other.opcode()),
+            );
+            return Ok(());
+        }
+        Ok(None) => return Ok(()),
+        Err(e) => {
+            fail(&mut writer, &mut wbuf, format!("bad handshake frame: {e}"));
+            return Ok(());
+        }
+    }
+    wire::write_message(
+        &mut writer,
+        &Message::HelloAck {
+            version: WIRE_VERSION,
+            universe: shared.router.global_len() as u32,
+            shards: shared.router.num_shards() as u32,
+        },
+        &mut wbuf,
+    )?;
+    writer.flush()?;
+
+    loop {
+        let msg = match wire::read_message(&mut reader, &mut rbuf) {
+            Ok(Some(m)) => m,
+            Ok(None) => return Ok(()), // client hung up between frames
+            Err(e) => {
+                fail(&mut writer, &mut wbuf, format!("bad frame: {e}"));
+                return Ok(());
+            }
+        };
+        match msg {
+            Message::Submit { requests } => match shared.ingest(&requests) {
+                Ok(accepted) => {
+                    wire::write_message(&mut writer, &Message::Ack { accepted }, &mut wbuf)?;
+                }
+                Err(message) => {
+                    fail(&mut writer, &mut wbuf, message);
+                    return Ok(());
+                }
+            },
+            Message::Stats => {
+                wire::write_message(
+                    &mut writer,
+                    &Message::StatsReply(shared.stats_snapshot()),
+                    &mut wbuf,
+                )?;
+            }
+            Message::Drain => {
+                shared.wait_drained();
+                wire::write_message(&mut writer, &Message::Ack { accepted: 0 }, &mut wbuf)?;
+            }
+            Message::Bye => {
+                wire::write_message(&mut writer, &Message::Ack { accepted: 0 }, &mut wbuf)?;
+                writer.flush()?;
+                return Ok(());
+            }
+            other => {
+                fail(
+                    &mut writer,
+                    &mut wbuf,
+                    format!("unexpected opcode {:#04x} from a client", other.opcode()),
+                );
+                return Ok(());
+            }
+        }
+        // Flush every reply before blocking on the next read. Gating this
+        // on an empty read buffer looks like a batching win but is a
+        // liveness hazard: a partial next frame in the buffer would leave
+        // the reply unflushed while `read_message` blocks on the socket —
+        // deadlocking any client that waits for the ack before sending
+        // the rest. One small write per reply (with TCP_NODELAY) is the
+        // correct trade.
+        writer.flush()?;
+    }
+}

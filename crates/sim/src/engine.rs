@@ -202,14 +202,14 @@ pub struct SubmitOutcome {
 
 /// The shard tree: owned by the forest, or borrowed from the caller (the
 /// classic single-shard adapters drive a `&Tree` without cloning it).
-enum TreeRef<'p> {
+pub(crate) enum TreeRef<'p> {
     Owned(Arc<Tree>),
     Borrowed(&'p Tree),
 }
 
 impl TreeRef<'_> {
     #[inline]
-    fn get(&self) -> &Tree {
+    pub(crate) fn get(&self) -> &Tree {
         match self {
             TreeRef::Owned(t) => t,
             TreeRef::Borrowed(t) => t,
@@ -220,7 +220,7 @@ impl TreeRef<'_> {
 /// Snapshot of the per-round [`Report`] counters at the last telemetry
 /// window boundary; a [`WindowRecord`] is the diff against this.
 #[derive(Debug, Clone, Copy, Default)]
-struct WindowBase {
+pub(crate) struct WindowBase {
     rounds: u64,
     paid_rounds: u64,
     fetch_events: u64,
@@ -248,28 +248,30 @@ impl WindowBase {
 
 /// All per-shard state: the policy, its verified driver (mirror, scratch,
 /// action buffer — all reused across rounds), the accumulating report, and
-/// the batch staging queue (capacity reused across batches).
-struct ShardState<'p> {
-    tree: TreeRef<'p>,
-    policy: Box<dyn CachePolicy + 'p>,
-    driver: Driver,
-    report: Report,
-    queue: Vec<Request>,
-    round: usize,
+/// the batch staging queue (capacity reused across batches). Detachable
+/// from the engine into a [`crate::worker::ShardWorker`] for long-lived
+/// serving threads.
+pub(crate) struct ShardState<'p> {
+    pub(crate) tree: TreeRef<'p>,
+    pub(crate) policy: Box<dyn CachePolicy + 'p>,
+    pub(crate) driver: Driver,
+    pub(crate) report: Report,
+    pub(crate) queue: Vec<Request>,
+    pub(crate) round: usize,
     /// First protocol violation observed on this shard (sticky): set by
     /// [`ShardHandle::step`] so violations inside [`ShardedEngine::map_shards`]
     /// closures poison the engine even if the closure discards the error.
-    failed: Option<String>,
+    pub(crate) failed: Option<String>,
     /// Closed telemetry windows (`shard` field filled at collection).
-    windows: Vec<WindowRecord>,
+    pub(crate) windows: Vec<WindowRecord>,
     /// Report-counter snapshot at the open window's first round.
-    win_base: WindowBase,
+    pub(crate) win_base: WindowBase,
 }
 
 impl ShardState<'_> {
     /// Computes the open window's record against `win_base` (`None` when
     /// no round has run since the last boundary).
-    fn open_window(&self, partial: bool) -> Option<WindowRecord> {
+    pub(crate) fn open_window(&self, partial: bool) -> Option<WindowRecord> {
         let r = &self.report;
         let b = self.win_base;
         let rounds = r.rounds - b.rounds;
@@ -295,11 +297,31 @@ impl ShardState<'_> {
         })
     }
 
+    /// Appends this shard's closed windows — plus, when telemetry is on,
+    /// the open partial one — to `out` with the shard id stamped in. The
+    /// one definition behind both `ShardedEngine::timeline` and
+    /// `ShardWorker::windows`, so the two views can never drift.
+    pub(crate) fn collect_windows(
+        &self,
+        shard: u32,
+        telemetry_on: bool,
+        out: &mut Vec<WindowRecord>,
+    ) {
+        for &w in &self.windows {
+            out.push(WindowRecord { shard, ..w });
+        }
+        if telemetry_on {
+            if let Some(rec) = self.open_window(true) {
+                out.push(WindowRecord { shard, ..rec });
+            }
+        }
+    }
+
     /// Telemetry boundary check, run once per round: closes the open
     /// window when it has spanned `audit_chunk` rounds. One `Vec` push per
     /// window; rounds in between only pay this counter comparison.
     #[inline]
-    fn window_tick(&mut self, cfg: &EngineConfig) {
+    pub(crate) fn window_tick(&mut self, cfg: &EngineConfig) {
         if !cfg.telemetry {
             return;
         }
@@ -314,7 +336,7 @@ impl ShardState<'_> {
     }
     /// Drives `reqs` through this shard in order, folding cost accounting
     /// into the report once per chunk (`audit_chunk`, or the whole slice).
-    fn drain(&mut self, reqs: &[Request], cfg: &EngineConfig) -> Result<(), String> {
+    pub(crate) fn drain(&mut self, reqs: &[Request], cfg: &EngineConfig) -> Result<(), String> {
         let sim = cfg.sim();
         let n = self.tree.get().len();
         let chunk_size = cfg.audit_chunk.unwrap_or(usize::MAX);
@@ -354,7 +376,7 @@ impl ShardState<'_> {
     }
 
     /// Drains the staged queue, keeping its storage for the next batch.
-    fn drain_queue(&mut self, cfg: &EngineConfig) -> Result<(), String> {
+    pub(crate) fn drain_queue(&mut self, cfg: &EngineConfig) -> Result<(), String> {
         let queue = std::mem::take(&mut self.queue);
         let result = self.drain(&queue, cfg);
         self.queue = queue;
@@ -366,9 +388,9 @@ impl ShardState<'_> {
 /// Step-level access to one shard, handed to [`ShardedEngine::map_shards`]
 /// closures. All node ids seen through a handle are **shard-local**.
 pub struct ShardHandle<'a, 'p> {
-    state: &'a mut ShardState<'p>,
-    shard: ShardId,
-    cfg: EngineConfig,
+    pub(crate) state: &'a mut ShardState<'p>,
+    pub(crate) shard: ShardId,
+    pub(crate) cfg: EngineConfig,
 }
 
 impl ShardHandle<'_, '_> {
@@ -473,6 +495,9 @@ pub struct ShardedEngine<'p> {
     /// forest): lets single-shard batches drain straight from the
     /// caller's slice.
     identity_routing: bool,
+    /// Reusable scratch for [`ShardedEngine::submit_batch`]'s atomic
+    /// rejection: per-shard queue lengths at batch start.
+    batch_marks: Vec<usize>,
 }
 
 impl<'p> ShardedEngine<'p> {
@@ -489,7 +514,14 @@ impl<'p> ShardedEngine<'p> {
             })
             .collect();
         let identity_routing = forest.is_identity_routing();
-        Self { forest: Some(forest), shards, cfg, failed: None, identity_routing }
+        Self {
+            forest: Some(forest),
+            shards,
+            cfg,
+            failed: None,
+            identity_routing,
+            batch_marks: Vec::new(),
+        }
     }
 
     /// A single-shard engine over an owned tree and policy.
@@ -502,6 +534,7 @@ impl<'p> ShardedEngine<'p> {
             cfg,
             failed: None,
             identity_routing: true,
+            batch_marks: Vec::new(),
         }
     }
 
@@ -515,7 +548,14 @@ impl<'p> ShardedEngine<'p> {
         cfg: EngineConfig,
     ) -> Self {
         let state = Self::shard_state(TreeRef::Borrowed(tree), Box::new(policy), &cfg);
-        Self { forest: None, shards: vec![state], cfg, failed: None, identity_routing: true }
+        Self {
+            forest: None,
+            shards: vec![state],
+            cfg,
+            failed: None,
+            identity_routing: true,
+            batch_marks: Vec::new(),
+        }
     }
 
     fn shard_state(
@@ -615,7 +655,9 @@ impl<'p> ShardedEngine<'p> {
     /// Routing errors and the simulator's classic protocol violations; any
     /// violation poisons the engine (subsequent calls return it again).
     pub fn submit(&mut self, req: Request) -> Result<SubmitOutcome, EngineError> {
-        self.check_live()?;
+        // Anything staged precedes this request: flushing first keeps the
+        // global submission order intact when `stage` and `submit` mix.
+        self.flush_pending()?;
         let (s, local) = self.route(req)?;
         let sid = ShardId(s as u32);
         let mut handle = ShardHandle { state: &mut self.shards[s], shard: sid, cfg: self.cfg };
@@ -628,7 +670,8 @@ impl<'p> ShardedEngine<'p> {
     /// Submits a batch of globally-addressed requests: routes each into
     /// its shard's staging queue, then drains all shards in parallel on
     /// `cfg.threads` scoped worker threads. Within a shard, requests are
-    /// processed in batch order; thread count never changes any result.
+    /// processed in batch order (after anything already [`ShardedEngine::stage`]d);
+    /// thread count never changes any result.
     ///
     /// Queue storage is retained across batches, so once queues reach the
     /// workload's high-water mark a steady-state batch allocates nothing
@@ -637,34 +680,78 @@ impl<'p> ShardedEngine<'p> {
     ///
     /// # Errors
     /// Routing errors (which reject the whole batch atomically — nothing
-    /// is applied) and protocol violations (first failing shard wins); any
+    /// from *this* batch is applied; previously staged requests stay
+    /// staged) and protocol violations (first failing shard wins); any
     /// violation poisons the engine.
     pub fn submit_batch(&mut self, reqs: &[Request]) -> Result<(), EngineError> {
         self.check_live()?;
         let cfg = self.cfg;
         // Fast path: identity routing (the borrowed adapter, or an owned
-        // single shard whose local ids equal the global ids) drains
-        // straight from the caller's slice. A 1-shard *partitioned*
-        // forest can renumber nodes, so it must route like any other.
-        if self.shards.len() == 1 && self.identity_routing {
+        // single shard whose local ids equal the global ids) with nothing
+        // staged drains straight from the caller's slice. A 1-shard
+        // *partitioned* forest can renumber nodes, so it must route like
+        // any other.
+        if self.shards.len() == 1 && self.identity_routing && self.shards[0].queue.is_empty() {
             return match self.shards[0].drain(reqs, &cfg) {
                 Ok(()) => Ok(()),
                 Err(message) => Err(self.fail(ShardId(0), message)),
             };
         }
+        // Remember each queue's pre-batch length (reusable scratch, so
+        // steady-state batches stay allocation-free): a routing error must
+        // unstage exactly this batch's prefix, nothing more.
+        let mut marks = std::mem::take(&mut self.batch_marks);
+        marks.clear();
+        marks.extend(self.shards.iter().map(|st| st.queue.len()));
         for &r in reqs {
             match self.route(r) {
                 Ok((s, local)) => self.shards[s].queue.push(local),
                 Err(e) => {
-                    // Unstage the partially-routed batch: queues are empty
-                    // between calls, so clearing restores the pre-call
-                    // state exactly (capacity is kept).
-                    for st in &mut self.shards {
-                        st.queue.clear();
+                    for (st, &mark) in self.shards.iter_mut().zip(&marks) {
+                        st.queue.truncate(mark);
                     }
+                    self.batch_marks = marks;
                     return Err(e);
                 }
             }
+        }
+        self.batch_marks = marks;
+        self.flush_pending()
+    }
+
+    /// Routes one globally-addressed request into its shard's staging
+    /// queue **without executing it**, and reports where it went. Staged
+    /// requests run on the next [`ShardedEngine::flush_pending`] (or
+    /// [`ShardedEngine::submit_batch`]), in staging order per shard — this
+    /// is how a caller assembles per-shard batches incrementally (e.g.
+    /// from an incoming network stream) and then drains them in parallel
+    /// at a moment of its choosing.
+    ///
+    /// # Errors
+    /// Routing errors (the request is not staged); a poisoned engine
+    /// returns its stored violation.
+    pub fn stage(&mut self, req: Request) -> Result<ShardId, EngineError> {
+        self.check_live()?;
+        let (s, local) = self.route(req)?;
+        self.shards[s].queue.push(local);
+        Ok(ShardId(s as u32))
+    }
+
+    /// Force-drains every shard's staging queue — all [`ShardedEngine::stage`]d
+    /// requests run now, in parallel on `cfg.threads` workers, without
+    /// consuming the engine. A no-op when nothing is staged. This is the
+    /// barrier half of the `stage`/`flush_pending` pair; [`ShardedEngine::map_shards`]
+    /// callers use it to guarantee queues are empty before taking manual
+    /// control of the shards.
+    ///
+    /// # Errors
+    /// Protocol violations (first failing shard wins); any violation
+    /// poisons the engine.
+    pub fn flush_pending(&mut self) -> Result<(), EngineError> {
+        self.check_live()?;
+        let cfg = self.cfg;
+        if self.shards.iter().all(|st| st.queue.is_empty()) {
+            return Ok(());
         }
         if cfg.threads <= 1 {
             for s in 0..self.shards.len() {
@@ -765,21 +852,11 @@ impl<'p> ShardedEngine<'p> {
     /// time, including right before [`ShardedEngine::into_report`].
     #[must_use]
     pub fn timeline(&self) -> Timeline {
-        let window_rounds =
-            if self.cfg.telemetry { self.cfg.audit_chunk.unwrap_or(0) as u64 } else { 0 };
         let mut windows = Vec::new();
         for (s, st) in self.shards.iter().enumerate() {
-            let shard = s as u32;
-            for &w in &st.windows {
-                windows.push(WindowRecord { shard, ..w });
-            }
-            if self.cfg.telemetry {
-                if let Some(rec) = st.open_window(true) {
-                    windows.push(WindowRecord { shard, ..rec });
-                }
-            }
+            st.collect_windows(s as u32, self.cfg.telemetry, &mut windows);
         }
-        Timeline { alpha: self.cfg.alpha, window_rounds, shards: self.shards.len() as u32, windows }
+        crate::worker::timeline_from_windows(&self.cfg, self.shards.len() as u32, windows)
     }
 
     /// Runs `f` once per shard — in parallel on `cfg.threads` workers —
@@ -795,6 +872,10 @@ impl<'p> ShardedEngine<'p> {
         R: Send,
         F: Fn(&mut ShardHandle<'_, 'p>) -> R + Sync,
     {
+        // Staged requests run before the closures take over, so every
+        // handle observes a drained shard; a violation here poisons the
+        // engine and surfaces through `into_report` like any other.
+        let _ = self.flush_pending();
         let cfg = self.cfg;
         let results = otc_util::parallel_map_mut(&mut self.shards, cfg.threads, |i, st| {
             let mut handle = ShardHandle { state: st, shard: ShardId(i as u32), cfg };
@@ -819,11 +900,15 @@ impl<'p> ShardedEngine<'p> {
     }
 
     /// Finishes every shard (closing open phases into instrumentation) and
-    /// returns the per-shard reports in shard order.
+    /// returns the per-shard reports in shard order. Staged requests are
+    /// drained first, so nothing handed to [`ShardedEngine::stage`] can be
+    /// silently dropped by finishing.
     ///
     /// # Errors
-    /// Returns the stored error if any prior submission failed.
-    pub fn into_reports(self) -> Result<Vec<Report>, EngineError> {
+    /// Returns the stored error if any prior submission failed, or any
+    /// violation surfaced while draining staged requests.
+    pub fn into_reports(mut self) -> Result<Vec<Report>, EngineError> {
+        self.flush_pending()?;
         if let Some(e) = self.failed {
             return Err(e);
         }
@@ -847,6 +932,46 @@ impl<'p> ShardedEngine<'p> {
     /// Returns the stored error if any prior submission failed.
     pub fn into_report(self) -> Result<Report, EngineError> {
         Ok(aggregate_reports(self.into_reports()?))
+    }
+}
+
+impl ShardedEngine<'static> {
+    /// Takes the engine apart for serving: one cheap cloneable
+    /// [`crate::worker::ShardRouter`] (the routing view, shared by
+    /// ingress threads) plus one self-contained, `Send`
+    /// [`crate::worker::ShardWorker`] per shard (tree, policy, verified
+    /// driver, report and telemetry state — ready to be pinned to a
+    /// persistent worker thread). Anything still staged is drained first,
+    /// so no request is lost at the hand-over. Only owned engines detach
+    /// (the borrowed single-shard adapters are tied to their caller's
+    /// stack); see `crates/sim/src/worker.rs` for the contract the
+    /// workers keep.
+    ///
+    /// # Errors
+    /// Returns the stored error if the engine is poisoned, or any
+    /// violation surfaced while draining staged requests.
+    pub fn into_workers(
+        mut self,
+    ) -> Result<(crate::worker::ShardRouter, Vec<crate::worker::ShardWorker>), EngineError> {
+        self.flush_pending()?;
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
+        let shard_sizes: Vec<u32> =
+            self.shards.iter().map(|st| st.tree.get().len() as u32).collect();
+        let global_len = match &self.forest {
+            Some(f) => f.global_len(),
+            None => self.shards[0].tree.get().len(),
+        };
+        let router = crate::worker::ShardRouter::new(self.forest, shard_sizes, global_len);
+        let cfg = self.cfg;
+        let workers = self
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(s, st)| crate::worker::ShardWorker::new(st, ShardId(s as u32), cfg))
+            .collect();
+        Ok((router, workers))
     }
 }
 
@@ -1171,6 +1296,94 @@ mod tests {
         let err = engine.into_report().unwrap_err();
         assert!(err.message.contains("paid"), "unexpected error: {err}");
         assert_eq!(err.shard, Some(ShardId(0)));
+    }
+
+    #[test]
+    fn stage_then_flush_pending_matches_submit_batch() {
+        let tree = Tree::star(12);
+        let reqs = mixed_requests(tree.len(), 3000, 29);
+        let factory = tc_factory(2, 3);
+
+        let mut batched = ShardedEngine::new(
+            Forest::partition(&tree, 4),
+            &factory,
+            EngineConfig::new(2).threads(2),
+        );
+        batched.submit_batch(&reqs).expect("valid");
+
+        let mut staged = ShardedEngine::new(
+            Forest::partition(&tree, 4),
+            &factory,
+            EngineConfig::new(2).threads(2),
+        );
+        // Stage in dribs and drabs with interleaved flushes — any cut of
+        // the same global order must yield the same result.
+        for (i, &r) in reqs.iter().enumerate() {
+            staged.stage(r).expect("in range");
+            if i % 97 == 0 {
+                staged.flush_pending().expect("valid");
+            }
+        }
+        staged.flush_pending().expect("valid");
+        staged.flush_pending().expect("flushing nothing is a no-op");
+        assert_eq!(
+            batched.into_report().expect("valid"),
+            staged.into_report().expect("valid"),
+            "stage + flush_pending ≡ submit_batch"
+        );
+    }
+
+    #[test]
+    fn staged_requests_are_never_silently_dropped() {
+        // Every terminal / executing API must drain staged requests
+        // first: finishing, single submits and shard loops all observe
+        // them (regression: into_report used to skip the queues).
+        let tree = Tree::star(6);
+        let factory = tc_factory(2, 2);
+
+        let mut staged =
+            ShardedEngine::new(Forest::partition(&tree, 2), &factory, EngineConfig::new(2));
+        staged.stage(Request::pos(NodeId(1))).expect("in range");
+        staged.stage(Request::pos(NodeId(1))).expect("in range");
+        let report = staged.into_report().expect("valid");
+        assert_eq!(report.rounds, 2, "into_report must run what was staged");
+
+        let mut mixed =
+            ShardedEngine::new(Forest::partition(&tree, 2), &factory, EngineConfig::new(2));
+        mixed.stage(Request::pos(NodeId(2))).expect("in range");
+        mixed.submit(Request::pos(NodeId(2))).expect("valid");
+        let mut ordered =
+            ShardedEngine::new(Forest::partition(&tree, 2), &factory, EngineConfig::new(2));
+        ordered.submit(Request::pos(NodeId(2))).expect("valid");
+        ordered.submit(Request::pos(NodeId(2))).expect("valid");
+        assert_eq!(
+            mixed.into_report().expect("valid"),
+            ordered.into_report().expect("valid"),
+            "submit flushes staged requests first, preserving global order"
+        );
+    }
+
+    #[test]
+    fn rejected_batch_preserves_staged_requests() {
+        // A routing error mid-batch must drop that batch only: requests
+        // staged before it survive and run on the next flush.
+        let tree = Tree::star(6);
+        let factory = tc_factory(2, 2);
+        let good = [Request::pos(NodeId(1)), Request::pos(NodeId(1))];
+
+        let mut engine =
+            ShardedEngine::new(Forest::partition(&tree, 2), &factory, EngineConfig::new(2));
+        engine.stage(Request::pos(NodeId(2))).expect("in range");
+        let err =
+            engine.submit_batch(&[Request::pos(NodeId(3)), Request::pos(NodeId(99))]).unwrap_err();
+        assert!(err.message.contains("99"), "unexpected error: {err}");
+        engine.submit_batch(&good).expect("valid");
+
+        let mut fresh =
+            ShardedEngine::new(Forest::partition(&tree, 2), &factory, EngineConfig::new(2));
+        fresh.submit(Request::pos(NodeId(2))).expect("valid");
+        fresh.submit_batch(&good).expect("valid");
+        assert_eq!(engine.into_report().expect("valid"), fresh.into_report().expect("valid"));
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //! (cost breakdown by fetch/evict/flush, occupancy, action-buffer
 //! high-water marks) snapshotted at `audit_every` boundaries and
 //! exportable as JSON/CSV — see [`telemetry`].
+//!
+//! For long-lived serving (the `otc-serve` runtime), the engine comes
+//! apart: [`engine::ShardedEngine::into_workers`] detaches one `Send`
+//! [`worker::ShardWorker`] per shard (with non-consuming, incremental
+//! report/timeline snapshots) plus a cloneable [`worker::ShardRouter`]
+//! for the ingress side — see [`worker`].
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,6 +40,7 @@ pub mod engine;
 pub mod report;
 pub mod runner;
 pub mod telemetry;
+pub mod worker;
 
 pub use engine::{
     aggregate_reports, EngineConfig, EngineError, ShardHandle, ShardedEngine, SubmitOutcome,
@@ -41,3 +48,4 @@ pub use engine::{
 pub use report::{FieldStats, PeriodStats, PhaseStats, Report};
 pub use runner::{run_policy, run_stream, SimConfig};
 pub use telemetry::{Timeline, WindowRecord};
+pub use worker::{timeline_from_windows, ShardRouter, ShardWorker};

@@ -335,20 +335,34 @@ impl Driver {
         Ok(())
     }
 
-    /// Closes the unfinished phase and moves instrumentation into the
-    /// report.
-    pub(crate) fn finish(mut self, cfg: SimConfig, report: &mut Report) {
+    /// Closes the unfinished phase and copies instrumentation into the
+    /// report **without consuming the driver** — the incremental-snapshot
+    /// primitive behind [`crate::worker::ShardWorker::report_snapshot`]:
+    /// a long-lived serving worker can publish "the report as if the run
+    /// ended now" at any moment and keep driving afterwards. Cost is one
+    /// clone of the instrumentation aggregates (zero when `instrument` is
+    /// off), paid per snapshot, never per round.
+    pub(crate) fn finish_into(&self, cfg: SimConfig, report: &mut Report) {
         if cfg.instrument {
             // Close the unfinished phase and account the open field F∞.
-            self.phase.k_p = self.mirror.len();
-            self.phase.finished = false;
-            self.phase.open_requests = self.pending.iter().sum();
-            self.periods.per_phase_balance.push((self.phase_pout, self.phase_pin, self.phase.k_p));
-            report.phases.push(self.phase);
-            self.fields.open_field_requests = self.pending.iter().sum();
-            report.fields = Some(self.fields);
-            report.periods = Some(self.periods);
+            let mut phase = self.phase.clone();
+            phase.k_p = self.mirror.len();
+            phase.finished = false;
+            phase.open_requests = self.pending.iter().sum();
+            let mut periods = self.periods.clone();
+            periods.per_phase_balance.push((self.phase_pout, self.phase_pin, phase.k_p));
+            report.phases.push(phase);
+            let mut fields = self.fields.clone();
+            fields.open_field_requests = self.pending.iter().sum();
+            report.fields = Some(fields);
+            report.periods = Some(periods);
         }
+    }
+
+    /// Closes the unfinished phase and moves instrumentation into the
+    /// report (the consuming end-of-run form of [`Driver::finish_into`]).
+    pub(crate) fn finish(self, cfg: SimConfig, report: &mut Report) {
+        self.finish_into(cfg, report);
     }
 }
 

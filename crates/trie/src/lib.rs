@@ -14,7 +14,7 @@
 //!   histograms and controllable dependency depth (our substitute for
 //!   proprietary BGP snapshots; see DESIGN.md).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod prefix;

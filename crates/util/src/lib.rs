@@ -14,12 +14,16 @@
 //!   `std::thread::scope` with an atomic work index (self-balancing, no
 //!   work stealing needed for our embarrassingly parallel parameter
 //!   sweeps).
+//! * [`ring`] — bounded FIFO queues: a fixed-capacity [`ring::Ring`] core
+//!   plus a blocking MPSC [`ring::channel`] with backpressure, the
+//!   ingress→worker hand-off of the `otc-serve` serving runtime.
 //! * [`table`] — minimal markdown/CSV table rendering for experiment output.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod par;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,139 @@
+//! Property tests for the bounded ring and its blocking MPSC channel —
+//! the hand-off the serving runtime (`otc-serve`) relies on. Three
+//! guarantees are pinned: FIFO order per producer, the capacity bound is
+//! never exceeded, and no value is ever lost or duplicated under
+//! contention.
+
+use otc_util::ring::{channel, Ring, TrySendError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An arbitrary interleaving of pushes and pops behaves exactly like a
+    /// capacity-clamped VecDeque model.
+    #[test]
+    fn ring_matches_fifo_model(
+        capacity in 1usize..16,
+        ops in prop::collection::vec((any::<bool>(), any::<u32>()), 0..200),
+    ) {
+        let mut ring = Ring::with_capacity(capacity);
+        let mut model: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        for (is_push, v) in ops {
+            if is_push {
+                let accepted = ring.push(v).is_ok();
+                prop_assert_eq!(accepted, model.len() < capacity, "push accepted iff not full");
+                if accepted {
+                    model.push_back(v);
+                }
+            } else {
+                prop_assert_eq!(ring.pop(), model.pop_front(), "pop order matches the model");
+            }
+            prop_assert!(ring.len() <= capacity, "capacity bound holds at every step");
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert_eq!(ring.is_empty(), model.is_empty());
+            prop_assert_eq!(ring.is_full(), model.len() == capacity);
+        }
+    }
+
+    /// `pop_into` drains exactly `min(max, len)` items in FIFO order.
+    #[test]
+    fn ring_batch_drain_matches_singles(
+        capacity in 1usize..32,
+        values in prop::collection::vec(any::<u16>(), 0..64),
+        max in 0usize..40,
+    ) {
+        let mut a = Ring::with_capacity(capacity);
+        let mut b = Ring::with_capacity(capacity);
+        for &v in &values {
+            let _ = a.push(v);
+            let _ = b.push(v);
+        }
+        let mut batched = Vec::new();
+        let moved = a.pop_into(&mut batched, max);
+        let mut singles = Vec::new();
+        for _ in 0..max {
+            match b.pop() {
+                Some(v) => singles.push(v),
+                None => break,
+            }
+        }
+        prop_assert_eq!(moved, batched.len());
+        prop_assert_eq!(batched, singles);
+        prop_assert_eq!(a.len(), b.len(), "both drains leave the same tail");
+    }
+
+    /// Single producer, single consumer, threaded: everything arrives, in
+    /// order, regardless of capacity (backpressure) and batch size.
+    #[test]
+    fn spsc_channel_is_order_preserving(
+        capacity in 1usize..32,
+        count in 0usize..400,
+        batch in 1usize..64,
+    ) {
+        let (tx, rx) = channel(capacity);
+        let producer = std::thread::spawn(move || {
+            for i in 0..count {
+                tx.send(i).expect("receiver lives until fully drained");
+            }
+        });
+        let mut got = Vec::with_capacity(count);
+        while rx.recv_batch(&mut got, batch).is_ok() {}
+        producer.join().expect("producer panicked");
+        prop_assert_eq!(got, (0..count).collect::<Vec<_>>());
+    }
+
+    /// Many producers under contention: nothing is lost, nothing is
+    /// duplicated, and each producer's own sequence stays in order.
+    #[test]
+    fn mpsc_fan_in_is_lossless_and_per_producer_ordered(
+        capacity in 1usize..16,
+        producers in 1usize..5,
+        per_producer in 0usize..120,
+    ) {
+        let (tx, rx) = channel::<(usize, usize)>(capacity);
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    tx.send((p, i)).expect("receiver lives until fully drained");
+                }
+            }));
+        }
+        drop(tx);
+        let got: Vec<(usize, usize)> = rx.iter().collect();
+        for h in handles {
+            h.join().expect("producer panicked");
+        }
+        prop_assert_eq!(got.len(), producers * per_producer, "no loss, no duplication");
+        let mut next = vec![0usize; producers];
+        for (p, i) in got {
+            prop_assert_eq!(i, next[p], "producer {}'s items arrive in send order", p);
+            next[p] += 1;
+        }
+        for (p, n) in next.iter().enumerate() {
+            prop_assert_eq!(*n, per_producer, "producer {} fully delivered", p);
+        }
+    }
+
+    /// `try_send` refuses exactly when the ring is at capacity, and the
+    /// refusal hands the value back intact.
+    #[test]
+    fn try_send_full_signals_are_exact(
+        capacity in 1usize..8,
+        extra in 1usize..8,
+    ) {
+        let (tx, rx) = channel(capacity);
+        for i in 0..capacity {
+            prop_assert!(tx.try_send(i).is_ok(), "under capacity never refuses");
+        }
+        for i in 0..extra {
+            prop_assert_eq!(tx.try_send(capacity + i), Err(TrySendError::Full(capacity + i)));
+        }
+        // Draining one slot re-admits exactly one value.
+        prop_assert_eq!(rx.recv(), Ok(0));
+        prop_assert!(tx.try_send(999).is_ok());
+        prop_assert_eq!(tx.try_send(1000), Err(TrySendError::Full(1000)));
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`trace`] — persistent workload traces: the versioned binary format
 //!   with streaming [`trace::TraceWriter`] / [`trace::TraceReader`], the
 //!   human-editable line format, and CSV/JSONL interop;
+//! * [`wire`] — the shared request-record codec (LEB128 varints, the
+//!   `(node << 1) | sign` record payload, sign characters) behind both
+//!   the trace formats and the `otc-serve` wire protocol;
 //! * [`fib_churn`] — FIB lookup/flap traces synthesized from an
 //!   `otc_trie::RuleTree`'s real prefix-containment structure;
 //! * [`adversary`] — the adaptive paging adversary of the Ω(R) lower bound
@@ -28,6 +31,7 @@ pub mod requests;
 pub mod search;
 pub mod trace;
 pub mod trees;
+pub mod wire;
 
 pub use adversary::{drive_paging_adversary, AdversaryRun};
 pub use fib_churn::{fib_update_trace, FibChurnConfig};

@@ -19,7 +19,10 @@
 //! The binary layout is specified normatively in `DESIGN.md` ("The trace
 //! format"). All multi-byte integers are **little-endian**; requests are
 //! LEB128 varints of `(node_id << 1) | is_negative`, so hot small node ids
-//! cost one byte.
+//! cost one byte. The record codec itself (varint + request payload +
+//! sign characters) lives in [`crate::wire`] and is shared with the
+//! `otc-serve` wire protocol — a live service's log is byte-compatible
+//! with these readers by construction.
 
 use std::io::{self, Read, Seek, SeekFrom, Write};
 
@@ -238,16 +241,7 @@ impl<W: Write + Seek> TraceWriter<W> {
                 req.node, self.header.universe
             )));
         }
-        let mut value = (u64::from(req.node.0) << 1) | u64::from(req.sign == Sign::Negative);
-        loop {
-            let byte = (value & 0x7F) as u8;
-            value >>= 7;
-            if value == 0 {
-                self.buf.push(byte);
-                break;
-            }
-            self.buf.push(byte | 0x80);
-        }
+        crate::wire::encode_request(&mut self.buf, req);
         self.count += 1;
         if self.buf.len() >= WRITER_BUF {
             self.sink.write_all(&self.buf)?;
@@ -362,57 +356,26 @@ impl<R: Read> TraceReader<R> {
                 return Ok(None);
             }
         }
-        // LEB128 decode; a clean EOF before the first byte ends an
-        // undeclared-count stream.
-        let mut value: u64 = 0;
-        let mut shift = 0u32;
-        let mut first = true;
-        loop {
-            let mut byte = [0u8; 1];
-            let read = loop {
-                match self.src.read(&mut byte) {
-                    Ok(n) => break n,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(e) => return Err(e),
-                }
-            };
-            if read == 0 {
-                if first && self.declared.is_none() {
-                    return Ok(None);
-                }
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    format!("trace truncated after {} records", self.yielded),
-                ));
+        // The shared record codec ([`crate::wire`]): a clean EOF before
+        // the first byte ends an undeclared-count stream; truncation
+        // inside a record and overflowing varints are rejected there.
+        let Some(req) = crate::wire::decode_request(&mut self.src)? else {
+            if self.declared.is_none() {
+                return Ok(None);
             }
-            // Reject any continuation past 64 bits *and* any payload bits
-            // that would be shifted out of the top of the u64 — a corrupt
-            // body must never silently misparse into a plausible value.
-            let bits = u64::from(byte[0] & 0x7F);
-            let shifted = bits.checked_shl(shift).filter(|v| v >> shift == bits);
-            let Some(shifted) = shifted else {
-                return Err(bad_data("varint overflows u64"));
-            };
-            value |= shifted;
-            shift += 7;
-            first = false;
-            if byte[0] & 0x80 == 0 {
-                break;
-            }
-        }
-        let node = value >> 1;
-        if node > u64::from(u32::MAX) {
-            return Err(bad_data(format!("node id {node} overflows u32")));
-        }
-        if self.header.universe > 0 && node >= u64::from(self.header.universe) {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("trace truncated after {} records", self.yielded),
+            ));
+        };
+        if self.header.universe > 0 && req.node.0 >= self.header.universe {
             return Err(bad_data(format!(
-                "record {} targets node {node} outside the declared universe of {}",
-                self.yielded, self.header.universe
+                "record {} targets node {} outside the declared universe of {}",
+                self.yielded, req.node, self.header.universe
             )));
         }
-        let sign = if value & 1 == 1 { Sign::Negative } else { Sign::Positive };
         self.yielded += 1;
-        Ok(Some(Request { node: NodeId(node as u32), sign }))
+        Ok(Some(req))
     }
 }
 
@@ -460,7 +423,7 @@ fn read_u64<R: Read>(src: &mut R) -> io::Result<u64> {
 pub fn to_text(requests: &[Request]) -> String {
     let mut out = String::with_capacity(requests.len() * 5);
     for r in requests {
-        out.push(if r.sign == Sign::Positive { '+' } else { '-' });
+        out.push(crate::wire::sign_char(r.sign));
         out.push_str(&r.node.0.to_string());
         out.push('\n');
     }
@@ -478,11 +441,12 @@ pub fn from_text(text: &str) -> Result<Vec<Request>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (sign, rest) = match line.split_at(1) {
-            ("+", rest) => (Sign::Positive, rest),
-            ("-", rest) => (Sign::Negative, rest),
-            _ => return Err(format!("line {}: expected '+' or '-', got {line:?}", lineno + 1)),
+        // `get` (not `split_at`) so a multi-byte first character is a
+        // reported parse error rather than a char-boundary panic.
+        let Some(sign) = line.get(..1).and_then(crate::wire::parse_sign) else {
+            return Err(format!("line {}: expected '+' or '-', got {line:?}", lineno + 1));
         };
+        let rest = &line[1..];
         let id: u32 =
             rest.parse().map_err(|e| format!("line {}: bad node id {rest:?}: {e}", lineno + 1))?;
         out.push(Request { node: NodeId(id), sign });
@@ -501,7 +465,7 @@ pub fn to_csv(requests: &[Request]) -> String {
     let mut out = String::with_capacity(requests.len() * 10 + 16);
     out.push_str("round,sign,node\n");
     for (i, r) in requests.iter().enumerate() {
-        let sign = if r.sign == Sign::Positive { '+' } else { '-' };
+        let sign = crate::wire::sign_char(r.sign);
         writeln!(out, "{i},{sign},{}", r.node.0).expect("String writes cannot fail");
     }
     out
@@ -531,11 +495,8 @@ pub fn from_csv(text: &str) -> Result<Vec<Request>, String> {
         else {
             return Err(format!("line {}: expected 3 columns, got {line:?}", lineno + 1));
         };
-        let sign = match sign.trim() {
-            "+" => Sign::Positive,
-            "-" => Sign::Negative,
-            other => return Err(format!("line {}: bad sign {other:?}", lineno + 1)),
-        };
+        let sign = crate::wire::parse_sign(sign.trim())
+            .ok_or_else(|| format!("line {}: bad sign {:?}", lineno + 1, sign.trim()))?;
         let id: u32 = node
             .trim()
             .parse()
@@ -552,7 +513,7 @@ pub fn to_jsonl(requests: &[Request]) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(requests.len() * 24);
     for r in requests {
-        let sign = if r.sign == Sign::Positive { '+' } else { '-' };
+        let sign = crate::wire::sign_char(r.sign);
         writeln!(out, "{{\"node\":{},\"sign\":\"{sign}\"}}", r.node.0)
             .expect("String writes cannot fail");
     }
@@ -589,13 +550,11 @@ pub fn from_jsonl(text: &str) -> Result<Vec<Request>, String> {
                         })?);
                 }
                 "sign" => {
-                    sign = Some(match value.trim().trim_matches('"') {
-                        "+" => Sign::Positive,
-                        "-" => Sign::Negative,
-                        other => {
-                            return Err(format!("line {}: bad sign {other:?}", lineno + 1));
-                        }
-                    });
+                    let raw = value.trim().trim_matches('"');
+                    sign = Some(
+                        crate::wire::parse_sign(raw)
+                            .ok_or_else(|| format!("line {}: bad sign {raw:?}", lineno + 1))?,
+                    );
                 }
                 other => return Err(format!("line {}: unknown field {other:?}", lineno + 1)),
             }

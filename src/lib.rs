@@ -68,6 +68,7 @@ pub mod guide {}
 pub use otc_baselines as baselines;
 pub use otc_core as core;
 pub use otc_sdn as sdn;
+pub use otc_serve as serve;
 pub use otc_sim as sim;
 pub use otc_trie as trie;
 pub use otc_util as util;
