@@ -1,0 +1,182 @@
+//! Records the crash-recovery throughput baseline into
+//! `BENCH_recovery.json`.
+//!
+//! ```text
+//! cargo run --release -p otc-bench --bin bench_recovery
+//! ```
+//!
+//! The same fixed Markov-bursty workload as `bench_trace_replay` is run
+//! to 7/8 of its length, an `OTCS` snapshot is taken there, and three
+//! durability costs are timed — writing the snapshot (the steady-state
+//! overhead a serving cadence pays), parsing + restoring it into a
+//! fresh engine, and full recovery (restore + replay of the remaining
+//! log tail) — against the pure log-replay recovery of the whole trace.
+//! The recovered engine's report is asserted identical to the
+//! uninterrupted run's (determinism invariant #6); the interesting
+//! number is the recovery speedup a snapshot buys over replaying from
+//! the log's beginning.
+
+use std::fmt::Write as _;
+use std::io::Cursor;
+use std::sync::Arc;
+use std::time::Instant;
+
+use otc_core::forest::ShardId;
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_core::tree::Tree;
+use otc_sim::engine::{EngineConfig, ShardedEngine};
+use otc_sim::snapshot::{EngineSnapshot, LogPosition};
+use otc_workloads::trace::TraceReader;
+
+const ALPHA: u64 = 4;
+const LEN: usize = 400_000;
+const SHARDS: usize = 4;
+const PER_SHARD_NODES: usize = 2048;
+const CAPACITY: usize = 128;
+
+fn factory(tree: Arc<Tree>, _s: ShardId) -> Box<dyn CachePolicy> {
+    Box::new(TcFast::new(tree, TcConfig::new(ALPHA, CAPACITY)))
+}
+
+fn time_best<F: FnMut() -> u64>(mut f: F, iters: usize) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut cost = 0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        cost = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, cost)
+}
+
+fn main() {
+    let (forest, trace) =
+        otc_bench::trace_replay_workload(SHARDS, PER_SHARD_NODES, LEN, ALPHA, 0x7ACE);
+    let bytes = trace.to_bytes();
+    let snap_at = LEN - LEN / 8;
+
+    // Walk the trace to the snapshot point to learn its byte offset.
+    let mut scan = TraceReader::new(Cursor::new(bytes.as_slice())).expect("valid");
+    while (scan.records_read() as usize) < snap_at {
+        scan.next().expect("trace is long enough").expect("valid record");
+    }
+    let pos = LogPosition { offset: scan.byte_pos(), records: scan.records_read() };
+    println!(
+        "trace: {LEN} requests, {} bytes; snapshot point at record {snap_at} (byte {})",
+        bytes.len(),
+        pos.offset
+    );
+    let iters = 3;
+    let cfg = EngineConfig::bare(ALPHA);
+
+    // The engine state every measurement starts from: the run up to the
+    // snapshot point, plus the uninterrupted baseline for the identity.
+    let mut live = ShardedEngine::new(forest.clone(), &factory, cfg);
+    live.submit_batch(&trace.requests[..snap_at]).expect("valid");
+    let mut snap_bytes: Vec<u8> = Vec::new();
+    live.write_snapshot(pos, &mut snap_bytes).expect("snapshot");
+    let (full_secs, full_cost) = time_best(
+        || {
+            let mut engine = ShardedEngine::new(forest.clone(), &factory, cfg);
+            let mut reader = TraceReader::new(Cursor::new(bytes.as_slice())).expect("valid");
+            let mut chunk = Vec::with_capacity(64 * 1024);
+            engine.replay_trace(&mut reader, &mut chunk).expect("valid");
+            engine.into_report().expect("valid").cost.total()
+        },
+        iters,
+    );
+    println!("pure log replay ({LEN} records): {:>8.3} ms", full_secs * 1e3);
+    let mut results = String::new();
+
+    // 1. Snapshot write: what one cadence tick costs a live service.
+    let (write_secs, _) = time_best(
+        || {
+            live.write_snapshot(pos, &mut snap_bytes).expect("snapshot");
+            snap_bytes.len() as u64
+        },
+        iters * 3,
+    );
+    println!(
+        "snapshot write: {:>9.3} ms for {} bytes ({:.0} MB/s)",
+        write_secs * 1e3,
+        snap_bytes.len(),
+        snap_bytes.len() as f64 / write_secs / 1e6
+    );
+    write!(
+        results,
+        "    {{ \"step\": \"snapshot_write\", \"millis\": {:.3}, \
+         \"snapshot_bytes\": {}, \"mb_per_sec\": {:.0} }}",
+        write_secs * 1e3,
+        snap_bytes.len(),
+        snap_bytes.len() as f64 / write_secs / 1e6
+    )
+    .unwrap();
+
+    // 2. Parse + restore: rebuilding engine state from the image alone.
+    let (restore_secs, _) = time_best(
+        || {
+            let snap = EngineSnapshot::parse(&snap_bytes).expect("parses");
+            let mut engine = ShardedEngine::new(forest.clone(), &factory, cfg);
+            engine.restore_snapshot(&snap).expect("restores");
+            snap.meta.log.records
+        },
+        iters,
+    );
+    println!("parse + restore: {:>8.3} ms", restore_secs * 1e3);
+    write!(
+        results,
+        ",\n    {{ \"step\": \"parse_restore\", \"millis\": {:.3} }}",
+        restore_secs * 1e3
+    )
+    .unwrap();
+
+    // 3. Full recovery: restore + tail replay, vs. replaying everything.
+    let tail = LEN - snap_at;
+    let (recover_secs, recovered_cost) = time_best(
+        || {
+            let snap = EngineSnapshot::parse(&snap_bytes).expect("parses");
+            let mut engine = ShardedEngine::new(forest.clone(), &factory, cfg);
+            let mut reader = TraceReader::new(Cursor::new(bytes.as_slice())).expect("valid");
+            let mut chunk = Vec::with_capacity(64 * 1024);
+            let stats = engine.recover(&snap, &mut reader, &mut chunk).expect("recovers");
+            assert_eq!(stats.replayed, tail as u64);
+            engine.into_report().expect("valid").cost.total()
+        },
+        iters,
+    );
+    assert_eq!(
+        recovered_cost, full_cost,
+        "snapshot + tail replay must equal the uninterrupted run"
+    );
+    let speedup = full_secs / recover_secs;
+    println!(
+        "recover (restore + {tail}-record tail): {:>6.3} ms  ({speedup:.1}x faster than pure replay)",
+        recover_secs * 1e3
+    );
+    write!(
+        results,
+        ",\n    {{ \"step\": \"recover_snapshot_plus_tail\", \"millis\": {:.3}, \
+         \"tail_records\": {tail}, \"speedup_vs_pure_replay\": {speedup:.2} }},\n    \
+         {{ \"step\": \"recover_pure_log_replay\", \"millis\": {:.3}, \
+         \"records\": {LEN}, \"total_cost\": {full_cost} }}",
+        recover_secs * 1e3,
+        full_secs * 1e3
+    )
+    .unwrap();
+
+    let host = otc_bench::HostInfo::capture();
+    let json = format!(
+        "{{\n  \"benchmark\": \"OTCS snapshot write and crash recovery\",\n  \
+         \"command\": \"cargo run --release -p otc-bench --bin bench_recovery\",\n  \
+         \"host\": {},\n  \
+         \"workload\": {{ \"generator\": \"markov-bursty\", \"requests\": {LEN}, \
+         \"shards\": {SHARDS}, \"alpha\": {ALPHA}, \"capacity_per_shard\": {CAPACITY}, \
+         \"snapshot_at_record\": {snap_at}, \"trace_bytes\": {} }},\n  \
+         \"timing\": \"best of {iters} runs per point\",\n  \"results\": [\n{results}\n  ]\n}}\n",
+        host.to_json(),
+        bytes.len()
+    );
+    std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+    println!("\nrecorded BENCH_recovery.json");
+}

@@ -268,6 +268,63 @@ fn trace_replay_steady_state_rounds_do_not_allocate() {
 }
 
 #[test]
+fn snapshot_emission_keeps_the_request_path_allocation_free() {
+    // The PR-6 durability contract: emitting OTCS snapshots between
+    // batches must not disturb the zero-allocation steady state of the
+    // request path. Rounds stay at exactly zero allocations; each
+    // snapshot itself may allocate only a small per-shard constant
+    // (policy blobs, section scratch) — never anything per round.
+    use otc_sim::snapshot::LogPosition;
+
+    let (forest, reqs) = sharded_workload(0x5AC5, 512, 40_000);
+    let shards = forest.num_shards() as u64;
+    let factory = flushless_factory(4);
+    let mut engine = ShardedEngine::new(forest, &factory, EngineConfig::bare(4).threads(1));
+    let mut snap: Vec<u8> = Vec::new();
+    let pos = |records: u64| LogPosition { offset: 64 + 2 * records, records };
+
+    // Warm-up passes at the measured cadence: the first grows the
+    // engine's buffers and the snapshot arena, the rest let the
+    // policies' internal spans (which track the evolving cache state)
+    // reach their high-water mark.
+    for _ in 0..3 {
+        let mut records = 0u64;
+        for chunk in reqs.chunks(4096) {
+            engine.submit_batch(chunk).expect("valid");
+            records += chunk.len() as u64;
+            engine.write_snapshot(pos(records), &mut snap).expect("snapshot");
+        }
+    }
+
+    let mut round_allocs = 0u64;
+    let mut snap_allocs = 0u64;
+    let mut snapshots = 0u64;
+    let mut records = 0u64;
+    for chunk in reqs.chunks(4096) {
+        let before = allocs();
+        engine.submit_batch(chunk).expect("valid");
+        round_allocs += allocs() - before;
+        records += chunk.len() as u64;
+        let before = allocs();
+        engine.write_snapshot(pos(records), &mut snap).expect("snapshot");
+        snap_allocs += allocs() - before;
+        snapshots += 1;
+    }
+    assert_eq!(
+        round_allocs, 0,
+        "interleaved snapshots broke the zero-allocation request path over 40k rounds"
+    );
+    // Per-snapshot budget: a warmed output buffer never regrows, so all
+    // that remains is the per-shard section scratch — O(shards) per
+    // snapshot, independent of how many rounds each snapshot covers.
+    let budget = snapshots * (16 * shards + 16);
+    assert!(
+        snap_allocs <= budget,
+        "{snapshots} snapshots allocated {snap_allocs} times (budget {budget})"
+    );
+}
+
+#[test]
 fn validated_driver_allocates_per_run_not_per_round() {
     // Even with full validation on (the satellite fix: in-place flush
     // comparison + epoch-marked changeset scratch), the per-round cost is

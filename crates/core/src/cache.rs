@@ -167,6 +167,63 @@ impl CacheSet {
         Ok(())
     }
 
+    /// Appends the cache contents as a packed bitmap (`ceil(n/8)` bytes,
+    /// node `i` at bit `i % 8` of byte `i / 8`, unused trailing bits zero).
+    /// Allocation-free once `out` has capacity; the snapshot writers
+    /// (`otc-sim::snapshot`) call this on the steady-state path.
+    pub fn write_bitmap(&self, out: &mut Vec<u8>) {
+        for chunk in self.cached.chunks(8) {
+            let mut byte = 0u8;
+            for (bit, &flag) in chunk.iter().enumerate() {
+                byte |= u8::from(flag) << bit;
+            }
+            out.push(byte);
+        }
+    }
+
+    /// Number of bytes [`CacheSet::write_bitmap`] appends for an `n`-node
+    /// cache.
+    #[must_use]
+    pub fn bitmap_len(n: usize) -> usize {
+        n.div_ceil(8)
+    }
+
+    /// Rebuilds a cache from a packed bitmap written by
+    /// [`CacheSet::write_bitmap`].
+    ///
+    /// Strict: the byte length must be exactly `ceil(n/8)` and every unused
+    /// trailing bit must be zero, so a truncated or bit-flipped snapshot
+    /// section cannot silently produce a plausible cache. The stored size is
+    /// recomputed from the bits.
+    ///
+    /// # Errors
+    /// A human-readable reason when the bitmap does not decode.
+    pub fn from_bitmap(n: usize, bits: &[u8]) -> Result<Self, String> {
+        if bits.len() != Self::bitmap_len(n) {
+            return Err(format!(
+                "cache bitmap is {} bytes but {} nodes need {}",
+                bits.len(),
+                n,
+                Self::bitmap_len(n)
+            ));
+        }
+        let mut cached = vec![false; n];
+        let mut len = 0usize;
+        for (i, flag) in cached.iter_mut().enumerate() {
+            if bits[i / 8] >> (i % 8) & 1 == 1 {
+                *flag = true;
+                len += 1;
+            }
+        }
+        if !n.is_multiple_of(8) && !bits.is_empty() {
+            let tail = bits[bits.len() - 1] >> (n % 8);
+            if tail != 0 {
+                return Err("cache bitmap has non-zero bits past the last node".to_string());
+            }
+        }
+        Ok(Self { cached, len })
+    }
+
     /// The root of the cached tree containing `v`: the topmost cached
     /// ancestor of `v`. Returns `None` if `v` itself is not cached.
     ///
@@ -309,5 +366,48 @@ mod tests {
         let t = wide_tree();
         let c = CacheSet::empty(t.len() - 1);
         assert!(c.validate(&t).is_err());
+    }
+
+    #[test]
+    fn bitmap_round_trips() {
+        let t = wide_tree();
+        let mut c = CacheSet::empty(t.len());
+        c.fetch(&[NodeId(2), NodeId(3), NodeId(6)]);
+        let mut bits = Vec::new();
+        c.write_bitmap(&mut bits);
+        assert_eq!(bits.len(), CacheSet::bitmap_len(t.len()));
+        let back = CacheSet::from_bitmap(t.len(), &bits).expect("round trip");
+        assert_eq!(back, c);
+        // Empty and full caches round-trip too.
+        for cache in [CacheSet::empty(t.len()), {
+            let mut full = CacheSet::empty(t.len());
+            full.fetch(&t.nodes().collect::<Vec<_>>());
+            full
+        }] {
+            let mut bits = Vec::new();
+            cache.write_bitmap(&mut bits);
+            assert_eq!(CacheSet::from_bitmap(t.len(), &bits).unwrap(), cache);
+        }
+    }
+
+    #[test]
+    fn bitmap_reader_is_strict() {
+        let t = wide_tree();
+        let mut c = CacheSet::empty(t.len());
+        c.fetch(&[NodeId(2)]);
+        let mut bits = Vec::new();
+        c.write_bitmap(&mut bits);
+        // Wrong length in either direction.
+        assert!(CacheSet::from_bitmap(t.len(), &bits[..0]).is_err());
+        let mut long = bits.clone();
+        long.push(0);
+        assert!(CacheSet::from_bitmap(t.len(), &long).is_err());
+        // Non-zero bits past the last node (7 nodes → bit 7 unused).
+        let mut junk = bits.clone();
+        junk[0] |= 0x80;
+        assert!(CacheSet::from_bitmap(t.len(), &junk).is_err());
+        // Zero-node cache decodes from zero bytes only.
+        assert!(CacheSet::from_bitmap(0, &[]).is_ok());
+        assert!(CacheSet::from_bitmap(0, &[0]).is_err());
     }
 }

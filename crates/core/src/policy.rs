@@ -266,6 +266,36 @@ pub trait CachePolicy: Send {
         self.step(req, &mut buf);
         buf.to_outcome()
     }
+
+    /// Appends the policy's complete mutable state to `out` so a later
+    /// [`CachePolicy::restore_state`] on a freshly built instance (same
+    /// tree, same configuration) continues bit-identically.
+    ///
+    /// Must not allocate once `out` has capacity — the snapshot cadence of
+    /// `otc-sim` runs this on the steady-state request path. The default
+    /// refuses, so policies without durability support fail loudly instead
+    /// of silently recovering into a wrong state.
+    ///
+    /// # Errors
+    /// A human-readable reason when the policy does not support snapshots.
+    fn save_state(&self, _out: &mut Vec<u8>) -> Result<(), String> {
+        Err(format!("policy '{}' does not support snapshots", self.name()))
+    }
+
+    /// Replaces the policy's mutable state with one written by
+    /// [`CachePolicy::save_state`] on an identically configured instance.
+    ///
+    /// Must be atomic: on any error the policy is left exactly as it was
+    /// (no partial restore). Implementations validate the decoded state
+    /// (e.g. via [`CachePolicy::audit`]) before committing it.
+    ///
+    /// # Errors
+    /// A human-readable reason when `bytes` does not decode to a
+    /// consistent state for this configuration.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let _ = bytes;
+        Err(format!("policy '{}' does not support snapshots", self.name()))
+    }
 }
 
 /// Mutable references forward the whole policy interface, so a borrowed
@@ -292,6 +322,12 @@ impl<P: CachePolicy + ?Sized> CachePolicy for &mut P {
     }
     fn step_owned(&mut self, req: Request) -> StepOutcome {
         (**self).step_owned(req)
+    }
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<(), String> {
+        (**self).save_state(out)
+    }
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        (**self).restore_state(bytes)
     }
 }
 

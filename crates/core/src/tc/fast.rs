@@ -300,6 +300,76 @@ impl TcFast {
     }
 }
 
+/// Appends a `u64` little-endian (snapshot codec helper; `otc-core` has no
+/// dependency on the workloads wire module).
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads the next little-endian `u64` of a snapshot blob.
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let end = pos.checked_add(8).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err("tc state blob truncated".to_string());
+    };
+    let v = u64::from_le_bytes(bytes[*pos..end].try_into().expect("8-byte slice"));
+    *pos = end;
+    Ok(v)
+}
+
+impl TcFast {
+    /// Exact byte length of the state blob [`TcFast::save_state`] appends
+    /// for an `n`-node tree: the cache bitmap, five per-node `u64`/`i64`
+    /// arrays, the six [`TcStats`] counters and the two op counters.
+    #[must_use]
+    pub fn state_len(n: usize) -> usize {
+        CacheSet::bitmap_len(n) + n * 5 * 8 + 8 * 8
+    }
+
+    /// Parses a state blob into `(cache, cnt, pcnt, psize, hv, hsz, stats,
+    /// last_ops, total_ops)` without touching `self`.
+    #[allow(clippy::type_complexity)]
+    fn parse_state(
+        &self,
+        bytes: &[u8],
+    ) -> Result<
+        (CacheSet, Vec<u64>, Vec<u64>, Vec<u64>, Vec<i64>, Vec<i64>, TcStats, u64, u64),
+        String,
+    > {
+        let n = self.tree.len();
+        if bytes.len() != Self::state_len(n) {
+            return Err(format!(
+                "tc state blob is {} bytes but an {n}-node tree needs {}",
+                bytes.len(),
+                Self::state_len(n)
+            ));
+        }
+        let bits = CacheSet::bitmap_len(n);
+        let cache = CacheSet::from_bitmap(n, &bytes[..bits])?;
+        let mut pos = bits;
+        let u64s = |count: usize, pos: &mut usize| -> Result<Vec<u64>, String> {
+            (0..count).map(|_| take_u64(bytes, pos)).collect()
+        };
+        let cnt = u64s(n, &mut pos)?;
+        let pcnt = u64s(n, &mut pos)?;
+        let psize = u64s(n, &mut pos)?;
+        let hv: Vec<i64> = u64s(n, &mut pos)?.into_iter().map(|v| v as i64).collect();
+        let hsz: Vec<i64> = u64s(n, &mut pos)?.into_iter().map(|v| v as i64).collect();
+        let stats = TcStats {
+            phases_restarted: take_u64(bytes, &mut pos)?,
+            fetches: take_u64(bytes, &mut pos)?,
+            evictions: take_u64(bytes, &mut pos)?,
+            nodes_fetched: take_u64(bytes, &mut pos)?,
+            nodes_evicted: take_u64(bytes, &mut pos)?,
+            paid_requests: take_u64(bytes, &mut pos)?,
+        };
+        let last_ops = take_u64(bytes, &mut pos)?;
+        let total_ops = take_u64(bytes, &mut pos)?;
+        debug_assert_eq!(pos, bytes.len());
+        Ok((cache, cnt, pcnt, psize, hv, hsz, stats, last_ops, total_ops))
+    }
+}
+
 impl CachePolicy for TcFast {
     fn name(&self) -> &'static str {
         "tc"
@@ -349,6 +419,60 @@ impl CachePolicy for TcFast {
             Sign::Negative => self.step_negative(v, out),
         }
         self.total_ops += self.last_ops;
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<(), String> {
+        self.cache.write_bitmap(out);
+        for &v in &self.cnt {
+            put_u64(out, v);
+        }
+        for &v in &self.pcnt {
+            put_u64(out, v);
+        }
+        for &v in &self.psize {
+            put_u64(out, v);
+        }
+        for &v in &self.hv {
+            put_u64(out, v as u64);
+        }
+        for &v in &self.hsz {
+            put_u64(out, v as u64);
+        }
+        let s = self.stats;
+        for v in [s.phases_restarted, s.fetches, s.evictions, s.nodes_fetched, s.nodes_evicted] {
+            put_u64(out, v);
+        }
+        put_u64(out, s.paid_requests);
+        put_u64(out, self.last_ops);
+        put_u64(out, self.total_ops);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        // Parse into a candidate, prove it consistent via the full audit,
+        // and only then commit — a rejected blob leaves `self` untouched.
+        let (cache, cnt, pcnt, psize, hv, hsz, stats, last_ops, total_ops) =
+            self.parse_state(bytes)?;
+        let mut candidate = Self {
+            tree: Arc::clone(&self.tree),
+            cfg: self.cfg,
+            cache,
+            cnt,
+            pcnt,
+            psize,
+            hv,
+            hsz,
+            stats,
+            last_ops,
+            total_ops,
+            path_buf: Vec::new(),
+            stack_buf: Vec::new(),
+        };
+        candidate.audit().map_err(|e| format!("restored tc state fails audit: {e}"))?;
+        candidate.path_buf = std::mem::take(&mut self.path_buf);
+        candidate.stack_buf = std::mem::take(&mut self.stack_buf);
+        *self = candidate;
+        Ok(())
     }
 }
 
@@ -586,6 +710,61 @@ mod tests {
         }
         tc.audit().expect("post-eviction");
         assert!(tc.cache().contains(NodeId(2)));
+    }
+
+    #[test]
+    fn save_restore_round_trips_mid_phase() {
+        let mut tc = policy(Tree::kary(2, 3), 2, 7);
+        let mut rng = otc_util::SplitMix64::new(7);
+        for _ in 0..300 {
+            let node = NodeId(rng.index(7) as u32);
+            let req = if rng.chance(0.5) { Request::pos(node) } else { Request::neg(node) };
+            tc.step_owned(req);
+        }
+        let mut blob = Vec::new();
+        tc.save_state(&mut blob).expect("tc supports snapshots");
+        assert_eq!(blob.len(), TcFast::state_len(7));
+
+        let mut fresh = policy(Tree::kary(2, 3), 2, 7);
+        fresh.restore_state(&blob).expect("round trip");
+        assert_eq!(fresh.cache(), tc.cache());
+        assert_eq!(fresh.stats(), tc.stats());
+        assert_eq!(fresh.total_ops(), tc.total_ops());
+        // The restored policy continues bit-identically.
+        for _ in 0..100 {
+            let node = NodeId(rng.index(7) as u32);
+            let req = if rng.chance(0.5) { Request::pos(node) } else { Request::neg(node) };
+            assert_eq!(fresh.step_owned(req), tc.step_owned(req));
+        }
+        fresh.audit().expect("restored state consistent");
+    }
+
+    #[test]
+    fn restore_rejects_bad_blobs_atomically() {
+        let mut tc = policy(Tree::path(4), 2, 4);
+        for _ in 0..8 {
+            tc.step_owned(Request::pos(NodeId(3)));
+        }
+        let mut blob = Vec::new();
+        tc.save_state(&mut blob).unwrap();
+        let cache_before = tc.cache().clone();
+        let stats_before = tc.stats();
+        // Wrong length.
+        assert!(tc.restore_state(&blob[..blob.len() - 1]).is_err());
+        // Inconsistent aggregates: corrupt the root's counter (all four
+        // nodes are cached after the saturating fetch, so the stored hval
+        // no longer matches); the audit in restore must catch it. Byte
+        // offset: the cache bitmap comes first, then the cnt array.
+        let mut bad = blob.clone();
+        bad[CacheSet::bitmap_len(4)] ^= 0x01;
+        let err = tc.restore_state(&bad).expect_err("audit must reject");
+        assert!(err.contains("audit"), "got: {err}");
+        // Atomicity: the failed restores left the policy untouched.
+        assert_eq!(tc.cache(), &cache_before);
+        assert_eq!(tc.stats(), stats_before);
+        tc.audit().expect("original state intact");
+        // The unmodified blob still restores.
+        tc.restore_state(&blob).expect("clean blob restores");
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //! * [`Client`] speaks it, synchronously or pipelined;
 //! * shutdown drains gracefully and returns per-shard verified
 //!   [`otc_sim::Report`]s, the aggregate, windowed telemetry, and the
-//!   OTCT trace the service logged.
+//!   OTCT trace the service logged;
+//! * with a file-backed log and a [`SnapshotPolicy`], the service is
+//!   **crash-safe**: cadence-driven `OTCS` snapshots are taken as
+//!   consistent cuts (no shard pauses another), and [`Server::resume`]
+//!   restores a killed service from the newest usable snapshot plus a
+//!   replay of the log tail — bit-identical to never having crashed.
 //!
 //! **The core invariant** (pinned by `tests/loopback.rs`): the live
 //! service's per-shard reports are bit-identical to
@@ -57,5 +62,5 @@ pub mod server;
 pub mod wire;
 
 pub use client::Client;
-pub use server::{ServeConfig, ServeOutcome, Server, TraceLog};
+pub use server::{ResumeOutcome, ServeConfig, ServeOutcome, Server, SnapshotPolicy, TraceLog};
 pub use wire::{Message, ServeStats, MAX_FRAME, WIRE_MAGIC, WIRE_VERSION};

@@ -31,19 +31,21 @@
 //! route-and-enqueue step is serialised. `crates/serve/tests/loopback.rs`
 //! pins the identity end to end.
 
+use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Cursor, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use otc_core::request::Request;
 use otc_sim::engine::{EngineConfig, EngineError, ShardedEngine};
+use otc_sim::snapshot::{self, EngineSnapshot, LogPosition, SnapshotMeta};
 use otc_sim::worker::{timeline_from_windows, ShardRouter, ShardWorker};
 use otc_sim::{aggregate_reports, Report, Timeline};
 use otc_util::ring;
-use otc_workloads::trace::{TraceHeader, TraceWriter};
+use otc_workloads::trace::{TraceHeader, TraceReader, TraceWriter};
 
 use crate::wire::{self, Message, ServeStats, WIRE_VERSION};
 
@@ -61,6 +63,27 @@ pub enum TraceLog {
     File(PathBuf),
 }
 
+/// Cadence-driven crash snapshots: every `every` accepted requests the
+/// ingress takes a *consistent cut* — it syncs the trace log and floats a
+/// cut marker down every shard ring, so each worker serializes its OTCS
+/// section after executing exactly the log prefix the cut addresses. No
+/// shard pauses any other; the only global step is the marker enqueue,
+/// under the same ingress lock every request already takes.
+///
+/// Snapshots land in `dir` as `snap-<records>.otcs` via a temp file and
+/// an atomic rename: a crash mid-write can leave a stale `.tmp`, never a
+/// half-written snapshot under the real name. Emission is best-effort —
+/// a shard that is already poisoned, or an I/O error, aborts that cut
+/// and the service keeps serving (recovery falls back to an older
+/// snapshot or pure log replay).
+#[derive(Debug, Clone)]
+pub struct SnapshotPolicy {
+    /// Directory the OTCS images are written into (created if missing).
+    pub dir: PathBuf,
+    /// Take a cut every this many accepted requests (≥ 1).
+    pub every: u64,
+}
+
 /// Serving options, separate from the engine semantics ([`EngineConfig`]
 /// travels inside the engine handed to [`Server::start`]).
 #[derive(Debug, Clone)]
@@ -76,11 +99,21 @@ pub struct ServeConfig {
     pub worker_batch: usize,
     /// Request-stream logging.
     pub log: TraceLog,
+    /// Periodic engine snapshots (requires a trace log, since a snapshot
+    /// addresses a log position). `None` = never snapshot; recovery is
+    /// then pure log replay.
+    pub snapshots: Option<SnapshotPolicy>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { port: 0, queue_capacity: 4096, worker_batch: 512, log: TraceLog::Memory }
+        Self {
+            port: 0,
+            queue_capacity: 4096,
+            worker_batch: 512,
+            log: TraceLog::Memory,
+            snapshots: None,
+        }
     }
 }
 
@@ -100,6 +133,26 @@ pub struct ServeOutcome {
     pub trace_bytes: Option<Vec<u8>>,
     /// The OTCT trace file written with [`TraceLog::File`].
     pub trace_path: Option<PathBuf>,
+    /// Snapshot files completed over the service's lifetime.
+    pub snapshots_written: u64,
+}
+
+/// What [`Server::resume`] reconstructed before serving again.
+#[derive(Debug, Clone)]
+pub struct ResumeOutcome {
+    /// Record count of the snapshot recovery started from (`None` =
+    /// pure log replay from the start of the trace).
+    pub snapshot_records: Option<u64>,
+    /// Records replayed from the log tail past the snapshot.
+    pub replayed: u64,
+    /// Requests the recovered service resumes from — the log's longest
+    /// consistent prefix.
+    pub requests_recovered: u64,
+    /// Bytes of torn log tail cut off before resuming appends.
+    pub truncated_bytes: u64,
+    /// Snapshot files that were skipped as unusable (corrupt, ahead of
+    /// the surviving log, or incompatible with the engine).
+    pub snapshots_skipped: u64,
 }
 
 /// The trace sink behind the ingress lock.
@@ -125,12 +178,50 @@ impl TraceSink {
             }
         }
     }
+
+    /// Flushes everything logged so far through to the sink without
+    /// finishing the trace (the on-disk count stays `COUNT_UNKNOWN`).
+    fn sync(&mut self) -> io::Result<()> {
+        match self {
+            TraceSink::Memory(w) => w.sync(),
+            TraceSink::File(w, _) => w.sync(),
+        }
+    }
+
+    /// The log position of everything pushed so far.
+    fn position(&self) -> LogPosition {
+        match self {
+            TraceSink::Memory(w) => LogPosition { offset: w.stream_offset(), records: w.count() },
+            TraceSink::File(w, _) => LogPosition { offset: w.stream_offset(), records: w.count() },
+        }
+    }
+}
+
+/// What flows through a shard ring: requests, interleaved with snapshot
+/// cut markers. A marker rides the same FIFO as the requests around it,
+/// so each worker sections its state after executing exactly the log
+/// prefix the cut addresses — a consistent cut with no pause and no
+/// cross-shard coordination beyond the enqueue itself.
+enum Cmd {
+    Req(Request),
+    Cut(Arc<Cut>),
+}
+
+/// One in-flight snapshot cut, shared by every worker. The worker that
+/// delivers the last missing section assembles and writes the file.
+struct Cut {
+    /// Prebuilt OTCS bytes up to the end of the meta section.
+    header: Vec<u8>,
+    /// Accepted-record count at the cut (names the snapshot file).
+    records: u64,
+    /// Per-shard serialized sections, in shard order.
+    sections: Mutex<Vec<Option<Vec<u8>>>>,
 }
 
 /// Ingress state: the single serialization point of the service (see the
 /// module docs for why log + enqueue must be one atomic step).
 struct Ingress {
-    senders: Option<Vec<ring::Sender<Request>>>,
+    senders: Option<Vec<ring::Sender<Cmd>>>,
     sink: Option<TraceSink>,
     /// Requests enqueued per shard over the service lifetime.
     enqueued: Vec<u64>,
@@ -151,6 +242,10 @@ struct Shared {
     stats: Mutex<ServeStats>,
     /// First protocol violation anywhere in the service (sticky poison).
     poisoned: Mutex<Option<EngineError>>,
+    /// Snapshot cadence, when configured.
+    snapshots: Option<SnapshotPolicy>,
+    /// Snapshot files completed so far.
+    snapshots_written: AtomicU64,
     shutting_down: AtomicBool,
     /// Connection threads, joined at shutdown.
     conns: Mutex<Vec<JoinHandle<()>>>,
@@ -188,7 +283,7 @@ impl Shared {
                 }
             }
             let sender = &ingress.senders.as_ref().expect("checked above")[sid.index()];
-            if sender.send(local).is_err() {
+            if sender.send(Cmd::Req(local)).is_err() {
                 // The record may already be in the log (and this batch's
                 // prefix already enqueued): the log no longer matches what
                 // ran, so the determinism invariant is gone — poison the
@@ -202,9 +297,49 @@ impl Shared {
                 return Err(message);
             }
             ingress.enqueued[sid.index()] += 1;
+            ingress.accepted += 1;
+            if let Some(policy) = &self.snapshots {
+                if ingress.accepted.is_multiple_of(policy.every.max(1)) {
+                    if let Err(e) = self.register_cut(&mut ingress) {
+                        let message = format!("trace log sync for snapshot cut failed: {e}");
+                        *self.poisoned.lock().expect("poison lock") =
+                            Some(EngineError { shard: None, message: message.clone() });
+                        return Err(message);
+                    }
+                }
+            }
         }
-        ingress.accepted += requests.len() as u64;
         Ok(requests.len() as u64)
+    }
+
+    /// Takes a consistent cut under the ingress lock: syncs the log so
+    /// the bytes a snapshot will address are durable, prebuilds the OTCS
+    /// header for the current log position, and floats one cut marker
+    /// down every shard ring.
+    fn register_cut(&self, ingress: &mut Ingress) -> io::Result<()> {
+        let Some(sink) = ingress.sink.as_mut() else {
+            return Ok(()); // snapshots without a log are refused at start
+        };
+        sink.sync()?;
+        let log = sink.position();
+        let shards = self.router.num_shards();
+        let meta = SnapshotMeta::of(&self.engine_cfg, self.router.global_len(), shards as u32, log);
+        let mut header = Vec::new();
+        snapshot::write_header(&meta, &mut header);
+        let cut = Arc::new(Cut {
+            header,
+            records: log.records,
+            sections: Mutex::new(vec![None; shards]),
+        });
+        for sender in ingress.senders.as_ref().expect("ingress open") {
+            if sender.send(Cmd::Cut(Arc::clone(&cut))).is_err() {
+                // A worker is gone; this cut can never complete. The next
+                // request push will observe the same and poison — the cut
+                // itself is just abandoned.
+                return Ok(());
+            }
+        }
+        Ok(())
     }
 
     /// Blocks until every request accepted so far has been executed.
@@ -243,7 +378,6 @@ impl Server {
         let engine_cfg = engine.config();
         let (router, shard_workers) =
             engine.into_workers().map_err(|e| io::Error::other(e.to_string()))?;
-        let shards = shard_workers.len();
 
         let sink = match &cfg.log {
             TraceLog::Off => None,
@@ -259,13 +393,51 @@ impl Server {
                         TraceSink::Memory(TraceWriter::new(Cursor::new(Vec::new()), header)?)
                     }
                     TraceLog::File(path) => {
-                        let file = BufWriter::new(std::fs::File::create(path)?);
+                        let file = BufWriter::new(File::create(path)?);
                         TraceSink::File(TraceWriter::new(file, header)?, path.clone())
                     }
                     TraceLog::Off => unreachable!(),
                 })
             }
         };
+
+        let shards = shard_workers.len();
+        Self::start_inner(
+            router,
+            shard_workers,
+            engine_cfg,
+            sink,
+            vec![0; shards],
+            0,
+            ServeStats::default(),
+            &cfg,
+        )
+    }
+
+    /// The common tail of [`Server::start`] and [`Server::resume`]:
+    /// spin the rings, workers, listener and acceptor around already
+    /// initialised ingress counters and an already positioned sink.
+    #[allow(clippy::too_many_arguments)]
+    fn start_inner(
+        router: ShardRouter,
+        shard_workers: Vec<ShardWorker>,
+        engine_cfg: EngineConfig,
+        sink: Option<TraceSink>,
+        enqueued: Vec<u64>,
+        accepted: u64,
+        stats: ServeStats,
+        cfg: &ServeConfig,
+    ) -> io::Result<Server> {
+        let shards = shard_workers.len();
+        if let Some(policy) = &cfg.snapshots {
+            if sink.is_none() {
+                return Err(io::Error::other(
+                    "a snapshot cadence needs a trace log (snapshots address log positions); \
+                     use TraceLog::Memory or TraceLog::File",
+                ));
+            }
+            fs::create_dir_all(&policy.dir)?;
+        }
 
         let mut senders = Vec::with_capacity(shards);
         let mut receivers = Vec::with_capacity(shards);
@@ -281,13 +453,16 @@ impl Server {
             ingress: Mutex::new(Ingress {
                 senders: Some(senders),
                 sink,
-                enqueued: vec![0; shards],
-                accepted: 0,
+                enqueued: enqueued.clone(),
+                accepted,
             }),
-            progress: Mutex::new(vec![0; shards]),
+            // Everything already replayed counts as executed.
+            progress: Mutex::new(enqueued),
             progress_cv: Condvar::new(),
-            stats: Mutex::new(ServeStats::default()),
+            stats: Mutex::new(stats),
             poisoned: Mutex::new(None),
+            snapshots: cfg.snapshots.clone(),
+            snapshots_written: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
         });
@@ -389,42 +564,269 @@ impl Server {
             requests_served: accepted,
             trace_bytes,
             trace_path,
+            snapshots_written: self.shared.snapshots_written.load(Ordering::SeqCst),
         })
+    }
+
+    /// Crash the service deliberately: stop accepting, sever ingress,
+    /// abandon all engine state, and leave the trace log **unfinished**
+    /// — its on-disk record count stays `COUNT_UNKNOWN`, exactly as a
+    /// process kill would leave it. Returns the log path when the
+    /// service logged to a file, so the caller can hand it to
+    /// [`Server::resume`].
+    ///
+    /// Like [`Server::shutdown`], connections still open are waited on,
+    /// not severed — disconnect your clients first.
+    ///
+    /// # Errors
+    /// I/O errors syncing the log's buffered tail to the sink.
+    pub fn kill(mut self) -> io::Result<Option<PathBuf>> {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        for h in conns {
+            let _ = h.join();
+        }
+        let sink = {
+            let mut ingress = self.shared.ingress.lock().expect("ingress lock");
+            ingress.senders = None;
+            ingress.sink.take()
+        };
+        // Join the workers (they exit on ring disconnect) so no thread
+        // outlives the "dead" service; their state is dropped unread.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        match sink {
+            Some(TraceSink::File(mut w, path)) => {
+                w.sync()?;
+                Ok(Some(path))
+            }
+            Some(TraceSink::Memory(mut w)) => {
+                w.sync()?;
+                Ok(None)
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Restarts a killed service from its trace log and snapshot
+    /// directory: scan the log's longest consistent prefix, restore the
+    /// newest usable snapshot at or behind it (falling back to older
+    /// snapshots, then to pure log replay), replay the tail into
+    /// `engine`, truncate any torn bytes, and serve again — appending to
+    /// the same log, bit-identical to a service that never crashed.
+    ///
+    /// `engine` must be freshly built over the same forest, policies and
+    /// [`EngineConfig`] as the crashed service; `cfg.log` must be the
+    /// [`TraceLog::File`] the crashed service logged to.
+    ///
+    /// # Errors
+    /// A missing or header-corrupt log, a log whose shard map does not
+    /// match `engine`'s routing, engine errors during replay, and I/O
+    /// errors. Unusable *snapshots* are skipped, not errors.
+    pub fn resume(
+        mut engine: ShardedEngine<'static>,
+        cfg: ServeConfig,
+    ) -> io::Result<(Server, ResumeOutcome)> {
+        let TraceLog::File(path) = cfg.log.clone() else {
+            return Err(io::Error::other(
+                "resume needs cfg.log = TraceLog::File(<the crashed service's log>)",
+            ));
+        };
+
+        // 1. The log's longest consistent prefix: every record that
+        //    decodes, stays in the universe and routes. A torn tail (or
+        //    a count-patched log from a graceful shutdown that was then
+        //    appended to) ends the prefix without failing resume.
+        let mut scan = TraceReader::new(File::open(&path)?)?;
+        let header = scan.header().clone();
+        let num_shards = engine.num_shards();
+        let forest = engine.forest().cloned();
+        let mut enqueued = vec![0u64; num_shards];
+        for rec in &mut scan {
+            match rec {
+                Ok(req) => match &forest {
+                    Some(f) if req.node.index() < f.global_len() => {
+                        enqueued[f.route(req.node).0.index()] += 1;
+                    }
+                    Some(_) => break,
+                    None => enqueued[0] += 1,
+                },
+                Err(_) => break,
+            }
+        }
+        let (good_pos, good_records) = (scan.byte_pos(), scan.records_read());
+        let log_len = fs::metadata(&path)?.len();
+        let truncated_bytes = log_len.saturating_sub(good_pos);
+        drop(scan);
+
+        // 2. Cut the torn tail off *before* replay, so the replay reader
+        //    sees a clean EOF at the end of the good prefix.
+        if truncated_bytes > 0 {
+            OpenOptions::new().write(true).open(&path)?.set_len(good_pos)?;
+        }
+
+        // 3. Newest usable snapshot at or behind the surviving log.
+        let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
+        if let Some(policy) = &cfg.snapshots {
+            if let Ok(entries) = fs::read_dir(&policy.dir) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name();
+                    let name = name.to_string_lossy();
+                    if let Some(records) = name
+                        .strip_prefix("snap-")
+                        .and_then(|r| r.strip_suffix(".otcs"))
+                        .and_then(|r| r.parse::<u64>().ok())
+                    {
+                        candidates.push((records, entry.path()));
+                    }
+                }
+            }
+        }
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+
+        let mut snapshots_skipped = 0;
+        let mut chosen: Option<EngineSnapshot> = None;
+        for (_, snap_path) in &candidates {
+            let usable = fs::read(snap_path)
+                .ok()
+                .and_then(|bytes| EngineSnapshot::parse(&bytes).ok())
+                .filter(|snap| {
+                    snap.meta.log.offset <= good_pos && snap.meta.log.records <= good_records
+                });
+            match usable {
+                Some(snap) => {
+                    chosen = Some(snap);
+                    break;
+                }
+                None => snapshots_skipped += 1,
+            }
+        }
+
+        // 4. Restore + replay the tail (or replay the whole log).
+        let mut reader = TraceReader::new(File::open(&path)?)?;
+        let mut chunk = Vec::new();
+        let (snapshot_records, replayed) = match &chosen {
+            Some(snap) => match engine.restore_snapshot(snap) {
+                Ok(()) => {
+                    reader.seek_to(snap.meta.log.offset, snap.meta.log.records)?;
+                    let stats = engine
+                        .replay_tail(&mut reader, &mut chunk)
+                        .map_err(|e| io::Error::other(e.to_string()))?;
+                    (Some(snap.meta.log.records), stats.replayed)
+                }
+                // A checksummed snapshot the engine still refuses means a
+                // genuinely incompatible engine (wrong forest, config or
+                // policy) — a caller bug, not crash damage. The refusal
+                // left `engine` untouched: fall back to pure replay.
+                Err(_) => {
+                    snapshots_skipped += 1;
+                    let stats = engine
+                        .replay_tail(&mut reader, &mut chunk)
+                        .map_err(|e| io::Error::other(e.to_string()))?;
+                    (None, stats.replayed)
+                }
+            },
+            None => {
+                let stats = engine
+                    .replay_tail(&mut reader, &mut chunk)
+                    .map_err(|e| io::Error::other(e.to_string()))?;
+                (None, stats.replayed)
+            }
+        };
+        drop(reader);
+
+        // 5. Reopen the log for appending where replay stopped.
+        let engine_cfg = engine.config();
+        let (router, shard_workers) =
+            engine.into_workers().map_err(|e| io::Error::other(e.to_string()))?;
+        if router.global_len() as u32 != header.universe
+            || router.shard_map() != header.shard_map.as_slice()
+        {
+            return Err(io::Error::other(
+                "the engine's routing does not match the trace log's shard map; \
+                 resume with the same forest the crashed service used",
+            ));
+        }
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let writer = TraceWriter::resume(BufWriter::new(file), header, 0, good_records)?;
+        let sink = Some(TraceSink::File(writer, path));
+
+        let stats = ServeStats {
+            rounds: shard_workers.iter().map(ShardWorker::rounds).sum(),
+            paid_rounds: shard_workers.iter().map(ShardWorker::paid_rounds).sum(),
+            service_cost: shard_workers.iter().map(|w| w.cost().service).sum(),
+            reorg_cost: shard_workers.iter().map(|w| w.cost().reorg).sum(),
+        };
+
+        let server = Self::start_inner(
+            router,
+            shard_workers,
+            engine_cfg,
+            sink,
+            enqueued,
+            good_records,
+            stats,
+            &cfg,
+        )?;
+        Ok((
+            server,
+            ResumeOutcome {
+                snapshot_records,
+                replayed,
+                requests_recovered: good_records,
+                truncated_bytes,
+                snapshots_skipped,
+            },
+        ))
     }
 }
 
 /// Per-shard worker thread: drain the ring in FIFO batches, drive the
-/// detached [`ShardWorker`], publish progress and stats; exit (returning
-/// the worker) when ingress closes the channel.
+/// detached [`ShardWorker`] through the request runs between cut
+/// markers, publish progress and stats; exit (returning the worker) when
+/// ingress closes the channel.
 fn worker_loop(
     mut worker: ShardWorker,
-    rx: &ring::Receiver<Request>,
+    rx: &ring::Receiver<Cmd>,
     shared: &Shared,
     batch: usize,
 ) -> ShardWorker {
     let shard = worker.shard().index();
-    let mut buf: Vec<Request> = Vec::with_capacity(batch);
+    let mut buf: Vec<Cmd> = Vec::with_capacity(batch);
+    let mut scratch: Vec<Request> = Vec::with_capacity(batch);
     loop {
         buf.clear();
-        let Ok(n) = rx.recv_batch(&mut buf, batch) else {
+        if rx.recv_batch(&mut buf, batch).is_err() {
             return worker; // disconnected and fully drained
-        };
+        }
         let before_cost = worker.cost();
         let before = (worker.rounds(), worker.paid_rounds());
-        if worker.error().is_none() {
-            if let Err(message) = worker.run_batch(&buf) {
-                let mut poison = shared.poisoned.lock().expect("poison lock");
-                if poison.is_none() {
-                    *poison = Some(EngineError { shard: Some(worker.shard()), message });
+        // A cut marker splits the batch: everything before it executes
+        // first, then the worker sections its state — exactly the prefix
+        // the cut's log position covers, FIFO guarantees the rest.
+        let mut executed = 0u64;
+        scratch.clear();
+        for cmd in buf.drain(..) {
+            match cmd {
+                Cmd::Req(r) => scratch.push(r),
+                Cmd::Cut(cut) => {
+                    executed += run_requests(&mut worker, &mut scratch, shared);
+                    emit_section(&worker, shard, &cut, shared);
                 }
             }
         }
+        executed += run_requests(&mut worker, &mut scratch, shared);
         // Progress counts *consumed* requests even past a violation, so
         // drain barriers and backpressure keep moving while the error
         // propagates.
         {
             let mut progress = shared.progress.lock().expect("progress lock");
-            progress[shard] += n as u64;
+            progress[shard] += executed;
             shared.progress_cv.notify_all();
         }
         {
@@ -436,6 +838,63 @@ fn worker_loop(
             stats.reorg_cost += after_cost.reorg - before_cost.reorg;
         }
     }
+}
+
+/// Runs (and clears) one buffered run of requests, poisoning the service
+/// on the first violation. Returns how many requests were consumed.
+fn run_requests(worker: &mut ShardWorker, scratch: &mut Vec<Request>, shared: &Shared) -> u64 {
+    let n = scratch.len() as u64;
+    if n == 0 {
+        return 0;
+    }
+    if worker.error().is_none() {
+        if let Err(message) = worker.run_batch(scratch) {
+            let mut poison = shared.poisoned.lock().expect("poison lock");
+            if poison.is_none() {
+                *poison = Some(EngineError { shard: Some(worker.shard()), message });
+            }
+        }
+    }
+    scratch.clear();
+    n
+}
+
+/// Serializes this worker's OTCS section for `cut`; the worker that
+/// delivers the last missing section assembles the snapshot and writes
+/// it. A poisoned worker or a serialization failure silently aborts the
+/// cut — snapshots are best-effort, the log is the source of truth.
+fn emit_section(worker: &ShardWorker, shard: usize, cut: &Cut, shared: &Shared) {
+    if worker.error().is_some() {
+        return;
+    }
+    let mut bytes = Vec::new();
+    if worker.snapshot_section(&mut bytes).is_err() {
+        return;
+    }
+    let mut sections = cut.sections.lock().expect("cut lock");
+    sections[shard] = Some(bytes);
+    if !sections.iter().all(Option::is_some) {
+        return;
+    }
+    let mut out = cut.header.clone();
+    for section in sections.iter() {
+        out.extend_from_slice(section.as_deref().expect("all present"));
+    }
+    drop(sections);
+    snapshot::finish_snapshot(&mut out);
+    let dir = &shared.snapshots.as_ref().expect("a cut implies a policy").dir;
+    if write_snapshot_file(dir, cut.records, &out).is_ok() {
+        shared.snapshots_written.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Atomically publishes one snapshot image: write to a temp name, then
+/// rename into place. Readers either see the complete file or nothing.
+fn write_snapshot_file(dir: &Path, records: u64, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(format!("snap-{records:020}.otcs.tmp"));
+    let dest = dir.join(format!("snap-{records:020}.otcs"));
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, &dest)
 }
 
 /// Acceptor thread: one spawned connection thread per client until

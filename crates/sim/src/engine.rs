@@ -221,18 +221,18 @@ impl TreeRef<'_> {
 /// window boundary; a [`WindowRecord`] is the diff against this.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct WindowBase {
-    rounds: u64,
-    paid_rounds: u64,
-    fetch_events: u64,
-    evict_events: u64,
-    flush_events: u64,
-    nodes_fetched: u64,
-    nodes_evicted: u64,
-    nodes_flushed: u64,
+    pub(crate) rounds: u64,
+    pub(crate) paid_rounds: u64,
+    pub(crate) fetch_events: u64,
+    pub(crate) evict_events: u64,
+    pub(crate) flush_events: u64,
+    pub(crate) nodes_fetched: u64,
+    pub(crate) nodes_evicted: u64,
+    pub(crate) nodes_flushed: u64,
 }
 
 impl WindowBase {
-    fn of(r: &Report) -> Self {
+    pub(crate) fn of(r: &Report) -> Self {
         Self {
             rounds: r.rounds,
             paid_rounds: r.paid_rounds,
@@ -932,6 +932,174 @@ impl<'p> ShardedEngine<'p> {
     /// Returns the stored error if any prior submission failed.
     pub fn into_report(self) -> Result<Report, EngineError> {
         Ok(aggregate_reports(self.into_reports()?))
+    }
+
+    /// Size of the global node-id space this engine routes over.
+    fn global_len(&self) -> usize {
+        match &self.forest {
+            Some(f) => f.global_len(),
+            None => self.shards[0].tree.get().len(),
+        }
+    }
+
+    /// Serializes the engine's complete state into `out` (cleared first)
+    /// as an `OTCS` snapshot stamped with `log` — the trace position the
+    /// state corresponds to. Staged requests are drained first so the
+    /// snapshot never hides queued work. Non-consuming: the engine keeps
+    /// running, and restoring the snapshot into a fresh engine then
+    /// replaying the log tail reproduces this engine bit-for-bit (see
+    /// [`ShardedEngine::recover`]).
+    ///
+    /// # Errors
+    /// A poisoned engine, violations surfaced while draining staged
+    /// requests, or a shard policy that does not support snapshots
+    /// ([`CachePolicy::save_state`]).
+    pub fn write_snapshot(
+        &mut self,
+        log: crate::snapshot::LogPosition,
+        out: &mut Vec<u8>,
+    ) -> Result<(), EngineError> {
+        self.flush_pending()?;
+        out.clear();
+        let meta = crate::snapshot::SnapshotMeta::of(
+            &self.cfg,
+            self.global_len(),
+            self.shards.len() as u32,
+            log,
+        );
+        crate::snapshot::write_header(&meta, out);
+        for (s, st) in self.shards.iter().enumerate() {
+            crate::snapshot::write_section(s as u32, st, out)
+                .map_err(|message| EngineError { shard: Some(ShardId(s as u32)), message })?;
+        }
+        crate::snapshot::finish_snapshot(out);
+        Ok(())
+    }
+
+    /// Restores a parsed snapshot into this engine, replacing every
+    /// shard's policy state, driver, report and telemetry with the
+    /// snapshot's. The snapshot must be compatible (same result-affecting
+    /// configuration, same forest shape, same trees, same policies) —
+    /// those checks all run before anything is mutated. A failure *after*
+    /// mutation begins (a policy blob that fails its own audit, or a
+    /// cross-section inconsistency) poisons the engine instead of leaving
+    /// a silently split state.
+    ///
+    /// # Errors
+    /// [`SnapshotError`](crate::snapshot::SnapshotError) text for
+    /// compatibility mismatches; restore failures carry the shard id.
+    pub fn restore_snapshot(
+        &mut self,
+        snap: &crate::snapshot::EngineSnapshot,
+    ) -> Result<(), EngineError> {
+        self.flush_pending()?;
+        snap.check_compatible(&self.cfg, self.global_len(), self.shards.len())
+            .map_err(|e| EngineError { shard: None, message: e.to_string() })?;
+        // Pure identity prechecks on every shard before mutating any, so
+        // a refusal leaves the whole engine untouched and usable.
+        for (s, st) in self.shards.iter().enumerate() {
+            crate::snapshot::precheck_section(&snap.sections[s], st)
+                .map_err(|message| EngineError { shard: Some(ShardId(s as u32)), message })?;
+        }
+        for (s, st) in self.shards.iter_mut().enumerate() {
+            if let Err(message) = crate::snapshot::restore_section_into(&snap.sections[s], st) {
+                // Earlier shards are already on the snapshot: the engine
+                // is split across time, so the failure must poison it.
+                return Err(self.fail(ShardId(s as u32), message));
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays the rest of `reader` with crash-tolerant tail handling:
+    /// a clean end of input and a **torn tail** (a record cut mid-write
+    /// by a crash, surfacing as `UnexpectedEof`) both end the replay
+    /// normally — the engine then holds the state of the log's longest
+    /// consistent prefix, reported via [`RecoverStats`](crate::snapshot::RecoverStats).
+    /// In-universe corruption (`InvalidData`) is still a hard error:
+    /// a decodable-but-wrong record cannot be distinguished from real
+    /// input, so anything detectably wrong must stop recovery.
+    ///
+    /// # Errors
+    /// Universe mismatches, non-EOF trace errors, routing errors, and
+    /// protocol violations.
+    pub fn replay_tail<R: std::io::Read>(
+        &mut self,
+        reader: &mut otc_workloads::trace::TraceReader<R>,
+        chunk: &mut Vec<Request>,
+    ) -> Result<crate::snapshot::RecoverStats, EngineError> {
+        self.check_live()?;
+        if let Some(f) = &self.forest {
+            let universe = reader.header().universe;
+            if universe > 0 && universe as usize != f.global_len() {
+                return Err(EngineError {
+                    shard: None,
+                    message: format!(
+                        "trace declares a universe of {universe} nodes but the forest has {}",
+                        f.global_len()
+                    ),
+                });
+            }
+        }
+        const DEFAULT_REPLAY_CHUNK: usize = 64 * 1024;
+        if chunk.capacity() == 0 {
+            chunk.reserve_exact(DEFAULT_REPLAY_CHUNK);
+        }
+        let limit = chunk.capacity();
+        let mut stats = crate::snapshot::RecoverStats::default();
+        loop {
+            chunk.clear();
+            while chunk.len() < limit {
+                match reader.next() {
+                    Some(Ok(r)) => chunk.push(r),
+                    Some(Err(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                        stats.torn_tail = true;
+                        break;
+                    }
+                    Some(Err(e)) => {
+                        return Err(EngineError {
+                            shard: None,
+                            message: format!("trace replay failed: {e}"),
+                        });
+                    }
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                return Ok(stats);
+            }
+            stats.replayed += chunk.len() as u64;
+            self.submit_batch(chunk)?;
+            if stats.torn_tail {
+                return Ok(stats);
+            }
+        }
+    }
+
+    /// Crash recovery: restores `snap`, seeks `reader` to the snapshot's
+    /// [`LogPosition`](crate::snapshot::LogPosition), and replays the log
+    /// tail with [`ShardedEngine::replay_tail`]'s torn-tail tolerance.
+    /// The result is bit-identical to an engine that processed the whole
+    /// log uninterrupted (determinism invariant #6). The caller must
+    /// ensure the log actually extends to the snapshot's offset (a log
+    /// shorter than its snapshot means the snapshot is from a different
+    /// or newer log — `otc-serve` checks this before picking one).
+    ///
+    /// # Errors
+    /// Restore failures, seek I/O errors, and everything
+    /// [`ShardedEngine::replay_tail`] can return.
+    pub fn recover<R: std::io::Read + std::io::Seek>(
+        &mut self,
+        snap: &crate::snapshot::EngineSnapshot,
+        reader: &mut otc_workloads::trace::TraceReader<R>,
+        chunk: &mut Vec<Request>,
+    ) -> Result<crate::snapshot::RecoverStats, EngineError> {
+        self.restore_snapshot(snap)?;
+        reader.seek_to(snap.meta.log.offset, snap.meta.log.records).map_err(|e| EngineError {
+            shard: None,
+            message: format!("cannot seek the trace to the snapshot's log position: {e}"),
+        })?;
+        self.replay_tail(reader, chunk)
     }
 }
 

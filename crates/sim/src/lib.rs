@@ -32,6 +32,12 @@
 //! [`worker::ShardWorker`] per shard (with non-consuming, incremental
 //! report/timeline snapshots) plus a cloneable [`worker::ShardRouter`]
 //! for the ingress side — see [`worker`].
+//!
+//! For durability, [`snapshot`] serializes the whole engine — policy
+//! state, verified drivers, reports, telemetry — into a checksummed
+//! `OTCS` image tied to an OTCT log position; restoring it and replaying
+//! the log tail ([`engine::ShardedEngine::recover`]) reproduces the
+//! pre-crash state bit-identically.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,6 +45,7 @@
 pub mod engine;
 pub mod report;
 pub mod runner;
+pub mod snapshot;
 pub mod telemetry;
 pub mod worker;
 
@@ -47,5 +54,8 @@ pub use engine::{
 };
 pub use report::{FieldStats, PeriodStats, PhaseStats, Report};
 pub use runner::{run_policy, run_stream, SimConfig};
+pub use snapshot::{
+    EngineSnapshot, LogPosition, RecoverStats, ShardSection, SnapshotError, SnapshotMeta,
+};
 pub use telemetry::{Timeline, WindowRecord};
 pub use worker::{timeline_from_windows, ShardRouter, ShardWorker};

@@ -79,17 +79,17 @@ fn close_field(pending: &mut [u64], set: &[NodeId], half_alpha: u64) -> (u64, u6
 /// per engine shard (`crate::engine`); the classic drivers below are
 /// single-shard adapters.
 pub(crate) struct Driver {
-    mirror: CacheSet,
+    pub(crate) mirror: CacheSet,
     /// Paying requests per node since its last state change (its slice of
     /// the current field).
-    pending: Vec<u64>,
-    fields: FieldStats,
-    periods: PeriodStats,
+    pub(crate) pending: Vec<u64>,
+    pub(crate) fields: FieldStats,
+    pub(crate) periods: PeriodStats,
     half_alpha: u64,
     // Phase bookkeeping.
-    phase: PhaseStats,
-    phase_pout: u64,
-    phase_pin: u64,
+    pub(crate) phase: PhaseStats,
+    pub(crate) phase_pout: u64,
+    pub(crate) phase_pin: u64,
     /// Scratch marks for changeset validity and the in-place flush payload
     /// comparison (epoch-based, never cleared).
     scratch: ValidationScratch,
@@ -98,7 +98,7 @@ pub(crate) struct Driver {
     /// Largest number of nodes one round's actions touched since the last
     /// [`Driver::take_buf_high_water`] — the telemetry window's
     /// action-buffer high-water mark.
-    buf_high_water: usize,
+    pub(crate) buf_high_water: usize,
 }
 
 impl Driver {

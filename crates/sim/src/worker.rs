@@ -206,6 +206,41 @@ impl ShardWorker {
         windows
     }
 
+    /// Serializes this shard's length-prefixed `OTCS` section onto `out`
+    /// (appending, so sections from all workers concatenate in shard
+    /// order between [`crate::snapshot::write_header`] and
+    /// [`crate::snapshot::finish_snapshot`]). Non-consuming — the worker
+    /// keeps serving — and independent of every other shard: each worker
+    /// snapshots at its own cut point without pausing the rest.
+    ///
+    /// # Errors
+    /// A policy that does not support snapshots
+    /// ([`otc_core::policy::CachePolicy::save_state`]).
+    pub fn snapshot_section(&self, out: &mut Vec<u8>) -> Result<(), String> {
+        crate::snapshot::write_section(self.shard.0, &self.state, out)
+    }
+
+    /// Restores this shard from a parsed snapshot section. Identity
+    /// checks (shard id, tree, policy) and the policy's own atomic
+    /// restore run before any state is touched; see
+    /// [`crate::engine::ShardedEngine::restore_snapshot`] for the
+    /// poisoning contract on post-mutation failures.
+    ///
+    /// # Errors
+    /// Identity mismatches and policy restore failures.
+    pub fn restore_section(
+        &mut self,
+        section: &crate::snapshot::ShardSection,
+    ) -> Result<(), String> {
+        if section.shard != self.shard.0 {
+            return Err(format!(
+                "snapshot section belongs to shard {} but this worker is shard {}",
+                section.shard, self.shard.0
+            ));
+        }
+        crate::snapshot::restore_section_into(section, &mut self.state)
+    }
+
     /// Finishes the worker and returns its final per-shard report.
     ///
     /// # Errors

@@ -1,0 +1,291 @@
+//! Fault-injection suite for the `OTCS` snapshot format.
+//!
+//! Mirrors the OTCT reader strictness tests one layer up: a snapshot is
+//! round-tripped through **every** prefix truncation and single-byte
+//! corruption, and every mutation must be rejected with a typed
+//! [`SnapshotError`] — no panic, no partial restore, no silent
+//! acceptance. On the recovery side, snapshot + tail replay from an
+//! arbitrary mid-trace cut must equal the uninterrupted run, including
+//! when the log itself ends in a torn record.
+
+use std::io::Cursor;
+use std::sync::Arc;
+
+use otc_core::forest::{Forest, ShardId};
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast};
+use otc_core::tree::{NodeId, Tree};
+use otc_core::{Request, Sign};
+use otc_sim::engine::{EngineConfig, ShardedEngine};
+use otc_sim::snapshot::{EngineSnapshot, LogPosition, SnapshotError};
+use otc_workloads::trace::{Trace, TraceHeader, TraceReader, TraceWriter, COUNT_UNKNOWN};
+use proptest::prelude::*;
+
+fn tree_from_seeds(seeds: &[u64]) -> Tree {
+    let mut parents: Vec<Option<usize>> = vec![None];
+    for (i, &s) in seeds.iter().enumerate() {
+        parents.push(Some((s % (i as u64 + 1)) as usize));
+    }
+    Tree::from_parents(&parents)
+}
+
+fn requests_for(seeds: &[(u64, bool)], n: usize) -> Vec<Request> {
+    seeds
+        .iter()
+        .map(|&(s, pos)| Request {
+            node: NodeId((s % n as u64) as u32),
+            sign: if pos { Sign::Positive } else { Sign::Negative },
+        })
+        .collect()
+}
+
+fn tc_factory(alpha: u64, capacity: usize) -> impl Fn(Arc<Tree>, ShardId) -> Box<dyn CachePolicy> {
+    move |tree, _| Box::new(TcFast::new(tree, TcConfig::new(alpha, capacity)))
+}
+
+/// A snapshot with some state in every component: mid-phase TC counters,
+/// open fields/periods, closed and partial telemetry windows.
+fn sample_snapshot() -> Vec<u8> {
+    let tree = Tree::star(12);
+    let factory = tc_factory(2, 3);
+    let cfg = EngineConfig::new(2).audit_every(32).telemetry(true);
+    let mut engine = ShardedEngine::new(Forest::partition(&tree, 3), &factory, cfg);
+    let reqs: Vec<Request> = (0..500)
+        .map(|i| {
+            let v = NodeId((i * 7 % tree.len() as u64) as u32);
+            if i % 3 == 0 {
+                Request::neg(v)
+            } else {
+                Request::pos(v)
+            }
+        })
+        .collect();
+    engine.submit_batch(&reqs).expect("valid");
+    let mut buf = Vec::new();
+    engine.write_snapshot(LogPosition { offset: 4096, records: 500 }, &mut buf).expect("snapshots");
+    buf
+}
+
+#[test]
+fn every_prefix_truncation_is_rejected() {
+    let bytes = sample_snapshot();
+    assert!(EngineSnapshot::parse(&bytes).is_ok(), "the untouched snapshot parses");
+    for cut in 0..bytes.len() {
+        let err = match EngineSnapshot::parse(&bytes[..cut]) {
+            Err(e) => e,
+            Ok(_) => panic!("prefix of {cut}/{} bytes must not parse", bytes.len()),
+        };
+        // Typed rejection, never a panic; the error must name the defect.
+        assert!(!err.to_string().is_empty());
+    }
+    // Extension is rejected just like truncation.
+    let mut extended = bytes.clone();
+    extended.push(0);
+    assert!(matches!(EngineSnapshot::parse(&extended), Err(SnapshotError::LengthMismatch { .. })));
+}
+
+#[test]
+fn every_single_byte_corruption_is_rejected() {
+    let bytes = sample_snapshot();
+    let mut work = bytes.clone();
+    for i in 0..bytes.len() {
+        for delta in [0x01u8, 0x80] {
+            work[i] ^= delta;
+            let err = match EngineSnapshot::parse(&work) {
+                Err(e) => e,
+                Ok(_) => panic!("flipping bit {delta:#x} of byte {i} must not parse"),
+            };
+            assert!(!err.to_string().is_empty());
+            work[i] ^= delta; // restore
+        }
+    }
+    assert_eq!(work, bytes, "corruption loop restored every byte");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Snapshot → parse → restore → continue is bit-identical to never
+    /// having snapshotted, on arbitrary instances.
+    #[test]
+    fn snapshot_round_trip_resumes_bit_identically(
+        tree_seeds in prop::collection::vec(any::<u64>(), 2..20),
+        req_seeds in prop::collection::vec((any::<u64>(), any::<bool>()), 2..400),
+        alpha in 1u64..4,
+        capacity in 1usize..6,
+        chunk in 1usize..100,
+        split_pct in 0u64..=100,
+    ) {
+        let tree = tree_from_seeds(&tree_seeds);
+        let reqs = requests_for(&req_seeds, tree.len());
+        let split = (reqs.len() as u64 * split_pct / 100) as usize;
+        let factory = tc_factory(alpha, capacity);
+        let cfg = EngineConfig::new(alpha).audit_every(chunk).telemetry(true);
+
+        let mut a = ShardedEngine::new(Forest::partition(&tree, 2), &factory, cfg);
+        a.submit_batch(&reqs[..split]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut buf = Vec::new();
+        a.write_snapshot(LogPosition::default(), &mut buf)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let snap = EngineSnapshot::parse(&buf).map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        let mut b = ShardedEngine::new(Forest::partition(&tree, 2), &factory, cfg);
+        b.restore_snapshot(&snap).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        a.submit_batch(&reqs[split..]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        b.submit_batch(&reqs[split..]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(a.timeline(), b.timeline());
+        let a = a.into_reports().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let b = b.into_reports().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(a, b);
+    }
+
+    /// Any single-byte substitution anywhere in an arbitrary snapshot is
+    /// rejected with a typed error.
+    #[test]
+    fn corrupted_snapshots_never_parse(
+        tree_seeds in prop::collection::vec(any::<u64>(), 2..16),
+        req_seeds in prop::collection::vec((any::<u64>(), any::<bool>()), 1..200),
+        pos_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let tree = tree_from_seeds(&tree_seeds);
+        let reqs = requests_for(&req_seeds, tree.len());
+        let factory = tc_factory(2, 3);
+        let cfg = EngineConfig::new(2).audit_every(16).telemetry(true);
+        let mut engine = ShardedEngine::new(Forest::partition(&tree, 2), &factory, cfg);
+        engine.submit_batch(&reqs).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut bytes = Vec::new();
+        engine.write_snapshot(LogPosition { offset: 1, records: 2 }, &mut bytes)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        let i = (pos_seed % bytes.len() as u64) as usize;
+        bytes[i] ^= xor;
+        prop_assert!(EngineSnapshot::parse(&bytes).is_err(),
+            "substituting byte {} must be rejected", i);
+    }
+
+    /// Snapshot at an arbitrary mid-trace cut, then recover on top of
+    /// the full log: bit-identical to the uninterrupted run. With the
+    /// log truncated behind the snapshot's tail, recovery lands on the
+    /// log's longest consistent prefix and flags the torn tail.
+    #[test]
+    fn recovery_from_any_cut_matches_the_uninterrupted_run(
+        tree_seeds in prop::collection::vec(any::<u64>(), 60..100),
+        req_seeds in prop::collection::vec((any::<u64>(), any::<bool>()), 10..300),
+        alpha in 1u64..4,
+        capacity in 1usize..6,
+        cut_pct in 0u64..=100,
+        tear in any::<bool>(),
+        tear_seed in any::<u64>(),
+    ) {
+        let tree = tree_from_seeds(&tree_seeds);
+        let reqs = requests_for(&req_seeds, tree.len());
+        let factory = tc_factory(alpha, capacity);
+        let cfg = EngineConfig::new(alpha).audit_every(24).telemetry(true);
+
+        let header = TraceHeader::single_tree(tree.len(), 0, "proptest");
+        let mut w = TraceWriter::new(Cursor::new(Vec::new()), header)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for &r in &reqs {
+            w.push(r).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+        let mut bytes = w.finish().map_err(|e| TestCaseError::fail(e.to_string()))?.into_inner();
+        let body_start = TraceHeader::single_tree(tree.len(), 0, "proptest").encoded_len();
+
+        let cut = (reqs.len() as u64 * cut_pct / 100) as usize;
+        let mut pre = TraceReader::new(Cursor::new(bytes.clone()))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for _ in 0..cut {
+            pre.next().expect("has record").map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+        let log = LogPosition { offset: pre.byte_pos(), records: pre.records_read() };
+
+        // The "pre-crash" engine and its snapshot at the cut.
+        let mut live = ShardedEngine::new(Forest::partition(&tree, 2), &factory, cfg);
+        live.submit_batch(&reqs[..cut]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut buf = Vec::new();
+        live.write_snapshot(log, &mut buf).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let snap = EngineSnapshot::parse(&buf).map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        // Optionally tear the log: truncate to a random byte at or past
+        // the snapshot's offset (a crash can never lose bytes the
+        // snapshot already covers — serve checks that before picking
+        // one).
+        if tear {
+            let lo = log.offset.max(body_start);
+            let span = bytes.len() as u64 - lo;
+            bytes.truncate((lo + tear_seed % (span + 1)) as usize);
+        }
+
+        let mut rec = ShardedEngine::new(Forest::partition(&tree, 2), &factory, cfg);
+        let mut reader = TraceReader::new(Cursor::new(bytes.clone()))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut chunk = Vec::new();
+        let stats = rec.recover(&snap, &mut reader, &mut chunk)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        // The recovered engine equals an uninterrupted run over exactly
+        // the records the (possibly torn) log still holds.
+        let total = (log.records + stats.replayed) as usize;
+        prop_assert!(total <= reqs.len());
+        if !tear {
+            prop_assert_eq!(total, reqs.len());
+            prop_assert!(!stats.torn_tail);
+        }
+        let mut full = ShardedEngine::new(Forest::partition(&tree, 2), &factory, cfg);
+        full.submit_batch(&reqs[..total]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(rec.timeline(), full.timeline());
+        let rec = rec.into_reports().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let full = full.into_reports().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(rec, full);
+    }
+
+    /// A crash *between a record append and the count patch* leaves an
+    /// OTCT log whose header still carries `COUNT_UNKNOWN` and whose tail
+    /// may stop anywhere — mid-record included. Replaying it must yield
+    /// exactly the longest consistent prefix, matching a run over that
+    /// prefix, with `torn_tail` set iff the cut tore a record.
+    #[test]
+    fn crashed_log_with_unpatched_count_replays_to_the_prefix(
+        tree_seeds in prop::collection::vec(any::<u64>(), 70..120),
+        req_seeds in prop::collection::vec((any::<u64>(), any::<bool>()), 1..250),
+        alpha in 1u64..4,
+        capacity in 1usize..6,
+        cut_seed in any::<u64>(),
+    ) {
+        let tree = tree_from_seeds(&tree_seeds);
+        let reqs = requests_for(&req_seeds, tree.len());
+        let header = TraceHeader::single_tree(tree.len(), 0, "crash");
+        let mut bytes =
+            Trace { header: header.clone(), requests: reqs.clone() }.to_bytes();
+        // Restore the count field to the in-flight sentinel, as on a
+        // disk whose writer never reached `finish`.
+        let count_pos = (header.encoded_len() - 8) as usize;
+        bytes[count_pos..count_pos + 8].copy_from_slice(&COUNT_UNKNOWN.to_le_bytes());
+        // Crash anywhere in the body.
+        let lo = header.encoded_len();
+        let span = bytes.len() as u64 - lo;
+        bytes.truncate((lo + cut_seed % (span + 1)) as usize);
+
+        let factory = tc_factory(alpha, capacity);
+        let cfg = EngineConfig::new(alpha).audit_every(32).telemetry(true);
+        let mut rec = ShardedEngine::new(Forest::partition(&tree, 2), &factory, cfg);
+        let mut reader = TraceReader::new(Cursor::new(bytes.clone()))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(reader.remaining().is_none(), "count unknown: stream to EOF");
+        let mut chunk = Vec::new();
+        let stats = rec.replay_tail(&mut reader, &mut chunk)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        let prefix = stats.replayed as usize;
+        prop_assert!(prefix <= reqs.len());
+        // torn_tail iff the cut landed strictly inside a record.
+        prop_assert_eq!(stats.torn_tail, reader.byte_pos() < bytes.len() as u64);
+        let mut full = ShardedEngine::new(Forest::partition(&tree, 2), &factory, cfg);
+        full.submit_batch(&reqs[..prefix]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(rec.timeline(), full.timeline());
+        let rec = rec.into_reports().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let full = full.into_reports().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(rec, full);
+    }
+}

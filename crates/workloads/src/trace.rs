@@ -80,6 +80,18 @@ impl TraceHeader {
             generator: generator.to_string(),
         }
     }
+
+    /// Exact byte length of this header's binary encoding, including the
+    /// trailing record-count field. The first record of the trace body
+    /// starts at this offset from the trace origin — the anchor for
+    /// byte-addressed recovery ([`TraceReader::byte_pos`],
+    /// [`TraceWriter::resume`]).
+    #[must_use]
+    pub fn encoded_len(&self) -> u64 {
+        // magic + version + flags + universe + seed + shard count
+        // + shard sizes + generator length + generator bytes + count.
+        (4 + 2 + 2 + 4 + 8 + 4 + 4 * self.shard_map.len() + 2 + self.generator.len() + 8) as u64
+    }
 }
 
 /// An owned trace: header plus the full request sequence. The convenience
@@ -176,6 +188,9 @@ pub struct TraceWriter<W: Write + Seek> {
     count: u64,
     /// Byte offset of the record-count field, patched by `finish`.
     count_pos: u64,
+    /// Encoded body bytes so far, buffered or written. The next record
+    /// lands at `count_pos + 8 + body_bytes` in the sink.
+    body_bytes: u64,
 }
 
 /// Flush threshold for the writer's internal buffer.
@@ -214,7 +229,45 @@ impl<W: Write + Seek> TraceWriter<W> {
         buf.extend_from_slice(&COUNT_UNKNOWN.to_le_bytes());
         sink.write_all(&buf)?;
         buf.clear();
-        Ok(Self { sink, header, buf, count: 0, count_pos })
+        Ok(Self { sink, header, buf, count: 0, count_pos, body_bytes: 0 })
+    }
+
+    /// Reopens a writer over the good prefix of an existing trace after a
+    /// crash, so recovered services append where replay stopped.
+    ///
+    /// `origin` is the byte offset of the trace's start within the sink
+    /// (`0` for a plain log file) and `count` the number of records the
+    /// prefix holds; the caller must have truncated the sink to the end of
+    /// the good prefix (e.g. [`TraceReader::byte_pos`] after replay). The
+    /// record count in the header is immediately re-stamped to
+    /// [`COUNT_UNKNOWN`]: a gracefully finished log carries a patched
+    /// count that would otherwise hide post-resume appends from readers if
+    /// the process crashes again before [`TraceWriter::finish`].
+    ///
+    /// # Errors
+    /// Propagates I/O errors; rejects headers [`TraceWriter::new`] would
+    /// reject and sinks shorter than `origin` plus the header.
+    pub fn resume(mut sink: W, header: TraceHeader, origin: u64, count: u64) -> io::Result<Self> {
+        if header.generator.len() > MAX_GENERATOR_LEN as usize {
+            return Err(bad_data("generator name too long"));
+        }
+        if header.shard_map.len() > MAX_SHARDS as usize {
+            return Err(bad_data("shard map too long"));
+        }
+        let count_pos = origin + header.encoded_len() - 8;
+        let end = sink.seek(SeekFrom::End(0))?;
+        let Some(body_bytes) = end.checked_sub(count_pos + 8) else {
+            return Err(bad_data(format!(
+                "trace sink ends at {end}, before the header ending at {}",
+                count_pos + 8
+            )));
+        };
+        sink.seek(SeekFrom::Start(count_pos))?;
+        sink.write_all(&COUNT_UNKNOWN.to_le_bytes())?;
+        sink.seek(SeekFrom::End(0))?;
+        sink.flush()?;
+        let buf = Vec::with_capacity(WRITER_BUF + 10);
+        Ok(Self { sink, header, buf, count, count_pos, body_bytes })
     }
 
     /// The header this writer opened with.
@@ -241,13 +294,38 @@ impl<W: Write + Seek> TraceWriter<W> {
                 req.node, self.header.universe
             )));
         }
+        let before = self.buf.len();
         crate::wire::encode_request(&mut self.buf, req);
+        self.body_bytes += (self.buf.len() - before) as u64;
         self.count += 1;
         if self.buf.len() >= WRITER_BUF {
             self.sink.write_all(&self.buf)?;
             self.buf.clear();
         }
         Ok(())
+    }
+
+    /// Absolute sink offset where the next record will land —
+    /// equivalently, the end of the encoding of everything pushed so far.
+    /// For a trace starting at sink position 0 this matches
+    /// [`TraceReader::byte_pos`] after reading the same records; snapshot
+    /// cuts pair it with [`TraceWriter::count`] to address the log
+    /// position a snapshot corresponds to.
+    #[must_use]
+    pub fn stream_offset(&self) -> u64 {
+        self.count_pos + 8 + self.body_bytes
+    }
+
+    /// Writes every buffered record through to the sink and flushes it,
+    /// without finishing the trace: after `sync` the sink's bytes are an
+    /// EOF-terminated trace containing exactly the records pushed so far.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.sink.write_all(&self.buf)?;
+        self.buf.clear();
+        self.sink.flush()
     }
 
     /// Flushes the body, patches the record count into the header, and
@@ -265,17 +343,40 @@ impl<W: Write + Seek> TraceWriter<W> {
     }
 }
 
+/// Counts the bytes the parser actually consumes. Wrapped *around* the
+/// `BufReader` (not inside it), so read-ahead buffering never inflates
+/// the count: [`TraceReader::byte_pos`] is exactly the encoded length of
+/// everything parsed so far. The varint decoder accepts non-minimal
+/// encodings, so re-encoding parsed values cannot measure this — only
+/// counting the source bytes can.
+struct CountingReader<R: Read> {
+    inner: R,
+    consumed: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.consumed += n as u64;
+        Ok(n)
+    }
+}
+
 /// Streaming binary-trace reader: validates the header on construction,
 /// then yields requests as an `Iterator` (so replay never materialises the
 /// whole sequence). See [`TraceWriter`] for a round-trip example.
 pub struct TraceReader<R: Read> {
-    src: io::BufReader<R>,
+    src: CountingReader<io::BufReader<R>>,
     header: TraceHeader,
     /// Records the header promises (`None` when the writer never
     /// finished — stream to EOF).
     declared: Option<u64>,
     yielded: u64,
     failed: bool,
+    /// Bytes consumed up to the end of the last successfully yielded
+    /// record (or the header) — unlike `src.consumed`, never advanced by
+    /// the partial bytes of a torn or rejected record.
+    good_pos: u64,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -286,7 +387,7 @@ impl<R: Read> TraceReader<R> {
     /// non-zero reserved flags, oversized shard map or generator name, or
     /// non-UTF-8 generator bytes; `UnexpectedEof` on truncated headers.
     pub fn new(src: R) -> io::Result<Self> {
-        let mut src = io::BufReader::new(src);
+        let mut src = CountingReader { inner: io::BufReader::new(src), consumed: 0 };
         let mut magic = [0u8; 4];
         src.read_exact(&mut magic)?;
         if magic != TRACE_MAGIC {
@@ -322,12 +423,14 @@ impl<R: Read> TraceReader<R> {
             String::from_utf8(gen_bytes).map_err(|_| bad_data("generator name is not UTF-8"))?;
         let count = read_u64(&mut src)?;
         let declared = (count != COUNT_UNKNOWN).then_some(count);
+        let good_pos = src.consumed;
         Ok(Self {
             src,
             header: TraceHeader { universe, shard_map, seed, generator },
             declared,
             yielded: 0,
             failed: false,
+            good_pos,
         })
     }
 
@@ -348,6 +451,23 @@ impl<R: Read> TraceReader<R> {
     #[must_use]
     pub fn remaining(&self) -> Option<u64> {
         self.declared.map(|d| d.saturating_sub(self.yielded))
+    }
+
+    /// Requests yielded so far.
+    #[must_use]
+    pub fn records_read(&self) -> u64 {
+        self.yielded
+    }
+
+    /// Byte offset (from the reader's origin) of the end of the last
+    /// record yielded: exactly the bytes consumed parsing the header and
+    /// every successful record. A torn or rejected record never advances
+    /// it, so after a trailing `UnexpectedEof` this is the end of the good
+    /// prefix a torn log recovers to ([`TraceWriter::resume`] appends
+    /// there after the caller truncates).
+    #[must_use]
+    pub fn byte_pos(&self) -> u64 {
+        self.good_pos
     }
 
     fn next_request(&mut self) -> io::Result<Option<Request>> {
@@ -375,7 +495,28 @@ impl<R: Read> TraceReader<R> {
             )));
         }
         self.yielded += 1;
+        self.good_pos = self.src.consumed;
         Ok(Some(req))
+    }
+}
+
+impl<R: Read + Seek> TraceReader<R> {
+    /// Repositions the reader at `byte_pos` (an offset previously reported
+    /// by [`TraceReader::byte_pos`], or recorded by a snapshot via
+    /// [`TraceWriter::stream_offset`]), declaring that `records_before`
+    /// records precede it. Recovery uses this to skip the log prefix a
+    /// snapshot already covers and replay only the tail.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying seek.
+    pub fn seek_to(&mut self, byte_pos: u64, records_before: u64) -> io::Result<()> {
+        let delta = byte_pos as i64 - self.src.consumed as i64;
+        self.src.inner.seek_relative(delta)?;
+        self.src.consumed = byte_pos;
+        self.good_pos = byte_pos;
+        self.yielded = records_before;
+        self.failed = false;
+        Ok(())
     }
 }
 
@@ -779,6 +920,145 @@ mod tests {
         let mut r = TraceReader::new(io::Cursor::new(&bytes[preamble.len()..])).unwrap();
         assert_eq!(r.remaining(), Some(3));
         assert!(r.all(|x| x.is_ok()));
+    }
+
+    #[test]
+    fn byte_pos_counts_header_and_records_exactly() {
+        let header = TraceHeader::single_tree(1 << 20, 3, "offsets");
+        let reqs = vec![
+            Request::pos(NodeId(1)),       // 1 byte
+            Request::neg(NodeId(100)),     // 2 bytes
+            Request::pos(NodeId(100_000)), // 3 bytes
+        ];
+        let trace = Trace { header: header.clone(), requests: reqs.clone() };
+        let bytes = trace.to_bytes();
+        let mut r = TraceReader::new(io::Cursor::new(&bytes)).unwrap();
+        assert_eq!(r.byte_pos(), header.encoded_len(), "header length is exact");
+        let mut expect = header.encoded_len();
+        for (req, len) in reqs.iter().zip([1u64, 2, 3]) {
+            assert_eq!(r.next().unwrap().unwrap(), *req);
+            expect += len;
+            assert_eq!(r.byte_pos(), expect);
+        }
+        assert_eq!(expect, bytes.len() as u64, "whole body accounted for");
+        assert_eq!(r.records_read(), 3);
+    }
+
+    #[test]
+    fn seek_to_replays_only_the_tail() {
+        let header = TraceHeader::single_tree(1 << 10, 0, "seek");
+        let reqs: Vec<Request> = (0..50u32)
+            .map(|i| Request { node: NodeId(i * 7 % 1000), sign: Sign::Positive })
+            .collect();
+        let bytes = Trace { header, requests: reqs.clone() }.to_bytes();
+        // Read a prefix, remember the position.
+        let mut r = TraceReader::new(io::Cursor::new(&bytes)).unwrap();
+        for _ in 0..20 {
+            r.next().unwrap().unwrap();
+        }
+        let (pos, n) = (r.byte_pos(), r.records_read());
+        // A fresh reader seeks straight there and yields exactly the tail.
+        let mut r2 = TraceReader::new(io::Cursor::new(&bytes)).unwrap();
+        r2.seek_to(pos, n).unwrap();
+        let tail: Vec<Request> = (&mut r2).map(Result::unwrap).collect();
+        assert_eq!(tail, reqs[20..]);
+        assert_eq!(r2.records_read(), 50);
+        // Seeking backwards works too.
+        r2.seek_to(pos, n).unwrap();
+        assert_eq!(r2.next().unwrap().unwrap(), reqs[20]);
+    }
+
+    #[test]
+    fn sync_exposes_an_eof_terminated_prefix() {
+        let header = TraceHeader::single_tree(256, 0, "sync");
+        let mut w = TraceWriter::new(io::Cursor::new(Vec::new()), header.clone()).unwrap();
+        w.push(Request::pos(NodeId(3))).unwrap();
+        w.push(Request::neg(NodeId(200))).unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.stream_offset(), header.encoded_len() + 1 + 2);
+        // A kill -9 here leaves exactly the synced bytes on disk.
+        let disk = w.sink.get_ref().clone();
+        assert_eq!(disk.len() as u64, w.stream_offset());
+        let mut r = TraceReader::new(io::Cursor::new(disk)).unwrap();
+        assert_eq!(r.remaining(), None, "count still unknown: stream to EOF");
+        let back: Vec<Request> = (&mut r).map(Result::unwrap).collect();
+        assert_eq!(back, vec![Request::pos(NodeId(3)), Request::neg(NodeId(200))]);
+    }
+
+    #[test]
+    fn torn_record_yields_the_good_prefix_and_resume_continues_it() {
+        // Crash between a record append and the count patch, mid-record:
+        // the log ends with a torn multi-byte varint and the sentinel
+        // count. The reader must yield every complete record, report
+        // `UnexpectedEof` for the tear, and point `byte_pos` at the end of
+        // the good prefix; `resume` then continues the log from there.
+        let header = TraceHeader::single_tree(1 << 20, 0, "torn");
+        let mut w = TraceWriter::new(io::Cursor::new(Vec::new()), header.clone()).unwrap();
+        let good = vec![Request::pos(NodeId(5)), Request::neg(NodeId(70_000))];
+        for &r in &good {
+            w.push(r).unwrap();
+        }
+        w.push(Request::pos(NodeId(90_000))).unwrap(); // 3-byte record
+        w.sync().unwrap();
+        let mut disk = w.sink.into_inner();
+        disk.truncate(disk.len() - 2); // tear the last record
+        let mut r = TraceReader::new(io::Cursor::new(&disk)).unwrap();
+        assert_eq!(r.next().unwrap().unwrap(), good[0]);
+        assert_eq!(r.next().unwrap().unwrap(), good[1]);
+        let err = r.next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(r.next().is_none(), "a failed reader stays stopped");
+        let end = r.byte_pos();
+        assert_eq!(end, header.encoded_len() + 1 + 3, "torn bytes not counted");
+        let records = r.records_read();
+        assert_eq!(records, 2);
+        // Truncate to the good prefix and resume appending.
+        disk.truncate(end as usize);
+        let mut sink = io::Cursor::new(disk);
+        sink.seek(SeekFrom::End(0)).unwrap();
+        let mut w = TraceWriter::resume(sink, header, 0, records).unwrap();
+        assert_eq!(w.stream_offset(), end);
+        assert_eq!(w.count(), 2);
+        w.push(Request::pos(NodeId(8))).unwrap();
+        let full = w.finish().unwrap().into_inner();
+        let mut r = TraceReader::new(io::Cursor::new(full)).unwrap();
+        assert_eq!(r.remaining(), Some(3), "finish patched the resumed count");
+        let back: Vec<Request> = (&mut r).map(Result::unwrap).collect();
+        assert_eq!(back, vec![good[0], good[1], Request::pos(NodeId(8))]);
+    }
+
+    #[test]
+    fn resume_restamps_a_finished_count_to_unknown() {
+        // A gracefully finished log has a patched count; a resumed writer
+        // must immediately re-stamp the sentinel, or a crash after more
+        // appends would leave a reader trusting the stale count and
+        // silently dropping the new records.
+        let header = TraceHeader::single_tree(64, 0, "restamp");
+        let trace = Trace { header: header.clone(), requests: vec![Request::pos(NodeId(1))] };
+        let bytes = trace.to_bytes();
+        let mut sink = io::Cursor::new(bytes);
+        sink.seek(SeekFrom::End(0)).unwrap();
+        let mut w = TraceWriter::resume(sink, header, 0, 1).unwrap();
+        w.push(Request::neg(NodeId(2))).unwrap();
+        w.sync().unwrap();
+        // Crash here (no finish): the reader must stream to EOF and see
+        // both records.
+        let disk = w.sink.into_inner();
+        let mut r = TraceReader::new(io::Cursor::new(disk)).unwrap();
+        assert_eq!(r.remaining(), None, "count re-stamped to the sentinel");
+        let back: Vec<Request> = (&mut r).map(Result::unwrap).collect();
+        assert_eq!(back, vec![Request::pos(NodeId(1)), Request::neg(NodeId(2))]);
+    }
+
+    #[test]
+    fn resume_rejects_a_sink_shorter_than_the_header() {
+        let header = TraceHeader::single_tree(64, 0, "short");
+        let sink = io::Cursor::new(vec![0u8; 4]);
+        let err = match TraceWriter::resume(sink, header, 0, 0) {
+            Err(e) => e,
+            Ok(_) => panic!("resume over a headerless sink must fail"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Crash-safe serving end to end: a loopback service with a trace log
+//! and cadence snapshots is killed mid-stream, resumed from its
+//! snapshot + log tail, and proven bit-identical to a run that never
+//! crashed.
+//!
+//! ```text
+//! cargo run --release --example kill_and_recover
+//! ```
+//!
+//! 1. start an `otc-serve` [`Server`] over a 4-shard forest with a
+//!    `TraceLog::File` log and an OTCS [`SnapshotPolicy`] (a consistent
+//!    cut every 2048 accepted requests);
+//! 2. hammer it with concurrent clients, then **kill it** — no drain, no
+//!    goodbye; the log keeps its unpatched crash-state record count;
+//! 3. [`Server::resume`] a fresh engine from the same paths: it scans
+//!    the log's longest consistent prefix, loads the newest usable
+//!    snapshot, replays only the tail, and serves again;
+//! 4. submit more traffic, shut down gracefully, and replay the *final*
+//!    log through an offline engine: per-shard reports, the aggregate,
+//!    and the telemetry timeline must all be **bit-identical** — the
+//!    durability half of the repo's determinism invariant.
+//!
+//! CI runs this binary as the recovery smoke test.
+
+use std::sync::Arc;
+
+use online_tree_caching::prelude::*;
+use online_tree_caching::serve::{Client, ServeConfig, Server, SnapshotPolicy, TraceLog};
+use online_tree_caching::sim::engine::{EngineConfig, ShardedEngine};
+use online_tree_caching::util::SplitMix64;
+use online_tree_caching::workloads::trace::TraceReader;
+
+const ALPHA: u64 = 4;
+const SHARDS: usize = 4;
+const CLIENTS: usize = 3;
+const PRE_CRASH: usize = 30_000;
+const POST_CRASH: usize = 10_000;
+const SNAP_EVERY: u64 = 2048;
+const SEED: u64 = 0xDEAD_C0DE;
+
+fn factory(tree: Arc<Tree>, _s: ShardId) -> Box<dyn CachePolicy> {
+    Box::new(TcFast::new(tree, TcConfig::new(ALPHA, 24))) as Box<dyn CachePolicy>
+}
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig::new(ALPHA).audit_every(4096).telemetry(true)
+}
+
+fn mixed(universe: usize, len: usize, rng: &mut SplitMix64) -> Vec<Request> {
+    (0..len)
+        .map(|_| {
+            let v = NodeId(rng.index(universe) as u32);
+            if rng.chance(0.4) {
+                Request::neg(v)
+            } else {
+                Request::pos(v)
+            }
+        })
+        .collect()
+}
+
+/// Pushes `reqs` through `clients` concurrent connections (no drain —
+/// the server may be killed right after).
+fn hammer(addr: std::net::SocketAddr, reqs: &[Request], clients: usize) {
+    let per = reqs.len() / clients;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let slice =
+                if c + 1 == clients { &reqs[c * per..] } else { &reqs[c * per..(c + 1) * per] };
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for chunk in slice.chunks(200 + 17 * c) {
+                    client.submit(chunk).expect("submit");
+                }
+                client.bye().expect("bye");
+            });
+        }
+    });
+}
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("otc_kill_and_recover_{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("scratch dir");
+    let log_path = root.join("serve.otct");
+    let snap_dir = root.join("snaps");
+    let serve_cfg = ServeConfig {
+        log: TraceLog::File(log_path.clone()),
+        snapshots: Some(SnapshotPolicy { dir: snap_dir.clone(), every: SNAP_EVERY }),
+        ..ServeConfig::default()
+    };
+
+    // --- 1. A durable service: file log + snapshot cadence.
+    let mut rng = SplitMix64::new(SEED);
+    let forest = Forest::partition(&Tree::kary(4, 4), SHARDS); // 85 nodes
+    let universe = forest.global_len();
+    let engine = ShardedEngine::new(forest.clone(), &factory, engine_cfg());
+    let server = Server::start(engine, serve_cfg.clone()).expect("bind 127.0.0.1");
+    println!(
+        "serving {universe} nodes over {SHARDS} shards at {}, snapshot every {SNAP_EVERY} requests",
+        server.addr()
+    );
+
+    // --- 2. Concurrent traffic, then a hard kill: no drain, no count
+    // patch — exactly what a crash leaves on disk.
+    let pre = mixed(universe, PRE_CRASH, &mut rng);
+    hammer(server.addr(), &pre, CLIENTS);
+    let path = server.kill().expect("kill syncs the log body").expect("file log");
+    let snaps = std::fs::read_dir(&snap_dir)
+        .map(|d| d.filter_map(Result::ok).filter(|e| e.path().extension().is_some()).count())
+        .unwrap_or(0);
+    println!(
+        "killed after {PRE_CRASH} requests: log at {} ({} bytes), {snaps} snapshot(s) on disk",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+    );
+
+    // --- 3. Recovery: snapshot + log-tail replay, then back in service.
+    let engine = ShardedEngine::new(forest.clone(), &factory, engine_cfg());
+    let (server, resumed) = Server::resume(engine, serve_cfg).expect("resume from log");
+    println!(
+        "resumed: snapshot at {:?} records, {} replayed from the tail, \
+         {} requests recovered ({} torn bytes truncated, {} snapshots skipped)",
+        resumed.snapshot_records,
+        resumed.replayed,
+        resumed.requests_recovered,
+        resumed.truncated_bytes,
+        resumed.snapshots_skipped
+    );
+    assert_eq!(resumed.requests_recovered, PRE_CRASH as u64, "clean kill loses nothing");
+    assert!(
+        resumed.replayed < PRE_CRASH as u64,
+        "a snapshot must spare most of the log from replay"
+    );
+
+    // --- 4. More traffic on the recovered service, then a clean stop.
+    let post = mixed(universe, POST_CRASH, &mut rng);
+    hammer(server.addr(), &post, 2);
+    let outcome = server.shutdown().expect("clean shutdown");
+    assert_eq!(outcome.requests_served, (PRE_CRASH + POST_CRASH) as u64);
+    println!(
+        "recovered service finished: {} rounds total, cost {} (+{} snapshots this run)",
+        outcome.report.rounds,
+        outcome.report.cost.total(),
+        outcome.snapshots_written
+    );
+
+    // --- 5. The invariant: crash + recover == one uninterrupted run.
+    let bytes = std::fs::read(&log_path).expect("final log");
+    let mut replayer = ShardedEngine::new(forest, &factory, engine_cfg());
+    let mut reader = TraceReader::new(std::io::Cursor::new(&bytes)).expect("valid header");
+    let mut chunk = Vec::with_capacity(16 * 1024);
+    replayer.replay_trace(&mut reader, &mut chunk).expect("replay");
+    assert_eq!(replayer.timeline(), outcome.timeline, "telemetry windows must match");
+    let replayed = replayer.into_reports().expect("valid");
+    assert_eq!(replayed, outcome.per_shard, "per-shard reports must match");
+    assert_eq!(
+        online_tree_caching::sim::aggregate_reports(replayed),
+        outcome.report,
+        "and the aggregate"
+    );
+    std::fs::remove_dir_all(&root).ok();
+    println!("ok: kill + recover == uninterrupted run, bit for bit");
+}
