@@ -270,7 +270,7 @@ mod tests {
         }
         match &out_bottom.actions[..] {
             [Action::Fetch(set)] => {
-                assert_eq!(set, &vec![NodeId(1)], "minimal scan fetches the leaf")
+                assert_eq!(set, &vec![NodeId(1)], "minimal scan fetches the leaf");
             }
             other => panic!("expected leaf fetch, got {other:?}"),
         }

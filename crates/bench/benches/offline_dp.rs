@@ -30,7 +30,7 @@ fn bench_opt_dp(c: &mut Criterion) {
         let tree = random_attachment(n, &mut rng);
         let reqs = uniform_mixed(&tree, rounds, 0.35, &mut rng);
         group.bench_function(BenchmarkId::new("opt_cost", format!("n{n}_k{k}_r{rounds}")), |b| {
-            b.iter(|| opt_cost(&tree, &reqs, 2, k))
+            b.iter(|| opt_cost(&tree, &reqs, 2, k));
         });
     }
     let _ = Tree::path(2);

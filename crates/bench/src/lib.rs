@@ -23,7 +23,7 @@ impl HostInfo {
     /// Probes the current machine.
     #[must_use]
     pub fn capture() -> Self {
-        let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let nproc = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         let rustc_bin = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
         let rustc = std::process::Command::new(rustc_bin)
             .arg("--version")

@@ -328,7 +328,10 @@ impl TcFast {
 
     /// Parses a state blob into `(cache, cnt, pcnt, psize, hv, hsz, stats,
     /// last_ops, total_ops)` without touching `self`.
-    #[allow(clippy::type_complexity)]
+    #[allow(
+        clippy::type_complexity,
+        reason = "the tuple mirrors the flat state-blob layout field for field; a named struct would exist only to be destructured once at the single call site"
+    )]
     fn parse_state(
         &self,
         bytes: &[u8],

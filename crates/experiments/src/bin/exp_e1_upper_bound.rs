@@ -61,7 +61,7 @@ fn main() {
         let tree = Arc::new(tree);
         for alpha in [2u64, 4] {
             let (mean, max) = measured_ratios(&tree, alpha, k_onl, k_opt, 24, 600);
-            let h = tree.height() as f64;
+            let h = f64::from(tree.height());
             let bound = h * r_aug;
             // "ok" means the measured worst case respects the bound with a
             // generous universal constant (the theorem's O(·) hides one).
@@ -95,7 +95,7 @@ fn main() {
                 alpha.to_string(),
                 fmt_f64(mean),
                 fmt_f64(max),
-                fmt_f64(tree.height() as f64 * r_aug),
+                fmt_f64(f64::from(tree.height()) * r_aug),
             ]);
         }
     }

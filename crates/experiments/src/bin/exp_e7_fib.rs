@@ -140,8 +140,7 @@ fn main() {
             let bypass_cost = results
                 .iter()
                 .find(|r| r.0 == "bypass-all" && r.1 == capacity && r.2 == update_p)
-                .map(|r| r.4)
-                .unwrap_or(0);
+                .map_or(0, |r| r.4);
             for policy in
                 ["tc", "subtree-lru", "subtree-fifo", "invalidate", "static-opt", "bypass-all"]
             {

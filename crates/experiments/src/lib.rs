@@ -6,7 +6,7 @@
 //! cost evaluation through the *verified* simulator, ratio sweeps over
 //! seeds, and uniform table output.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::sync::Arc;

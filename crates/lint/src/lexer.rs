@@ -1,0 +1,445 @@
+//! A comment- and string-aware Rust lexer.
+//!
+//! This is not a full Rust lexer — it is exactly as much of one as the
+//! rule engine needs: it separates **identifiers**, **punctuation** and
+//! **literals** from each other and from trivia (whitespace, comments),
+//! attaching a 1-based line/column span to every token, and it collects
+//! line comments separately so [`crate::rules`] can parse
+//! `// otc-lint: allow(...)` directives out of them.
+//!
+//! The properties the rules depend on:
+//!
+//! * text inside string/char/byte/raw-string literals and inside
+//!   comments can never produce an identifier token — `"HashMap"` in a
+//!   diagnostic message does not trip R1;
+//! * `'a` lifetimes are distinguished from `'x'` char literals, so a
+//!   lifetime never starts a bogus "unterminated literal" scan;
+//! * raw strings (`r"…"`, `r#"…"#`, arbitrary `#` depth, `b`/`br`
+//!   prefixes) and nested block comments are skipped exactly;
+//! * garbled input never panics: unterminated literals and comments
+//!   lex to end-of-file, stray bytes become punctuation tokens, and
+//!   invalid UTF-8 is replaced before lexing (see
+//!   [`crate::lint_source`]). `crates/lint/tests/selftest.rs` fuzzes
+//!   truncations of real sources to pin this.
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number in characters, starting at 1.
+    pub col: u32,
+}
+
+/// What a token is; the rule engine only ever needs these three classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `as`, `unwrap`, `r#type`).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `!`, `[`, …).
+    Punct(char),
+    /// Any literal: string, raw string, byte string, char or number.
+    /// The content is trivia to every rule, so it is not kept.
+    Lit,
+    /// A lifetime (`'a`, `'static`). Distinct from [`Tok::Lit`] so a
+    /// rule can never confuse it with a char literal.
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token class and (for identifiers) its text.
+    pub tok: Tok,
+    /// Where the token starts.
+    pub span: Span,
+}
+
+/// One `//` line comment (doc comments included), with the `//` prefix
+/// stripped but inner `!`/`/` markers kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The comment text after the leading `//`.
+    pub text: String,
+    /// Where the `//` starts.
+    pub span: Span,
+    /// Whether any non-whitespace token precedes the comment on its
+    /// line (a *trailing* comment, as opposed to a standalone one).
+    pub trailing: bool,
+}
+
+/// The output of [`lex`]: code tokens plus the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-trivia tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All line comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn span(&self) -> Span {
+        Span { line: self.line, col: self.col }
+    }
+
+    /// Consumes one character, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes characters while `pred` holds, returning them.
+    fn take_while(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+        out
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never panics, whatever the
+/// input: anything unrecognised is consumed as punctuation, and every
+/// unterminated construct simply runs to end-of-file.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { chars: src.chars().collect(), i: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+    let mut line_has_code = false;
+
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            line_has_code = false;
+            cur.bump();
+            continue;
+        }
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let span = cur.span();
+            cur.bump();
+            cur.bump();
+            let text = cur.take_while(|c| c != '\n');
+            out.comments.push(Comment { text, span, trailing: line_has_code });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break, // unterminated: runs to EOF
+                }
+            }
+            continue;
+        }
+
+        line_has_code = true;
+        let span = cur.span();
+
+        // Raw strings and byte strings: r"…", r#"…"#, b"…", br#"…"#,
+        // plus raw identifiers r#ident.
+        if (c == 'r' || c == 'b') && try_lex_prefixed_literal(&mut cur, &mut out, span) {
+            continue;
+        }
+
+        if c == '"' {
+            cur.bump();
+            lex_string_body(&mut cur);
+            out.tokens.push(Token { tok: Tok::Lit, span });
+            continue;
+        }
+
+        if c == '\'' {
+            lex_quote(&mut cur, &mut out, span);
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let text = cur.take_while(is_ident_continue);
+            out.tokens.push(Token { tok: Tok::Ident(text), span });
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            out.tokens.push(Token { tok: Tok::Lit, span });
+            continue;
+        }
+
+        cur.bump();
+        out.tokens.push(Token { tok: Tok::Punct(c), span });
+    }
+    out
+}
+
+/// Handles the `r` / `b` prefixed forms. Returns `true` if it consumed a
+/// token (pushed to `out`), `false` if the `r`/`b` is an ordinary
+/// identifier start the caller should lex normally.
+fn try_lex_prefixed_literal(cur: &mut Cursor, out: &mut Lexed, span: Span) -> bool {
+    let c0 = cur.peek(0);
+    let (prefix_len, rest) = match (c0, cur.peek(1)) {
+        (Some('b'), Some('r')) => (2, cur.peek(2)),
+        (Some('r' | 'b'), _) => (1, cur.peek(1)),
+        _ => return false,
+    };
+    match rest {
+        // Raw identifier r#ident (only bare `r`, and `r#"` is a raw
+        // string, so require an identifier character after the `#`).
+        Some('#')
+            if c0 == Some('r') && prefix_len == 1 && cur.peek(2).is_some_and(is_ident_start) =>
+        {
+            cur.bump(); // r
+            cur.bump(); // #
+            let text = cur.take_while(is_ident_continue);
+            out.tokens.push(Token { tok: Tok::Ident(text), span });
+            true
+        }
+        // Raw string with hashes: r#"…"#, br##"…"##, …
+        Some('#') => {
+            for _ in 0..prefix_len {
+                cur.bump();
+            }
+            let hashes = cur.take_while(|c| c == '#').len();
+            if cur.peek(0) == Some('"') {
+                cur.bump();
+                lex_raw_string_body(cur, hashes);
+            }
+            // A stray `r#` not followed by `"` consumed the hashes as
+            // garbage — robustness over precision.
+            out.tokens.push(Token { tok: Tok::Lit, span });
+            true
+        }
+        // Raw/byte string without hashes: r"…", b"…", br"…".
+        Some('"') => {
+            for _ in 0..prefix_len {
+                cur.bump();
+            }
+            cur.bump(); // the quote
+            if c0 == Some('r') || prefix_len == 2 {
+                lex_raw_string_body(cur, 0);
+            } else {
+                lex_string_body(cur);
+            }
+            out.tokens.push(Token { tok: Tok::Lit, span });
+            true
+        }
+        // Byte char b'x'.
+        Some('\'') if c0 == Some('b') && prefix_len == 1 => {
+            cur.bump(); // b
+            cur.bump(); // '
+            lex_char_body(cur);
+            out.tokens.push(Token { tok: Tok::Lit, span });
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a `"…"` body after the opening quote, honouring `\\` escapes.
+/// Unterminated strings run to EOF.
+fn lex_string_body(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw-string body after the opening quote: ends at `"`
+/// followed by `hashes` `#` characters. No escapes.
+fn lex_raw_string_body(cur: &mut Cursor, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        if c == '"' && (0..hashes).all(|k| cur.peek(k) == Some('#')) {
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return;
+        }
+    }
+}
+
+/// Consumes a char-literal body after the opening `'` (one possibly
+/// escaped character plus the closing quote), tolerating garbage.
+fn lex_char_body(cur: &mut Cursor) {
+    if let Some('\\') = cur.bump() {
+        cur.bump(); // the escaped character
+                    // Multi-char escapes (\u{…}, \x41) run until the quote.
+        while let Some(c) = cur.peek(0) {
+            if c == '\'' || c == '\n' {
+                break;
+            }
+            cur.bump();
+        }
+    }
+    if cur.peek(0) == Some('\'') {
+        cur.bump();
+    }
+}
+
+/// Disambiguates `'` between a char literal and a lifetime, consuming
+/// whichever it is.
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed, span: Span) {
+    // Lifetime: 'ident NOT followed by a closing quote ('a, 'static —
+    // but 'a' is a char literal).
+    if cur.peek(1).is_some_and(is_ident_start) && cur.peek(2) != Some('\'') {
+        cur.bump(); // '
+        cur.take_while(is_ident_continue);
+        out.tokens.push(Token { tok: Tok::Lifetime, span });
+        return;
+    }
+    cur.bump(); // '
+    lex_char_body(cur);
+    out.tokens.push(Token { tok: Tok::Lit, span });
+}
+
+/// Consumes a numeric literal loosely: digits, `_`, type suffixes, hex
+/// letters and a fractional part — but never the `..` of a range.
+fn lex_number(cur: &mut Cursor) {
+    cur.take_while(|c| c.is_alphanumeric() || c == '_');
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        cur.take_while(|c| c.is_alphanumeric() || c == '_');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let x = "HashMap::new()";
+            let y = r#"HashMap "quoted" inside"#;
+            let z = b"HashMap";
+            let w = 'H';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap"), "got {ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { unwrap() }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()));
+        let lifetimes = lex(src).tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn spans_are_line_and_column_accurate() {
+        let src = "let a = 1;\n  foo.unwrap();\n";
+        let lexed = lex(src);
+        let unwrap = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("unwrap".to_string()))
+            .expect("unwrap token");
+        assert_eq!(unwrap.span, Span { line: 2, col: 7 });
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let src = "// standalone\nlet x = 1; // trailing\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].trailing);
+        assert!(lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn garbled_input_never_panics() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated raw",
+            "/* unterminated block",
+            "'",
+            "b'",
+            "r#",
+            "\u{FFFD}\u{0}\u{7}",
+            "let x = 'a",
+        ] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let lexed = lex("for i in 0..10 {}");
+        let dots = lexed.tokens.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! `otc-lint` — the workspace invariant linter.
+//!
+//! The compiler proves memory safety and clippy proves idiom; neither
+//! can express *this repo's* contracts — that live serving, trace
+//! replay and in-memory runs stay bit-identical at any shard/thread
+//! count, and that recovery from a corrupt log is "never a panic,
+//! never a partial restore". Those contracts are runtime-tested by the
+//! differential and fault-injection suites, but a runtime test only
+//! catches the seed you ran. `otc-lint` turns the contracts into
+//! static rules checked on every build.
+//!
+//! The tool is deliberately primitive: a hand-rolled, comment- and
+//! string-aware lexer ([`lexer`]) feeds a token-pattern rule engine
+//! ([`rules`]) — no rustc internals, no syn, zero dependencies. The
+//! rules are listed in [`rules::RULES`]; `DESIGN.md` ("Static
+//! invariants") maps each to the runtime invariant it guards.
+//!
+//! Use as a library (`lint_source`) from tests, or as the CI gate:
+//!
+//! ```text
+//! cargo run --release -p otc-lint -- --check
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::Report;
+pub use rules::{lint_source, Diagnostic, FileResult};
+
+/// Lints every workspace source file under `root`: `src/**.rs` for the
+/// umbrella crate and `crates/*/src/**.rs` for the members. Vendored
+/// crates (`vendor/`), tests, benches and examples are out of scope —
+/// the rules govern shipped library/binary code.
+///
+/// Files are visited in sorted path order so the report itself is
+/// deterministic (the linter practises what it preaches).
+///
+/// # Errors
+/// Returns any I/O error encountered while walking or reading; a
+/// missing `crates/` directory is an error because it means `root` is
+/// not the workspace root.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} has no crates/ directory — not the workspace root?", root.display()),
+        ));
+    }
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in members {
+        collect_rs(&member.join("src"), &mut files)?;
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let src = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let r = lint_source(&rel, &src);
+        report.files += 1;
+        report.diagnostics.extend(r.diagnostics);
+        report.allows.extend(r.allows);
+        report.suppressed.extend(r.suppressed);
+    }
+    Ok(report)
+}
+
+/// Recursively gathers `*.rs` files under `dir` (silently skips a
+/// missing `dir`: not every crate has every source tree).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.collect::<io::Result<Vec<_>>>()?.into_iter().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_root_is_an_error_not_a_panic() {
+        let err = lint_workspace(Path::new("/nonexistent/definitely-not-here")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,79 @@
+//! CLI entry point for `otc-lint`.
+//!
+//! ```text
+//! otc-lint --check [--root DIR] [--json PATH] [--list-rules]
+//! ```
+//!
+//! `--check` lints the workspace and exits nonzero on any finding;
+//! `--json` additionally writes `lint-report.json` (CI archives it);
+//! `--list-rules` prints the rule table and exits. With no flags the
+//! tool behaves as `--check` but always exits 0 (report-only mode).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use otc_lint::lint_workspace;
+use otc_lint::rules::RULES;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(path) => json = Some(PathBuf::from(path)),
+                None => return usage("--json needs a file path"),
+            },
+            "--list-rules" => {
+                for (id, name, summary) in RULES {
+                    println!("{id} {name:<20} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("otc-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.human());
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.json()) {
+            eprintln!("otc-lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("otc-lint: wrote {}", path.display());
+    }
+    if check && !report.clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("otc-lint: {error}");
+    }
+    eprintln!("usage: otc-lint [--check] [--root DIR] [--json PATH] [--list-rules]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

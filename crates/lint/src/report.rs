@@ -1,0 +1,323 @@
+//! Rendering: human-readable diagnostics for the terminal and a
+//! hand-rolled `lint-report.json` for CI artifacts.
+//!
+//! The JSON writer is deliberately minimal (objects, arrays, strings,
+//! numbers — all we need) so the crate keeps its zero-dependency
+//! promise. Output is deterministic: files and findings are emitted in
+//! sorted order by the caller.
+
+use std::fmt::Write as _;
+
+use crate::rules::{Allow, Diagnostic, RULES};
+
+/// Aggregated result of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings across all files, in walk order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every allow directive encountered, audited.
+    pub allows: Vec<Allow>,
+    /// Findings suppressed by justified allows.
+    pub suppressed: Vec<Diagnostic>,
+    /// Number of files linted.
+    pub files: usize,
+}
+
+impl Report {
+    /// Whether the gate passes: no surviving diagnostics.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Human-readable rendering, one block per finding plus a summary
+    /// line. Stable ordering: the caller feeds files in sorted order
+    /// and per-file findings are sorted by span.
+    #[must_use]
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(
+                out,
+                "{}: [{} {}] {}\n  --> {}:{}:{}\n  hint: {}",
+                severity(d.rule),
+                d.rule,
+                d.name,
+                d.message,
+                d.file,
+                d.span.line,
+                d.span.col,
+                d.hint
+            );
+        }
+        let _ = writeln!(
+            out,
+            "otc-lint: {} file(s), {} finding(s), {} suppressed by {} allow(s)",
+            self.files,
+            self.diagnostics.len(),
+            self.suppressed.len(),
+            self.allows.len()
+        );
+        if !self.allows.is_empty() {
+            let _ = writeln!(out, "audited allows:");
+            for a in &self.allows {
+                let _ = writeln!(
+                    out,
+                    "  {}:{} allow({}) reason={:?}{}",
+                    a.file,
+                    a.line,
+                    a.rules.join(", "),
+                    a.reason.as_deref().unwrap_or("<MISSING>"),
+                    if a.used { "" } else { " [stale]" }
+                );
+            }
+        }
+        out
+    }
+
+    /// `lint-report.json`: machine-readable mirror of the findings and
+    /// the allow audit, archived by CI.
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_obj();
+        w.key("clean");
+        w.raw(if self.clean() { "true" } else { "false" });
+        w.key("files_linted");
+        w.raw(&self.files.to_string());
+        w.key("rules");
+        w.open_arr();
+        for (id, name, summary) in RULES {
+            w.open_obj();
+            w.key("id");
+            w.str(id);
+            w.key("name");
+            w.str(name);
+            w.key("summary");
+            w.str(summary);
+            w.close_obj();
+        }
+        w.close_arr();
+        w.key("diagnostics");
+        w.diag_array(&self.diagnostics);
+        w.key("suppressed");
+        w.diag_array(&self.suppressed);
+        w.key("allows");
+        w.open_arr();
+        for a in &self.allows {
+            w.open_obj();
+            w.key("file");
+            w.str(&a.file);
+            w.key("line");
+            w.raw(&a.line.to_string());
+            w.key("rules");
+            w.open_arr();
+            for r in &a.rules {
+                w.str(r);
+            }
+            w.close_arr();
+            w.key("reason");
+            match &a.reason {
+                Some(r) => w.str(r),
+                None => w.raw("null"),
+            }
+            w.key("used");
+            w.raw(if a.used { "true" } else { "false" });
+            w.close_obj();
+        }
+        w.close_arr();
+        w.close_obj();
+        w.finish()
+    }
+}
+
+fn severity(rule: &str) -> &'static str {
+    if rule.starts_with('A') {
+        "warning"
+    } else {
+        "error"
+    }
+}
+
+/// A tiny streaming JSON writer: tracks whether a comma is due and
+/// escapes strings per RFC 8259. Enough for our report, nothing more.
+struct JsonWriter {
+    buf: String,
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        Self { buf: String::new(), need_comma: vec![false] }
+    }
+
+    fn sep(&mut self) {
+        if let Some(last) = self.need_comma.last_mut() {
+            if *last {
+                self.buf.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    fn open_obj(&mut self) {
+        self.sep();
+        self.buf.push('{');
+        self.need_comma.push(false);
+    }
+
+    fn close_obj(&mut self) {
+        self.buf.push('}');
+        self.need_comma.pop();
+    }
+
+    fn open_arr(&mut self) {
+        self.sep();
+        self.buf.push('[');
+        self.need_comma.push(false);
+    }
+
+    fn close_arr(&mut self) {
+        self.buf.push(']');
+        self.need_comma.pop();
+    }
+
+    /// Writes `"key":` — the following value call supplies the value.
+    fn key(&mut self, k: &str) {
+        self.sep();
+        self.escape(k);
+        self.buf.push(':');
+        // The value immediately after a key must not be comma-prefixed.
+        if let Some(last) = self.need_comma.last_mut() {
+            *last = false;
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.sep();
+        self.escape(s);
+    }
+
+    /// Writes a pre-rendered value (number, bool, null).
+    fn raw(&mut self, v: &str) {
+        self.sep();
+        self.buf.push_str(v);
+    }
+
+    fn escape(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.buf, "\\u{:04x}", c as u32);
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    fn diag_array(&mut self, diags: &[Diagnostic]) {
+        self.open_arr();
+        for d in diags {
+            self.open_obj();
+            self.key("rule");
+            self.str(d.rule);
+            self.key("name");
+            self.str(d.name);
+            self.key("file");
+            self.str(&d.file);
+            self.key("line");
+            self.raw(&d.span.line.to_string());
+            self.key("col");
+            self.raw(&d.span.col.to_string());
+            self.key("message");
+            self.str(&d.message);
+            self.key("hint");
+            self.str(d.hint);
+            self.close_obj();
+        }
+        self.close_arr();
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('\n');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::Span;
+
+    fn sample() -> Report {
+        Report {
+            diagnostics: vec![Diagnostic {
+                rule: "R3",
+                name: "no-panic-decode",
+                file: "crates/serve/src/wire.rs".to_string(),
+                span: Span { line: 7, col: 13 },
+                message: "`.unwrap()` in a parse path \"quoted\"".to_string(),
+                hint: "propagate a typed error",
+            }],
+            allows: vec![Allow {
+                file: "crates/workloads/src/trace.rs".to_string(),
+                line: 141,
+                rules: vec!["R3".to_string()],
+                reason: Some("in-memory write".to_string()),
+                covers: (141, 142),
+                used: true,
+            }],
+            suppressed: Vec::new(),
+            files: 2,
+        }
+    }
+
+    #[test]
+    fn human_mentions_span_and_rule() {
+        let h = sample().human();
+        assert!(h.contains("crates/serve/src/wire.rs:7:13"), "{h}");
+        assert!(h.contains("[R3 no-panic-decode]"), "{h}");
+        assert!(h.contains("2 file(s), 1 finding(s)"), "{h}");
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let j = sample().json();
+        assert!(j.contains("\"clean\":false"), "{j}");
+        assert!(j.contains("\\\"quoted\\\""), "{j}");
+        assert!(j.contains("\"line\":7,\"col\":13"), "{j}");
+        // Balanced delimiters outside of strings: a cheap structural check.
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in j.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::default();
+        assert!(r.clean());
+        assert!(r.json().contains("\"clean\":true"));
+    }
+}

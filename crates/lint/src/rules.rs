@@ -1,0 +1,727 @@
+//! The rule engine: six repo-specific invariants over the token stream.
+//!
+//! Each rule guards one of the determinism/durability invariants listed
+//! in `DESIGN.md` ("Static invariants" maps them one-to-one):
+//!
+//! | Rule | Contract it guards |
+//! |------|--------------------|
+//! | R1 `no-hash-order` | deterministic costs: no `HashMap`/`HashSet` in cost/determinism crates |
+//! | R2 `no-wall-clock` | replay ≡ live: no clocks/sleeps/env branching outside bench+experiments |
+//! | R3 `no-panic-decode` | durability: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in parse/decode/recovery files |
+//! | R4 `no-narrowing-cast` | codec exactness: no narrowing `as` casts in wire/snapshot/trace codecs |
+//! | R5 `crate-root-attrs` | hygiene: every crate root forbids `unsafe_code` and denies `missing_docs` |
+//! | R6 `no-raw-spawn` | structured concurrency: `thread::spawn` only in the blessed seams |
+//!
+//! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt
+//! from every rule: tests may unwrap, sleep and hash to their heart's
+//! content. Doc comments and string literals are trivia to the lexer,
+//! so they can never trip a rule.
+//!
+//! A violation can be suppressed with an audited comment on the same
+//! line (or a standalone comment on the line directly above):
+//!
+//! ```text
+//! // otc-lint: allow(R3 reason="io::Write to a Vec is infallible")
+//! ```
+//!
+//! The `reason` is mandatory — an allow without one is itself a
+//! diagnostic (`A0`), and an allow that suppresses nothing is stale and
+//! also a diagnostic (`A1`). Allows are counted and listed in the JSON
+//! report so they stay auditable.
+
+use crate::lexer::{lex, Comment, Span, Tok, Token};
+
+/// One lint finding, span-accurate and self-describing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id: `R1`–`R6`, or `A0`/`A1` for allow-audit findings.
+    pub rule: &'static str,
+    /// Short kebab-case rule name (`no-hash-order`, …).
+    pub name: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// Where the finding anchors.
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+/// One parsed `// otc-lint: allow(...)` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// File the directive lives in.
+    pub file: String,
+    /// Line of the comment.
+    pub line: u32,
+    /// Rule ids the directive suppresses (`R3`, …).
+    pub rules: Vec<String>,
+    /// The mandatory justification. `None` is an `A0` finding.
+    pub reason: Option<String>,
+    /// Lines the directive covers (its own line, plus the next line
+    /// when the comment stands alone).
+    pub(crate) covers: (u32, u32),
+    /// Whether any diagnostic was actually suppressed.
+    pub used: bool,
+}
+
+/// Everything linting one file produces.
+#[derive(Debug, Default)]
+pub struct FileResult {
+    /// Findings that survived the allow directives.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every allow directive found, audited (`used`/`reason`).
+    pub allows: Vec<Allow>,
+    /// Findings suppressed by a justified allow (kept for the report).
+    pub suppressed: Vec<Diagnostic>,
+}
+
+/// Crates whose cost/determinism paths must not depend on hash
+/// iteration order (R1).
+const R1_CRATES: &[&str] = &["core", "sim", "baselines", "trie", "sdn"];
+
+/// Crates exempt from the wall-clock/env ban (R2): measurement code is
+/// *supposed* to read clocks. Telemetry stays in-model (window indices,
+/// not timestamps), so it is deliberately not exempt.
+const R2_EXEMPT_CRATES: &[&str] = &["bench", "experiments"];
+
+/// File names whose non-test code is a parse/decode/recovery path (R3):
+/// typed errors only, never a panic.
+const R3_FILES: &[&str] = &["wire.rs", "trace.rs", "snapshot.rs", "server.rs"];
+
+/// File names that are binary codecs (R4): every integer conversion
+/// must be value-preserving, so no narrowing `as`.
+const R4_FILES: &[&str] = &["wire.rs", "trace.rs", "snapshot.rs"];
+
+/// Cast targets R4 rejects. The workspace builds for 64-bit targets
+/// (documented in DESIGN.md), so `usize`/`u64`/`i64`/`u128` targets are
+/// widening from any narrower source and stay legal; these can truncate.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Workspace-relative paths allowed to call `thread::spawn` (R6): the
+/// scoped-parallelism seam, the ring-channel tests' home, and the serve
+/// worker seam. Everything else goes through `otc_util::par` so thread
+/// counts can never change results.
+const R6_EXEMPT: &[&str] =
+    &["crates/util/src/par.rs", "crates/util/src/ring.rs", "crates/serve/src/server.rs"];
+
+/// Rule metadata for `--list-rules` and the JSON report.
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "R1",
+        "no-hash-order",
+        "no HashMap/HashSet in cost/determinism crates (core, sim, baselines, trie, sdn)",
+    ),
+    (
+        "R2",
+        "no-wall-clock",
+        "no Instant::now/SystemTime/thread::sleep/env reads outside otc-bench and otc-experiments",
+    ),
+    (
+        "R3",
+        "no-panic-decode",
+        "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in parse/decode/recovery files",
+    ),
+    (
+        "R4",
+        "no-narrowing-cast",
+        "no narrowing `as` casts in wire/snapshot/trace codecs — use try_from",
+    ),
+    (
+        "R5",
+        "crate-root-attrs",
+        "every crate root carries #![forbid(unsafe_code)] and #![deny(missing_docs)]",
+    ),
+    (
+        "R6",
+        "no-raw-spawn",
+        "no raw std::thread::spawn outside otc_util::{par,ring} and the serve worker seam",
+    ),
+    ("A0", "allow-needs-reason", "every otc-lint allow comment must carry a reason=\"...\""),
+    ("A1", "stale-allow", "an otc-lint allow comment that suppresses nothing must be removed"),
+];
+
+/// How a file is classified for the rules, derived purely from its
+/// workspace-relative path.
+struct FileClass<'a> {
+    rel: &'a str,
+    /// `core` for `crates/core/src/...`; `(root)` for the umbrella `src/`.
+    crate_name: &'a str,
+    /// The final path component (`wire.rs`).
+    file_name: &'a str,
+}
+
+impl<'a> FileClass<'a> {
+    fn of(rel: &'a str) -> Self {
+        let rel_slash = rel;
+        let crate_name =
+            rel_slash.strip_prefix("crates/").and_then(|r| r.split('/').next()).unwrap_or("(root)");
+        let file_name = rel_slash.rsplit('/').next().unwrap_or(rel_slash);
+        Self { rel, crate_name, file_name }
+    }
+
+    fn r1_applies(&self) -> bool {
+        R1_CRATES.contains(&self.crate_name)
+    }
+
+    fn r2_applies(&self) -> bool {
+        !R2_EXEMPT_CRATES.contains(&self.crate_name)
+    }
+
+    fn r3_applies(&self) -> bool {
+        R3_FILES.contains(&self.file_name) || self.rel.contains("proto")
+    }
+
+    fn r4_applies(&self) -> bool {
+        R4_FILES.contains(&self.file_name)
+    }
+
+    fn r5_applies(&self) -> bool {
+        self.rel.ends_with("src/lib.rs")
+    }
+
+    fn r6_applies(&self) -> bool {
+        !R6_EXEMPT.contains(&self.rel)
+    }
+}
+
+/// Lints one source file given its workspace-relative path (which
+/// drives the rule classification) and its content. This is the whole
+/// engine; the binary and the fixture tests both call it.
+#[must_use]
+pub fn lint_source(rel: &str, src: &str) -> FileResult {
+    let class = FileClass::of(rel);
+    let lexed = lex(src);
+    let in_test = test_mask(&lexed.tokens);
+    let mut allows = parse_allows(rel, &lexed.comments);
+
+    let mut found: Vec<Diagnostic> = Vec::new();
+    check_tokens(&class, &lexed.tokens, &in_test, &mut found);
+    if class.r5_applies() {
+        check_crate_root_attrs(&class, &lexed.tokens, &mut found);
+    }
+
+    // Apply the allow directives, auditing usage.
+    let mut result = FileResult::default();
+    'diags: for d in found {
+        for a in &mut allows {
+            if a.covers.0 <= d.span.line
+                && d.span.line <= a.covers.1
+                && a.rules.iter().any(|r| r == d.rule)
+            {
+                a.used = true;
+                if a.reason.is_some() {
+                    result.suppressed.push(d);
+                    continue 'diags;
+                }
+                // An allow without a reason suppresses nothing; A0
+                // below will flag the directive itself.
+            }
+        }
+        result.diagnostics.push(d);
+    }
+
+    for a in &allows {
+        if a.reason.is_none() {
+            result.diagnostics.push(Diagnostic {
+                rule: "A0",
+                name: "allow-needs-reason",
+                file: rel.to_string(),
+                span: Span { line: a.line, col: 1 },
+                message: format!(
+                    "otc-lint allow({}) has no reason — unexplained allows are forbidden",
+                    a.rules.join(", ")
+                ),
+                hint: "write otc-lint: allow(Rn reason=\"why this is sound\")",
+            });
+        } else if !a.used {
+            result.diagnostics.push(Diagnostic {
+                rule: "A1",
+                name: "stale-allow",
+                file: rel.to_string(),
+                span: Span { line: a.line, col: 1 },
+                message: format!(
+                    "otc-lint allow({}) suppresses nothing on line {} or {} — it is stale",
+                    a.rules.join(", "),
+                    a.covers.0,
+                    a.covers.1
+                ),
+                hint: "delete the stale allow comment",
+            });
+        }
+    }
+    result.diagnostics.sort_by_key(|d| (d.span.line, d.span.col));
+    result.allows = allows;
+    result
+}
+
+/// The single token-stream pass shared by R1/R2/R3/R4/R6.
+fn check_tokens(
+    class: &FileClass<'_>,
+    tokens: &[Token],
+    in_test: &[bool],
+    found: &mut Vec<Diagnostic>,
+) {
+    let ident = |k: usize| match tokens.get(k).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct =
+        |k: usize, c: char| matches!(tokens.get(k).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c);
+    // `a :: b` — the path separator is two ':' punct tokens.
+    let path_sep = |k: usize| punct(k, ':') && punct(k + 1, ':');
+
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let Tok::Ident(word) = &t.tok else { continue };
+        let diag = |rule: &'static str, name: &'static str, message: String, hint: &'static str| {
+            Diagnostic { rule, name, file: class.rel.to_string(), span: t.span, message, hint }
+        };
+
+        match word.as_str() {
+            "HashMap" | "HashSet" if class.r1_applies() => {
+                found.push(diag(
+                    "R1",
+                    "no-hash-order",
+                    format!(
+                        "`{word}` in a determinism crate (otc-{}): iteration order is \
+                         process-random and must never reach a cost path",
+                        class.crate_name
+                    ),
+                    "use BTreeMap/BTreeSet, or sort before any iteration and justify with an allow",
+                ));
+            }
+            "Instant" if class.r2_applies() && path_sep(i + 1) && ident(i + 3) == Some("now") => {
+                found.push(diag(
+                    "R2",
+                    "no-wall-clock",
+                    "`Instant::now` outside otc-bench/otc-experiments: wall-clock reads make \
+                     live runs diverge from replay"
+                        .to_string(),
+                    "derive timing from round/window indices, or move the measurement into otc-bench",
+                ));
+            }
+            "SystemTime" if class.r2_applies() => {
+                found.push(diag(
+                    "R2",
+                    "no-wall-clock",
+                    "`SystemTime` outside otc-bench/otc-experiments: wall-clock reads make \
+                     live runs diverge from replay"
+                        .to_string(),
+                    "derive timing from round/window indices, or move the measurement into otc-bench",
+                ));
+            }
+            "sleep"
+                if class.r2_applies()
+                    && i >= 3
+                    && path_sep(i - 2)
+                    && ident(i - 3) == Some("thread") =>
+            {
+                found.push(diag(
+                    "R2",
+                    "no-wall-clock",
+                    "`thread::sleep` outside otc-bench/otc-experiments: timing-dependent \
+                     control flow is nondeterministic"
+                        .to_string(),
+                    "use channel backpressure or a condition variable instead of sleeping",
+                ));
+            }
+            "var" | "vars" | "var_os"
+                if class.r2_applies()
+                    && i >= 3
+                    && path_sep(i - 2)
+                    && ident(i - 3) == Some("env") =>
+            {
+                found.push(diag(
+                    "R2",
+                    "no-wall-clock",
+                    format!(
+                        "`env::{word}` outside otc-bench/otc-experiments: environment-dependent \
+                         branching makes runs irreproducible"
+                    ),
+                    "thread configuration through EngineConfig/ServeConfig instead of the environment",
+                ));
+            }
+            "unwrap" | "expect" if class.r3_applies() && i >= 1 && punct(i - 1, '.') => {
+                found.push(diag(
+                    "R3",
+                    "no-panic-decode",
+                    format!(
+                        "`.{word}()` in a parse/decode/recovery path: corrupt input must \
+                         yield a typed error, never a panic or partial restore"
+                    ),
+                    "propagate a typed error (?), or restructure so the failure case is impossible without a panic",
+                ));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if class.r3_applies() && punct(i + 1, '!') =>
+            {
+                found.push(diag(
+                    "R3",
+                    "no-panic-decode",
+                    format!(
+                        "`{word}!` in a parse/decode/recovery path: corrupt input must \
+                         yield a typed error, never a panic or partial restore"
+                    ),
+                    "return a typed error, or restructure the control flow so the arm disappears",
+                ));
+            }
+            "as" if class.r4_applies() => {
+                if let Some(target) = ident(i + 1) {
+                    if NARROW_INTS.contains(&target) {
+                        found.push(diag(
+                            "R4",
+                            "no-narrowing-cast",
+                            format!(
+                                "narrowing `as {target}` in a codec: a silent truncation here \
+                                 writes bytes that decode to the wrong value"
+                            ),
+                            "use try_from and surface the failure as a typed error (or prove the bound and allow with a reason)",
+                        ));
+                    }
+                }
+            }
+            "spawn"
+                if class.r6_applies()
+                    && i >= 3
+                    && path_sep(i - 2)
+                    && ident(i - 3) == Some("thread") =>
+            {
+                found.push(diag(
+                    "R6",
+                    "no-raw-spawn",
+                    "raw `thread::spawn` outside otc_util::{par, ring} and the serve worker \
+                     seam: ad-hoc threads escape the determinism argument"
+                        .to_string(),
+                    "use otc_util::par::parallel_map_mut (scoped, count-invariant) or route through the serve worker seam",
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// R5: the crate root must carry `#![forbid(unsafe_code)]` and
+/// `#![deny(missing_docs)]` (forbid also accepted for the latter).
+fn check_crate_root_attrs(class: &FileClass<'_>, tokens: &[Token], found: &mut Vec<Diagnostic>) {
+    let mut has_unsafe_forbid = false;
+    let mut has_docs_deny = false;
+    for w in tokens.windows(7) {
+        // # ! [ level ( lint ) ]  — windows(7) sees `# ! [ level ( lint )`.
+        let [h, b, o, level, p, lint, _] = w else { continue };
+        let (
+            Tok::Punct('#'),
+            Tok::Punct('!'),
+            Tok::Punct('['),
+            Tok::Ident(level),
+            Tok::Punct('('),
+            Tok::Ident(lint),
+        ) = (&h.tok, &b.tok, &o.tok, &level.tok, &p.tok, &lint.tok)
+        else {
+            continue;
+        };
+        match (level.as_str(), lint.as_str()) {
+            ("forbid", "unsafe_code") => has_unsafe_forbid = true,
+            ("deny" | "forbid", "missing_docs") => has_docs_deny = true,
+            _ => {}
+        }
+    }
+    let missing: &[(&str, bool)] = &[
+        ("#![forbid(unsafe_code)]", has_unsafe_forbid),
+        ("#![deny(missing_docs)]", has_docs_deny),
+    ];
+    for (attr, present) in missing {
+        if !present {
+            found.push(Diagnostic {
+                rule: "R5",
+                name: "crate-root-attrs",
+                file: class.rel.to_string(),
+                span: Span { line: 1, col: 1 },
+                message: format!("crate root is missing `{attr}`"),
+                hint: "add the attribute at the top of the crate root, below the module docs",
+            });
+        }
+    }
+}
+
+/// Computes, for every token, whether it sits inside test-only code: an
+/// item annotated `#[test]`-ish or `#[cfg(test)]` (including stacked
+/// attributes), through the end of the item's braced body (or its
+/// terminating `;`). A `#![cfg(test)]` inner attribute marks the rest
+/// of the file.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].tok != Tok::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let inner = matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')));
+        let open = i + 1 + usize::from(inner);
+        if !matches!(tokens.get(open).map(|t| &t.tok), Some(Tok::Punct('['))) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching_bracket(tokens, open) else {
+            break; // unterminated attribute: garbled source, stop masking
+        };
+        if !attr_is_test(&tokens[open + 1..close]) {
+            i = close + 1;
+            continue;
+        }
+        if inner {
+            for m in mask.iter_mut().skip(i) {
+                *m = true;
+            }
+            return mask;
+        }
+        // Skip any further stacked attributes, then mask through the
+        // item's braced body (or its `;` for body-less items).
+        let mut j = close + 1;
+        while matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('#')))
+            && matches!(tokens.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+        {
+            match matching_bracket(tokens, j + 1) {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        let mut end = tokens.len() - 1;
+        let mut k = j;
+        while k < tokens.len() {
+            match &tokens[k].tok {
+                Tok::Punct(';') => {
+                    end = k;
+                    break;
+                }
+                Tok::Punct('{') => {
+                    end = matching_brace(tokens, k).unwrap_or(tokens.len() - 1);
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Whether an attribute's tokens mark test-only code: they mention
+/// `test` (as `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`) and do
+/// not negate it (`#[cfg(not(test))]` is live code).
+fn attr_is_test(attr: &[Token]) -> bool {
+    let mut saw_test = false;
+    let mut saw_not = false;
+    for t in attr {
+        if let Tok::Ident(s) = &t.tok {
+            match s.as_str() {
+                "test" => saw_test = true,
+                "not" => saw_not = true,
+                _ => {}
+            }
+        }
+    }
+    saw_test && !saw_not
+}
+
+/// Index of the `]` matching the `[` at `open`, if any.
+fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`, if any.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses every `otc-lint: allow(...)` directive out of the line
+/// comments. Grammar, inside a `//` comment:
+///
+/// ```text
+/// otc-lint: allow(R3)                       — flagged A0 (no reason)
+/// otc-lint: allow(R3 reason="justified")    — suppresses R3 findings
+/// otc-lint: allow(R3, R4 reason="...")      — several rules, one reason
+/// ```
+///
+/// A directive covers its own line; a *standalone* comment (nothing
+/// else on the line) also covers the next line, for statements too long
+/// to share a line with their justification.
+fn parse_allows(rel: &str, comments: &[Comment]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Doc comments (`///`, `//!` — text starts with the third `/`
+        // or `!`) are documentation, not directives: they may *mention*
+        // the allow syntax without invoking it.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(at) = c.text.find("otc-lint:") else { continue };
+        let rest = c.text[at + "otc-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else { continue };
+        let Some(rest) = rest.trim_start().strip_prefix('(') else { continue };
+        let body = match rest.find(')') {
+            Some(end) => &rest[..end],
+            None => rest, // unterminated: parse what is there, A0 will bite
+        };
+        let (rules_part, reason) = match body.find("reason") {
+            Some(r) => {
+                let after = &body[r + "reason".len()..];
+                let reason = after
+                    .trim_start()
+                    .strip_prefix('=')
+                    .map(str::trim_start)
+                    .and_then(|q| q.strip_prefix('"'))
+                    .and_then(|q| q.rfind('"').map(|e| q[..e].to_string()))
+                    .filter(|s| !s.trim().is_empty());
+                (&body[..r], reason)
+            }
+            None => (body, None),
+        };
+        let rules: Vec<String> = rules_part
+            .split([',', ' '])
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        let covers =
+            if c.trailing { (c.span.line, c.span.line) } else { (c.span.line, c.span.line + 1) };
+        out.push(Allow {
+            file: rel.to_string(),
+            line: c.span.line,
+            rules,
+            reason,
+            covers,
+            used: false,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "
+            fn live() { m.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { m.unwrap().expect(\"fine in tests\"); }
+            }
+        ";
+        let r = lint_source("crates/serve/src/wire.rs", src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].span.line, 2);
+    }
+
+    #[test]
+    fn cfg_not_test_is_live() {
+        let src = "
+            #[cfg(not(test))]
+            fn live() { m.unwrap(); }
+        ";
+        let r = lint_source("crates/serve/src/wire.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn allow_roundtrip_same_line_and_next_line() {
+        let src = "
+            let a = m.unwrap(); // otc-lint: allow(R3 reason=\"proven above\")
+            // otc-lint: allow(R3 reason=\"also proven\")
+            let b = m.unwrap();
+        ";
+        let r = lint_source("crates/serve/src/wire.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed.len(), 2);
+        assert!(r.allows.iter().all(|a| a.used));
+    }
+
+    #[test]
+    fn allow_without_reason_is_a0_and_does_not_suppress() {
+        let src = "let a = m.unwrap(); // otc-lint: allow(R3)";
+        let r = lint_source("crates/serve/src/wire.rs", src);
+        let rules: Vec<&str> = r.diagnostics.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"R3") && rules.contains(&"A0"), "{rules:?}");
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_directives() {
+        let src = "
+            /// Suppress with `// otc-lint: allow(R3)`.
+            //! Or: otc-lint: allow(R3 reason=\"docs\")
+            fn live() {}
+        ";
+        let r = lint_source("crates/serve/src/wire.rs", src);
+        assert!(r.allows.is_empty(), "{:?}", r.allows);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn stale_allow_is_a1() {
+        let src = "let a = 1; // otc-lint: allow(R3 reason=\"nothing here\")";
+        let r = lint_source("crates/serve/src/wire.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "A1");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src =
+            "let a = m.unwrap_or(0); let b = m.unwrap_or_else(f); let c = m.unwrap_or_default();";
+        let r = lint_source("crates/serve/src/wire.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn widening_casts_are_legal() {
+        let src = "let a = x as u64; let b = y as usize; let c = z as u128;";
+        let r = lint_source("crates/sim/src/snapshot.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn rules_only_fire_where_classified() {
+        // unwrap outside an R3 file; HashMap outside an R1 crate.
+        let r =
+            lint_source("crates/util/src/rng.rs", "fn f() { m.unwrap(); let h = HashMap::new(); }");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+}

@@ -1,0 +1,19 @@
+//! Allow round-trip fixture: a real violation, legitimately suppressed
+//! by a reasoned `otc-lint: allow` directive. The linter must report
+//! zero findings, one suppression, and mark the allow as used.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Builds a map that is drained through a sort before anything
+/// order-sensitive reads it, so the hash order never escapes.
+#[must_use]
+pub fn histogram(nodes: &[u32]) -> Vec<(u32, u64)> {
+    // otc-lint: allow(R1 reason="drained through a sort below; hash order never reaches a cost path")
+    let mut seen = std::collections::HashMap::<u32, u64>::new();
+    for &n in nodes {
+        *seen.entry(n).or_insert(0) += 1;
+    }
+    let mut out: Vec<(u32, u64)> = seen.into_iter().collect();
+    out.sort_unstable();
+    out
+}

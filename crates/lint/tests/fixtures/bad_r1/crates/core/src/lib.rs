@@ -1,0 +1,15 @@
+//! R1 tripping fixture: a `HashMap` in a determinism crate.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Counts requests per node — through a hash map, whose iteration
+/// order is process-random. otc-lint must flag both mentions.
+pub fn count(nodes: &[u32]) -> Vec<(u32, u64)> {
+    let mut seen: HashMap<u32, u64> = HashMap::new();
+    for &n in nodes {
+        *seen.entry(n).or_insert(0) += 1;
+    }
+    seen.into_iter().collect()
+}

@@ -1,0 +1,11 @@
+//! R2 tripping fixture: a wall-clock read outside the bench crates.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::Instant;
+
+/// Stamps a window with the wall clock — live runs would diverge from
+/// replay. otc-lint must flag the `Instant::now` call.
+pub fn window_stamp() -> Instant {
+    Instant::now()
+}

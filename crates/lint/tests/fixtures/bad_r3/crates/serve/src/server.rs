@@ -1,0 +1,8 @@
+//! R3 tripping fixture: a panic in a recovery path.
+
+/// Reads the version field of a frame header. A truncated header
+/// panics — exactly what R3 forbids in a `server.rs`.
+pub fn header_version(header: &[u8]) -> u16 {
+    let bytes: [u8; 2] = header[..2].try_into().unwrap();
+    u16::from_le_bytes(bytes)
+}

@@ -1,0 +1,5 @@
+//! R4 tripping fixture's crate root (clean itself).
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod wire;

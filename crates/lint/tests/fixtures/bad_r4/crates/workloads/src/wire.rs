@@ -1,0 +1,8 @@
+//! R4 tripping fixture: a narrowing cast in a codec.
+
+/// Encodes a record count as a 2-byte prefix. `as u16` silently
+/// truncates counts above 65535 into wrong-but-decodable bytes —
+/// exactly what R4 forbids in a `wire.rs`.
+pub fn encode_count(buf: &mut Vec<u8>, count: usize) {
+    buf.extend_from_slice(&(count as u16).to_le_bytes());
+}

@@ -1,0 +1,9 @@
+//! R5 tripping fixture: a crate root missing both required attributes.
+
+/// A perfectly documented function in an insufficiently hardened
+/// crate — otc-lint must demand `#![forbid(unsafe_code)]` and
+/// `#![deny(missing_docs)]`.
+#[must_use]
+pub fn double(x: u64) -> u64 {
+    x.saturating_mul(2)
+}

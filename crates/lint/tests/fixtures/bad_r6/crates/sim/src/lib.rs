@@ -1,0 +1,10 @@
+//! R6 tripping fixture: a raw thread spawn outside the blessed seams.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Runs a closure on an ad-hoc thread — thread counts now change
+/// scheduling, which R6 forbids outside `otc_util::{par, ring}` and
+/// the serve worker seam.
+pub fn run_detached(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}

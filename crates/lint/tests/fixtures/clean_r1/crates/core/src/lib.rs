@@ -1,0 +1,15 @@
+//! R1 clean twin: the ordered-map spelling of the same function.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Counts requests per node in key order — deterministic by
+/// construction.
+pub fn count(nodes: &[u32]) -> Vec<(u32, u64)> {
+    let mut seen: BTreeMap<u32, u64> = BTreeMap::new();
+    for &n in nodes {
+        *seen.entry(n).or_insert(0) += 1;
+    }
+    seen.into_iter().collect()
+}

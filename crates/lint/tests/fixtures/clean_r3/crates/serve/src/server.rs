@@ -1,0 +1,12 @@
+//! R3 clean twin: the typed-error spelling of the same function.
+
+/// Reads the version field of a frame header; a truncated header is a
+/// typed error, never a panic.
+pub fn header_version(header: &[u8]) -> Result<u16, String> {
+    let Some(bytes) = header.get(..2) else {
+        return Err(format!("header truncated at {} bytes", header.len()));
+    };
+    let mut le = [0u8; 2];
+    le.copy_from_slice(bytes);
+    Ok(u16::from_le_bytes(le))
+}

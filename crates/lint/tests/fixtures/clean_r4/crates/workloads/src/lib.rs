@@ -1,0 +1,5 @@
+//! R4 clean twin's crate root.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod wire;

@@ -1,0 +1,9 @@
+//! R4 clean twin: the value-preserving spelling of the same codec.
+
+/// Encodes a record count as a 2-byte prefix; an overflowing count is
+/// a typed error instead of silently truncated bytes.
+pub fn encode_count(buf: &mut Vec<u8>, count: usize) -> Result<(), String> {
+    let short = u16::try_from(count).map_err(|_| format!("count {count} exceeds u16"))?;
+    buf.extend_from_slice(&short.to_le_bytes());
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! R5 clean twin: the same crate root carrying both attributes.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// A perfectly documented function in a properly hardened crate.
+#[must_use]
+pub fn double(x: u64) -> u64 {
+    x.saturating_mul(2)
+}

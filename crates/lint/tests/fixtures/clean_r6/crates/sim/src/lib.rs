@@ -1,0 +1,12 @@
+//! R6 clean twin: the same work routed through the scoped seam.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Runs a closure over every slot through a count-invariant helper
+/// (standing in for `otc_util::par::parallel_map_mut`); no raw thread
+/// is spawned here.
+pub fn run_scoped(slots: &mut [u64], work: impl Fn(&mut u64) + Sync) {
+    for slot in slots.iter_mut() {
+        work(slot);
+    }
+}

@@ -1,0 +1,10 @@
+//! Garbled-source robustness fixture: truncated mid-everything. The
+//! linter must produce *some* deterministic answer without panicking —
+//! an unterminated attribute, string, and block comment all at once.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub fn torn() -> &'static str {
+    let _dangling = #[cfg(feature = "never
+    r"an unterminated raw string literal that swallows the rest /* of
+    the file, including this never-closed block comment {{{ and a brace

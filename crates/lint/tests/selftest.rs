@@ -1,0 +1,97 @@
+//! The linter linted: every rule class has a known-bad fixture tree
+//! that must trip it and a clean twin that must pass, the allow
+//! directive round-trips, garbled source never panics, and the
+//! `--check` binary turns each of those verdicts into an exit code.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use otc_lint::lint_workspace;
+
+/// The six (bad tree, clean twin, rule id) triples under
+/// `tests/fixtures/`.
+const TWINS: &[(&str, &str, &str)] = &[
+    ("bad_r1", "clean_r1", "R1"),
+    ("bad_r2", "clean_r2", "R2"),
+    ("bad_r3", "clean_r3", "R3"),
+    ("bad_r4", "clean_r4", "R4"),
+    ("bad_r5", "clean_r5", "R5"),
+    ("bad_r6", "clean_r6", "R6"),
+];
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures").join(name)
+}
+
+#[test]
+fn each_bad_fixture_trips_exactly_its_rule() {
+    for &(bad, _, rule) in TWINS {
+        let report = lint_workspace(&fixture(bad)).expect("fixture tree lints");
+        assert!(!report.diagnostics.is_empty(), "{bad} must trip {rule} but the report is clean");
+        for d in &report.diagnostics {
+            assert_eq!(d.rule, rule, "{bad} tripped {} instead of {rule}: {}", d.rule, d.message);
+            assert!(d.span.line >= 1 && d.span.col >= 1, "{bad}: span must be 1-based");
+            assert!(d.file.starts_with("crates/"), "{bad}: file must be workspace-relative");
+            assert!(!d.hint.is_empty(), "{bad}: every diagnostic carries a fix hint");
+        }
+    }
+}
+
+#[test]
+fn each_clean_twin_passes() {
+    for &(_, clean, rule) in TWINS {
+        let report = lint_workspace(&fixture(clean)).expect("fixture tree lints");
+        assert!(
+            report.clean(),
+            "{clean} must pass {rule} but found: {:?}",
+            report.diagnostics.iter().map(|d| &d.message).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn a_reasoned_allow_round_trips_as_a_used_suppression() {
+    let report = lint_workspace(&fixture("allow_roundtrip")).expect("fixture tree lints");
+    assert!(report.clean(), "the allowed violation must not surface as a finding");
+    assert_eq!(report.suppressed.len(), 1, "exactly the HashMap mention is suppressed");
+    assert_eq!(report.suppressed.first().map(|d| d.rule), Some("R1"));
+    assert_eq!(report.allows.len(), 1);
+    let allow = report.allows.first().expect("one allow");
+    assert!(allow.used, "the directive must be audited as used, not stale");
+    assert!(allow.reason.as_deref().is_some_and(|r| r.contains("sort")));
+}
+
+#[test]
+fn garbled_source_yields_a_report_not_a_panic() {
+    // The tree holds an unterminated attribute, string and block
+    // comment; any Ok report is acceptable — crashing is not.
+    let report = lint_workspace(&fixture("garbled")).expect("garbled source must still lint");
+    assert_eq!(report.files, 1, "the torn file was visited");
+}
+
+/// Runs the real binary (`--check --root <tree>`) and returns
+/// (exit success, stdout).
+fn run_check(tree: &str) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_otc-lint"))
+        .args(["--check", "--root"])
+        .arg(fixture(tree))
+        .output()
+        .expect("otc-lint binary runs");
+    (out.status.success(), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+#[test]
+fn check_exit_codes_follow_the_verdicts() {
+    for &(bad, clean, rule) in TWINS {
+        let (ok, stdout) = run_check(bad);
+        assert!(!ok, "--check must exit nonzero on {bad}");
+        assert!(stdout.contains(rule), "{bad}: diagnostic must name {rule}:\n{stdout}");
+        assert!(stdout.contains("--> crates/"), "{bad}: diagnostic must carry a span:\n{stdout}");
+        let (ok, stdout) = run_check(clean);
+        assert!(ok, "--check must exit zero on {clean}:\n{stdout}");
+    }
+    let (ok, _) = run_check("allow_roundtrip");
+    assert!(ok, "--check must exit zero when every violation is allowed with a reason");
+    let (ok, _) = run_check("garbled");
+    assert!(ok, "--check must exit zero (not crash) on garbled source");
+}

@@ -36,7 +36,7 @@ use std::io::{self, BufReader, BufWriter, Cursor, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use otc_core::request::Request;
@@ -251,9 +251,20 @@ struct Shared {
     conns: Mutex<Vec<JoinHandle<()>>>,
 }
 
+/// Locks a mutex, recovering from lock poisoning instead of panicking:
+/// this file is a recovery path, and a panic here during shutdown or
+/// replay would violate the "never a panic" contract. Recovery is sound
+/// for every mutex in this module — each guards data whose writes are
+/// individually complete before unlock (counters, Options, Vec slots),
+/// and a thread that panicked mid-batch also poisons the service
+/// logically via the worker-join path, so no torn state is trusted.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Shared {
     fn poison(&self) -> Option<EngineError> {
-        self.poisoned.lock().expect("poison lock").clone()
+        locked(&self.poisoned).clone()
     }
 
     /// Routes, logs and enqueues one batch atomically. The whole batch is
@@ -267,42 +278,45 @@ impl Shared {
         for &r in requests {
             routed.push(self.router.route(r)?);
         }
-        let mut ingress = self.ingress.lock().expect("ingress lock");
-        if ingress.senders.is_none() {
+        let mut guard = locked(&self.ingress);
+        // Split borrows: the senders are read while the sink and the
+        // counters are written, so destructure once instead of proving
+        // presence again at each use.
+        let Ingress { senders, sink, enqueued, accepted } = &mut *guard;
+        let Some(senders) = senders.as_ref() else {
             return Err("service is shutting down".to_string());
-        }
+        };
         // Log first, then enqueue, request by request, under one lock
         // hold: the log's per-shard projection must equal queue order.
         for (&raw, &(sid, local)) in requests.iter().zip(&routed) {
-            if let Some(sink) = ingress.sink.as_mut() {
+            if let Some(sink) = sink.as_mut() {
                 if let Err(e) = sink.push(raw) {
                     let message = format!("trace log write failed: {e}");
-                    *self.poisoned.lock().expect("poison lock") =
+                    *locked(&self.poisoned) =
                         Some(EngineError { shard: None, message: message.clone() });
                     return Err(message);
                 }
             }
-            let sender = &ingress.senders.as_ref().expect("checked above")[sid.index()];
-            if sender.send(Cmd::Req(local)).is_err() {
+            if senders[sid.index()].send(Cmd::Req(local)).is_err() {
                 // The record may already be in the log (and this batch's
                 // prefix already enqueued): the log no longer matches what
                 // ran, so the determinism invariant is gone — poison the
                 // service rather than let shutdown() report a clean run.
                 let message =
                     format!("shard {} worker is gone; logged requests were dropped", sid.index());
-                let mut poison = self.poisoned.lock().expect("poison lock");
+                let mut poison = locked(&self.poisoned);
                 if poison.is_none() {
                     *poison = Some(EngineError { shard: Some(sid), message: message.clone() });
                 }
                 return Err(message);
             }
-            ingress.enqueued[sid.index()] += 1;
-            ingress.accepted += 1;
+            enqueued[sid.index()] += 1;
+            *accepted += 1;
             if let Some(policy) = &self.snapshots {
-                if ingress.accepted.is_multiple_of(policy.every.max(1)) {
-                    if let Err(e) = self.register_cut(&mut ingress) {
+                if accepted.is_multiple_of(policy.every.max(1)) {
+                    if let Err(e) = self.register_cut(sink.as_mut(), senders) {
                         let message = format!("trace log sync for snapshot cut failed: {e}");
-                        *self.poisoned.lock().expect("poison lock") =
+                        *locked(&self.poisoned) =
                             Some(EngineError { shard: None, message: message.clone() });
                         return Err(message);
                     }
@@ -316,8 +330,12 @@ impl Shared {
     /// the bytes a snapshot will address are durable, prebuilds the OTCS
     /// header for the current log position, and floats one cut marker
     /// down every shard ring.
-    fn register_cut(&self, ingress: &mut Ingress) -> io::Result<()> {
-        let Some(sink) = ingress.sink.as_mut() else {
+    fn register_cut(
+        &self,
+        sink: Option<&mut TraceSink>,
+        senders: &[ring::Sender<Cmd>],
+    ) -> io::Result<()> {
+        let Some(sink) = sink else {
             return Ok(()); // snapshots without a log are refused at start
         };
         sink.sync()?;
@@ -331,7 +349,7 @@ impl Shared {
             records: log.records,
             sections: Mutex::new(vec![None; shards]),
         });
-        for sender in ingress.senders.as_ref().expect("ingress open") {
+        for sender in senders {
             if sender.send(Cmd::Cut(Arc::clone(&cut))).is_err() {
                 // A worker is gone; this cut can never complete. The next
                 // request push will observe the same and poison — the cut
@@ -344,15 +362,15 @@ impl Shared {
 
     /// Blocks until every request accepted so far has been executed.
     fn wait_drained(&self) {
-        let target: Vec<u64> = self.ingress.lock().expect("ingress lock").enqueued.clone();
-        let mut progress = self.progress.lock().expect("progress lock");
+        let target: Vec<u64> = locked(&self.ingress).enqueued.clone();
+        let mut progress = locked(&self.progress);
         while progress.iter().zip(&target).any(|(done, want)| done < want) {
-            progress = self.progress_cv.wait(progress).expect("progress lock");
+            progress = self.progress_cv.wait(progress).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn stats_snapshot(&self) -> ServeStats {
-        *self.stats.lock().expect("stats lock")
+        *locked(&self.stats)
     }
 }
 
@@ -379,25 +397,20 @@ impl Server {
         let (router, shard_workers) =
             engine.into_workers().map_err(|e| io::Error::other(e.to_string()))?;
 
+        let header = || TraceHeader {
+            universe: router.global_len() as u32,
+            shard_map: router.shard_map().to_vec(),
+            seed: 0,
+            generator: "otc-serve".to_string(),
+        };
         let sink = match &cfg.log {
             TraceLog::Off => None,
-            TraceLog::Memory | TraceLog::File(_) => {
-                let header = TraceHeader {
-                    universe: router.global_len() as u32,
-                    shard_map: router.shard_map().to_vec(),
-                    seed: 0,
-                    generator: "otc-serve".to_string(),
-                };
-                Some(match &cfg.log {
-                    TraceLog::Memory => {
-                        TraceSink::Memory(TraceWriter::new(Cursor::new(Vec::new()), header)?)
-                    }
-                    TraceLog::File(path) => {
-                        let file = BufWriter::new(File::create(path)?);
-                        TraceSink::File(TraceWriter::new(file, header)?, path.clone())
-                    }
-                    TraceLog::Off => unreachable!(),
-                })
+            TraceLog::Memory => {
+                Some(TraceSink::Memory(TraceWriter::new(Cursor::new(Vec::new()), header())?))
+            }
+            TraceLog::File(path) => {
+                let file = BufWriter::new(File::create(path)?);
+                Some(TraceSink::File(TraceWriter::new(file, header())?, path.clone()))
             }
         };
 
@@ -417,7 +430,11 @@ impl Server {
     /// The common tail of [`Server::start`] and [`Server::resume`]:
     /// spin the rings, workers, listener and acceptor around already
     /// initialised ingress counters and an already positioned sink.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(
+        clippy::too_many_arguments,
+        reason = "private seam between start and resume; the arguments are the resume state, \
+                  and a one-use struct would just rename them"
+    )]
     fn start_inner(
         router: ShardRouter,
         shard_workers: Vec<ShardWorker>,
@@ -524,23 +541,35 @@ impl Server {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        let conns = std::mem::take(&mut *locked(&self.shared.conns));
         for h in conns {
             let _ = h.join();
         }
         // Closing ingress drops the senders; each worker drains its ring
         // and exits on disconnect.
         let (sink, accepted) = {
-            let mut ingress = self.shared.ingress.lock().expect("ingress lock");
+            let mut ingress = locked(&self.shared.ingress);
             ingress.senders = None;
             (ingress.sink.take(), ingress.accepted)
         };
         let mut shard_workers = Vec::with_capacity(self.workers.len());
+        let mut worker_panicked = false;
         for h in self.workers.drain(..) {
-            shard_workers.push(h.join().expect("worker thread panicked"));
+            match h.join() {
+                Ok(w) => shard_workers.push(w),
+                Err(_) => worker_panicked = true,
+            }
         }
         if let Some(e) = self.shared.poison() {
             return Err(e);
+        }
+        if worker_panicked {
+            // A panicking worker is a bug, but shutdown() must still
+            // report it as a typed outcome, not propagate the panic.
+            return Err(EngineError {
+                shard: None,
+                message: "a shard worker thread panicked".to_string(),
+            });
         }
         let windows = shard_workers.iter().flat_map(ShardWorker::windows).collect();
         let timeline =
@@ -586,12 +615,12 @@ impl Server {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        let conns = std::mem::take(&mut *locked(&self.shared.conns));
         for h in conns {
             let _ = h.join();
         }
         let sink = {
-            let mut ingress = self.shared.ingress.lock().expect("ingress lock");
+            let mut ingress = locked(&self.shared.ingress);
             ingress.senders = None;
             ingress.sink.take()
         };
@@ -825,13 +854,13 @@ fn worker_loop(
         // drain barriers and backpressure keep moving while the error
         // propagates.
         {
-            let mut progress = shared.progress.lock().expect("progress lock");
+            let mut progress = locked(&shared.progress);
             progress[shard] += executed;
             shared.progress_cv.notify_all();
         }
         {
             let after_cost = worker.cost();
-            let mut stats = shared.stats.lock().expect("stats lock");
+            let mut stats = locked(&shared.stats);
             stats.rounds += worker.rounds() - before.0;
             stats.paid_rounds += worker.paid_rounds() - before.1;
             stats.service_cost += after_cost.service - before_cost.service;
@@ -849,7 +878,7 @@ fn run_requests(worker: &mut ShardWorker, scratch: &mut Vec<Request>, shared: &S
     }
     if worker.error().is_none() {
         if let Err(message) = worker.run_batch(scratch) {
-            let mut poison = shared.poisoned.lock().expect("poison lock");
+            let mut poison = locked(&shared.poisoned);
             if poison.is_none() {
                 *poison = Some(EngineError { shard: Some(worker.shard()), message });
             }
@@ -871,19 +900,21 @@ fn emit_section(worker: &ShardWorker, shard: usize, cut: &Cut, shared: &Shared) 
     if worker.snapshot_section(&mut bytes).is_err() {
         return;
     }
-    let mut sections = cut.sections.lock().expect("cut lock");
+    let mut sections = locked(&cut.sections);
     sections[shard] = Some(bytes);
-    if !sections.iter().all(Option::is_some) {
+    if sections.iter().any(Option::is_none) {
         return;
     }
     let mut out = cut.header.clone();
-    for section in sections.iter() {
-        out.extend_from_slice(section.as_deref().expect("all present"));
+    for section in sections.iter().flatten() {
+        out.extend_from_slice(section);
     }
     drop(sections);
     snapshot::finish_snapshot(&mut out);
-    let dir = &shared.snapshots.as_ref().expect("a cut implies a policy").dir;
-    if write_snapshot_file(dir, cut.records, &out).is_ok() {
+    // Cuts are only registered when a snapshot policy exists; if that
+    // ever changes, dropping the image keeps snapshots best-effort.
+    let Some(policy) = shared.snapshots.as_ref() else { return };
+    if write_snapshot_file(&policy.dir, cut.records, &out).is_ok() {
         shared.snapshots_written.fetch_add(1, Ordering::SeqCst);
     }
 }
@@ -909,7 +940,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         let handle = std::thread::spawn(move || {
             let _ = connection_loop(stream, &shared_conn);
         });
-        let mut conns = shared.conns.lock().expect("conns lock");
+        let mut conns = locked(&shared.conns);
         // Reap finished connections as new ones arrive, so a long-lived
         // server handling many short-lived clients doesn't accumulate
         // join handles without bound.

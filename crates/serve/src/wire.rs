@@ -23,6 +23,13 @@
 //! closes the connection. Round-trips and rejections are pinned by
 //! `crates/serve/tests/proptest_wire.rs`.
 
+// Codec modules hold the panic-freedom line hardest: a narrowing cast
+// or an out-of-bounds index here turns corrupt peer input into a wrong
+// answer or a crash. CI runs clippy with -D warnings, so these are
+// hard gates for this file.
+#![warn(clippy::cast_possible_truncation)]
+#![warn(clippy::indexing_slicing)]
+
 use std::io::{self, Read, Write};
 
 use otc_core::request::Request;
@@ -132,6 +139,17 @@ fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// First `N` bytes of `b`, zero-padded — the panic-free spelling of
+/// `b.try_into().expect("len checked")` for callers that have already
+/// length-checked the slice.
+fn le_bytes<const N: usize>(b: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    for (d, s) in a.iter_mut().zip(b) {
+        *d = *s;
+    }
+    a
+}
+
 /// Opens a frame: writes the placeholder length prefix and the opcode,
 /// returning the position [`end_frame`] patches.
 fn begin_frame(buf: &mut Vec<u8>, opcode: u8) -> usize {
@@ -143,8 +161,15 @@ fn begin_frame(buf: &mut Vec<u8>, opcode: u8) -> usize {
 
 /// Closes a frame opened by [`begin_frame`]: patches the length prefix.
 fn end_frame(buf: &mut [u8], frame_start: usize) {
-    let len = (buf.len() - frame_start - 4) as u32;
-    buf[frame_start..frame_start + 4].copy_from_slice(&len.to_le_bytes());
+    // Saturation would need a >4 GiB frame (MAX_FRAME caps decoding far
+    // below that); if it ever engaged, the peer rejects the length
+    // mismatch with a typed error instead of misframing the stream.
+    let len = u32::try_from(buf.len() - frame_start - 4).unwrap_or(u32::MAX);
+    // The slot always exists: begin_frame wrote the placeholder at
+    // frame_start. get_mut keeps the encoder panic-free by construction.
+    if let Some(slot) = buf.get_mut(frame_start..frame_start + 4) {
+        slot.copy_from_slice(&len.to_le_bytes());
+    }
 }
 
 /// Appends a complete `Submit` frame for `requests` straight from a
@@ -163,17 +188,16 @@ pub fn encode_submit(buf: &mut Vec<u8>, requests: &[Request]) {
 /// Checks a payload's handshake preamble (magic + version) and returns
 /// the version plus the remaining payload.
 fn take_handshake(payload: &[u8]) -> io::Result<(u16, &[u8])> {
-    if payload.len() < 6 {
+    let Some((magic, rest)) = payload.split_at_checked(4) else {
         return Err(bad_data("handshake payload truncated"));
+    };
+    if magic != WIRE_MAGIC {
+        return Err(bad_data(format!("bad handshake magic {magic:?}, expected {WIRE_MAGIC:?}")));
     }
-    if payload[..4] != WIRE_MAGIC {
-        return Err(bad_data(format!(
-            "bad handshake magic {:?}, expected {WIRE_MAGIC:?}",
-            &payload[..4]
-        )));
-    }
-    let version = u16::from_le_bytes([payload[4], payload[5]]);
-    Ok((version, &payload[6..]))
+    let Some((version, rest)) = rest.split_at_checked(2) else {
+        return Err(bad_data("handshake payload truncated"));
+    };
+    Ok((u16::from_le_bytes(le_bytes(version)), rest))
 }
 
 impl Message {
@@ -211,8 +235,8 @@ impl Message {
                 buf.extend_from_slice(&universe.to_le_bytes());
                 buf.extend_from_slice(&shards.to_le_bytes());
             }
-            Message::Submit { .. } => unreachable!("handled above"),
-            Message::Stats | Message::Drain | Message::Bye => {}
+            // Submit took the early return above; nothing to add here.
+            Message::Submit { .. } | Message::Stats | Message::Drain | Message::Bye => {}
             Message::StatsReply(s) => {
                 codec::encode_varint(buf, s.rounds);
                 codec::encode_varint(buf, s.paid_rounds);
@@ -243,11 +267,12 @@ impl Message {
             }
             op::HELLO_ACK => {
                 let (version, rest) = take_handshake(payload)?;
-                if rest.len() != 8 {
-                    return Err(bad_data("HelloAck payload must be magic+version+u32+u32"));
-                }
-                let universe = u32::from_le_bytes(rest[..4].try_into().expect("len checked"));
-                let shards = u32::from_le_bytes(rest[4..].try_into().expect("len checked"));
+                let (lo, hi) = rest
+                    .split_at_checked(4)
+                    .filter(|(_, hi)| hi.len() == 4)
+                    .ok_or_else(|| bad_data("HelloAck payload must be magic+version+u32+u32"))?;
+                let universe = u32::from_le_bytes(le_bytes(lo));
+                let shards = u32::from_le_bytes(le_bytes(hi));
                 Ok(Message::HelloAck { version, universe, shards })
             }
             op::SUBMIT => {
@@ -257,13 +282,16 @@ impl Message {
                 // Each record is at least one byte, so a count beyond the
                 // remaining payload is corruption — reject it *before*
                 // trusting it as an allocation size.
-                if count > payload.len() as u64 {
-                    return Err(bad_data(format!(
-                        "Submit declares {count} records but carries only {} payload bytes",
-                        payload.len()
-                    )));
-                }
-                let mut requests = Vec::with_capacity(count as usize);
+                let capacity = usize::try_from(count)
+                    .ok()
+                    .filter(|&c| c <= payload.len())
+                    .ok_or_else(|| {
+                        bad_data(format!(
+                            "Submit declares {count} records but carries only {} payload bytes",
+                            payload.len()
+                        ))
+                    })?;
+                let mut requests = Vec::with_capacity(capacity);
                 for i in 0..count {
                     match codec::decode_request(&mut src)? {
                         Some(r) => requests.push(r),
@@ -354,7 +382,10 @@ pub fn read_message<R: Read>(src: &mut R, scratch: &mut Vec<u8>) -> io::Result<O
     let mut len_bytes = [0u8; 4];
     let mut got = 0usize;
     while got < 4 {
-        match src.read(&mut len_bytes[got..]) {
+        // got < 4 makes the range valid; the empty-slice fallback keeps
+        // this panic-free and would surface as UnexpectedEof below.
+        let dst = len_bytes.get_mut(got..).unwrap_or(&mut []);
+        match src.read(dst) {
             Ok(0) if got == 0 => return Ok(None),
             Ok(0) => {
                 return Err(io::Error::new(
@@ -377,10 +408,18 @@ pub fn read_message<R: Read>(src: &mut R, scratch: &mut Vec<u8>) -> io::Result<O
     scratch.clear();
     scratch.resize(len as usize, 0);
     src.read_exact(scratch)?;
-    Message::decode(scratch[0], &scratch[1..]).map(Some)
+    let Some((&opcode, body)) = scratch.split_first() else {
+        return Err(bad_data("zero-length frame (opcode missing)"));
+    };
+    Message::decode(opcode, body).map(Some)
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    reason = "tests index and truncate fixture buffers they just built; a panic here is a failing test, not a service crash"
+)]
 mod tests {
     use super::*;
     use otc_core::tree::NodeId;

@@ -112,7 +112,7 @@ fn live_service_equals_offline_replay_of_its_log() {
     assert_eq!(reader.remaining(), Some((CLIENTS * PER_CLIENT) as u64));
 
     // Replay ≡ live, per shard and aggregated, at threads ∈ {1, nproc}.
-    let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let nproc = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     for threads in [1, nproc] {
         let per_shard = replay(&forest, &trace, engine_cfg.threads(threads));
         assert_eq!(

@@ -167,7 +167,7 @@ proptest! {
         prop_assert_eq!(&logged, &log);
 
         let threads = if use_nproc {
-            std::thread::available_parallelism().map_or(1, |p| p.get())
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         } else {
             1
         };
@@ -185,7 +185,7 @@ proptest! {
         }
 
         // Ground truth: replay the final log, at both thread extremes.
-        let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let nproc = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         for replay_threads in [1, nproc] {
             let (truth_shards, truth_timeline) =
                 replay_file(&forest, &log, base_cfg().threads(replay_threads));

@@ -46,8 +46,15 @@
 //! A rejected snapshot returns a typed [`SnapshotError`]; nothing is
 //! partially restored.
 
+// Codec modules hold the panic-freedom line hardest: a narrowing cast
+// or an out-of-bounds index here turns a corrupt snapshot into a wrong
+// answer or a crash. CI runs clippy with -D warnings, so these are
+// hard gates for this file.
+#![warn(clippy::cast_possible_truncation)]
+#![warn(clippy::indexing_slicing)]
+
 use otc_core::cache::CacheSet;
-use otc_core::tree::{NodeId, Tree};
+use otc_core::tree::Tree;
 
 use crate::engine::{EngineConfig, ShardState, WindowBase};
 use crate::report::{FieldStats, PeriodStats, PhaseStats, Report};
@@ -74,14 +81,37 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     bytes.iter().fold(FNV_OFFSET, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
 }
 
+/// Copies up to `N` bytes of `b` into a zero-padded array — the
+/// panic-free spelling of `b.try_into().expect("N bytes")`. Every caller
+/// has already bounds-checked the slice (via `Cur::take` or an explicit
+/// length guard), so the zero-padding never actually engages; it exists
+/// so a decode path cannot panic even if a guard is wrong.
+fn le_bytes<const N: usize>(b: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    for (d, s) in a.iter_mut().zip(b) {
+        *d = *s;
+    }
+    a
+}
+
+/// Overwrites the 4-byte length placeholder at `at` with `value`. The
+/// slot always exists (the caller wrote the placeholder moments ago);
+/// if it somehow did not, the placeholder survives and parse rejects
+/// the length mismatch — still no panic on the write path.
+fn patch_u32(out: &mut [u8], at: usize, value: u32) {
+    if let Some(slot) = out.get_mut(at..at + 4) {
+        slot.copy_from_slice(&value.to_le_bytes());
+    }
+}
+
 /// FNV-1a 64 digest of a tree's parent array (`u32::MAX` for the root),
 /// stored per shard section so a snapshot can never be restored onto a
 /// different tree that happens to have the same size.
 #[must_use]
 pub fn tree_digest(tree: &Tree) -> u64 {
     let mut h = FNV_OFFSET;
-    for i in 0..tree.len() {
-        let p = tree.parent(NodeId(i as u32)).map_or(u32::MAX, |v| v.0);
+    for v in tree.nodes() {
+        let p = tree.parent(v).map_or(u32::MAX, |v| v.0);
         for b in p.to_le_bytes() {
             h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
         }
@@ -329,8 +359,11 @@ pub fn write_header(meta: &SnapshotMeta, out: &mut Vec<u8>) {
     put_u32(out, meta.num_shards);
     put_u64(out, meta.log.offset);
     put_u64(out, meta.log.records);
-    let len = (out.len() - at - 4) as u32;
-    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    // Saturation is unreachable (the meta section is ~50 fixed bytes) but
+    // if it ever engaged, parse would reject the length mismatch — a
+    // typed error instead of a silent truncation.
+    let len = u32::try_from(out.len() - at - 4).unwrap_or(u32::MAX);
+    patch_u32(out, at, len);
 }
 
 /// Appends the `total_len` + FNV-1a checksum trailer, completing a
@@ -374,7 +407,7 @@ pub(crate) fn write_section(
     state.policy.save_state(out)?;
     let blob_len = u32::try_from(out.len() - blob_at - 4)
         .map_err(|_| "policy state blob exceeds 4 GiB".to_string())?;
-    out[blob_at..blob_at + 4].copy_from_slice(&blob_len.to_le_bytes());
+    patch_u32(out, blob_at, blob_len);
     // Telemetry.
     let b = state.win_base;
     put_u64(out, b.rounds);
@@ -391,7 +424,7 @@ pub(crate) fn write_section(
     }
     let len = u32::try_from(out.len() - at - 4)
         .map_err(|_| format!("shard {shard} section exceeds 4 GiB"))?;
-    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    patch_u32(out, at, len);
     Ok(())
 }
 
@@ -413,19 +446,19 @@ impl<'a> Cur<'a> {
     }
 
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapshotError> {
-        if self.remaining() < n {
+        let slice = self.pos.checked_add(n).and_then(|end| self.bytes.get(self.pos..end));
+        let Some(s) = slice else {
             return Err(SnapshotError::Malformed(format!(
                 "{what}: need {n} bytes but only {} remain",
                 self.remaining()
             )));
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
+        };
         self.pos += n;
         Ok(s)
     }
 
     fn u8(&mut self, what: &str) -> Result<u8, SnapshotError> {
-        Ok(self.take(1, what)?[0])
+        Ok(self.take(1, what)?.first().copied().unwrap_or(0))
     }
 
     fn flag(&mut self, what: &str) -> Result<bool, SnapshotError> {
@@ -439,15 +472,15 @@ impl<'a> Cur<'a> {
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, SnapshotError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(le_bytes(self.take(2, what)?)))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(le_bytes(self.take(4, what)?)))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(le_bytes(self.take(8, what)?)))
     }
 
     fn str16(&mut self, what: &str) -> Result<String, SnapshotError> {
@@ -473,12 +506,14 @@ impl<'a> Cur<'a> {
     /// allocation, so corrupt counts can never trigger huge reserves.
     fn count(&mut self, min_size: usize, what: &str) -> Result<usize, SnapshotError> {
         let count = self.u64(what)?;
-        if count > (self.remaining() / min_size) as u64 {
+        let bound = self.remaining() / min_size;
+        let bounded = usize::try_from(count).ok().filter(|&c| c <= bound);
+        let Some(count) = bounded else {
             return Err(SnapshotError::Malformed(format!(
                 "{what}: count {count} exceeds the bytes that remain"
             )));
-        }
-        Ok(count as usize)
+        };
+        Ok(count)
     }
 }
 
@@ -662,12 +697,12 @@ fn parse_section(bytes: &[u8]) -> Result<ShardSection, SnapshotError> {
     let mut cur = Cur::new(bytes);
     let shard = cur.u32("section shard id")?;
     let tree_len = cur.u64("section tree length")?;
-    if tree_len > u64::from(u32::MAX) {
+    let in_range = usize::try_from(tree_len).ok().filter(|_| tree_len <= u64::from(u32::MAX));
+    let Some(n) = in_range else {
         return Err(SnapshotError::Malformed(format!(
             "section tree length {tree_len} exceeds the node-id space"
         )));
-    }
-    let n = tree_len as usize;
+    };
     let tree_digest = cur.u64("section tree digest")?;
     let policy_name = cur.str16("section policy name")?;
     let round = cur.u64("section round")?;
@@ -749,35 +784,39 @@ impl EngineSnapshot {
     /// # Errors
     /// A [`SnapshotError`] describing the first rejection.
     pub fn parse(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        if bytes.len() < 4 || bytes[..4] != SNAPSHOT_MAGIC {
+        if bytes.get(..4) != Some(SNAPSHOT_MAGIC.as_slice()) {
             return Err(SnapshotError::BadMagic);
         }
         if bytes.len() < MIN_SNAPSHOT_LEN {
             return Err(SnapshotError::Truncated { len: bytes.len() });
         }
-        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+        // All ranges below are in bounds once len >= MIN_SNAPSHOT_LEN; the
+        // `.get(..).unwrap_or_default()` form keeps the parser panic-free
+        // by construction (a missed range reads as zeros and is rejected
+        // by the length/checksum validation, never a crash).
+        let field = |range: std::ops::Range<usize>| bytes.get(range).unwrap_or_default();
+        let version = u16::from_le_bytes(le_bytes(field(4..6)));
         if version != SNAPSHOT_VERSION {
             return Err(SnapshotError::BadVersion(version));
         }
-        let flags = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+        let flags = u16::from_le_bytes(le_bytes(field(6..8)));
         if flags != 0 {
             return Err(SnapshotError::Malformed(format!("unsupported flags {flags:#06x}")));
         }
         let body_end = bytes.len() - 16;
-        let stored_len =
-            u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().expect("8 bytes"));
+        let stored_len = u64::from_le_bytes(le_bytes(field(body_end..body_end + 8)));
         if stored_len != bytes.len() as u64 {
             return Err(SnapshotError::LengthMismatch {
                 stored: stored_len,
                 actual: bytes.len() as u64,
             });
         }
-        let stored_ck = u64::from_le_bytes(bytes[body_end + 8..].try_into().expect("8 bytes"));
-        let computed = fnv1a(&bytes[..body_end + 8]);
+        let stored_ck = u64::from_le_bytes(le_bytes(field(body_end + 8..bytes.len())));
+        let computed = fnv1a(field(0..body_end + 8));
         if stored_ck != computed {
             return Err(SnapshotError::ChecksumMismatch { stored: stored_ck, computed });
         }
-        let mut cur = Cur::new(&bytes[8..body_end]);
+        let mut cur = Cur::new(field(8..body_end));
         let meta_len = cur.u32("meta length")? as usize;
         let meta = parse_meta(cur.take(meta_len, "meta section")?)?;
         let mut sections = Vec::with_capacity(meta.num_shards as usize);
@@ -809,7 +848,11 @@ impl EngineSnapshot {
         num_shards: usize,
     ) -> Result<(), SnapshotError> {
         let m = &self.meta;
-        let want = SnapshotMeta::of(cfg, global_len, num_shards as u32, m.log);
+        // A shard count beyond u32 cannot describe any real engine; the
+        // saturated value then fails the num_shards comparison below with
+        // a typed Incompatible error rather than truncating silently.
+        let want =
+            SnapshotMeta::of(cfg, global_len, u32::try_from(num_shards).unwrap_or(u32::MAX), m.log);
         if m.alpha != want.alpha {
             return Err(SnapshotError::Incompatible(format!(
                 "snapshot has alpha {} but the engine runs alpha {}",
@@ -900,7 +943,8 @@ pub(crate) fn restore_section_into(
     d.phase_pin = sec.phase_pin;
     d.buf_high_water = sec.buf_high_water;
     state.report = sec.report.clone();
-    state.round = sec.round as usize;
+    state.round = usize::try_from(sec.round)
+        .map_err(|_| format!("snapshot round {} exceeds this platform's usize", sec.round))?;
     state.windows.clear();
     state.windows.extend_from_slice(&sec.windows);
     state.win_base = sec.win_base;
@@ -921,8 +965,14 @@ pub struct RecoverStats {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    reason = "tests index and truncate fixture buffers they just built; a panic here is a failing test, not a service crash"
+)]
 mod tests {
     use super::*;
+    use otc_core::tree::NodeId;
     use std::io::Cursor;
     use std::sync::Arc;
 

@@ -71,9 +71,8 @@ fn every_prefix_truncation_is_rejected() {
     let bytes = sample_snapshot();
     assert!(EngineSnapshot::parse(&bytes).is_ok(), "the untouched snapshot parses");
     for cut in 0..bytes.len() {
-        let err = match EngineSnapshot::parse(&bytes[..cut]) {
-            Err(e) => e,
-            Ok(_) => panic!("prefix of {cut}/{} bytes must not parse", bytes.len()),
+        let Err(err) = EngineSnapshot::parse(&bytes[..cut]) else {
+            panic!("prefix of {cut}/{} bytes must not parse", bytes.len())
         };
         // Typed rejection, never a panic; the error must name the defect.
         assert!(!err.to_string().is_empty());
@@ -91,9 +90,8 @@ fn every_single_byte_corruption_is_rejected() {
     for i in 0..bytes.len() {
         for delta in [0x01u8, 0x80] {
             work[i] ^= delta;
-            let err = match EngineSnapshot::parse(&work) {
-                Err(e) => e,
-                Ok(_) => panic!("flipping bit {delta:#x} of byte {i} must not parse"),
+            let Err(err) = EngineSnapshot::parse(&work) else {
+                panic!("flipping bit {delta:#x} of byte {i} must not parse")
             };
             assert!(!err.to_string().is_empty());
             work[i] ^= delta; // restore

@@ -12,7 +12,7 @@
 //! Node `i` of the produced [`otc_core::Tree`] corresponds to
 //! `RuleTree::prefixes()[i]`; the root is node 0 (the default route).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use otc_core::tree::{NodeId, Tree};
 
@@ -40,7 +40,9 @@ pub struct RuleTree {
     tree: Tree,
     prefixes: Vec<Prefix>,
     /// Prefix → node id, for LMP lookups (walk lengths downward).
-    by_prefix: HashMap<Prefix, NodeId>,
+    /// Ordered map: membership-only today, but keeping it un-iterable-in-
+    /// hash-order means no future change can leak RandomState into costs.
+    by_prefix: BTreeMap<Prefix, NodeId>,
     /// Sorted distinct prefix lengths present, longest first — LMP probes
     /// only these.
     lens_desc: Vec<u8>,
@@ -59,7 +61,7 @@ impl RuleTree {
         // and the default route is node 0.
         debug_assert_eq!(prefixes[0], Prefix::ROOT);
 
-        let by_prefix: HashMap<Prefix, NodeId> =
+        let by_prefix: BTreeMap<Prefix, NodeId> =
             prefixes.iter().enumerate().map(|(i, &p)| (p, NodeId(i as u32))).collect();
 
         let parents: Vec<Option<usize>> = prefixes
@@ -196,6 +198,28 @@ impl RuleTree {
 mod tests {
     use super::*;
     use crate::prefix::parse_prefix;
+
+    #[test]
+    fn build_is_deterministic_across_seeds_and_input_order() {
+        // Two seeds; for each, build from the generated table and from the
+        // same table reversed: node numbering, parents and LMP answers must
+        // be byte-identical (build sorts, so input order must not matter,
+        // and no hash iteration may leak into the structure).
+        for seed in [21u64, 22] {
+            let mut rng = otc_util::SplitMix64::new(seed);
+            let table = crate::synth::flat_table(400, &mut rng);
+            let mut reversed = table.clone();
+            reversed.reverse();
+            let a = RuleTree::build(&table);
+            let b = RuleTree::build(&reversed);
+            assert_eq!(a.prefixes(), b.prefixes(), "seed {seed}: numbering must match");
+            let mut addr_rng = otc_util::SplitMix64::new(seed ^ 0xABCD);
+            for _ in 0..200 {
+                let addr = addr_rng.next_u64() as u32;
+                assert_eq!(a.lmp(addr), b.lmp(addr), "seed {seed}: LMP must match");
+            }
+        }
+    }
 
     fn p(s: &str) -> Prefix {
         parse_prefix(s).unwrap()

@@ -16,7 +16,7 @@
 //! [`hierarchical_table`] explicitly grows subdivision chains (deep trees,
 //! the regime where TC's dependency handling pays off).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use otc_util::SplitMix64;
 
@@ -59,7 +59,12 @@ fn sample_length(rng: &mut SplitMix64) -> u8 {
 /// shallow dependency trees — the "rules do not overlap much" regime.
 #[must_use]
 pub fn flat_table(n: usize, rng: &mut SplitMix64) -> Vec<Prefix> {
-    let mut set: HashSet<Prefix> = HashSet::with_capacity(n);
+    // BTreeSet: the old HashSet version returned the *same prefixes in a
+    // process-random order* (`set.into_iter().collect()` exposes the
+    // RandomState), which silently broke seed-reproducibility of every
+    // downstream trace built from a flat table. Ordered iteration makes
+    // the output a pure function of (n, seed).
+    let mut set: BTreeSet<Prefix> = BTreeSet::new();
     while set.len() < n {
         let len = sample_length(rng);
         // Confine to 1.0.0.0 – 223.255.255.255-ish unicast space for
@@ -97,7 +102,9 @@ pub fn hierarchical_table(cfg: HierarchicalConfig, rng: &mut SplitMix64) -> Vec<
     assert!(cfg.n >= 1);
     assert!((0.0..=1.0).contains(&cfg.subdivide_p));
     assert!(cfg.max_len <= 32);
-    let mut set: HashSet<Prefix> = HashSet::with_capacity(cfg.n);
+    // Membership-only (output order comes from `list`), but BTreeSet
+    // keeps the whole module free of hash iteration by construction.
+    let mut set: BTreeSet<Prefix> = BTreeSet::new();
     let mut list: Vec<Prefix> = Vec::with_capacity(cfg.n);
     let mut guard = 0u64;
     while list.len() < cfg.n {
@@ -134,8 +141,29 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         let t = flat_table(500, &mut rng);
         assert_eq!(t.len(), 500);
-        let set: HashSet<_> = t.iter().collect();
+        let set: BTreeSet<_> = t.iter().collect();
         assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        // Same seed → byte-identical table, including *order* (the old
+        // HashSet-backed flat_table violated this); different seed →
+        // different table.
+        for seed in [7u64, 8] {
+            let a = flat_table(300, &mut SplitMix64::new(seed));
+            let b = flat_table(300, &mut SplitMix64::new(seed));
+            assert_eq!(a, b, "flat_table must be a pure function of (n, seed)");
+            let cfg = HierarchicalConfig { n: 300, ..HierarchicalConfig::default() };
+            let ha = hierarchical_table(cfg, &mut SplitMix64::new(seed));
+            let hb = hierarchical_table(cfg, &mut SplitMix64::new(seed));
+            assert_eq!(ha, hb, "hierarchical_table must be a pure function of (cfg, seed)");
+        }
+        assert_ne!(
+            flat_table(300, &mut SplitMix64::new(7)),
+            flat_table(300, &mut SplitMix64::new(8)),
+            "different seeds must give different tables"
+        );
     }
 
     #[test]

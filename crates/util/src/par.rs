@@ -125,7 +125,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     parallel_map_threads(items, threads, f)
 }
 

@@ -43,13 +43,13 @@ impl SplitMix64 {
         // Lemire 2019: unbiased bounded integers without division in the
         // common case.
         let mut x = self.next_u64();
-        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut m = u128::from(x).wrapping_mul(u128::from(bound));
         let mut lo = m as u64;
         if lo < bound {
             let threshold = bound.wrapping_neg() % bound;
             while lo < threshold {
                 x = self.next_u64();
-                m = (x as u128).wrapping_mul(bound as u128);
+                m = u128::from(x).wrapping_mul(u128::from(bound));
                 lo = m as u64;
             }
         }

@@ -230,7 +230,7 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let data: Vec<f64> = (0..100).map(|i| f64::from(i).sin() * 10.0).collect();
         let mut whole = OnlineStats::new();
         for &x in &data {
             whole.push(x);

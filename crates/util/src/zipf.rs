@@ -123,7 +123,7 @@ mod tests {
             }
         }
         // With theta = 1.1 and n = 1000 the top-10 ranks carry ~40% of mass.
-        let frac = head as f64 / draws as f64;
+        let frac = head as f64 / f64::from(draws);
         assert!(frac > 0.30, "expected heavy head, got {frac}");
     }
 
@@ -137,7 +137,7 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for (r, &count) in counts.iter().enumerate() {
-            let emp = f64::from(count) / draws as f64;
+            let emp = f64::from(count) / f64::from(draws);
             assert!((emp - z.pmf(r)).abs() < 0.01, "rank {r}: empirical {emp} vs pmf {}", z.pmf(r));
         }
     }

@@ -451,7 +451,7 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         let reqs = zipf_positive(&tree, 5000, 1.0, &mut rng);
         assert_eq!(reqs.len(), 5000);
-        assert!(reqs.iter().all(|r| r.is_positive()));
+        assert!(reqs.iter().all(otc_core::Request::is_positive));
         assert!(reqs.iter().all(|r| r.node.index() < tree.len()));
         // Skew: the most frequent node should dominate the least frequent.
         let mut counts = vec![0usize; tree.len()];
@@ -599,7 +599,7 @@ mod tests {
             .chunks(window)
             .map(|c| c.iter().filter(|r| !r.is_positive()).count() as f64 / c.len() as f64)
             .collect();
-        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let max = rates.iter().copied().fold(0.0, f64::max);
         assert!(max > 3.0 * neg, "bursts should concentrate updates: max {max} vs mean {neg}");
         // Deterministic under the same seed.
         let again = markov_bursty(&tree, cfg, &mut SplitMix64::new(0xB00));

@@ -24,6 +24,13 @@
 //! `otc-serve` wire protocol — a live service's log is byte-compatible
 //! with these readers by construction.
 
+// Codec modules hold the panic-freedom line hardest: a narrowing cast
+// or an out-of-bounds index here turns a corrupt trace into a wrong
+// answer or a crash. CI runs clippy with -D warnings, so these are
+// hard gates for this file.
+#![warn(clippy::cast_possible_truncation)]
+#![warn(clippy::indexing_slicing)]
+
 use std::io::{self, Read, Seek, SeekFrom, Write};
 
 use otc_core::request::{Request, Sign};
@@ -70,15 +77,13 @@ pub struct TraceHeader {
 }
 
 impl TraceHeader {
-    /// A header for a single-tree universe of `n` nodes.
+    /// A header for a single-tree universe of `n` nodes. A universe
+    /// beyond `u32::MAX` nodes saturates (node ids are `u32`, so no
+    /// such tree can exist to be described).
     #[must_use]
     pub fn single_tree(n: usize, seed: u64, generator: &str) -> Self {
-        Self {
-            universe: n as u32,
-            shard_map: vec![n as u32],
-            seed,
-            generator: generator.to_string(),
-        }
+        let n = u32::try_from(n).unwrap_or(u32::MAX);
+        Self { universe: n, shard_map: vec![n], seed, generator: generator.to_string() }
     }
 
     /// Exact byte length of this header's binary encoding, including the
@@ -138,6 +143,7 @@ impl Trace {
     /// Never panics: writing to a `Vec` cannot fail.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
+        // otc-lint: allow(R3 reason="io::Write/Seek on a Cursor<Vec> is infallible; no input bytes are parsed here")
         self.save(io::Cursor::new(Vec::new())).expect("in-memory write cannot fail").into_inner()
     }
 
@@ -152,6 +158,22 @@ impl Trace {
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Checks a header's variable-length fields against the format caps and
+/// returns them in their exact on-wire widths, so encoding can never
+/// truncate: a length that does not fit the wire field is an error here,
+/// not a silent `as` cast at the write site.
+fn wire_lens(header: &TraceHeader) -> io::Result<(u32, u16)> {
+    let num_shards = u32::try_from(header.shard_map.len())
+        .ok()
+        .filter(|&n| n <= MAX_SHARDS)
+        .ok_or_else(|| bad_data("shard map too long"))?;
+    let gen_len = u16::try_from(header.generator.len())
+        .ok()
+        .filter(|&n| n <= MAX_GENERATOR_LEN)
+        .ok_or_else(|| bad_data("generator name too long"))?;
+    Ok((num_shards, gen_len))
 }
 
 /// Streaming binary-trace writer.
@@ -203,12 +225,7 @@ impl<W: Write + Seek> TraceWriter<W> {
     /// Propagates I/O errors; rejects generator names longer than 4096
     /// bytes and shard maps longer than 2²⁰ entries.
     pub fn new(mut sink: W, header: TraceHeader) -> io::Result<Self> {
-        if header.generator.len() > MAX_GENERATOR_LEN as usize {
-            return Err(bad_data("generator name too long"));
-        }
-        if header.shard_map.len() > MAX_SHARDS as usize {
-            return Err(bad_data("shard map too long"));
-        }
+        let (num_shards, gen_len) = wire_lens(&header)?;
         // The sink need not start at position 0 (appending after a
         // preamble or an earlier trace is legal): all patch offsets are
         // relative to where this trace begins.
@@ -219,11 +236,11 @@ impl<W: Write + Seek> TraceWriter<W> {
         buf.extend_from_slice(&0u16.to_le_bytes()); // flags (reserved)
         buf.extend_from_slice(&header.universe.to_le_bytes());
         buf.extend_from_slice(&header.seed.to_le_bytes());
-        buf.extend_from_slice(&(header.shard_map.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&num_shards.to_le_bytes());
         for &s in &header.shard_map {
             buf.extend_from_slice(&s.to_le_bytes());
         }
-        buf.extend_from_slice(&(header.generator.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&gen_len.to_le_bytes());
         buf.extend_from_slice(header.generator.as_bytes());
         let count_pos = origin + buf.len() as u64;
         buf.extend_from_slice(&COUNT_UNKNOWN.to_le_bytes());
@@ -248,12 +265,7 @@ impl<W: Write + Seek> TraceWriter<W> {
     /// Propagates I/O errors; rejects headers [`TraceWriter::new`] would
     /// reject and sinks shorter than `origin` plus the header.
     pub fn resume(mut sink: W, header: TraceHeader, origin: u64, count: u64) -> io::Result<Self> {
-        if header.generator.len() > MAX_GENERATOR_LEN as usize {
-            return Err(bad_data("generator name too long"));
-        }
-        if header.shard_map.len() > MAX_SHARDS as usize {
-            return Err(bad_data("shard map too long"));
-        }
+        wire_lens(&header)?;
         let count_pos = origin + header.encoded_len() - 8;
         let end = sink.seek(SeekFrom::End(0))?;
         let Some(body_bytes) = end.checked_sub(count_pos + 8) else {
@@ -607,7 +619,8 @@ pub fn to_csv(requests: &[Request]) -> String {
     out.push_str("round,sign,node\n");
     for (i, r) in requests.iter().enumerate() {
         let sign = crate::wire::sign_char(r.sign);
-        writeln!(out, "{i},{sign},{}", r.node.0).expect("String writes cannot fail");
+        // fmt::Write to a String is infallible; discard the Ok(()).
+        let _ = writeln!(out, "{i},{sign},{}", r.node.0);
     }
     out
 }
@@ -655,8 +668,8 @@ pub fn to_jsonl(requests: &[Request]) -> String {
     let mut out = String::with_capacity(requests.len() * 24);
     for r in requests {
         let sign = crate::wire::sign_char(r.sign);
-        writeln!(out, "{{\"node\":{},\"sign\":\"{sign}\"}}", r.node.0)
-            .expect("String writes cannot fail");
+        // fmt::Write to a String is infallible; discard the Ok(()).
+        let _ = writeln!(out, "{{\"node\":{},\"sign\":\"{sign}\"}}", r.node.0);
     }
     out
 }
@@ -726,6 +739,11 @@ pub fn validate_for_tree(requests: &[Request], tree: &otc_core::tree::Tree) -> R
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    reason = "tests index and truncate fixture buffers they just built; a panic here is a failing test, not a service crash"
+)]
 mod tests {
     use super::*;
 
@@ -1054,9 +1072,8 @@ mod tests {
     fn resume_rejects_a_sink_shorter_than_the_header() {
         let header = TraceHeader::single_tree(64, 0, "short");
         let sink = io::Cursor::new(vec![0u8; 4]);
-        let err = match TraceWriter::resume(sink, header, 0, 0) {
-            Err(e) => e,
-            Ok(_) => panic!("resume over a headerless sink must fail"),
+        let Err(err) = TraceWriter::resume(sink, header, 0, 0) else {
+            panic!("resume over a headerless sink must fail")
         };
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }

@@ -19,6 +19,13 @@
 //! plausible value (`crates/workloads/tests/proptest_trace.rs` and the
 //! serve wire proptests both pin this).
 
+// Codec modules hold the panic-freedom line hardest: a narrowing cast
+// or an out-of-bounds index here turns a corrupt record into a wrong
+// answer or a crash. CI runs clippy with -D warnings, so these are
+// hard gates for this file.
+#![warn(clippy::cast_possible_truncation)]
+#![warn(clippy::indexing_slicing)]
+
 use std::io::{self, Read};
 
 use otc_core::request::{Request, Sign};
@@ -32,6 +39,7 @@ fn bad_data(msg: impl Into<String>) -> io::Error {
 /// Appends `value` to `buf` as an LEB128 varint (1–10 bytes).
 pub fn encode_varint(buf: &mut Vec<u8>, mut value: u64) {
     loop {
+        // otc-lint: allow(R4 reason="masked to 7 bits, provably lossless")
         let byte = (value & 0x7F) as u8;
         value >>= 7;
         if value == 0 {
@@ -104,12 +112,10 @@ pub fn request_to_varint(req: Request) -> u64 {
 /// # Errors
 /// `InvalidData` when the node id overflows `u32`.
 pub fn request_from_varint(value: u64) -> io::Result<Request> {
-    let node = value >> 1;
-    if node > u64::from(u32::MAX) {
-        return Err(bad_data(format!("node id {node} overflows u32")));
-    }
+    let node = u32::try_from(value >> 1)
+        .map_err(|_| bad_data(format!("node id {} overflows u32", value >> 1)))?;
     let sign = if value & 1 == 1 { Sign::Negative } else { Sign::Positive };
-    Ok(Request { node: NodeId(node as u32), sign })
+    Ok(Request { node: NodeId(node), sign })
 }
 
 /// Appends one request record to `buf` (LEB128 of
@@ -152,6 +158,10 @@ pub fn parse_sign(text: &str) -> Option<Sign> {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::indexing_slicing,
+    reason = "tests index fixture buffers they just built; a panic here is a failing test, not a service crash"
+)]
 mod tests {
     use super::*;
     use std::io::Cursor;

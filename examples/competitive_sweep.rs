@@ -45,7 +45,7 @@ fn main() {
         });
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
         let max = ratios.iter().copied().fold(0.0f64, f64::max);
-        let bound = tree.height() as f64; // R = 1 here (kONL = kOPT) times h
+        let bound = f64::from(tree.height()); // R = 1 here (kONL = kOPT) times h
         println!(
             "{name:<12} {:>4} {:>4} {mean:>12.3} {max:>12.3} {bound:>12.1}",
             tree.len(),

@@ -106,12 +106,11 @@ fn main() {
     hammer(server.addr(), &pre, CLIENTS);
     let path = server.kill().expect("kill syncs the log body").expect("file log");
     let snaps = std::fs::read_dir(&snap_dir)
-        .map(|d| d.filter_map(Result::ok).filter(|e| e.path().extension().is_some()).count())
-        .unwrap_or(0);
+        .map_or(0, |d| d.filter_map(Result::ok).filter(|e| e.path().extension().is_some()).count());
     println!(
         "killed after {PRE_CRASH} requests: log at {} ({} bytes), {snaps} snapshot(s) on disk",
         path.display(),
-        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        std::fs::metadata(&path).map_or(0, |m| m.len()),
     );
 
     // --- 3. Recovery: snapshot + log-tail replay, then back in service.

@@ -58,6 +58,11 @@ fn main() {
     let slices: Vec<Vec<Request>> = (0..CLIENTS)
         .map(|_| multi_tenant_stream(&forest, &profiles, PER_CLIENT, ALPHA, &mut rng))
         .collect();
+    #[allow(
+        clippy::needless_collect,
+        reason = "collecting spawns every client thread before the first join; a lazy \
+                  iterator would run the clients one at a time"
+    )]
     let handles: Vec<_> = slices
         .into_iter()
         .enumerate()

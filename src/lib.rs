@@ -57,7 +57,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// The task-oriented user guide (`docs/GUIDE.md`), included here verbatim
 /// so every snippet is compiled and executed by `cargo test --doc` and
