@@ -254,6 +254,230 @@ impl Forest {
                 .enumerate()
                 .all(|(i, &(s, local))| s == ShardId(0) && local.index() == i)
     }
+
+    /// Splits `tree` at its root into **cells**: the finest root partition,
+    /// one shard per root-child subtree. Cells are the migration unit of
+    /// dynamic rebalancing — each cell carries its own policy, capacity and
+    /// phase structure, so *where* a cell executes can never change what it
+    /// costs. Equivalent to `Forest::partition(tree, #root children)`.
+    #[must_use]
+    pub fn cells(tree: &Tree) -> Self {
+        let kids = tree.children(tree.root()).len().max(1);
+        Self::partition(tree, kids)
+    }
+}
+
+/// Why an epoch-stamped routing lookup or table update was refused.
+/// Stale routing is always a typed refusal, never a silent misroute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The lookup was stamped with an epoch older than the table's: the
+    /// caller routed against a table that has since been republished.
+    StaleEpoch {
+        /// Epoch the lookup was stamped with.
+        stamped: u64,
+        /// The table's current epoch.
+        current: u64,
+    },
+    /// The lookup was stamped with an epoch the table has not reached —
+    /// the stamp cannot have come from this table.
+    FutureEpoch {
+        /// Epoch the lookup was stamped with.
+        stamped: u64,
+        /// The table's current epoch.
+        current: u64,
+    },
+    /// The cell id is outside the table.
+    UnknownCell {
+        /// The offending cell.
+        cell: ShardId,
+        /// Number of cells the table covers.
+        cells: usize,
+    },
+    /// A move names a destination group outside the table.
+    UnknownGroup {
+        /// The offending group.
+        group: u32,
+        /// Number of groups the table covers.
+        groups: u32,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::StaleEpoch { stamped, current } => {
+                write!(f, "routing stamped with stale epoch {stamped} (table is at {current})")
+            }
+            Self::FutureEpoch { stamped, current } => {
+                write!(f, "routing stamped with future epoch {stamped} (table is at {current})")
+            }
+            Self::UnknownCell { cell, cells } => {
+                write!(f, "cell {cell} outside the routing table ({cells} cells)")
+            }
+            Self::UnknownGroup { group, groups } => {
+                write!(f, "group {group} outside the routing table ({groups} groups)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// An epoch-versioned cell → group placement table.
+///
+/// Placement is an *execution* concept: a [`Forest`] of cells fixes what
+/// every request costs, and the `RoutingTable` only says which worker
+/// group currently executes each cell. Rebalancing republishes the table
+/// with a bumped epoch; lookups stamped with an old epoch are refused
+/// ([`RouteError::StaleEpoch`]) instead of silently routing to a group
+/// that may no longer own the cell.
+///
+/// ```
+/// use otc_core::forest::{RouteError, RoutingTable, ShardId};
+///
+/// let mut table = RoutingTable::new(vec![0, 0, 1], 2).unwrap();
+/// let stamp = table.epoch();
+/// assert_eq!(table.route_at(ShardId(2), stamp), Ok(1));
+/// table.apply(&[(ShardId(2), 0)]).unwrap();
+/// // The pre-publication stamp is now refused, not misrouted.
+/// assert_eq!(
+///     table.route_at(ShardId(2), stamp),
+///     Err(RouteError::StaleEpoch { stamped: stamp, current: stamp + 1 })
+/// );
+/// assert_eq!(table.owner_of(ShardId(2)), Some(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    /// Cell index → owning group. Flat and dense: O(1) lookups.
+    owner: Vec<u32>,
+    groups: u32,
+    epoch: u64,
+}
+
+impl RoutingTable {
+    /// Builds a table from an explicit placement (cell index → group), at
+    /// epoch 0.
+    ///
+    /// # Errors
+    /// [`RouteError::UnknownGroup`] if any owner is `>= groups`;
+    /// [`RouteError::UnknownCell`] if `owner` is empty or `groups == 0`.
+    pub fn new(owner: Vec<u32>, groups: u32) -> Result<Self, RouteError> {
+        if owner.is_empty() || groups == 0 {
+            return Err(RouteError::UnknownCell { cell: ShardId(0), cells: 0 });
+        }
+        if let Some(&g) = owner.iter().find(|&&g| g >= groups) {
+            return Err(RouteError::UnknownGroup { group: g, groups });
+        }
+        Ok(Self { owner, groups, epoch: 0 })
+    }
+
+    /// The deterministic static placement: longest-processing-time binning
+    /// of `cell_weights` (largest weight to the currently lightest group,
+    /// ties to the lower index), at epoch 0. This is the same discipline
+    /// [`Forest::partition`] uses for subtree sizes, so "static LPT" means
+    /// the same thing for cells as it does for shards.
+    ///
+    /// # Panics
+    /// Panics if `cell_weights` is empty or `groups == 0`.
+    #[must_use]
+    pub fn lpt(cell_weights: &[u64], groups: u32) -> Self {
+        assert!(!cell_weights.is_empty(), "a routing table covers at least one cell");
+        assert!(groups >= 1, "a routing table covers at least one group");
+        let mut order: Vec<usize> = (0..cell_weights.len()).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(cell_weights[c]), c));
+        let mut owner = vec![0u32; cell_weights.len()];
+        let mut load = vec![0u64; groups as usize];
+        for c in order {
+            let lightest = (0..groups as usize).min_by_key(|&g| (load[g], g)).expect("groups >= 1");
+            owner[c] = lightest as u32;
+            load[lightest] += cell_weights[c];
+        }
+        Self { owner, groups, epoch: 0 }
+    }
+
+    /// The table's current epoch (0 at construction; `+1` per
+    /// [`RoutingTable::apply`]).
+    #[inline]
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of cells the table covers.
+    #[inline]
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of worker groups the table places cells onto.
+    #[inline]
+    #[must_use]
+    pub fn num_groups(&self) -> u32 {
+        self.groups
+    }
+
+    /// The group currently owning `cell` — the O(1) fast path for callers
+    /// already serialized against republication. `None` if the cell is
+    /// outside the table.
+    #[inline]
+    #[must_use]
+    pub fn owner_of(&self, cell: ShardId) -> Option<u32> {
+        self.owner.get(cell.index()).copied()
+    }
+
+    /// The full placement, cell index → group.
+    #[must_use]
+    pub fn owners(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// Routes `cell` under a lookup stamped with `epoch`. The stamp must
+    /// equal the table's current epoch: a stale stamp means the table was
+    /// republished since the caller read it, and the caller must re-route
+    /// — silently returning the *new* owner would hide exactly the race
+    /// the epoch exists to surface.
+    ///
+    /// # Errors
+    /// [`RouteError::StaleEpoch`] / [`RouteError::FutureEpoch`] on a stamp
+    /// mismatch, [`RouteError::UnknownCell`] for an out-of-range cell.
+    #[inline]
+    pub fn route_at(&self, cell: ShardId, epoch: u64) -> Result<u32, RouteError> {
+        if epoch < self.epoch {
+            return Err(RouteError::StaleEpoch { stamped: epoch, current: self.epoch });
+        }
+        if epoch > self.epoch {
+            return Err(RouteError::FutureEpoch { stamped: epoch, current: self.epoch });
+        }
+        self.owner_of(cell).ok_or(RouteError::UnknownCell { cell, cells: self.owner.len() })
+    }
+
+    /// Publishes a new table version: re-homes every `(cell, group)` in
+    /// `moves` and bumps the epoch (also for an empty `moves`, so callers
+    /// that republish once per decision boundary get one epoch per
+    /// boundary). All moves are validated before any is applied.
+    ///
+    /// # Errors
+    /// [`RouteError::UnknownCell`] / [`RouteError::UnknownGroup`] if a move
+    /// names a cell or group outside the table; nothing is applied.
+    pub fn apply(&mut self, moves: &[(ShardId, u32)]) -> Result<u64, RouteError> {
+        for &(cell, group) in moves {
+            if cell.index() >= self.owner.len() {
+                return Err(RouteError::UnknownCell { cell, cells: self.owner.len() });
+            }
+            if group >= self.groups {
+                return Err(RouteError::UnknownGroup { group, groups: self.groups });
+            }
+        }
+        for &(cell, group) in moves {
+            if let Some(slot) = self.owner.get_mut(cell.index()) {
+                *slot = group;
+            }
+        }
+        self.epoch += 1;
+        Ok(self.epoch)
+    }
 }
 
 #[cfg(test)]
@@ -362,5 +586,100 @@ mod tests {
         let (s, r) = forest.route_request(Request::neg(NodeId(3)));
         assert!(!r.is_positive());
         assert_eq!(forest.to_global(s, r.node), NodeId(3));
+    }
+
+    #[test]
+    fn cells_is_the_finest_root_partition() {
+        //        0
+        //     /  |  \
+        //    1   3   5
+        //    |   |
+        //    2   4
+        let tree = Tree::from_parents(&[None, Some(0), Some(1), Some(0), Some(3), Some(0)]);
+        let forest = Forest::cells(&tree);
+        assert_eq!(forest.num_shards(), 3, "one cell per root child");
+        // Each cell tree is the root replica plus exactly one subtrie.
+        let mut sizes: Vec<usize> = forest.trees().iter().map(|t| t.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3, 3]);
+        // Degenerate trees still yield one cell.
+        assert_eq!(Forest::cells(&Tree::from_parents(&[None])).num_shards(), 1);
+    }
+
+    #[test]
+    fn routing_table_fast_path_and_validation() {
+        let table = RoutingTable::new(vec![1, 0, 1, 2], 3).expect("valid placement");
+        assert_eq!(table.epoch(), 0);
+        assert_eq!(table.num_cells(), 4);
+        assert_eq!(table.num_groups(), 3);
+        assert_eq!(table.owner_of(ShardId(0)), Some(1));
+        assert_eq!(table.owner_of(ShardId(3)), Some(2));
+        assert_eq!(table.owner_of(ShardId(4)), None);
+        assert_eq!(
+            RoutingTable::new(vec![0, 3], 3),
+            Err(RouteError::UnknownGroup { group: 3, groups: 3 })
+        );
+        assert!(RoutingTable::new(vec![], 3).is_err());
+        assert!(RoutingTable::new(vec![0], 0).is_err());
+    }
+
+    #[test]
+    fn stale_epoch_routing_is_refused_not_misrouted() {
+        let mut table = RoutingTable::new(vec![0, 0, 1, 1], 2).expect("valid");
+        let stamp = table.epoch();
+        assert_eq!(table.route_at(ShardId(2), stamp), Ok(1));
+
+        // Republish: cell 2 moves to group 0.
+        let new_epoch = table.apply(&[(ShardId(2), 0)]).expect("valid move");
+        assert_eq!(new_epoch, 1);
+        assert_eq!(table.owner_of(ShardId(2)), Some(0), "fast path sees the new owner");
+
+        // The pre-publication stamp must be refused with a typed error —
+        // never silently resolved to either the old or the new owner.
+        assert_eq!(
+            table.route_at(ShardId(2), stamp),
+            Err(RouteError::StaleEpoch { stamped: 0, current: 1 })
+        );
+        // A stamp from the future is equally refused.
+        assert_eq!(
+            table.route_at(ShardId(2), 7),
+            Err(RouteError::FutureEpoch { stamped: 7, current: 1 })
+        );
+        // Re-routing at the current epoch succeeds.
+        assert_eq!(table.route_at(ShardId(2), table.epoch()), Ok(0));
+        assert_eq!(
+            table.route_at(ShardId(9), table.epoch()),
+            Err(RouteError::UnknownCell { cell: ShardId(9), cells: 4 })
+        );
+    }
+
+    #[test]
+    fn apply_validates_before_mutating_and_bumps_on_empty() {
+        let mut table = RoutingTable::new(vec![0, 1], 2).expect("valid");
+        let before = table.clone();
+        let err = table.apply(&[(ShardId(0), 1), (ShardId(5), 0)]).unwrap_err();
+        assert_eq!(err, RouteError::UnknownCell { cell: ShardId(5), cells: 2 });
+        assert_eq!(table, before, "a refused apply changes nothing, including the epoch");
+        // An empty decision still publishes a new version: one epoch per
+        // decision boundary, moves or not.
+        assert_eq!(table.apply(&[]), Ok(1));
+        assert_eq!(table.owners(), &[0, 1]);
+    }
+
+    #[test]
+    fn lpt_placement_is_deterministic_and_balanced() {
+        // Weights 8,7,2,2,1 over 2 groups: LPT gives {8,2} and {7,2,1}.
+        let a = RoutingTable::lpt(&[8, 7, 2, 2, 1], 2);
+        let b = RoutingTable::lpt(&[8, 7, 2, 2, 1], 2);
+        assert_eq!(a, b);
+        assert_eq!(a.owners(), &[0, 1, 1, 0, 1]);
+        let mut load = [0u64; 2];
+        for (c, &g) in a.owners().iter().enumerate() {
+            load[g as usize] += [8u64, 7, 2, 2, 1][c];
+        }
+        assert_eq!(load, [10, 10]);
+        // More groups than cells: every cell gets its own group.
+        let solo = RoutingTable::lpt(&[3, 1], 4);
+        assert_eq!(solo.owners(), &[0, 1]);
     }
 }

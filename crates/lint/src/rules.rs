@@ -88,7 +88,7 @@ const R2_EXEMPT_CRATES: &[&str] = &["bench", "experiments"];
 
 /// File names whose non-test code is a parse/decode/recovery path (R3):
 /// typed errors only, never a panic.
-const R3_FILES: &[&str] = &["wire.rs", "trace.rs", "snapshot.rs", "server.rs"];
+const R3_FILES: &[&str] = &["wire.rs", "trace.rs", "snapshot.rs", "server.rs", "rebalance.rs"];
 
 /// File names that are binary codecs (R4): every integer conversion
 /// must be value-preserving, so no narrowing `as`.

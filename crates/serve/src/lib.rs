@@ -58,9 +58,13 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod rebalance;
 pub mod server;
 pub mod wire;
 
 pub use client::Client;
-pub use server::{ResumeOutcome, ServeConfig, ServeOutcome, Server, SnapshotPolicy, TraceLog};
+pub use rebalance::{initial_table, RebalancePolicy};
+pub use server::{
+    RebalanceSummary, ResumeOutcome, ServeConfig, ServeOutcome, Server, SnapshotPolicy, TraceLog,
+};
 pub use wire::{Message, ServeStats, MAX_FRAME, WIRE_MAGIC, WIRE_VERSION};

@@ -1,0 +1,354 @@
+//! Live cell migration: the serving-side half of [`otc_sim::rebalance`].
+//!
+//! The sim crate owns the *decisions* (boundary detection, the pure
+//! [`otc_sim::rebalance::plan`], record verification on replay); this
+//! module owns the *mechanics* of acting on a decision inside a running
+//! [`crate::Server`] without stopping it:
+//!
+//! * [`RebalancePolicy`] — what the user configures on
+//!   [`crate::ServeConfig`]: group count, decision cadence, and the
+//!   policy factory that rebuilds a migrated cell's policy at its
+//!   destination;
+//! * `Probe` (crate-private) — the boundary's load sample: a marker
+//!   floated down every group ring (like a snapshot cut), so each group
+//!   reports its cells' cumulative loads after executing *exactly* the
+//!   boundary prefix;
+//! * `Handoff` (crate-private) — the migration rendezvous: the source
+//!   group serializes the cell as a length-prefixed OTCS section
+//!   (`detach_cell`) and offers it; the destination group blocks on
+//!   `Handoff::take` and rebuilds the cell (`install_cell`) before
+//!   touching any request enqueued after the boundary.
+//!
+//! Deadlock-freedom of the rendezvous is purely an ordering argument:
+//! ingress pushes **all** `MigrateOut` markers before **any** `Install`
+//! marker, so per-ring FIFO guarantees every group serializes its
+//! outgoing cells before it can block waiting for an incoming one.
+//! `server.rs` documents the full protocol.
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+use otc_core::forest::{RouteError, RoutingTable, ShardId};
+use otc_core::policy::PolicyFactory;
+use otc_core::tree::Tree;
+use otc_sim::engine::EngineConfig;
+use otc_sim::worker::ShardWorker;
+use otc_sim::RebalanceConfig;
+use otc_workloads::rebalance::CellLoad;
+
+use crate::server::locked;
+
+/// Turns a [`crate::Server`] into a dynamically resharded service: the
+/// engine's cells (root-child subtrie shards) are spread over `groups`
+/// persistent worker threads, and every [`RebalanceConfig::interval`]
+/// accepted requests the service re-plans the placement and migrates
+/// cells between groups — deterministically, as a pure function of the
+/// logged request stream (determinism invariant #7, `DESIGN.md`).
+#[derive(Clone)]
+pub struct RebalancePolicy {
+    /// Serving groups (worker threads) the cells are spread over. Must
+    /// satisfy `1 <= groups <= cells`.
+    pub groups: u32,
+    /// Decision cadence and thresholds (see [`otc_sim::rebalance`]).
+    pub config: RebalanceConfig,
+    /// Rebuilds a migrated cell's policy at its destination before the
+    /// serialized state is restored into it. **Must build policies
+    /// identical to the ones the engine was started with** — a different
+    /// factory here would desynchronise migrated cells from the replay
+    /// identity.
+    pub factory: Arc<dyn PolicyFactory + Send + Sync>,
+}
+
+impl fmt::Debug for RebalancePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RebalancePolicy")
+            .field("groups", &self.groups)
+            .field("config", &self.config)
+            .field("factory", &"<dyn PolicyFactory>")
+            .finish()
+    }
+}
+
+impl RebalancePolicy {
+    /// Bundles the three ingredients of a rebalancing service.
+    pub fn new(
+        groups: u32,
+        config: RebalanceConfig,
+        factory: Arc<dyn PolicyFactory + Send + Sync>,
+    ) -> Self {
+        Self { groups, config, factory }
+    }
+
+    /// The initial placement for `cells` cells over this policy's
+    /// groups: see [`initial_table`].
+    ///
+    /// # Errors
+    /// `groups == 0`, or more groups than cells.
+    pub fn initial_table(&self, cells: usize) -> Result<RoutingTable, RouteError> {
+        initial_table(cells, self.groups)
+    }
+}
+
+/// The canonical initial placement of a rebalancing service: cell `i`
+/// starts on group `i % groups` (epoch 0). Fixed round-robin — **not**
+/// load-aware — so a replaying verifier can construct the identical
+/// starting table from the shard count alone, without any load oracle.
+///
+/// # Errors
+/// `groups == 0`, or more groups than cells (round-robin would leave a
+/// group empty, and an empty group's load is indistinguishable from a
+/// missing one — reject the shape instead).
+pub fn initial_table(cells: usize, groups: u32) -> Result<RoutingTable, RouteError> {
+    if groups == 0 || groups as usize > cells {
+        return Err(RouteError::UnknownGroup {
+            group: groups,
+            groups: u32::try_from(cells).unwrap_or(u32::MAX),
+        });
+    }
+    let owners = (0..cells).map(|i| u32::try_from(i).unwrap_or(u32::MAX) % groups).collect();
+    RoutingTable::new(owners, groups)
+}
+
+/// One boundary's load sample, shared by every group ring. Each group
+/// fills the slots of the cells it hosts after executing exactly the
+/// boundary prefix (FIFO); ingress blocks on [`Probe::wait_all`] until
+/// every cell reported.
+pub(crate) struct Probe {
+    slots: Mutex<Vec<Option<CellLoad>>>,
+    cv: Condvar,
+}
+
+impl Probe {
+    pub(crate) fn new(cells: usize) -> Self {
+        Self { slots: Mutex::new(vec![None; cells]), cv: Condvar::new() }
+    }
+
+    /// Reports the loads of the cells this group hosts.
+    pub(crate) fn fill<I: IntoIterator<Item = (usize, CellLoad)>>(&self, loads: I) {
+        let mut slots = locked(&self.slots);
+        for (cell, load) in loads {
+            if let Some(slot) = slots.get_mut(cell) {
+                *slot = Some(load);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every cell's load arrived, then returns them in cell
+    /// order. Safe to call while holding the ingress lock: group threads
+    /// never take the ingress lock, so they always make progress toward
+    /// filling the probe.
+    pub(crate) fn wait_all(&self) -> Vec<CellLoad> {
+        let mut slots = locked(&self.slots);
+        while slots.iter().any(Option::is_none) {
+            slots = self.cv.wait(slots).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        slots.iter().map(|s| s.unwrap_or_default()).collect()
+    }
+}
+
+/// What travels between groups when a cell migrates: the cell's full
+/// serialized state, plus the shared tree handle the destination
+/// rebuilds the worker around (the tree is immutable and shared — only
+/// the mutable state is serialized).
+pub(crate) struct HandoffPayload {
+    pub(crate) section: Vec<u8>,
+    pub(crate) tree: Arc<Tree>,
+}
+
+/// The one-shot rendezvous of one cell migration: the source group
+/// offers the payload (or the reason it could not produce one), the
+/// destination group blocks until it arrives.
+pub(crate) struct Handoff {
+    slot: Mutex<Option<Result<HandoffPayload, String>>>,
+    cv: Condvar,
+}
+
+impl Handoff {
+    pub(crate) fn new() -> Self {
+        Self { slot: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    /// Source side: publish the serialized cell (or the failure).
+    pub(crate) fn offer(&self, payload: Result<HandoffPayload, String>) {
+        *locked(&self.slot) = Some(payload);
+        self.cv.notify_all();
+    }
+
+    /// Destination side: block until the source published.
+    pub(crate) fn take(&self) -> Result<HandoffPayload, String> {
+        let mut slot = locked(&self.slot);
+        loop {
+            match slot.take() {
+                Some(payload) => return payload,
+                None => {
+                    slot = self.cv.wait(slot).unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        }
+    }
+}
+
+/// Source side of a migration: serializes the cell's entire state —
+/// policy, verified driver mirror, report, telemetry — as the same
+/// length-prefixed OTCS section a snapshot cut would emit.
+pub(crate) fn detach_cell(worker: &ShardWorker) -> Result<HandoffPayload, String> {
+    if let Some(e) = worker.error() {
+        return Err(format!("cell {} is poisoned: {e}", worker.shard().index()));
+    }
+    let Some(tree) = worker.tree_arc() else {
+        return Err("migration needs workers that own their trees".to_string());
+    };
+    let mut section = Vec::new();
+    worker.snapshot_section(&mut section)?;
+    Ok(HandoffPayload { section, tree })
+}
+
+/// Destination side of a migration: builds a fresh worker for the cell
+/// (same tree handle, a factory-fresh policy) and restores the migrated
+/// section into it — after which the cell's observable state is
+/// bit-identical to the moment the source serialized it.
+pub(crate) fn install_cell(
+    payload: &HandoffPayload,
+    cell: ShardId,
+    factory: &(dyn PolicyFactory + Send + Sync),
+    cfg: EngineConfig,
+) -> Result<ShardWorker, String> {
+    let section = otc_sim::parse_shard_section(&payload.section).map_err(|e| e.to_string())?;
+    let policy = factory.build(Arc::clone(&payload.tree), cell);
+    let mut worker = ShardWorker::fresh(Arc::clone(&payload.tree), policy, cell, cfg);
+    worker.restore_section(&section)?;
+    Ok(worker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otc_core::policy::CachePolicy;
+    use otc_core::tc::{TcConfig, TcFast};
+    use otc_core::tree::{NodeId, Tree};
+    use otc_core::Request;
+    use otc_sim::engine::{EngineConfig, ShardedEngine};
+    use otc_util::SplitMix64;
+
+    fn factory(tree: Arc<Tree>, _s: ShardId) -> Box<dyn CachePolicy> {
+        Box::new(TcFast::new(tree, TcConfig::new(2, 3)))
+    }
+
+    fn reqs(n: usize, len: usize, seed: u64) -> Vec<Request> {
+        let mut rng = SplitMix64::new(seed);
+        (0..len)
+            .map(|_| {
+                let v = NodeId(rng.index(n) as u32);
+                if rng.chance(0.3) {
+                    Request::neg(v)
+                } else {
+                    Request::pos(v)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_table_is_round_robin_and_validated() {
+        let t = initial_table(5, 2).unwrap();
+        assert_eq!(t.owners(), &[0, 1, 0, 1, 0]);
+        assert_eq!(t.epoch(), 0);
+        assert!(initial_table(2, 3).is_err(), "more groups than cells");
+        assert!(initial_table(3, 0).is_err(), "zero groups");
+    }
+
+    #[test]
+    fn detach_install_round_trips_a_live_cell() {
+        // Run a cell halfway, migrate it, run the rest; a never-migrated
+        // twin running the same stream must agree exactly.
+        let tree = Tree::star(9);
+        let forest = otc_core::forest::Forest::cells(&tree);
+        let stream = reqs(tree.len(), 400, 11);
+        let cfg = EngineConfig::new(2).telemetry(true);
+
+        let make_workers = || {
+            let engine = ShardedEngine::new(forest.clone(), &factory, cfg);
+            engine.into_workers().expect("fresh engine detaches").1
+        };
+        let mut twin = make_workers().remove(0);
+        let mut live = make_workers().remove(0);
+        let cell0: Vec<Request> = stream
+            .iter()
+            .map(|&r| forest.route_request(r))
+            .filter(|(sid, _)| sid.index() == 0)
+            .map(|(_, local)| local)
+            .collect();
+        let (first, rest) = cell0.split_at(cell0.len() / 2);
+
+        for &r in first {
+            twin.step(r).expect("valid");
+            live.step(r).expect("valid");
+        }
+        let payload = detach_cell(&live).expect("serializes");
+        let factory_arc: Arc<dyn PolicyFactory + Send + Sync> = Arc::new(factory);
+        let mut migrated =
+            install_cell(&payload, live.shard(), factory_arc.as_ref(), cfg).expect("installs");
+        drop(live);
+        assert_eq!(migrated.cell_load(), twin.cell_load(), "state survives the hop");
+        for &r in rest {
+            twin.step(r).expect("valid");
+            migrated.step(r).expect("valid");
+        }
+        assert_eq!(migrated.cell_load(), twin.cell_load());
+        assert_eq!(
+            migrated.report_snapshot(),
+            twin.report_snapshot(),
+            "reports are placement-invariant"
+        );
+        assert_eq!(migrated.windows(), twin.windows(), "telemetry survives the hop");
+    }
+
+    #[test]
+    fn an_empty_cell_migrates_cleanly() {
+        // Edge case: a cell that never executed a request (the workload
+        // never touched its subtrie) still detaches and installs, and
+        // keeps serving after the hop.
+        let tree = Tree::star(5);
+        let forest = otc_core::forest::Forest::cells(&tree);
+        let cfg = EngineConfig::new(2).telemetry(true);
+        let engine = ShardedEngine::new(forest.clone(), &factory, cfg);
+        let idle = engine
+            .into_workers()
+            .expect("fresh engine detaches")
+            .1
+            .into_iter()
+            .next()
+            .expect("at least one cell");
+        let payload = detach_cell(&idle).expect("an idle cell serializes");
+        let factory_arc: Arc<dyn PolicyFactory + Send + Sync> = Arc::new(factory);
+        let mut migrated =
+            install_cell(&payload, idle.shard(), factory_arc.as_ref(), cfg).expect("installs");
+        assert_eq!(migrated.cell_load(), idle.cell_load());
+        assert_eq!(migrated.report_snapshot(), idle.report_snapshot());
+        migrated.step(Request::pos(NodeId(1))).expect("still serves after the hop");
+    }
+
+    #[test]
+    fn corrupt_handoffs_are_typed_errors() {
+        let tree = Arc::new(Tree::star(4));
+        let payload = HandoffPayload { section: vec![0xff; 3], tree: Arc::clone(&tree) };
+        let factory_arc: Arc<dyn PolicyFactory + Send + Sync> = Arc::new(factory);
+        let err = install_cell(&payload, ShardId(0), factory_arc.as_ref(), EngineConfig::new(2))
+            .err()
+            .expect("corrupt section must be refused");
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn handoff_rendezvous_delivers_across_threads() {
+        let handoff = Arc::new(Handoff::new());
+        let taker = {
+            let handoff = Arc::clone(&handoff);
+            std::thread::spawn(move || handoff.take())
+        };
+        handoff.offer(Err("nothing to move".to_string()));
+        let got = taker.join().expect("no panic");
+        assert_eq!(got.err().as_deref(), Some("nothing to move"));
+    }
+}

@@ -4,9 +4,9 @@
 //! stream; see `DESIGN.md` "The serving runtime" for the full diagram):
 //!
 //! ```text
-//! client A ──TCP──▶ conn thread A ─┐            ┌─▶ worker 0 (ShardWorker)
-//! client B ──TCP──▶ conn thread B ─┤─ ingress ──┤─▶ worker 1 (ShardWorker)
-//! client C ──TCP──▶ conn thread C ─┘   lock     └─▶ worker S (ShardWorker)
+//! client A ──TCP──▶ conn thread A ─┐            ┌─▶ group 0 {ShardWorker…}
+//! client B ──TCP──▶ conn thread B ─┤─ ingress ──┤─▶ group 1 {ShardWorker…}
+//! client C ──TCP──▶ conn thread C ─┘   lock     └─▶ group G {ShardWorker…}
 //!                                      │
 //!                                      └─▶ OTCT trace log (optional)
 //! ```
@@ -14,10 +14,33 @@
 //! * One **acceptor** thread hands connections to per-connection threads.
 //! * Each **connection** thread speaks the wire protocol and pushes
 //!   accepted batches through the single **ingress** critical section.
-//! * One persistent **worker** thread per shard owns a
-//!   [`otc_sim::worker::ShardWorker`] for the lifetime of the service,
-//!   fed by a bounded [`otc_util::ring::channel`] — a full queue blocks
-//!   ingress (backpressure) instead of buffering unboundedly.
+//! * One persistent **group** thread per serving group owns a set of
+//!   [`otc_sim::worker::ShardWorker`] cells, fed by a bounded
+//!   [`otc_util::ring::channel`] — a full queue blocks ingress
+//!   (backpressure) instead of buffering unboundedly. Without a
+//!   [`RebalancePolicy`] there is exactly one group per shard (the
+//!   classic one-thread-per-shard service); with one, cells migrate
+//!   between groups at decision boundaries (see below).
+//!
+//! **The rebalance boundary protocol.** With
+//! [`ServeConfig::rebalance`] set, every `interval` accepted requests
+//! the ingress (still under its one lock) floats a `Probe` marker down
+//! every group ring and blocks until each group has reported its cells'
+//! cumulative loads — FIFO means each group answers after executing
+//! exactly the boundary prefix, and group threads never take the ingress
+//! lock, so the wait always makes progress. The sampled loads drive
+//! [`otc_sim::Rebalancer::on_boundary`] (a pure function of the logged
+//! stream), the decision is appended to the OTCT log as a
+//! `RebalanceRecord`, and the moves are executed as `MigrateOut` /
+//! `Install` marker pairs: **all** `MigrateOut`s are enqueued before
+//! **any** `Install`, so per-ring FIFO guarantees every group serializes
+//! its outgoing cells before it can block on an incoming handoff — no
+//! rendezvous cycle. Ingress does not wait for installs: a post-boundary
+//! request for a migrated cell sits FIFO-behind the `Install` marker in
+//! the destination ring, so it can never reach a half-migrated cell.
+//! Migration failure poisons the service — the logged schedule promised
+//! a migration that did not happen, so the replay identity would be
+//! broken, exactly like a dropped logged request.
 //!
 //! **The determinism seam.** The ingress lock makes "append to the OTCT
 //! log" and "enqueue to the shard rings" one atomic step, so the
@@ -31,6 +54,7 @@
 //! route-and-enqueue step is serialised. `crates/serve/tests/loopback.rs`
 //! pins the identity end to end.
 
+use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Cursor, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -39,14 +63,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
+use otc_core::forest::ShardId;
 use otc_core::request::Request;
 use otc_sim::engine::{EngineConfig, EngineError, ShardedEngine};
 use otc_sim::snapshot::{self, EngineSnapshot, LogPosition, SnapshotMeta};
 use otc_sim::worker::{timeline_from_windows, ShardRouter, ShardWorker};
-use otc_sim::{aggregate_reports, Report, Timeline};
+use otc_sim::{aggregate_reports, Rebalancer, Report, Timeline};
 use otc_util::ring;
-use otc_workloads::trace::{TraceHeader, TraceReader, TraceWriter};
+use otc_workloads::rebalance::RebalanceRecord;
+use otc_workloads::trace::{
+    TraceEvent, TraceHeader, TraceReader, TraceWriter, TRACE_FLAG_REBALANCE,
+};
 
+use crate::rebalance::{detach_cell, install_cell, Handoff, Probe, RebalancePolicy};
 use crate::wire::{self, Message, ServeStats, WIRE_VERSION};
 
 /// Where (and whether) the server logs the accepted request stream as an
@@ -103,6 +132,12 @@ pub struct ServeConfig {
     /// addresses a log position). `None` = never snapshot; recovery is
     /// then pure log replay.
     pub snapshots: Option<SnapshotPolicy>,
+    /// Dynamic resharding under live skew. `None` (the default) pins one
+    /// worker thread per shard forever; `Some` spreads the engine's
+    /// cells over [`RebalancePolicy::groups`] worker threads and
+    /// migrates cells between them at decision boundaries (see the
+    /// module docs for the protocol and `DESIGN.md` for invariant #7).
+    pub rebalance: Option<RebalancePolicy>,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +148,7 @@ impl Default for ServeConfig {
             worker_batch: 512,
             log: TraceLog::Memory,
             snapshots: None,
+            rebalance: None,
         }
     }
 }
@@ -135,6 +171,25 @@ pub struct ServeOutcome {
     pub trace_path: Option<PathBuf>,
     /// Snapshot files completed over the service's lifetime.
     pub snapshots_written: u64,
+    /// Rebalance summary (`None` when the service ran without a
+    /// [`RebalancePolicy`]).
+    pub rebalance: Option<RebalanceSummary>,
+}
+
+/// What a rebalancing service did over its lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceSummary {
+    /// Decision boundaries crossed.
+    pub boundaries: u64,
+    /// Routing-table epoch at shutdown (one bump per boundary).
+    pub epoch: u64,
+    /// Final placement: `owners[cell]` is the group that hosted the cell
+    /// at shutdown.
+    pub owners: Vec<u32>,
+    /// Cell migrations executed (total moves across all boundaries;
+    /// exact across a [`Server::resume`] — the moves in the recovered
+    /// prefix are counted, not re-executed).
+    pub migrations: u64,
 }
 
 /// What [`Server::resume`] reconstructed before serving again.
@@ -169,6 +224,15 @@ impl TraceSink {
         }
     }
 
+    /// Appends one rebalance decision record in stream position (the
+    /// writer must have been opened with `TRACE_FLAG_REBALANCE`).
+    fn push_rebalance(&mut self, record: &RebalanceRecord) -> io::Result<()> {
+        match self {
+            TraceSink::Memory(w) => w.push_rebalance(record),
+            TraceSink::File(w, _) => w.push_rebalance(record),
+        }
+    }
+
     fn finish(self) -> io::Result<(Option<Vec<u8>>, Option<PathBuf>)> {
         match self {
             TraceSink::Memory(w) => Ok((Some(w.finish()?.into_inner()), None)),
@@ -197,14 +261,23 @@ impl TraceSink {
     }
 }
 
-/// What flows through a shard ring: requests, interleaved with snapshot
-/// cut markers. A marker rides the same FIFO as the requests around it,
-/// so each worker sections its state after executing exactly the log
-/// prefix the cut addresses — a consistent cut with no pause and no
-/// cross-shard coordination beyond the enqueue itself.
+/// What flows through a group ring: shard-local requests tagged with
+/// their cell, interleaved with markers. Every marker rides the same
+/// FIFO as the requests around it, so a group acts on it after
+/// executing exactly the log prefix the marker addresses — consistent
+/// cuts, consistent load probes and consistent migration points, all
+/// with no pause and no cross-group coordination beyond the enqueue.
 enum Cmd {
-    Req(Request),
+    /// One shard-local request for the given cell.
+    Req(u32, Request),
+    /// Snapshot cut: serialize every hosted cell into the cut.
     Cut(Arc<Cut>),
+    /// Rebalance boundary: report every hosted cell's cumulative load.
+    Probe(Arc<Probe>),
+    /// This group loses the cell: serialize it and offer the handoff.
+    MigrateOut(u32, Arc<Handoff>),
+    /// This group gains the cell: block on the handoff and install it.
+    Install(u32, Arc<Handoff>),
 }
 
 /// One in-flight snapshot cut, shared by every worker. The worker that
@@ -223,10 +296,16 @@ struct Cut {
 struct Ingress {
     senders: Option<Vec<ring::Sender<Cmd>>>,
     sink: Option<TraceSink>,
-    /// Requests enqueued per shard over the service lifetime.
+    /// Requests enqueued per group over the service lifetime.
     enqueued: Vec<u64>,
     /// Requests accepted in total.
     accepted: u64,
+    /// The decision driver when rebalancing — owns the epoch-versioned
+    /// routing table; living under the ingress lock is what makes
+    /// "route at the current epoch" atomic with the enqueue.
+    rebalancer: Option<Rebalancer>,
+    /// Cell migrations executed so far.
+    migrations: u64,
 }
 
 /// State shared by every thread of one server.
@@ -244,6 +323,9 @@ struct Shared {
     poisoned: Mutex<Option<EngineError>>,
     /// Snapshot cadence, when configured.
     snapshots: Option<SnapshotPolicy>,
+    /// Rebalance policy, when configured (group threads need the factory
+    /// and engine config to install migrated cells).
+    rebalance: Option<RebalancePolicy>,
     /// Snapshot files completed so far.
     snapshots_written: AtomicU64,
     shutting_down: AtomicBool,
@@ -258,13 +340,21 @@ struct Shared {
 /// individually complete before unlock (counters, Options, Vec slots),
 /// and a thread that panicked mid-batch also poisons the service
 /// logically via the worker-join path, so no torn state is trusted.
-fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Shared {
     fn poison(&self) -> Option<EngineError> {
         locked(&self.poisoned).clone()
+    }
+
+    /// Records the first failure; later ones are dropped (sticky poison).
+    fn set_poison(&self, shard: Option<ShardId>, message: String) {
+        let mut poison = locked(&self.poisoned);
+        if poison.is_none() {
+            *poison = Some(EngineError { shard, message });
+        }
     }
 
     /// Routes, logs and enqueues one batch atomically. The whole batch is
@@ -282,48 +372,126 @@ impl Shared {
         // Split borrows: the senders are read while the sink and the
         // counters are written, so destructure once instead of proving
         // presence again at each use.
-        let Ingress { senders, sink, enqueued, accepted } = &mut *guard;
+        let Ingress { senders, sink, enqueued, accepted, rebalancer, migrations } = &mut *guard;
         let Some(senders) = senders.as_ref() else {
             return Err("service is shutting down".to_string());
         };
         // Log first, then enqueue, request by request, under one lock
-        // hold: the log's per-shard projection must equal queue order.
+        // hold: the log's per-cell projection must equal queue order.
+        // With rebalancing, boundary decisions fire *between* the
+        // interval-th request and the next, so every rebalance record
+        // sits at an exact request position in the log — the replay
+        // recomputes the boundary at the same position by construction.
         for (&raw, &(sid, local)) in requests.iter().zip(&routed) {
             if let Some(sink) = sink.as_mut() {
                 if let Err(e) = sink.push(raw) {
                     let message = format!("trace log write failed: {e}");
-                    *locked(&self.poisoned) =
-                        Some(EngineError { shard: None, message: message.clone() });
+                    self.set_poison(None, message.clone());
                     return Err(message);
                 }
             }
-            if senders[sid.index()].send(Cmd::Req(local)).is_err() {
+            let group = match rebalancer.as_ref() {
+                // Route at the current epoch. Under the ingress lock the
+                // epoch cannot move between the read and the send, so a
+                // request can never reach a ring its cell is about to
+                // leave: migrations are decided and enqueued under this
+                // same lock.
+                Some(reb) => {
+                    let epoch = reb.table().epoch();
+                    match reb.table().route_at(sid, epoch) {
+                        Ok(group) => group as usize,
+                        Err(e) => {
+                            let message = format!("routing cell {} failed: {e}", sid.index());
+                            self.set_poison(Some(sid), message.clone());
+                            return Err(message);
+                        }
+                    }
+                }
+                None => sid.index(),
+            };
+            if senders[group].send(Cmd::Req(sid.0, local)).is_err() {
                 // The record may already be in the log (and this batch's
                 // prefix already enqueued): the log no longer matches what
                 // ran, so the determinism invariant is gone — poison the
                 // service rather than let shutdown() report a clean run.
-                let message =
-                    format!("shard {} worker is gone; logged requests were dropped", sid.index());
-                let mut poison = locked(&self.poisoned);
-                if poison.is_none() {
-                    *poison = Some(EngineError { shard: Some(sid), message: message.clone() });
-                }
+                let message = format!("group {group} worker is gone; logged requests were dropped");
+                self.set_poison(Some(sid), message.clone());
                 return Err(message);
             }
-            enqueued[sid.index()] += 1;
+            enqueued[group] += 1;
             *accepted += 1;
+            if let Some(reb) = rebalancer.as_mut() {
+                if *accepted == reb.next_boundary_at() {
+                    if let Err(message) =
+                        self.process_boundary(sink.as_mut(), senders, reb, migrations)
+                    {
+                        self.set_poison(None, message.clone());
+                        return Err(message);
+                    }
+                }
+            }
             if let Some(policy) = &self.snapshots {
                 if accepted.is_multiple_of(policy.every.max(1)) {
                     if let Err(e) = self.register_cut(sink.as_mut(), senders) {
                         let message = format!("trace log sync for snapshot cut failed: {e}");
-                        *locked(&self.poisoned) =
-                            Some(EngineError { shard: None, message: message.clone() });
+                        self.set_poison(None, message.clone());
                         return Err(message);
                     }
                 }
             }
         }
         Ok(requests.len() as u64)
+    }
+
+    /// One rebalance boundary, under the ingress lock: sample every
+    /// cell's cumulative load via a `Probe` marker, decide (and log)
+    /// the migration plan, then enqueue the `MigrateOut`/`Install`
+    /// marker pairs that execute it. See the module docs for the FIFO
+    /// ordering argument that makes each step deadlock-free.
+    fn process_boundary(
+        &self,
+        sink: Option<&mut TraceSink>,
+        senders: &[ring::Sender<Cmd>],
+        reb: &mut Rebalancer,
+        migrations: &mut u64,
+    ) -> Result<(), String> {
+        let probe = Arc::new(Probe::new(reb.table().num_cells()));
+        for sender in senders {
+            if sender.send(Cmd::Probe(Arc::clone(&probe))).is_err() {
+                return Err("a group worker exited mid-service; the boundary prefix \
+                            cannot be sampled"
+                    .to_string());
+            }
+        }
+        // Blocking while holding the ingress lock is safe here: group
+        // threads never take the ingress lock, so they always drain
+        // their rings down to the probe.
+        let loads = probe.wait_all();
+        let owners_before: Vec<u32> = reb.table().owners().to_vec();
+        let record = reb.on_boundary(&loads)?;
+        if let Some(sink) = sink {
+            sink.push_rebalance(&record)
+                .map_err(|e| format!("trace log write of a rebalance record failed: {e}"))?;
+        }
+        // All MigrateOuts before all Installs (see module docs).
+        let mut pending = Vec::with_capacity(record.moves.len());
+        for &(cell, dst) in &record.moves {
+            let handoff = Arc::new(Handoff::new());
+            let Some(&src) = owners_before.get(cell as usize) else {
+                return Err(format!("planned move of unknown cell {cell}"));
+            };
+            if senders[src as usize].send(Cmd::MigrateOut(cell, Arc::clone(&handoff))).is_err() {
+                return Err(format!("group {src} exited with cell {cell} still to migrate"));
+            }
+            pending.push((cell, dst, handoff));
+        }
+        for (cell, dst, handoff) in pending {
+            if senders[dst as usize].send(Cmd::Install(cell, handoff)).is_err() {
+                return Err(format!("group {dst} exited with cell {cell} still to install"));
+            }
+            *migrations += 1;
+        }
+        Ok(())
     }
 
     /// Takes a consistent cut under the ingress lock: syncs the log so
@@ -381,7 +549,8 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<ShardWorker>>,
+    /// One thread per group, each returning the cells it hosts at exit.
+    workers: Vec<JoinHandle<Vec<ShardWorker>>>,
 }
 
 impl Server {
@@ -403,26 +572,35 @@ impl Server {
             seed: 0,
             generator: "otc-serve".to_string(),
         };
+        // A rebalancing service stamps the trace rebalance-capable, so
+        // its decision records may legally interleave with the requests.
+        let flags = if cfg.rebalance.is_some() { TRACE_FLAG_REBALANCE } else { 0 };
         let sink = match &cfg.log {
             TraceLog::Off => None,
-            TraceLog::Memory => {
-                Some(TraceSink::Memory(TraceWriter::new(Cursor::new(Vec::new()), header())?))
-            }
+            TraceLog::Memory => Some(TraceSink::Memory(TraceWriter::with_flags(
+                Cursor::new(Vec::new()),
+                header(),
+                flags,
+            )?)),
             TraceLog::File(path) => {
                 let file = BufWriter::new(File::create(path)?);
-                Some(TraceSink::File(TraceWriter::new(file, header())?, path.clone()))
+                Some(TraceSink::File(TraceWriter::with_flags(file, header(), flags)?, path.clone()))
             }
         };
 
         let shards = shard_workers.len();
+        let rebalancer = rebalancer_for(&cfg.rebalance, shards)?;
+        let groups = rebalancer.as_ref().map_or(shards, |r| r.table().num_groups() as usize);
         Self::start_inner(
             router,
             shard_workers,
             engine_cfg,
             sink,
-            vec![0; shards],
+            vec![0; groups],
             0,
             ServeStats::default(),
+            rebalancer,
+            0,
             &cfg,
         )
     }
@@ -443,9 +621,10 @@ impl Server {
         enqueued: Vec<u64>,
         accepted: u64,
         stats: ServeStats,
+        rebalancer: Option<Rebalancer>,
+        migrations: u64,
         cfg: &ServeConfig,
     ) -> io::Result<Server> {
-        let shards = shard_workers.len();
         if let Some(policy) = &cfg.snapshots {
             if sink.is_none() {
                 return Err(io::Error::other(
@@ -456,9 +635,38 @@ impl Server {
             fs::create_dir_all(&policy.dir)?;
         }
 
-        let mut senders = Vec::with_capacity(shards);
-        let mut receivers = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        // Distribute the cells to their groups: the rebalancer's table
+        // when rebalancing (resume hands in a table already advanced to
+        // the recovery point), identity otherwise.
+        let groups =
+            rebalancer.as_ref().map_or(shard_workers.len(), |r| r.table().num_groups() as usize);
+        if enqueued.len() != groups {
+            return Err(io::Error::other("one enqueued counter per group (internal)"));
+        }
+        let mut grouped: Vec<BTreeMap<u32, ShardWorker>> =
+            (0..groups).map(|_| BTreeMap::new()).collect();
+        for worker in shard_workers {
+            let cell = worker.shard();
+            let group = match &rebalancer {
+                // `owner_of` is total over the table's cells, and the cell
+                // count was validated against the engine; `None` cannot
+                // happen, and routing to group 0 would surface instantly
+                // as a misrouted-cell poison rather than silent loss.
+                Some(r) => r.table().owner_of(cell).map_or(0, |g| g as usize),
+                None => cell.index(),
+            };
+            let Some(slot) = grouped.get_mut(group) else {
+                return Err(io::Error::other(format!(
+                    "cell {} routed to group {group} of {groups} (internal)",
+                    cell.index()
+                )));
+            };
+            slot.insert(cell.0, worker);
+        }
+
+        let mut senders = Vec::with_capacity(groups);
+        let mut receivers = Vec::with_capacity(groups);
+        for _ in 0..groups {
             let (tx, rx) = ring::channel(cfg.queue_capacity.max(1));
             senders.push(tx);
             receivers.push(rx);
@@ -472,6 +680,8 @@ impl Server {
                 sink,
                 enqueued: enqueued.clone(),
                 accepted,
+                rebalancer,
+                migrations,
             }),
             // Everything already replayed counts as executed.
             progress: Mutex::new(enqueued),
@@ -479,18 +689,20 @@ impl Server {
             stats: Mutex::new(stats),
             poisoned: Mutex::new(None),
             snapshots: cfg.snapshots.clone(),
+            rebalance: cfg.rebalance.clone(),
             snapshots_written: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
         });
 
         let batch = cfg.worker_batch.max(1);
-        let workers: Vec<JoinHandle<ShardWorker>> = shard_workers
+        let workers: Vec<JoinHandle<Vec<ShardWorker>>> = grouped
             .into_iter()
             .zip(receivers)
-            .map(|(worker, rx)| {
+            .enumerate()
+            .map(|(group, (cells, rx))| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(worker, &rx, &shared, batch))
+                std::thread::spawn(move || worker_loop(group, cells, &rx, &shared, batch))
             })
             .collect();
 
@@ -510,9 +722,16 @@ impl Server {
         self.addr
     }
 
-    /// Number of shards (= persistent worker threads) behind the service.
+    /// Number of shards (cells) behind the service.
     #[must_use]
     pub fn num_shards(&self) -> usize {
+        self.shared.router.num_shards()
+    }
+
+    /// Number of serving groups (= persistent worker threads). Equal to
+    /// [`Server::num_shards`] unless the service rebalances.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
         self.workers.len()
     }
 
@@ -545,18 +764,24 @@ impl Server {
         for h in conns {
             let _ = h.join();
         }
-        // Closing ingress drops the senders; each worker drains its ring
+        // Closing ingress drops the senders; each group drains its ring
         // and exits on disconnect.
-        let (sink, accepted) = {
+        let (sink, accepted, rebalance) = {
             let mut ingress = locked(&self.shared.ingress);
             ingress.senders = None;
-            (ingress.sink.take(), ingress.accepted)
+            let rebalance = ingress.rebalancer.as_ref().map(|r| RebalanceSummary {
+                boundaries: r.boundaries(),
+                epoch: r.table().epoch(),
+                owners: r.table().owners().to_vec(),
+                migrations: ingress.migrations,
+            });
+            (ingress.sink.take(), ingress.accepted, rebalance)
         };
-        let mut shard_workers = Vec::with_capacity(self.workers.len());
+        let mut shard_workers = Vec::with_capacity(self.shared.router.num_shards());
         let mut worker_panicked = false;
         for h in self.workers.drain(..) {
             match h.join() {
-                Ok(w) => shard_workers.push(w),
+                Ok(cells) => shard_workers.extend(cells),
                 Err(_) => worker_panicked = true,
             }
         }
@@ -571,6 +796,9 @@ impl Server {
                 message: "a shard worker thread panicked".to_string(),
             });
         }
+        // Cell order, whatever group each cell ended up on: the outputs
+        // below are placement-invariant by construction.
+        shard_workers.sort_by_key(|w| w.shard().0);
         let windows = shard_workers.iter().flat_map(ShardWorker::windows).collect();
         let timeline =
             timeline_from_windows(&self.shared.engine_cfg, shard_workers.len() as u32, windows);
@@ -594,6 +822,7 @@ impl Server {
             trace_bytes,
             trace_path,
             snapshots_written: self.shared.snapshots_written.load(Ordering::SeqCst),
+            rebalance,
         })
     }
 
@@ -673,19 +902,37 @@ impl Server {
         //    appended to) ends the prefix without failing resume.
         let mut scan = TraceReader::new(File::open(&path)?)?;
         let header = scan.header().clone();
+        let flags = scan.flags();
+        if scan.rebalance_capable() != cfg.rebalance.is_some() {
+            return Err(io::Error::other(if cfg.rebalance.is_some() {
+                "cfg.rebalance is set but the log was not written by a rebalancing service"
+            } else {
+                "the log carries rebalance records; resume with the same \
+                 ServeConfig::rebalance the crashed service used"
+            }));
+        }
         let num_shards = engine.num_shards();
         let forest = engine.forest().cloned();
-        let mut enqueued = vec![0u64; num_shards];
-        for rec in &mut scan {
-            match rec {
-                Ok(req) => match &forest {
+        // Requests are counted per *cell* (cells route statically through
+        // the forest); the per-group counters are derived at the end from
+        // the recovered routing table. Complete rebalance records are
+        // collected with their end offsets, so the ones a snapshot's log
+        // prefix covers can seed the rebalancer without recomputation.
+        let mut cell_counts = vec![0u64; num_shards];
+        let mut rebalance_records: Vec<(RebalanceRecord, u64)> = Vec::new();
+        loop {
+            match scan.next_event() {
+                Ok(Some(TraceEvent::Request(req))) => match &forest {
                     Some(f) if req.node.index() < f.global_len() => {
-                        enqueued[f.route(req.node).0.index()] += 1;
+                        cell_counts[f.route(req.node).0.index()] += 1;
                     }
                     Some(_) => break,
-                    None => enqueued[0] += 1,
+                    None => cell_counts[0] += 1,
                 },
-                Err(_) => break,
+                Ok(Some(TraceEvent::Rebalance(record))) => {
+                    rebalance_records.push((record, scan.byte_pos()));
+                }
+                Ok(None) | Err(_) => break,
             }
         }
         let (good_pos, good_records) = (scan.byte_pos(), scan.records_read());
@@ -736,35 +983,66 @@ impl Server {
             }
         }
 
-        // 4. Restore + replay the tail (or replay the whole log).
+        // 4. Restore + replay the tail (or replay the whole log). With
+        //    rebalancing, the rebalancer is seeded by folding the records
+        //    the snapshot's log prefix proves (ingest appends a boundary's
+        //    record *before* any cut at the same position, so `end <=
+        //    offset` is exact), and every boundary in the replayed tail is
+        //    recomputed — and checked against its surviving record — by
+        //    `replay_trace_rebalancing`.
+        let mut rebalancer = rebalancer_for(&cfg.rebalance, num_shards)
+            .map_err(|e| io::Error::other(e.to_string()))?;
         let mut reader = TraceReader::new(File::open(&path)?)?;
         let mut chunk = Vec::new();
+        let mut migrations = 0u64;
         let (snapshot_records, replayed) = match &chosen {
             Some(snap) => match engine.restore_snapshot(snap) {
                 Ok(()) => {
+                    if let Some(reb) = rebalancer.as_mut() {
+                        for (record, end) in &rebalance_records {
+                            if *end <= snap.meta.log.offset {
+                                reb.fold_record(record).map_err(|e| {
+                                    io::Error::other(format!(
+                                        "rebalance record in the durable log prefix is \
+                                         inconsistent: {e}"
+                                    ))
+                                })?;
+                                migrations += record.moves.len() as u64;
+                            }
+                        }
+                    }
                     reader.seek_to(snap.meta.log.offset, snap.meta.log.records)?;
-                    let stats = engine
-                        .replay_tail(&mut reader, &mut chunk)
-                        .map_err(|e| io::Error::other(e.to_string()))?;
-                    (Some(snap.meta.log.records), stats.replayed)
+                    let (replayed, moves) = replay_tail_into(
+                        &mut engine,
+                        &mut reader,
+                        rebalancer.as_mut(),
+                        &mut chunk,
+                    )?;
+                    migrations += moves;
+                    (Some(snap.meta.log.records), replayed)
                 }
                 // A checksummed snapshot the engine still refuses means a
                 // genuinely incompatible engine (wrong forest, config or
                 // policy) — a caller bug, not crash damage. The refusal
-                // left `engine` untouched: fall back to pure replay.
+                // left `engine` untouched (and the rebalancer has not been
+                // seeded yet): fall back to pure replay from the start.
                 Err(_) => {
                     snapshots_skipped += 1;
-                    let stats = engine
-                        .replay_tail(&mut reader, &mut chunk)
-                        .map_err(|e| io::Error::other(e.to_string()))?;
-                    (None, stats.replayed)
+                    let (replayed, moves) = replay_tail_into(
+                        &mut engine,
+                        &mut reader,
+                        rebalancer.as_mut(),
+                        &mut chunk,
+                    )?;
+                    migrations += moves;
+                    (None, replayed)
                 }
             },
             None => {
-                let stats = engine
-                    .replay_tail(&mut reader, &mut chunk)
-                    .map_err(|e| io::Error::other(e.to_string()))?;
-                (None, stats.replayed)
+                let (replayed, moves) =
+                    replay_tail_into(&mut engine, &mut reader, rebalancer.as_mut(), &mut chunk)?;
+                migrations += moves;
+                (None, replayed)
             }
         };
         drop(reader);
@@ -782,7 +1060,8 @@ impl Server {
             ));
         }
         let file = OpenOptions::new().read(true).write(true).open(&path)?;
-        let writer = TraceWriter::resume(BufWriter::new(file), header, 0, good_records)?;
+        let writer =
+            TraceWriter::resume_with_flags(BufWriter::new(file), header, 0, good_records, flags)?;
         let sink = Some(TraceSink::File(writer, path));
 
         let stats = ServeStats {
@@ -790,6 +1069,26 @@ impl Server {
             paid_rounds: shard_workers.iter().map(ShardWorker::paid_rounds).sum(),
             service_cost: shard_workers.iter().map(|w| w.cost().service).sum(),
             reorg_cost: shard_workers.iter().map(|w| w.cost().reorg).sum(),
+        };
+
+        // The per-group counters the recovered service starts from: each
+        // cell's replayed requests count toward the group that owns the
+        // cell *now* (the recovered table), matching the distribution
+        // start_inner is about to perform.
+        let enqueued = match &rebalancer {
+            Some(reb) => {
+                let groups = reb.table().num_groups() as usize;
+                let mut per_group = vec![0u64; groups];
+                for (cell, &count) in cell_counts.iter().enumerate() {
+                    let group =
+                        reb.table().owner_of(ShardId(cell as u32)).map_or(0, |g| g as usize);
+                    if let Some(slot) = per_group.get_mut(group) {
+                        *slot += count;
+                    }
+                }
+                per_group
+            }
+            None => cell_counts,
         };
 
         let server = Self::start_inner(
@@ -800,6 +1099,8 @@ impl Server {
             enqueued,
             good_records,
             stats,
+            rebalancer,
+            migrations,
             &cfg,
         )?;
         Ok((
@@ -815,93 +1116,243 @@ impl Server {
     }
 }
 
-/// Per-shard worker thread: drain the ring in FIFO batches, drive the
-/// detached [`ShardWorker`] through the request runs between cut
-/// markers, publish progress and stats; exit (returning the worker) when
-/// ingress closes the channel.
+/// Builds the rebalancer a fresh service starts from: round-robin
+/// initial table over the engine's cells, epoch 0, no boundaries.
+fn rebalancer_for(
+    policy: &Option<RebalancePolicy>,
+    cells: usize,
+) -> io::Result<Option<Rebalancer>> {
+    match policy {
+        Some(policy) => {
+            let table = policy
+                .initial_table(cells)
+                .map_err(|e| io::Error::other(format!("invalid rebalance policy: {e}")))?;
+            Ok(Some(Rebalancer::new(policy.config, table)))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Replays the rest of `reader` into `engine`: through
+/// [`otc_sim::replay_trace_rebalancing`] (recomputing and verifying the
+/// rebalance schedule) when the service rebalances, through the plain
+/// engine path otherwise. Returns `(requests replayed, cells migrated)`
+/// so resume can seed the migration counter exactly.
+fn replay_tail_into(
+    engine: &mut ShardedEngine<'static>,
+    reader: &mut TraceReader<File>,
+    rebalancer: Option<&mut Rebalancer>,
+    chunk: &mut Vec<Request>,
+) -> io::Result<(u64, u64)> {
+    match rebalancer {
+        Some(reb) => {
+            let out = otc_sim::replay_trace_rebalancing(engine, reader, reb, chunk)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            let moves = out.schedule.iter().map(|r| r.moves.len() as u64).sum();
+            Ok((out.replayed, moves))
+        }
+        None => {
+            let stats =
+                engine.replay_tail(reader, chunk).map_err(|e| io::Error::other(e.to_string()))?;
+            Ok((stats.replayed, 0))
+        }
+    }
+}
+
+/// Per-run stat deltas a group accumulates locally and publishes once
+/// per wakeup. Captured around each *cell's* run — summing a whole
+/// group's counters before and after a wakeup would go backwards the
+/// moment a cell migrates out mid-batch.
+#[derive(Default)]
+struct StatsDelta {
+    rounds: u64,
+    paid_rounds: u64,
+    service_cost: u64,
+    reorg_cost: u64,
+}
+
+/// Per-group worker thread: drain the ring in FIFO batches, drive the
+/// hosted [`ShardWorker`] cells through the request runs between
+/// markers, publish progress and stats; exit (returning the cells it
+/// ended up hosting) when ingress closes the channel.
 fn worker_loop(
-    mut worker: ShardWorker,
+    group: usize,
+    mut cells: BTreeMap<u32, ShardWorker>,
     rx: &ring::Receiver<Cmd>,
     shared: &Shared,
     batch: usize,
-) -> ShardWorker {
-    let shard = worker.shard().index();
+) -> Vec<ShardWorker> {
     let mut buf: Vec<Cmd> = Vec::with_capacity(batch);
     let mut scratch: Vec<Request> = Vec::with_capacity(batch);
     loop {
         buf.clear();
         if rx.recv_batch(&mut buf, batch).is_err() {
-            return worker; // disconnected and fully drained
+            return cells.into_values().collect(); // disconnected and drained
         }
-        let before_cost = worker.cost();
-        let before = (worker.rounds(), worker.paid_rounds());
-        // A cut marker splits the batch: everything before it executes
-        // first, then the worker sections its state — exactly the prefix
-        // the cut's log position covers, FIFO guarantees the rest.
         let mut executed = 0u64;
+        let mut delta = StatsDelta::default();
+        // Consecutive requests for the same cell run as one batch; any
+        // marker (and any cell switch) flushes the buffered run first, so
+        // every marker acts after exactly the prefix FIFO put before it.
+        let mut run_cell: Option<u32> = None;
         scratch.clear();
         for cmd in buf.drain(..) {
             match cmd {
-                Cmd::Req(r) => scratch.push(r),
-                Cmd::Cut(cut) => {
-                    executed += run_requests(&mut worker, &mut scratch, shared);
-                    emit_section(&worker, shard, &cut, shared);
+                Cmd::Req(cell, r) => {
+                    if run_cell != Some(cell) {
+                        executed +=
+                            run_buffered(&mut cells, run_cell, &mut scratch, shared, &mut delta);
+                        run_cell = Some(cell);
+                    }
+                    scratch.push(r);
+                }
+                marker => {
+                    executed +=
+                        run_buffered(&mut cells, run_cell, &mut scratch, shared, &mut delta);
+                    run_cell = None;
+                    match marker {
+                        Cmd::Req(..) => {} // unreachable: handled above
+                        Cmd::Cut(cut) => emit_sections(&cells, &cut, shared),
+                        Cmd::Probe(probe) => {
+                            probe.fill(cells.iter().map(|(&c, w)| (c as usize, w.cell_load())));
+                        }
+                        Cmd::MigrateOut(cell, handoff) => {
+                            let payload = match cells.remove(&cell) {
+                                Some(worker) => detach_cell(&worker),
+                                None => Err("the group does not host the cell".to_string()),
+                            };
+                            if let Err(e) = &payload {
+                                shared.set_poison(
+                                    Some(ShardId(cell)),
+                                    format!("cell {cell} migration failed at the source: {e}"),
+                                );
+                            }
+                            // Always offer — even the failure — so the
+                            // destination never blocks forever.
+                            handoff.offer(payload);
+                        }
+                        Cmd::Install(cell, handoff) => {
+                            // An Err take means the source already
+                            // poisoned with the root cause; nothing to
+                            // install here.
+                            if let Ok(payload) = handoff.take() {
+                                let built = match shared.rebalance.as_ref() {
+                                    Some(policy) => install_cell(
+                                        &payload,
+                                        ShardId(cell),
+                                        policy.factory.as_ref(),
+                                        shared.engine_cfg,
+                                    ),
+                                    None => Err("migration without a rebalance policy".to_string()),
+                                };
+                                match built {
+                                    Ok(worker) => {
+                                        cells.insert(cell, worker);
+                                    }
+                                    Err(e) => shared.set_poison(
+                                        Some(ShardId(cell)),
+                                        format!("cell {cell} install failed: {e}"),
+                                    ),
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
-        executed += run_requests(&mut worker, &mut scratch, shared);
+        executed += run_buffered(&mut cells, run_cell, &mut scratch, shared, &mut delta);
         // Progress counts *consumed* requests even past a violation, so
         // drain barriers and backpressure keep moving while the error
         // propagates.
         {
             let mut progress = locked(&shared.progress);
-            progress[shard] += executed;
+            if let Some(slot) = progress.get_mut(group) {
+                *slot += executed;
+            }
             shared.progress_cv.notify_all();
         }
         {
-            let after_cost = worker.cost();
             let mut stats = locked(&shared.stats);
-            stats.rounds += worker.rounds() - before.0;
-            stats.paid_rounds += worker.paid_rounds() - before.1;
-            stats.service_cost += after_cost.service - before_cost.service;
-            stats.reorg_cost += after_cost.reorg - before_cost.reorg;
+            stats.rounds += delta.rounds;
+            stats.paid_rounds += delta.paid_rounds;
+            stats.service_cost += delta.service_cost;
+            stats.reorg_cost += delta.reorg_cost;
         }
     }
 }
 
-/// Runs (and clears) one buffered run of requests, poisoning the service
-/// on the first violation. Returns how many requests were consumed.
-fn run_requests(worker: &mut ShardWorker, scratch: &mut Vec<Request>, shared: &Shared) -> u64 {
+/// Runs (and clears) one buffered run of requests on the cell that
+/// buffered them, poisoning the service on the first violation and
+/// accumulating the cell's stat deltas. Returns how many requests were
+/// consumed (consumed ≠ executed only past a violation or a protocol
+/// bug, and both poison).
+fn run_buffered(
+    cells: &mut BTreeMap<u32, ShardWorker>,
+    cell: Option<u32>,
+    scratch: &mut Vec<Request>,
+    shared: &Shared,
+    delta: &mut StatsDelta,
+) -> u64 {
     let n = scratch.len() as u64;
     if n == 0 {
         return 0;
     }
+    let Some(cell) = cell else {
+        scratch.clear();
+        return n; // unreachable: requests always tag their cell
+    };
+    let Some(worker) = cells.get_mut(&cell) else {
+        // The routing table said this group owns the cell but it does
+        // not: a migration protocol bug. Poison loudly; still count the
+        // requests as consumed so drain barriers keep moving.
+        shared.set_poison(
+            Some(ShardId(cell)),
+            format!("request routed to a group that does not host cell {cell}"),
+        );
+        scratch.clear();
+        return n;
+    };
     if worker.error().is_none() {
+        let before_cost = worker.cost();
+        let before = (worker.rounds(), worker.paid_rounds());
         if let Err(message) = worker.run_batch(scratch) {
-            let mut poison = locked(&shared.poisoned);
-            if poison.is_none() {
-                *poison = Some(EngineError { shard: Some(worker.shard()), message });
-            }
+            shared.set_poison(Some(worker.shard()), message);
         }
+        let after_cost = worker.cost();
+        delta.rounds += worker.rounds() - before.0;
+        delta.paid_rounds += worker.paid_rounds() - before.1;
+        delta.service_cost += after_cost.service - before_cost.service;
+        delta.reorg_cost += after_cost.reorg - before_cost.reorg;
     }
     scratch.clear();
     n
 }
 
-/// Serializes this worker's OTCS section for `cut`; the worker that
+/// Serializes every cell this group hosts into `cut`; the group that
 /// delivers the last missing section assembles the snapshot and writes
-/// it. A poisoned worker or a serialization failure silently aborts the
+/// it. A poisoned cell or a serialization failure silently aborts the
 /// cut — snapshots are best-effort, the log is the source of truth.
-fn emit_section(worker: &ShardWorker, shard: usize, cut: &Cut, shared: &Shared) {
-    if worker.error().is_some() {
-        return;
-    }
-    let mut bytes = Vec::new();
-    if worker.snapshot_section(&mut bytes).is_err() {
-        return;
+/// Migrations keep cuts exactly-once per cell: a cut marker enqueued
+/// after a boundary's `MigrateOut`/`Install` markers reaches the source
+/// after the cell left and the destination after it arrived.
+fn emit_sections(cells: &BTreeMap<u32, ShardWorker>, cut: &Cut, shared: &Shared) {
+    let mut mine = Vec::with_capacity(cells.len());
+    for (&cell, worker) in cells {
+        if worker.error().is_some() {
+            return;
+        }
+        let mut bytes = Vec::new();
+        if worker.snapshot_section(&mut bytes).is_err() {
+            return;
+        }
+        mine.push((cell as usize, bytes));
     }
     let mut sections = locked(&cut.sections);
-    sections[shard] = Some(bytes);
+    for (cell, bytes) in mine {
+        if let Some(slot) = sections.get_mut(cell) {
+            *slot = Some(bytes);
+        }
+    }
     if sections.iter().any(Option::is_none) {
         return;
     }

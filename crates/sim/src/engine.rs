@@ -558,7 +558,7 @@ impl<'p> ShardedEngine<'p> {
         }
     }
 
-    fn shard_state(
+    pub(crate) fn shard_state(
         tree: TreeRef<'p>,
         policy: Box<dyn CachePolicy + 'p>,
         cfg: &EngineConfig,
@@ -841,6 +841,32 @@ impl<'p> ShardedEngine<'p> {
             }
             self.submit_batch(chunk)?;
         }
+    }
+
+    /// Samples every shard's cumulative load counters — rounds, paid
+    /// rounds, cache occupancy — as one
+    /// [`CellLoad`](otc_workloads::rebalance::CellLoad) per shard, in
+    /// shard order. This is the decision input of
+    /// [`crate::rebalance::Rebalancer::on_boundary`]: a pure function of
+    /// the requests executed so far, so live serving and trace replay
+    /// sample identical values at identical stream positions. Staged
+    /// requests are drained first — a boundary always samples a fully
+    /// executed prefix.
+    ///
+    /// # Errors
+    /// A poisoned engine, or violations surfaced while draining staged
+    /// requests.
+    pub fn cell_loads(&mut self) -> Result<Vec<otc_workloads::rebalance::CellLoad>, EngineError> {
+        self.flush_pending()?;
+        Ok(self
+            .shards
+            .iter()
+            .map(|st| otc_workloads::rebalance::CellLoad {
+                rounds: st.report.rounds,
+                paid_rounds: st.report.paid_rounds,
+                occupancy: st.driver.cache_len() as u64,
+            })
+            .collect())
     }
 
     /// The windowed telemetry collected so far: every closed window of

@@ -38,11 +38,19 @@
 //! `OTCS` image tied to an OTCT log position; restoring it and replaying
 //! the log tail ([`engine::ShardedEngine::recover`]) reproduces the
 //! pre-crash state bit-identically.
+//!
+//! Under live skew, [`rebalance`] re-homes whole cells (root-child
+//! subtrie shards) between serving groups: a deterministic planner over
+//! per-cell load windows, an epoch-versioned
+//! [`otc_core::forest::RoutingTable`], and a replay path that recomputes
+//! — and verifies — a live run's entire migration schedule from its own
+//! request log (determinism invariant #7).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod rebalance;
 pub mod report;
 pub mod runner;
 pub mod snapshot;
@@ -52,10 +60,12 @@ pub mod worker;
 pub use engine::{
     aggregate_reports, EngineConfig, EngineError, ShardHandle, ShardedEngine, SubmitOutcome,
 };
+pub use rebalance::{plan, replay_trace_rebalancing, RebalanceConfig, RebalanceReplay, Rebalancer};
 pub use report::{FieldStats, PeriodStats, PhaseStats, Report};
 pub use runner::{run_policy, run_stream, SimConfig};
 pub use snapshot::{
-    EngineSnapshot, LogPosition, RecoverStats, ShardSection, SnapshotError, SnapshotMeta,
+    parse_shard_section, EngineSnapshot, LogPosition, RecoverStats, ShardSection, SnapshotError,
+    SnapshotMeta,
 };
 pub use telemetry::{Timeline, WindowRecord};
 pub use worker::{timeline_from_windows, ShardRouter, ShardWorker};

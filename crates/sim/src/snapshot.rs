@@ -693,6 +693,24 @@ pub struct ShardSection {
     pub(crate) win_base: WindowBase,
 }
 
+/// Parses one standalone length-prefixed shard section, as produced by
+/// [`crate::worker::ShardWorker::snapshot_section`] — the payload of a
+/// cell-migration handoff. The same decoder full snapshots use, minus
+/// the surrounding container (no magic, meta or checksum: a handoff
+/// lives inside an already-framed in-memory transfer, never at rest on
+/// disk).
+///
+/// # Errors
+/// A [`SnapshotError`] for truncation, a length prefix that does not
+/// cover the payload, or any structural deviation inside the section.
+pub fn parse_shard_section(bytes: &[u8]) -> Result<ShardSection, SnapshotError> {
+    let mut cur = Cur::new(bytes);
+    let sec_len = cur.u32("section length")? as usize;
+    let section = parse_section(cur.take(sec_len, "shard section")?)?;
+    cur.done("shard section")?;
+    Ok(section)
+}
+
 fn parse_section(bytes: &[u8]) -> Result<ShardSection, SnapshotError> {
     let mut cur = Cur::new(bytes);
     let shard = cur.u32("section shard id")?;

@@ -105,13 +105,65 @@ impl Timeline {
         self.windows.iter().filter(move |w| w.shard == shard)
     }
 
+    /// Cross-shard load imbalance of one window, scaled by 1000: the
+    /// `max / mean` ratio of the per-shard window load, where a shard's
+    /// load is `rounds + paid_rounds` — exactly the weight the
+    /// `rebalance` planner acts on, so this is the observable a
+    /// rebalancing run drives toward 1000 (perfect balance; `2000` =
+    /// the hottest shard carries twice the mean). The mean is taken over
+    /// all [`Timeline::shards`] declared shards — a shard that closed no
+    /// record for the window counts as zero load. `None` when no shard
+    /// did any work in the window (or no shards were observed at all).
+    #[must_use]
+    pub fn imbalance_x1000(&self, window: u64) -> Option<u64> {
+        if self.shards == 0 {
+            return None;
+        }
+        let mut max = 0u64;
+        let mut total = 0u128;
+        for w in self.windows.iter().filter(|w| w.window == window) {
+            let load = w.rounds + w.paid_rounds;
+            max = max.max(load);
+            total += u128::from(load);
+        }
+        if total == 0 {
+            return None;
+        }
+        let scaled = u128::from(max) * 1000 * u128::from(self.shards) / total;
+        Some(u64::try_from(scaled).unwrap_or(u64::MAX))
+    }
+
+    /// One-pass [`Timeline::imbalance_x1000`] for every window index that
+    /// appears in the timeline (windows with zero total load are absent,
+    /// mirroring the `None` of the per-window query).
+    fn imbalance_by_window(&self) -> std::collections::BTreeMap<u64, u64> {
+        let mut acc: std::collections::BTreeMap<u64, (u64, u128)> =
+            std::collections::BTreeMap::new();
+        for w in &self.windows {
+            let load = w.rounds + w.paid_rounds;
+            let e = acc.entry(w.window).or_insert((0, 0));
+            e.0 = e.0.max(load);
+            e.1 += u128::from(load);
+        }
+        acc.into_iter()
+            .filter(|&(_, (_, total))| total > 0 && self.shards > 0)
+            .map(|(win, (max, total))| {
+                let scaled = u128::from(max) * 1000 * u128::from(self.shards) / total;
+                (win, u64::try_from(scaled).unwrap_or(u64::MAX))
+            })
+            .collect()
+    }
+
     /// Renders the timeline as JSON: a `schema`/parameter preamble and one
     /// window object per line. The format is stable — it is what
     /// [`Timeline::from_json`] parses — and append-friendly for plotting
-    /// tools (`jq '.windows[]'`).
+    /// tools (`jq '.windows[]'`). `reorg_cost` and `imbalance_x1000` are
+    /// *derived* fields: emitted for plotting convenience, recomputed
+    /// (never parsed) on the way back in.
     #[must_use]
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
+        let imbalance = self.imbalance_by_window();
         let mut out = String::with_capacity(128 + self.windows.len() * 160);
         out.push_str("{\n");
         out.push_str("  \"schema\": \"otc-timeline-v1\",\n");
@@ -127,7 +179,7 @@ impl Timeline {
                  \"paid_rounds\": {}, \"fetch_events\": {}, \"evict_events\": {}, \
                  \"flush_events\": {}, \"nodes_fetched\": {}, \"nodes_evicted\": {}, \
                  \"nodes_flushed\": {}, \"occupancy\": {}, \"buf_high_water\": {}, \
-                 \"reorg_cost\": {}, \"partial\": {} }}{sep}",
+                 \"reorg_cost\": {}, \"imbalance_x1000\": {}, \"partial\": {} }}{sep}",
                 w.shard,
                 w.window,
                 w.start_round,
@@ -142,6 +194,7 @@ impl Timeline {
                 w.occupancy,
                 w.buf_high_water,
                 w.reorg_cost(self.alpha),
+                imbalance.get(&w.window).copied().unwrap_or(0),
                 w.partial,
             )
             .expect("String writes cannot fail");
@@ -217,19 +270,22 @@ impl Timeline {
     }
 
     /// Renders the timeline as CSV (one header row, one row per window).
+    /// Like the JSON form, `reorg_cost` and `imbalance_x1000` are derived
+    /// columns.
     #[must_use]
     pub fn to_csv(&self) -> String {
+        let imbalance = self.imbalance_by_window();
         let mut out = String::with_capacity(64 + self.windows.len() * 80);
         out.push_str(
             "shard,window,start_round,rounds,paid_rounds,fetch_events,evict_events,flush_events,\
              nodes_fetched,nodes_evicted,nodes_flushed,occupancy,buf_high_water,reorg_cost,\
-             partial\n",
+             imbalance_x1000,partial\n",
         );
         use std::fmt::Write as _;
         for w in &self.windows {
             writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 w.shard,
                 w.window,
                 w.start_round,
@@ -244,6 +300,7 @@ impl Timeline {
                 w.occupancy,
                 w.buf_high_water,
                 w.reorg_cost(self.alpha),
+                imbalance.get(&w.window).copied().unwrap_or(0),
                 w.partial,
             )
             .expect("String writes cannot fail");
@@ -325,6 +382,28 @@ mod tests {
         assert_eq!(csv.lines().count(), 1 + tl.windows.len());
         assert!(csv.lines().nth(1).unwrap().starts_with("0,0,0,100,40,"));
         assert!(csv.ends_with("true\n"));
+    }
+
+    #[test]
+    fn imbalance_tracks_skew_and_round_trips() {
+        let tl = sample();
+        // Window 0 loads: shard 0 = 100+40 = 140, shard 1 = 60+9 = 69;
+        // max·1000·shards/total = 140·2000/209.
+        assert_eq!(tl.imbalance_x1000(0), Some(1339));
+        assert_eq!(tl.imbalance_x1000(7), None, "no such window");
+        let json = tl.to_json();
+        assert!(json.contains("\"imbalance_x1000\": 1339"));
+        let csv = tl.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with("imbalance_x1000,partial"));
+        assert!(csv.lines().nth(1).unwrap().contains(",1339,false"));
+        // The derived column never breaks the strict round trip.
+        assert_eq!(Timeline::from_json(&json).expect("parses"), tl);
+        // Perfectly balanced loads sit at exactly 1000.
+        let mut even = tl.clone();
+        even.windows[1] = WindowRecord { shard: 1, rounds: 100, paid_rounds: 40, ..tl.windows[0] };
+        assert_eq!(even.imbalance_x1000(0), Some(1000));
+        // An empty timeline has nothing to measure.
+        assert_eq!(Timeline::default().imbalance_x1000(0), None);
     }
 
     #[test]

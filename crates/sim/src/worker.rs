@@ -111,6 +111,39 @@ impl ShardWorker {
         Self { state, shard, cfg }
     }
 
+    /// Builds a fresh, empty worker for one cell — tree, policy, verified
+    /// driver and zeroed report — without detaching a whole engine. This
+    /// is how a rebalancing runtime materialises the destination of a
+    /// cell migration before installing the migrated state with
+    /// [`ShardWorker::restore_section`].
+    #[must_use]
+    pub fn fresh(
+        tree: Arc<Tree>,
+        policy: Box<dyn otc_core::policy::CachePolicy>,
+        shard: ShardId,
+        cfg: EngineConfig,
+    ) -> Self {
+        let state = crate::engine::ShardedEngine::shard_state(
+            crate::engine::TreeRef::Owned(tree),
+            policy,
+            &cfg,
+        );
+        Self { state, shard, cfg }
+    }
+
+    /// This worker's cumulative load counters — the per-cell decision
+    /// input of `otc_sim::rebalance` (see
+    /// [`crate::engine::ShardedEngine::cell_loads`] for the engine-wide
+    /// equivalent and the determinism contract).
+    #[must_use]
+    pub fn cell_load(&self) -> otc_workloads::rebalance::CellLoad {
+        otc_workloads::rebalance::CellLoad {
+            rounds: self.state.report.rounds,
+            paid_rounds: self.state.report.paid_rounds,
+            occupancy: self.state.driver.cache_len() as u64,
+        }
+    }
+
     /// This worker's shard id.
     #[must_use]
     pub fn shard(&self) -> ShardId {
@@ -127,6 +160,19 @@ impl ShardWorker {
     #[must_use]
     pub fn tree(&self) -> &Tree {
         self.state.tree.get()
+    }
+
+    /// A shared handle to the shard's tree, when the worker owns it
+    /// (workers detached from a forest-built engine always do; only
+    /// borrowed single-tree runners return `None`). Cell migration
+    /// serializes state but not the immutable tree — the destination
+    /// rebuilds its worker around this same handle.
+    #[must_use]
+    pub fn tree_arc(&self) -> Option<Arc<Tree>> {
+        match &self.state.tree {
+            crate::engine::TreeRef::Owned(tree) => Some(Arc::clone(tree)),
+            crate::engine::TreeRef::Borrowed(_) => None,
+        }
     }
 
     /// Rounds processed so far.

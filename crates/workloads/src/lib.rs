@@ -11,6 +11,10 @@
 //! * [`trace`] — persistent workload traces: the versioned binary format
 //!   with streaming [`trace::TraceWriter`] / [`trace::TraceReader`], the
 //!   human-editable line format, and CSV/JSONL interop;
+//! * [`rebalance`] — the rebalance-record codec: per-boundary cell loads
+//!   and migration decisions, interleavable with requests in a
+//!   [`trace::TRACE_FLAG_REBALANCE`]-flagged trace so a live run's
+//!   resharding schedule replays (and verifies) from its own log;
 //! * [`wire`] — the shared request-record codec (LEB128 varints, the
 //!   `(node << 1) | sign` record payload, sign characters) behind both
 //!   the trace formats and the `otc-serve` wire protocol;
@@ -27,6 +31,7 @@
 pub mod adversary;
 pub mod fib_churn;
 pub mod gadget;
+pub mod rebalance;
 pub mod requests;
 pub mod search;
 pub mod trace;
@@ -36,11 +41,15 @@ pub mod wire;
 pub use adversary::{drive_paging_adversary, AdversaryRun};
 pub use fib_churn::{fib_update_trace, FibChurnConfig};
 pub use gadget::Fig4Gadget;
+pub use rebalance::{CellLoad, RebalanceRecord};
 pub use requests::{
     amplify, diurnal_tenant_stream, markov_bursty, multi_tenant_stream, shifting_zipf,
     uniform_mixed, zipf_positive, zipf_with_bursty_updates, zipf_with_updates, DiurnalConfig,
     MarkovBurstyConfig, MixedConfig, TenantProfile,
 };
 pub use search::{adversarial_search, SearchOutcome};
-pub use trace::{from_text, to_text, Trace, TraceHeader, TraceReader, TraceWriter};
+pub use trace::{
+    from_text, to_text, Trace, TraceEvent, TraceHeader, TraceReader, TraceWriter,
+    TRACE_FLAG_REBALANCE,
+};
 pub use trees::{broom, random_attachment, random_bounded_degree, random_window};

@@ -1,0 +1,276 @@
+//! Trace-level rebalance records.
+//!
+//! A rebalance-capable OTCT stream (header flag
+//! [`crate::trace::TRACE_FLAG_REBALANCE`]) interleaves **rebalance
+//! records** with its request records: one per decision boundary,
+//! carrying the per-cell cumulative loads the decision saw, the moves it
+//! chose, and the routing epoch it published. The record codec lives
+//! here; the framing (how a record is escaped into the varint request
+//! stream) lives in [`crate::trace`].
+//!
+//! Records are **verification anchors, not the source of truth**: a
+//! rebalance decision is a pure function of the request stream prefix,
+//! so replay recomputes every decision from the requests alone and
+//! checks it bit-for-bit against the record when one is present. A
+//! record torn off by a crash is truncated away with the log tail and
+//! simply never verified — the recomputed schedule is unaffected.
+//!
+//! On the wire a record is a varint sequence (see
+//! [`RebalanceRecord::encode_payload`]); the payload is length-prefixed
+//! in the stream so readers can frame it without decoding it.
+
+// Codec modules hold the panic-freedom line hardest: a narrowing cast
+// or an out-of-bounds index here turns a corrupt record into a wrong
+// answer or a crash. CI runs clippy with -D warnings, so these are
+// hard gates for this file.
+#![warn(clippy::cast_possible_truncation)]
+#![warn(clippy::indexing_slicing)]
+
+use std::io::{self, Read};
+
+use crate::wire::{decode_varint, encode_varint};
+
+/// Hard cap on the per-cell load vector length accepted by the decoder
+/// (same bound as the trace header's shard map).
+const MAX_CELLS: u64 = 1 << 20;
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Cumulative load counters of one cell at a decision boundary.
+///
+/// All three are **cumulative since the start of the stream** (not
+/// per-window deltas): cumulative counters survive crash recovery for
+/// free — they are restored with the engine snapshot — and a decision
+/// window's delta is just the difference of two boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellLoad {
+    /// Requests the cell has executed (its rounds).
+    pub rounds: u64,
+    /// Rounds that paid the service cost.
+    pub paid_rounds: u64,
+    /// Cache population at the boundary.
+    pub occupancy: u64,
+}
+
+/// One rebalance decision, as recorded in (and replayed from) a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RebalanceRecord {
+    /// Decision index `k`: the boundary sits after exactly
+    /// `k · interval` accepted requests.
+    pub boundary: u64,
+    /// Routing-table epoch after applying [`RebalanceRecord::moves`]
+    /// (tables bump once per boundary, so this equals `k`).
+    pub epoch: u64,
+    /// Per-cell cumulative loads at the boundary prefix, indexed by cell.
+    pub loads: Vec<CellLoad>,
+    /// The migrations decided at this boundary: `(cell, destination
+    /// group)` pairs, in deterministic planner order.
+    pub moves: Vec<(u32, u32)>,
+}
+
+impl RebalanceRecord {
+    /// Appends the record's payload (framing excluded) to `buf` as a
+    /// varint sequence: `boundary, epoch, #cells, (rounds, paid,
+    /// occupancy)×cells, #moves, (cell, group)×moves`.
+    pub fn encode_payload(&self, buf: &mut Vec<u8>) {
+        encode_varint(buf, self.boundary);
+        encode_varint(buf, self.epoch);
+        encode_varint(buf, self.loads.len() as u64);
+        for l in &self.loads {
+            encode_varint(buf, l.rounds);
+            encode_varint(buf, l.paid_rounds);
+            encode_varint(buf, l.occupancy);
+        }
+        encode_varint(buf, self.moves.len() as u64);
+        for &(cell, group) in &self.moves {
+            encode_varint(buf, u64::from(cell));
+            encode_varint(buf, u64::from(group));
+        }
+    }
+
+    /// Decodes a payload produced by [`RebalanceRecord::encode_payload`].
+    /// Strict: counts are bounded before any allocation, cell/group ids
+    /// must fit `u32`, and every payload byte must be consumed — trailing
+    /// bytes are corruption, never silently ignored.
+    ///
+    /// # Errors
+    /// `InvalidData` on any structural violation; `UnexpectedEof` when
+    /// the payload ends inside a field.
+    pub fn decode_payload(bytes: &[u8]) -> io::Result<Self> {
+        let mut src = io::Cursor::new(bytes);
+        fn need(what: &'static str) -> impl Fn(Option<u64>) -> io::Result<u64> {
+            move |v| {
+                v.ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("rebalance record ends before {what}"),
+                    )
+                })
+            }
+        }
+        let boundary = decode_varint(&mut src).and_then(need("boundary"))?;
+        let epoch = decode_varint(&mut src).and_then(need("epoch"))?;
+        let cells = decode_varint(&mut src).and_then(need("cell count"))?;
+        // Every cell costs at least 3 payload bytes; bound the count by
+        // the bytes that remain before any allocation.
+        let remaining = bytes.len() as u64 - src.position();
+        if cells > MAX_CELLS || cells > remaining {
+            return Err(bad_data(format!("implausible rebalance cell count {cells}")));
+        }
+        let mut loads = Vec::with_capacity(usize::try_from(cells).unwrap_or(0));
+        for _ in 0..cells {
+            loads.push(CellLoad {
+                rounds: decode_varint(&mut src).and_then(need("cell rounds"))?,
+                paid_rounds: decode_varint(&mut src).and_then(need("cell paid rounds"))?,
+                occupancy: decode_varint(&mut src).and_then(need("cell occupancy"))?,
+            });
+        }
+        let num_moves = decode_varint(&mut src).and_then(need("move count"))?;
+        let remaining = bytes.len() as u64 - src.position();
+        if num_moves > cells || num_moves > remaining {
+            return Err(bad_data(format!("implausible rebalance move count {num_moves}")));
+        }
+        let mut moves = Vec::with_capacity(usize::try_from(num_moves).unwrap_or(0));
+        for _ in 0..num_moves {
+            let cell = decode_varint(&mut src).and_then(need("move cell"))?;
+            let group = decode_varint(&mut src).and_then(need("move group"))?;
+            let cell = u32::try_from(cell)
+                .map_err(|_| bad_data(format!("rebalance move cell {cell} overflows u32")))?;
+            if u64::from(cell) >= cells {
+                return Err(bad_data(format!(
+                    "rebalance move names cell {cell} but the record covers {cells}"
+                )));
+            }
+            let group = u32::try_from(group)
+                .map_err(|_| bad_data(format!("rebalance move group {group} overflows u32")))?;
+            moves.push((cell, group));
+        }
+        if src.position() != bytes.len() as u64 {
+            return Err(bad_data(format!(
+                "rebalance record has {} trailing bytes",
+                bytes.len() as u64 - src.position()
+            )));
+        }
+        Ok(Self { boundary, epoch, loads, moves })
+    }
+
+    /// Reads one length-prefixed payload from `src` (the part after the
+    /// stream's escape tag): a varint byte length, then exactly that many
+    /// payload bytes, decoded strictly.
+    ///
+    /// # Errors
+    /// `UnexpectedEof` when the stream ends inside the record (a torn
+    /// record); `InvalidData` on structural corruption.
+    pub fn read_framed<R: Read>(src: &mut R) -> io::Result<Self> {
+        let len = decode_varint(src)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ends before a rebalance record's length",
+            )
+        })?;
+        // A record over ~16 MiB cannot come from a real run (a million
+        // cells costs < 4 MiB); treat it as corruption before allocating.
+        if len > (1 << 24) {
+            return Err(bad_data(format!("implausible rebalance record length {len}")));
+        }
+        let mut payload = vec![0u8; usize::try_from(len).unwrap_or(0)];
+        src.read_exact(&mut payload)?;
+        Self::decode_payload(&payload)
+    }
+
+    /// Appends the framed form ([`RebalanceRecord::read_framed`]'s input:
+    /// varint length + payload) to `buf`.
+    pub fn write_framed(&self, buf: &mut Vec<u8>) {
+        let mut payload = Vec::with_capacity(16 + self.loads.len() * 6 + self.moves.len() * 4);
+        self.encode_payload(&mut payload);
+        encode_varint(buf, payload.len() as u64);
+        buf.extend_from_slice(&payload);
+    }
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::indexing_slicing,
+    reason = "tests index fixture buffers they just built; a panic here is a failing test, not a service crash"
+)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RebalanceRecord {
+        RebalanceRecord {
+            boundary: 3,
+            epoch: 3,
+            loads: vec![
+                CellLoad { rounds: 900, paid_rounds: 410, occupancy: 7 },
+                CellLoad { rounds: 80, paid_rounds: 12, occupancy: 2 },
+                CellLoad { rounds: 20, paid_rounds: 20, occupancy: 0 },
+            ],
+            moves: vec![(0, 1), (2, 0)],
+        }
+    }
+
+    #[test]
+    fn payload_round_trips() {
+        let rec = sample();
+        let mut buf = Vec::new();
+        rec.encode_payload(&mut buf);
+        assert_eq!(RebalanceRecord::decode_payload(&buf).unwrap(), rec);
+        // Empty decision (no cells, no moves) round-trips too.
+        let empty = RebalanceRecord::default();
+        let mut buf = Vec::new();
+        empty.encode_payload(&mut buf);
+        assert_eq!(RebalanceRecord::decode_payload(&buf).unwrap(), empty);
+    }
+
+    #[test]
+    fn framed_round_trips() {
+        let rec = sample();
+        let mut buf = Vec::new();
+        rec.write_framed(&mut buf);
+        let mut src = io::Cursor::new(&buf);
+        assert_eq!(RebalanceRecord::read_framed(&mut src).unwrap(), rec);
+        assert_eq!(src.position(), buf.len() as u64, "framing consumed exactly");
+    }
+
+    #[test]
+    fn corruption_is_rejected_with_typed_errors() {
+        let rec = sample();
+        let mut buf = Vec::new();
+        rec.encode_payload(&mut buf);
+        // Truncation inside the payload.
+        let err = RebalanceRecord::decode_payload(&buf[..buf.len() - 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Trailing garbage.
+        let mut long = buf.clone();
+        long.push(0);
+        let err = RebalanceRecord::decode_payload(&long).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "got: {err}");
+        // An implausible cell count is rejected before any allocation.
+        let mut forged = Vec::new();
+        encode_varint(&mut forged, 0);
+        encode_varint(&mut forged, 0);
+        encode_varint(&mut forged, u64::MAX);
+        let err = RebalanceRecord::decode_payload(&forged).unwrap_err();
+        assert!(err.to_string().contains("cell count"), "got: {err}");
+        // A move naming a cell outside the record is rejected.
+        let bad = RebalanceRecord { moves: vec![(9, 0)], ..sample() };
+        let mut buf = Vec::new();
+        bad.encode_payload(&mut buf);
+        let err = RebalanceRecord::decode_payload(&buf).unwrap_err();
+        assert!(err.to_string().contains("names cell"), "got: {err}");
+    }
+
+    #[test]
+    fn torn_framed_record_is_unexpected_eof() {
+        let rec = sample();
+        let mut buf = Vec::new();
+        rec.write_framed(&mut buf);
+        for cut in [0usize, 1, buf.len() / 2, buf.len() - 1] {
+            let mut src = io::Cursor::new(&buf[..cut]);
+            let err = RebalanceRecord::read_framed(&mut src).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+}

@@ -23,6 +23,17 @@
 //! sign characters) lives in [`crate::wire`] and is shared with the
 //! `otc-serve` wire protocol — a live service's log is byte-compatible
 //! with these readers by construction.
+//!
+//! A stream whose header sets [`TRACE_FLAG_REBALANCE`] may interleave
+//! **rebalance records** ([`crate::rebalance::RebalanceRecord`]) with its
+//! requests, escaped by the [`REBALANCE_TAG`] varint — a value no request
+//! can encode (its node part overflows `u32`), so unflagged readers
+//! reject it as corruption instead of misparsing it. The `Iterator` face
+//! of [`TraceReader`] transparently skips rebalance records (a
+//! requests-only projection, so [`Trace::load`] and every pre-existing
+//! consumer keep working); rebalance-aware consumers call
+//! [`TraceReader::next_event`] instead. The header's record count keeps
+//! counting **requests only**.
 
 // Codec modules hold the panic-freedom line hardest: a narrowing cast
 // or an out-of-bounds index here turns a corrupt trace into a wrong
@@ -36,12 +47,29 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 use otc_core::request::{Request, Sign};
 use otc_core::tree::NodeId;
 
+use crate::rebalance::RebalanceRecord;
+
 /// Magic bytes opening every binary trace file.
 pub const TRACE_MAGIC: [u8; 4] = *b"OTCT";
 
 /// Current binary format version. Readers reject anything newer; older
 /// versions (there are none yet) would be upgraded here.
 pub const TRACE_VERSION: u16 = 1;
+
+/// Header flag (bit 0): the stream may interleave rebalance records with
+/// its requests. Readers accept flag words of `0` or exactly this bit;
+/// any other bit is still a reserved-flags rejection.
+pub const TRACE_FLAG_REBALANCE: u16 = 1;
+
+/// Every header flag bit this build understands.
+const KNOWN_FLAGS: u16 = TRACE_FLAG_REBALANCE;
+
+/// The varint escaping a rebalance record inside the request body. A
+/// request varint is `(node << 1) | sign ≤ 2³³ − 1` (node ids are
+/// `u32`), so `2³³` is the smallest value no request can occupy: in an
+/// unflagged stream it is already rejected as corruption, which is what
+/// makes claiming it backward-safe.
+pub const REBALANCE_TAG: u64 = 1 << 33;
 
 /// Record-count sentinel meaning "unknown / stream to EOF" — what a
 /// header holds while a [`TraceWriter`] is still open (a crash leaves a
@@ -204,6 +232,9 @@ fn wire_lens(header: &TraceHeader) -> io::Result<(u32, u16)> {
 pub struct TraceWriter<W: Write + Seek> {
     sink: W,
     header: TraceHeader,
+    /// Header flag word; [`TraceWriter::push_rebalance`] requires
+    /// [`TRACE_FLAG_REBALANCE`] here.
+    flags: u16,
     /// Small write-combining buffer so per-request pushes don't hit the
     /// sink syscall-by-syscall.
     buf: Vec<u8>,
@@ -219,12 +250,27 @@ pub struct TraceWriter<W: Write + Seek> {
 const WRITER_BUF: usize = 16 * 1024;
 
 impl<W: Write + Seek> TraceWriter<W> {
-    /// Opens a writer over `sink`, writing the header immediately.
+    /// Opens a writer over `sink`, writing the header immediately (flag
+    /// word zero: a plain request-only trace).
     ///
     /// # Errors
     /// Propagates I/O errors; rejects generator names longer than 4096
     /// bytes and shard maps longer than 2²⁰ entries.
-    pub fn new(mut sink: W, header: TraceHeader) -> io::Result<Self> {
+    pub fn new(sink: W, header: TraceHeader) -> io::Result<Self> {
+        Self::with_flags(sink, header, 0)
+    }
+
+    /// Opens a writer whose header carries `flags` — pass
+    /// [`TRACE_FLAG_REBALANCE`] to make the stream rebalance-capable
+    /// (required before [`TraceWriter::push_rebalance`]).
+    ///
+    /// # Errors
+    /// Everything [`TraceWriter::new`] rejects, plus flag bits this build
+    /// does not define.
+    pub fn with_flags(mut sink: W, header: TraceHeader, flags: u16) -> io::Result<Self> {
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(bad_data(format!("unknown trace flags: {flags:#06x}")));
+        }
         let (num_shards, gen_len) = wire_lens(&header)?;
         // The sink need not start at position 0 (appending after a
         // preamble or an earlier trace is legal): all patch offsets are
@@ -233,7 +279,7 @@ impl<W: Write + Seek> TraceWriter<W> {
         let mut buf = Vec::with_capacity(WRITER_BUF + 10);
         buf.extend_from_slice(&TRACE_MAGIC);
         buf.extend_from_slice(&TRACE_VERSION.to_le_bytes());
-        buf.extend_from_slice(&0u16.to_le_bytes()); // flags (reserved)
+        buf.extend_from_slice(&flags.to_le_bytes());
         buf.extend_from_slice(&header.universe.to_le_bytes());
         buf.extend_from_slice(&header.seed.to_le_bytes());
         buf.extend_from_slice(&num_shards.to_le_bytes());
@@ -246,7 +292,7 @@ impl<W: Write + Seek> TraceWriter<W> {
         buf.extend_from_slice(&COUNT_UNKNOWN.to_le_bytes());
         sink.write_all(&buf)?;
         buf.clear();
-        Ok(Self { sink, header, buf, count: 0, count_pos, body_bytes: 0 })
+        Ok(Self { sink, header, flags, buf, count: 0, count_pos, body_bytes: 0 })
     }
 
     /// Reopens a writer over the good prefix of an existing trace after a
@@ -264,7 +310,29 @@ impl<W: Write + Seek> TraceWriter<W> {
     /// # Errors
     /// Propagates I/O errors; rejects headers [`TraceWriter::new`] would
     /// reject and sinks shorter than `origin` plus the header.
-    pub fn resume(mut sink: W, header: TraceHeader, origin: u64, count: u64) -> io::Result<Self> {
+    pub fn resume(sink: W, header: TraceHeader, origin: u64, count: u64) -> io::Result<Self> {
+        Self::resume_with_flags(sink, header, origin, count, 0)
+    }
+
+    /// [`TraceWriter::resume`] for a stream whose header carries `flags`
+    /// (as reported by [`TraceReader::flags`] during the recovery scan).
+    /// The on-disk flag word is not rewritten — it was stamped when the
+    /// log was created; the writer only needs to know it to keep
+    /// accepting [`TraceWriter::push_rebalance`] after resume.
+    ///
+    /// # Errors
+    /// Everything [`TraceWriter::resume`] rejects, plus unknown flag
+    /// bits.
+    pub fn resume_with_flags(
+        mut sink: W,
+        header: TraceHeader,
+        origin: u64,
+        count: u64,
+        flags: u16,
+    ) -> io::Result<Self> {
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(bad_data(format!("unknown trace flags: {flags:#06x}")));
+        }
         wire_lens(&header)?;
         let count_pos = origin + header.encoded_len() - 8;
         let end = sink.seek(SeekFrom::End(0))?;
@@ -279,7 +347,7 @@ impl<W: Write + Seek> TraceWriter<W> {
         sink.seek(SeekFrom::End(0))?;
         sink.flush()?;
         let buf = Vec::with_capacity(WRITER_BUF + 10);
-        Ok(Self { sink, header, buf, count, count_pos, body_bytes })
+        Ok(Self { sink, header, flags, buf, count, count_pos, body_bytes })
     }
 
     /// The header this writer opened with.
@@ -288,10 +356,16 @@ impl<W: Write + Seek> TraceWriter<W> {
         &self.header
     }
 
-    /// Requests written so far.
+    /// Requests written so far (rebalance records are never counted).
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// The header flag word this writer opened with.
+    #[must_use]
+    pub fn flags(&self) -> u16 {
+        self.flags
     }
 
     /// Appends one request.
@@ -310,6 +384,33 @@ impl<W: Write + Seek> TraceWriter<W> {
         crate::wire::encode_request(&mut self.buf, req);
         self.body_bytes += (self.buf.len() - before) as u64;
         self.count += 1;
+        if self.buf.len() >= WRITER_BUF {
+            self.sink.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Appends one rebalance record ([`REBALANCE_TAG`] + framed payload)
+    /// at the current stream position. Does **not** advance the request
+    /// count — the header count keeps meaning "requests", so request-only
+    /// consumers and snapshot cut arithmetic are unaffected.
+    ///
+    /// # Errors
+    /// Rejected unless the writer opened with [`TRACE_FLAG_REBALANCE`]
+    /// (an unflagged reader would refuse the record as corruption);
+    /// propagates I/O errors when the internal buffer flushes.
+    pub fn push_rebalance(&mut self, record: &RebalanceRecord) -> io::Result<()> {
+        if self.flags & TRACE_FLAG_REBALANCE == 0 {
+            return Err(bad_data(
+                "rebalance records require a TRACE_FLAG_REBALANCE header \
+                 (open the writer with TraceWriter::with_flags)",
+            ));
+        }
+        let before = self.buf.len();
+        crate::wire::encode_varint(&mut self.buf, REBALANCE_TAG);
+        record.write_framed(&mut self.buf);
+        self.body_bytes += (self.buf.len() - before) as u64;
         if self.buf.len() >= WRITER_BUF {
             self.sink.write_all(&self.buf)?;
             self.buf.clear();
@@ -374,12 +475,29 @@ impl<R: Read> Read for CountingReader<R> {
     }
 }
 
+/// One record of a binary trace body, as yielded by
+/// [`TraceReader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A request record.
+    Request(Request),
+    /// A rebalance decision record (only in streams flagged with
+    /// [`TRACE_FLAG_REBALANCE`]).
+    Rebalance(RebalanceRecord),
+}
+
 /// Streaming binary-trace reader: validates the header on construction,
 /// then yields requests as an `Iterator` (so replay never materialises the
 /// whole sequence). See [`TraceWriter`] for a round-trip example.
+///
+/// The `Iterator` face is a **requests-only projection**: rebalance
+/// records in a flagged stream are decoded, validated and skipped.
+/// Rebalance-aware consumers use [`TraceReader::next_event`].
 pub struct TraceReader<R: Read> {
     src: CountingReader<io::BufReader<R>>,
     header: TraceHeader,
+    /// Header flag word (`0` or [`TRACE_FLAG_REBALANCE`]).
+    flags: u16,
     /// Records the header promises (`None` when the writer never
     /// finished — stream to EOF).
     declared: Option<u64>,
@@ -412,7 +530,7 @@ impl<R: Read> TraceReader<R> {
             )));
         }
         let flags = read_u16(&mut src)?;
-        if flags != 0 {
+        if flags & !KNOWN_FLAGS != 0 {
             return Err(bad_data(format!("reserved flags set: {flags:#06x}")));
         }
         let universe = read_u32(&mut src)?;
@@ -439,6 +557,7 @@ impl<R: Read> TraceReader<R> {
         Ok(Self {
             src,
             header: TraceHeader { universe, shard_map, seed, generator },
+            flags,
             declared,
             yielded: 0,
             failed: false,
@@ -450,6 +569,19 @@ impl<R: Read> TraceReader<R> {
     #[must_use]
     pub fn header(&self) -> &TraceHeader {
         &self.header
+    }
+
+    /// The header flag word.
+    #[must_use]
+    pub fn flags(&self) -> u16 {
+        self.flags
+    }
+
+    /// Whether the stream may carry rebalance records
+    /// ([`TRACE_FLAG_REBALANCE`] set).
+    #[must_use]
+    pub fn rebalance_capable(&self) -> bool {
+        self.flags & TRACE_FLAG_REBALANCE != 0
     }
 
     /// Consumes the reader, keeping only the header.
@@ -482,17 +614,28 @@ impl<R: Read> TraceReader<R> {
         self.good_pos
     }
 
-    fn next_request(&mut self) -> io::Result<Option<Request>> {
-        if let Some(declared) = self.declared {
-            if self.yielded >= declared {
-                return Ok(None);
-            }
-        }
+    /// Yields the next body record — request or rebalance — or `None`
+    /// at the end of the stream. This is the full view of the body; the
+    /// `Iterator` face filters it down to requests.
+    ///
+    /// A rebalance record may legally trail the final request (a
+    /// decision boundary at the exact end of a run), so a declared-count
+    /// stream keeps yielding rebalance records — but no more requests —
+    /// after the count is exhausted.
+    ///
+    /// # Errors
+    /// `UnexpectedEof` on truncation inside a record (the torn record
+    /// never advances [`TraceReader::byte_pos`]); `InvalidData` on
+    /// out-of-universe requests, a [`REBALANCE_TAG`] in an unflagged
+    /// stream, request records beyond the declared count, and every
+    /// corruption [`crate::wire`] rejects.
+    pub fn next_event(&mut self) -> io::Result<Option<TraceEvent>> {
+        let requests_done = self.declared.is_some_and(|d| self.yielded >= d);
         // The shared record codec ([`crate::wire`]): a clean EOF before
-        // the first byte ends an undeclared-count stream; truncation
-        // inside a record and overflowing varints are rejected there.
-        let Some(req) = crate::wire::decode_request(&mut self.src)? else {
-            if self.declared.is_none() {
+        // the first byte ends the stream; truncation inside a record and
+        // overflowing varints are rejected there.
+        let Some(value) = crate::wire::decode_varint(&mut self.src)? else {
+            if self.declared.is_none() || requests_done {
                 return Ok(None);
             }
             return Err(io::Error::new(
@@ -500,6 +643,24 @@ impl<R: Read> TraceReader<R> {
                 format!("trace truncated after {} records", self.yielded),
             ));
         };
+        if value == REBALANCE_TAG {
+            if self.flags & TRACE_FLAG_REBALANCE == 0 {
+                return Err(bad_data(
+                    "rebalance record in a stream whose header does not set \
+                     TRACE_FLAG_REBALANCE",
+                ));
+            }
+            let record = RebalanceRecord::read_framed(&mut self.src)?;
+            self.good_pos = self.src.consumed;
+            return Ok(Some(TraceEvent::Rebalance(record)));
+        }
+        if requests_done {
+            return Err(bad_data(format!(
+                "request record beyond the declared count of {}",
+                self.yielded
+            )));
+        }
+        let req = crate::wire::request_from_varint(value)?;
         if self.header.universe > 0 && req.node.0 >= self.header.universe {
             return Err(bad_data(format!(
                 "record {} targets node {} outside the declared universe of {}",
@@ -508,7 +669,17 @@ impl<R: Read> TraceReader<R> {
         }
         self.yielded += 1;
         self.good_pos = self.src.consumed;
-        Ok(Some(req))
+        Ok(Some(TraceEvent::Request(req)))
+    }
+
+    fn next_request(&mut self) -> io::Result<Option<Request>> {
+        loop {
+            match self.next_event()? {
+                Some(TraceEvent::Request(req)) => return Ok(Some(req)),
+                Some(TraceEvent::Rebalance(_)) => {}
+                None => return Ok(None),
+            }
+        }
     }
 }
 
@@ -1076,6 +1247,183 @@ mod tests {
             panic!("resume over a headerless sink must fail")
         };
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    fn sample_record(boundary: u64) -> RebalanceRecord {
+        RebalanceRecord {
+            boundary,
+            epoch: boundary,
+            loads: vec![
+                crate::rebalance::CellLoad {
+                    rounds: 10 * boundary,
+                    paid_rounds: boundary,
+                    occupancy: 2,
+                },
+                crate::rebalance::CellLoad { rounds: boundary, paid_rounds: 0, occupancy: 1 },
+            ],
+            moves: if boundary.is_multiple_of(2) { vec![(0, 1)] } else { Vec::new() },
+        }
+    }
+
+    #[test]
+    fn rebalance_records_interleave_and_round_trip() {
+        let header = TraceHeader::single_tree(64, 7, "rebalance");
+        let mut w = TraceWriter::with_flags(
+            io::Cursor::new(Vec::new()),
+            header.clone(),
+            TRACE_FLAG_REBALANCE,
+        )
+        .unwrap();
+        w.push(Request::pos(NodeId(1))).unwrap();
+        w.push(Request::neg(NodeId(2))).unwrap();
+        w.push_rebalance(&sample_record(1)).unwrap();
+        w.push(Request::pos(NodeId(3))).unwrap();
+        w.push_rebalance(&sample_record(2)).unwrap(); // trails the final request
+        assert_eq!(w.count(), 3, "rebalance records never advance the request count");
+        let bytes = w.finish().unwrap().into_inner();
+
+        // Event view: the full interleaving, in order, including the
+        // record trailing the declared count.
+        let mut r = TraceReader::new(io::Cursor::new(&bytes)).unwrap();
+        assert!(r.rebalance_capable());
+        assert_eq!(r.remaining(), Some(3));
+        let mut events = Vec::new();
+        while let Some(e) = r.next_event().unwrap() {
+            events.push(e);
+        }
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::Request(Request::pos(NodeId(1))),
+                TraceEvent::Request(Request::neg(NodeId(2))),
+                TraceEvent::Rebalance(sample_record(1)),
+                TraceEvent::Request(Request::pos(NodeId(3))),
+                TraceEvent::Rebalance(sample_record(2)),
+            ]
+        );
+        assert_eq!(r.records_read(), 3);
+        assert_eq!(r.byte_pos(), bytes.len() as u64, "every body byte accounted for");
+
+        // Iterator view: the requests-only projection, so Trace::load and
+        // every pre-existing consumer see exactly the request stream.
+        let back = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            back.requests,
+            vec![Request::pos(NodeId(1)), Request::neg(NodeId(2)), Request::pos(NodeId(3))]
+        );
+    }
+
+    #[test]
+    fn push_rebalance_requires_the_header_flag() {
+        let header = TraceHeader::single_tree(8, 0, "unflagged");
+        let mut w = TraceWriter::new(io::Cursor::new(Vec::new()), header).unwrap();
+        let err = w.push_rebalance(&sample_record(1)).unwrap_err();
+        assert!(err.to_string().contains("TRACE_FLAG_REBALANCE"), "got: {err}");
+    }
+
+    #[test]
+    fn rebalance_tag_in_an_unflagged_stream_is_corruption() {
+        let header = TraceHeader::single_tree(8, 0, "forged");
+        let mut w = TraceWriter::new(io::Cursor::new(Vec::new()), header).unwrap();
+        w.push(Request::pos(NodeId(1))).unwrap();
+        w.sync().unwrap();
+        let mut bytes = w.sink.into_inner();
+        crate::wire::encode_varint(&mut bytes, REBALANCE_TAG);
+        sample_record(1).write_framed(&mut bytes);
+        let mut r = TraceReader::new(io::Cursor::new(&bytes)).unwrap();
+        assert!(!r.rebalance_capable());
+        assert_eq!(r.next().unwrap().unwrap(), Request::pos(NodeId(1)));
+        let err = r.next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("TRACE_FLAG_REBALANCE"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_flag_bits_still_rejected_both_ways() {
+        let header = TraceHeader::single_tree(8, 0, "flags");
+        let Err(err) = TraceWriter::with_flags(io::Cursor::new(Vec::new()), header.clone(), 0x4)
+        else {
+            panic!("unknown writer flags must be rejected")
+        };
+        assert!(err.to_string().contains("unknown trace flags"), "got: {err}");
+        let mut bytes = Trace { header, requests: Vec::new() }.to_bytes();
+        bytes[6..8].copy_from_slice(&0x8002u16.to_le_bytes());
+        let err = Trace::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("reserved flags"), "got: {err}");
+    }
+
+    #[test]
+    fn torn_rebalance_record_is_excluded_from_the_good_prefix() {
+        let header = TraceHeader::single_tree(64, 0, "torn-rebalance");
+        let mut w = TraceWriter::with_flags(
+            io::Cursor::new(Vec::new()),
+            header.clone(),
+            TRACE_FLAG_REBALANCE,
+        )
+        .unwrap();
+        w.push(Request::pos(NodeId(5))).unwrap();
+        w.sync().unwrap();
+        let good_end = w.stream_offset();
+        w.push_rebalance(&sample_record(1)).unwrap();
+        w.sync().unwrap();
+        let mut disk = w.sink.into_inner();
+        disk.truncate(disk.len() - 3); // tear inside the record payload
+        let mut r = TraceReader::new(io::Cursor::new(&disk)).unwrap();
+        assert_eq!(r.next_event().unwrap(), Some(TraceEvent::Request(Request::pos(NodeId(5)))));
+        let err = r.next_event().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert_eq!(r.byte_pos(), good_end, "torn record bytes never enter the good prefix");
+        // And a complete record DOES advance the good prefix, so resume
+        // after a crash lands past it, not inside it.
+        let mut w =
+            TraceWriter::with_flags(io::Cursor::new(Vec::new()), header, TRACE_FLAG_REBALANCE)
+                .unwrap();
+        w.push(Request::pos(NodeId(5))).unwrap();
+        w.push_rebalance(&sample_record(1)).unwrap();
+        w.sync().unwrap();
+        let end = w.stream_offset();
+        let disk = w.sink.into_inner();
+        assert_eq!(disk.len() as u64, end, "stream_offset covers rebalance bytes");
+        let mut r = TraceReader::new(io::Cursor::new(&disk)).unwrap();
+        while let Some(e) = r.next_event().unwrap() {
+            drop(e);
+        }
+        assert_eq!(r.byte_pos(), end);
+    }
+
+    #[test]
+    fn resume_with_flags_keeps_accepting_rebalance_records() {
+        let header = TraceHeader::single_tree(64, 0, "resume-rebalance");
+        let mut w = TraceWriter::with_flags(
+            io::Cursor::new(Vec::new()),
+            header.clone(),
+            TRACE_FLAG_REBALANCE,
+        )
+        .unwrap();
+        w.push(Request::pos(NodeId(1))).unwrap();
+        w.push_rebalance(&sample_record(1)).unwrap();
+        w.sync().unwrap();
+        let mut sink = w.sink;
+        sink.seek(SeekFrom::End(0)).unwrap();
+        let mut w =
+            TraceWriter::resume_with_flags(sink, header, 0, 1, TRACE_FLAG_REBALANCE).unwrap();
+        w.push(Request::neg(NodeId(2))).unwrap();
+        w.push_rebalance(&sample_record(2)).unwrap();
+        let bytes = w.finish().unwrap().into_inner();
+        let mut r = TraceReader::new(io::Cursor::new(&bytes)).unwrap();
+        let mut events = Vec::new();
+        while let Some(e) = r.next_event().unwrap() {
+            events.push(e);
+        }
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::Request(Request::pos(NodeId(1))),
+                TraceEvent::Rebalance(sample_record(1)),
+                TraceEvent::Request(Request::neg(NodeId(2))),
+                TraceEvent::Rebalance(sample_record(2)),
+            ]
+        );
     }
 
     #[test]

@@ -112,11 +112,18 @@ proptest! {
             match Trace::from_bytes(&bytes) {
                 Err(_) => {} // rejected: fine
                 Ok(back) => {
-                    // Accepted: the magic/version/flags region (bytes 0..8)
-                    // must have been untouched for this to parse at all, and
-                    // the requests must be either identical or rejected —
-                    // a metadata-field flip cannot corrupt the body silently.
-                    prop_assert!(flip_at >= 8, "flips in magic/version/flags must be rejected");
+                    // Accepted: the magic/version region (bytes 0..6) must
+                    // have been untouched for this to parse at all. One flip
+                    // in the flags word is legal — bit 0 of byte 6 is
+                    // TRACE_FLAG_REBALANCE, which only *permits* extra
+                    // records without changing how requests parse. Either
+                    // way the requests must come back identical — a
+                    // metadata-field flip cannot corrupt the body silently.
+                    let rebalance_bit = flip_at == 6 && flip_bit == 0;
+                    prop_assert!(
+                        flip_at >= 8 || rebalance_bit,
+                        "flips in magic/version/flags must be rejected"
+                    );
                     prop_assert_eq!(back.requests, trace.requests);
                 }
             }

@@ -1,0 +1,129 @@
+//! Dynamic resharding under live skew, end to end: a rebalancing
+//! loopback service rides out a diurnal multi-tenant workload whose hot
+//! spot migrates around the forest, re-homing cells between serving
+//! groups as the load moves — then the whole run, *including every
+//! migration decision*, is proven bit-identical to a replay of the
+//! trace it logged.
+//!
+//! ```text
+//! cargo run --release --example rebalance_skew
+//! ```
+//!
+//! 1. start an `otc-serve` [`Server`] over the cells forest of a 6-ary
+//!    tree (6 cells spread over 4 serving groups, rebalancing on —
+//!    deliberately *not* 3 groups: round-robin over 6 phase-shifted
+//!    tenants would pair each cell with its exact anti-phase twin and
+//!    the groups would stay balanced by symmetry);
+//! 2. hammer it with two concurrent clients submitting a diurnal
+//!    tenant stream — each tenant's load follows a phase-shifted
+//!    day/night cycle, so the heavy cells keep changing;
+//! 3. shut down: the outcome reports how many boundaries fired and how
+//!    many cells migrated, and the telemetry exposes the per-window
+//!    `imbalance_x1000` metric the planner reacted to;
+//! 4. replay the logged trace through a fresh cells engine and a fresh
+//!    rebalancer built from the shard count alone, and assert reports,
+//!    aggregate, telemetry, final placement and the verified record
+//!    count all match the live run — determinism invariant #7.
+//!
+//! CI runs this binary as the rebalancing smoke test.
+
+use std::sync::Arc;
+
+use online_tree_caching::prelude::*;
+use online_tree_caching::serve::{initial_table, Client, RebalancePolicy, ServeConfig, Server};
+use online_tree_caching::sim::engine::{EngineConfig, ShardedEngine};
+use online_tree_caching::sim::{replay_trace_rebalancing, RebalanceConfig, Rebalancer};
+use online_tree_caching::util::SplitMix64;
+use online_tree_caching::workloads::trace::TraceReader;
+use online_tree_caching::workloads::{diurnal_tenant_stream, DiurnalConfig, TenantProfile};
+
+const ALPHA: u64 = 4;
+const GROUPS: u32 = 4;
+const CLIENTS: usize = 2;
+const LEN: usize = 48_000;
+const INTERVAL: u64 = 4_000;
+const SEED: u64 = 0x0DD_BA11;
+
+fn factory(tree: Arc<Tree>, _s: ShardId) -> Box<dyn CachePolicy> {
+    Box::new(TcFast::new(tree, TcConfig::new(ALPHA, 48))) as Box<dyn CachePolicy>
+}
+
+fn main() {
+    // --- 1. Six cells (root-child subtries) over four serving groups.
+    let mut rng = SplitMix64::new(SEED);
+    let tree = Tree::kary(6, 4); // 259 nodes, 6 cells of 43 each
+    let forest = Forest::cells(&tree);
+    let cells = forest.num_shards();
+    let rcfg = RebalanceConfig::new(INTERVAL).threshold_x1000(1150);
+    let policy = RebalancePolicy::new(GROUPS, rcfg, Arc::new(factory));
+    let engine_cfg = EngineConfig::bare(ALPHA).audit_every(4096).telemetry(true);
+    let engine = ShardedEngine::new(forest.clone(), &factory, engine_cfg);
+    let serve_cfg = ServeConfig { rebalance: Some(policy), ..ServeConfig::default() };
+    let server = Server::start(engine, serve_cfg).expect("bind 127.0.0.1");
+    println!(
+        "serving {cells} cells over {} groups at {} (boundary every {INTERVAL} requests)",
+        server.num_groups(),
+        server.addr()
+    );
+
+    // --- 2. A diurnal stream: tenant load orbits the forest.
+    let profiles = vec![TenantProfile::skewed(1.1); cells];
+    let diurnal = DiurnalConfig { len: LEN, alpha: ALPHA, period: 12_000, amplitude: 0.9 };
+    let stream = diurnal_tenant_stream(&forest, &profiles, diurnal, &mut rng);
+    let addr = server.addr();
+    let per = stream.len() / CLIENTS;
+    std::thread::scope(|scope| {
+        for (c, slice) in stream.chunks(per + 1).enumerate() {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for chunk in slice.chunks(256 + c) {
+                    client.submit(chunk).expect("submit");
+                }
+                client.drain().expect("drain");
+                client.bye().expect("bye");
+            });
+        }
+    });
+
+    // --- 3. Shutdown: what did the rebalancer do, and what did it see?
+    let outcome = server.shutdown().expect("clean shutdown");
+    let summary = outcome.rebalance.clone().expect("a rebalancing service reports a summary");
+    assert!(summary.migrations > 0, "diurnal skew must migrate cells");
+    println!(
+        "live run: {} requests, {} boundaries, {} migrations, final owners {:?}",
+        outcome.requests_served, summary.boundaries, summary.migrations, summary.owners
+    );
+    let peak = outcome
+        .timeline
+        .windows
+        .iter()
+        .filter_map(|w| outcome.timeline.imbalance_x1000(w.window))
+        .max()
+        .unwrap_or(0);
+    println!(
+        "telemetry: peak per-window imbalance {}.{:03}x the mean cell load",
+        peak / 1000,
+        peak % 1000
+    );
+
+    // --- 4. Replay the log: the schedule is a pure function of it.
+    let bytes = outcome.trace_bytes.as_deref().expect("memory log");
+    let mut replay = ShardedEngine::new(forest, &factory, engine_cfg);
+    let mut reader = TraceReader::new(std::io::Cursor::new(bytes)).expect("valid header");
+    let mut reb = Rebalancer::new(rcfg, initial_table(cells, GROUPS).expect("valid shape"));
+    let mut chunk = Vec::with_capacity(8 * 1024);
+    let verdict = replay_trace_rebalancing(&mut replay, &mut reader, &mut reb, &mut chunk)
+        .expect("replay verifies the live schedule");
+    assert_eq!(verdict.replayed, outcome.requests_served);
+    assert_eq!(verdict.verified, summary.boundaries, "every live record verified");
+    assert_eq!(reb.table().owners(), summary.owners.as_slice(), "identical final placement");
+    assert_eq!(reb.table().epoch(), summary.epoch);
+    assert_eq!(replay.timeline(), outcome.timeline, "telemetry is bit-identical");
+    let per_shard = replay.into_reports().expect("verified replay");
+    assert_eq!(per_shard, outcome.per_shard, "per-cell reports are bit-identical");
+    println!(
+        "replay: {} requests, {} records verified — live run and replay are bit-identical \
+         (invariant #7)",
+        verdict.replayed, verdict.verified
+    );
+}
