@@ -9,59 +9,36 @@
 //! 1/2/4/8 (one worker thread per shard, total TCAM capacity split
 //! evenly) next to the classic single-threaded `run_fib`. Costs are
 //! deterministic and recorded alongside the timings so a semantic drift
-//! is as visible as a throughput one.
+//! is as visible as a throughput one. The workload definition lives in
+//! [`otc_bench::fib_baseline`], shared with `bench_regress` which replays
+//! it against this file's committed numbers.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
 
-use otc_core::forest::ShardId;
-use otc_core::policy::CachePolicy;
+use otc_bench::fib_baseline::{
+    self, measure_run_fib, measure_sharded, ALPHA, EVENTS, RULES, SHARD_COUNTS, TOTAL_CAPACITY,
+};
 use otc_core::tc::{TcConfig, TcFast};
-use otc_core::tree::Tree;
-use otc_sdn::{generate_events, run_fib, run_fib_sharded, FibWorkloadConfig};
-use otc_trie::{hierarchical_table, HierarchicalConfig, RuleTree};
-use otc_util::SplitMix64;
-
-const ALPHA: u64 = 4;
-const TOTAL_CAPACITY: usize = 256;
-const EVENTS: usize = 200_000;
-const RULES: usize = 4096;
-
-fn time_best<F: FnMut() -> u64>(mut f: F, iters: usize) -> (f64, u64) {
-    let mut best = f64::INFINITY;
-    let mut cost = 0;
-    for _ in 0..iters {
-        let start = Instant::now();
-        cost = f();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    (best, cost)
-}
 
 fn main() {
-    let mut rng = SplitMix64::new(0xBE7C);
-    let rules = Arc::new(RuleTree::build(&hierarchical_table(
-        HierarchicalConfig { n: RULES, subdivide_p: 0.7, max_len: 28 },
-        &mut rng,
-    )));
-    let events = generate_events(
-        &rules,
-        FibWorkloadConfig { events: EVENTS, theta: 1.0, update_p: 0.02, addr_attempts: 16 },
-        &mut rng,
-    );
+    let (rules, events) = fib_baseline::build();
     let iters = 3;
 
-    let mut results = String::new();
-    let (secs, cost) = time_best(
-        || {
-            let mut tc =
-                TcFast::new(Arc::new(rules.tree().clone()), TcConfig::new(ALPHA, TOTAL_CAPACITY));
-            run_fib(&rules, &mut tc, &events, ALPHA).total_cost()
-        },
-        iters,
+    // Memory accounting on the workload's own tree: arena navigation bytes
+    // and the TcFast SoA counter state, both per node.
+    let fib_tree = Arc::new(rules.tree().clone());
+    let nodes = fib_tree.len();
+    let probe = TcFast::new(Arc::clone(&fib_tree), TcConfig::new(ALPHA, TOTAL_CAPACITY));
+    let tree_bpn = fib_tree.heap_bytes() as f64 / nodes as f64;
+    let policy_bpn = probe.state_heap_bytes() as f64 / nodes as f64;
+    println!(
+        "memory: {nodes} nodes, tree {tree_bpn:.1} B/node, TcFast state {policy_bpn:.1} B/node"
     );
-    let baseline_eps = events.len() as f64 / secs;
+    drop(probe);
+
+    let mut results = String::new();
+    let (baseline_eps, cost) = measure_run_fib(&rules, &events, iters);
     println!("single-thread run_fib: {baseline_eps:>12.0} events/s  (cost {cost})");
     write!(
         results,
@@ -70,16 +47,8 @@ fn main() {
     )
     .unwrap();
 
-    for shards in [1usize, 2, 4, 8] {
-        let capacity = (TOTAL_CAPACITY / shards).max(1);
-        let factory = move |tree: Arc<Tree>, _s: ShardId| {
-            Box::new(TcFast::new(tree, TcConfig::new(ALPHA, capacity))) as Box<dyn CachePolicy>
-        };
-        let (secs, cost) = time_best(
-            || run_fib_sharded(&rules, &factory, &events, ALPHA, shards, shards).total.total_cost(),
-            iters,
-        );
-        let eps = events.len() as f64 / secs;
+    for shards in SHARD_COUNTS {
+        let (eps, cost) = measure_sharded(&rules, &events, shards, iters);
         println!(
             "sharded engine, {shards} shard(s): {eps:>12.0} events/s  (cost {cost}, {:>5.2}x \
              single-thread)",
@@ -131,6 +100,8 @@ fn main() {
          the sharded rows measure engine overhead only\",\n  \
          \"workload\": {{ \"rules\": {RULES}, \"events\": {EVENTS}, \"theta\": 1.0, \
          \"update_p\": 0.02, \"alpha\": {ALPHA}, \"total_capacity\": {TOTAL_CAPACITY} }},\n  \
+         \"memory\": {{ \"nodes\": {nodes}, \"tree_bytes_per_node\": {tree_bpn:.1}, \
+         \"policy_bytes_per_node\": {policy_bpn:.1} }},\n  \
          \"timeline_e7\": {timeline_note},\n  \
          \"timing\": \"best of {iters} runs per point\",\n  \"results\": [\n{results}\n  ]\n}}\n",
         host.to_json()

@@ -1,0 +1,163 @@
+//! Throughput-regression gate against the committed `BENCH_engine.json`.
+//!
+//! ```text
+//! cargo run --release -p otc-bench --bin bench_regress
+//! OTC_SMOKE=1 cargo run --release -p otc-bench --bin bench_regress   # CI
+//! ```
+//!
+//! Replays the exact [`otc_bench::fib_baseline`] workload that
+//! `bench_engine` records and compares the fresh run against the
+//! committed baseline, row by row:
+//!
+//! * **Total costs must match exactly, always.** The workload is
+//!   deterministic, so a cost drift is a semantic bug (this is what first
+//!   exposed a PR 3 baseline recorded from a different code state: its
+//!   7.58M events/s figure never had a matching cost row).
+//! * **Throughput may not drop more than 15%** below the committed
+//!   `events_per_sec` — but only when the baseline was recorded on a
+//!   matching host (`host.nproc` and `host.rustc` equal). Comparing
+//!   wall-clock across different machines or toolchains is noise, so a
+//!   host mismatch downgrades the throughput check to a loud warning.
+//!
+//! Exit status is non-zero on any cost mismatch or (host-matched)
+//! throughput regression. `OTC_SMOKE=1` keeps the full 200k-event
+//! workload — cost identity stays fully checked — but times a single
+//! iteration instead of best-of-3 and widens the throughput tolerance,
+//! since a smoke run takes no warm-up care.
+
+use otc_bench::fib_baseline::{self, measure_run_fib, measure_sharded};
+use otc_bench::{json_str_field, json_u64_field, HostInfo};
+
+/// One `results[]` row of the committed baseline.
+struct BaselineRow {
+    pipeline: String,
+    shards: usize,
+    events_per_sec: u64,
+    total_cost: u64,
+}
+
+fn parse_baseline(text: &str) -> Result<(HostInfo, Vec<BaselineRow>), String> {
+    // The recorder writes `"host": { ... }` on one line and one results
+    // row per line; scan line-oriented rather than parsing JSON (no JSON
+    // dependency in this workspace, and the format is our own output).
+    let host_line =
+        text.lines().find(|l| l.contains("\"host\":")).ok_or("baseline has no \"host\" object")?;
+    let host = HostInfo {
+        nproc: json_u64_field(host_line, "nproc").ok_or("host object has no \"nproc\"")? as usize,
+        rustc: json_str_field(host_line, "rustc")
+            .ok_or("host object has no \"rustc\"")?
+            .to_string(),
+        date: json_str_field(host_line, "date").unwrap_or("unknown").to_string(),
+    };
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(pipeline) = json_str_field(line, "pipeline") else { continue };
+        // Skip the top-level "benchmark"/"command" lines; rows always
+        // carry all three numeric fields.
+        let (Some(shards), Some(eps), Some(cost)) = (
+            json_u64_field(line, "shards"),
+            json_u64_field(line, "events_per_sec"),
+            json_u64_field(line, "total_cost"),
+        ) else {
+            continue;
+        };
+        rows.push(BaselineRow {
+            pipeline: pipeline.to_string(),
+            shards: shards as usize,
+            events_per_sec: eps,
+            total_cost: cost,
+        });
+    }
+    if rows.is_empty() {
+        return Err("baseline has no results rows".to_string());
+    }
+    Ok((host, rows))
+}
+
+fn main() {
+    let smoke = std::env::var("OTC_SMOKE").is_ok();
+    let iters = if smoke { 1 } else { 3 };
+    // Smoke runs (CI containers, single timing pass) are only meant to
+    // catch order-of-magnitude collapses and cost drift.
+    let tolerance = if smoke { 0.50 } else { 0.15 };
+
+    let path = "BENCH_engine.json";
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_regress: cannot read {path}: {e} (run from the repo root)");
+            std::process::exit(1);
+        }
+    };
+    let (baseline_host, rows) = match parse_baseline(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("bench_regress: malformed {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let host = HostInfo::capture();
+    let host_matches = host.nproc == baseline_host.nproc && host.rustc == baseline_host.rustc;
+    println!(
+        "baseline host: nproc {}, {} ({})",
+        baseline_host.nproc, baseline_host.rustc, baseline_host.date
+    );
+    println!("current host:  nproc {}, {}", host.nproc, host.rustc);
+    if !host_matches {
+        println!(
+            "HOST MISMATCH: throughput checks are advisory only (cost identity still enforced)"
+        );
+    }
+    println!("timing: best of {iters} run(s), throughput tolerance {:.0}%", tolerance * 100.0);
+
+    let (rules, events) = fib_baseline::build();
+    let mut failures = 0u32;
+    for row in &rows {
+        let (eps, cost) = match (row.pipeline.as_str(), row.shards) {
+            ("run_fib", 1) => measure_run_fib(&rules, &events, iters),
+            ("run_fib_sharded", shards) => measure_sharded(&rules, &events, shards, iters),
+            (other, shards) => {
+                eprintln!("FAIL  unknown baseline row: pipeline {other:?}, shards {shards}");
+                failures += 1;
+                continue;
+            }
+        };
+        let label = format!("{} x{}", row.pipeline, row.shards);
+        if cost != row.total_cost {
+            eprintln!(
+                "FAIL  {label}: total cost {cost} != committed {} — the workload is \
+                 deterministic, so this is a semantic change, not noise",
+                row.total_cost
+            );
+            failures += 1;
+            continue;
+        }
+        let floor = row.events_per_sec as f64 * (1.0 - tolerance);
+        let ratio = eps / row.events_per_sec as f64;
+        if eps < floor && host_matches {
+            eprintln!(
+                "FAIL  {label}: {eps:.0} events/s is {ratio:.2}x the committed {} (floor \
+                 {floor:.0})",
+                row.events_per_sec
+            );
+            failures += 1;
+        } else if eps < floor {
+            println!(
+                "warn  {label}: {eps:.0} events/s is {ratio:.2}x the committed {} — ignored \
+                 (host mismatch)",
+                row.events_per_sec
+            );
+        } else {
+            println!(
+                "ok    {label}: {eps:.0} events/s ({ratio:.2}x committed), cost {cost} identical"
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\nbench_regress: {failures} check(s) FAILED against committed {path}");
+        std::process::exit(1);
+    }
+    println!("\nbench_regress: all {} rows within tolerance, costs identical", rows.len());
+}

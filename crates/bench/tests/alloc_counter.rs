@@ -325,6 +325,117 @@ fn snapshot_emission_keeps_the_request_path_allocation_free() {
 }
 
 #[test]
+fn arena_snapshot_sections_allocate_o1_per_section() {
+    // The arena snapshot contract: `save_state` writes every SoA counter
+    // section (`cnt`/`slack`/`psize`/hot-values) as one length-prefixed
+    // flat slice straight into the output buffer — zero allocations once
+    // the buffer holds `state_len` bytes. `restore_state` builds one slab
+    // per section: a small per-section constant, never O(rounds) and
+    // never growing with how much history the policy has seen.
+    let (tree, reqs) = flushless_workload(0x5EC7, 2048, 30_000);
+    let mut tc = TcFast::new(Arc::clone(&tree), TcConfig::new(4, tree.len()));
+    let mut buf = ActionBuffer::new();
+    for &r in &reqs {
+        tc.step(r, &mut buf);
+    }
+
+    let mut blob = Vec::new();
+    tc.save_state(&mut blob).expect("snapshots");
+    assert_eq!(blob.len(), TcFast::state_len(tree.len()));
+    let before = allocs();
+    for _ in 0..32 {
+        blob.clear();
+        tc.save_state(&mut blob).expect("snapshots");
+    }
+    assert_eq!(allocs() - before, 0, "warmed save_state allocated (sections must stream)");
+
+    // Restores: each of the 32 round-trips may allocate only the
+    // per-section constant (one slab per u64 section, the cache bitmap,
+    // the stats tail) — budget 32 allocations per restore, no growth term.
+    let mut fresh = TcFast::new(Arc::clone(&tree), TcConfig::new(4, tree.len()));
+    fresh.restore_state(&blob).expect("valid blob");
+    let before = allocs();
+    for _ in 0..32 {
+        fresh.restore_state(&blob).expect("valid blob");
+    }
+    let used = allocs() - before;
+    assert!(used <= 32 * 32, "32 restores allocated {used} times (O(1) per section violated)");
+}
+
+#[test]
+fn recover_of_arena_engine_does_not_grow_allocations() {
+    // Crash-recovery on the arena core: once a recovered engine's buffers
+    // are warm, another full `recover` (snapshot restore + tail replay of
+    // 10k rounds) allocates only the run constants — reader, per-section
+    // slabs per shard — independent of replay length. A per-round or
+    // per-recover growth term fails the budget immediately.
+    use otc_sim::snapshot::{EngineSnapshot, LogPosition};
+    use otc_workloads::trace::{Trace, TraceHeader, TraceReader};
+    use std::io::Cursor;
+
+    let mut rng = SplitMix64::new(0x2EC0);
+    let trees =
+        (0..4).map(|_| std::sync::Arc::new(random_attachment(512, &mut rng))).collect::<Vec<_>>();
+    let mk_forest = || Forest::from_trees(trees.clone());
+    let forest = mk_forest();
+    let reqs: Vec<Request> = (0..20_000)
+        .map(|_| {
+            let v = otc_core::tree::NodeId(rng.index(forest.global_len()) as u32);
+            if rng.chance(0.4) {
+                Request::neg(v)
+            } else {
+                Request::pos(v)
+            }
+        })
+        .collect();
+    let trace = Trace {
+        header: TraceHeader {
+            universe: forest.global_len() as u32,
+            shard_map: (0..4).map(|s| forest.tree(ShardId(s)).len() as u32).collect(),
+            seed: 0x2EC0,
+            generator: "uniform-mixed".to_string(),
+        },
+        requests: reqs.clone(),
+    };
+    let bytes = trace.to_bytes();
+
+    // Live run to the half-way cut, snapshotted there.
+    let cut = reqs.len() / 2;
+    let mut pre = TraceReader::new(Cursor::new(bytes.as_slice())).expect("valid");
+    for _ in 0..cut {
+        pre.next().expect("has record").expect("valid");
+    }
+    let log = LogPosition { offset: pre.byte_pos(), records: pre.records_read() };
+    let factory = flushless_factory(4);
+    let cfg = EngineConfig::bare(4).threads(1);
+    let mut live = ShardedEngine::new(forest, &factory, cfg);
+    live.submit_batch(&reqs[..cut]).expect("valid");
+    let mut snap_bytes = Vec::new();
+    live.write_snapshot(log, &mut snap_bytes).expect("snapshot");
+    let snap = EngineSnapshot::parse(&snap_bytes).expect("valid");
+
+    // Recover repeatedly into the same engine: warm-ups grow every buffer
+    // to its high-water mark, then one more full recover is measured.
+    let shards = 4u64;
+    let mut rec = ShardedEngine::new(mk_forest(), &factory, cfg);
+    let mut chunk: Vec<Request> = Vec::with_capacity(8 * 1024);
+    for _ in 0..2 {
+        let mut reader = TraceReader::new(Cursor::new(bytes.as_slice())).expect("valid");
+        let stats = rec.recover(&snap, &mut reader, &mut chunk).expect("recovers");
+        assert_eq!(stats.replayed as usize, reqs.len() - cut);
+        assert!(!stats.torn_tail);
+    }
+    let before = allocs();
+    let mut reader = TraceReader::new(Cursor::new(bytes.as_slice())).expect("valid");
+    rec.recover(&snap, &mut reader, &mut chunk).expect("recovers");
+    let used = allocs() - before;
+    // Budget: reader constants + O(sections) per shard for the policy
+    // restore. 10k replayed rounds contribute nothing.
+    let budget = 48 * shards + 32;
+    assert!(used <= budget, "warm recover allocated {used} times (budget {budget}, no growth)");
+}
+
+#[test]
 fn validated_driver_allocates_per_run_not_per_round() {
     // Even with full validation on (the satellite fix: in-place flush
     // comparison + epoch-marked changeset scratch), the per-round cost is

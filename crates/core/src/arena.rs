@@ -1,0 +1,573 @@
+//! Contiguous `NodeId`-indexed arenas and the flat-slice snapshot codec.
+//!
+//! Every per-node quantity in the hot TC data structures lives in one of
+//! two arena types:
+//!
+//! * [`NodeSlab<T>`] — a dense `NodeId → T` array. This is *the* audited
+//!   indexing seam: all node-indexed accesses in `tree`/`cache`/`tc::fast`
+//!   go through [`NodeSlab::get`]/[`NodeSlab::get_mut`], so the
+//!   `clippy::indexing_slicing` gate on those files has exactly one
+//!   allow-site to review (and the bounds check it keeps).
+//! * [`NodeBitSet`] — a packed membership set, one bit per node in `u64`
+//!   words. Its byte serialisation is bit-compatible with the historical
+//!   `CacheSet` bitmap (node `i` at bit `i % 8` of byte `i / 8`): a word's
+//!   little-endian byte `j` holds exactly bits `8j..8j+8`.
+//!
+//! The bottom half is the **length-prefixed flat-slice codec** used by
+//! policy snapshots ([`crate::tc::TcFast`] state blobs): each section is a
+//! `u64` element count followed by the raw little-endian elements, so an
+//! arena serialises as one prefix plus a flat memory walk — no per-node
+//! framing, and a truncated or padded blob is always a typed error.
+
+#![warn(clippy::indexing_slicing)]
+
+use crate::tree::NodeId;
+
+/// Converts a dense index into a [`NodeId`], asserting it fits the `u32`
+/// id space. The single audited `usize → u32` conversion site for the
+/// arena-backed modules.
+///
+/// # Panics
+/// Panics if `i` exceeds `u32::MAX` — node counts are structurally bounded
+/// by the id space, so this only fires on a corrupted caller.
+#[inline]
+#[must_use]
+pub fn node_id(i: usize) -> NodeId {
+    assert!(i <= u32::MAX as usize, "node index {i} exceeds the u32 id space");
+    // otc-lint: allow(R4 reason="bound asserted on the previous line")
+    NodeId(i as u32)
+}
+
+/// A dense `NodeId`-indexed arena of `T`.
+///
+/// ```
+/// use otc_core::arena::{node_id, NodeSlab};
+///
+/// let mut slab = NodeSlab::filled(4, 0u64);
+/// *slab.get_mut(node_id(2)) += 7;
+/// assert_eq!(*slab.get(node_id(2)), 7);
+/// assert_eq!(slab.as_slice(), &[0, 0, 7, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSlab<T> {
+    items: Vec<T>,
+}
+
+impl<T> NodeSlab<T> {
+    /// An arena of `n` copies of `value`.
+    #[must_use]
+    pub fn filled(n: usize, value: T) -> Self
+    where
+        T: Clone,
+    {
+        Self { items: vec![value; n] }
+    }
+
+    /// Wraps an existing dense vector (index `i` becomes `NodeId(i)`).
+    #[must_use]
+    pub fn from_vec(items: Vec<T>) -> Self {
+        Self { items }
+    }
+
+    /// Number of slots.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the arena has no slots.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The slot of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the arena.
+    #[inline]
+    #[must_use]
+    #[allow(
+        clippy::indexing_slicing,
+        reason = "the audited arena index site: NodeIds are dense indices into same-sized arenas, and the slice op keeps its bounds check"
+    )]
+    pub fn get(&self, v: NodeId) -> &T {
+        &self.items[v.index()]
+    }
+
+    /// The slot of `v`, mutably.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the arena.
+    #[inline]
+    #[must_use]
+    #[allow(
+        clippy::indexing_slicing,
+        reason = "the audited arena index site: NodeIds are dense indices into same-sized arenas, and the slice op keeps its bounds check"
+    )]
+    pub fn get_mut(&mut self, v: NodeId) -> &mut T {
+        &mut self.items[v.index()]
+    }
+
+    /// Overwrites every slot with `value`.
+    pub fn fill(&mut self, value: T)
+    where
+        T: Clone,
+    {
+        self.items.fill(value);
+    }
+
+    /// Iterator over the slots in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Mutable iterator over the slots in id order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.items.iter_mut()
+    }
+
+    /// The arena as a contiguous slice in id order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Heap bytes the arena occupies (capacity is trimmed to length on
+    /// construction paths, so this is `len · size_of::<T>()`).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.items.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a NodeSlab<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+/// A packed per-node membership set: one bit per `NodeId`, stored in
+/// `u64` words for word-at-a-time scans (`iter`/`drain_into` skip empty
+/// words entirely).
+///
+/// ```
+/// use otc_core::arena::{node_id, NodeBitSet};
+///
+/// let mut set = NodeBitSet::empty(100);
+/// assert!(set.insert(node_id(3)));
+/// assert!(!set.insert(node_id(3)), "already present");
+/// assert!(set.insert(node_id(70)));
+/// let members: Vec<_> = set.iter().collect();
+/// assert_eq!(members, vec![node_id(3), node_id(70)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeBitSet {
+    words: Vec<u64>,
+    /// Number of valid bits; bits at positions `>= n` are always zero.
+    n: usize,
+}
+
+impl NodeBitSet {
+    /// An empty set over a universe of `n` nodes.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Self { words: vec![0; n.div_ceil(64)], n }
+    }
+
+    /// Size of the universe (valid ids are `0..universe()`).
+    #[inline]
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    #[must_use]
+    #[allow(
+        clippy::indexing_slicing,
+        reason = "the audited bitset word access: in-universe ids (asserted) land in-bounds, and the slice op keeps its bounds check"
+    )]
+    fn word(&self, v: NodeId) -> u64 {
+        assert!(v.index() < self.n, "node {v} outside bitset universe of {}", self.n);
+        self.words[v.index() / 64]
+    }
+
+    #[inline]
+    #[allow(
+        clippy::indexing_slicing,
+        reason = "the audited bitset word access: in-universe ids (asserted) land in-bounds, and the slice op keeps its bounds check"
+    )]
+    fn word_mut(&mut self, v: NodeId) -> &mut u64 {
+        assert!(v.index() < self.n, "node {v} outside bitset universe of {}", self.n);
+        &mut self.words[v.index() / 64]
+    }
+
+    /// True if `v` is in the set.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the universe.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.word(v) >> (v.index() % 64) & 1 == 1
+    }
+
+    /// Adds `v`; returns true if it was newly added.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let bit = 1u64 << (v.index() % 64);
+        let w = self.word_mut(v);
+        let newly = *w & bit == 0;
+        *w |= bit;
+        newly
+    }
+
+    /// Removes `v`; returns true if it was present.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the universe.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let bit = 1u64 << (v.index() % 64);
+        let w = self.word_mut(v);
+        let was = *w & bit != 0;
+        *w &= !bit;
+        was
+    }
+
+    /// Removes every member. O(words), allocation-free.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of members (popcount over the words).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over the members in id order, one `trailing_zeros` per
+    /// member and one branch per empty word.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let base = node_id(i * 64).0;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// Removes every member, appending them (in id order) to `out`.
+    /// Allocation-free once `out` has capacity.
+    pub fn drain_into(&mut self, out: &mut Vec<NodeId>) {
+        let mut base: u32 = 0;
+        for w in &mut self.words {
+            let mut word = *w;
+            while word != 0 {
+                out.push(NodeId(base + word.trailing_zeros()));
+                word &= word - 1;
+            }
+            *w = 0;
+            base += 64;
+        }
+    }
+
+    /// Number of bytes [`NodeBitSet::write_bytes`] appends for a universe
+    /// of `n` nodes.
+    #[must_use]
+    pub fn byte_len(n: usize) -> usize {
+        n.div_ceil(8)
+    }
+
+    /// Appends the set as a packed bitmap: `ceil(n/8)` bytes, node `i` at
+    /// bit `i % 8` of byte `i / 8`, unused trailing bits zero — the exact
+    /// historical `CacheSet` bitmap format (a word's little-endian bytes
+    /// are its bit octets in order). Allocation-free once `out` has
+    /// capacity.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        let mut remaining = Self::byte_len(self.n);
+        for w in &self.words {
+            let take = remaining.min(8);
+            out.extend(w.to_le_bytes().into_iter().take(take));
+            remaining -= take;
+        }
+    }
+
+    /// Rebuilds a set from a packed bitmap written by
+    /// [`NodeBitSet::write_bytes`].
+    ///
+    /// Strict: the byte length must be exactly `ceil(n/8)` and every bit
+    /// at position `>= n` must be zero, so a truncated or bit-flipped
+    /// snapshot section cannot silently decode to a plausible set.
+    ///
+    /// # Errors
+    /// A human-readable reason when the bitmap does not decode.
+    pub fn from_bytes(n: usize, bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() != Self::byte_len(n) {
+            return Err(format!(
+                "bitmap is {} bytes but {} nodes need {}",
+                bytes.len(),
+                n,
+                Self::byte_len(n)
+            ));
+        }
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for (w, chunk) in words.iter_mut().zip(bytes.chunks(8)) {
+            let mut buf = [0u8; 8];
+            for (dst, &src) in buf.iter_mut().zip(chunk) {
+                *dst = src;
+            }
+            *w = u64::from_le_bytes(buf);
+        }
+        if !n.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (n % 64) != 0 {
+                    return Err("bitmap has non-zero bits past the last node".to_string());
+                }
+            }
+        }
+        Ok(Self { words, n })
+    }
+
+    /// Heap bytes the set occupies.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Iterator over the set bits of one word.
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(NodeId(self.base + tz))
+    }
+}
+
+// --- Length-prefixed flat-slice codec -------------------------------------
+//
+// A *section* is `u64 element-count (LE)` followed by the elements as raw
+// little-endian `u64`s (or raw bytes for byte sections). Readers state the
+// count they expect and refuse anything else, so section boundaries can
+// never silently shift.
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads the next little-endian `u64` at `*pos`, advancing it.
+///
+/// # Errors
+/// When fewer than 8 bytes remain.
+pub fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let end = pos.checked_add(8).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err("state blob truncated inside a u64".to_string());
+    };
+    let chunk = bytes.get(*pos..end).ok_or_else(|| "state blob truncated".to_string())?;
+    let arr: [u8; 8] = chunk.try_into().map_err(|_| "state blob truncated".to_string())?;
+    *pos = end;
+    Ok(u64::from_le_bytes(arr))
+}
+
+/// Appends a length-prefixed `u64` section: the element count, then every
+/// element little-endian. Allocation-free once `out` has capacity.
+pub fn put_u64_section(out: &mut Vec<u8>, vals: impl ExactSizeIterator<Item = u64>) {
+    put_u64(out, vals.len() as u64);
+    for v in vals {
+        put_u64(out, v);
+    }
+}
+
+/// Reads a length-prefixed `u64` section of exactly `want` elements.
+///
+/// # Errors
+/// When the prefix disagrees with `want` or the payload is truncated.
+pub fn take_u64_section(bytes: &[u8], pos: &mut usize, want: usize) -> Result<Vec<u64>, String> {
+    let count = take_u64(bytes, pos)?;
+    if count != want as u64 {
+        return Err(format!("section holds {count} u64s but {want} were expected"));
+    }
+    // One up-front reservation: collecting through the `Result` adapter
+    // would lose the size hint and reallocate O(log n) times per section.
+    let mut out = Vec::with_capacity(want);
+    for _ in 0..want {
+        out.push(take_u64(bytes, pos)?);
+    }
+    Ok(out)
+}
+
+/// Appends a length-prefixed byte section: the byte count, then the raw
+/// bytes.
+pub fn put_byte_section_header(out: &mut Vec<u8>, len: usize) {
+    put_u64(out, len as u64);
+}
+
+/// Reads a length-prefixed byte section of exactly `want` bytes,
+/// returning the payload slice.
+///
+/// # Errors
+/// When the prefix disagrees with `want` or the payload is truncated.
+pub fn take_byte_section<'a>(
+    bytes: &'a [u8],
+    pos: &mut usize,
+    want: usize,
+) -> Result<&'a [u8], String> {
+    let len = take_u64(bytes, pos)?;
+    if len != want as u64 {
+        return Err(format!("section holds {len} bytes but {want} were expected"));
+    }
+    let end = pos.checked_add(want).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err("state blob truncated inside a byte section".to_string());
+    };
+    let payload = bytes.get(*pos..end).ok_or_else(|| "state blob truncated".to_string())?;
+    *pos = end;
+    Ok(payload)
+}
+
+#[cfg(test)]
+#[allow(clippy::indexing_slicing, reason = "tests index fixtures freely")]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_round_trip() {
+        let mut slab = NodeSlab::filled(5, 1u64);
+        *slab.get_mut(node_id(3)) = 9;
+        assert_eq!(slab.as_slice(), &[1, 1, 1, 9, 1]);
+        assert_eq!(slab.len(), 5);
+        assert!(!slab.is_empty());
+        slab.fill(0);
+        assert_eq!(slab.iter().sum::<u64>(), 0);
+        assert_eq!(slab.heap_bytes(), 40);
+        let from = NodeSlab::from_vec(vec![2u32, 4, 6]);
+        assert_eq!(*from.get(node_id(2)), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn slab_get_is_bounds_checked() {
+        let slab = NodeSlab::filled(3, 0u8);
+        let _ = slab.get(node_id(3));
+    }
+
+    #[test]
+    fn bitset_members_and_counts() {
+        let mut set = NodeBitSet::empty(130);
+        for i in [0usize, 63, 64, 65, 129] {
+            assert!(set.insert(node_id(i)));
+        }
+        assert!(!set.insert(node_id(64)));
+        assert_eq!(set.count(), 5);
+        assert!(set.contains(node_id(63)));
+        assert!(!set.contains(node_id(62)));
+        assert!(set.remove(node_id(63)));
+        assert!(!set.remove(node_id(63)));
+        let members: Vec<usize> = set.iter().map(NodeId::index).collect();
+        assert_eq!(members, vec![0, 64, 65, 129]);
+        let mut drained = Vec::new();
+        set.drain_into(&mut drained);
+        assert_eq!(drained.len(), 4);
+        assert_eq!(set.count(), 0);
+        set.clear();
+        assert_eq!(set.universe(), 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bitset universe")]
+    fn bitset_rejects_out_of_universe() {
+        let set = NodeBitSet::empty(10);
+        let _ = set.contains(node_id(10));
+    }
+
+    #[test]
+    fn bitset_bytes_match_historical_bitmap_layout() {
+        // Node i lives at bit i%8 of byte i/8 — across word boundaries.
+        let mut set = NodeBitSet::empty(70);
+        set.insert(node_id(0));
+        set.insert(node_id(9));
+        set.insert(node_id(69));
+        let mut bytes = Vec::new();
+        set.write_bytes(&mut bytes);
+        assert_eq!(bytes.len(), NodeBitSet::byte_len(70));
+        assert_eq!(bytes[0], 0b0000_0001);
+        assert_eq!(bytes[1], 0b0000_0010);
+        assert_eq!(bytes[8], 0b0010_0000);
+        let back = NodeBitSet::from_bytes(70, &bytes).expect("round trip");
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn bitset_reader_is_strict() {
+        let mut set = NodeBitSet::empty(70);
+        set.insert(node_id(3));
+        let mut bytes = Vec::new();
+        set.write_bytes(&mut bytes);
+        assert!(NodeBitSet::from_bytes(70, &bytes[..8]).is_err(), "truncated");
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(NodeBitSet::from_bytes(70, &long).is_err(), "padded");
+        let mut junk = bytes.clone();
+        junk[8] |= 0b1000_0000; // bit 71 of a 70-node universe
+        assert!(NodeBitSet::from_bytes(70, &junk).is_err(), "junk tail bits");
+        assert!(NodeBitSet::from_bytes(0, &[]).is_ok());
+        assert!(NodeBitSet::from_bytes(0, &[0]).is_err());
+    }
+
+    #[test]
+    fn u64_sections_round_trip_and_reject_drift() {
+        let mut out = Vec::new();
+        put_u64_section(&mut out, [7u64, 8, 9].into_iter());
+        put_u64_section(&mut out, std::iter::empty());
+        let mut pos = 0;
+        assert_eq!(take_u64_section(&out, &mut pos, 3).expect("section"), vec![7, 8, 9]);
+        assert_eq!(take_u64_section(&out, &mut pos, 0).expect("empty section"), Vec::<u64>::new());
+        assert_eq!(pos, out.len());
+        // Wrong expected count is a typed error, not a shifted read.
+        let mut pos = 0;
+        assert!(take_u64_section(&out, &mut pos, 2).is_err());
+        // Truncation inside the payload.
+        let mut pos = 0;
+        assert!(take_u64_section(&out[..out.len() - 9], &mut pos, 3).is_err());
+    }
+
+    #[test]
+    fn byte_sections_round_trip() {
+        let mut out = Vec::new();
+        put_byte_section_header(&mut out, 3);
+        out.extend_from_slice(&[1, 2, 3]);
+        let mut pos = 0;
+        assert_eq!(take_byte_section(&out, &mut pos, 3).expect("section"), &[1, 2, 3]);
+        assert_eq!(pos, out.len());
+        let mut pos = 0;
+        assert!(take_byte_section(&out, &mut pos, 4).is_err());
+        let mut pos = 0;
+        assert!(take_byte_section(&out[..3], &mut pos, 3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 id space")]
+    fn node_id_checks_the_id_space() {
+        let _ = node_id(u32::MAX as usize + 1);
+    }
+}

@@ -5,9 +5,13 @@
 //! cached set is *downward-closed* (closed under taking children), i.e. a
 //! union of disjoint full subtrees of `T`.
 
+#![warn(clippy::indexing_slicing)]
+
+use crate::arena::NodeBitSet;
 use crate::tree::{NodeId, Tree};
 
-/// The set of cached nodes, maintained as a flat boolean array plus size.
+/// The set of cached nodes, maintained as a packed per-node bitset plus
+/// size (see [`crate::arena::NodeBitSet`] — one bit per node, `u64` words).
 ///
 /// ```
 /// use otc_core::cache::CacheSet;
@@ -28,7 +32,7 @@ use crate::tree::{NodeId, Tree};
 /// full invariant check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheSet {
-    cached: Vec<bool>,
+    bits: NodeBitSet,
     len: usize,
 }
 
@@ -36,7 +40,7 @@ impl CacheSet {
     /// An empty cache for a tree with `n` nodes.
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        Self { cached: vec![false; n], len: 0 }
+        Self { bits: NodeBitSet::empty(n), len: 0 }
     }
 
     /// Number of cached nodes.
@@ -57,14 +61,13 @@ impl CacheSet {
     #[inline]
     #[must_use]
     pub fn contains(&self, v: NodeId) -> bool {
-        self.cached[v.index()]
+        self.bits.contains(v)
     }
 
     /// Marks a single node cached. Prefer [`CacheSet::fetch`] for sets.
     #[inline]
     pub fn insert(&mut self, v: NodeId) {
-        if !self.cached[v.index()] {
-            self.cached[v.index()] = true;
+        if self.bits.insert(v) {
             self.len += 1;
         }
     }
@@ -72,8 +75,7 @@ impl CacheSet {
     /// Marks a single node non-cached.
     #[inline]
     pub fn remove(&mut self, v: NodeId) {
-        if self.cached[v.index()] {
-            self.cached[v.index()] = false;
+        if self.bits.remove(v) {
             self.len -= 1;
         }
     }
@@ -84,8 +86,8 @@ impl CacheSet {
     /// Panics in debug builds if a node was already cached.
     pub fn fetch(&mut self, set: &[NodeId]) {
         for &v in set {
-            debug_assert!(!self.cached[v.index()], "fetching already-cached node {v:?}");
-            self.cached[v.index()] = true;
+            let _newly = self.bits.insert(v);
+            debug_assert!(_newly, "fetching already-cached node {v:?}");
         }
         self.len += set.len();
     }
@@ -96,28 +98,24 @@ impl CacheSet {
     /// Panics in debug builds if a node was not cached.
     pub fn evict(&mut self, set: &[NodeId]) {
         for &v in set {
-            debug_assert!(self.cached[v.index()], "evicting non-cached node {v:?}");
-            self.cached[v.index()] = false;
+            let _was = self.bits.remove(v);
+            debug_assert!(_was, "evicting non-cached node {v:?}");
         }
         self.len -= set.len();
     }
 
-    /// Evicts everything without reporting the evicted set. O(n),
+    /// Evicts everything without reporting the evicted set. O(n/64),
     /// allocation-free — the simulator's mirror uses this on flushes.
     pub fn clear(&mut self) {
-        self.cached.fill(false);
+        self.bits.clear();
         self.len = 0;
     }
 
     /// Evicts everything, appending the evicted nodes (in index order) to
-    /// `out`. Allocation-free once `out` has capacity.
+    /// `out`. Allocation-free once `out` has capacity; empty words are
+    /// skipped a `u64` at a time.
     pub fn flush_into(&mut self, out: &mut Vec<NodeId>) {
-        for (i, flag) in self.cached.iter_mut().enumerate() {
-            if *flag {
-                out.push(NodeId(i as u32));
-                *flag = false;
-            }
-        }
+        self.bits.drain_into(out);
         self.len = 0;
     }
 
@@ -130,10 +128,7 @@ impl CacheSet {
 
     /// Iterator over cached nodes in index order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.cached
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &c)| if c { Some(NodeId(i as u32)) } else { None })
+        self.bits.iter()
     }
 
     /// Full subforest invariant check: every cached node's children are
@@ -142,14 +137,14 @@ impl CacheSet {
     /// Returns `Err` with a human-readable reason on violation. Used by the
     /// simulator after every step and by property tests.
     pub fn validate(&self, tree: &Tree) -> Result<(), String> {
-        if self.cached.len() != tree.len() {
+        if self.bits.universe() != tree.len() {
             return Err(format!(
                 "cache tracks {} nodes but the tree has {}",
-                self.cached.len(),
+                self.bits.universe(),
                 tree.len()
             ));
         }
-        let real_len = self.cached.iter().filter(|&&c| c).count();
+        let real_len = self.bits.count();
         if real_len != self.len {
             return Err(format!("stored len {} != actual {}", self.len, real_len));
         }
@@ -172,20 +167,14 @@ impl CacheSet {
     /// Allocation-free once `out` has capacity; the snapshot writers
     /// (`otc-sim::snapshot`) call this on the steady-state path.
     pub fn write_bitmap(&self, out: &mut Vec<u8>) {
-        for chunk in self.cached.chunks(8) {
-            let mut byte = 0u8;
-            for (bit, &flag) in chunk.iter().enumerate() {
-                byte |= u8::from(flag) << bit;
-            }
-            out.push(byte);
-        }
+        self.bits.write_bytes(out);
     }
 
     /// Number of bytes [`CacheSet::write_bitmap`] appends for an `n`-node
     /// cache.
     #[must_use]
     pub fn bitmap_len(n: usize) -> usize {
-        n.div_ceil(8)
+        NodeBitSet::byte_len(n)
     }
 
     /// Rebuilds a cache from a packed bitmap written by
@@ -199,29 +188,9 @@ impl CacheSet {
     /// # Errors
     /// A human-readable reason when the bitmap does not decode.
     pub fn from_bitmap(n: usize, bits: &[u8]) -> Result<Self, String> {
-        if bits.len() != Self::bitmap_len(n) {
-            return Err(format!(
-                "cache bitmap is {} bytes but {} nodes need {}",
-                bits.len(),
-                n,
-                Self::bitmap_len(n)
-            ));
-        }
-        let mut cached = vec![false; n];
-        let mut len = 0usize;
-        for (i, flag) in cached.iter_mut().enumerate() {
-            if bits[i / 8] >> (i % 8) & 1 == 1 {
-                *flag = true;
-                len += 1;
-            }
-        }
-        if !n.is_multiple_of(8) && !bits.is_empty() {
-            let tail = bits[bits.len() - 1] >> (n % 8);
-            if tail != 0 {
-                return Err("cache bitmap has non-zero bits past the last node".to_string());
-            }
-        }
-        Ok(Self { cached, len })
+        let bits = NodeBitSet::from_bytes(n, bits).map_err(|e| format!("cache {e}"))?;
+        let len = bits.count();
+        Ok(Self { bits, len })
     }
 
     /// The root of the cached tree containing `v`: the topmost cached
@@ -256,9 +225,16 @@ impl CacheSet {
     pub fn cached_roots(&self, tree: &Tree) -> Vec<NodeId> {
         self.cached_roots_iter(tree).collect()
     }
+
+    /// Heap bytes of the packed representation (one bit per node).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.heap_bytes()
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing, reason = "tests index fixtures freely")]
 mod tests {
     use super::*;
 
@@ -388,6 +364,18 @@ mod tests {
             cache.write_bitmap(&mut bits);
             assert_eq!(CacheSet::from_bitmap(t.len(), &bits).unwrap(), cache);
         }
+    }
+
+    #[test]
+    fn bitmap_bytes_keep_the_historical_layout() {
+        // Node i at bit i%8 of byte i/8 — the pre-arena wire format.
+        let mut c = CacheSet::empty(12);
+        c.insert(NodeId(0));
+        c.insert(NodeId(3));
+        c.insert(NodeId(9));
+        let mut bits = Vec::new();
+        c.write_bitmap(&mut bits);
+        assert_eq!(bits, vec![0b0000_1001, 0b0000_0010]);
     }
 
     #[test]

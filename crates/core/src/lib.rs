@@ -16,6 +16,8 @@
 //!
 //! ## Layout
 //!
+//! * [`arena`] — `NodeId`-indexed slabs/bitsets and the length-prefixed
+//!   flat-slice snapshot codec every per-node structure is built on.
 //! * [`tree`] — arena rooted trees with O(1) ancestor queries;
 //!   [`builder::TreeBuilder`] grows them incrementally.
 //! * [`cache`] — subforest cache state.
@@ -55,6 +57,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod builder;
 pub mod cache;
 pub mod changeset;

@@ -2,26 +2,39 @@
 //!
 //! Per decision at time `t` this implementation performs
 //! `O(h(T) + max{h(T), deg(T)} · |Xt|)` elementary operations with `O(|T|)`
-//! auxiliary memory, where `Xt` is the changeset applied (if any):
+//! auxiliary memory, where `Xt` is the changeset applied (if any). All hot
+//! per-node state lives in structure-of-arrays [`crate::arena::NodeSlab`]
+//! arenas (see DESIGN.md "Memory layout"), and the positive path carries a
+//! single fused aggregate:
 //!
 //! * **Positive requests / fetches** (Section 6.1): every non-cached node
-//!   `u` carries `(cnt_t(P_t(u)), |P_t(u)|)` where `P_t(u)` is the tree cap
-//!   of non-cached nodes of `T(u)`. A paying positive request to `v`
-//!   increments `cnt(P_t(u))` for every ancestor `u` of `v` (all of which
-//!   are non-cached, because the cache is downward-closed), then scans the
-//!   ancestors root→`v`: the first saturated `P_t(u)` is the maximal valid
-//!   positive changeset.
+//!   `u` conceptually carries `(cnt_t(P_t(u)), |P_t(u)|)` where `P_t(u)` is
+//!   the tree cap of non-cached nodes of `T(u)`; the cap is saturated when
+//!   `cnt_t(P_t(u)) ≥ |P_t(u)|·α`. We store the *slack*
+//!   `|P_t(u)|·α − cnt_t(P_t(u))` instead: a paying positive request to `v`
+//!   decrements the slack of every ancestor of `v` in one upward walk, and
+//!   the **topmost** ancestor whose slack hits zero is exactly the first
+//!   saturated cap of the paper's root→`v` scan — no second scan needed.
+//!   Lemma 5.1(2) (applied changesets are *exactly* saturated) keeps the
+//!   slack non-negative: a fetch removes `|X|·α` counter units and `|X|`
+//!   cap nodes from every strict ancestor, leaving its slack unchanged,
+//!   and an eviction adds `|X|` zero-counter nodes, raising it by `|X|·α`.
 //! * **Negative requests / evictions** (Section 6.2): every cached node `u`
 //!   carries `val_t(H_t(u))`, the maximum of the exact potential
 //!   `val_t(A) = cnt_t(A) − |A|·α + |A|/(|T|+1)` over tree caps `A` of the
-//!   cached tree rooted at `u` ([`ValPair`] keeps it exact). The recursion
-//!   `H_t(u) = {u} ⊔ ⊔_{w child} H'_t(w)` lets one propagate counter
-//!   increments upward with O(1) work per level (delta propagation), and
-//!   `val_t(H_t(u)) > 0` at the cached-tree root `u` holds iff `H_t(u)` is
-//!   the saturated, maximal negative changeset.
+//!   cached tree rooted at `u` ([`ValPair`] keeps it exact, one arena slot
+//!   per node). The recursion `H_t(u) = {u} ⊔ ⊔_{w child} H'_t(w)` lets one
+//!   propagate counter increments upward with O(1) work per level (delta
+//!   propagation), and `val_t(H_t(u)) > 0` at the cached-tree root `u`
+//!   holds iff `H_t(u)` is the saturated, maximal negative changeset.
+
+#![warn(clippy::indexing_slicing)]
 
 use std::sync::Arc;
 
+use crate::arena::{
+    put_byte_section_header, put_u64_section, take_byte_section, take_u64_section, NodeSlab,
+};
 use crate::cache::CacheSet;
 use crate::policy::{ActionBuffer, ActionKind, CachePolicy};
 use crate::request::{Request, Sign};
@@ -30,29 +43,26 @@ use crate::tree::{NodeId, Tree};
 use super::val::ValPair;
 use super::{TcConfig, TcStats};
 
-/// The efficient TC implementation (Theorem 6.1).
+/// The efficient TC implementation (Theorem 6.1), on arena/SoA state.
 #[derive(Debug, Clone)]
 pub struct TcFast {
     tree: Arc<Tree>,
     cfg: TcConfig,
     cache: CacheSet,
     /// Per-node counter (resets on state change and at phase start).
-    cnt: Vec<u64>,
-    /// For non-cached `u`: `cnt_t(P_t(u))`. Stale for cached nodes.
-    pcnt: Vec<u64>,
+    cnt: NodeSlab<u64>,
+    /// For non-cached `u`: `|P_t(u)|·α − cnt_t(P_t(u))`, the units left
+    /// before the cap saturates. Stale for cached nodes.
+    slack: NodeSlab<u64>,
     /// For non-cached `u`: `|P_t(u)|`. Stale for cached nodes.
-    psize: Vec<u64>,
-    /// For cached `u`: integer part of `val_t(H_t(u))`. Stale otherwise.
-    hv: Vec<i64>,
-    /// For cached `u`: `|H_t(u)|`. Stale otherwise.
-    hsz: Vec<i64>,
+    psize: NodeSlab<u64>,
+    /// For cached `u`: `val_t(H_t(u))` as an exact pair. Stale otherwise.
+    hval: NodeSlab<ValPair>,
     stats: TcStats,
     /// Elementary operations in the most recent `step` (experiment E6).
     last_ops: u64,
     /// Total elementary operations across all steps.
     total_ops: u64,
-    /// Scratch buffer for the root path, reused to avoid allocation.
-    path_buf: Vec<NodeId>,
     /// Scratch stack for H-set materialisation, reused to avoid allocation.
     stack_buf: Vec<NodeId>,
 }
@@ -62,20 +72,19 @@ impl TcFast {
     #[must_use]
     pub fn new(tree: Arc<Tree>, cfg: TcConfig) -> Self {
         let n = tree.len();
-        let psize = tree.nodes().map(|v| u64::from(tree.subtree_size(v))).collect();
+        let psize: Vec<u64> = tree.subtree_sizes().iter().map(|&s| u64::from(s)).collect();
+        let slack: Vec<u64> = psize.iter().map(|&p| p * cfg.alpha).collect();
         Self {
             tree,
             cfg,
             cache: CacheSet::empty(n),
-            cnt: vec![0; n],
-            pcnt: vec![0; n],
-            psize,
-            hv: vec![0; n],
-            hsz: vec![0; n],
+            cnt: NodeSlab::filled(n, 0),
+            slack: NodeSlab::from_vec(slack),
+            psize: NodeSlab::from_vec(psize),
+            hval: NodeSlab::filled(n, ValPair::zero()),
             stats: TcStats::default(),
             last_ops: 0,
             total_ops: 0,
-            path_buf: Vec::new(),
             stack_buf: Vec::new(),
         }
     }
@@ -102,12 +111,25 @@ impl TcFast {
     /// Current counter of a node (test/instrumentation hook).
     #[must_use]
     pub fn counter(&self, v: NodeId) -> u64 {
-        self.cnt[v.index()]
+        *self.cnt.get(v)
+    }
+
+    /// Heap bytes of the per-node policy state (cache bitset plus the four
+    /// SoA counter arenas) — the policy share of the bytes/node accounting
+    /// reported by the benches. The shared tree arena is accounted
+    /// separately by [`Tree::heap_bytes`].
+    #[must_use]
+    pub fn state_heap_bytes(&self) -> usize {
+        self.cache.heap_bytes()
+            + self.cnt.heap_bytes()
+            + self.slack.heap_bytes()
+            + self.psize.heap_bytes()
+            + self.hval.heap_bytes()
     }
 
     #[inline]
     fn contrib(&self, x: NodeId) -> ValPair {
-        ValPair { int: self.hv[x.index()], size: self.hsz[x.index()] }.contribution()
+        self.hval.get(x).contribution()
     }
 
     /// Appends `P_t(u)` — the non-cached part of `T(u)` — to `out`, in
@@ -116,8 +138,7 @@ impl TcFast {
         let before = out.len();
         let slice = self.tree.subtree(u);
         let mut i = 0;
-        while i < slice.len() {
-            let x = slice[i];
+        while let Some(&x) = slice.get(i) {
             if self.cache.contains(x) {
                 i += self.tree.subtree_size(x) as usize;
             } else {
@@ -148,11 +169,11 @@ impl TcFast {
 
     /// Applies the fetch of `set == P_t(u)`; maintains every aggregate.
     fn apply_fetch(&mut self, u: NodeId, set: &[NodeId]) {
-        debug_assert_eq!(set.len() as u64, self.psize[u.index()]);
+        debug_assert_eq!(set.len() as u64, *self.psize.get(u));
         let mut sum_cnt = 0u64;
         for &x in set {
-            sum_cnt += self.cnt[x.index()];
-            self.cnt[x.index()] = 0;
+            sum_cnt += *self.cnt.get(x);
+            *self.cnt.get_mut(x) = 0;
         }
         debug_assert_eq!(
             sum_cnt,
@@ -162,13 +183,14 @@ impl TcFast {
         self.cache.fetch(set);
 
         // Ancestors of u (strictly above; all non-cached) lose the fetched
-        // nodes from their P-caps.
+        // nodes from their P-caps. Exact saturation means the counter units
+        // removed are |set|·α, so each ancestor's slack is unchanged — only
+        // the cap size shrinks.
         let mut a = self.tree.parent(u);
         while let Some(p) = a {
             self.last_ops += 1;
             debug_assert!(!self.cache.contains(p));
-            self.pcnt[p.index()] -= sum_cnt;
-            self.psize[p.index()] -= set.len() as u64;
+            *self.psize.get_mut(p) -= set.len() as u64;
             a = self.tree.parent(p);
         }
 
@@ -184,8 +206,7 @@ impl TcFast {
                 self.last_ops += 1;
                 v = v.plus(self.contrib(c));
             }
-            self.hv[x.index()] = v.int;
-            self.hsz[x.index()] = v.size;
+            *self.hval.get_mut(x) = v;
         }
 
         self.stats.fetches += 1;
@@ -197,8 +218,8 @@ impl TcFast {
     fn apply_evict(&mut self, u: NodeId, set: &[NodeId]) {
         let mut sum_cnt = 0u64;
         for &x in set {
-            sum_cnt += self.cnt[x.index()];
-            self.cnt[x.index()] = 0;
+            sum_cnt += *self.cnt.get(x);
+            *self.cnt.get_mut(x) = 0;
         }
         debug_assert_eq!(
             sum_cnt,
@@ -210,28 +231,30 @@ impl TcFast {
         // Rebuild P-aggregates bottom-up over the evicted cap (reverse of
         // the parents-first collection order): after the eviction a child of
         // an evicted node is non-cached iff it was evicted too, and all
-        // evicted counters are zero, so every pcnt here is 0.
+        // evicted counters are zero, so every cap counter here is 0 and the
+        // slack is the full |P|·α.
         for &x in set.iter().rev() {
             let mut size = 1u64;
             for &c in self.tree.children(x) {
                 self.last_ops += 1;
                 if !self.cache.contains(c) {
-                    size += self.psize[c.index()];
-                    debug_assert_eq!(self.pcnt[c.index()], 0);
+                    size += *self.psize.get(c);
+                    debug_assert_eq!(*self.slack.get(c), *self.psize.get(c) * self.cfg.alpha);
                 }
             }
-            self.psize[x.index()] = size;
-            self.pcnt[x.index()] = 0;
+            *self.psize.get_mut(x) = size;
+            *self.slack.get_mut(x) = size * self.cfg.alpha;
         }
 
         // Ancestors of u (strictly above; u was a cached-tree root so they
         // are all non-cached) gain the evicted nodes in their P-caps, with
-        // zero counters.
+        // zero counters — their slack grows by the full |set|·α.
         let mut a = self.tree.parent(u);
         while let Some(p) = a {
             self.last_ops += 1;
             debug_assert!(!self.cache.contains(p));
-            self.psize[p.index()] += set.len() as u64;
+            *self.psize.get_mut(p) += set.len() as u64;
+            *self.slack.get_mut(p) += set.len() as u64 * self.cfg.alpha;
             a = self.tree.parent(p);
         }
 
@@ -240,14 +263,19 @@ impl TcFast {
     }
 
     /// Phase restart: evict everything (appending the evicted set to
-    /// `out`), reset all counters and aggregates.
+    /// `out`), reset all counters and aggregates. One fused pass over the
+    /// id-ordered arenas, re-seeded from the tree's subtree-size slice.
     fn flush_phase_into(&mut self, out: &mut Vec<NodeId>) {
         let before = out.len();
         self.cache.flush_into(out);
         self.cnt.fill(0);
-        self.pcnt.fill(0);
-        for v in 0..self.tree.len() {
-            self.psize[v] = u64::from(self.tree.subtree_size(NodeId(v as u32)));
+        let alpha = self.cfg.alpha;
+        for ((s, p), &sz) in
+            self.slack.iter_mut().zip(self.psize.iter_mut()).zip(self.tree.subtree_sizes())
+        {
+            let size = u64::from(sz);
+            *p = size;
+            *s = size * alpha;
         }
         self.last_ops += self.tree.len() as u64;
         self.stats.phases_restarted += 1;
@@ -259,18 +287,18 @@ impl TcFast {
     pub fn audit(&self) -> Result<(), String> {
         self.cache.validate(&self.tree)?;
         let n = self.tree.len();
-        let mut psize_ref = vec![0u64; n];
-        let mut pcnt_ref = vec![0u64; n];
-        let mut hval_ref = vec![ValPair::zero(); n];
+        let mut psize_ref = NodeSlab::filled(n, 0u64);
+        let mut pcnt_ref = NodeSlab::filled(n, 0u64);
+        let mut hval_ref = NodeSlab::filled(n, ValPair::zero());
         for &v in self.tree.preorder().iter().rev() {
             if self.cache.contains(v) {
-                let mut val = ValPair::single(self.cnt[v.index()], self.cfg.alpha);
+                let mut val = ValPair::single(*self.cnt.get(v), self.cfg.alpha);
                 for &c in self.tree.children(v) {
                     debug_assert!(self.cache.contains(c));
-                    val = val.plus(hval_ref[c.index()].contribution());
+                    val = val.plus(hval_ref.get(c).contribution());
                 }
-                hval_ref[v.index()] = val;
-                let stored = ValPair { int: self.hv[v.index()], size: self.hsz[v.index()] };
+                *hval_ref.get_mut(v) = val;
+                let stored = *self.hval.get(v);
                 if stored != val {
                     return Err(format!(
                         "hval mismatch at {v:?}: stored {stored:?}, actual {val:?}"
@@ -278,20 +306,24 @@ impl TcFast {
                 }
             } else {
                 let mut size = 1u64;
-                let mut cnt = self.cnt[v.index()];
+                let mut cnt = *self.cnt.get(v);
                 for &c in self.tree.children(v) {
                     if !self.cache.contains(c) {
-                        size += psize_ref[c.index()];
-                        cnt += pcnt_ref[c.index()];
+                        size += *psize_ref.get(c);
+                        cnt += *pcnt_ref.get(c);
                     }
                 }
-                psize_ref[v.index()] = size;
-                pcnt_ref[v.index()] = cnt;
-                if self.psize[v.index()] != size || self.pcnt[v.index()] != cnt {
+                *psize_ref.get_mut(v) = size;
+                *pcnt_ref.get_mut(v) = cnt;
+                // slack == |P|·α − cnt(P), compared without subtraction so a
+                // corrupt restored slack can never underflow the check.
+                let slack_ok = u128::from(*self.slack.get(v)) + u128::from(cnt)
+                    == u128::from(size) * u128::from(self.cfg.alpha);
+                if *self.psize.get(v) != size || !slack_ok {
                     return Err(format!(
-                        "P aggregate mismatch at {v:?}: stored ({}, {}), actual ({cnt}, {size})",
-                        self.pcnt[v.index()],
-                        self.psize[v.index()],
+                        "P aggregate mismatch at {v:?}: stored (slack {}, size {}), actual (cnt {cnt}, size {size})",
+                        self.slack.get(v),
+                        self.psize.get(v),
                     ));
                 }
             }
@@ -300,43 +332,37 @@ impl TcFast {
     }
 }
 
-/// Appends a `u64` little-endian (snapshot codec helper; `otc-core` has no
-/// dependency on the workloads wire module).
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-/// Reads the next little-endian `u64` of a snapshot blob.
-fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
-    let end = pos.checked_add(8).filter(|&e| e <= bytes.len());
-    let Some(end) = end else {
-        return Err("tc state blob truncated".to_string());
-    };
-    let v = u64::from_le_bytes(bytes[*pos..end].try_into().expect("8-byte slice"));
-    *pos = end;
-    Ok(v)
-}
-
 impl TcFast {
     /// Exact byte length of the state blob [`TcFast::save_state`] appends
-    /// for an `n`-node tree: the cache bitmap, five per-node `u64`/`i64`
-    /// arrays, the six [`TcStats`] counters and the two op counters.
+    /// for an `n`-node tree: the length-prefixed cache bitmap section, five
+    /// length-prefixed per-node `u64` sections (cnt, slack, psize and the
+    /// two halves of the `val` pairs), and one eight-element tail section
+    /// (the six [`TcStats`] counters and the two op counters).
     #[must_use]
     pub fn state_len(n: usize) -> usize {
-        CacheSet::bitmap_len(n) + n * 5 * 8 + 8 * 8
+        (8 + CacheSet::bitmap_len(n)) + 5 * (8 + 8 * n) + (8 + 8 * 8)
     }
 
-    /// Parses a state blob into `(cache, cnt, pcnt, psize, hv, hsz, stats,
+    /// Parses a state blob into `(cache, cnt, slack, psize, hval, stats,
     /// last_ops, total_ops)` without touching `self`.
     #[allow(
         clippy::type_complexity,
-        reason = "the tuple mirrors the flat state-blob layout field for field; a named struct would exist only to be destructured once at the single call site"
+        reason = "the tuple mirrors the flat state-blob layout section for section; a named struct would exist only to be destructured once at the single call site"
     )]
     fn parse_state(
         &self,
         bytes: &[u8],
     ) -> Result<
-        (CacheSet, Vec<u64>, Vec<u64>, Vec<u64>, Vec<i64>, Vec<i64>, TcStats, u64, u64),
+        (
+            CacheSet,
+            NodeSlab<u64>,
+            NodeSlab<u64>,
+            NodeSlab<u64>,
+            NodeSlab<ValPair>,
+            TcStats,
+            u64,
+            u64,
+        ),
         String,
     > {
         let n = self.tree.len();
@@ -347,29 +373,36 @@ impl TcFast {
                 Self::state_len(n)
             ));
         }
-        let bits = CacheSet::bitmap_len(n);
-        let cache = CacheSet::from_bitmap(n, &bytes[..bits])?;
-        let mut pos = bits;
-        let u64s = |count: usize, pos: &mut usize| -> Result<Vec<u64>, String> {
-            (0..count).map(|_| take_u64(bytes, pos)).collect()
-        };
-        let cnt = u64s(n, &mut pos)?;
-        let pcnt = u64s(n, &mut pos)?;
-        let psize = u64s(n, &mut pos)?;
-        let hv: Vec<i64> = u64s(n, &mut pos)?.into_iter().map(|v| v as i64).collect();
-        let hsz: Vec<i64> = u64s(n, &mut pos)?.into_iter().map(|v| v as i64).collect();
-        let stats = TcStats {
-            phases_restarted: take_u64(bytes, &mut pos)?,
-            fetches: take_u64(bytes, &mut pos)?,
-            evictions: take_u64(bytes, &mut pos)?,
-            nodes_fetched: take_u64(bytes, &mut pos)?,
-            nodes_evicted: take_u64(bytes, &mut pos)?,
-            paid_requests: take_u64(bytes, &mut pos)?,
-        };
-        let last_ops = take_u64(bytes, &mut pos)?;
-        let total_ops = take_u64(bytes, &mut pos)?;
+        let mut pos = 0;
+        let bitmap = take_byte_section(bytes, &mut pos, CacheSet::bitmap_len(n))?;
+        let cache = CacheSet::from_bitmap(n, bitmap)?;
+        let cnt = NodeSlab::from_vec(take_u64_section(bytes, &mut pos, n)?);
+        let slack = NodeSlab::from_vec(take_u64_section(bytes, &mut pos, n)?);
+        let psize = NodeSlab::from_vec(take_u64_section(bytes, &mut pos, n)?);
+        let hv = take_u64_section(bytes, &mut pos, n)?;
+        let hsz = take_u64_section(bytes, &mut pos, n)?;
+        let hval = NodeSlab::from_vec(
+            hv.into_iter()
+                .zip(hsz)
+                .map(|(int, size)| ValPair { int: int as i64, size: size as i64 })
+                .collect(),
+        );
+        let tail = take_u64_section(bytes, &mut pos, 8)?;
         debug_assert_eq!(pos, bytes.len());
-        Ok((cache, cnt, pcnt, psize, hv, hsz, stats, last_ops, total_ops))
+        let &[phases_restarted, fetches, evictions, nodes_fetched, nodes_evicted, paid_requests, last_ops, total_ops] =
+            tail.as_slice()
+        else {
+            return Err("tc state tail section malformed".to_string());
+        };
+        let stats = TcStats {
+            phases_restarted,
+            fetches,
+            evictions,
+            nodes_fetched,
+            nodes_evicted,
+            paid_requests,
+        };
+        Ok((cache, cnt, slack, psize, hval, stats, last_ops, total_ops))
     }
 }
 
@@ -390,9 +423,13 @@ impl CachePolicy for TcFast {
         let n = self.tree.len();
         self.cache = CacheSet::empty(n);
         self.cnt.fill(0);
-        self.pcnt.fill(0);
-        for v in 0..n {
-            self.psize[v] = u64::from(self.tree.subtree_size(NodeId(v as u32)));
+        let alpha = self.cfg.alpha;
+        for ((s, p), &sz) in
+            self.slack.iter_mut().zip(self.psize.iter_mut()).zip(self.tree.subtree_sizes())
+        {
+            let size = u64::from(sz);
+            *p = size;
+            *s = size * alpha;
         }
         self.stats = TcStats::default();
         self.last_ops = 0;
@@ -415,7 +452,7 @@ impl CachePolicy for TcFast {
         }
         out.set_paid(true);
         self.stats.paid_requests += 1;
-        self.cnt[v.index()] += 1;
+        *self.cnt.get_mut(v) += 1;
 
         match req.sign {
             Sign::Positive => self.step_positive(v, out),
@@ -425,54 +462,50 @@ impl CachePolicy for TcFast {
     }
 
     fn save_state(&self, out: &mut Vec<u8>) -> Result<(), String> {
+        put_byte_section_header(out, CacheSet::bitmap_len(self.tree.len()));
         self.cache.write_bitmap(out);
-        for &v in &self.cnt {
-            put_u64(out, v);
-        }
-        for &v in &self.pcnt {
-            put_u64(out, v);
-        }
-        for &v in &self.psize {
-            put_u64(out, v);
-        }
-        for &v in &self.hv {
-            put_u64(out, v as u64);
-        }
-        for &v in &self.hsz {
-            put_u64(out, v as u64);
-        }
+        put_u64_section(out, self.cnt.iter().copied());
+        put_u64_section(out, self.slack.iter().copied());
+        put_u64_section(out, self.psize.iter().copied());
+        put_u64_section(out, self.hval.iter().map(|v| v.int as u64));
+        put_u64_section(out, self.hval.iter().map(|v| v.size as u64));
         let s = self.stats;
-        for v in [s.phases_restarted, s.fetches, s.evictions, s.nodes_fetched, s.nodes_evicted] {
-            put_u64(out, v);
-        }
-        put_u64(out, s.paid_requests);
-        put_u64(out, self.last_ops);
-        put_u64(out, self.total_ops);
+        put_u64_section(
+            out,
+            [
+                s.phases_restarted,
+                s.fetches,
+                s.evictions,
+                s.nodes_fetched,
+                s.nodes_evicted,
+                s.paid_requests,
+                self.last_ops,
+                self.total_ops,
+            ]
+            .into_iter(),
+        );
         Ok(())
     }
 
     fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
         // Parse into a candidate, prove it consistent via the full audit,
         // and only then commit — a rejected blob leaves `self` untouched.
-        let (cache, cnt, pcnt, psize, hv, hsz, stats, last_ops, total_ops) =
+        let (cache, cnt, slack, psize, hval, stats, last_ops, total_ops) =
             self.parse_state(bytes)?;
         let mut candidate = Self {
             tree: Arc::clone(&self.tree),
             cfg: self.cfg,
             cache,
             cnt,
-            pcnt,
+            slack,
             psize,
-            hv,
-            hsz,
+            hval,
             stats,
             last_ops,
             total_ops,
-            path_buf: Vec::new(),
             stack_buf: Vec::new(),
         };
         candidate.audit().map_err(|e| format!("restored tc state fails audit: {e}"))?;
-        candidate.path_buf = std::mem::take(&mut self.path_buf);
         candidate.stack_buf = std::mem::take(&mut self.stack_buf);
         *self = candidate;
         Ok(())
@@ -481,32 +514,27 @@ impl CachePolicy for TcFast {
 
 impl TcFast {
     fn step_positive(&mut self, v: NodeId, out: &mut ActionBuffer) {
-        // All ancestors of a non-cached node are non-cached; bump their
-        // P-cap counters while recording the path.
-        let mut path = std::mem::take(&mut self.path_buf);
-        path.clear();
+        // All ancestors of a non-cached node are non-cached: one upward walk
+        // decrements every ancestor's slack, and the topmost slack that hits
+        // zero is the first saturated cap of the paper's root→v scan
+        // (saturation is exact by Lemma 5.1(2), so a slack never underflows).
+        let mut chosen = None;
         let mut x = Some(v);
         while let Some(u) = x {
             debug_assert!(!self.cache.contains(u));
-            self.pcnt[u.index()] += 1;
-            path.push(u);
+            let s = self.slack.get_mut(u);
+            debug_assert!(*s >= 1, "unapplied caps are strictly unsaturated between steps");
+            *s -= 1;
+            if *s == 0 {
+                chosen = Some(u);
+            }
             self.last_ops += 1;
             x = self.tree.parent(u);
         }
-        // Scan root→v: the first saturated P-cap is maximal (Section 6.1).
-        let mut chosen = None;
-        for &u in path.iter().rev() {
-            self.last_ops += 1;
-            if self.pcnt[u.index()] >= self.psize[u.index()] * self.cfg.alpha {
-                chosen = Some(u);
-                break;
-            }
-        }
-        self.path_buf = path;
         let Some(u) = chosen else {
             return;
         };
-        if self.cache.len() as u64 + self.psize[u.index()] > self.cfg.capacity as u64 {
+        if self.cache.len() as u64 + *self.psize.get(u) > self.cfg.capacity as u64 {
             // The flush's payload is the whole cache — possibly empty, when
             // the saturated cap alone exceeds the capacity. A zero-payload
             // flush still restarts the phase at zero reorganisation cost.
@@ -522,7 +550,7 @@ impl TcFast {
         // Propagate the counter increment up the cached chain with O(1)
         // work per level, locating the cached-tree root on the way.
         let old = self.contrib(v);
-        self.hv[v.index()] += 1;
+        self.hval.get_mut(v).int += 1;
         let mut delta = self.contrib(v).minus(old);
         let mut x = v;
         loop {
@@ -531,8 +559,9 @@ impl TcFast {
                 Some(p) if self.cache.contains(p) => {
                     if delta != ValPair::zero() {
                         let old_p = self.contrib(p);
-                        self.hv[p.index()] += delta.int;
-                        self.hsz[p.index()] += delta.size;
+                        let hp = self.hval.get_mut(p);
+                        hp.int += delta.int;
+                        hp.size += delta.size;
                         delta = self.contrib(p).minus(old_p);
                     }
                     x = p;
@@ -541,7 +570,7 @@ impl TcFast {
             }
         }
         let u = x; // root of the cached tree containing v
-        let root_val = ValPair { int: self.hv[u.index()], size: self.hsz[u.index()] };
+        let root_val = *self.hval.get(u);
         if !root_val.is_positive() {
             return;
         }
@@ -553,6 +582,7 @@ impl TcFast {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing, reason = "tests index fixtures freely")]
 mod tests {
     use super::*;
     use crate::policy::{Action, StepOutcome};
@@ -754,14 +784,20 @@ mod tests {
         let stats_before = tc.stats();
         // Wrong length.
         assert!(tc.restore_state(&blob[..blob.len() - 1]).is_err());
-        // Inconsistent aggregates: corrupt the root's counter (all four
-        // nodes are cached after the saturating fetch, so the stored hval
-        // no longer matches); the audit in restore must catch it. Byte
-        // offset: the cache bitmap comes first, then the cnt array.
+        // Inconsistent aggregates: corrupt the root's counter so the stored
+        // slack no longer matches; the audit in restore must catch it. Byte
+        // offset: the bitmap section (8-byte header + 1 payload byte for a
+        // 4-node tree), then the cnt section's 8-byte count prefix, then
+        // cnt[0] little-endian.
         let mut bad = blob.clone();
-        bad[CacheSet::bitmap_len(4)] ^= 0x01;
+        bad[8 + CacheSet::bitmap_len(4) + 8] ^= 0x01;
         let err = tc.restore_state(&bad).expect_err("audit must reject");
         assert!(err.contains("audit"), "got: {err}");
+        // A shifted section boundary is a parse error, not a shifted read:
+        // corrupting the cnt section's count prefix must fail cleanly.
+        let mut drift = blob.clone();
+        drift[8 + CacheSet::bitmap_len(4)] ^= 0xFF;
+        assert!(tc.restore_state(&drift).is_err());
         // Atomicity: the failed restores left the policy untouched.
         assert_eq!(tc.cache(), &cache_before);
         assert_eq!(tc.stats(), stats_before);

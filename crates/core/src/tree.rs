@@ -6,11 +6,21 @@
 //! depths, subtree sizes, preorder intervals (for O(1) ancestor tests and
 //! O(|subtree|) subtree iteration), height and maximum degree.
 //!
-//! Node identifiers are dense `u32` indices, so per-node algorithm state
-//! lives in flat `Vec`s — the pattern the Rust Performance Book recommends
-//! for hot tree workloads (no pointer chasing, no per-node allocation).
+//! Node identifiers are dense `u32` indices; every per-node array is a
+//! [`crate::arena::NodeSlab`] over that id space, and the parent relation
+//! is packed as one `u32` per node (`u32::MAX` marks the root) — half the
+//! footprint of an `Option<NodeId>` array and exactly one branch to
+//! decode. The ancestor walks of the TC hot path touch only this packed
+//! array.
+
+#![warn(clippy::indexing_slicing)]
 
 use std::fmt;
+
+use crate::arena::{node_id, NodeSlab};
+
+/// Packed-parent sentinel: the root stores this in place of a parent id.
+const NO_PARENT: u32 = u32::MAX;
 
 /// Identifier of a tree node; a dense index into the tree arena.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -40,17 +50,19 @@ impl fmt::Display for NodeId {
 /// An immutable rooted tree with precomputed navigation data.
 #[derive(Debug, Clone)]
 pub struct Tree {
-    parent: Vec<Option<NodeId>>,
+    /// Parent of each node, packed (`NO_PARENT` for the root).
+    parent: NodeSlab<u32>,
     /// Children lists; order is the insertion order of the builder.
     children_flat: Vec<NodeId>,
+    /// Child-list offsets into `children_flat`, length `n + 1`.
     children_start: Vec<u32>,
-    depth: Vec<u32>,
+    depth: NodeSlab<u32>,
     /// Preorder rank of each node.
-    tin: Vec<u32>,
+    tin: NodeSlab<u32>,
     /// `order[tin[v]] == v`; subtree of `v` is the contiguous slice
     /// `order[tin[v] .. tin[v] + subtree_size[v]]`.
     order: Vec<NodeId>,
-    subtree_size: Vec<u32>,
+    subtree_size: NodeSlab<u32>,
     height: u32,
     max_degree: u32,
 }
@@ -93,76 +105,96 @@ impl Tree {
                 }
             }
         }
-        let root = root.expect("a tree needs exactly one root");
-        assert_eq!(root, 0, "the root must be node 0 (canonical arena layout)");
+        assert!(root.is_some(), "a tree needs exactly one root");
+        assert_eq!(root, Some(0), "the root must be node 0 (canonical arena layout)");
 
         let mut child_count = vec![0u32; n];
         for p in parents.iter().flatten() {
-            child_count[*p] += 1;
+            if let Some(c) = child_count.get_mut(*p) {
+                *c += 1;
+            }
         }
-        let mut children_start = vec![0u32; n + 1];
-        for i in 0..n {
-            children_start[i + 1] = children_start[i] + child_count[i];
+        let max_degree = child_count.iter().copied().max().unwrap_or(0);
+        // Exclusive prefix sums become both the child-list offsets and the
+        // fill cursors.
+        let mut cursor: Vec<u32> = Vec::with_capacity(n);
+        let mut acc = 0u32;
+        for &c in &child_count {
+            cursor.push(acc);
+            acc += c;
         }
-        let mut cursor = children_start[..n].to_vec();
+        let mut children_start = cursor.clone();
+        children_start.push(acc);
         let mut children_flat = vec![NodeId(0); n - 1];
         for (i, p) in parents.iter().enumerate() {
-            if let Some(p) = p {
-                children_flat[cursor[*p] as usize] = NodeId(i as u32);
-                cursor[*p] += 1;
+            let Some(p) = p else { continue };
+            let Some(slot) = cursor.get_mut(*p) else { continue };
+            let at = *slot as usize;
+            *slot += 1;
+            if let Some(dst) = children_flat.get_mut(at) {
+                *dst = node_id(i);
             }
         }
 
+        let parent = NodeSlab::from_vec(
+            parents.iter().map(|p| p.map_or(NO_PARENT, |p| node_id(p).0)).collect(),
+        );
         let mut tree = Self {
-            parent: parents.iter().map(|p| p.map(|p| NodeId(p as u32))).collect(),
+            parent,
             children_flat,
             children_start,
-            depth: vec![0; n],
-            tin: vec![0; n],
+            depth: NodeSlab::filled(n, 0),
+            tin: NodeSlab::filled(n, 0),
             order: Vec::with_capacity(n),
-            subtree_size: vec![1; n],
+            subtree_size: NodeSlab::filled(n, 1),
             height: 0,
-            max_degree: 0,
+            max_degree,
         };
-        tree.compute_derived(NodeId(root as u32), n);
+        tree.compute_derived(n);
         tree
     }
 
-    fn compute_derived(&mut self, root: NodeId, n: usize) {
+    fn compute_derived(&mut self, n: usize) {
         // Iterative preorder DFS that also detects cycles/disconnected nodes
         // (any node not reached means the parent array was not a tree).
-        let mut stack = vec![root];
-        let mut seen = 0usize;
+        let mut stack = vec![self.root()];
+        let mut seen: u32 = 0;
         while let Some(v) = stack.pop() {
-            self.tin[v.index()] = seen as u32;
+            *self.tin.get_mut(v) = seen;
             self.order.push(v);
             seen += 1;
-            let d = self.depth[v.index()];
+            let d = *self.depth.get(v);
             self.height = self.height.max(d + 1);
-            let lo = self.children_start[v.index()] as usize;
-            let hi = self.children_start[v.index() + 1] as usize;
-            self.max_degree = self.max_degree.max((hi - lo) as u32);
+            let (lo, hi) = self.children_range(v);
             // Push in reverse so preorder visits children in builder order.
             for idx in (lo..hi).rev() {
-                let c = self.children_flat[idx];
-                self.depth[c.index()] = d + 1;
+                let Some(&c) = self.children_flat.get(idx) else { continue };
+                *self.depth.get_mut(c) = d + 1;
                 stack.push(c);
             }
         }
-        assert_eq!(seen, n, "parent array is not a connected tree (cycle or orphan)");
+        assert_eq!(seen as usize, n, "parent array is not a connected tree (cycle or orphan)");
         // Subtree sizes in reverse preorder (children complete before parents).
         for i in (0..n).rev() {
-            let v = self.order[i];
-            if let Some(p) = self.parent[v.index()] {
-                self.subtree_size[p.index()] += self.subtree_size[v.index()];
+            let Some(&v) = self.order.get(i) else { continue };
+            let sz = *self.subtree_size.get(v);
+            if let Some(p) = self.parent(v) {
+                *self.subtree_size.get_mut(p) += sz;
             }
         }
     }
 
+    #[inline]
+    fn children_range(&self, v: NodeId) -> (usize, usize) {
+        let lo = self.children_start.get(v.index()).copied().unwrap_or(0);
+        let hi = self.children_start.get(v.index() + 1).copied().unwrap_or(lo);
+        (lo as usize, hi as usize)
+    }
+
     fn children_slice(&self, v: NodeId) -> &[NodeId] {
-        let lo = self.children_start[v.index()] as usize;
-        let hi = self.children_start[v.index() + 1] as usize;
-        &self.children_flat[lo..hi]
+        let (lo, hi) = self.children_range(v);
+        debug_assert!(hi <= self.children_flat.len());
+        self.children_flat.get(lo..hi).unwrap_or(&[])
     }
 
     /// Number of nodes, `|T|`.
@@ -189,7 +221,8 @@ impl Tree {
     #[inline]
     #[must_use]
     pub fn parent(&self, v: NodeId) -> Option<NodeId> {
-        self.parent[v.index()]
+        let p = *self.parent.get(v);
+        (p != NO_PARENT).then_some(NodeId(p))
     }
 
     /// Children of `v`.
@@ -209,7 +242,7 @@ impl Tree {
     #[inline]
     #[must_use]
     pub fn depth(&self, v: NodeId) -> u32 {
-        self.depth[v.index()]
+        *self.depth.get(v)
     }
 
     /// Height `h(T)`: the number of levels, i.e. `1 + max depth`. A
@@ -233,23 +266,31 @@ impl Tree {
     #[inline]
     #[must_use]
     pub fn subtree_size(&self, v: NodeId) -> u32 {
-        self.subtree_size[v.index()]
+        *self.subtree_size.get(v)
+    }
+
+    /// All subtree sizes as one contiguous id-ordered slice — the flush
+    /// fast path of `tc::fast` re-seeds its per-node aggregates from this
+    /// in a single fused pass.
+    #[must_use]
+    pub fn subtree_sizes(&self) -> &[u32] {
+        self.subtree_size.as_slice()
     }
 
     /// True if `a` is an ancestor of `d` **or equal to it** (O(1)).
     #[inline]
     #[must_use]
     pub fn is_ancestor_or_self(&self, a: NodeId, d: NodeId) -> bool {
-        let ta = self.tin[a.index()];
-        let td = self.tin[d.index()];
-        td >= ta && td < ta + self.subtree_size[a.index()]
+        let ta = *self.tin.get(a);
+        let td = *self.tin.get(d);
+        td >= ta && td < ta + *self.subtree_size.get(a)
     }
 
     /// Preorder rank of `v`.
     #[inline]
     #[must_use]
     pub fn preorder_rank(&self, v: NodeId) -> u32 {
-        self.tin[v.index()]
+        *self.tin.get(v)
     }
 
     /// All nodes in preorder (root first).
@@ -261,14 +302,15 @@ impl Tree {
     /// The subtree `T(v)` as a contiguous preorder slice (includes `v`).
     #[must_use]
     pub fn subtree(&self, v: NodeId) -> &[NodeId] {
-        let lo = self.tin[v.index()] as usize;
-        let hi = lo + self.subtree_size[v.index()] as usize;
-        &self.order[lo..hi]
+        let lo = *self.tin.get(v) as usize;
+        let hi = lo + *self.subtree_size.get(v) as usize;
+        debug_assert!(hi <= self.order.len());
+        self.order.get(lo..hi).unwrap_or(&[])
     }
 
     /// Iterator over all node ids, `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.len() as u32).map(NodeId)
+        (0..self.len()).map(node_id)
     }
 
     /// Iterator over `v` and its ancestors up to the root.
@@ -288,6 +330,20 @@ impl Tree {
     #[must_use]
     pub fn leaves(&self) -> Vec<NodeId> {
         self.preorder().iter().copied().filter(|&v| self.is_leaf(v)).collect()
+    }
+
+    /// Heap bytes of the arena representation (packed parents, child
+    /// lists, preorder tables) — the navigation share of the bytes/node
+    /// accounting reported by the benches.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.parent.heap_bytes()
+            + self.children_flat.len() * std::mem::size_of::<NodeId>()
+            + self.children_start.len() * 4
+            + self.depth.heap_bytes()
+            + self.tin.heap_bytes()
+            + self.order.len() * std::mem::size_of::<NodeId>()
+            + self.subtree_size.heap_bytes()
     }
 
     // --- Canonical shape constructors (richer generators live in
@@ -372,6 +428,7 @@ impl Iterator for Ancestors<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing, reason = "tests index fixtures freely")]
 mod tests {
     use super::*;
 
@@ -480,6 +537,27 @@ mod tests {
         }
         let leaf_total: u32 = t.leaves().iter().map(|&l| t.subtree_size(l)).sum();
         assert_eq!(leaf_total, t.leaves().len() as u32);
+    }
+
+    #[test]
+    fn subtree_sizes_slice_matches_accessor() {
+        let t = Tree::caterpillar(5, 2);
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes.len(), t.len());
+        for v in t.nodes() {
+            assert_eq!(sizes[v.index()], t.subtree_size(v));
+        }
+    }
+
+    #[test]
+    fn heap_bytes_scale_with_nodes() {
+        // Packed parents: the arena representation costs ~28 bytes/node of
+        // navigation data (7 u32-wide arrays), independent of shape.
+        let small = Tree::kary(2, 4); // 15 nodes
+        let big = Tree::kary(2, 8); // 255 nodes
+        assert!(small.heap_bytes() < big.heap_bytes());
+        let per_node = big.heap_bytes() as f64 / big.len() as f64;
+        assert!((24.0..32.0).contains(&per_node), "navigation bytes/node = {per_node}");
     }
 
     #[test]

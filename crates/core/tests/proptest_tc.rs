@@ -199,6 +199,107 @@ proptest! {
     }
 }
 
+/// Adversarial universe shapes for the arena-core differential battery:
+/// the single-node degenerate case, deep paths (maximal walk length),
+/// stars (maximal degree), caterpillars (both at once), and binary
+/// hierarchies (the FIB-like shape).
+fn adversarial_tree(which: u8, n: usize, legs: usize) -> Tree {
+    match which % 5 {
+        0 => Tree::path(1),        // single-node universe
+        1 => Tree::path(n.max(2)), // deep path
+        2 => Tree::star(n.max(2)), // wide star
+        3 => Tree::caterpillar(n.max(2), legs.max(1)),
+        _ => Tree::kary(2, (n % 6).max(2)), // binary hierarchy
+    }
+}
+
+/// α regimes the battery must cover: α = 1 (every paying request
+/// saturates its own singleton cap), small α, and large α (caps hundreds
+/// of requests from saturating — exercises long-lived slack bookkeeping).
+fn arb_alpha() -> impl Strategy<Value = u64> {
+    (0u8..3, any::<u64>()).prop_map(|(mode, s)| match mode {
+        0 => 1,
+        1 => 2 + s % 4,
+        _ => 64 + s % 193,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The arena `TcFast` against the untouched `TcReference` oracle on
+    /// adversarial shapes, driven through *reused* `ActionBuffer`s, with a
+    /// `save_state`/`restore_state` round-trip into a **fresh** policy at
+    /// an arbitrary mid-run point. The restored policy must re-serialize
+    /// to the identical blob and stay in lockstep for the rest of the
+    /// stream — so the flat-slice codec, not just the in-memory state, is
+    /// part of the differential surface.
+    #[test]
+    fn oracle_battery_adversarial_shapes_with_midrun_blob_roundtrip(
+        which in 0u8..5,
+        n in 1usize..40,
+        legs in 1usize..4,
+        req_seeds in prop::collection::vec((any::<u64>(), any::<bool>()), 1..400),
+        alpha in arb_alpha(),
+        capacity in 1usize..12,
+        split_pct in 0u64..=100,
+    ) {
+        let tree = Arc::new(adversarial_tree(which, n, legs));
+        let reqs = requests_from_seeds(tree.len(), &req_seeds);
+        let split = (reqs.len() as u64 * split_pct / 100) as usize;
+        let cfg = TcConfig::new(alpha, capacity);
+        let mut fast = TcFast::new(Arc::clone(&tree), cfg);
+        let mut refr = TcReference::new(Arc::clone(&tree), cfg);
+        let mut fast_buf = ActionBuffer::new();
+        let mut refr_buf = ActionBuffer::new();
+        for (i, &req) in reqs.iter().enumerate() {
+            if i == split {
+                let mut blob = Vec::new();
+                fast.save_state(&mut blob).map_err(TestCaseError::fail)?;
+                prop_assert_eq!(blob.len(), TcFast::state_len(tree.len()));
+                let mut fresh = TcFast::new(Arc::clone(&tree), cfg);
+                fresh.restore_state(&blob).map_err(TestCaseError::fail)?;
+                let mut blob2 = Vec::new();
+                fresh.save_state(&mut blob2).map_err(TestCaseError::fail)?;
+                prop_assert_eq!(&blob, &blob2, "restore → save is not a fixed point");
+                fast = fresh;
+            }
+            fast.step(req, &mut fast_buf);
+            refr.step(req, &mut refr_buf);
+            prop_assert_eq!(&fast_buf, &refr_buf, "divergence at step {}", i);
+            prop_assert_eq!(fast.cache(), refr.cache(), "cache divergence at step {}", i);
+            if let Err(e) = fast.audit() {
+                return Err(TestCaseError::fail(format!("audit failed at step {i}: {e}")));
+            }
+        }
+    }
+
+    /// Large α on adversarial shapes never fetches before the cap is truly
+    /// saturated: with α ≥ stream length no positive cap can saturate, so
+    /// the cache stays empty and every positive request pays.
+    #[test]
+    fn huge_alpha_never_reorganizes(
+        which in 0u8..5,
+        n in 1usize..32,
+        legs in 1usize..4,
+        req_seeds in prop::collection::vec((any::<u64>(), any::<bool>()), 1..200),
+        capacity in 1usize..8,
+    ) {
+        let tree = Arc::new(adversarial_tree(which, n, legs));
+        let reqs = requests_from_seeds(tree.len(), &req_seeds);
+        // α strictly above the stream length: no cap can ever saturate.
+        let cfg = TcConfig::new(reqs.len() as u64 + 1, capacity);
+        let mut tc = TcFast::new(Arc::clone(&tree), cfg);
+        for &req in &reqs {
+            let out = tc.step_owned(req);
+            prop_assert!(out.actions.is_empty(), "reorganized under unsaturable α");
+            prop_assert_eq!(out.paid_service, req.sign == Sign::Positive);
+        }
+        prop_assert!(tc.cache().is_empty());
+        tc.audit().map_err(TestCaseError::fail)?;
+    }
+}
+
 #[test]
 fn regression_two_node_path_alpha_one() {
     // Smallest interesting instance: path 0→1, α = 1, capacity 1.

@@ -1,0 +1,132 @@
+//! Engine-level differential oracle battery.
+//!
+//! The core-level battery (`otc-core/tests/proptest_tc.rs`) proves the
+//! arena `TcFast` lockstep-equal to the untouched `TcReference` oracle on
+//! adversarial shapes. This suite lifts the same differential through the
+//! full `ShardedEngine` stack — request routing, per-shard workers,
+//! telemetry windows — and adds a mid-run engine snapshot
+//! (`save_state`/`restore_state` of every shard's policy via the OTCS
+//! arena sections) restored into a *fresh* engine:
+//!
+//! * `TcFast` engine ≡ `TcReference` engine (reports and timeline), and
+//! * `TcFast` engine ≡ `TcFast` engine that was snapshotted mid-run and
+//!   restored, bit-identically.
+//!
+//! Any arena-layout bug that survives the single-policy battery but
+//! depends on shard-local id remapping or on the flat-slice snapshot
+//! codec shows up here.
+
+use std::sync::Arc;
+
+use otc_core::forest::{Forest, ShardId};
+use otc_core::policy::CachePolicy;
+use otc_core::tc::{TcConfig, TcFast, TcReference};
+use otc_core::tree::{NodeId, Tree};
+use otc_core::{Request, Sign};
+use otc_sim::engine::{EngineConfig, ShardedEngine};
+use otc_sim::snapshot::{EngineSnapshot, LogPosition};
+use proptest::prelude::*;
+
+/// Adversarial universe shapes, mirrored from the core battery: the
+/// single-node degenerate case, deep paths, wide stars, caterpillars,
+/// and binary hierarchies.
+fn adversarial_tree(which: u8, n: usize, legs: usize) -> Tree {
+    match which % 5 {
+        0 => Tree::path(1),
+        1 => Tree::path(n.max(2)),
+        2 => Tree::star(n.max(2)),
+        3 => Tree::caterpillar(n.max(2), legs.max(1)),
+        _ => Tree::kary(2, (n % 6).max(2)),
+    }
+}
+
+fn requests_for(seeds: &[(u64, bool)], n: usize) -> Vec<Request> {
+    seeds
+        .iter()
+        .map(|&(s, pos)| Request {
+            node: NodeId((s % n as u64) as u32),
+            sign: if pos { Sign::Positive } else { Sign::Negative },
+        })
+        .collect()
+}
+
+fn fast_factory(
+    alpha: u64,
+    capacity: usize,
+) -> impl Fn(Arc<Tree>, ShardId) -> Box<dyn CachePolicy> {
+    move |tree, _| Box::new(TcFast::new(tree, TcConfig::new(alpha, capacity)))
+}
+
+fn reference_factory(
+    alpha: u64,
+    capacity: usize,
+) -> impl Fn(Arc<Tree>, ShardId) -> Box<dyn CachePolicy> {
+    move |tree, _| Box::new(TcReference::new(tree, TcConfig::new(alpha, capacity)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TcFast engine ≡ TcReference engine ≡ TcFast engine restored from a
+    /// mid-run snapshot, on adversarial shapes at 1–3 shards, α covering
+    /// 1 and large values.
+    #[test]
+    fn engine_differential_with_midrun_snapshot_roundtrip(
+        which in 0u8..5,
+        n in 1usize..32,
+        legs in 1usize..4,
+        req_seeds in prop::collection::vec((any::<u64>(), any::<bool>()), 1..300),
+        alpha_seed in any::<u64>(),
+        capacity in 1usize..8,
+        shards in 1usize..4,
+        split_pct in 0u64..=100,
+    ) {
+        let tree = adversarial_tree(which, n, legs);
+        let reqs = requests_for(&req_seeds, tree.len());
+        let split = (reqs.len() as u64 * split_pct / 100) as usize;
+        // One seed covers all three α regimes: 1, small, and large.
+        let alpha = match alpha_seed % 3 {
+            0 => 1,
+            1 => 2 + (alpha_seed / 3) % 4,
+            _ => 64 + (alpha_seed / 3) % 193,
+        };
+        let shards = shards.min(tree.len());
+        let cfg = EngineConfig::new(alpha).audit_every(32).telemetry(true);
+
+        // A: arena TcFast, uninterrupted.
+        let fast = fast_factory(alpha, capacity);
+        let mut a = ShardedEngine::new(Forest::partition(&tree, shards), &fast, cfg);
+        a.submit_batch(&reqs).map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        // B: arena TcFast, snapshotted at the split and restored into a
+        // fresh engine (exercises the OTCS arena sections mid-phase).
+        let mut b = ShardedEngine::new(Forest::partition(&tree, shards), &fast, cfg);
+        b.submit_batch(&reqs[..split]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut buf = Vec::new();
+        b.write_snapshot(LogPosition::default(), &mut buf)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let snap = EngineSnapshot::parse(&buf).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut b2 = ShardedEngine::new(Forest::partition(&tree, shards), &fast, cfg);
+        b2.restore_snapshot(&snap).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        b2.submit_batch(&reqs[split..]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        // C: the untouched from-scratch oracle, uninterrupted.
+        let refr = reference_factory(alpha, capacity);
+        let mut c = ShardedEngine::new(Forest::partition(&tree, shards), &refr, cfg);
+        c.submit_batch(&reqs).map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        prop_assert_eq!(a.timeline(), b2.timeline(), "snapshot round-trip drifted");
+        prop_assert_eq!(a.timeline(), c.timeline(), "TcFast diverged from the oracle");
+        let a = a.into_reports().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let b2 = b2.into_reports().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut c = c.into_reports().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        // The oracle reports under its own policy name; every other field
+        // must match bit for bit.
+        for (r, orig) in c.iter_mut().zip(&a) {
+            prop_assert_eq!(r.name.as_str(), "tc-reference");
+            r.name.clone_from(&orig.name);
+        }
+        prop_assert_eq!(&a, &b2, "snapshot round-trip drifted (reports)");
+        prop_assert_eq!(&a, &c, "TcFast diverged from the oracle (reports)");
+    }
+}

@@ -39,14 +39,21 @@ use crate::prefix::Prefix;
 pub struct RuleTree {
     tree: Tree,
     prefixes: Vec<Prefix>,
-    /// Prefix → node id, for LMP lookups (walk lengths downward).
+    /// Prefix → node id, for exact-prefix lookups ([`Self::node_of`]).
     /// Ordered map: membership-only today, but keeping it un-iterable-in-
     /// hash-order means no future change can leak RandomState into costs.
     by_prefix: BTreeMap<Prefix, NodeId>,
-    /// Sorted distinct prefix lengths present, longest first — LMP probes
-    /// only these.
-    lens_desc: Vec<u8>,
+    /// Flat binary LMP trie: per trie node, the two children (`TRIE_NONE`
+    /// when absent). Trie node 0 is the `/0` root; an address walk follows
+    /// its bits MSB-first through this array.
+    trie_child: Vec<[u32; 2]>,
+    /// Per trie node, the rule at exactly this prefix (`TRIE_NONE` for
+    /// pure branch nodes).
+    trie_rule: Vec<u32>,
 }
+
+/// Absent child / no rule marker of the flat LMP trie.
+const TRIE_NONE: u32 = u32::MAX;
 
 impl RuleTree {
     /// Builds the dependency tree from a rule set. Duplicates are removed;
@@ -84,10 +91,32 @@ impl RuleTree {
             .collect();
 
         let tree = Tree::from_parents(&parents);
-        let mut lens_desc: Vec<u8> = prefixes.iter().map(|p| p.len()).collect();
-        lens_desc.sort_unstable_by(|a, b| b.cmp(a));
-        lens_desc.dedup();
-        Self { tree, prefixes, by_prefix, lens_desc }
+
+        // Flat binary LMP trie: insert every rule's bit path, creating
+        // branch nodes on demand. Contiguous arrays (no per-node boxes), so
+        // a lookup is a short run of indexed loads.
+        let mut trie_child: Vec<[u32; 2]> = vec![[TRIE_NONE; 2]];
+        let mut trie_rule: Vec<u32> = vec![TRIE_NONE];
+        for (i, p) in prefixes.iter().enumerate() {
+            let mut node = 0usize;
+            for b in 0..p.len() {
+                let bit = ((p.addr() >> (31 - b)) & 1) as usize;
+                let next = trie_child[node][bit];
+                let next = if next == TRIE_NONE {
+                    let id = trie_child.len() as u32;
+                    trie_child.push([TRIE_NONE; 2]);
+                    trie_rule.push(TRIE_NONE);
+                    trie_child[node][bit] = id;
+                    id
+                } else {
+                    next
+                };
+                node = next as usize;
+            }
+            trie_rule[node] = i as u32;
+        }
+
+        Self { tree, prefixes, by_prefix, trie_child, trie_rule }
     }
 
     /// The dependency tree (node 0 = default route).
@@ -133,17 +162,25 @@ impl RuleTree {
     }
 
     /// Longest-matching-prefix lookup: the most specific rule containing
-    /// `addr`. Probes only the prefix lengths present in the table
-    /// (longest first), so it costs `O(#distinct lengths)` hash lookups.
+    /// `addr`. One MSB-first walk down the flat binary trie — at most 32
+    /// indexed loads, no map probes — remembering the last rule passed.
     #[must_use]
     pub fn lmp(&self, addr: u32) -> NodeId {
-        for &len in &self.lens_desc {
-            let candidate = Prefix::new(addr, len);
-            if let Some(&id) = self.by_prefix.get(&candidate) {
-                return id;
+        let mut node = 0usize;
+        let mut best = 0u32; // the default route matches every address
+        for b in 0..32 {
+            let bit = ((addr >> (31 - b)) & 1) as usize;
+            let next = self.trie_child[node][bit];
+            if next == TRIE_NONE {
+                break;
+            }
+            node = next as usize;
+            let rule = self.trie_rule[node];
+            if rule != TRIE_NONE {
+                best = rule;
             }
         }
-        unreachable!("the default route matches every address")
+        NodeId(best)
     }
 
     /// Reference LMP by linear scan — O(n), used to validate [`Self::lmp`].

@@ -64,6 +64,13 @@ impl TestRng {
 
 /// Runs `cases` instances of a single `proptest!`-generated test body.
 ///
+/// Like the real proptest, the `PROPTEST_CASES` environment variable
+/// overrides the per-test case count — CI uses it to deepen the
+/// differential batteries in release builds without touching the code.
+/// Generation stays fully deterministic either way: the seed stream
+/// depends only on the test name, so a bumped run replays the default
+/// run's cases as its prefix.
+///
 /// This is the engine behind the [`proptest!`] macro expansion; it is
 /// public only so the macro can reach it via `$crate`.
 pub fn run_cases<S, F>(name: &str, cases: u32, strategy: &S, mut body: F)
@@ -71,6 +78,7 @@ where
     S: strategy::Strategy,
     F: FnMut(S::Value) -> Result<(), test_runner::TestCaseError>,
 {
+    let cases = std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(cases);
     let mut rng = TestRng::from_name(name);
     for case in 0..cases {
         let seed = rng.state();
