@@ -436,6 +436,30 @@ fn recover_of_arena_engine_does_not_grow_allocations() {
 }
 
 #[test]
+fn obs_histogram_and_counter_records_do_not_allocate() {
+    // The invariant-#8 performance half: once a series is registered,
+    // the serving hot path's recording sites (`Histogram::record`,
+    // `Counter::inc/add`, `Gauge::set`) are pure atomic RMWs — zero heap
+    // allocations per sample, at any value magnitude, forever. Snapshots
+    // and JSON allocate; steady-state recording must not.
+    let registry = otc_obs::Registry::new();
+    let hist = registry.histogram("otc_bench_record_nanos", &[("cell", "0007")]);
+    let counter = registry.counter("otc_bench_records_total", &[]);
+    let gauge = registry.gauge("otc_bench_depth", &[]);
+    let mut rng = SplitMix64::new(0x0B5);
+    let before = allocs();
+    for i in 0..100_000u64 {
+        hist.record(rng.next_u64() >> (i % 64));
+        counter.inc();
+        gauge.set(i);
+    }
+    counter.add(7);
+    assert_eq!(allocs() - before, 0, "metric recording allocated in steady state");
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 100_000);
+}
+
+#[test]
 fn validated_driver_allocates_per_run_not_per_round() {
     // Even with full validation on (the satellite fix: in-place flush
     // comparison + epoch-marked changeset scratch), the per-round cost is

@@ -1,4 +1,4 @@
-//! The rule engine: six repo-specific invariants over the token stream.
+//! The rule engine: seven repo-specific invariants over the token stream.
 //!
 //! Each rule guards one of the determinism/durability invariants listed
 //! in `DESIGN.md` ("Static invariants" maps them one-to-one):
@@ -11,6 +11,7 @@
 //! | R4 `no-narrowing-cast` | codec exactness: no narrowing `as` casts in wire/snapshot/trace codecs |
 //! | R5 `crate-root-attrs` | hygiene: every crate root forbids `unsafe_code` and denies `missing_docs` |
 //! | R6 `no-raw-spawn` | structured concurrency: `thread::spawn` only in the blessed seams |
+//! | R7 `no-obs-in-determinism` | observation never changes results: determinism crates cannot name `otc_obs` |
 //!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt
 //! from every rule: tests may unwrap, sleep and hash to their heart's
@@ -34,7 +35,7 @@ use crate::lexer::{lex, Comment, Span, Tok, Token};
 /// One lint finding, span-accurate and self-describing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule id: `R1`–`R6`, or `A0`/`A1` for allow-audit findings.
+    /// Rule id: `R1`–`R7`, or `A0`/`A1` for allow-audit findings.
     pub rule: &'static str,
     /// Short kebab-case rule name (`no-hash-order`, …).
     pub name: &'static str,
@@ -86,6 +87,13 @@ const R1_CRATES: &[&str] = &["core", "sim", "baselines", "trie", "sdn"];
 /// not timestamps), so it is deliberately not exempt.
 const R2_EXEMPT_CRATES: &[&str] = &["bench", "experiments"];
 
+/// The single non-bench file allowed to read the wall clock (R2): the
+/// audited seam every observability timestamp flows through. Keeping the
+/// allowlist to one file is what makes "grep for clocks" equal to "read
+/// clock.rs" — `otc-obs` itself is *not* exempt as a crate, so a clock
+/// read sneaking into its histogram or registry code still trips R2.
+const R2_ALLOW_FILES: &[&str] = &["crates/obs/src/clock.rs"];
+
 /// File names whose non-test code is a parse/decode/recovery path (R3):
 /// typed errors only, never a panic. The arena core files qualify since
 /// PR 9: their `restore_state`/`from_bytes` paths decode untrusted
@@ -101,6 +109,7 @@ const R3_FILES: &[&str] = &[
     "tree.rs",
     "cache.rs",
     "fast.rs",
+    "expo.rs",
 ];
 
 /// File names that are binary codecs (R4): every integer conversion
@@ -122,6 +131,14 @@ const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 const R6_EXEMPT: &[&str] =
     &["crates/util/src/par.rs", "crates/util/src/ring.rs", "crates/serve/src/server.rs"];
 
+/// Crates that must not depend on `otc-obs` (R7): the determinism
+/// argument (invariants #1–#7) lives in these crates, and invariant #8
+/// ("observation never changes results") is made structural by keeping
+/// the observability crate unreachable from them — a timing read cannot
+/// influence a cost path it cannot even name. The serve crate is the one
+/// blessed consumer: its hooks seam is one-way by construction.
+const R7_CRATES: &[&str] = &["core", "sim", "baselines", "trie", "sdn", "workloads", "util"];
+
 /// Rule metadata for `--list-rules` and the JSON report.
 pub const RULES: &[(&str, &str, &str)] = &[
     (
@@ -132,7 +149,8 @@ pub const RULES: &[(&str, &str, &str)] = &[
     (
         "R2",
         "no-wall-clock",
-        "no Instant::now/SystemTime/thread::sleep/env reads outside otc-bench and otc-experiments",
+        "no Instant::now/SystemTime/thread::sleep/env reads outside otc-bench, otc-experiments \
+         and the audited otc_obs::clock seam",
     ),
     (
         "R3",
@@ -153,6 +171,12 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "R6",
         "no-raw-spawn",
         "no raw std::thread::spawn outside otc_util::{par,ring} and the serve worker seam",
+    ),
+    (
+        "R7",
+        "no-obs-in-determinism",
+        "determinism crates (core, sim, baselines, trie, sdn, workloads, util) must not name \
+         otc_obs — observation stays structurally unreachable from results",
     ),
     ("A0", "allow-needs-reason", "every otc-lint allow comment must carry a reason=\"...\""),
     ("A1", "stale-allow", "an otc-lint allow comment that suppresses nothing must be removed"),
@@ -182,7 +206,7 @@ impl<'a> FileClass<'a> {
     }
 
     fn r2_applies(&self) -> bool {
-        !R2_EXEMPT_CRATES.contains(&self.crate_name)
+        !R2_EXEMPT_CRATES.contains(&self.crate_name) && !R2_ALLOW_FILES.contains(&self.rel)
     }
 
     fn r3_applies(&self) -> bool {
@@ -199,6 +223,10 @@ impl<'a> FileClass<'a> {
 
     fn r6_applies(&self) -> bool {
         !R6_EXEMPT.contains(&self.rel)
+    }
+
+    fn r7_applies(&self) -> bool {
+        R7_CRATES.contains(&self.crate_name)
     }
 }
 
@@ -272,7 +300,7 @@ pub fn lint_source(rel: &str, src: &str) -> FileResult {
     result
 }
 
-/// The single token-stream pass shared by R1/R2/R3/R4/R6.
+/// The single token-stream pass shared by R1/R2/R3/R4/R6/R7.
 fn check_tokens(
     class: &FileClass<'_>,
     tokens: &[Token],
@@ -399,6 +427,20 @@ fn check_tokens(
                         ));
                     }
                 }
+            }
+            "otc_obs" if class.r7_applies() => {
+                found.push(diag(
+                    "R7",
+                    "no-obs-in-determinism",
+                    format!(
+                        "`otc_obs` named in a determinism crate (otc-{}): the observability \
+                         layer must stay structurally unreachable from anything that computes \
+                         results (invariant #8)",
+                        class.crate_name
+                    ),
+                    "keep observation on the serve side of the hooks seam; determinism crates \
+                     expose one-way hook traits instead of importing otc_obs",
+                ));
             }
             "spawn"
                 if class.r6_applies()

@@ -1,0 +1,11 @@
+//! R2 tripping fixture: a wall-clock read inside `otc-obs` but outside
+//! the audited `clock.rs` seam. The crate as a whole is *not* exempt —
+//! only the one seam file is — so this must be flagged.
+
+use std::time::Instant;
+
+/// Sneaks a clock read into registry code instead of going through
+/// `otc_obs::clock::stamp`.
+pub fn registered_at() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,13 @@
+//! R7 tripping fixture: a determinism crate importing the
+//! observability layer. A timing read could now reach a cost path, so
+//! otc-lint must flag the `otc_obs` mention.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use otc_obs::Histogram;
+
+/// Times a drain from inside the simulator — the structural breach R7
+/// exists to catch.
+pub fn timed_drain(h: &Histogram) {
+    h.record(1);
+}

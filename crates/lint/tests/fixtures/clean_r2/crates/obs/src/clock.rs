@@ -1,0 +1,12 @@
+//! R2 clean twin addition: the one audited wall-clock seam. This exact
+//! workspace-relative path (`crates/obs/src/clock.rs`) is allowlisted,
+//! so the `Instant::now` here must pass.
+
+use std::time::Instant;
+
+/// The audited monotonic stamp every observability timestamp flows
+/// through.
+#[must_use]
+pub fn stamp() -> Instant {
+    Instant::now()
+}

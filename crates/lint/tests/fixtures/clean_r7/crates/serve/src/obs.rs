@@ -1,0 +1,9 @@
+//! R7 clean twin: the serve crate is the blessed `otc_obs` consumer —
+//! its hooks seam is one-way, so naming the crate here is legal.
+
+use otc_obs::Histogram;
+
+/// Records one stage latency on the serve side of the seam.
+pub fn record_stage(h: &Histogram, nanos: u64) {
+    h.record(nanos);
+}

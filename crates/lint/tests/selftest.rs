@@ -8,7 +8,7 @@ use std::process::Command;
 
 use otc_lint::lint_workspace;
 
-/// The six (bad tree, clean twin, rule id) triples under
+/// The seven (bad tree, clean twin, rule id) triples under
 /// `tests/fixtures/`.
 const TWINS: &[(&str, &str, &str)] = &[
     ("bad_r1", "clean_r1", "R1"),
@@ -17,6 +17,7 @@ const TWINS: &[(&str, &str, &str)] = &[
     ("bad_r4", "clean_r4", "R4"),
     ("bad_r5", "clean_r5", "R5"),
     ("bad_r6", "clean_r6", "R6"),
+    ("bad_r7", "clean_r7", "R7"),
 ];
 
 fn fixture(name: &str) -> PathBuf {

@@ -1,0 +1,49 @@
+//! The single audited wall-clock seam.
+//!
+//! This module is the only place in the workspace (outside the bench and
+//! experiment crates) allowed to read wall-clock time; otc-lint rule R2
+//! allowlists exactly this file. Everything that wants a duration takes a
+//! [`Stamp`] and asks it how long ago it was taken — callers never see
+//! `std::time::Instant` and can never feed absolute time into logic.
+//!
+//! Durations are reported in integer nanoseconds, saturating at
+//! `u64::MAX` (≈584 years), so arithmetic downstream stays total.
+
+use std::time::Instant;
+
+/// An opaque point in monotonic wall-clock time.
+///
+/// The only thing a `Stamp` can do is report how much time has elapsed
+/// since it was taken — it cannot be compared to absolute time, encoded,
+/// or persisted, which keeps the wall-clock surface minimal and
+/// auditable.
+#[derive(Debug, Clone, Copy)]
+pub struct Stamp(Instant);
+
+/// Take a stamp of the current monotonic time.
+#[must_use]
+pub fn stamp() -> Stamp {
+    Stamp(Instant::now())
+}
+
+impl Stamp {
+    /// Nanoseconds elapsed since this stamp was taken, saturating at
+    /// `u64::MAX`.
+    #[must_use]
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let s = stamp();
+        let a = s.elapsed_nanos();
+        let b = s.elapsed_nanos();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,624 @@
+//! Exposition codecs for metric snapshots.
+//!
+//! Two output formats over the same plain-data model:
+//!
+//! - **JSON** (`to_json`/`from_json`): a canonical, whitespace-free
+//!   encoding with a strict parser. "Strict" means the parser accepts
+//!   *exactly* the canonical serialisation — fixed key order, sorted
+//!   label keys, no leading zeros, no trailing bytes — so every
+//!   truncation or mutation of a valid document is rejected with a typed
+//!   [`ExpoError`] carrying the byte position. Round-trip is exact:
+//!   `from_json(to_json(s)) == s`.
+//! - **Prometheus text** (`to_prometheus`): the conventional
+//!   `# TYPE`-annotated exposition with cumulative `_bucket{le="…"}`
+//!   lines, `_sum` and `_count` per histogram. Emit-only.
+//!
+//! This file is a parse path: otc-lint rule R3 applies (typed errors,
+//! never a panic).
+
+use crate::hist::{bucket_hi, HistogramSnapshot, BUCKETS};
+
+/// The format tag the JSON codec emits and requires.
+pub const FORMAT: &str = "otc-obs/1";
+
+/// A typed exposition-codec error: what went wrong and the byte offset
+/// where the parser stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpoError {
+    /// Byte offset into the input where the error was detected.
+    pub pos: usize,
+    /// Human-readable description of the failure.
+    pub what: String,
+}
+
+impl std::fmt::Display for ExpoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "metrics JSON error at byte {}: {}", self.pos, self.what)
+    }
+}
+
+impl std::error::Error for ExpoError {}
+
+/// The value side of one metric series.
+#[allow(
+    clippy::large_enum_variant,
+    reason = "a HistogramSnapshot carries its 64 buckets inline by design (plain-data, \
+              no indirection to chase); snapshots are built once per scrape and held in \
+              a short Vec, never stored in bulk, so the per-variant padding is noise"
+)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonic counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(u64),
+    /// A histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One metric series: name, sorted labels, value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricRecord {
+    /// Series name (e.g. `otc_serve_drain_nanos`).
+    pub name: String,
+    /// Label pairs, sorted by key (the registry normalises them).
+    pub labels: Vec<(String, String)>,
+    /// The recorded value.
+    pub value: MetricValue,
+}
+
+/// A plain-data snapshot of a whole registry, sorted by
+/// `(name, labels)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Every registered series.
+    pub metrics: Vec<MetricRecord>,
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                for nibble in [b >> 4, b & 0xF] {
+                    out.push(char::from_digit(nibble, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i = i.saturating_sub(1);
+        if let Some(slot) = buf.get_mut(i) {
+            *slot = b'0' + u8::try_from(v % 10).unwrap_or(0);
+        }
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if let Some(digits) = buf.get(i..) {
+        out.push_str(&String::from_utf8_lossy(digits));
+    }
+}
+
+fn push_labels_json(out: &mut String, labels: &[(String, String)]) {
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, k);
+        out.push(':');
+        push_json_string(out, v);
+    }
+    out.push('}');
+}
+
+impl MetricsSnapshot {
+    /// Serialise to the canonical JSON form. Deterministic: a snapshot
+    /// has exactly one encoding.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.metrics.len() * 96);
+        out.push_str("{\"format\":\"");
+        out.push_str(FORMAT);
+        out.push_str("\",\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &m.name);
+            out.push_str(",\"labels\":");
+            push_labels_json(&mut out, &m.labels);
+            out.push_str(",\"kind\":\"");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str("counter\",\"value\":");
+                    push_u64(&mut out, *v);
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str("gauge\",\"value\":");
+                    push_u64(&mut out, *v);
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str("histogram\",\"count\":");
+                    push_u64(&mut out, h.count);
+                    out.push_str(",\"sum\":");
+                    push_u64(&mut out, h.sum);
+                    out.push_str(",\"min\":");
+                    push_u64(&mut out, h.min);
+                    out.push_str(",\"max\":");
+                    push_u64(&mut out, h.max);
+                    out.push_str(",\"buckets\":[");
+                    for (j, b) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        push_u64(&mut out, *b);
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse the canonical JSON form. Strict: anything other than an
+    /// exact canonical document — truncation, reordered keys, unsorted
+    /// labels, trailing bytes — is a typed [`ExpoError`].
+    ///
+    /// # Errors
+    /// Returns [`ExpoError`] with the byte position of the first
+    /// deviation from the canonical form.
+    pub fn from_json(s: &str) -> Result<Self, ExpoError> {
+        let mut p = Parser { s: s.as_bytes(), pos: 0 };
+        p.lit("{\"format\":\"")?;
+        p.lit(FORMAT)?;
+        p.lit("\",\"metrics\":[")?;
+        let mut metrics = Vec::new();
+        if !p.eat(b']') {
+            loop {
+                metrics.push(p.metric()?);
+                if p.eat(b',') {
+                    continue;
+                }
+                p.lit("]")?;
+                break;
+            }
+        }
+        p.lit("}")?;
+        if p.pos != p.s.len() {
+            return Err(p.err("trailing bytes after the document"));
+        }
+        Ok(Self { metrics })
+    }
+
+    /// Render the conventional Prometheus text exposition. Emit-only.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut prev_name: Option<&str> = None;
+        for m in &self.metrics {
+            let kind = match &m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            if prev_name != Some(m.name.as_str()) {
+                out.push_str("# TYPE ");
+                out.push_str(&m.name);
+                out.push(' ');
+                out.push_str(kind);
+                out.push('\n');
+                prev_name = Some(m.name.as_str());
+            }
+            match &m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push_str(&m.name);
+                    push_prom_labels(&mut out, &m.labels, None);
+                    out.push(' ');
+                    push_u64(&mut out, *v);
+                    out.push('\n');
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cum = cum.saturating_add(c);
+                        out.push_str(&m.name);
+                        out.push_str("_bucket");
+                        let mut le = String::new();
+                        push_u64(&mut le, bucket_hi(i));
+                        push_prom_labels(&mut out, &m.labels, Some(&le));
+                        out.push(' ');
+                        push_u64(&mut out, cum);
+                        out.push('\n');
+                    }
+                    out.push_str(&m.name);
+                    out.push_str("_bucket");
+                    push_prom_labels(&mut out, &m.labels, Some("+Inf"));
+                    out.push(' ');
+                    push_u64(&mut out, h.count);
+                    out.push('\n');
+                    out.push_str(&m.name);
+                    out.push_str("_sum");
+                    push_prom_labels(&mut out, &m.labels, None);
+                    out.push(' ');
+                    push_u64(&mut out, h.sum);
+                    out.push('\n');
+                    out.push_str(&m.name);
+                    out.push_str("_count");
+                    push_prom_labels(&mut out, &m.labels, None);
+                    out.push(' ');
+                    push_u64(&mut out, h.count);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+fn push_prom_labels(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// The strict canonical-form parser. `pos` is always `<= s.len()`.
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> ExpoError {
+        ExpoError { pos: self.pos, what: what.to_owned() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    /// Consume `lit` exactly, or fail without consuming.
+    fn lit(&mut self, lit: &str) -> Result<(), ExpoError> {
+        let rest = self.s.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    /// Consume `b` if present; report whether it was.
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Like [`Parser::lit`] but quiet on mismatch (used for alternatives).
+    fn try_lit(&mut self, lit: &str) -> bool {
+        let rest = self.s.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A canonical u64: one or more digits, no leading zeros (except
+    /// `0` itself), no overflow.
+    fn u64(&mut self) -> Result<u64, ExpoError> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(b - b'0')))
+                .ok_or_else(|| self.err("integer overflows u64"))?;
+            self.pos += 1;
+        }
+        let len = self.pos - start;
+        if len == 0 {
+            return Err(self.err("expected a digit"));
+        }
+        if len > 1 && self.s.get(start) == Some(&b'0') {
+            return Err(ExpoError { pos: start, what: "leading zero is not canonical".to_owned() });
+        }
+        Ok(v)
+    }
+
+    /// A JSON string with the canonical escape set.
+    fn string(&mut self) -> Result<String, ExpoError> {
+        if !self.eat(b'"') {
+            return Err(self.err("expected `\"`"));
+        }
+        let start = self.pos;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hex = self.s.get(self.pos..self.pos + 4).ok_or_else(|| {
+                                ExpoError { pos: self.pos, what: "truncated \\u escape".to_owned() }
+                            })?;
+                            let mut code: u32 = 0;
+                            for &h in hex {
+                                let d = (h as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| self.err("bad hex in \\u escape"))?;
+                                code = code * 16 + d;
+                            }
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| self.err("bad \\u code point"))?;
+                            out.push(ch);
+                            self.pos += 3; // the final +1 below covers the 4th
+                        }
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 1;
+                }
+                0x00..=0x1F => return Err(self.err("raw control byte in string")),
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // boundaries are valid).
+                    let mut end = self.pos + 1;
+                    while self.s.get(end).is_some_and(|&b| b & 0xC0 == 0x80) {
+                        end += 1;
+                    }
+                    if let Some(chunk) = self.s.get(self.pos..end) {
+                        out.push_str(&String::from_utf8_lossy(chunk));
+                    }
+                    self.pos = end;
+                }
+            }
+            if self.pos > self.s.len() {
+                return Err(ExpoError { pos: start, what: "unterminated string".to_owned() });
+            }
+        }
+    }
+
+    /// A canonical labels object: keys strictly ascending.
+    fn labels(&mut self) -> Result<Vec<(String, String)>, ExpoError> {
+        if !self.eat(b'{') {
+            return Err(self.err("expected `{`"));
+        }
+        let mut out: Vec<(String, String)> = Vec::new();
+        if self.eat(b'}') {
+            return Ok(out);
+        }
+        loop {
+            let key_pos = self.pos;
+            let k = self.string()?;
+            if let Some((last_k, _)) = out.last() {
+                if *last_k >= k {
+                    return Err(ExpoError {
+                        pos: key_pos,
+                        what: "label keys must be strictly ascending".to_owned(),
+                    });
+                }
+            }
+            self.lit(":")?;
+            let v = self.string()?;
+            out.push((k, v));
+            if self.eat(b',') {
+                continue;
+            }
+            self.lit("}")?;
+            return Ok(out);
+        }
+    }
+
+    fn metric(&mut self) -> Result<MetricRecord, ExpoError> {
+        self.lit("{\"name\":")?;
+        let name = self.string()?;
+        self.lit(",\"labels\":")?;
+        let labels = self.labels()?;
+        self.lit(",\"kind\":\"")?;
+        let value = if self.try_lit("counter\",\"value\":") {
+            let v = self.u64()?;
+            MetricValue::Counter(v)
+        } else if self.try_lit("gauge\",\"value\":") {
+            let v = self.u64()?;
+            MetricValue::Gauge(v)
+        } else if self.try_lit("histogram\",\"count\":") {
+            let count = self.u64()?;
+            self.lit(",\"sum\":")?;
+            let sum = self.u64()?;
+            self.lit(",\"min\":")?;
+            let min = self.u64()?;
+            self.lit(",\"max\":")?;
+            let max = self.u64()?;
+            self.lit(",\"buckets\":[")?;
+            let mut buckets = [0u64; BUCKETS];
+            for (j, slot) in buckets.iter_mut().enumerate() {
+                if j > 0 {
+                    self.lit(",")?;
+                }
+                *slot = self.u64()?;
+            }
+            self.lit("]")?;
+            MetricValue::Histogram(HistogramSnapshot { buckets, count, sum, min, max })
+        } else {
+            return Err(self.err("expected kind counter/gauge/histogram"));
+        };
+        self.lit("}")?;
+        Ok(MetricRecord { name, labels, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut h = HistogramSnapshot::default();
+        for v in [0, 1, 5, 1000, 123_456_789] {
+            let b = crate::hist::bucket_of(v);
+            h.buckets[b] += 1;
+            h.count += 1;
+            h.sum += v;
+            h.min = h.min.min(v);
+            h.max = h.max.max(v);
+        }
+        MetricsSnapshot {
+            metrics: vec![
+                MetricRecord {
+                    name: "otc_serve_accept_nanos".to_owned(),
+                    labels: vec![],
+                    value: MetricValue::Histogram(h),
+                },
+                MetricRecord {
+                    name: "otc_serve_cells".to_owned(),
+                    labels: vec![],
+                    value: MetricValue::Gauge(16),
+                },
+                MetricRecord {
+                    name: "otc_serve_requests_total".to_owned(),
+                    labels: vec![("group".to_owned(), "0".to_owned())],
+                    value: MetricValue::Counter(42),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let s = sample();
+        let j = s.to_json();
+        let back = MetricsSnapshot::from_json(&j).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), j);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let s = MetricsSnapshot::default();
+        let j = s.to_json();
+        assert_eq!(j, "{\"format\":\"otc-obs/1\",\"metrics\":[]}");
+        assert_eq!(MetricsSnapshot::from_json(&j).unwrap(), s);
+    }
+
+    #[test]
+    fn every_prefix_is_rejected() {
+        let j = sample().to_json();
+        for cut in 0..j.len() {
+            let prefix = &j[..cut];
+            assert!(
+                MetricsSnapshot::from_json(prefix).is_err(),
+                "prefix of length {cut} parsed: {prefix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut j = sample().to_json();
+        j.push(' ');
+        assert!(MetricsSnapshot::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = MetricsSnapshot {
+            metrics: vec![MetricRecord {
+                name: "weird \"name\"\\with\nescapes\u{1}".to_owned(),
+                labels: vec![("k".to_owned(), "v\t\r".to_owned())],
+                value: MetricValue::Counter(0),
+            }],
+        };
+        let back = MetricsSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn unsorted_labels_are_rejected() {
+        let good = "{\"format\":\"otc-obs/1\",\"metrics\":[{\"name\":\"x\",\"labels\":{\"b\":\"1\",\"a\":\"2\"},\"kind\":\"counter\",\"value\":1}]}";
+        assert!(MetricsSnapshot::from_json(good).is_err());
+    }
+
+    #[test]
+    fn leading_zero_is_rejected() {
+        let j = "{\"format\":\"otc-obs/1\",\"metrics\":[{\"name\":\"x\",\"labels\":{},\"kind\":\"counter\",\"value\":01}]}";
+        assert!(MetricsSnapshot::from_json(j).is_err());
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE otc_serve_accept_nanos histogram"));
+        assert!(text.contains("otc_serve_accept_nanos_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("otc_serve_accept_nanos_count 5"));
+        assert!(text.contains("otc_serve_requests_total{group=\"0\"} 42"));
+        assert!(text.contains("# TYPE otc_serve_cells gauge"));
+    }
+}

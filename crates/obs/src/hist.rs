@@ -1,0 +1,287 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! A [`Histogram`] is 64 power-of-two buckets plus count/sum/min/max,
+//! all relaxed atomics: `record()` is lock-free, branch-light, and
+//! allocation-free (proven by the counting-allocator test in
+//! `otc-bench`), so it is safe to call from the hottest serving paths.
+//! [`HistogramSnapshot`] is the plain-data view: mergeable across shards
+//! (merge is associative and commutative), comparable, and the unit the
+//! exposition codecs serialise.
+//!
+//! Quantiles are *exact in rank, bounded in value*: `quantile(q)` finds
+//! the bucket holding the value of exact rank `ceil(q·count)` and
+//! returns that bucket's bounds clamped to the observed min/max — no
+//! interpolation, so the true value provably lies in the returned
+//! interval. The `p50`/`p99`/`p999` helpers report the upper bound,
+//! which is the conservative (pessimistic) latency estimate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per power of two, covering all of `u64`.
+pub const BUCKETS: usize = 64;
+
+/// The bucket index a value lands in.
+///
+/// Bucket 0 holds `{0, 1}`; bucket `i >= 1` holds `[2^i, 2^{i+1} - 1]`;
+/// bucket 63 tops out at `u64::MAX`.
+#[inline]
+#[must_use]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        63 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket (see [`bucket_of`]). Indices past
+/// 63 are clamped.
+#[must_use]
+pub fn bucket_lo(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << bucket.min(63)
+    }
+}
+
+/// Inclusive upper bound of a bucket (see [`bucket_of`]). Indices past
+/// 62 saturate at `u64::MAX`.
+#[must_use]
+pub fn bucket_hi(bucket: usize) -> u64 {
+    if bucket >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (bucket + 1)) - 1
+    }
+}
+
+/// A concurrent log2 histogram. See the module docs for the contract.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Lock-free, allocation-free, wait-free on
+    /// x86: four relaxed RMW operations, no branches past the bucket
+    /// index. `sum` wraps on overflow (2^64 ns ≈ 584 years of latency).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(b) = self.buckets.get(bucket_of(value)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the current state.
+    ///
+    /// The reported `count` is the sum of the bucket loads, so a
+    /// snapshot is always internally consistent for quantile extraction
+    /// even if it races with concurrent `record()` calls (which may be
+    /// half-applied: observation is lossy at the margin, never wrong in
+    /// rank).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+            count = count.saturating_add(*dst);
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data view of a [`Histogram`]: mergeable, comparable,
+/// serialisable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (bucket `i` per [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations (sum of `buckets`, saturating).
+    pub count: u64,
+    /// Sum of all observed values (wrapping).
+    pub sum: u64,
+    /// Smallest observed value; `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest observed value; `0` when empty.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Whether any observation has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fold another snapshot into this one.
+    ///
+    /// Counts and sums add saturating (saturating addition is
+    /// associative and commutative, so shard merge order never matters);
+    /// min/max combine by min/max.
+    pub fn merge(&mut self, other: &Self) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst = dst.saturating_add(*src);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bounds on the value of exact rank `ceil(count · num / den)`
+    /// (1-based, clamped to at least rank 1).
+    ///
+    /// Returns `None` when the histogram is empty, `num > den`, or
+    /// `den == 0`; otherwise `Some((lo, hi))` with the guarantee that
+    /// the true rank-selected value lies in `[lo, hi]` (the containing
+    /// bucket's bounds tightened by the observed min/max).
+    #[must_use]
+    pub fn quantile(&self, num: u32, den: u32) -> Option<(u64, u64)> {
+        if den == 0 || num > den || self.count == 0 {
+            return None;
+        }
+        let total: u128 = self.buckets.iter().map(|&c| u128::from(c)).sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = (total * u128::from(num)).div_ceil(u128::from(den)).max(1);
+        let mut seen = 0u128;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += u128::from(c);
+            if seen >= rank {
+                let lo = bucket_lo(i).max(self.min);
+                let hi = bucket_hi(i).min(self.max);
+                // A torn concurrent snapshot can leave min/max behind the
+                // buckets; fall back to the raw bucket bounds then.
+                if lo > hi {
+                    return Some((bucket_lo(i), bucket_hi(i)));
+                }
+                return Some((lo, hi));
+            }
+        }
+        None
+    }
+
+    /// Conservative (upper-bound) median. `None` when empty.
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(1, 2).map(|(_, hi)| hi)
+    }
+
+    /// Conservative (upper-bound) 99th percentile. `None` when empty.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(99, 100).map(|(_, hi)| hi)
+    }
+
+    /// Conservative (upper-bound) 99.9th percentile. `None` when empty.
+    #[must_use]
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(999, 1000).map(|(_, hi)| hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        for b in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(b)), b);
+            assert_eq!(bucket_of(bucket_hi(b)), b);
+            if b > 0 {
+                assert_eq!(bucket_lo(b), bucket_hi(b - 1) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_roundtrip() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[63], 1);
+    }
+
+    #[test]
+    fn empty_quantiles_are_none() {
+        let s = HistogramSnapshot::default();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.quantile(1, 0), None);
+        assert_eq!(s.quantile(2, 1), None);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_tight() {
+        let h = Histogram::new();
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(1, 2), Some((1000, 1000)));
+        assert_eq!(s.p50(), Some(1000));
+        assert_eq!(s.p99(), Some(1000));
+        assert_eq!(s.p999(), Some(1000));
+    }
+
+    #[test]
+    fn merge_identity_is_default() {
+        let h = Histogram::new();
+        h.record(7);
+        h.record(9000);
+        let mut a = h.snapshot();
+        let before = a.clone();
+        a.merge(&HistogramSnapshot::default());
+        assert_eq!(a, before);
+    }
+}

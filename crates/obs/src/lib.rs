@@ -1,0 +1,39 @@
+//! # otc-obs — wall-clock observability side-band
+//!
+//! Everything in this workspace up to now is *deterministic* telemetry:
+//! costs, window counters, rebalance schedules — pure functions of the
+//! logged request stream. This crate is the one place wall-clock time is
+//! allowed to exist. It provides:
+//!
+//! - [`clock`] — the single audited wall-clock seam. Nothing else in the
+//!   workspace may name `std::time::Instant` (otc-lint rule R2 allowlists
+//!   exactly `crates/obs/src/clock.rs`).
+//! - [`hist`] — fixed 64-bucket log2 latency histograms with zero-alloc,
+//!   lock-free `record()`, mergeable snapshots, and exact-rank
+//!   p50/p99/p999 extraction (bounds, not interpolations).
+//! - [`registry`] — a lock-light named-metric registry (counters, gauges,
+//!   histograms) whose snapshots are deterministically ordered.
+//! - [`expo`] — strict JSON and Prometheus-style text exposition codecs
+//!   for registry snapshots.
+//!
+//! ## Invariant #8: observation never changes results
+//!
+//! Metrics are a pure side-band. Recording into this crate must never
+//! influence a request outcome, a trace byte, a telemetry window, or a
+//! rebalance decision. The serving layer proves this differentially
+//! (identical workloads with metrics on / off / scraped concurrently are
+//! bit-identical); otc-lint enforces it statically: determinism crates
+//! must not depend on `otc-obs` at all (rule R7), so histogram values
+//! *cannot* flow into state transitions.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod clock;
+pub mod expo;
+pub mod hist;
+pub mod registry;
+
+pub use expo::{ExpoError, MetricRecord, MetricValue, MetricsSnapshot};
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{Counter, Gauge, Registry};

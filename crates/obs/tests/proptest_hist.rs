@@ -1,0 +1,191 @@
+//! Property tests for the histogram and the exposition codecs.
+//!
+//! The histogram's contract is checked against a naive oracle (a plain
+//! `Vec<u64>` of every observation): bucket placement, count/sum/min/max
+//! bookkeeping, and the quantile *bound* guarantee — the true
+//! rank-selected value always lies inside the returned `[lo, hi]`
+//! interval. Merge is checked for associativity and commutativity, and
+//! the JSON codec for exact round-trips plus every-prefix rejection.
+
+use otc_obs::hist::{bucket_hi, bucket_lo, bucket_of};
+use otc_obs::{Histogram, HistogramSnapshot, MetricRecord, MetricValue, MetricsSnapshot, BUCKETS};
+use proptest::prelude::*;
+
+/// The naive oracle: keeps every observation.
+#[derive(Default)]
+struct Oracle {
+    values: Vec<u64>,
+}
+
+impl Oracle {
+    fn record(&mut self, v: u64) {
+        self.values.push(v);
+    }
+
+    /// The exact value at rank `ceil(n·num/den)` (1-based, min rank 1).
+    fn rank_value(&self, num: u32, den: u32) -> Option<u64> {
+        if self.values.is_empty() || den == 0 || num > den {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable();
+        let total = sorted.len() as u128;
+        let rank = (total * u128::from(num)).div_ceil(u128::from(den)).max(1);
+        sorted.get(usize::try_from(rank - 1).ok()?).copied()
+    }
+}
+
+/// Values spread across the full u64 range so every bucket is reachable:
+/// a shift in [0, 64) applied to a small base.
+fn arb_value() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u32..64).prop_map(|(base, shift)| base >> shift)
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn bucket_of_matches_bounds(v in any::<u64>()) {
+        let b = bucket_of(v);
+        prop_assert!(b < BUCKETS);
+        prop_assert!(bucket_lo(b) <= v && v <= bucket_hi(b));
+    }
+
+    #[test]
+    fn histogram_matches_oracle(values in prop::collection::vec(arb_value(), 1..200)) {
+        let mut oracle = Oracle::default();
+        let h = Histogram::new();
+        for &v in &values {
+            oracle.record(v);
+            h.record(v);
+        }
+        let s = h.snapshot();
+
+        // Bookkeeping matches the oracle exactly.
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+        prop_assert_eq!(s.min, values.iter().copied().min().unwrap_or(u64::MAX));
+        prop_assert_eq!(s.max, values.iter().copied().max().unwrap_or(0));
+
+        // Every bucket count matches a from-scratch placement.
+        let mut expect = [0u64; BUCKETS];
+        for &v in &values {
+            expect[bucket_of(v)] += 1;
+        }
+        prop_assert_eq!(s.buckets, expect);
+
+        // The quantile bound guarantee, across a quantile sweep.
+        for (num, den) in [(1, 2), (9, 10), (99, 100), (999, 1000), (1, 100), (1, 1)] {
+            let truth = oracle.rank_value(num, den);
+            let bounds = s.quantile(num, den);
+            match (truth, bounds) {
+                (Some(t), Some((lo, hi))) => {
+                    prop_assert!(
+                        lo <= t && t <= hi,
+                        "rank value {} outside [{}, {}] for {}/{}",
+                        t, lo, hi, num, den
+                    );
+                }
+                (None, None) => {}
+                (t, b) => prop_assert!(false, "oracle {:?} vs histogram {:?}", t, b),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        xs in prop::collection::vec(arb_value(), 0..80),
+        ys in prop::collection::vec(arb_value(), 0..80),
+        zs in prop::collection::vec(arb_value(), 0..80),
+    ) {
+        let (a, b, c) = (snapshot_of(&xs), snapshot_of(&ys), snapshot_of(&zs));
+
+        // a + b == b + a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // (a + b) + c == a + (b + c)
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Merge equals recording the concatenation (sum is wrapping in
+        // record but saturating in merge, so compare buckets/min/max).
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        let whole = snapshot_of(&all);
+        prop_assert_eq!(ab.buckets, whole.buckets);
+        prop_assert_eq!(ab.count, whole.count);
+        prop_assert_eq!(ab.min, whole.min);
+        prop_assert_eq!(ab.max, whole.max);
+    }
+
+    #[test]
+    fn merged_quantiles_still_bound_the_oracle(
+        xs in prop::collection::vec(arb_value(), 1..80),
+        ys in prop::collection::vec(arb_value(), 1..80),
+    ) {
+        let mut merged = snapshot_of(&xs);
+        merged.merge(&snapshot_of(&ys));
+        let mut oracle = Oracle::default();
+        for &v in xs.iter().chain(&ys) {
+            oracle.record(v);
+        }
+        for (num, den) in [(1, 2), (99, 100), (999, 1000)] {
+            if let (Some(t), Some((lo, hi))) = (oracle.rank_value(num, den), merged.quantile(num, den)) {
+                prop_assert!(lo <= t && t <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip_and_prefix_rejection(
+        values in prop::collection::vec(arb_value(), 0..40),
+        counter in any::<u64>(),
+        gauge in any::<u64>(),
+        label_seed in prop::collection::vec(0u8..26, 1..8),
+    ) {
+        let label: String = label_seed.iter().map(|&c| char::from(b'a' + c)).collect();
+        let snap = MetricsSnapshot {
+            metrics: vec![
+                MetricRecord {
+                    name: "otc_test_hist_nanos".to_owned(),
+                    labels: vec![("shard".to_owned(), label)],
+                    value: MetricValue::Histogram(snapshot_of(&values)),
+                },
+                MetricRecord {
+                    name: "otc_test_gauge".to_owned(),
+                    labels: vec![],
+                    value: MetricValue::Gauge(gauge),
+                },
+                MetricRecord {
+                    name: "otc_test_total".to_owned(),
+                    labels: vec![],
+                    value: MetricValue::Counter(counter),
+                },
+            ],
+        };
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json);
+        prop_assert_eq!(back.as_ref(), Ok(&snap));
+        prop_assert_eq!(back.map(|s| s.to_json()), Ok(json.clone()));
+
+        // Strictness: every proper prefix fails with a typed error.
+        for cut in 0..json.len() {
+            prop_assert!(MetricsSnapshot::from_json(&json[..cut]).is_err());
+        }
+    }
+}

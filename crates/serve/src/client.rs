@@ -20,6 +20,7 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use otc_core::request::Request;
+use otc_obs::MetricsSnapshot;
 
 use crate::wire::{self, Message, ServeStats, WIRE_VERSION};
 
@@ -183,6 +184,41 @@ impl Client {
                 format!("expected StatsReply, got opcode {:#04x}", other.opcode()),
             )),
         }
+    }
+
+    /// Scrapes the service's wall-clock metrics surface as the raw
+    /// canonical-JSON exposition ([`otc_obs::expo`]). A metrics-off
+    /// server answers with the valid empty exposition — scraping is
+    /// always safe, live, and never perturbs results (invariant #8).
+    ///
+    /// # Errors
+    /// Socket errors; pending pipelined acknowledgements are collected
+    /// first.
+    pub fn scrape_json(&mut self) -> io::Result<String> {
+        self.wait_acks()?;
+        wire::write_message(&mut self.writer, &Message::Metrics, &mut self.wbuf)?;
+        self.writer.flush()?;
+        match self.read_reply()? {
+            Message::MetricsReply { json } => Ok(json),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected MetricsReply, got opcode {:#04x}", other.opcode()),
+            )),
+        }
+    }
+
+    /// Scrapes the service's wall-clock metrics surface, parsed back
+    /// into a typed [`MetricsSnapshot`] (see [`Client::scrape_json`] for
+    /// the raw exposition and the invariant-#8 guarantees).
+    ///
+    /// # Errors
+    /// Socket errors; `InvalidData` if the exposition does not parse
+    /// (a server/client version skew).
+    pub fn scrape(&mut self) -> io::Result<MetricsSnapshot> {
+        let json = self.scrape_json()?;
+        MetricsSnapshot::from_json(&json).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad metrics exposition: {e}"))
+        })
     }
 
     /// Barrier: returns once everything accepted by the service so far

@@ -19,7 +19,12 @@
 //!   **crash-safe**: cadence-driven `OTCS` snapshots are taken as
 //!   consistent cuts (no shard pauses another), and [`Server::resume`]
 //!   restores a killed service from the newest usable snapshot plus a
-//!   replay of the log tail — bit-identical to never having crashed.
+//!   replay of the log tail — bit-identical to never having crashed;
+//! * with [`ServeConfig::metrics`], the service carries a wall-clock
+//!   [`obs::ServeMetrics`] surface — per-stage latency histograms and
+//!   counters, scrapable live over the wire (`Metrics` opcode, see
+//!   [`Client::scrape`]) — that provably never changes results
+//!   (invariant #8, `tests/observer.rs`).
 //!
 //! **The core invariant** (pinned by `tests/loopback.rs`): the live
 //! service's per-shard reports are bit-identical to
@@ -58,11 +63,13 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod obs;
 pub mod rebalance;
 pub mod server;
 pub mod wire;
 
 pub use client::Client;
+pub use obs::ServeMetrics;
 pub use rebalance::{initial_table, RebalancePolicy};
 pub use server::{
     RebalanceSummary, ResumeOutcome, ServeConfig, ServeOutcome, Server, SnapshotPolicy, TraceLog,

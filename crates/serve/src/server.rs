@@ -65,6 +65,8 @@ use std::thread::JoinHandle;
 
 use otc_core::forest::ShardId;
 use otc_core::request::Request;
+use otc_obs::clock::{self, Stamp};
+use otc_obs::MetricsSnapshot;
 use otc_sim::engine::{EngineConfig, EngineError, ShardedEngine};
 use otc_sim::snapshot::{self, EngineSnapshot, LogPosition, SnapshotMeta};
 use otc_sim::worker::{timeline_from_windows, ShardRouter, ShardWorker};
@@ -75,6 +77,7 @@ use otc_workloads::trace::{
     TraceEvent, TraceHeader, TraceReader, TraceWriter, TRACE_FLAG_REBALANCE,
 };
 
+use crate::obs::{DrainHooks, ServeMetrics};
 use crate::rebalance::{detach_cell, install_cell, Handoff, Probe, RebalancePolicy};
 use crate::wire::{self, Message, ServeStats, WIRE_VERSION};
 
@@ -138,6 +141,14 @@ pub struct ServeConfig {
     /// migrates cells between them at decision boundaries (see the
     /// module docs for the protocol and `DESIGN.md` for invariant #7).
     pub rebalance: Option<RebalancePolicy>,
+    /// Wall-clock stage-latency metrics ([`crate::obs::ServeMetrics`]).
+    /// Off by default. Observation is a pure side-band — results, trace
+    /// bytes, telemetry and rebalance schedules are bit-identical with
+    /// metrics on, off, or scraped mid-run (invariant #8, proven by
+    /// `crates/serve/tests/observer.rs`). Metrics are wall-clock state,
+    /// not engine state: [`Server::resume`] starts a fresh surface
+    /// rather than recovering one.
+    pub metrics: bool,
 }
 
 impl Default for ServeConfig {
@@ -149,6 +160,7 @@ impl Default for ServeConfig {
             log: TraceLog::Memory,
             snapshots: None,
             rebalance: None,
+            metrics: false,
         }
     }
 }
@@ -174,6 +186,10 @@ pub struct ServeOutcome {
     /// Rebalance summary (`None` when the service ran without a
     /// [`RebalancePolicy`]).
     pub rebalance: Option<RebalanceSummary>,
+    /// Final wall-clock metrics scrape (`None` when the service ran
+    /// without [`ServeConfig::metrics`]). Observe-only: nothing in the
+    /// other fields depends on it.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// What a rebalancing service did over its lifetime.
@@ -278,6 +294,11 @@ enum Cmd {
     MigrateOut(u32, Arc<Handoff>),
     /// This group gains the cell: block on the handoff and install it.
     Install(u32, Arc<Handoff>),
+    /// Ring-wait sample (only ever enqueued with metrics on): the worker
+    /// records how long the stamp sat in the ring and does nothing else —
+    /// unlike every other marker it does **not** flush the buffered run,
+    /// so it is invisible to batching and to state.
+    Stamp(Stamp),
 }
 
 /// One in-flight snapshot cut, shared by every worker. The worker that
@@ -326,6 +347,10 @@ struct Shared {
     /// Rebalance policy, when configured (group threads need the factory
     /// and engine config to install migrated cells).
     rebalance: Option<RebalancePolicy>,
+    /// Wall-clock stage metrics, when configured. A pure side-band:
+    /// nothing read from it ever flows into routing, logging, draining
+    /// or rebalancing (invariant #8).
+    metrics: Option<Arc<ServeMetrics>>,
     /// Snapshot files completed so far.
     snapshots_written: AtomicU64,
     shutting_down: AtomicBool,
@@ -369,6 +394,12 @@ impl Shared {
             routed.push(self.router.route(r)?);
         }
         let mut guard = locked(&self.ingress);
+        let lock_stamp = self.metrics.as_ref().map(|_| clock::stamp());
+        // Ring-wait sampling: one stamp marker rides ahead of the call's
+        // first request; the receiving group records how long it sat in
+        // the ring. Sent at most once per ingest so the sampling cost is
+        // amortised across the batch.
+        let mut stamp_pending = self.metrics.is_some();
         // Split borrows: the senders are read while the sink and the
         // counters are written, so destructure once instead of proving
         // presence again at each use.
@@ -409,6 +440,13 @@ impl Shared {
                 }
                 None => sid.index(),
             };
+            if stamp_pending {
+                // Best-effort: a dead ring is detected (and poisoned) by
+                // the request send right below; the stamp itself must
+                // never bump `enqueued`/`accepted` or fail ingest.
+                stamp_pending = false;
+                let _ = senders[group].send(Cmd::Stamp(clock::stamp()));
+            }
             if senders[group].send(Cmd::Req(sid.0, local)).is_err() {
                 // The record may already be in the log (and this batch's
                 // prefix already enqueued): the log no longer matches what
@@ -438,6 +476,12 @@ impl Shared {
                         return Err(message);
                     }
                 }
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.requests.add(requests.len() as u64);
+            if let Some(stamp) = lock_stamp {
+                m.lock_hold.record(stamp.elapsed_nanos());
             }
         }
         Ok(requests.len() as u64)
@@ -672,6 +716,7 @@ impl Server {
             receivers.push(rx);
         }
 
+        let metrics = cfg.metrics.then(|| Arc::new(ServeMetrics::new(router.num_shards(), groups)));
         let shared = Arc::new(Shared {
             router,
             engine_cfg,
@@ -690,6 +735,7 @@ impl Server {
             poisoned: Mutex::new(None),
             snapshots: cfg.snapshots.clone(),
             rebalance: cfg.rebalance.clone(),
+            metrics,
             snapshots_written: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
@@ -740,6 +786,15 @@ impl Server {
     #[must_use]
     pub fn stats(&self) -> ServeStats {
         self.shared.stats_snapshot()
+    }
+
+    /// A live scrape of the wall-clock metrics surface (`None` when the
+    /// service runs without [`ServeConfig::metrics`]). Observe-only —
+    /// scraping at any moment never perturbs results (invariant #8);
+    /// what a client's `Metrics` request returns as canonical JSON.
+    #[must_use]
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.shared.metrics.as_deref().map(ServeMetrics::snapshot)
     }
 
     /// Graceful shutdown: stop accepting, wait for connected clients to
@@ -823,6 +878,7 @@ impl Server {
             trace_path,
             snapshots_written: self.shared.snapshots_written.load(Ordering::SeqCst),
             rebalance,
+            metrics: self.shared.metrics.as_deref().map(ServeMetrics::snapshot),
         })
     }
 
@@ -861,6 +917,15 @@ impl Server {
         match sink {
             Some(TraceSink::File(mut w, path)) => {
                 w.sync()?;
+                // A kill is the last chance to read the metrics surface:
+                // dump the final scrape next to the synced log (the
+                // side-band analogue of the sync — observe-only, so a
+                // resume neither needs nor reads it).
+                if let Some(m) = &self.shared.metrics {
+                    let mut dump = path.clone().into_os_string();
+                    dump.push(".metrics.json");
+                    fs::write(&dump, m.snapshot().to_json())?;
+                }
                 Ok(Some(path))
             }
             Some(TraceSink::Memory(mut w)) => {
@@ -1206,12 +1271,20 @@ fn worker_loop(
                     }
                     scratch.push(r);
                 }
+                // A stamp is *not* a marker: it records and vanishes
+                // without flushing the buffered run, so batching — and
+                // therefore execution — is identical with metrics off.
+                Cmd::Stamp(stamp) => {
+                    if let Some(m) = &shared.metrics {
+                        m.record_ring_wait(group, stamp.elapsed_nanos());
+                    }
+                }
                 marker => {
                     executed +=
                         run_buffered(&mut cells, run_cell, &mut scratch, shared, &mut delta);
                     run_cell = None;
                     match marker {
-                        Cmd::Req(..) => {} // unreachable: handled above
+                        Cmd::Req(..) | Cmd::Stamp(..) => {} // unreachable: handled above
                         Cmd::Cut(cut) => emit_sections(&cells, &cut, shared),
                         Cmd::Probe(probe) => {
                             probe.fill(cells.iter().map(|(&c, w)| (c as usize, w.cell_load())));
@@ -1315,7 +1388,17 @@ fn run_buffered(
     if worker.error().is_none() {
         let before_cost = worker.cost();
         let before = (worker.rounds(), worker.paid_rounds());
-        if let Err(message) = worker.run_batch(scratch) {
+        // The hooked path runs the *same* drain — the hooks seam is
+        // one-way (timings out, nothing in), so both arms are
+        // bit-identical in effect (invariant #8).
+        let run = match shared.metrics.as_deref() {
+            Some(m) => {
+                let mut hooks = DrainHooks::new(m);
+                worker.run_batch_hooked(scratch, &mut hooks)
+            }
+            None => worker.run_batch(scratch),
+        };
+        if let Err(message) = run {
             shared.set_poison(Some(worker.shard()), message);
         }
         let after_cost = worker.cost();
@@ -1387,9 +1470,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break; // the wake-up connection (or a very late client)
         }
+        let accept_stamp = shared.metrics.as_ref().map(|_| clock::stamp());
         let shared_conn = Arc::clone(shared);
         let handle = std::thread::spawn(move || {
-            let _ = connection_loop(stream, &shared_conn);
+            let _ = connection_loop(stream, &shared_conn, accept_stamp);
         });
         let mut conns = locked(&shared.conns);
         // Reap finished connections as new ones arrive, so a long-lived
@@ -1409,7 +1493,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 /// One client connection: handshake, then request frames until Bye/EOF.
 /// Any protocol error is answered with one `Error` frame before closing.
-fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+/// `accept_stamp` is the acceptor's wall-clock mark (metrics only):
+/// accept latency is measured through to the flushed handshake reply.
+fn connection_loop(
+    stream: TcpStream,
+    shared: &Shared,
+    accept_stamp: Option<Stamp>,
+) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -1456,6 +1546,12 @@ fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         &mut wbuf,
     )?;
     writer.flush()?;
+    if let Some(m) = &shared.metrics {
+        if let Some(stamp) = accept_stamp {
+            m.accept.record(stamp.elapsed_nanos());
+        }
+        m.connections.inc();
+    }
 
     loop {
         let msg = match wire::read_message(&mut reader, &mut rbuf) {
@@ -1487,6 +1583,19 @@ fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 shared.wait_drained();
                 wire::write_message(&mut writer, &Message::Ack { accepted: 0 }, &mut wbuf)?;
             }
+            Message::Metrics => {
+                // A metrics-off server answers with the valid empty
+                // exposition rather than an error: scraping is always
+                // safe to attempt (invariant #8 makes it free).
+                let json = match &shared.metrics {
+                    Some(m) => {
+                        m.scrapes.inc();
+                        m.snapshot().to_json()
+                    }
+                    None => MetricsSnapshot::default().to_json(),
+                };
+                wire::write_message(&mut writer, &Message::MetricsReply { json }, &mut wbuf)?;
+            }
             Message::Bye => {
                 wire::write_message(&mut writer, &Message::Ack { accepted: 0 }, &mut wbuf)?;
                 writer.flush()?;
@@ -1508,6 +1617,13 @@ fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         // deadlocking any client that waits for the ack before sending
         // the rest. One small write per reply (with TCP_NODELAY) is the
         // correct trade.
-        writer.flush()?;
+        match &shared.metrics {
+            Some(m) => {
+                let stamp = clock::stamp();
+                writer.flush()?;
+                m.flush.record(stamp.elapsed_nanos());
+            }
+            None => writer.flush()?,
+        }
     }
 }

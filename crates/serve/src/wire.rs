@@ -102,6 +102,19 @@ pub enum Message {
     Stats,
     /// Cumulative counters (reply to [`Message::Stats`]).
     StatsReply(ServeStats),
+    /// Ask for a [`Message::MetricsReply`] — the live wall-clock
+    /// observability scrape (stage-latency histograms and operational
+    /// counters), as opposed to [`Message::Stats`]'s deterministic cost
+    /// counters. Serving a scrape never perturbs results (observability
+    /// invariant #8); on a server running without metrics the reply is
+    /// the valid empty exposition.
+    Metrics,
+    /// The metrics scrape (reply to [`Message::Metrics`]): a canonical
+    /// `otc-obs/1` JSON document (see `otc_obs::MetricsSnapshot`).
+    MetricsReply {
+        /// The exposition JSON, UTF-8.
+        json: String,
+    },
     /// Barrier: block until everything accepted so far (service-wide) has
     /// been executed by the shard workers. Answered by [`Message::Ack`].
     Drain,
@@ -129,9 +142,11 @@ mod op {
     pub const STATS: u8 = 0x03;
     pub const DRAIN: u8 = 0x04;
     pub const BYE: u8 = 0x05;
+    pub const METRICS: u8 = 0x06;
     pub const HELLO_ACK: u8 = 0x81;
     pub const ACK: u8 = 0x82;
     pub const STATS_REPLY: u8 = 0x83;
+    pub const METRICS_REPLY: u8 = 0x84;
     pub const ERROR: u8 = 0xEE;
 }
 
@@ -208,11 +223,13 @@ impl Message {
             Message::Hello { .. } => op::HELLO,
             Message::Submit { .. } => op::SUBMIT,
             Message::Stats => op::STATS,
+            Message::Metrics => op::METRICS,
             Message::Drain => op::DRAIN,
             Message::Bye => op::BYE,
             Message::HelloAck { .. } => op::HELLO_ACK,
             Message::Ack { .. } => op::ACK,
             Message::StatsReply(_) => op::STATS_REPLY,
+            Message::MetricsReply { .. } => op::METRICS_REPLY,
             Message::Error { .. } => op::ERROR,
         }
     }
@@ -236,7 +253,12 @@ impl Message {
                 buf.extend_from_slice(&shards.to_le_bytes());
             }
             // Submit took the early return above; nothing to add here.
-            Message::Submit { .. } | Message::Stats | Message::Drain | Message::Bye => {}
+            Message::Submit { .. }
+            | Message::Stats
+            | Message::Metrics
+            | Message::Drain
+            | Message::Bye => {}
+            Message::MetricsReply { json } => buf.extend_from_slice(json.as_bytes()),
             Message::StatsReply(s) => {
                 codec::encode_varint(buf, s.rounds);
                 codec::encode_varint(buf, s.paid_rounds);
@@ -307,12 +329,13 @@ impl Message {
                 }
                 Ok(Message::Submit { requests })
             }
-            op::STATS | op::DRAIN | op::BYE => {
+            op::STATS | op::METRICS | op::DRAIN | op::BYE => {
                 if !payload.is_empty() {
                     return Err(bad_data("unexpected payload on a bare opcode"));
                 }
                 Ok(match opcode {
                     op::STATS => Message::Stats,
+                    op::METRICS => Message::Metrics,
                     op::DRAIN => Message::Drain,
                     _ => Message::Bye,
                 })
@@ -342,6 +365,12 @@ impl Message {
                     return Err(bad_data("trailing bytes after Ack"));
                 }
                 Ok(Message::Ack { accepted })
+            }
+            op::METRICS_REPLY => {
+                let json = std::str::from_utf8(payload)
+                    .map_err(|_| bad_data("MetricsReply payload is not UTF-8"))?
+                    .to_string();
+                Ok(Message::MetricsReply { json })
             }
             op::ERROR => {
                 let message = std::str::from_utf8(payload)
@@ -454,6 +483,10 @@ mod tests {
             service_cost: 4,
             reorg_cost: 12,
         }));
+        round_trip(&Message::Metrics);
+        round_trip(&Message::MetricsReply {
+            json: "{\"format\":\"otc-obs/1\",\"metrics\":[]}".to_string(),
+        });
         round_trip(&Message::Drain);
         round_trip(&Message::Bye);
         round_trip(&Message::Ack { accepted: 12345 });

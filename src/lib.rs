@@ -67,6 +67,7 @@ pub mod guide {}
 
 pub use otc_baselines as baselines;
 pub use otc_core as core;
+pub use otc_obs as obs;
 pub use otc_sdn as sdn;
 pub use otc_serve as serve;
 pub use otc_sim as sim;
